@@ -1,0 +1,220 @@
+//! A Counter — blind `inc`/`dec` updates commute-free under hybrid locking,
+//! while `read` takes a value-sensitive lock (extension type).
+
+use hcc_core::runtime::{ExecError, LockSpec, RuntimeAdt, RuntimeOptions, TxObject, TxnHandle};
+use hcc_spec::adt::SharedAdt;
+use hcc_spec::specs::CounterSpec;
+use hcc_spec::{Operation, Value};
+use std::sync::Arc;
+
+/// Counter invocations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CounterInv {
+    /// Add `n`.
+    Inc(i64),
+    /// Subtract `n`.
+    Dec(i64),
+    /// Read the current value.
+    Read,
+}
+
+/// Counter responses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CounterRes {
+    /// Update acknowledgement.
+    Ok,
+    /// The value read.
+    Val(i64),
+}
+
+/// The Counter runtime type; an intent is a net delta.
+pub struct CounterAdt;
+
+impl RuntimeAdt for CounterAdt {
+    type Version = i64;
+    type Intent = i64;
+    type Inv = CounterInv;
+    type Res = CounterRes;
+
+    fn initial(&self) -> i64 {
+        0
+    }
+
+    fn candidates(
+        &self,
+        version: &i64,
+        committed: &[&i64],
+        own: &i64,
+        inv: &CounterInv,
+    ) -> Vec<(CounterRes, i64)> {
+        match inv {
+            CounterInv::Inc(n) => vec![(CounterRes::Ok, own + n)],
+            CounterInv::Dec(n) => vec![(CounterRes::Ok, own - n)],
+            CounterInv::Read => {
+                let total: i64 = version + committed.iter().copied().sum::<i64>() + own;
+                vec![(CounterRes::Val(total), *own)]
+            }
+        }
+    }
+
+    fn apply(&self, version: &mut i64, intent: &i64) {
+        *version += intent;
+    }
+
+    fn type_name(&self) -> &'static str {
+        "Counter"
+    }
+}
+
+/// Hybrid conflicts: a read is invalidated by any non-zero update; updates
+/// never conflict with each other.
+pub struct CounterHybrid;
+
+impl LockSpec<CounterAdt> for CounterHybrid {
+    fn conflicts(&self, a: &(CounterInv, CounterRes), b: &(CounterInv, CounterRes)) -> bool {
+        let nonzero_update = |o: &(CounterInv, CounterRes)| match o.0 {
+            CounterInv::Inc(n) | CounterInv::Dec(n) => n != 0,
+            CounterInv::Read => false,
+        };
+        let is_read = |o: &(CounterInv, CounterRes)| matches!(o.0, CounterInv::Read);
+        (is_read(a) && nonzero_update(b)) || (is_read(b) && nonzero_update(a))
+    }
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
+/// A counter object with ergonomic methods.
+pub struct CounterObject {
+    obj: Arc<TxObject<CounterAdt>>,
+}
+
+impl CounterObject {
+    /// A counter under the hybrid scheme.
+    pub fn hybrid(name: impl Into<String>) -> CounterObject {
+        Self::with(name, Arc::new(CounterHybrid), RuntimeOptions::default())
+    }
+
+    /// A counter under an arbitrary scheme and options.
+    pub fn with(
+        name: impl Into<String>,
+        locks: Arc<dyn LockSpec<CounterAdt>>,
+        opts: RuntimeOptions,
+    ) -> CounterObject {
+        CounterObject { obj: TxObject::new(name, CounterAdt, locks, opts) }
+    }
+
+    /// The underlying runtime object.
+    pub fn inner(&self) -> &Arc<TxObject<CounterAdt>> {
+        &self.obj
+    }
+
+    /// Add `n`.
+    pub fn inc(&self, txn: &Arc<TxnHandle>, n: i64) -> Result<(), ExecError> {
+        self.obj.execute(txn, CounterInv::Inc(n)).map(|_| ())
+    }
+
+    /// Subtract `n`.
+    pub fn dec(&self, txn: &Arc<TxnHandle>, n: i64) -> Result<(), ExecError> {
+        self.obj.execute(txn, CounterInv::Dec(n)).map(|_| ())
+    }
+
+    /// Read the counter.
+    pub fn read(&self, txn: &Arc<TxnHandle>) -> Result<i64, ExecError> {
+        match self.obj.execute(txn, CounterInv::Read)? {
+            CounterRes::Val(v) => Ok(v),
+            CounterRes::Ok => unreachable!("read returns a value"),
+        }
+    }
+
+    /// The committed value (diagnostics).
+    pub fn committed_value(&self) -> i64 {
+        self.obj.committed_snapshot()
+    }
+}
+
+/// Map a runtime operation onto the dynamic specification operation.
+pub fn to_spec_op(inv: &CounterInv, res: &CounterRes) -> Operation {
+    match (inv, res) {
+        (CounterInv::Inc(n), _) => Operation::new(CounterSpec::inc(*n), Value::Unit),
+        (CounterInv::Dec(n), _) => Operation::new(CounterSpec::dec(*n), Value::Unit),
+        (CounterInv::Read, CounterRes::Val(v)) => Operation::new(CounterSpec::read(), *v),
+        (CounterInv::Read, CounterRes::Ok) => unreachable!("read returns a value"),
+    }
+}
+
+/// The dynamic serial specification matching [`CounterAdt`].
+pub fn spec() -> SharedAdt {
+    Arc::new(CounterSpec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_core::runtime::TxParticipant;
+    use hcc_spec::TxnId;
+    use std::time::Duration;
+
+    fn h(n: u64) -> Arc<TxnHandle> {
+        TxnHandle::new(TxnId(n))
+    }
+
+    #[test]
+    fn concurrent_updates_never_block() {
+        let c = CounterObject::hybrid("c");
+        let handles: Vec<_> = (1..=8).map(h).collect();
+        for (i, t) in handles.iter().enumerate() {
+            if i % 2 == 0 {
+                c.inc(t, 5).unwrap();
+            } else {
+                c.dec(t, 2).unwrap();
+            }
+        }
+        for (i, t) in handles.iter().enumerate() {
+            c.inner().commit_at(t.id(), (i + 1) as u64);
+        }
+        assert_eq!(c.committed_value(), 4 * 5 - 4 * 2);
+        assert_eq!(c.inner().stats().conflicts, 0);
+    }
+
+    #[test]
+    fn read_blocks_on_uncommitted_update() {
+        let c = CounterObject::with(
+            "c",
+            Arc::new(CounterHybrid),
+            RuntimeOptions::with_timeout(Some(Duration::from_millis(30))),
+        );
+        let (t1, t2) = (h(1), h(2));
+        c.inc(&t1, 1).unwrap();
+        assert_eq!(c.read(&t2), Err(ExecError::Timeout));
+    }
+
+    #[test]
+    fn zero_update_is_invisible_to_readers() {
+        let c = CounterObject::hybrid("c");
+        let (t1, t2) = (h(1), h(2));
+        c.inc(&t1, 0).unwrap();
+        assert_eq!(c.read(&t2).unwrap(), 0);
+    }
+
+    #[test]
+    fn own_updates_visible() {
+        let c = CounterObject::hybrid("c");
+        let t1 = h(1);
+        c.inc(&t1, 3).unwrap();
+        c.dec(&t1, 1).unwrap();
+        assert_eq!(c.read(&t1).unwrap(), 2);
+    }
+
+    #[test]
+    fn deltas_fold_into_version() {
+        let c = CounterObject::hybrid("c");
+        for i in 1..=10u64 {
+            let t = h(i);
+            c.inc(&t, 1).unwrap();
+            c.inner().commit_at(t.id(), i);
+        }
+        assert_eq!(c.committed_value(), 10);
+        assert!(c.inner().retained_committed() <= 1);
+    }
+}

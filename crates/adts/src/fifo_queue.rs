@@ -1,0 +1,355 @@
+//! The FIFO queue (Tables II and III).
+//!
+//! The queue is the paper's headline example: enqueues do not commute, yet
+//! under hybrid concurrency control concurrent transactions may enqueue
+//! concurrently — the dequeue order of concurrently-enqueued items is
+//! decided by their commit timestamps.
+//!
+//! Both minimal conflict relations are provided:
+//!
+//! * [`QueueTableII`] — `Deq` conflicts with `Enq` of a different item and
+//!   with `Deq` of the same item; enqueues never conflict.
+//! * [`QueueTableIII`] — `Enq` conflicts with `Enq` of a different item;
+//!   `Deq` conflicts with `Deq` of the same item; `Enq` and `Deq` never
+//!   conflict (a dequeuer may run concurrently with enqueuers as long as it
+//!   consumes committed items).
+
+use hcc_core::runtime::{ExecError, LockSpec, RuntimeAdt, RuntimeOptions, TxObject, TxnHandle};
+use hcc_spec::adt::SharedAdt;
+use hcc_spec::specs::QueueSpec;
+use hcc_spec::{Operation, Value};
+use std::collections::VecDeque;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Bound alias for queue items.
+pub trait Item: Clone + Eq + Debug + Send + Sync + 'static {}
+impl<T: Clone + Eq + Debug + Send + Sync + 'static> Item for T {}
+
+/// Queue invocations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueueInv<T> {
+    /// Append an item at the tail.
+    Enq(T),
+    /// Remove and return the head item (partial: blocks when empty).
+    Deq,
+}
+
+/// Queue responses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueueRes<T> {
+    /// Enqueue acknowledgement.
+    Ok,
+    /// The dequeued item.
+    Item(T),
+}
+
+/// One step of a transaction's intent (replayed onto the version at
+/// commit-fold time).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueueOp<T> {
+    /// Enqueue `T`.
+    Enq(T),
+    /// Dequeue (the head at replay time; response recorded separately).
+    Deq,
+}
+
+/// The FIFO queue runtime type.
+pub struct QueueAdt<T>(PhantomData<fn() -> T>);
+
+impl<T> Default for QueueAdt<T> {
+    fn default() -> Self {
+        QueueAdt(PhantomData)
+    }
+}
+
+impl<T: Item> RuntimeAdt for QueueAdt<T> {
+    type Version = VecDeque<T>;
+    type Intent = Vec<QueueOp<T>>;
+    type Inv = QueueInv<T>;
+    type Res = QueueRes<T>;
+
+    fn initial(&self) -> VecDeque<T> {
+        VecDeque::new()
+    }
+
+    fn candidates(
+        &self,
+        version: &VecDeque<T>,
+        committed: &[&Vec<QueueOp<T>>],
+        own: &Vec<QueueOp<T>>,
+        inv: &QueueInv<T>,
+    ) -> Vec<(QueueRes<T>, Vec<QueueOp<T>>)> {
+        match inv {
+            QueueInv::Enq(x) => {
+                let mut next = own.clone();
+                next.push(QueueOp::Enq(x.clone()));
+                vec![(QueueRes::Ok, next)]
+            }
+            QueueInv::Deq => {
+                // Materialize the view and peek its head.
+                let mut view = version.clone();
+                for intent in committed {
+                    replay(&mut view, intent);
+                }
+                replay(&mut view, own);
+                match view.front() {
+                    None => vec![],
+                    Some(head) => {
+                        let mut next = own.clone();
+                        next.push(QueueOp::Deq);
+                        vec![(QueueRes::Item(head.clone()), next)]
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply(&self, version: &mut VecDeque<T>, intent: &Vec<QueueOp<T>>) {
+        replay(version, intent);
+    }
+
+    fn type_name(&self) -> &'static str {
+        "FIFO-Queue"
+    }
+}
+
+fn replay<T: Clone>(q: &mut VecDeque<T>, ops: &[QueueOp<T>]) {
+    for op in ops {
+        match op {
+            QueueOp::Enq(x) => q.push_back(x.clone()),
+            QueueOp::Deq => {
+                let _ = q.pop_front();
+            }
+        }
+    }
+}
+
+/// Table II conflicts: `Deq→v` ↔ `Enq(v′)` when `v ≠ v′`; `Deq→v` ↔
+/// `Deq→v` — enqueues never conflict.
+pub struct QueueTableII;
+
+impl<T: Item> LockSpec<QueueAdt<T>> for QueueTableII {
+    fn conflicts(
+        &self,
+        a: &(QueueInv<T>, QueueRes<T>),
+        b: &(QueueInv<T>, QueueRes<T>),
+    ) -> bool {
+        match (a, b) {
+            ((QueueInv::Deq, QueueRes::Item(v)), (QueueInv::Enq(w), _))
+            | ((QueueInv::Enq(w), _), (QueueInv::Deq, QueueRes::Item(v))) => v != w,
+            ((QueueInv::Deq, QueueRes::Item(v)), (QueueInv::Deq, QueueRes::Item(w))) => v == w,
+            _ => false,
+        }
+    }
+    fn name(&self) -> &'static str {
+        "hybrid-table-ii"
+    }
+}
+
+/// Table III conflicts: `Enq(v)` ↔ `Enq(v′)` when `v ≠ v′`; `Deq→v` ↔
+/// `Deq→v` — enqueues and dequeues never conflict with each other. This is
+/// the relation commutativity-based locking also induces.
+pub struct QueueTableIII;
+
+impl<T: Item> LockSpec<QueueAdt<T>> for QueueTableIII {
+    fn conflicts(
+        &self,
+        a: &(QueueInv<T>, QueueRes<T>),
+        b: &(QueueInv<T>, QueueRes<T>),
+    ) -> bool {
+        match (a, b) {
+            ((QueueInv::Enq(v), _), (QueueInv::Enq(w), _)) => v != w,
+            ((QueueInv::Deq, QueueRes::Item(v)), (QueueInv::Deq, QueueRes::Item(w))) => v == w,
+            _ => false,
+        }
+    }
+    fn name(&self) -> &'static str {
+        "hybrid-table-iii"
+    }
+}
+
+/// A FIFO queue object with ergonomic methods.
+pub struct QueueObject<T: Item> {
+    obj: Arc<TxObject<QueueAdt<T>>>,
+}
+
+impl<T: Item> QueueObject<T> {
+    /// A queue under the Table-II hybrid scheme (concurrent enqueues).
+    pub fn hybrid(name: impl Into<String>) -> QueueObject<T> {
+        Self::with(name, Arc::new(QueueTableII), RuntimeOptions::default())
+    }
+
+    /// A queue under an arbitrary scheme and options.
+    pub fn with(
+        name: impl Into<String>,
+        locks: Arc<dyn LockSpec<QueueAdt<T>>>,
+        opts: RuntimeOptions,
+    ) -> QueueObject<T> {
+        QueueObject { obj: TxObject::new(name, QueueAdt::default(), locks, opts) }
+    }
+
+    /// The underlying runtime object.
+    pub fn inner(&self) -> &Arc<TxObject<QueueAdt<T>>> {
+        &self.obj
+    }
+
+    /// Enqueue an item.
+    pub fn enq(&self, txn: &Arc<TxnHandle>, item: T) -> Result<(), ExecError> {
+        self.obj.execute(txn, QueueInv::Enq(item)).map(|_| ())
+    }
+
+    /// Dequeue the head item (blocks while the queue is empty).
+    pub fn deq(&self, txn: &Arc<TxnHandle>) -> Result<T, ExecError> {
+        match self.obj.execute(txn, QueueInv::Deq)? {
+            QueueRes::Item(x) => Ok(x),
+            QueueRes::Ok => unreachable!("deq returns an item"),
+        }
+    }
+
+    /// Number of committed items (diagnostics).
+    pub fn committed_len(&self) -> usize {
+        self.obj.committed_snapshot().len()
+    }
+}
+
+/// Map a runtime operation onto the dynamic specification operation.
+pub fn to_spec_op<T: Item + Into<Value>>(inv: &QueueInv<T>, res: &QueueRes<T>) -> Operation {
+    match (inv, res) {
+        (QueueInv::Enq(x), _) => Operation::new(QueueSpec::enq(x.clone()), Value::Unit),
+        (QueueInv::Deq, QueueRes::Item(x)) => Operation::new(QueueSpec::deq(), x.clone()),
+        (QueueInv::Deq, QueueRes::Ok) => unreachable!("deq returns an item"),
+    }
+}
+
+/// The dynamic serial specification matching [`QueueAdt`].
+pub fn spec() -> SharedAdt {
+    Arc::new(QueueSpec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_core::runtime::TxParticipant;
+    use hcc_spec::TxnId;
+    use std::time::Duration;
+
+    fn h(n: u64) -> Arc<TxnHandle> {
+        TxnHandle::new(TxnId(n))
+    }
+    fn short() -> RuntimeOptions {
+        RuntimeOptions::with_timeout(Some(Duration::from_millis(30)))
+    }
+
+    #[test]
+    fn concurrent_enqueues_dequeue_in_timestamp_order() {
+        let q: QueueObject<i64> = QueueObject::hybrid("q");
+        let (t1, t2) = (h(1), h(2));
+        q.enq(&t1, 10).unwrap();
+        q.enq(&t2, 20).unwrap(); // concurrent — the headline behaviour
+        q.inner().commit_at(t2.id(), 1);
+        q.inner().commit_at(t1.id(), 2);
+        let t3 = h(3);
+        assert_eq!(q.deq(&t3).unwrap(), 20, "earlier timestamp first");
+        assert_eq!(q.deq(&t3).unwrap(), 10);
+    }
+
+    #[test]
+    fn table_ii_deq_blocks_on_uncommitted_enq_of_other_item() {
+        let q: QueueObject<i64> =
+            QueueObject::with("q", Arc::new(QueueTableII), short());
+        let t0 = h(1);
+        q.enq(&t0, 1).unwrap();
+        q.inner().commit_at(t0.id(), 1);
+        let (t1, t2) = (h(2), h(3));
+        q.enq(&t1, 2).unwrap();
+        assert_eq!(q.deq(&t2), Err(ExecError::Timeout));
+    }
+
+    #[test]
+    fn table_iii_deq_runs_concurrently_with_enq() {
+        let q: QueueObject<i64> =
+            QueueObject::with("q", Arc::new(QueueTableIII), short());
+        let t0 = h(1);
+        q.enq(&t0, 1).unwrap();
+        q.inner().commit_at(t0.id(), 1);
+        let (t1, t2) = (h(2), h(3));
+        q.enq(&t1, 2).unwrap(); // uncommitted enqueue
+        assert_eq!(q.deq(&t2).unwrap(), 1, "committed head is consumable");
+        // But concurrent enqueues of different items now conflict.
+        let t3 = h(4);
+        assert_eq!(q.enq(&t3, 3), Err(ExecError::Timeout));
+    }
+
+    #[test]
+    fn own_enqueues_are_dequeueable() {
+        let q: QueueObject<i64> = QueueObject::hybrid("q");
+        let t1 = h(1);
+        q.enq(&t1, 5).unwrap();
+        assert_eq!(q.deq(&t1).unwrap(), 5);
+    }
+
+    #[test]
+    fn deq_blocks_until_an_item_commits() {
+        let q: QueueObject<i64> = QueueObject::hybrid("q");
+        let t1 = h(1);
+        let qi = q.inner().clone();
+        let t1c = t1.clone();
+        let consumer = std::thread::spawn(move || {
+            match qi.execute(&t1c, QueueInv::Deq).unwrap() {
+                QueueRes::Item(x) => x,
+                _ => unreachable!(),
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let t2 = h(2);
+        q.enq(&t2, 99).unwrap();
+        q.inner().commit_at(t2.id(), 1);
+        assert_eq!(consumer.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn aborted_enqueue_leaves_no_item() {
+        let q: QueueObject<i64> =
+            QueueObject::with("q", Arc::new(QueueTableII), short());
+        let t1 = h(1);
+        q.enq(&t1, 7).unwrap();
+        q.inner().abort_txn(t1.id());
+        assert_eq!(q.committed_len(), 0);
+        let t2 = h(2);
+        assert_eq!(q.deq(&t2), Err(ExecError::Timeout));
+    }
+
+    #[test]
+    fn fifo_order_within_one_transaction() {
+        let q: QueueObject<i64> = QueueObject::hybrid("q");
+        let t1 = h(1);
+        for i in 1..=4 {
+            q.enq(&t1, i).unwrap();
+        }
+        q.inner().commit_at(t1.id(), 1);
+        let t2 = h(2);
+        for i in 1..=4 {
+            assert_eq!(q.deq(&t2).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn string_items_work() {
+        let q: QueueObject<String> = QueueObject::hybrid("q");
+        let t1 = h(1);
+        q.enq(&t1, "hello".to_string()).unwrap();
+        q.inner().commit_at(t1.id(), 1);
+        let t2 = h(2);
+        assert_eq!(q.deq(&t2).unwrap(), "hello");
+    }
+
+    #[test]
+    fn spec_op_mapping() {
+        let op = to_spec_op(&QueueInv::Enq(3i64), &QueueRes::Ok);
+        assert_eq!(format!("{op:?}"), "[enq(3), Ok]");
+        let op = to_spec_op(&QueueInv::Deq, &QueueRes::Item(3i64));
+        assert_eq!(format!("{op:?}"), "[deq(), 3]");
+    }
+}

@@ -1,0 +1,34 @@
+//! # hcc-adts — production data types for the hybrid runtime
+//!
+//! Each module implements one data type three ways at once:
+//!
+//! 1. a [`hcc_core::runtime::RuntimeAdt`] — compact version + intent
+//!    summaries (the appendix pattern);
+//! 2. a hybrid [`hcc_core::runtime::LockSpec`] encoding the paper's derived
+//!    conflict relation (the symmetric closure of the type's minimal
+//!    dependency relation), response-aware where the paper's is
+//!    (Account, Set, Directory);
+//! 3. an ergonomic object wrapper (`AccountObject`, `QueueObject`, ...)
+//!    plus a mapping onto the dynamic `hcc-spec` operations, so integration
+//!    tests can check runtime histories against the formal specification.
+//!
+//! The types: [`account`] (Table V), [`fifo_queue`] (Tables II and III —
+//! both conflict relations are provided), [`semiqueue`] (Table IV),
+//! [`file`] (Table I / generalized Thomas Write Rule), and the extension
+//! types [`counter`], [`set`], [`directory`].
+
+pub mod account;
+pub mod counter;
+pub mod directory;
+pub mod file;
+pub mod fifo_queue;
+pub mod semiqueue;
+pub mod set;
+
+pub use account::AccountObject;
+pub use counter::CounterObject;
+pub use directory::DirectoryObject;
+pub use file::FileObject;
+pub use fifo_queue::QueueObject;
+pub use semiqueue::SemiqueueObject;
+pub use set::SetObject;

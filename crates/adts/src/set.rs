@@ -1,0 +1,310 @@
+//! A Set — operations report whether they changed anything, giving
+//! response-dependent, per-element conflicts (extension type).
+//!
+//! The hybrid conflict relation is the symmetric closure of the derived
+//! invalidated-by relation (verified against the derivation engine in the
+//! integration tests): all conflicts are per-element, and "no-op" outcomes
+//! conflict only with the operations that could invalidate them.
+
+use hcc_core::runtime::{ExecError, LockSpec, RuntimeAdt, RuntimeOptions, TxObject, TxnHandle};
+use hcc_spec::adt::SharedAdt;
+use hcc_spec::specs::SetSpec;
+use hcc_spec::{Operation, Value};
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Bound alias for set elements.
+pub trait Elem: Clone + Ord + Debug + Send + Sync + 'static {}
+impl<T: Clone + Ord + Debug + Send + Sync + 'static> Elem for T {}
+
+/// Set invocations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SetInv<T> {
+    /// Insert; responds whether the element was new.
+    Add(T),
+    /// Delete; responds whether the element was present.
+    Remove(T),
+    /// Membership test.
+    Contains(T),
+}
+
+/// Intent steps (replayed at fold time).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SetOp<T> {
+    /// Insert `T`.
+    Add(T),
+    /// Delete `T`.
+    Remove(T),
+}
+
+/// The Set runtime type.
+pub struct SetAdt<T>(PhantomData<fn() -> T>);
+
+impl<T> Default for SetAdt<T> {
+    fn default() -> Self {
+        SetAdt(PhantomData)
+    }
+}
+
+impl<T: Elem> RuntimeAdt for SetAdt<T> {
+    type Version = BTreeSet<T>;
+    type Intent = Vec<SetOp<T>>;
+    type Inv = SetInv<T>;
+    type Res = bool;
+
+    fn initial(&self) -> BTreeSet<T> {
+        BTreeSet::new()
+    }
+
+    fn candidates(
+        &self,
+        version: &BTreeSet<T>,
+        committed: &[&Vec<SetOp<T>>],
+        own: &Vec<SetOp<T>>,
+        inv: &SetInv<T>,
+    ) -> Vec<(bool, Vec<SetOp<T>>)> {
+        // Membership of the single element in question, folded over the
+        // view (cheaper than materializing the whole set).
+        let elem = match inv {
+            SetInv::Add(x) | SetInv::Remove(x) | SetInv::Contains(x) => x,
+        };
+        let mut present = version.contains(elem);
+        for intent in committed.iter().copied().chain(std::iter::once(own)) {
+            for op in intent.iter() {
+                match op {
+                    SetOp::Add(y) if y == elem => present = true,
+                    SetOp::Remove(y) if y == elem => present = false,
+                    _ => {}
+                }
+            }
+        }
+        match inv {
+            SetInv::Add(x) => {
+                if present {
+                    vec![(false, own.clone())]
+                } else {
+                    let mut next = own.clone();
+                    next.push(SetOp::Add(x.clone()));
+                    vec![(true, next)]
+                }
+            }
+            SetInv::Remove(x) => {
+                if present {
+                    let mut next = own.clone();
+                    next.push(SetOp::Remove(x.clone()));
+                    vec![(true, next)]
+                } else {
+                    vec![(false, own.clone())]
+                }
+            }
+            SetInv::Contains(_) => vec![(present, own.clone())],
+        }
+    }
+
+    fn apply(&self, version: &mut BTreeSet<T>, intent: &Vec<SetOp<T>>) {
+        for op in intent {
+            match op {
+                SetOp::Add(x) => {
+                    version.insert(x.clone());
+                }
+                SetOp::Remove(x) => {
+                    version.remove(x);
+                }
+            }
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        "Set"
+    }
+}
+
+/// Hybrid conflicts (symmetric closure of the derived invalidated-by
+/// relation): per element `x`,
+///
+/// * `Add(x)→true` ↔ `Add(x)→true`, `Remove(x)→false`, `Contains(x)→false`
+/// * `Remove(x)→true` ↔ `Remove(x)→true`, `Add(x)→false`, `Contains(x)→true`
+pub struct SetHybrid;
+
+impl<T: Elem> LockSpec<SetAdt<T>> for SetHybrid {
+    fn conflicts(&self, a: &(SetInv<T>, bool), b: &(SetInv<T>, bool)) -> bool {
+        let elem = |o: &(SetInv<T>, bool)| match &o.0 {
+            SetInv::Add(x) | SetInv::Remove(x) | SetInv::Contains(x) => x.clone(),
+        };
+        if elem(a) != elem(b) {
+            return false;
+        }
+        let dep = |q: &(SetInv<T>, bool), p: &(SetInv<T>, bool)| -> bool {
+            match (&q.0, q.1, &p.0, p.1) {
+                // Mutating add invalidates: add→true, remove→false,
+                // contains→false.
+                (SetInv::Add(_), true, SetInv::Add(_), true) => true,
+                (SetInv::Remove(_), false, SetInv::Add(_), true) => true,
+                (SetInv::Contains(_), false, SetInv::Add(_), true) => true,
+                // Mutating remove invalidates: add→false, remove→true,
+                // contains→true.
+                (SetInv::Add(_), false, SetInv::Remove(_), true) => true,
+                (SetInv::Remove(_), true, SetInv::Remove(_), true) => true,
+                (SetInv::Contains(_), true, SetInv::Remove(_), true) => true,
+                _ => false,
+            }
+        };
+        dep(a, b) || dep(b, a)
+    }
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
+/// A set object with ergonomic methods.
+pub struct SetObject<T: Elem> {
+    obj: Arc<TxObject<SetAdt<T>>>,
+}
+
+impl<T: Elem> SetObject<T> {
+    /// A set under the hybrid scheme.
+    pub fn hybrid(name: impl Into<String>) -> SetObject<T> {
+        Self::with(name, Arc::new(SetHybrid), RuntimeOptions::default())
+    }
+
+    /// A set under an arbitrary scheme and options.
+    pub fn with(
+        name: impl Into<String>,
+        locks: Arc<dyn LockSpec<SetAdt<T>>>,
+        opts: RuntimeOptions,
+    ) -> SetObject<T> {
+        SetObject { obj: TxObject::new(name, SetAdt::default(), locks, opts) }
+    }
+
+    /// The underlying runtime object.
+    pub fn inner(&self) -> &Arc<TxObject<SetAdt<T>>> {
+        &self.obj
+    }
+
+    /// Insert; `Ok(true)` iff the element was new.
+    pub fn add(&self, txn: &Arc<TxnHandle>, x: T) -> Result<bool, ExecError> {
+        self.obj.execute(txn, SetInv::Add(x))
+    }
+
+    /// Delete; `Ok(true)` iff the element was present.
+    pub fn remove(&self, txn: &Arc<TxnHandle>, x: T) -> Result<bool, ExecError> {
+        self.obj.execute(txn, SetInv::Remove(x))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, txn: &Arc<TxnHandle>, x: T) -> Result<bool, ExecError> {
+        self.obj.execute(txn, SetInv::Contains(x))
+    }
+
+    /// Committed cardinality (diagnostics).
+    pub fn committed_len(&self) -> usize {
+        self.obj.committed_snapshot().len()
+    }
+}
+
+/// Map a runtime operation onto the dynamic specification operation.
+pub fn to_spec_op<T: Elem + Into<Value>>(inv: &SetInv<T>, res: &bool) -> Operation {
+    match inv {
+        SetInv::Add(x) => Operation::new(SetSpec::add(x.clone()), *res),
+        SetInv::Remove(x) => Operation::new(SetSpec::remove(x.clone()), *res),
+        SetInv::Contains(x) => Operation::new(SetSpec::contains(x.clone()), *res),
+    }
+}
+
+/// The dynamic serial specification matching [`SetAdt`].
+pub fn spec() -> SharedAdt {
+    Arc::new(SetSpec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_core::runtime::TxParticipant;
+    use hcc_spec::TxnId;
+    use std::time::Duration;
+
+    fn h(n: u64) -> Arc<TxnHandle> {
+        TxnHandle::new(TxnId(n))
+    }
+    fn short<T: Elem>() -> SetObject<T> {
+        SetObject::with(
+            "s",
+            Arc::new(SetHybrid),
+            RuntimeOptions::with_timeout(Some(Duration::from_millis(30))),
+        )
+    }
+
+    #[test]
+    fn operations_on_distinct_elements_never_conflict() {
+        let s: SetObject<i64> = SetObject::hybrid("s");
+        let (t1, t2, t3) = (h(1), h(2), h(3));
+        assert!(s.add(&t1, 1).unwrap());
+        assert!(s.add(&t2, 2).unwrap());
+        assert!(!s.remove(&t3, 3).unwrap());
+        assert_eq!(s.inner().stats().conflicts, 0);
+    }
+
+    #[test]
+    fn concurrent_adds_of_same_element_conflict() {
+        let s: SetObject<i64> = short();
+        let (t1, t2) = (h(1), h(2));
+        assert!(s.add(&t1, 5).unwrap());
+        assert_eq!(s.add(&t2, 5), Err(ExecError::Timeout));
+    }
+
+    #[test]
+    fn contains_false_conflicts_with_pending_add() {
+        let s: SetObject<i64> = short();
+        let (t1, t2) = (h(1), h(2));
+        assert!(s.add(&t1, 5).unwrap());
+        // t2's contains(5) would answer false (t1 uncommitted) but that
+        // answer is invalidated by t1's add.
+        assert_eq!(s.contains(&t2, 5), Err(ExecError::Timeout));
+    }
+
+    #[test]
+    fn contains_true_coexists_with_pending_add_dup() {
+        let s: SetObject<i64> = SetObject::hybrid("s");
+        let t0 = h(1);
+        assert!(s.add(&t0, 5).unwrap());
+        s.inner().commit_at(t0.id(), 1);
+        let (t1, t2) = (h(2), h(3));
+        assert!(!s.add(&t1, 5).unwrap(), "duplicate add is a no-op");
+        assert!(s.contains(&t2, 5).unwrap(), "no conflict with a no-op add");
+    }
+
+    #[test]
+    fn remove_conflicts_with_contains_true() {
+        let s: SetObject<i64> = short();
+        let t0 = h(1);
+        assert!(s.add(&t0, 5).unwrap());
+        s.inner().commit_at(t0.id(), 1);
+        let (t1, t2) = (h(2), h(3));
+        assert!(s.remove(&t1, 5).unwrap());
+        assert_eq!(s.contains(&t2, 5), Err(ExecError::Timeout));
+    }
+
+    #[test]
+    fn own_ops_fold_correctly() {
+        let s: SetObject<i64> = SetObject::hybrid("s");
+        let t1 = h(1);
+        assert!(s.add(&t1, 1).unwrap());
+        assert!(s.remove(&t1, 1).unwrap());
+        assert!(!s.contains(&t1, 1).unwrap());
+        assert!(s.add(&t1, 1).unwrap());
+        s.inner().commit_at(t1.id(), 1);
+        assert_eq!(s.committed_len(), 1);
+    }
+
+    #[test]
+    fn abort_rolls_back_membership() {
+        let s: SetObject<i64> = SetObject::hybrid("s");
+        let t1 = h(1);
+        assert!(s.add(&t1, 9).unwrap());
+        s.inner().abort_txn(t1.id());
+        let t2 = h(2);
+        assert!(!s.contains(&t2, 9).unwrap());
+    }
+}

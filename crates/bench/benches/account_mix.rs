@@ -1,0 +1,31 @@
+//! E8: account operation mixes per scheme and overdraft rate.
+//!
+//! Table V admits Credit∥Post, Credit∥Debit-Ok and Post∥Debit-Ok, all of
+//! which Table VI (commutativity) refuses; RW-2PL serializes everything.
+//! Overdraft attempts are the expensive case under hybrid locking, so the
+//! hybrid advantage shrinks as the overdraft rate grows — that crossover
+//! is the paper's "significant cost if attempted overdrafts were
+//! infrequent" remark, inverted.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcc_workload::bank::{account_mix, Mix};
+use hcc_workload::Scheme;
+use std::time::Duration;
+
+fn bench_account(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E8_account_mix");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    for od in [0u32, 50] {
+        for scheme in Scheme::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(scheme.name(), format!("od{od}")),
+                &od,
+                |b, &od| b.iter(|| account_mix(scheme, 4, 20, 4, Mix::with_overdraft(od))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_account);
+criterion_main!(benches);

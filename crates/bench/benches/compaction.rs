@@ -1,0 +1,61 @@
+//! E11: Section-6 compaction — cost of views with and without horizon
+//! folding, and the end-to-end committed stream probe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hcc_core::machine::LockMachine;
+use hcc_core::FnConflict;
+use hcc_spec::specs::QueueSpec;
+use hcc_spec::{ObjectId, Timestamp, TxnId};
+use hcc_workload::compaction::account_stream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Build a formal queue machine with `n` committed single-enqueue
+/// transactions, optionally auto-compacting.
+fn committed_stream(n: u64, compact: bool) -> LockMachine {
+    let conflict = FnConflict::new("queue-hybrid", |q, p| match (q.inv.op, p.inv.op) {
+        ("deq", "enq") => q.res != p.inv.args[0],
+        ("deq", "deq") => q.res == p.res,
+        _ => false,
+    });
+    let mut m = LockMachine::new(ObjectId(0), Arc::new(QueueSpec), Arc::new(conflict));
+    m.set_auto_compact(compact);
+    for i in 1..=n {
+        m.execute(TxnId(i), QueueSpec::enq(i as i64)).unwrap();
+        m.commit(TxnId(i), Timestamp(i)).unwrap();
+    }
+    m
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E11_compaction");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+
+    // View assembly cost after 200 committed transactions: the compacted
+    // machine answers from the folded version, the uncompacted one replays
+    // every intentions list.
+    g.bench_function("view_with_compaction", |b| {
+        let mut m = committed_stream(200, true);
+        let mut i = 1000u64;
+        b.iter(|| {
+            i += 1;
+            m.execute(TxnId(i), QueueSpec::deq()).unwrap();
+            m.abort(TxnId(i)).unwrap();
+        })
+    });
+    g.bench_function("view_without_compaction", |b| {
+        let mut m = committed_stream(200, false);
+        let mut i = 1000u64;
+        b.iter(|| {
+            i += 1;
+            m.execute(TxnId(i), QueueSpec::deq()).unwrap();
+            m.abort(TxnId(i)).unwrap();
+        })
+    });
+    // End-to-end probe on the production runtime.
+    g.bench_function("account_stream_200", |b| b.iter(|| account_stream(200)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_compaction);
+criterion_main!(benches);

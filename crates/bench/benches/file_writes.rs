@@ -1,0 +1,28 @@
+//! E9: blind-write register workloads — the generalized Thomas Write Rule.
+//!
+//! Under hybrid locking (Table I) writes never conflict, so a pure-write
+//! workload scales freely; commutativity conflicts on distinct-value
+//! writes; RW-2PL serializes writers and excludes readers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcc_workload::register::register_workload;
+use hcc_workload::Scheme;
+use std::time::Duration;
+
+fn bench_file(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E9_register_writes");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    for write_pct in [100u32, 50] {
+        for scheme in Scheme::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(scheme.name(), format!("w{write_pct}")),
+                &write_pct,
+                |b, &wr| b.iter(|| register_workload(scheme, 4, 50, wr)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_file);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation: per-operation cost of the runtime under each scheme, without
+//! contention (single transaction stream). Measures the pure overhead of
+//! the response-aware conflict checks and intent bookkeeping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcc_spec::Rational;
+use hcc_txn::TxnManager;
+use hcc_workload::queue::bench_options;
+use hcc_workload::scheme::{make_account, make_queue};
+use hcc_workload::Scheme;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_overhead");
+    g.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    for scheme in Scheme::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("account_txn", scheme.name()),
+            &scheme,
+            |b, &scheme| {
+                let mgr = TxnManager::new();
+                let acct = Arc::new(make_account(scheme, "a", bench_options(&mgr)));
+                // Seed funds.
+                let t0 = mgr.begin();
+                acct.credit(&t0, Rational::from_int(1_000_000)).unwrap();
+                mgr.commit(t0).unwrap();
+                b.iter(|| {
+                    let t = mgr.begin();
+                    acct.credit(&t, Rational::from_int(5)).unwrap();
+                    acct.debit(&t, Rational::from_int(3)).unwrap();
+                    mgr.commit(t).unwrap();
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("queue_txn", scheme.name()),
+            &scheme,
+            |b, &scheme| {
+                let mgr = TxnManager::new();
+                let q = Arc::new(make_queue(scheme, "q", bench_options(&mgr)));
+                let mut i = 0i64;
+                b.iter(|| {
+                    i += 1;
+                    let t = mgr.begin();
+                    q.enq(&t, i).unwrap();
+                    mgr.commit(t.clone()).unwrap();
+                    let t2 = mgr.begin();
+                    q.deq(&t2).unwrap();
+                    mgr.commit(t2).unwrap();
+                });
+                // Keep the queue from growing without bound between
+                // iterations (paranoia; enq/deq pairs already balance).
+                let t = mgr.begin();
+                let _ = q.inner();
+                mgr.abort(t);
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E7: concurrent enqueues on one FIFO queue, per scheme.
+//!
+//! The paper's headline: hybrid locking admits concurrent enqueues
+//! (Table II has no Enq/Enq conflicts), commutativity (Table III) and
+//! RW-2PL serialize them. Expect hybrid ≥ commutativity ≥ rw-2pl
+//! committed-transaction throughput, with the gap growing with threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcc_workload::queue::enqueue_only;
+use hcc_workload::Scheme;
+use std::time::Duration;
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E7_queue_enqueue");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    for threads in [2usize, 4] {
+        for scheme in Scheme::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(scheme.name(), threads),
+                &threads,
+                |b, &threads| b.iter(|| enqueue_only(scheme, threads, 20, 4)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E10: producer/consumer over a FIFO queue vs a Semiqueue (both hybrid).
+//!
+//! Nondeterminism buys concurrency: Semiqueue removers take different
+//! items instead of conflicting (Table IV), while FIFO dequeuers of the
+//! same head conflict (Table II), so the semiqueue pipeline scales better
+//! with consumers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcc_workload::queue::{producer_consumer, semiqueue_producer_consumer};
+use hcc_workload::Scheme;
+use std::time::Duration;
+
+fn bench_semiqueue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E10_semiqueue_vs_queue");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    for consumers in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("fifo-queue", consumers),
+            &consumers,
+            |b, &c| b.iter(|| producer_consumer(Scheme::Hybrid, 2, c, 25)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("semiqueue", consumers),
+            &consumers,
+            |b, &c| b.iter(|| semiqueue_producer_consumer(Scheme::Hybrid, 2, c, 25)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_semiqueue);
+criterion_main!(benches);

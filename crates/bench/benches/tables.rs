@@ -1,0 +1,32 @@
+//! T1–T6: regenerate each paper table from the serial specification
+//! (benchmarked: the cost of the bounded derivation itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hcc_bench::derive_table_iii;
+use hcc_relations::tables::AdtConfig;
+use std::time::Duration;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_tables");
+    g.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+    g.bench_function("T1_file_invalidated_by", |b| {
+        b.iter(|| AdtConfig::file().derive_invalidated_by("T1"))
+    });
+    g.bench_function("T2_queue_invalidated_by", |b| {
+        b.iter(|| AdtConfig::queue().derive_invalidated_by("T2"))
+    });
+    g.bench_function("T3_queue_minimal_relations", |b| b.iter(derive_table_iii));
+    g.bench_function("T4_semiqueue_invalidated_by", |b| {
+        b.iter(|| AdtConfig::semiqueue().derive_invalidated_by("T4"))
+    });
+    g.bench_function("T5_account_invalidated_by", |b| {
+        b.iter(|| AdtConfig::account().derive_invalidated_by("T5"))
+    });
+    g.bench_function("T6_account_failure_to_commute", |b| {
+        b.iter(|| AdtConfig::account().derive_failure_to_commute("T6"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

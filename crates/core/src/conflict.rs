@@ -1,0 +1,224 @@
+//! Conflict relations for the formal LOCK machine.
+//!
+//! The machine only assumes the conflict relation is *symmetric*
+//! (Section 5.1); correctness additionally requires it to be a dependency
+//! relation (Theorems 11/16/17). The implementations here are values, so
+//! the machine can be instantiated with the derived hybrid relation, the
+//! failure-to-commute relation, a read/write classification, or a
+//! deliberately-wrong relation (for the Theorem-17 counterexample tests).
+
+use hcc_relations::relation::{key_value, pair_cond, Atom, OpClass};
+use hcc_spec::Operation;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A symmetric lock-conflict relation over operations.
+pub trait ConflictRelation: Send + Sync {
+    /// Do operations `a` and `b` conflict (may not be held concurrently by
+    /// distinct active transactions)?
+    fn conflicts(&self, a: &Operation, b: &Operation) -> bool;
+
+    /// A short scheme name for diagnostics and experiment output.
+    fn name(&self) -> &str {
+        "conflict"
+    }
+}
+
+/// A conflict relation given by a closure. The closure must be symmetric;
+/// [`FnConflict::new`] enforces symmetry by evaluating both argument
+/// orders.
+pub struct FnConflict {
+    name: &'static str,
+    f: Box<dyn Fn(&Operation, &Operation) -> bool + Send + Sync>,
+}
+
+impl FnConflict {
+    /// Wrap `f`, symmetrizing it (`a` conflicts `b` iff `f(a,b) ∨ f(b,a)`).
+    pub fn new(
+        name: &'static str,
+        f: impl Fn(&Operation, &Operation) -> bool + Send + Sync + 'static,
+    ) -> FnConflict {
+        FnConflict { name, f: Box::new(f) }
+    }
+}
+
+impl ConflictRelation for FnConflict {
+    fn conflicts(&self, a: &Operation, b: &Operation) -> bool {
+        (self.f)(a, b) || (self.f)(b, a)
+    }
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// A conflict relation lifted from a *derived* class-level relation: the
+/// symmetric closure of a set of [`Atom`]s (class pairs under key
+/// conditions), as produced by `hcc-relations`.
+///
+/// Because atoms speak about operation classes and key (in)equality rather
+/// than concrete instances, the lifted relation applies to the full value
+/// domain, not just the small domain used during derivation.
+pub struct DerivedConflict {
+    name: String,
+    classify: fn(&Operation) -> OpClass,
+    atoms: BTreeSet<Atom>,
+}
+
+impl DerivedConflict {
+    /// Lift `atoms` (a dependency relation) into a conflict relation via
+    /// symmetric closure.
+    pub fn new(
+        name: impl Into<String>,
+        classify: fn(&Operation) -> OpClass,
+        atoms: BTreeSet<Atom>,
+    ) -> DerivedConflict {
+        DerivedConflict { name: name.into(), classify, atoms }
+    }
+
+    fn related(&self, q: &Operation, p: &Operation) -> bool {
+        let atom = Atom {
+            row: (self.classify)(q),
+            col: (self.classify)(p),
+            cond: pair_cond(q, p),
+        };
+        self.atoms.contains(&atom)
+    }
+}
+
+impl ConflictRelation for DerivedConflict {
+    fn conflicts(&self, a: &Operation, b: &Operation) -> bool {
+        self.related(a, b) || self.related(b, a)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// An untyped strict read/write conflict relation: every operation is
+/// classified as a read or a write; writes conflict with everything.
+///
+/// This is the classical two-phase locking baseline the paper's typed
+/// schemes improve upon.
+pub struct ReadWriteConflict {
+    is_read: fn(&Operation) -> bool,
+}
+
+impl ReadWriteConflict {
+    /// Classify operations with `is_read`; everything else is a write.
+    pub fn new(is_read: fn(&Operation) -> bool) -> ReadWriteConflict {
+        ReadWriteConflict { is_read }
+    }
+}
+
+impl ConflictRelation for ReadWriteConflict {
+    fn conflicts(&self, a: &Operation, b: &Operation) -> bool {
+        !((self.is_read)(a) && (self.is_read)(b))
+    }
+    fn name(&self) -> &str {
+        "rw-2pl"
+    }
+}
+
+/// Conflict relation that relates nothing — **not** a dependency relation
+/// for any interesting type; used to construct the Theorem-17
+/// counterexample.
+pub struct NoConflict;
+
+impl ConflictRelation for NoConflict {
+    fn conflicts(&self, _: &Operation, _: &Operation) -> bool {
+        false
+    }
+    fn name(&self) -> &str {
+        "none"
+    }
+}
+
+/// Shared handle to a conflict relation.
+pub type SharedConflict = Arc<dyn ConflictRelation>;
+
+/// Check symmetry of a conflict relation over a finite alphabet (used by
+/// tests; the machine requires symmetry).
+pub fn is_symmetric_over(rel: &dyn ConflictRelation, alphabet: &[Operation]) -> bool {
+    alphabet.iter().all(|a| {
+        alphabet.iter().all(|b| rel.conflicts(a, b) == rel.conflicts(b, a))
+    })
+}
+
+/// Helper re-export: the key value used by condition-based atoms.
+pub fn op_key(op: &Operation) -> Option<hcc_spec::Value> {
+    key_value(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_relations::relation::Cond;
+    use hcc_spec::specs::QueueSpec;
+    use hcc_spec::Value;
+
+    fn enq(v: i64) -> Operation {
+        Operation::new(QueueSpec::enq(v), Value::Unit)
+    }
+    fn deq(v: i64) -> Operation {
+        Operation::new(QueueSpec::deq(), v)
+    }
+
+    fn classify(op: &Operation) -> OpClass {
+        OpClass::new(if op.inv.op == "enq" { "Enq" } else { "Deq" })
+    }
+
+    /// The Table-II conflict relation (symmetric closure of the queue's
+    /// invalidated-by relation).
+    fn table_ii() -> DerivedConflict {
+        let atoms: BTreeSet<Atom> = [
+            Atom { row: OpClass::new("Deq"), col: OpClass::new("Enq"), cond: Cond::KeyNeq },
+            Atom { row: OpClass::new("Deq"), col: OpClass::new("Deq"), cond: Cond::KeyEq },
+        ]
+        .into();
+        DerivedConflict::new("queue-hybrid", classify, atoms)
+    }
+
+    #[test]
+    fn derived_conflict_is_symmetric_closure() {
+        let c = table_ii();
+        assert!(c.conflicts(&deq(1), &enq(2)));
+        assert!(c.conflicts(&enq(2), &deq(1)), "symmetric closure");
+        assert!(c.conflicts(&deq(1), &deq(1)));
+        assert!(!c.conflicts(&deq(1), &deq(2)));
+        assert!(!c.conflicts(&enq(1), &enq(2)), "concurrent enqueues allowed");
+        assert!(!c.conflicts(&deq(1), &enq(1)), "deq of own-valued enq allowed");
+    }
+
+    #[test]
+    fn derived_conflict_generalizes_beyond_derivation_domain() {
+        // Derived over {1, 2}; applies to values 400/700.
+        let c = table_ii();
+        assert!(c.conflicts(&deq(400), &enq(700)));
+        assert!(!c.conflicts(&enq(400), &enq(700)));
+    }
+
+    #[test]
+    fn fn_conflict_symmetrizes() {
+        let c = FnConflict::new("asym", |a, b| a.inv.op == "deq" && b.inv.op == "enq");
+        assert!(c.conflicts(&deq(1), &enq(1)));
+        assert!(c.conflicts(&enq(1), &deq(1)));
+        assert!(!c.conflicts(&enq(1), &enq(1)));
+    }
+
+    #[test]
+    fn rw_conflict_serializes_writers() {
+        let c = ReadWriteConflict::new(|op| op.inv.op == "read");
+        assert!(c.conflicts(&enq(1), &enq(2)));
+        assert!(!c.conflicts(
+            &Operation::new(hcc_spec::Inv::nullary("read"), 1),
+            &Operation::new(hcc_spec::Inv::nullary("read"), 2)
+        ));
+    }
+
+    #[test]
+    fn symmetry_checker() {
+        let alpha = QueueSpec::alphabet(&[Value::Int(1), Value::Int(2)]);
+        assert!(is_symmetric_over(&table_ii(), &alpha));
+        assert!(is_symmetric_over(&NoConflict, &alpha));
+    }
+}

@@ -1,0 +1,63 @@
+//! Traits connecting typed data types and concurrency-control schemes to
+//! the generic object runtime.
+
+/// A production implementation of a data type: a compact committed version
+/// plus per-transaction intent summaries.
+///
+/// This is the appendix's pattern: an `Account`'s version is a balance, and
+/// a transaction's intent is the affine transformation `b ↦ mul·b + add`
+/// summarizing its credits, posts and debits. A FIFO queue's version is a
+/// deque and an intent is the transaction's operation list.
+pub trait RuntimeAdt: Send + Sync + 'static {
+    /// The compacted committed state (the appendix's `bal`, a queue's
+    /// deque, ...).
+    type Version: Clone + Send + Sync;
+    /// A transaction's intention summary; `Default` is the empty intent.
+    type Intent: Clone + Default + Send + Sync;
+    /// Invocations (typed, unlike the formal layer's dynamic `Inv`).
+    type Inv: Clone + Send + Sync + std::fmt::Debug;
+    /// Responses.
+    type Res: Clone + PartialEq + Send + Sync + std::fmt::Debug;
+
+    /// The initial version.
+    fn initial(&self) -> Self::Version;
+
+    /// Evaluate `inv` against the transaction's *view*: the compacted
+    /// version, the committed-but-unforgotten intents in timestamp order,
+    /// and the transaction's own intent.
+    ///
+    /// Returns the specification's candidate `(response, updated-intent)`
+    /// pairs in preference order — several for nondeterministic operations
+    /// (the runtime grants the first whose lock is available), empty when
+    /// the operation is not defined in this view (partial operations
+    /// block).
+    fn candidates(
+        &self,
+        version: &Self::Version,
+        committed: &[&Self::Intent],
+        own: &Self::Intent,
+        inv: &Self::Inv,
+    ) -> Vec<(Self::Res, Self::Intent)>;
+
+    /// Fold a committed intent into the version (the appendix's
+    /// `bal = i.mul * bal + i.add` inside `forget()`).
+    fn apply(&self, version: &mut Self::Version, intent: &Self::Intent);
+
+    /// The type's name for diagnostics.
+    fn type_name(&self) -> &'static str;
+}
+
+/// A lock-conflict test over executed operations `(invocation, response)`.
+///
+/// The same [`RuntimeAdt`] can run under different schemes: the hybrid
+/// dependency-based relation (this paper), Weihl's commutativity-based
+/// relation, or classical read/write locking — only this trait changes.
+pub trait LockSpec<A: RuntimeAdt + ?Sized>: Send + Sync {
+    /// Do two executed operations of *different* active transactions
+    /// conflict? Must be symmetric.
+    fn conflicts(&self, a: &(A::Inv, A::Res), b: &(A::Inv, A::Res)) -> bool;
+
+    /// Scheme name (`"hybrid"`, `"commutativity"`, `"rw-2pl"`) for
+    /// experiment output.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,28 @@
+//! The Avalon-style threaded object runtime (paper appendix, generalized).
+//!
+//! The appendix implements `Account` with four data structures — a lock
+//! table, an intent table, a bound table and a heap of committed-but-
+//! unforgotten transactions — plus a `when` guarded-command that blocks the
+//! caller until its lock request is grantable. [`TxObject`] packages those
+//! pieces generically:
+//!
+//! * a typed data type plugs in through [`RuntimeAdt`] (compact version +
+//!   per-transaction intent summaries + candidate evaluation);
+//! * a concurrency-control scheme plugs in through [`LockSpec`] (hybrid,
+//!   commutativity-based, or read/write conflict tests over executed
+//!   operations);
+//! * transactions are driven through shared [`TxnHandle`]s, which track the
+//!   commit-timestamp lower bound (`s.bound`), the set of touched objects,
+//!   and a doom flag set by deadlock victims;
+//! * blocking follows [`BlockPolicy`], with optional [`WaitObserver`]
+//!   callbacks feeding a waits-for-graph deadlock detector (`hcc-txn`).
+
+mod adt;
+mod handle;
+mod object;
+mod options;
+
+pub use adt::{LockSpec, RuntimeAdt};
+pub use handle::{TxnHandle, TxnPhase};
+pub use object::{ExecError, ObjectStats, TryExecOutcome, TxObject, TxParticipant};
+pub use options::{BlockPolicy, NullObserver, RuntimeOptions, WaitObserver};

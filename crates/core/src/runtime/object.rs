@@ -1,0 +1,599 @@
+//! The generic hybrid-atomic object: versions, intents, implicit locks,
+//! `when`-style blocking, and horizon-based forgetting.
+
+use super::adt::{LockSpec, RuntimeAdt};
+use super::handle::{TxnHandle, TxnPhase};
+use super::options::RuntimeOptions;
+use hcc_spec::TxnId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a blocking execution gave up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The transaction was selected as a deadlock victim; the caller must
+    /// abort it.
+    Doomed,
+    /// The block policy's timeout elapsed.
+    Timeout,
+    /// The transaction is not active (already committed or aborted).
+    NotActive,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Outcome of a single non-blocking execution attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TryExecOutcome<R> {
+    /// Lock granted; operation executed with this response.
+    Executed(R),
+    /// Refused: conflicting operations held by these active transactions.
+    Conflict(Vec<TxnId>),
+    /// The operation is not defined in the current view (partial op).
+    Undefined,
+}
+
+/// Commit/abort interface used by the transaction manager for fan-out; a
+/// type-erased view of [`TxObject`].
+pub trait TxParticipant: Send + Sync {
+    /// The object's name.
+    fn object_name(&self) -> &str;
+    /// Phase-1 vote: can this transaction still commit here?
+    fn prepare(&self, txn: &TxnHandle) -> bool;
+    /// Phase 2: the transaction committed with timestamp `ts`.
+    fn commit_at(&self, txn: TxnId, ts: u64);
+    /// The transaction aborted; discard its intent and release its locks.
+    fn abort_txn(&self, txn: TxnId);
+}
+
+/// Aggregate contention statistics for one object.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ObjectStats {
+    /// Operations executed (locks granted).
+    pub executed: u64,
+    /// Lock requests refused at least once.
+    pub conflicts: u64,
+    /// Total condvar waits.
+    pub waits: u64,
+    /// Committed transactions folded into the version by `forget()`.
+    pub forgotten: u64,
+}
+
+struct TxnRec<A: RuntimeAdt> {
+    intent: A::Intent,
+    ops: Vec<(A::Inv, A::Res)>,
+}
+
+impl<A: RuntimeAdt> Default for TxnRec<A> {
+    fn default() -> Self {
+        TxnRec { intent: A::Intent::default(), ops: Vec::new() }
+    }
+}
+
+struct ObjState<A: RuntimeAdt> {
+    /// Compacted committed state (`s.version` / the appendix's `bal`).
+    version: A::Version,
+    /// Committed but unforgotten transactions, in timestamp order (the
+    /// appendix's `committed` id-heap plus `intentions`).
+    committed: BTreeMap<u64, TxnRec<A>>,
+    /// Active transactions' intents and executed operations (the intent
+    /// table; the lock table is implicit in `ops`).
+    active: HashMap<TxnId, TxnRec<A>>,
+    /// Latest observed commit timestamp (0 = none; real timestamps are
+    /// positive).
+    clock: u64,
+    /// Lower bounds for active transactions (the bound table).
+    bounds: HashMap<TxnId, u64>,
+}
+
+/// A thread-safe transactional object running one data type under one
+/// concurrency-control scheme.
+pub struct TxObject<A: RuntimeAdt> {
+    name: String,
+    adt: A,
+    locks: Arc<dyn LockSpec<A>>,
+    opts: RuntimeOptions,
+    inner: Mutex<ObjState<A>>,
+    cv: Condvar,
+    executed: AtomicU64,
+    conflicts: AtomicU64,
+    waits: AtomicU64,
+    forgotten: AtomicU64,
+}
+
+impl<A: RuntimeAdt> TxObject<A> {
+    /// Create an object with the given data type, lock scheme and options.
+    pub fn new(
+        name: impl Into<String>,
+        adt: A,
+        locks: Arc<dyn LockSpec<A>>,
+        opts: RuntimeOptions,
+    ) -> Arc<TxObject<A>> {
+        let version = adt.initial();
+        Arc::new(TxObject {
+            name: name.into(),
+            adt,
+            locks,
+            opts,
+            inner: Mutex::new(ObjState {
+                version,
+                committed: BTreeMap::new(),
+                active: HashMap::new(),
+                clock: 0,
+                bounds: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+            executed: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+            forgotten: AtomicU64::new(0),
+        })
+    }
+
+    /// The object's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The lock scheme's name (for experiment output).
+    pub fn scheme(&self) -> &'static str {
+        self.locks.name()
+    }
+
+    /// One non-blocking execution attempt (the body of the appendix's
+    /// `when` condition plus its critical section).
+    pub fn try_execute(
+        self: &Arc<Self>,
+        txn: &Arc<TxnHandle>,
+        inv: &A::Inv,
+    ) -> Result<TryExecOutcome<A::Res>, ExecError> {
+        if txn.is_doomed() {
+            return Err(ExecError::Doomed);
+        }
+        if txn.phase() != TxnPhase::Active {
+            return Err(ExecError::NotActive);
+        }
+        let mut st = self.inner.lock();
+        let outcome = self.attempt(&mut st, txn.id(), inv);
+        if let TryExecOutcome::Executed(_) = outcome {
+            let clock = st.clock;
+            st.bounds.insert(txn.id(), clock);
+            txn.observe_clock(clock);
+            drop(st);
+            txn.register(self.clone() as Arc<dyn TxParticipant>);
+            self.executed.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(outcome)
+    }
+
+    /// Execute with blocking: retries on completion notifications until the
+    /// lock is granted, the policy times out, or the transaction is doomed.
+    pub fn execute(self: &Arc<Self>, txn: &Arc<TxnHandle>, inv: A::Inv) -> Result<A::Res, ExecError> {
+        let start = Instant::now();
+        let mut blocked = false;
+        loop {
+            match self.try_execute(txn, &inv)? {
+                TryExecOutcome::Executed(res) => {
+                    if blocked {
+                        self.opts.observer.on_unblock(txn.id());
+                    }
+                    return Ok(res);
+                }
+                TryExecOutcome::Conflict(holders) => {
+                    self.conflicts.fetch_add(1, Ordering::Relaxed);
+                    self.opts.observer.on_block(txn.id(), &holders);
+                    blocked = true;
+                }
+                TryExecOutcome::Undefined => {
+                    // Partial operation: wait for the state to change.
+                    self.opts.observer.on_block(txn.id(), &[]);
+                    blocked = true;
+                }
+            }
+            // Wait for a completion notification (bounded slice so doomed
+            // victims and timeouts are noticed promptly).
+            if let Some(t) = self.opts.block.timeout {
+                if start.elapsed() >= t {
+                    self.opts.observer.on_unblock(txn.id());
+                    return Err(ExecError::Timeout);
+                }
+            }
+            self.waits.fetch_add(1, Ordering::Relaxed);
+            let mut st = self.inner.lock();
+            self.cv.wait_for(&mut st, self.opts.block.wait_slice);
+            drop(st);
+            if txn.is_doomed() {
+                self.opts.observer.on_unblock(txn.id());
+                return Err(ExecError::Doomed);
+            }
+        }
+    }
+
+    fn attempt(
+        &self,
+        st: &mut ObjState<A>,
+        txn: TxnId,
+        inv: &A::Inv,
+    ) -> TryExecOutcome<A::Res> {
+        // Assemble the view: version + committed intents (ts order) + own.
+        let committed_refs: Vec<&A::Intent> =
+            st.committed.values().map(|r| &r.intent).collect();
+        let own = st.active.get(&txn).map(|r| r.intent.clone()).unwrap_or_default();
+        let candidates = self.adt.candidates(&st.version, &committed_refs, &own, inv);
+        drop(committed_refs);
+        if candidates.is_empty() {
+            return TryExecOutcome::Undefined;
+        }
+        let mut blockers: Vec<TxnId> = Vec::new();
+        for (res, intent) in candidates {
+            let op = (inv.clone(), res);
+            let mut holders: Vec<TxnId> = st
+                .active
+                .iter()
+                .filter(|(&p, rec)| {
+                    p != txn && rec.ops.iter().any(|q| self.locks.conflicts(q, &op))
+                })
+                .map(|(&p, _)| p)
+                .collect();
+            if holders.is_empty() {
+                let rec = st.active.entry(txn).or_default();
+                rec.intent = intent;
+                let res = op.1.clone();
+                rec.ops.push(op);
+                return TryExecOutcome::Executed(res);
+            }
+            blockers.append(&mut holders);
+        }
+        blockers.sort();
+        blockers.dedup();
+        TryExecOutcome::Conflict(blockers)
+    }
+
+    /// The horizon time (Definition 20) and folding of committed intents
+    /// (the appendix's `forget()`).
+    fn forget(&self, st: &mut ObjState<A>) {
+        let Some(&max_committed) = st.committed.keys().next_back() else { return };
+        let horizon = st.bounds.values().min().map_or(max_committed, |&b| b.min(max_committed));
+        let fold: Vec<u64> = st.committed.range(..horizon).map(|(&ts, _)| ts).collect();
+        for ts in fold {
+            let rec = st.committed.remove(&ts).unwrap();
+            self.adt.apply(&mut st.version, &rec.intent);
+            self.forgotten.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of committed-but-unforgotten transactions (Section-6
+    /// experiments).
+    pub fn retained_committed(&self) -> usize {
+        self.inner.lock().committed.len()
+    }
+
+    /// Number of active transactions holding locks here.
+    pub fn active_txns(&self) -> usize {
+        self.inner.lock().active.len()
+    }
+
+    /// A snapshot of the compacted version (testing).
+    pub fn version_snapshot(&self) -> A::Version {
+        self.inner.lock().version.clone()
+    }
+
+    /// A snapshot of the state a brand-new read-only observer would see:
+    /// version with all committed intents applied.
+    pub fn committed_snapshot(&self) -> A::Version {
+        let st = self.inner.lock();
+        let mut v = st.version.clone();
+        for rec in st.committed.values() {
+            self.adt.apply(&mut v, &rec.intent);
+        }
+        v
+    }
+
+    /// Contention statistics.
+    pub fn stats(&self) -> ObjectStats {
+        ObjectStats {
+            executed: self.executed.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            forgotten: self.forgotten.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<A: RuntimeAdt> TxParticipant for TxObject<A> {
+    fn object_name(&self) -> &str {
+        &self.name
+    }
+
+    fn prepare(&self, txn: &TxnHandle) -> bool {
+        !txn.is_doomed() && txn.phase() == TxnPhase::Active
+    }
+
+    fn commit_at(&self, txn: TxnId, ts: u64) {
+        let mut st = self.inner.lock();
+        st.clock = st.clock.max(ts);
+        if let Some(rec) = st.active.remove(&txn) {
+            st.committed.insert(ts, rec);
+        }
+        st.bounds.remove(&txn);
+        self.forget(&mut st);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn abort_txn(&self, txn: TxnId) {
+        let mut st = self.inner.lock();
+        st.active.remove(&txn);
+        st.bounds.remove(&txn);
+        self.forget(&mut st);
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// A register (File) runtime type for in-crate tests: version = value,
+    /// intent = Option<last written value>.
+    struct Register;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum RegInv {
+        Read,
+        Write(i64),
+    }
+
+    impl RuntimeAdt for Register {
+        type Version = i64;
+        type Intent = Option<i64>;
+        type Inv = RegInv;
+        type Res = i64;
+
+        fn initial(&self) -> i64 {
+            0
+        }
+
+        fn candidates(
+            &self,
+            version: &i64,
+            committed: &[&Option<i64>],
+            own: &Option<i64>,
+            inv: &RegInv,
+        ) -> Vec<(i64, Option<i64>)> {
+            match inv {
+                RegInv::Write(v) => vec![(0, Some(*v))],
+                RegInv::Read => {
+                    let mut cur = *version;
+                    for i in committed {
+                        if let Some(v) = i {
+                            cur = *v;
+                        }
+                    }
+                    if let Some(v) = own {
+                        cur = *v;
+                    }
+                    vec![(cur, *own)]
+                }
+            }
+        }
+
+        fn apply(&self, version: &mut i64, intent: &Option<i64>) {
+            if let Some(v) = intent {
+                *version = *v;
+            }
+        }
+
+        fn type_name(&self) -> &'static str {
+            "Register"
+        }
+    }
+
+    /// Table-I conflicts: a read conflicts with a write of a different
+    /// value (generalized Thomas Write Rule: writes never conflict).
+    struct RegisterHybrid;
+
+    impl LockSpec<Register> for RegisterHybrid {
+        fn conflicts(&self, a: &(RegInv, i64), b: &(RegInv, i64)) -> bool {
+            match (&a.0, &b.0) {
+                (RegInv::Read, RegInv::Write(w)) => a.1 != *w,
+                (RegInv::Write(w), RegInv::Read) => b.1 != *w,
+                _ => false,
+            }
+        }
+        fn name(&self) -> &'static str {
+            "hybrid"
+        }
+    }
+
+    fn obj() -> Arc<TxObject<Register>> {
+        TxObject::new("reg", Register, Arc::new(RegisterHybrid), RuntimeOptions::default())
+    }
+
+    fn h(n: u64) -> Arc<TxnHandle> {
+        TxnHandle::new(TxnId(n))
+    }
+
+    #[test]
+    fn blind_writes_run_concurrently_thomas_write_rule() {
+        let o = obj();
+        let (t1, t2) = (h(1), h(2));
+        o.execute(&t1, RegInv::Write(10)).unwrap();
+        o.execute(&t2, RegInv::Write(20)).unwrap(); // no conflict!
+        // t2 commits later => later value wins regardless of execution
+        // order.
+        o.commit_at(t1.id(), 5);
+        o.commit_at(t2.id(), 3);
+        assert_eq!(o.committed_snapshot(), 10, "ts 5 overwrote ts 3");
+    }
+
+    #[test]
+    fn read_blocks_on_concurrent_conflicting_write() {
+        let o = TxObject::new(
+            "reg",
+            Register,
+            Arc::new(RegisterHybrid),
+            RuntimeOptions::with_timeout(Some(Duration::from_millis(30))),
+        );
+        let (t1, t2) = (h(1), h(2));
+        o.execute(&t1, RegInv::Write(10)).unwrap();
+        // Reader sees committed state 0; conflicts with t1's write(10).
+        assert_eq!(o.execute(&t2, RegInv::Read), Err(ExecError::Timeout));
+    }
+
+    #[test]
+    fn read_does_not_conflict_with_same_valued_write() {
+        let o = obj();
+        let (t1, t2) = (h(1), h(2));
+        o.execute(&t1, RegInv::Write(0)).unwrap(); // writes the initial value
+        assert_eq!(o.execute(&t2, RegInv::Read).unwrap(), 0);
+    }
+
+    #[test]
+    fn own_writes_are_visible() {
+        let o = obj();
+        let t1 = h(1);
+        o.execute(&t1, RegInv::Write(42)).unwrap();
+        assert_eq!(o.execute(&t1, RegInv::Read).unwrap(), 42);
+    }
+
+    #[test]
+    fn abort_discards_intent_and_unblocks() {
+        let o = obj();
+        let (t1, t2) = (h(1), h(2));
+        o.execute(&t1, RegInv::Write(10)).unwrap();
+        let o2 = o.clone();
+        let t2c = t2.clone();
+        let j = std::thread::spawn(move || o2.execute(&t2c, RegInv::Read).unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        o.abort_txn(t1.id());
+        assert_eq!(j.join().unwrap(), 0, "reader sees pre-abort state");
+        assert_eq!(o.active_txns(), 1);
+    }
+
+    #[test]
+    fn blocked_writer_wakes_on_commit() {
+        let o = obj();
+        let (t1, t2) = (h(1), h(2));
+        assert_eq!(o.execute(&t1, RegInv::Read).unwrap(), 0);
+        // A write of a different value conflicts with the read lock.
+        let o2 = o.clone();
+        let t2c = t2.clone();
+        let j = std::thread::spawn(move || o2.execute(&t2c, RegInv::Write(7)).unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        o.commit_at(t1.id(), 1);
+        j.join().unwrap();
+        o.commit_at(t2.id(), 2);
+        assert_eq!(o.committed_snapshot(), 7);
+    }
+
+    #[test]
+    fn doomed_transaction_errors_out() {
+        let o = obj();
+        let (t1, t2) = (h(1), h(2));
+        o.execute(&t1, RegInv::Write(10)).unwrap();
+        let o2 = o.clone();
+        let t2c = t2.clone();
+        let j = std::thread::spawn(move || o2.execute(&t2c, RegInv::Read));
+        std::thread::sleep(Duration::from_millis(10));
+        t2.doom();
+        assert_eq!(j.join().unwrap(), Err(ExecError::Doomed));
+    }
+
+    #[test]
+    fn forget_folds_committed_intents() {
+        let o = obj();
+        for i in 1..=5u64 {
+            let t = h(i);
+            o.execute(&t, RegInv::Write(i as i64)).unwrap();
+            o.commit_at(t.id(), i);
+        }
+        // No active txns: horizon = max committed (5); ts 1..4 folded.
+        assert_eq!(o.retained_committed(), 1);
+        assert_eq!(o.stats().forgotten, 4);
+        assert_eq!(o.committed_snapshot(), 5);
+    }
+
+    #[test]
+    fn active_bound_pins_the_horizon() {
+        let o = obj();
+        let t1 = h(1);
+        o.execute(&t1, RegInv::Write(1)).unwrap();
+        o.commit_at(t1.id(), 1);
+        // t2 executes now: bound = 1.
+        let t2 = h(2);
+        o.execute(&t2, RegInv::Write(2)).unwrap();
+        for i in 3..=6u64 {
+            let t = h(i);
+            o.execute(&t, RegInv::Write(i as i64)).unwrap();
+            o.commit_at(t.id(), i);
+        }
+        // Horizon = min(bound(t2)=1, max=6) = 1: nothing foldable except
+        // timestamps < 1.
+        assert_eq!(o.retained_committed(), 5);
+        o.commit_at(t2.id(), 7);
+        // Now everything below 7 folds.
+        assert_eq!(o.retained_committed(), 1);
+    }
+
+    #[test]
+    fn participant_interface() {
+        let o = obj();
+        let t1 = h(1);
+        assert!(o.prepare(&t1));
+        t1.doom();
+        assert!(!o.prepare(&t1));
+        let t2 = h(2);
+        t2.set_phase(TxnPhase::Aborted);
+        assert!(!o.prepare(&t2));
+        assert_eq!(o.object_name(), "reg");
+    }
+
+    #[test]
+    fn stats_count_conflicts() {
+        let o = TxObject::new(
+            "reg",
+            Register,
+            Arc::new(RegisterHybrid),
+            RuntimeOptions::with_timeout(Some(Duration::from_millis(20))),
+        );
+        let (t1, t2) = (h(1), h(2));
+        o.execute(&t1, RegInv::Write(10)).unwrap();
+        let _ = o.execute(&t2, RegInv::Read);
+        let s = o.stats();
+        assert_eq!(s.executed, 1);
+        assert!(s.conflicts >= 1);
+        assert!(s.waits >= 1);
+    }
+
+    #[test]
+    fn try_execute_reports_holders() {
+        let o = obj();
+        let (t1, t2) = (h(1), h(2));
+        o.execute(&t1, RegInv::Write(10)).unwrap();
+        match o.try_execute(&t2, &RegInv::Read).unwrap() {
+            TryExecOutcome::Conflict(holders) => assert_eq!(holders, vec![TxnId(1)]),
+            other => panic!("expected conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let o = obj();
+        let t1 = h(1);
+        o.execute(&t1, RegInv::Write(1)).unwrap();
+        o.execute(&t1, RegInv::Write(2)).unwrap();
+        assert_eq!(t1.participants().len(), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Blocking policy and contention observation hooks.
+
+use hcc_spec::TxnId;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How an object blocks when a lock request is refused.
+///
+/// The appendix's `when` statement "releases the lock and the condition is
+/// retried after an arbitrary duration"; we retry on completion
+/// notifications, re-checking in slices so doomed deadlock victims wake
+/// promptly.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockPolicy {
+    /// Upper bound on one condvar wait before re-checking the doom flag.
+    pub wait_slice: Duration,
+    /// Give up (and let the caller abort/retry the transaction) after this
+    /// long; `None` waits forever. A timeout is one of the paper's two
+    /// deadlock remedies.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for BlockPolicy {
+    fn default() -> Self {
+        BlockPolicy { wait_slice: Duration::from_millis(1), timeout: Some(Duration::from_secs(2)) }
+    }
+}
+
+/// Callbacks observing lock contention; the waits-for-graph deadlock
+/// detector in `hcc-txn` implements this.
+pub trait WaitObserver: Send + Sync {
+    /// `waiter` is about to block on operations held by `holders`.
+    fn on_block(&self, waiter: TxnId, holders: &[TxnId]);
+    /// `waiter` stopped waiting (granted, timed out, or doomed).
+    fn on_unblock(&self, waiter: TxnId);
+}
+
+/// An observer that ignores everything.
+pub struct NullObserver;
+
+impl WaitObserver for NullObserver {
+    fn on_block(&self, _: TxnId, _: &[TxnId]) {}
+    fn on_unblock(&self, _: TxnId) {}
+}
+
+/// Construction-time options for a [`super::TxObject`].
+#[derive(Clone)]
+pub struct RuntimeOptions {
+    /// Blocking behaviour.
+    pub block: BlockPolicy,
+    /// Contention observer (deadlock detection hook).
+    pub observer: Arc<dyn WaitObserver>,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions { block: BlockPolicy::default(), observer: Arc::new(NullObserver) }
+    }
+}
+
+impl RuntimeOptions {
+    /// Options with a custom observer.
+    pub fn with_observer(observer: Arc<dyn WaitObserver>) -> RuntimeOptions {
+        RuntimeOptions { block: BlockPolicy::default(), observer }
+    }
+
+    /// Options with a custom timeout.
+    pub fn with_timeout(timeout: Option<Duration>) -> RuntimeOptions {
+        RuntimeOptions {
+            block: BlockPolicy { timeout, ..BlockPolicy::default() },
+            observer: Arc::new(NullObserver),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = BlockPolicy::default();
+        assert!(p.wait_slice < Duration::from_millis(50));
+        assert!(p.timeout.unwrap() >= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn builders() {
+        let o = RuntimeOptions::with_timeout(None);
+        assert!(o.block.timeout.is_none());
+        let o = RuntimeOptions::with_observer(Arc::new(NullObserver));
+        o.observer.on_block(TxnId(1), &[TxnId(2)]);
+        o.observer.on_unblock(TxnId(1));
+    }
+}

@@ -1,0 +1,158 @@
+//! Forward commutativity and the *failure-to-commute* relation (Section 7,
+//! Definitions 25–26, Theorem 28).
+//!
+//! Two operations `p`, `q` **commute** if for all sequences `h` where `h·p`
+//! and `h·q` are both legal, `h·p·q` and `h·q·p` are legal and
+//! equieffective. *Failure to commute* is the complement over such pairs and
+//! is, by Theorem 28, a (generally non-minimal) dependency relation — this
+//! is why commutativity-based locking admits no more concurrency than the
+//! hybrid scheme.
+//!
+//! Equieffectiveness (Definition 25) is decided by comparing reachable
+//! state *sets*: continuations observe only the state, so equal frontiers
+//! cannot be distinguished by any future computation.
+
+use crate::enumerate::legal_sequences;
+use crate::invalidated_by::Bounds;
+use crate::relation::InstanceRelation;
+use hcc_spec::{Adt, Operation};
+
+/// Compute the bounded failure-to-commute relation: `(q, p)` (and
+/// symmetrically `(p, q)`) iff some legal `h` with `|h| ≤ max_h1 + max_h2`
+/// witnesses that `p` and `q` do not forward-commute.
+pub fn failure_to_commute(
+    adt: &dyn Adt,
+    alphabet: &[Operation],
+    bounds: Bounds,
+) -> InstanceRelation {
+    let mut rel = InstanceRelation::new();
+    let hs = legal_sequences(adt, alphabet, bounds.max_h1 + bounds.max_h2);
+    for h in &hs {
+        for (p, p_op) in alphabet.iter().enumerate() {
+            let fp = h.frontier.advance(adt, p_op);
+            if fp.is_empty() {
+                continue;
+            }
+            // Only q ≥ p: commutation is symmetric in (p, q).
+            for (q, q_op) in alphabet.iter().enumerate().skip(p) {
+                if rel.contains(q, p) {
+                    continue;
+                }
+                let fq = h.frontier.advance(adt, q_op);
+                if fq.is_empty() {
+                    continue;
+                }
+                let fpq = fp.advance(adt, q_op);
+                let fqp = fq.advance(adt, p_op);
+                // Both orders must be legal and equieffective.
+                if fpq.is_empty() || fqp.is_empty() || fpq != fqp {
+                    rel.insert(q, p);
+                    rel.insert(p, q);
+                }
+            }
+        }
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invalidated_by::invalidated_by;
+    use crate::violations::is_dependency_relation;
+    use hcc_spec::specs::{AccountSpec, FileSpec, QueueSpec, SemiqueueSpec};
+    use hcc_spec::Value;
+
+    fn dom() -> Vec<Value> {
+        vec![Value::Int(1), Value::Int(2)]
+    }
+
+    #[test]
+    fn queue_enqueues_do_not_commute() {
+        let alpha = QueueSpec::alphabet(&dom());
+        let r = failure_to_commute(&QueueSpec, &alpha, Bounds::default());
+        let (e1, d1, e2, d2) = (0, 1, 2, 3);
+        assert!(r.contains(e1, e2), "enq(1)/enq(2) do not commute");
+        assert!(!r.contains(e1, e1), "enq(1) commutes with itself");
+        assert!(r.contains(d1, d1), "deq→1 does not commute with itself");
+        assert!(!r.contains(d1, d2), "deq→1 and deq→2 commute forward");
+        assert!(!r.contains(d1, e1) && !r.contains(d1, e2), "deq commutes with enq forward");
+    }
+
+    #[test]
+    fn file_blind_writes_do_not_commute() {
+        // Unlike the dependency relation, commutativity forces distinct
+        // writes to conflict — hybrid is strictly weaker here.
+        let alpha = FileSpec::alphabet(&dom());
+        let f = FileSpec::default();
+        let r = failure_to_commute(&f, &alpha, Bounds::default());
+        let (w1, r1, w2, _r2) = (0, 1, 2, 3);
+        assert!(r.contains(w1, w2), "write(1)/write(2) do not commute");
+        assert!(!r.contains(w1, w1), "write(1) commutes with itself");
+        assert!(r.contains(r1, w2), "read→1 / write(2) do not commute");
+        assert!(!r.contains(r1, w1), "read→1 / write(1) commute");
+    }
+
+    #[test]
+    fn semiqueue_inserts_commute() {
+        let alpha = SemiqueueSpec::alphabet(&dom());
+        let r = failure_to_commute(&SemiqueueSpec, &alpha, Bounds::default());
+        let (i1, r1, i2, _r2) = (0, 1, 2, 3);
+        assert!(!r.contains(i1, i2), "ins(1)/ins(2) commute");
+        assert!(!r.contains(r1, i1) && !r.contains(r1, i2), "rem commutes with ins");
+        assert!(r.contains(r1, r1), "rem→1 does not commute with itself");
+    }
+
+    /// Theorem 28 (bounded): failure-to-commute is a dependency relation.
+    #[test]
+    fn failure_to_commute_is_a_dependency_relation() {
+        let b = Bounds::default();
+        let cases: Vec<(Box<dyn hcc_spec::Adt>, Vec<Operation>)> = vec![
+            (Box::new(FileSpec::default()), FileSpec::alphabet(&dom())),
+            (Box::new(QueueSpec), QueueSpec::alphabet(&dom())),
+            (Box::new(SemiqueueSpec), SemiqueueSpec::alphabet(&dom())),
+            (Box::new(AccountSpec), AccountSpec::alphabet(&[1, 2], &[5])),
+        ];
+        for (adt, alpha) in &cases {
+            let ftc = failure_to_commute(adt.as_ref(), alpha, b);
+            assert!(
+                is_dependency_relation(adt.as_ref(), alpha, &ftc, b),
+                "failure-to-commute must be a dependency relation for {}",
+                adt.type_name()
+            );
+        }
+    }
+
+    /// Section 7: hybrid conflicts are weaker than commutativity conflicts
+    /// for File and Account (the symmetric closure of invalidated-by is a
+    /// strict subset of failure-to-commute).
+    #[test]
+    fn hybrid_conflicts_are_strictly_weaker_for_file_and_account() {
+        let b = Bounds::default();
+        let cases: Vec<(Box<dyn hcc_spec::Adt>, Vec<Operation>)> = vec![
+            (Box::new(FileSpec::default()), FileSpec::alphabet(&dom())),
+            (Box::new(AccountSpec), AccountSpec::alphabet(&[1, 2], &[5])),
+        ];
+        for (adt, alpha) in &cases {
+            let hybrid = invalidated_by(adt.as_ref(), alpha, b).symmetric_closure();
+            let comm = failure_to_commute(adt.as_ref(), alpha, b);
+            assert!(
+                hybrid.is_subset(&comm),
+                "hybrid ⊆ commutativity for {}",
+                adt.type_name()
+            );
+            assert!(
+                hybrid.len() < comm.len(),
+                "hybrid ⊂ commutativity strictly for {}",
+                adt.type_name()
+            );
+        }
+    }
+
+    #[test]
+    fn failure_to_commute_is_symmetric() {
+        let alpha = AccountSpec::alphabet(&[1, 2], &[5]);
+        let r = failure_to_commute(&AccountSpec, &alpha, Bounds::default());
+        assert!(r.is_symmetric());
+    }
+}

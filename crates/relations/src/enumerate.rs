@@ -1,0 +1,95 @@
+//! Bounded enumeration of legal operation sequences.
+//!
+//! Derivation searches (Definitions 3, 8, 26) quantify over operation
+//! sequences; we enumerate them over a fixed finite alphabet of operation
+//! *instances* up to a length bound. Because serial specifications are
+//! prefix-closed, legal sequences form a tree that we can grow
+//! incrementally, carrying the specification [`Frontier`] to avoid
+//! re-simulating prefixes.
+
+use hcc_spec::{Adt, Frontier, Operation};
+
+/// A legal sequence (as alphabet indices) together with the specification
+/// frontier it leaves behind.
+#[derive(Clone, Debug)]
+pub struct LegalSeq {
+    /// Alphabet indices of the operations, in order.
+    pub ops: Vec<usize>,
+    /// Frontier after executing the sequence from the initial state.
+    pub frontier: Frontier,
+}
+
+/// Enumerate every legal sequence over `alphabet` of length `0..=max_len`,
+/// in breadth-first (shortlex) order. The empty sequence is always first.
+pub fn legal_sequences(adt: &dyn Adt, alphabet: &[Operation], max_len: usize) -> Vec<LegalSeq> {
+    let mut out = vec![LegalSeq { ops: Vec::new(), frontier: Frontier::initial(adt) }];
+    let mut level_start = 0;
+    for _ in 0..max_len {
+        let level_end = out.len();
+        for i in level_start..level_end {
+            for (j, op) in alphabet.iter().enumerate() {
+                let f = out[i].frontier.advance(adt, op);
+                if !f.is_empty() {
+                    let mut ops = out[i].ops.clone();
+                    ops.push(j);
+                    out.push(LegalSeq { ops, frontier: f });
+                }
+            }
+        }
+        if out.len() == level_end {
+            break; // no legal extensions remain
+        }
+        level_start = level_end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_spec::specs::QueueSpec;
+    use hcc_spec::Value;
+
+    fn alphabet() -> Vec<Operation> {
+        QueueSpec::alphabet(&[Value::Int(1), Value::Int(2)])
+    }
+
+    #[test]
+    fn empty_sequence_is_enumerated_first() {
+        let seqs = legal_sequences(&QueueSpec, &alphabet(), 2);
+        assert!(seqs[0].ops.is_empty());
+    }
+
+    #[test]
+    fn only_legal_sequences_appear() {
+        let a = alphabet();
+        let seqs = legal_sequences(&QueueSpec, &a, 2);
+        // Sequences starting with a deq are illegal on the empty queue.
+        for s in &seqs {
+            if let Some(&first) = s.ops.first() {
+                assert_eq!(a[first].inv.op, "enq", "sequence {:?} should start with enq", s.ops);
+            }
+        }
+    }
+
+    #[test]
+    fn counts_match_hand_enumeration() {
+        // Alphabet: enq(1), deq→1, enq(2), deq→2.
+        // Length 1: enq(1), enq(2)                                => 2
+        // Length 2: enq(i);enq(j) (4) + enq(i);deq→i (2)          => 6
+        let seqs = legal_sequences(&QueueSpec, &alphabet(), 2);
+        assert_eq!(seqs.iter().filter(|s| s.ops.len() == 1).count(), 2);
+        assert_eq!(seqs.iter().filter(|s| s.ops.len() == 2).count(), 6);
+        assert_eq!(seqs.len(), 1 + 2 + 6);
+    }
+
+    #[test]
+    fn frontier_is_consistent_with_replay() {
+        let a = alphabet();
+        for s in legal_sequences(&QueueSpec, &a, 3) {
+            let ops: Vec<Operation> = s.ops.iter().map(|&i| a[i].clone()).collect();
+            let replay = Frontier::initial(&QueueSpec).advance_seq(&QueueSpec, &ops);
+            assert_eq!(replay, s.frontier);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The *invalidated-by* relation (Definitions 8–9, Theorem 10).
+//!
+//! Operation `p` **invalidates** `q` if there exist sequences `h₁`, `h₂`
+//! such that `h₁·p·h₂` and `h₁·h₂·q` are legal but `h₁·p·h₂·q` is not.
+//! `invalidated-by` contains all pairs `(q, p)` such that `p` invalidates
+//! `q`; Theorem 10 shows it is a dependency relation (not necessarily
+//! minimal).
+//!
+//! The search is bounded: `h₁` ranges over legal sequences up to
+//! `max_h1` and `h₂` over extensions up to `max_h2`. Both frontiers —
+//! after `h₁·p·h₂` and after `h₁·h₂` — are carried simultaneously so each
+//! `(h₁, p)` pair explores its `h₂` tree once.
+
+use crate::enumerate::legal_sequences;
+use crate::relation::InstanceRelation;
+use hcc_spec::{Adt, Frontier, Operation};
+
+/// Search bounds for relation derivation.
+#[derive(Clone, Copy, Debug)]
+pub struct Bounds {
+    /// Maximum length of the prefix `h₁` (and of `h` for Definition 3).
+    pub max_h1: usize,
+    /// Maximum length of the infix `h₂` (and of `k` for Definition 3).
+    pub max_h2: usize,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds { max_h1: 3, max_h2: 3 }
+    }
+}
+
+/// Compute the bounded invalidated-by relation over `alphabet`:
+/// `(q, p) ∈ R` iff a witness `(h₁, h₂)` within `bounds` shows that `p`
+/// invalidates `q`.
+pub fn invalidated_by(
+    adt: &dyn Adt,
+    alphabet: &[Operation],
+    bounds: Bounds,
+) -> InstanceRelation {
+    let mut rel = InstanceRelation::new();
+    for h1 in legal_sequences(adt, alphabet, bounds.max_h1) {
+        for (p, p_op) in alphabet.iter().enumerate() {
+            let with_p = h1.frontier.advance(adt, p_op);
+            if with_p.is_empty() {
+                continue; // h₁·p illegal: p cannot be inserted here
+            }
+            extend_h2(adt, alphabet, bounds.max_h2, &with_p, &h1.frontier, p, &mut rel);
+        }
+    }
+    rel
+}
+
+/// Recursively extend `h₂`, tracking the frontier after `h₁·p·h₂`
+/// (`with_p`) and after `h₁·h₂` (`without_p`). At every node, any `q` legal
+/// without `p` but illegal with it is invalidated by `p`.
+fn extend_h2(
+    adt: &dyn Adt,
+    alphabet: &[Operation],
+    depth: usize,
+    with_p: &Frontier,
+    without_p: &Frontier,
+    p: usize,
+    rel: &mut InstanceRelation,
+) {
+    for (q, q_op) in alphabet.iter().enumerate() {
+        if rel.contains(q, p) {
+            continue; // already witnessed
+        }
+        if !without_p.advance(adt, q_op).is_empty() && with_p.advance(adt, q_op).is_empty() {
+            rel.insert(q, p);
+        }
+    }
+    if depth == 0 {
+        return;
+    }
+    for op in alphabet {
+        let w = with_p.advance(adt, op);
+        if w.is_empty() {
+            continue; // h₁·p·h₂ must stay legal
+        }
+        let wo = without_p.advance(adt, op);
+        if wo.is_empty() {
+            continue; // h₁·h₂·q requires h₁·h₂ legal
+        }
+        extend_h2(adt, alphabet, depth - 1, &w, &wo, p, rel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_spec::specs::{FileSpec, QueueSpec};
+    use hcc_spec::Value;
+
+    #[test]
+    fn file_reads_invalidated_by_distinct_writes_only() {
+        let dom = vec![Value::Int(1), Value::Int(2)];
+        let alpha = FileSpec::alphabet(&dom);
+        let f = FileSpec::default();
+        let r = invalidated_by(&f, &alpha, Bounds::default());
+        // Alphabet order: write(1), read→1, write(2), read→2.
+        let (w1, r1, w2, r2) = (0, 1, 2, 3);
+        assert!(r.contains(r1, w2), "read→1 invalidated by write(2)");
+        assert!(r.contains(r2, w1));
+        assert!(!r.contains(r1, w1), "read→1 not invalidated by write(1)");
+        assert!(!r.contains(w1, w2), "writes never invalidated");
+        assert!(!r.contains(w1, r1), "reads invalidate nothing");
+        assert!(!r.contains(r1, r2), "reads do not invalidate reads");
+    }
+
+    #[test]
+    fn queue_deq_invalidated_by_enq_of_other_item_and_deq_of_same() {
+        let dom = vec![Value::Int(1), Value::Int(2)];
+        let alpha = QueueSpec::alphabet(&dom);
+        let q = QueueSpec;
+        let r = invalidated_by(&q, &alpha, Bounds::default());
+        // Alphabet order: enq(1), deq→1, enq(2), deq→2.
+        let (e1, d1, e2, d2) = (0, 1, 2, 3);
+        assert!(r.contains(d1, e2), "deq→1 invalidated by enq(2)");
+        assert!(r.contains(d1, d1), "deq→1 invalidated by deq→1");
+        assert!(!r.contains(d1, e1), "deq→1 not invalidated by enq(1)");
+        assert!(!r.contains(d1, d2), "deq→1 not invalidated by deq→2");
+        assert!(!r.contains(e1, e2), "enq never invalidated");
+        assert!(!r.contains(e1, d1));
+        let _ = (e1, d2);
+    }
+
+    #[test]
+    fn larger_bounds_do_not_change_queue_relation() {
+        let dom = vec![Value::Int(1), Value::Int(2)];
+        let alpha = QueueSpec::alphabet(&dom);
+        let q = QueueSpec;
+        let small = invalidated_by(&q, &alpha, Bounds { max_h1: 2, max_h2: 2 });
+        let large = invalidated_by(&q, &alpha, Bounds { max_h1: 4, max_h2: 3 });
+        assert_eq!(small, large, "derivation has converged by bound 2+2");
+    }
+}

@@ -1,0 +1,203 @@
+//! Enumerating **all minimal dependency relations** of a specification.
+//!
+//! Section 4.2 observes that "an object may have several distinct minimal
+//! dependency relations" and Section 4.3 exhibits two for the FIFO queue
+//! (Tables II and III). We make that observation algorithmic:
+//!
+//! 1. Compute the bounded Definition-3 violation structure
+//!    ([`crate::violations`]): each violation lists the instance pairs that
+//!    could license refusing the offending interleaving.
+//! 2. Lift instance pairs to *atoms* — class pairs under a key condition —
+//!    because the paper's relations are uniform in the value domain.
+//! 3. A relation (set of atoms) is a bounded dependency relation iff it
+//!    *hits* every violation; the minimal dependency relations are exactly
+//!    the **minimal hitting sets** of the violation structure.
+
+use crate::invalidated_by::Bounds;
+use crate::relation::{pair_cond, Atom, InstanceRelation, OpClass};
+use crate::violations::violations;
+use hcc_spec::{Adt, Operation};
+use std::collections::BTreeSet;
+
+/// Convert a set of atoms into the instance relation it denotes over
+/// `alphabet`.
+pub fn atoms_to_instance_relation(
+    alphabet: &[Operation],
+    classify: &dyn Fn(&Operation) -> OpClass,
+    atoms: &BTreeSet<Atom>,
+) -> InstanceRelation {
+    let mut rel = InstanceRelation::new();
+    for (q, q_op) in alphabet.iter().enumerate() {
+        for (p, p_op) in alphabet.iter().enumerate() {
+            let atom = Atom {
+                row: classify(q_op),
+                col: classify(p_op),
+                cond: pair_cond(q_op, p_op),
+            };
+            if atoms.contains(&atom) {
+                rel.insert(q, p);
+            }
+        }
+    }
+    rel
+}
+
+/// Enumerate all minimal dependency relations (as atom sets) of a
+/// specification, within the given bounds.
+///
+/// The result is sorted lexicographically; for the FIFO queue it contains
+/// exactly the two relations of Tables II and III.
+pub fn minimal_dependency_relations(
+    adt: &dyn Adt,
+    alphabet: &[Operation],
+    classify: &dyn Fn(&Operation) -> OpClass,
+    bounds: Bounds,
+) -> Vec<BTreeSet<Atom>> {
+    // Lift each violation's candidate instance pairs to atom sets.
+    let mut sets: BTreeSet<BTreeSet<Atom>> = BTreeSet::new();
+    for v in violations(adt, alphabet, bounds) {
+        let atoms: BTreeSet<Atom> = v
+            .candidates
+            .iter()
+            .map(|&(q, p)| Atom {
+                row: classify(&alphabet[q]),
+                col: classify(&alphabet[p]),
+                cond: pair_cond(&alphabet[q], &alphabet[p]),
+            })
+            .collect();
+        sets.insert(atoms);
+    }
+    // Keep only ⊆-minimal violation atom-sets (hitting a subset hits its
+    // supersets).
+    let sets: Vec<BTreeSet<Atom>> = {
+        let all: Vec<BTreeSet<Atom>> = sets.into_iter().collect();
+        all.iter()
+            .filter(|s| !all.iter().any(|t| t.len() < s.len() && t.is_subset(s)))
+            .cloned()
+            .collect()
+    };
+    // Enumerate hitting sets by branching on the first unhit violation.
+    let mut found: Vec<BTreeSet<Atom>> = Vec::new();
+    let mut chosen: BTreeSet<Atom> = BTreeSet::new();
+    hit(&sets, &mut chosen, &mut found);
+    // Filter to minimal hitting sets and sort.
+    let mut minimal: Vec<BTreeSet<Atom>> = found
+        .iter()
+        .filter(|s| !found.iter().any(|t| t.len() < s.len() && t.is_subset(s)))
+        .cloned()
+        .collect();
+    minimal.sort();
+    minimal.dedup();
+    minimal
+}
+
+fn hit(sets: &[BTreeSet<Atom>], chosen: &mut BTreeSet<Atom>, found: &mut Vec<BTreeSet<Atom>>) {
+    match sets.iter().find(|s| s.is_disjoint(chosen)) {
+        None => found.push(chosen.clone()),
+        Some(unhit) => {
+            for atom in unhit {
+                let added = chosen.insert(atom.clone());
+                hit(sets, chosen, found);
+                if added {
+                    chosen.remove(atom);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Cond;
+    use crate::violations::is_dependency_relation;
+    use hcc_spec::specs::{FileSpec, QueueSpec, SemiqueueSpec};
+    use hcc_spec::Value;
+
+    fn dom() -> Vec<Value> {
+        vec![Value::Int(1), Value::Int(2)]
+    }
+
+    fn classify_queue(op: &Operation) -> OpClass {
+        OpClass::new(if op.inv.op == "enq" { "Enq" } else { "Deq" })
+    }
+
+    fn classify_file(op: &Operation) -> OpClass {
+        OpClass::new(if op.inv.op == "read" { "Read" } else { "Write" })
+    }
+
+    fn classify_semiqueue(op: &Operation) -> OpClass {
+        OpClass::new(if op.inv.op == "ins" { "Ins" } else { "Rem" })
+    }
+
+    fn atom(row: &str, col: &str, cond: Cond) -> Atom {
+        Atom { row: OpClass::new(row), col: OpClass::new(col), cond }
+    }
+
+    #[test]
+    fn queue_has_exactly_two_minimal_relations() {
+        let alpha = QueueSpec::alphabet(&dom());
+        let rels =
+            minimal_dependency_relations(&QueueSpec, &alpha, &classify_queue, Bounds::default());
+        // Table II: Deq depends on Enq (v≠v') and on Deq (v=v').
+        let table2: BTreeSet<Atom> =
+            [atom("Deq", "Enq", Cond::KeyNeq), atom("Deq", "Deq", Cond::KeyEq)].into();
+        // Table III: Enq depends on Enq (v≠v'), Deq depends on Deq (v=v').
+        let table3: BTreeSet<Atom> =
+            [atom("Enq", "Enq", Cond::KeyNeq), atom("Deq", "Deq", Cond::KeyEq)].into();
+        assert!(rels.contains(&table2), "Table II missing from {rels:#?}");
+        assert!(rels.contains(&table3), "Table III missing from {rels:#?}");
+        assert_eq!(rels.len(), 2, "queue has exactly two minimal relations: {rels:#?}");
+    }
+
+    #[test]
+    fn file_has_a_unique_minimal_relation() {
+        let alpha = FileSpec::alphabet(&dom());
+        let f = FileSpec::default();
+        let rels = minimal_dependency_relations(&f, &alpha, &classify_file, Bounds::default());
+        let table1: BTreeSet<Atom> = [atom("Read", "Write", Cond::KeyNeq)].into();
+        assert_eq!(rels, vec![table1]);
+    }
+
+    #[test]
+    fn semiqueue_has_a_unique_minimal_relation() {
+        let alpha = SemiqueueSpec::alphabet(&dom());
+        let rels = minimal_dependency_relations(
+            &SemiqueueSpec,
+            &alpha,
+            &classify_semiqueue,
+            Bounds::default(),
+        );
+        let table4: BTreeSet<Atom> = [atom("Rem", "Rem", Cond::KeyEq)].into();
+        assert_eq!(rels, vec![table4]);
+    }
+
+    #[test]
+    fn minimal_relations_pass_the_independent_def3_check() {
+        let alpha = QueueSpec::alphabet(&dom());
+        for atoms in
+            minimal_dependency_relations(&QueueSpec, &alpha, &classify_queue, Bounds::default())
+        {
+            let rel = atoms_to_instance_relation(&alpha, &classify_queue, &atoms);
+            assert!(is_dependency_relation(&QueueSpec, &alpha, &rel, Bounds::default()));
+        }
+    }
+
+    #[test]
+    fn removing_any_atom_breaks_minimality() {
+        let alpha = QueueSpec::alphabet(&dom());
+        for atoms in
+            minimal_dependency_relations(&QueueSpec, &alpha, &classify_queue, Bounds::default())
+        {
+            for a in &atoms {
+                let mut smaller = atoms.clone();
+                smaller.remove(a);
+                let rel = atoms_to_instance_relation(&alpha, &classify_queue, &smaller);
+                assert!(
+                    !is_dependency_relation(&QueueSpec, &alpha, &rel, Bounds::default()),
+                    "removing {a:?} should break Definition 3"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Operation classes, conditions, and instance-level relations.
+//!
+//! The paper's tables relate operation *classes* (`Enq`, `Deq`, `Debit-Ok`,
+//! `Debit-Overdraft`, ...) under argument/response *conditions* (`true`,
+//! `v = v′`, `v ≠ v′`). The derivation machinery works at the level of
+//! concrete operation *instances* over a small value domain and is lifted to
+//! classes afterwards.
+
+use hcc_spec::{Operation, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A named class of operations, e.g. `Enq` or `Debit-Ok`.
+///
+/// A class corresponds to one row/column label of a paper table: the
+/// operation name plus, when the lock mode is response-sensitive, a variant
+/// tag derived from the response.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpClass(pub String);
+
+impl OpClass {
+    /// Construct a class from a name.
+    pub fn new(name: impl Into<String>) -> OpClass {
+        OpClass(name.into())
+    }
+}
+
+impl fmt::Debug for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The condition under which a class pair is related, comparing the two
+/// operations' *key values* (argument for `Enq(v)`, response for `Deq()→v`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Cond {
+    /// Related when the key values are equal (`v = v′`).
+    KeyEq,
+    /// Related when the key values are distinct (`v ≠ v′`).
+    KeyNeq,
+}
+
+/// An *atom*: "`row` depends on `col` when `cond` holds". Minimal relations
+/// are sets of atoms; the paper's tables are renderings of atom sets.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom {
+    /// The dependent class (table row; the later operation `q`).
+    pub row: OpClass,
+    /// The depended-upon class (table column; the earlier operation `p`).
+    pub col: OpClass,
+    /// The key condition.
+    pub cond: Cond,
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self.cond {
+            Cond::KeyEq => "v=v'",
+            Cond::KeyNeq => "v≠v'",
+        };
+        write!(f, "({} ⊦ {} [{}])", self.row, self.col, c)
+    }
+}
+
+/// A relation over concrete operation instances, indexed into a fixed
+/// alphabet. `pairs` contains `(q, p)` meaning *q depends on p* (or, for
+/// commutativity, *q fails to commute with p*).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InstanceRelation {
+    /// Ordered pairs of alphabet indices `(q, p)`.
+    pub pairs: BTreeSet<(usize, usize)>,
+}
+
+impl InstanceRelation {
+    /// The empty relation.
+    pub fn new() -> InstanceRelation {
+        InstanceRelation::default()
+    }
+
+    /// Insert the pair "`q` depends on `p`".
+    pub fn insert(&mut self, q: usize, p: usize) {
+        self.pairs.insert((q, p));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, q: usize, p: usize) -> bool {
+        self.pairs.contains(&(q, p))
+    }
+
+    /// Number of instance pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The symmetric closure — the paper constructs lock *conflict*
+    /// relations as the symmetric closure of a dependency relation.
+    pub fn symmetric_closure(&self) -> InstanceRelation {
+        let mut out = self.clone();
+        for &(q, p) in &self.pairs {
+            out.pairs.insert((p, q));
+        }
+        out
+    }
+
+    /// Is the relation symmetric?
+    pub fn is_symmetric(&self) -> bool {
+        self.pairs.iter().all(|&(q, p)| self.pairs.contains(&(p, q)))
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(&self, other: &InstanceRelation) -> bool {
+        self.pairs.is_subset(&other.pairs)
+    }
+
+    /// The union of two relations.
+    pub fn union(&self, other: &InstanceRelation) -> InstanceRelation {
+        InstanceRelation { pairs: self.pairs.union(&other.pairs).copied().collect() }
+    }
+}
+
+/// The *key value* of an operation instance: the value the paper's
+/// conditions compare. By convention this is the first argument if the
+/// operation has one, otherwise its response (e.g. `Deq()→v`); operations
+/// with neither (unit response, no argument) have no key.
+pub fn key_value(op: &Operation) -> Option<Value> {
+    if let Some(a) = op.inv.args.first() {
+        return Some(a.clone());
+    }
+    if op.res != Value::Unit {
+        return Some(op.res.clone());
+    }
+    None
+}
+
+/// The condition bucket an instance pair falls into. Pairs where either
+/// operation is keyless compare as [`Cond::KeyEq`] and [`Cond::KeyNeq`]
+/// simultaneously; we put them in `KeyEq` (the rendering logic treats a
+/// class pair present under every *populated* bucket as unconditionally
+/// related, so the choice is immaterial for the bundled types).
+pub fn pair_cond(q: &Operation, p: &Operation) -> Cond {
+    match (key_value(q), key_value(p)) {
+        (Some(a), Some(b)) if a != b => Cond::KeyNeq,
+        _ => Cond::KeyEq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_spec::Inv;
+
+    fn op(inv: Inv, res: impl Into<Value>) -> Operation {
+        Operation::new(inv, res)
+    }
+
+    #[test]
+    fn key_value_prefers_argument() {
+        let enq = op(Inv::unary("enq", 3), Value::Unit);
+        assert_eq!(key_value(&enq), Some(Value::Int(3)));
+        let deq = op(Inv::nullary("deq"), 3);
+        assert_eq!(key_value(&deq), Some(Value::Int(3)));
+        let noop = op(Inv::nullary("tick"), Value::Unit);
+        assert_eq!(key_value(&noop), None);
+    }
+
+    #[test]
+    fn pair_cond_buckets() {
+        let e1 = op(Inv::unary("enq", 1), Value::Unit);
+        let e2 = op(Inv::unary("enq", 2), Value::Unit);
+        let d1 = op(Inv::nullary("deq"), 1);
+        assert_eq!(pair_cond(&e1, &e1), Cond::KeyEq);
+        assert_eq!(pair_cond(&e1, &e2), Cond::KeyNeq);
+        assert_eq!(pair_cond(&d1, &e1), Cond::KeyEq);
+        assert_eq!(pair_cond(&d1, &e2), Cond::KeyNeq);
+    }
+
+    #[test]
+    fn symmetric_closure_adds_mirror_pairs() {
+        let mut r = InstanceRelation::new();
+        r.insert(0, 1);
+        assert!(!r.is_symmetric());
+        let s = r.symmetric_closure();
+        assert!(s.is_symmetric());
+        assert_eq!(s.len(), 2);
+        assert!(r.is_subset(&s));
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let mut a = InstanceRelation::new();
+        a.insert(0, 1);
+        let mut b = InstanceRelation::new();
+        b.insert(2, 3);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        assert!(a.is_subset(&u));
+        assert!(b.is_subset(&u));
+        assert!(!u.is_subset(&a));
+    }
+}

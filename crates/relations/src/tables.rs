@@ -1,0 +1,590 @@
+//! Rendering derived relations in the paper's tabular format, ground-truth
+//! constants for Tables I–VI, and per-type derivation configurations.
+
+use crate::invalidated_by::Bounds;
+use crate::relation::{key_value, InstanceRelation, OpClass};
+use hcc_spec::adt::SharedAdt;
+use hcc_spec::specs::{
+    AccountSpec, CounterSpec, DirectorySpec, FileSpec, QueueSpec, SemiqueueSpec, SetSpec,
+};
+use hcc_spec::{Operation, Rational, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A cell of a relation table: the condition under which the row class
+/// depends on (or conflicts with) the column class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellCond {
+    /// Unrelated (blank in the paper).
+    Never,
+    /// Related unconditionally (`true` in the paper).
+    Always,
+    /// Related when the key values are equal (`v = v′`).
+    Eq,
+    /// Related when the key values are distinct (`v ≠ v′`).
+    Neq,
+    /// The instance pattern fits none of the paper's three conditions
+    /// (never arises for the bundled types; kept for honesty).
+    Mixed,
+}
+
+impl CellCond {
+    fn render(self) -> &'static str {
+        match self {
+            CellCond::Never => "",
+            CellCond::Always => "true",
+            CellCond::Eq => "v=v'",
+            CellCond::Neq => "v≠v'",
+            CellCond::Mixed => "?",
+        }
+    }
+}
+
+/// A class-level relation table in the paper's row/column format: the row
+/// operation depends on the column operation when the cell condition holds.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RelationTable {
+    /// Table caption, e.g. `"Table I: Minimal Dependency Relation for File"`.
+    pub title: String,
+    /// Row/column classes, in presentation order.
+    pub classes: Vec<OpClass>,
+    /// Cells, keyed by `(row, col)`. Absent means [`CellCond::Never`].
+    pub cells: BTreeMap<(OpClass, OpClass), CellCond>,
+}
+
+impl RelationTable {
+    /// Look up a cell.
+    pub fn cell(&self, row: &OpClass, col: &OpClass) -> CellCond {
+        self.cells.get(&(row.clone(), col.clone())).copied().unwrap_or(CellCond::Never)
+    }
+
+    /// Build a class-level table from an instance relation by bucketing the
+    /// instance pairs of each class pair by key condition.
+    ///
+    /// A bucket with no instances is ignored; a class pair related in every
+    /// populated bucket renders as `true`.
+    pub fn from_instance_relation(
+        title: impl Into<String>,
+        alphabet: &[Operation],
+        classify: &dyn Fn(&Operation) -> OpClass,
+        classes: &[OpClass],
+        rel: &InstanceRelation,
+    ) -> RelationTable {
+        #[derive(Default)]
+        struct Bucket {
+            total: usize,
+            related: usize,
+        }
+        let mut buckets: BTreeMap<(OpClass, OpClass), (Bucket, Bucket)> = BTreeMap::new();
+        for (q, q_op) in alphabet.iter().enumerate() {
+            for (p, p_op) in alphabet.iter().enumerate() {
+                let entry = buckets
+                    .entry((classify(q_op), classify(p_op)))
+                    .or_insert_with(|| (Bucket::default(), Bucket::default()));
+                let eq = match (key_value(q_op), key_value(p_op)) {
+                    (Some(a), Some(b)) => a == b,
+                    _ => true,
+                };
+                let bucket = if eq { &mut entry.0 } else { &mut entry.1 };
+                bucket.total += 1;
+                if rel.contains(q, p) {
+                    bucket.related += 1;
+                }
+            }
+        }
+        let mut cells = BTreeMap::new();
+        for ((row, col), (eq, neq)) in buckets {
+            let eq_state = bucket_state(eq.total, eq.related);
+            let neq_state = bucket_state(neq.total, neq.related);
+            let cond = match (eq_state, neq_state) {
+                (BucketState::Empty, BucketState::Empty) => CellCond::Never,
+                (BucketState::None, BucketState::None)
+                | (BucketState::None, BucketState::Empty)
+                | (BucketState::Empty, BucketState::None) => CellCond::Never,
+                (BucketState::All, BucketState::All)
+                | (BucketState::All, BucketState::Empty)
+                | (BucketState::Empty, BucketState::All) => CellCond::Always,
+                (BucketState::All, BucketState::None) => CellCond::Eq,
+                (BucketState::None, BucketState::All) => CellCond::Neq,
+                _ => CellCond::Mixed,
+            };
+            if cond != CellCond::Never {
+                cells.insert((row, col), cond);
+            }
+        }
+        RelationTable { title: title.into(), classes: classes.to_vec(), cells }
+    }
+
+    /// Render the table as aligned plain text (the shape the paper prints).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.classes.iter().map(|c| c.0.len().max(5)).collect();
+        let row_w = widths.iter().copied().max().unwrap_or(5).max(
+            self.classes.iter().map(|c| c.0.len()).max().unwrap_or(5),
+        );
+        for (j, col) in self.classes.iter().enumerate() {
+            for row in &self.classes {
+                widths[j] = widths[j].max(self.cell(row, col).render().len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        out.push_str(&format!("{:row_w$}", ""));
+        for (j, col) in self.classes.iter().enumerate() {
+            out.push_str(&format!("  {:>w$}", col.0, w = widths[j]));
+        }
+        out.push('\n');
+        for row in &self.classes {
+            out.push_str(&format!("{:row_w$}", row.0));
+            for (j, col) in self.classes.iter().enumerate() {
+                out.push_str(&format!("  {:>w$}", self.cell(row, col).render(), w = widths[j]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Debug for RelationTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BucketState {
+    Empty,
+    None,
+    All,
+    Partial,
+}
+
+fn bucket_state(total: usize, related: usize) -> BucketState {
+    if total == 0 {
+        BucketState::Empty
+    } else if related == 0 {
+        BucketState::None
+    } else if related == total {
+        BucketState::All
+    } else {
+        BucketState::Partial
+    }
+}
+
+/// Everything needed to derive relations for one data type: the
+/// specification, a finite operation alphabet over a small domain, a
+/// classifier, and the presentation order of classes.
+pub struct AdtConfig {
+    /// The serial specification.
+    pub adt: SharedAdt,
+    /// Operation instances over the derivation domain.
+    pub alphabet: Vec<Operation>,
+    /// Instance → class.
+    pub classify: fn(&Operation) -> OpClass,
+    /// Row/column presentation order.
+    pub classes: Vec<OpClass>,
+    /// Derivation bounds.
+    pub bounds: Bounds,
+}
+
+fn cls(names: &[&str]) -> Vec<OpClass> {
+    names.iter().map(|n| OpClass::new(*n)).collect()
+}
+
+fn domain() -> Vec<Value> {
+    vec![Value::Int(1), Value::Int(2)]
+}
+
+impl AdtConfig {
+    /// File over values {1, 2}.
+    pub fn file() -> AdtConfig {
+        fn classify(op: &Operation) -> OpClass {
+            OpClass::new(if op.inv.op == "read" { "Read" } else { "Write" })
+        }
+        AdtConfig {
+            adt: Arc::new(FileSpec::default()),
+            alphabet: FileSpec::alphabet(&domain()),
+            classify,
+            classes: cls(&["Read", "Write"]),
+            bounds: Bounds::default(),
+        }
+    }
+
+    /// FIFO queue over items {1, 2}.
+    pub fn queue() -> AdtConfig {
+        fn classify(op: &Operation) -> OpClass {
+            OpClass::new(if op.inv.op == "enq" { "Enq" } else { "Deq" })
+        }
+        AdtConfig {
+            adt: Arc::new(QueueSpec),
+            alphabet: QueueSpec::alphabet(&domain()),
+            classify,
+            classes: cls(&["Enq", "Deq"]),
+            bounds: Bounds::default(),
+        }
+    }
+
+    /// Semiqueue over items {1, 2}.
+    pub fn semiqueue() -> AdtConfig {
+        fn classify(op: &Operation) -> OpClass {
+            OpClass::new(if op.inv.op == "ins" { "Ins" } else { "Rem" })
+        }
+        AdtConfig {
+            adt: Arc::new(SemiqueueSpec),
+            alphabet: SemiqueueSpec::alphabet(&domain()),
+            classify,
+            classes: cls(&["Ins", "Rem"]),
+            bounds: Bounds::default(),
+        }
+    }
+
+    /// Account over debit amounts {1, 2} and posting rate {5%}.
+    ///
+    /// Credit amounts additionally include the fractional witnesses 39/20
+    /// and 24/25: `post(5)` invalidates `debit(m)→Overdraft` only from a
+    /// balance in `[20m/21, m)`, which integer credits cannot reach (see
+    /// [`AccountSpec::alphabet_ext`]).
+    pub fn account() -> AdtConfig {
+        fn classify(op: &Operation) -> OpClass {
+            OpClass::new(match (op.inv.op, &op.res) {
+                ("credit", _) => "Credit",
+                ("post", _) => "Post",
+                ("debit", Value::Bool(true)) => "Debit-Ok",
+                ("debit", Value::Bool(false)) => "Debit-Overdraft",
+                other => panic!("unexpected account op {other:?}"),
+            })
+        }
+        let r = Rational::new;
+        AdtConfig {
+            adt: Arc::new(AccountSpec),
+            alphabet: AccountSpec::alphabet_ext(
+                &[r(1, 1), r(2, 1), r(39, 20), r(24, 25)],
+                &[r(1, 1), r(2, 1)],
+                &[r(5, 1)],
+            ),
+            classify,
+            classes: cls(&["Credit", "Post", "Debit-Ok", "Debit-Overdraft"]),
+            bounds: Bounds { max_h1: 3, max_h2: 1 },
+        }
+    }
+
+    /// Counter with deltas {1, 2} and read outcomes {0, 1, 2, 3}.
+    pub fn counter() -> AdtConfig {
+        fn classify(op: &Operation) -> OpClass {
+            OpClass::new(match op.inv.op {
+                "inc" => "Inc",
+                "dec" => "Dec",
+                _ => "Read",
+            })
+        }
+        AdtConfig {
+            adt: Arc::new(CounterSpec),
+            alphabet: CounterSpec::alphabet(&[1, 2], &[0, 1, 2, 3]),
+            classify,
+            classes: cls(&["Inc", "Dec", "Read"]),
+            bounds: Bounds { max_h1: 2, max_h2: 2 },
+        }
+    }
+
+    /// Set over elements {1, 2}.
+    pub fn set() -> AdtConfig {
+        fn classify(op: &Operation) -> OpClass {
+            OpClass::new(match (op.inv.op, op.res.as_bool()) {
+                ("add", true) => "Add-New",
+                ("add", false) => "Add-Dup",
+                ("remove", true) => "Remove-Hit",
+                ("remove", false) => "Remove-Miss",
+                ("contains", true) => "Contains-T",
+                (_, _) => "Contains-F",
+            })
+        }
+        AdtConfig {
+            adt: Arc::new(SetSpec),
+            alphabet: SetSpec::alphabet(&domain()),
+            classify,
+            classes: cls(&[
+                "Add-New",
+                "Add-Dup",
+                "Remove-Hit",
+                "Remove-Miss",
+                "Contains-T",
+                "Contains-F",
+            ]),
+            bounds: Bounds { max_h1: 2, max_h2: 2 },
+        }
+    }
+
+    /// Directory over keys {"a", "b"} and values {1, 2}.
+    pub fn directory() -> AdtConfig {
+        fn classify(op: &Operation) -> OpClass {
+            OpClass::new(match (op.inv.op, &op.res) {
+                ("insert", Value::Bool(true)) => "Insert-New",
+                ("insert", _) => "Insert-Dup",
+                ("remove", Value::Null) => "Remove-Miss",
+                ("remove", _) => "Remove-Hit",
+                ("lookup", Value::Null) => "Lookup-Miss",
+                (_, _) => "Lookup-Hit",
+            })
+        }
+        AdtConfig {
+            adt: Arc::new(DirectorySpec),
+            alphabet: DirectorySpec::alphabet(
+                &[Value::str("a"), Value::str("b")],
+                &[Value::Int(1)],
+            ),
+            classify,
+            classes: cls(&[
+                "Insert-New",
+                "Insert-Dup",
+                "Remove-Hit",
+                "Remove-Miss",
+                "Lookup-Hit",
+                "Lookup-Miss",
+            ]),
+            bounds: Bounds { max_h1: 2, max_h2: 2 },
+        }
+    }
+
+    /// Derive this type's invalidated-by relation as a rendered table.
+    pub fn derive_invalidated_by(&self, title: impl Into<String>) -> RelationTable {
+        let rel = crate::invalidated_by::invalidated_by(
+            self.adt.as_ref(),
+            &self.alphabet,
+            self.bounds,
+        );
+        RelationTable::from_instance_relation(
+            title,
+            &self.alphabet,
+            &self.classify,
+            &self.classes,
+            &rel,
+        )
+    }
+
+    /// Derive this type's failure-to-commute relation as a rendered table.
+    pub fn derive_failure_to_commute(&self, title: impl Into<String>) -> RelationTable {
+        let rel = crate::commutativity::failure_to_commute(
+            self.adt.as_ref(),
+            &self.alphabet,
+            self.bounds,
+        );
+        RelationTable::from_instance_relation(
+            title,
+            &self.alphabet,
+            &self.classify,
+            &self.classes,
+            &rel,
+        )
+    }
+}
+
+fn table(
+    title: &str,
+    classes: &[&str],
+    entries: &[(&str, &str, CellCond)],
+) -> RelationTable {
+    RelationTable {
+        title: title.to_string(),
+        classes: cls(classes),
+        cells: entries
+            .iter()
+            .map(|(r, c, cond)| ((OpClass::new(*r), OpClass::new(*c)), *cond))
+            .collect(),
+    }
+}
+
+/// Ground truth: Table I — minimal dependency relation for File.
+pub fn paper_table_i() -> RelationTable {
+    table(
+        "Table I: Minimal Dependency Relation for File",
+        &["Read", "Write"],
+        &[("Read", "Write", CellCond::Neq)],
+    )
+}
+
+/// Ground truth: Table II — first minimal dependency relation for Queue
+/// (the invalidated-by relation).
+pub fn paper_table_ii() -> RelationTable {
+    table(
+        "Table II: First Minimal Dependency Relation for Queue",
+        &["Enq", "Deq"],
+        &[("Deq", "Enq", CellCond::Neq), ("Deq", "Deq", CellCond::Eq)],
+    )
+}
+
+/// Ground truth: Table III — second minimal dependency relation for Queue.
+pub fn paper_table_iii() -> RelationTable {
+    table(
+        "Table III: Second Minimal Dependency Relation for Queue",
+        &["Enq", "Deq"],
+        &[("Enq", "Enq", CellCond::Neq), ("Deq", "Deq", CellCond::Eq)],
+    )
+}
+
+/// Ground truth: Table IV — minimal dependency relation for Semiqueue.
+pub fn paper_table_iv() -> RelationTable {
+    table(
+        "Table IV: Minimal Dependency Relation for Semiqueue",
+        &["Ins", "Rem"],
+        &[("Rem", "Rem", CellCond::Eq)],
+    )
+}
+
+/// Ground truth: Table V — minimal dependency relation for Account.
+pub fn paper_table_v() -> RelationTable {
+    table(
+        "Table V: Minimal Dependency Relation for Account",
+        &["Credit", "Post", "Debit-Ok", "Debit-Overdraft"],
+        &[
+            ("Debit-Ok", "Debit-Ok", CellCond::Always),
+            ("Debit-Overdraft", "Credit", CellCond::Always),
+            ("Debit-Overdraft", "Post", CellCond::Always),
+        ],
+    )
+}
+
+/// Ground truth: Table VI — the "failure to commute" relation for Account.
+pub fn paper_table_vi() -> RelationTable {
+    table(
+        "Table VI: \"Failure to Commute\" Relation for Account",
+        &["Credit", "Post", "Debit-Ok", "Debit-Overdraft"],
+        &[
+            ("Credit", "Post", CellCond::Always),
+            ("Post", "Credit", CellCond::Always),
+            ("Credit", "Debit-Overdraft", CellCond::Always),
+            ("Debit-Overdraft", "Credit", CellCond::Always),
+            ("Post", "Debit-Ok", CellCond::Always),
+            ("Debit-Ok", "Post", CellCond::Always),
+            ("Post", "Debit-Overdraft", CellCond::Always),
+            ("Debit-Overdraft", "Post", CellCond::Always),
+            ("Debit-Ok", "Debit-Ok", CellCond::Always),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_table_eq(derived: &RelationTable, expected: &RelationTable) {
+        assert_eq!(derived.classes, expected.classes);
+        for row in &expected.classes {
+            for col in &expected.classes {
+                assert_eq!(
+                    derived.cell(row, col),
+                    expected.cell(row, col),
+                    "cell ({row}, {col}) differs:\nderived:\n{}\nexpected:\n{}",
+                    derived.render(),
+                    expected.render()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn file_matches_paper_table_i() {
+        let derived = AdtConfig::file().derive_invalidated_by("derived");
+        assert_table_eq(&derived, &paper_table_i());
+    }
+
+    #[test]
+    fn queue_invalidated_by_matches_paper_table_ii() {
+        let derived = AdtConfig::queue().derive_invalidated_by("derived");
+        assert_table_eq(&derived, &paper_table_ii());
+    }
+
+    #[test]
+    fn semiqueue_matches_paper_table_iv() {
+        let derived = AdtConfig::semiqueue().derive_invalidated_by("derived");
+        assert_table_eq(&derived, &paper_table_iv());
+    }
+
+    #[test]
+    fn account_matches_paper_table_v() {
+        let derived = AdtConfig::account().derive_invalidated_by("derived");
+        assert_table_eq(&derived, &paper_table_v());
+    }
+
+    #[test]
+    fn account_commutativity_matches_paper_table_vi() {
+        let derived = AdtConfig::account().derive_failure_to_commute("derived");
+        assert_table_eq(&derived, &paper_table_vi());
+    }
+
+    #[test]
+    fn queue_minimal_relations_match_tables_ii_and_iii() {
+        let cfg = AdtConfig::queue();
+        let rels = crate::minimal::minimal_dependency_relations(
+            cfg.adt.as_ref(),
+            &cfg.alphabet,
+            &cfg.classify,
+            cfg.bounds,
+        );
+        assert_eq!(rels.len(), 2);
+        let tables: Vec<RelationTable> = rels
+            .iter()
+            .map(|atoms| {
+                let rel = crate::minimal::atoms_to_instance_relation(
+                    &cfg.alphabet,
+                    &cfg.classify,
+                    atoms,
+                );
+                RelationTable::from_instance_relation(
+                    "derived",
+                    &cfg.alphabet,
+                    &cfg.classify,
+                    &cfg.classes,
+                    &rel,
+                )
+            })
+            .collect();
+        let matches_ii = tables.iter().filter(|t| {
+            t.cell(&OpClass::new("Deq"), &OpClass::new("Enq")) == CellCond::Neq
+        });
+        let matches_iii = tables.iter().filter(|t| {
+            t.cell(&OpClass::new("Enq"), &OpClass::new("Enq")) == CellCond::Neq
+        });
+        assert_eq!(matches_ii.count(), 1);
+        assert_eq!(matches_iii.count(), 1);
+    }
+
+    #[test]
+    fn render_is_stable_and_readable() {
+        let t = paper_table_ii();
+        let s = t.render();
+        assert!(s.contains("Enq"));
+        assert!(s.contains("v≠v'"));
+        assert!(s.contains("v=v'"));
+    }
+
+    #[test]
+    fn extension_types_derive_without_mixed_cells() {
+        for cfg in [AdtConfig::counter(), AdtConfig::set(), AdtConfig::directory()] {
+            let t = cfg.derive_invalidated_by("derived");
+            for row in &t.classes {
+                for col in &t.classes {
+                    assert_ne!(
+                        t.cell(row, col),
+                        CellCond::Mixed,
+                        "{}: mixed cell at ({row}, {col})\n{}",
+                        cfg.adt.type_name(),
+                        t.render()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counter_updates_never_depend_on_each_other() {
+        let t = AdtConfig::counter().derive_invalidated_by("derived");
+        for a in ["Inc", "Dec"] {
+            for b in ["Inc", "Dec"] {
+                assert_eq!(t.cell(&OpClass::new(a), &OpClass::new(b)), CellCond::Never);
+            }
+        }
+        // Reads are invalidated by updates.
+        assert_ne!(t.cell(&OpClass::new("Read"), &OpClass::new("Inc")), CellCond::Never);
+    }
+}

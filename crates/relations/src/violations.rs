@@ -1,0 +1,184 @@
+//! The Definition-3 violation structure and the bounded dependency-relation
+//! check.
+//!
+//! Definition 3: `R` is a dependency relation iff for all sequences `h`,
+//! `k` and operations `p` with `h·p` and `h·k` legal and no operation in `k`
+//! depending on `p`, the sequence `h·p·k` is legal.
+//!
+//! Contrapositively: whenever `h·p` and `h·k` are legal but `h·p·k` is not
+//! (a **violation**), `R` must contain `(q, p)` for *some* `q ∈ k`.
+//! A relation is therefore a (bounded) dependency relation iff it **hits**
+//! every violation, and the minimal dependency relations are exactly the
+//! minimal hitting sets of the violation structure (see [`crate::minimal`]).
+
+use crate::enumerate::legal_sequences;
+use crate::invalidated_by::Bounds;
+use crate::relation::InstanceRelation;
+use hcc_spec::{Adt, Frontier, Operation};
+use std::collections::BTreeSet;
+
+/// One violation: inserting `p` before `k` broke legality, so some
+/// operation of `k` must depend on `p`. `candidates` lists the distinct
+/// `(q, p)` instance pairs, `q ∈ k`, that would license refusing the
+/// interleaving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The inserted operation `p` (alphabet index).
+    pub p: usize,
+    /// Distinct `(q, p)` pairs with `q ∈ k` that hit this violation.
+    pub candidates: BTreeSet<(usize, usize)>,
+}
+
+/// Enumerate the bounded violation structure of a specification: one
+/// [`Violation`] per `(h, p, k)` triple (deduplicated by candidate set)
+/// with `h` up to `bounds.max_h1` and `k` up to `bounds.max_h2`.
+pub fn violations(adt: &dyn Adt, alphabet: &[Operation], bounds: Bounds) -> Vec<Violation> {
+    let mut out: BTreeSet<(usize, BTreeSet<(usize, usize)>)> = BTreeSet::new();
+    for h in legal_sequences(adt, alphabet, bounds.max_h1) {
+        for (p, p_op) in alphabet.iter().enumerate() {
+            let with_p = h.frontier.advance(adt, p_op);
+            if with_p.is_empty() {
+                continue;
+            }
+            let mut k = Vec::new();
+            extend_k(
+                adt,
+                alphabet,
+                bounds.max_h2,
+                &with_p,
+                &h.frontier,
+                p,
+                &mut k,
+                &mut out,
+            );
+        }
+    }
+    out.into_iter().map(|(p, candidates)| Violation { p, candidates }).collect()
+}
+
+/// Extend `k`, tracking frontiers after `h·p·k` (`with_p`) and `h·k`
+/// (`without_p`). A violation is found when `h·k·q` stays legal but
+/// `h·p·k·q` does not — i.e. appending `q` kills the `with_p` frontier.
+#[allow(clippy::too_many_arguments)]
+fn extend_k(
+    adt: &dyn Adt,
+    alphabet: &[Operation],
+    depth: usize,
+    with_p: &Frontier,
+    without_p: &Frontier,
+    p: usize,
+    k: &mut Vec<usize>,
+    out: &mut BTreeSet<(usize, BTreeSet<(usize, usize)>)>,
+) {
+    for (q, q_op) in alphabet.iter().enumerate() {
+        let wo = without_p.advance(adt, q_op);
+        if wo.is_empty() {
+            continue; // h·k·q must be legal for a violation
+        }
+        let w = with_p.advance(adt, q_op);
+        if w.is_empty() {
+            // Violation: k' = k·q; candidates are {(q', p) : q' ∈ k·q}.
+            let mut cands: BTreeSet<(usize, usize)> =
+                k.iter().map(|&q2| (q2, p)).collect();
+            cands.insert((q, p));
+            out.insert((p, cands));
+        } else if depth > 1 {
+            k.push(q);
+            extend_k(adt, alphabet, depth - 1, &w, &wo, p, k, out);
+            k.pop();
+        }
+    }
+}
+
+/// Bounded Definition-3 check: is `rel` a dependency relation, i.e. does it
+/// hit every violation within `bounds`?
+pub fn is_dependency_relation(
+    adt: &dyn Adt,
+    alphabet: &[Operation],
+    rel: &InstanceRelation,
+    bounds: Bounds,
+) -> bool {
+    violations(adt, alphabet, bounds)
+        .iter()
+        .all(|v| v.candidates.iter().any(|&(q, p)| rel.contains(q, p)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invalidated_by::invalidated_by;
+    use hcc_spec::specs::{AccountSpec, FileSpec, QueueSpec, SemiqueueSpec};
+    use hcc_spec::Value;
+
+    fn dom() -> Vec<Value> {
+        vec![Value::Int(1), Value::Int(2)]
+    }
+
+    #[test]
+    fn queue_has_violations() {
+        let alpha = QueueSpec::alphabet(&dom());
+        let v = violations(&QueueSpec, &alpha, Bounds::default());
+        assert!(!v.is_empty());
+        // The canonical one: p = enq(1), k = [enq(2), deq→2].
+        let (e1, e2, d2) = (0, 2, 3);
+        assert!(v.iter().any(|v| v.p == e1
+            && v.candidates.contains(&(e2, e1))
+            && v.candidates.contains(&(d2, e1))));
+    }
+
+    #[test]
+    fn empty_relation_is_not_a_dependency_relation_for_queue() {
+        let alpha = QueueSpec::alphabet(&dom());
+        assert!(!is_dependency_relation(
+            &QueueSpec,
+            &alpha,
+            &InstanceRelation::new(),
+            Bounds::default()
+        ));
+    }
+
+    #[test]
+    fn universal_relation_is_a_dependency_relation() {
+        let alpha = QueueSpec::alphabet(&dom());
+        let mut all = InstanceRelation::new();
+        for q in 0..alpha.len() {
+            for p in 0..alpha.len() {
+                all.insert(q, p);
+            }
+        }
+        assert!(is_dependency_relation(&QueueSpec, &alpha, &all, Bounds::default()));
+    }
+
+    /// Theorem 10 (bounded): invalidated-by is a dependency relation, for
+    /// every bundled paper type.
+    #[test]
+    fn invalidated_by_is_a_dependency_relation() {
+        let b = Bounds::default();
+        let cases: Vec<(Box<dyn hcc_spec::Adt>, Vec<hcc_spec::Operation>)> = vec![
+            (Box::new(FileSpec::default()), FileSpec::alphabet(&dom())),
+            (Box::new(QueueSpec), QueueSpec::alphabet(&dom())),
+            (Box::new(SemiqueueSpec), SemiqueueSpec::alphabet(&dom())),
+            (Box::new(AccountSpec), AccountSpec::alphabet(&[1, 2], &[5])),
+        ];
+        for (adt, alpha) in &cases {
+            let ib = invalidated_by(adt.as_ref(), alpha, b);
+            assert!(
+                is_dependency_relation(adt.as_ref(), alpha, &ib, b),
+                "invalidated-by must be a dependency relation for {}",
+                adt.type_name()
+            );
+        }
+    }
+
+    /// Dropping a needed pair from invalidated-by breaks Definition 3 for
+    /// the File: reads must depend on distinct writes.
+    #[test]
+    fn file_relation_without_read_write_pair_fails() {
+        let alpha = FileSpec::alphabet(&dom());
+        let f = FileSpec::default();
+        let mut ib = invalidated_by(&f, &alpha, Bounds::default());
+        // Remove (read→1, write(2)).
+        ib.pairs.remove(&(1, 2));
+        assert!(!is_dependency_relation(&f, &alpha, &ib, Bounds::default()));
+    }
+}

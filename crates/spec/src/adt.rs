@@ -1,0 +1,275 @@
+//! Serial specifications as nondeterministic state machines.
+//!
+//! Section 3.1 of the paper defines a serial specification as a
+//! prefix-closed set of operation sequences. Enumerating sets of sequences
+//! directly is impractical, so we represent a specification as a state
+//! machine: [`Adt::step`] maps a state and an invocation to the set of
+//! `(response, successor-state)` pairs the specification permits.
+//!
+//! * A **partial** operation (the paper's blocking `Deq` on an empty queue)
+//!   returns the empty set in states where it is undefined.
+//! * A **nondeterministic** operation (the Semiqueue's `Rem`) returns more
+//!   than one pair.
+//!
+//! An operation sequence is *legal* iff some path through the machine
+//! produces exactly its responses; [`legal`] decides this by simulating the
+//! set of reachable states (a subset construction), which is exact for the
+//! finite-branching specifications used here. Prefix-closure is automatic in
+//! this representation.
+
+use crate::value::{Inv, Value};
+use serde::Serialize;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// An operation: an invocation paired with its response (Section 3.1).
+///
+/// `X:[Enq(3), Ok]` is `Operation { inv: enq(3), res: Unit }`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct Operation {
+    /// The invocation (operation name + arguments).
+    pub inv: Inv,
+    /// The response value.
+    pub res: Value,
+}
+
+impl Operation {
+    /// Construct an operation from its invocation and response.
+    pub fn new(inv: Inv, res: impl Into<Value>) -> Operation {
+        Operation { inv, res: res.into() }
+    }
+}
+
+impl fmt::Debug for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?}, {:?}]", self.inv, self.res)
+    }
+}
+
+/// A serial specification: the object's behaviour in the absence of
+/// concurrency and failures.
+///
+/// States are kept dynamic (`BTreeSet`-friendly [`Value`]-like encodings are
+/// up to each implementation) via an opaque, ordered state type so that the
+/// legality engine can maintain state *sets*.
+pub trait Adt: Send + Sync {
+    /// The specification's state. Must be cheap to clone for the bounded
+    /// model checking done by `hcc-relations`.
+    fn initial(&self) -> SpecState;
+
+    /// All `(response, successor)` pairs permitted for `inv` in `state`.
+    ///
+    /// Empty means the operation is not defined (partial) in this state.
+    fn step(&self, state: &SpecState, inv: &Inv) -> Vec<(Value, SpecState)>;
+
+    /// A short human-readable type name (`"FIFO-Queue"`, `"Account"`, ...).
+    fn type_name(&self) -> &'static str;
+}
+
+/// A dynamic specification state.
+///
+/// All bundled specifications encode their state as a [`Value`]; the newtype
+/// exists to keep signatures self-documenting and to leave room for interned
+/// representations later.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpecState(pub Value);
+
+impl fmt::Debug for SpecState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+/// The set of specification states reachable by some legal execution of a
+/// prefix. Empty iff the prefix is illegal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frontier {
+    states: BTreeSet<SpecState>,
+}
+
+impl Frontier {
+    /// The frontier after the empty sequence.
+    pub fn initial(adt: &dyn Adt) -> Frontier {
+        let mut states = BTreeSet::new();
+        states.insert(adt.initial());
+        Frontier { states }
+    }
+
+    /// An explicitly empty (illegal) frontier.
+    pub fn empty() -> Frontier {
+        Frontier { states: BTreeSet::new() }
+    }
+
+    /// True iff no execution path realizes the prefix.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Number of distinct reachable states (used in tests).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Advance the frontier by one operation: keep exactly the successors
+    /// whose response matches `op.res`.
+    pub fn advance(&self, adt: &dyn Adt, op: &Operation) -> Frontier {
+        let mut next = BTreeSet::new();
+        for s in &self.states {
+            for (res, s2) in adt.step(s, &op.inv) {
+                if res == op.res {
+                    next.insert(s2);
+                }
+            }
+        }
+        Frontier { states: next }
+    }
+
+    /// Advance through a whole sequence.
+    pub fn advance_seq(&self, adt: &dyn Adt, ops: &[Operation]) -> Frontier {
+        let mut f = self.clone();
+        for op in ops {
+            f = f.advance(adt, op);
+            if f.is_empty() {
+                return f;
+            }
+        }
+        f
+    }
+
+    /// All responses the specification permits for `inv` after this prefix,
+    /// deduplicated, in a stable order.
+    pub fn responses(&self, adt: &dyn Adt, inv: &Inv) -> Vec<Value> {
+        let mut out = BTreeSet::new();
+        for s in &self.states {
+            for (res, _) in adt.step(s, inv) {
+                out.insert(res);
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Iterate over the reachable states.
+    pub fn states(&self) -> impl Iterator<Item = &SpecState> {
+        self.states.iter()
+    }
+}
+
+/// Is the operation sequence legal, i.e. a member of the serial
+/// specification (Section 3.1)?
+pub fn legal(adt: &dyn Adt, ops: &[Operation]) -> bool {
+    !Frontier::initial(adt).advance_seq(adt, ops).is_empty()
+}
+
+/// The responses the specification permits for `inv` after the legal prefix
+/// `ops`. Empty if `ops` is illegal or `inv` is undefined after it.
+pub fn responses_after(adt: &dyn Adt, ops: &[Operation], inv: &Inv) -> Vec<Value> {
+    Frontier::initial(adt).advance_seq(adt, ops).responses(adt, inv)
+}
+
+/// Two sequences are *equieffective* (Definition 25) iff no continuation
+/// distinguishes them. For state-machine specifications, equality of
+/// reachable state sets is a sound (and for our specifications, complete)
+/// criterion: continuations only observe the state.
+pub fn equieffective(adt: &dyn Adt, a: &[Operation], b: &[Operation]) -> bool {
+    let fa = Frontier::initial(adt).advance_seq(adt, a);
+    let fb = Frontier::initial(adt).advance_seq(adt, b);
+    fa == fb
+}
+
+/// A shareable specification handle, used wherever objects of several types
+/// appear in one history.
+pub type SharedAdt = Arc<dyn Adt>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-state toggle with a partial `fire` op, used to exercise the
+    /// engine without depending on the bundled specs.
+    struct Toggle;
+
+    impl Adt for Toggle {
+        fn initial(&self) -> SpecState {
+            SpecState(Value::Bool(false))
+        }
+        fn step(&self, state: &SpecState, inv: &Inv) -> Vec<(Value, SpecState)> {
+            let on = state.0.as_bool();
+            match inv.op {
+                "toggle" => vec![(Value::Unit, SpecState(Value::Bool(!on)))],
+                // `fire` is only defined when on; nondeterministically
+                // reports 1 or 2.
+                "fire" if on => vec![
+                    (Value::Int(1), state.clone()),
+                    (Value::Int(2), SpecState(Value::Bool(false))),
+                ],
+                "fire" => vec![],
+                other => panic!("unknown op {other}"),
+            }
+        }
+        fn type_name(&self) -> &'static str {
+            "Toggle"
+        }
+    }
+
+    fn op(inv: Inv, res: impl Into<Value>) -> Operation {
+        Operation::new(inv, res)
+    }
+
+    #[test]
+    fn empty_sequence_is_legal() {
+        assert!(legal(&Toggle, &[]));
+    }
+
+    #[test]
+    fn partial_op_is_illegal_when_undefined() {
+        assert!(!legal(&Toggle, &[op(Inv::nullary("fire"), 1)]));
+        assert!(legal(
+            &Toggle,
+            &[op(Inv::nullary("toggle"), Value::Unit), op(Inv::nullary("fire"), 1)]
+        ));
+    }
+
+    #[test]
+    fn nondeterminism_tracks_multiple_states() {
+        let t = op(Inv::nullary("toggle"), Value::Unit);
+        let f1 = op(Inv::nullary("fire"), 1);
+        let f2 = op(Inv::nullary("fire"), 2);
+        // After toggle, fire may answer 1 (stays on) or 2 (turns off).
+        assert!(legal(&Toggle, &[t.clone(), f1.clone(), f1.clone()]));
+        assert!(legal(&Toggle, &[t.clone(), f2.clone()]));
+        // After fire->2 the toggle is off, so fire is undefined.
+        assert!(!legal(&Toggle, &[t.clone(), f2.clone(), f1.clone()]));
+    }
+
+    #[test]
+    fn responses_deduplicate_across_states() {
+        let t = op(Inv::nullary("toggle"), Value::Unit);
+        let rs = responses_after(&Toggle, &[t], &Inv::nullary("fire"));
+        assert_eq!(rs, vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn wrong_response_empties_frontier() {
+        let bad = op(Inv::nullary("toggle"), Value::Int(9));
+        assert!(!legal(&Toggle, &[bad]));
+    }
+
+    #[test]
+    fn equieffective_compares_state_sets() {
+        let t = op(Inv::nullary("toggle"), Value::Unit);
+        // toggle;toggle is equieffective to the empty sequence.
+        assert!(equieffective(&Toggle, &[t.clone(), t.clone()], &[]));
+        assert!(!equieffective(&Toggle, &[t.clone()], &[]));
+    }
+
+    #[test]
+    fn frontier_len_counts_states() {
+        let t = op(Inv::nullary("toggle"), Value::Unit);
+        let f1 = op(Inv::nullary("fire"), 1);
+        let f = Frontier::initial(&Toggle).advance_seq(&Toggle, &[t]);
+        assert_eq!(f.len(), 1);
+        // fire with response 1 keeps exactly one state.
+        assert_eq!(f.advance(&Toggle, &f1).len(), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Events at the transaction/object interface (Section 2).
+
+use crate::ids::{ObjectId, Timestamp, TxnId};
+use crate::value::{Inv, Value};
+use serde::Serialize;
+use std::fmt;
+
+/// One of the four event kinds of the paper's model of computation.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize)]
+pub enum Event {
+    /// `⟨inv, X, P⟩` — transaction `txn` invokes an operation on `obj`.
+    Invoke {
+        /// The object involved.
+        obj: ObjectId,
+        /// The invoking transaction.
+        txn: TxnId,
+        /// Operation name and arguments.
+        inv: Inv,
+    },
+    /// `⟨res, X, P⟩` — `obj` returns `res` to `txn`'s pending invocation.
+    Respond {
+        /// The object involved.
+        obj: ObjectId,
+        /// The transaction receiving the response.
+        txn: TxnId,
+        /// The response value.
+        res: Value,
+    },
+    /// `⟨commit(t), X, P⟩` — `obj` learns that `txn` committed with
+    /// timestamp `ts`.
+    Commit {
+        /// The object learning of the commit.
+        obj: ObjectId,
+        /// The committing transaction.
+        txn: TxnId,
+        /// The commit timestamp.
+        ts: Timestamp,
+    },
+    /// `⟨abort, X, P⟩` — `obj` learns that `txn` aborted.
+    Abort {
+        /// The object learning of the abort.
+        obj: ObjectId,
+        /// The aborting transaction.
+        txn: TxnId,
+    },
+}
+
+impl Event {
+    /// The object this event involves.
+    pub fn obj(&self) -> ObjectId {
+        match self {
+            Event::Invoke { obj, .. }
+            | Event::Respond { obj, .. }
+            | Event::Commit { obj, .. }
+            | Event::Abort { obj, .. } => *obj,
+        }
+    }
+
+    /// The transaction this event involves.
+    pub fn txn(&self) -> TxnId {
+        match self {
+            Event::Invoke { txn, .. }
+            | Event::Respond { txn, .. }
+            | Event::Commit { txn, .. }
+            | Event::Abort { txn, .. } => *txn,
+        }
+    }
+
+    /// True for invocation and response events (the paper's *op-events*).
+    pub fn is_op_event(&self) -> bool {
+        matches!(self, Event::Invoke { .. } | Event::Respond { .. })
+    }
+
+    /// True for commit and abort events (the paper's *completion events*).
+    pub fn is_completion(&self) -> bool {
+        matches!(self, Event::Commit { .. } | Event::Abort { .. })
+    }
+}
+
+impl fmt::Debug for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Invoke { obj, txn, inv } => write!(f, "⟨{inv:?}, {obj}, {txn}⟩"),
+            Event::Respond { obj, txn, res } => write!(f, "⟨{res:?}, {obj}, {txn}⟩"),
+            Event::Commit { obj, txn, ts } => write!(f, "⟨commit({ts}), {obj}, {txn}⟩"),
+            Event::Abort { obj, txn } => write!(f, "⟨abort, {obj}, {txn}⟩"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_classification() {
+        let e = Event::Invoke { obj: ObjectId(1), txn: TxnId(2), inv: Inv::nullary("deq") };
+        assert_eq!(e.obj(), ObjectId(1));
+        assert_eq!(e.txn(), TxnId(2));
+        assert!(e.is_op_event());
+        assert!(!e.is_completion());
+        let c = Event::Commit { obj: ObjectId(1), txn: TxnId(2), ts: Timestamp(5) };
+        assert!(c.is_completion());
+        assert!(!c.is_op_event());
+    }
+
+    #[test]
+    fn debug_matches_paper_notation() {
+        let e = Event::Commit { obj: ObjectId(0), txn: TxnId(1), ts: Timestamp(7) };
+        assert_eq!(format!("{e:?}"), "⟨commit(@7), X0, T1⟩");
+    }
+}

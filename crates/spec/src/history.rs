@@ -1,0 +1,652 @@
+//! Histories: well-formed event sequences, and the relations over them
+//! (Section 2), plus `OpSeq` and `Serial` (Section 3.2).
+
+use crate::adt::Operation;
+use crate::event::Event;
+use crate::ids::{ObjectId, Timestamp, TxnId};
+use crate::value::Inv;
+use serde::Serialize;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A sequence of events. Most methods apply to arbitrary event sequences;
+/// [`History::well_formed`] checks the paper's constraints.
+#[derive(Clone, Default, PartialEq, Eq, Serialize)]
+pub struct History {
+    events: Vec<Event>,
+}
+
+/// A violated well-formedness constraint (Section 2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WfError {
+    /// A transaction invoked an operation while another invocation was
+    /// pending, or its op-events do not alternate starting with an
+    /// invocation.
+    InvocationWhilePending(TxnId),
+    /// A response was generated for a transaction with no pending
+    /// invocation.
+    ResponseWithoutPending(TxnId),
+    /// A response event involves a different object than the immediately
+    /// preceding invocation.
+    ResponseWrongObject(TxnId),
+    /// A transaction both commits and aborts.
+    CommitAndAbort(TxnId),
+    /// A transaction commits while an invocation is pending.
+    CommitWhilePending(TxnId),
+    /// A committed transaction subsequently invokes an operation.
+    OpAfterCommit(TxnId),
+    /// Two commit events for the same transaction carry different
+    /// timestamps.
+    InconsistentTimestamp(TxnId),
+    /// Two different transactions committed with the same timestamp.
+    DuplicateTimestamp(TxnId, TxnId),
+    /// The timestamp order contradicts the per-object `precedes` order:
+    /// `(P, Q) ∈ precedes(H|X)` but `ts(P) ≥ ts(Q)`.
+    TimestampContradictsPrecedes(TxnId, TxnId),
+}
+
+impl std::fmt::Display for WfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for WfError {}
+
+impl History {
+    /// The empty history (the paper's `Λ`).
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// Build a history from events.
+    pub fn from_events(events: Vec<Event>) -> History {
+        History { events }
+    }
+
+    /// Append one event.
+    pub fn push(&mut self, e: Event) {
+        self.events.push(e);
+    }
+
+    /// The events, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True iff the history contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// `H | X` — the subsequence involving object `x`.
+    pub fn restrict_obj(&self, x: ObjectId) -> History {
+        History { events: self.events.iter().filter(|e| e.obj() == x).cloned().collect() }
+    }
+
+    /// `H | P` — the subsequence involving transaction `p`.
+    pub fn restrict_txn(&self, p: TxnId) -> History {
+        History { events: self.events.iter().filter(|e| e.txn() == p).cloned().collect() }
+    }
+
+    /// `H | C` — the subsequence involving any transaction in `c`.
+    pub fn restrict_txns(&self, c: &HashSet<TxnId>) -> History {
+        History { events: self.events.iter().filter(|e| c.contains(&e.txn())).cloned().collect() }
+    }
+
+    /// All transactions appearing in the history, in first-appearance order.
+    pub fn txns(&self) -> Vec<TxnId> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for e in &self.events {
+            if seen.insert(e.txn()) {
+                out.push(e.txn());
+            }
+        }
+        out
+    }
+
+    /// All objects appearing in the history, in first-appearance order.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for e in &self.events {
+            if seen.insert(e.obj()) {
+                out.push(e.obj());
+            }
+        }
+        out
+    }
+
+    /// `committed(H)` with each transaction's timestamp (first commit event
+    /// wins; well-formedness makes them all agree).
+    pub fn committed(&self) -> HashMap<TxnId, Timestamp> {
+        let mut m = HashMap::new();
+        for e in &self.events {
+            if let Event::Commit { txn, ts, .. } = e {
+                m.entry(*txn).or_insert(*ts);
+            }
+        }
+        m
+    }
+
+    /// `aborted(H)` — transactions with an abort event.
+    pub fn aborted(&self) -> HashSet<TxnId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Abort { txn, .. } => Some(*txn),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `completed(H) = committed(H) ∪ aborted(H)`.
+    pub fn completed(&self) -> HashSet<TxnId> {
+        let mut s: HashSet<TxnId> = self.committed().keys().copied().collect();
+        s.extend(self.aborted());
+        s
+    }
+
+    /// `permanent(H) = H | committed(H)`.
+    pub fn permanent(&self) -> History {
+        let c: HashSet<TxnId> = self.committed().keys().copied().collect();
+        self.restrict_txns(&c)
+    }
+
+    /// True iff no abort event occurs (`aborted(H) = ∅`).
+    pub fn is_failure_free(&self) -> bool {
+        self.aborted().is_empty()
+    }
+
+    /// True iff events for different transactions are not interleaved.
+    pub fn is_serial(&self) -> bool {
+        let mut seen: Vec<TxnId> = Vec::new();
+        for e in &self.events {
+            match seen.last() {
+                Some(&last) if last == e.txn() => {}
+                _ => {
+                    if seen.contains(&e.txn()) {
+                        return false;
+                    }
+                    seen.push(e.txn());
+                }
+            }
+        }
+        true
+    }
+
+    /// `precedes(H)`: `(P, Q)` iff some operation invoked by `Q` returns a
+    /// response after `P` commits in `H`.
+    pub fn precedes(&self) -> HashSet<(TxnId, TxnId)> {
+        let mut committed_so_far: BTreeSet<TxnId> = BTreeSet::new();
+        let mut rel = HashSet::new();
+        for e in &self.events {
+            match e {
+                Event::Commit { txn, .. } => {
+                    committed_so_far.insert(*txn);
+                }
+                Event::Respond { txn: q, .. } => {
+                    for &p in &committed_so_far {
+                        if p != *q {
+                            rel.insert((p, *q));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        rel
+    }
+
+    /// `TS(H)`: `(P, Q)` iff both commit and `ts(P) < ts(Q)`.
+    pub fn ts_rel(&self) -> HashSet<(TxnId, TxnId)> {
+        let c = self.committed();
+        let mut rel = HashSet::new();
+        for (&p, &tp) in &c {
+            for (&q, &tq) in &c {
+                if tp < tq {
+                    rel.insert((p, q));
+                }
+            }
+        }
+        rel
+    }
+
+    /// `Known(H) = precedes(H) ∪ TS(H)` — what is known about the timestamp
+    /// order on all transactions (Section 3.4).
+    pub fn known(&self) -> HashSet<(TxnId, TxnId)> {
+        let mut k = self.precedes();
+        k.extend(self.ts_rel());
+        k
+    }
+
+    /// The committed transactions in timestamp order.
+    pub fn ts_order(&self) -> Vec<TxnId> {
+        let mut v: Vec<(Timestamp, TxnId)> =
+            self.committed().into_iter().map(|(p, t)| (t, p)).collect();
+        v.sort();
+        v.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// `OpSeq(H | P)` restricted to object `x`: the operations `p` executed
+    /// at `x`, pairing each invocation with its response and discarding
+    /// completion events and a trailing pending invocation.
+    pub fn ops_of(&self, p: TxnId, x: ObjectId) -> Vec<Operation> {
+        let mut out = Vec::new();
+        let mut pending: Option<(ObjectId, Inv)> = None;
+        for e in &self.events {
+            if e.txn() != p {
+                continue;
+            }
+            match e {
+                Event::Invoke { obj, inv, .. } => pending = Some((*obj, inv.clone())),
+                Event::Respond { obj, res, .. } => {
+                    if let Some((o, inv)) = pending.take() {
+                        debug_assert_eq!(o, *obj, "response/invocation object mismatch");
+                        if o == x {
+                            out.push(Operation { inv, res: res.clone() });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// `OpSeq(Serial(H, T)) | X`: the operation sequence at `x` when the
+    /// transactions of `H` are run serially in order `order`.
+    ///
+    /// Because `Serial(H, T) = H|P₁ • … • H|Pₙ`, the restriction to `x` is
+    /// the concatenation of each transaction's operations at `x`.
+    pub fn serial_ops_at(&self, order: &[TxnId], x: ObjectId) -> Vec<Operation> {
+        let mut out = Vec::new();
+        for &p in order {
+            out.extend(self.ops_of(p, x));
+        }
+        out
+    }
+
+    /// `Serial(H, T)` as a history: events reordered transaction-by-
+    /// transaction in the given order. Transactions of `H` absent from
+    /// `order` are dropped.
+    pub fn serialized(&self, order: &[TxnId]) -> History {
+        let mut events = Vec::with_capacity(self.events.len());
+        for &p in order {
+            events.extend(self.restrict_txn(p).events.into_iter());
+        }
+        History { events }
+    }
+
+    /// Remove transaction `p`'s pending invocation event, if any: the last
+    /// `Invoke` by `p` that is not followed by a `Respond` by `p`.
+    ///
+    /// Used when a client gives up on a blocked invocation ("the response
+    /// is discarded, and the invocation is later retried" — the retry is a
+    /// fresh invocation event). Returns true if an event was removed.
+    pub fn cancel_pending_invocation(&mut self, p: TxnId) -> bool {
+        for i in (0..self.events.len()).rev() {
+            match &self.events[i] {
+                Event::Respond { txn, .. } if *txn == p => return false,
+                Event::Invoke { txn, .. } if *txn == p => {
+                    self.events.remove(i);
+                    return true;
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Check every well-formedness constraint of Section 2.
+    pub fn well_formed(&self) -> Result<(), WfError> {
+        self.check_txn_constraints()?;
+        self.check_timestamp_constraints()
+    }
+
+    fn check_txn_constraints(&self) -> Result<(), WfError> {
+        #[derive(Default)]
+        struct TxnState {
+            pending_obj: Option<ObjectId>,
+            committed: bool,
+            aborted: bool,
+            ts: Option<Timestamp>,
+        }
+        let mut st: HashMap<TxnId, TxnState> = HashMap::new();
+        for e in &self.events {
+            let s = st.entry(e.txn()).or_default();
+            match e {
+                Event::Invoke { txn, .. } => {
+                    if s.pending_obj.is_some() {
+                        return Err(WfError::InvocationWhilePending(*txn));
+                    }
+                    if s.committed {
+                        return Err(WfError::OpAfterCommit(*txn));
+                    }
+                    s.pending_obj = Some(e.obj());
+                }
+                Event::Respond { txn, obj, .. } => match s.pending_obj.take() {
+                    None => return Err(WfError::ResponseWithoutPending(*txn)),
+                    Some(o) if o != *obj => return Err(WfError::ResponseWrongObject(*txn)),
+                    Some(_) => {}
+                },
+                Event::Commit { txn, ts, .. } => {
+                    if s.aborted {
+                        return Err(WfError::CommitAndAbort(*txn));
+                    }
+                    if s.pending_obj.is_some() {
+                        return Err(WfError::CommitWhilePending(*txn));
+                    }
+                    match s.ts {
+                        Some(t0) if t0 != *ts => {
+                            return Err(WfError::InconsistentTimestamp(*txn))
+                        }
+                        _ => s.ts = Some(*ts),
+                    }
+                    s.committed = true;
+                }
+                Event::Abort { txn, .. } => {
+                    if s.committed {
+                        return Err(WfError::CommitAndAbort(*txn));
+                    }
+                    s.aborted = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_timestamp_constraints(&self) -> Result<(), WfError> {
+        // Unique timestamps across distinct transactions.
+        let committed = self.committed();
+        let mut by_ts: HashMap<Timestamp, TxnId> = HashMap::new();
+        for e in &self.events {
+            if let Event::Commit { txn, ts, .. } = e {
+                if let Some(&other) = by_ts.get(ts) {
+                    if other != *txn {
+                        return Err(WfError::DuplicateTimestamp(other, *txn));
+                    }
+                }
+                by_ts.insert(*ts, *txn);
+            }
+        }
+        // precedes(H|X) ⊆ TS(H) for every object X.
+        for x in self.objects() {
+            for (p, q) in self.restrict_obj(x).precedes() {
+                if let (Some(tp), Some(tq)) = (committed.get(&p), committed.get(&q)) {
+                    if tp >= tq {
+                        return Err(WfError::TimestampContradictsPrecedes(p, q));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for History {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(&self.events).finish()
+    }
+}
+
+/// A fluent builder for histories, used pervasively in tests.
+#[derive(Default)]
+pub struct HistoryBuilder {
+    h: History,
+}
+
+impl HistoryBuilder {
+    /// Start an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an invocation event.
+    pub fn invoke(mut self, x: u64, p: u64, inv: Inv) -> Self {
+        self.h.push(Event::Invoke { obj: ObjectId(x), txn: TxnId(p), inv });
+        self
+    }
+
+    /// Append a response event.
+    pub fn respond(mut self, x: u64, p: u64, res: impl Into<crate::value::Value>) -> Self {
+        self.h.push(Event::Respond { obj: ObjectId(x), txn: TxnId(p), res: res.into() });
+        self
+    }
+
+    /// Append an invocation immediately followed by its response.
+    pub fn op(self, x: u64, p: u64, inv: Inv, res: impl Into<crate::value::Value>) -> Self {
+        self.invoke(x, p, inv).respond(x, p, res)
+    }
+
+    /// Append a commit event.
+    pub fn commit(mut self, x: u64, p: u64, ts: u64) -> Self {
+        self.h.push(Event::Commit { obj: ObjectId(x), txn: TxnId(p), ts: Timestamp(ts) });
+        self
+    }
+
+    /// Append an abort event.
+    pub fn abort(mut self, x: u64, p: u64) -> Self {
+        self.h.push(Event::Abort { obj: ObjectId(x), txn: TxnId(p) });
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> History {
+        self.h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn enq(v: i64) -> Inv {
+        Inv::unary("enq", v)
+    }
+    fn deq() -> Inv {
+        Inv::nullary("deq")
+    }
+
+    /// The paper's Section 3.2 example queue history: Q and P enqueue
+    /// concurrently, commit with timestamps 1 and 2, then R dequeues both.
+    fn paper_queue_history() -> History {
+        HistoryBuilder::new()
+            .op(0, 1, enq(1), Value::Unit) // P enq(1)
+            .op(0, 2, enq(2), Value::Unit) // Q enq(2)
+            .op(0, 1, enq(3), Value::Unit) // P enq(3)
+            .commit(0, 1, 2) // P commits at ts 2
+            .commit(0, 2, 1) // Q commits at ts 1
+            .op(0, 3, deq(), 2)
+            .op(0, 3, deq(), 1)
+            .commit(0, 3, 5)
+            .build()
+    }
+
+    #[test]
+    fn paper_history_is_well_formed() {
+        paper_queue_history().well_formed().unwrap();
+    }
+
+    #[test]
+    fn committed_and_ts_order() {
+        let h = paper_queue_history();
+        let c = h.committed();
+        assert_eq!(c[&TxnId(1)], Timestamp(2));
+        assert_eq!(c[&TxnId(2)], Timestamp(1));
+        assert_eq!(h.ts_order(), vec![TxnId(2), TxnId(1), TxnId(3)]);
+    }
+
+    #[test]
+    fn precedes_captures_information_flow() {
+        let h = paper_queue_history();
+        let p = h.precedes();
+        // R responds after both P and Q commit.
+        assert!(p.contains(&(TxnId(1), TxnId(3))));
+        assert!(p.contains(&(TxnId(2), TxnId(3))));
+        // P and Q are concurrent.
+        assert!(!p.contains(&(TxnId(1), TxnId(2))));
+        assert!(!p.contains(&(TxnId(2), TxnId(1))));
+    }
+
+    #[test]
+    fn known_contains_ts_pairs() {
+        let h = paper_queue_history();
+        let k = h.known();
+        assert!(k.contains(&(TxnId(2), TxnId(1)))); // ts 1 < ts 2
+        assert!(k.contains(&(TxnId(2), TxnId(3))));
+    }
+
+    #[test]
+    fn ops_of_pairs_invocations_with_responses() {
+        let h = paper_queue_history();
+        let ops = h.ops_of(TxnId(1), ObjectId(0));
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].inv, enq(1));
+        assert_eq!(ops[1].inv, enq(3));
+    }
+
+    #[test]
+    fn serial_ops_concatenates_in_order() {
+        let h = paper_queue_history();
+        let ops = h.serial_ops_at(&[TxnId(2), TxnId(1), TxnId(3)], ObjectId(0));
+        let names: Vec<_> = ops.iter().map(|o| format!("{:?}", o.inv)).collect();
+        assert_eq!(names, vec!["enq(2)", "enq(1)", "enq(3)", "deq()", "deq()"]);
+    }
+
+    #[test]
+    fn pending_invocation_is_dropped_by_opseq() {
+        let h = HistoryBuilder::new().op(0, 1, enq(1), Value::Unit).invoke(0, 1, enq(2)).build();
+        assert_eq!(h.ops_of(TxnId(1), ObjectId(0)).len(), 1);
+    }
+
+    #[test]
+    fn restriction_is_a_history_again() {
+        let h = paper_queue_history();
+        let hx = h.restrict_obj(ObjectId(0));
+        assert_eq!(hx.len(), h.len());
+        let hp = h.restrict_txn(TxnId(3));
+        assert_eq!(hp.len(), 5);
+        hp.well_formed().unwrap();
+    }
+
+    #[test]
+    fn serial_detection() {
+        assert!(paper_queue_history().restrict_txn(TxnId(1)).is_serial());
+        assert!(!paper_queue_history().is_serial());
+        let serial = paper_queue_history().serialized(&[TxnId(2), TxnId(1), TxnId(3)]);
+        assert!(serial.is_serial());
+    }
+
+    #[test]
+    fn wf_rejects_invocation_while_pending() {
+        let h = HistoryBuilder::new().invoke(0, 1, deq()).invoke(0, 1, deq()).build();
+        assert_eq!(h.well_formed(), Err(WfError::InvocationWhilePending(TxnId(1))));
+    }
+
+    #[test]
+    fn wf_rejects_response_without_pending() {
+        let h = HistoryBuilder::new().respond(0, 1, 3).build();
+        assert_eq!(h.well_formed(), Err(WfError::ResponseWithoutPending(TxnId(1))));
+    }
+
+    #[test]
+    fn wf_rejects_response_on_wrong_object() {
+        let h = HistoryBuilder::new().invoke(0, 1, deq()).respond(1, 1, 3).build();
+        assert_eq!(h.well_formed(), Err(WfError::ResponseWrongObject(TxnId(1))));
+    }
+
+    #[test]
+    fn wf_rejects_commit_and_abort() {
+        let h = HistoryBuilder::new().commit(0, 1, 1).abort(0, 1).build();
+        assert_eq!(h.well_formed(), Err(WfError::CommitAndAbort(TxnId(1))));
+        let h = HistoryBuilder::new().abort(0, 1).commit(0, 1, 1).build();
+        assert_eq!(h.well_formed(), Err(WfError::CommitAndAbort(TxnId(1))));
+    }
+
+    #[test]
+    fn wf_rejects_commit_while_pending() {
+        let h = HistoryBuilder::new().invoke(0, 1, deq()).commit(0, 1, 1).build();
+        assert_eq!(h.well_formed(), Err(WfError::CommitWhilePending(TxnId(1))));
+    }
+
+    #[test]
+    fn wf_rejects_op_after_commit() {
+        let h = HistoryBuilder::new().commit(0, 1, 1).invoke(0, 1, deq()).build();
+        assert_eq!(h.well_formed(), Err(WfError::OpAfterCommit(TxnId(1))));
+    }
+
+    #[test]
+    fn wf_allows_multiple_commits_same_ts() {
+        // The paper explicitly allows a transaction to commit more than once
+        // at the same object, with the same timestamp.
+        let h = HistoryBuilder::new().commit(0, 1, 1).commit(0, 1, 1).commit(1, 1, 1).build();
+        h.well_formed().unwrap();
+    }
+
+    #[test]
+    fn wf_rejects_inconsistent_timestamps() {
+        let h = HistoryBuilder::new().commit(0, 1, 1).commit(1, 1, 2).build();
+        assert_eq!(h.well_formed(), Err(WfError::InconsistentTimestamp(TxnId(1))));
+    }
+
+    #[test]
+    fn wf_rejects_duplicate_timestamps() {
+        let h = HistoryBuilder::new().commit(0, 1, 1).commit(0, 2, 1).build();
+        assert_eq!(h.well_formed(), Err(WfError::DuplicateTimestamp(TxnId(1), TxnId(2))));
+    }
+
+    #[test]
+    fn wf_rejects_timestamp_contradicting_precedes() {
+        // Q runs at X after P committed at X, but chooses a smaller
+        // timestamp.
+        let h = HistoryBuilder::new()
+            .commit(0, 1, 5)
+            .op(0, 2, deq(), 1)
+            .commit(0, 2, 3)
+            .build();
+        assert_eq!(
+            h.well_formed(),
+            Err(WfError::TimestampContradictsPrecedes(TxnId(1), TxnId(2)))
+        );
+    }
+
+    #[test]
+    fn wf_allows_aborted_txn_to_keep_operating() {
+        // The paper places few restrictions on aborted transactions
+        // (orphans may continue to run).
+        let h = HistoryBuilder::new().abort(0, 1).op(0, 1, enq(1), Value::Unit).build();
+        h.well_formed().unwrap();
+    }
+
+    #[test]
+    fn wf_allows_commit_without_operations() {
+        let h = HistoryBuilder::new().commit(0, 1, 1).build();
+        h.well_formed().unwrap();
+    }
+
+    #[test]
+    fn permanent_drops_non_committed() {
+        let h = HistoryBuilder::new()
+            .op(0, 1, enq(1), Value::Unit)
+            .op(0, 2, enq(2), Value::Unit)
+            .commit(0, 1, 1)
+            .build();
+        let p = h.permanent();
+        assert_eq!(p.txns(), vec![TxnId(1)]);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let h = HistoryBuilder::new().op(3, 9, enq(5), Value::Unit).commit(3, 9, 4).build();
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.objects(), vec![ObjectId(3)]);
+        assert_eq!(h.txns(), vec![TxnId(9)]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Identifier newtypes shared across the workspace.
+//!
+//! The paper's model (Section 2) names transactions `P, Q, R` and objects
+//! `X, Y, Z`; commit timestamps are drawn from a countable totally ordered
+//! set. We use `u64` for all three.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A transaction identifier (the paper's `P`, `Q`, `R`).
+///
+/// Transaction identifiers carry no ordering semantics; serialization order
+/// is determined solely by commit [`Timestamp`]s.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+/// An object identifier (the paper's `X`, `Y`, `Z`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+/// A commit timestamp, drawn from a countable totally ordered set.
+///
+/// Well-formedness (Section 2) requires that distinct transactions choose
+/// distinct timestamps and that the timestamp order is consistent with the
+/// per-object `precedes` order; [`crate::history::History::well_formed`]
+/// checks both, and `hcc-txn`'s logical clock generates conforming values.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The smallest timestamp; used as the paper's `-∞` sentinel is handled
+    /// separately via `Option`, this is merely the least concrete value.
+    pub const MIN: Timestamp = Timestamp(0);
+    /// The largest timestamp.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_ordering_is_numeric() {
+        assert!(Timestamp(1) < Timestamp(2));
+        assert!(Timestamp::MIN < Timestamp::MAX);
+    }
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{:?}", TxnId(3)), "T3");
+        assert_eq!(format!("{:?}", ObjectId(7)), "X7");
+        assert_eq!(format!("{:?}", Timestamp(9)), "@9");
+    }
+
+    #[test]
+    fn ids_are_usable_as_map_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(TxnId(1), "a");
+        m.insert(TxnId(2), "b");
+        assert_eq!(m[&TxnId(1)], "a");
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! # hcc-spec — the model of computation
+//!
+//! This crate implements Sections 2 and 3 of Herlihy & Weihl, *Hybrid
+//! Concurrency Control for Abstract Data Types* (JCSS 43, 1991):
+//!
+//! * **Events and histories** ([`event`], [`history`]): invocation, response,
+//!   commit and abort events; well-formedness; the `precedes`, `TS` and
+//!   `Known` relations; `OpSeq` and `Serial(H, T)`.
+//! * **Serial specifications** ([`adt`]): an object's behaviour in the
+//!   absence of concurrency and failures, modelled as a (possibly partial,
+//!   possibly nondeterministic) state machine. Sequence legality is decided
+//!   by state-*set* simulation, so nondeterministic specifications such as
+//!   the Semiqueue are handled exactly.
+//! * **The example data types of Section 4.3** ([`specs`]): File, FIFO
+//!   Queue, Semiqueue and Account, plus three extension types (Counter, Set,
+//!   Directory) used by the wider test and benchmark suite.
+//! * **Exact arithmetic** ([`rational`]): account balances are rational
+//!   numbers so that affine intents compose without rounding and the runtime
+//!   can be compared against the formal specification with `==`.
+
+pub mod adt;
+pub mod event;
+pub mod history;
+pub mod ids;
+pub mod rational;
+pub mod specs;
+pub mod value;
+
+pub use adt::{legal, responses_after, Adt, Frontier, Operation};
+pub use event::Event;
+pub use history::{History, WfError};
+pub use ids::{ObjectId, Timestamp, TxnId};
+pub use rational::Rational;
+pub use value::{Inv, Value};

@@ -1,0 +1,191 @@
+//! The Account type (Section 4.3, Tables V and VI; appendix).
+//!
+//! ```text
+//! Credit = Operation(Dollar)
+//! Post   = Operation(Percent)
+//! Debit  = Operation(Dollar) Signals(Overdraft)
+//! ```
+//!
+//! `Credit` increments the balance; `Post(p)` multiplies it by `1 + p/100`;
+//! `Debit` decrements it, or signals `Overdraft` (leaving the balance
+//! unchanged) when the amount exceeds the balance. The dependency relation
+//! (Table V) is *response-aware*: a successful debit never depends on
+//! credits or interest postings, only an attempted overdraft does.
+//!
+//! Responses: `Value::Unit` for Credit/Post, `Value::Bool(true)` for a
+//! successful Debit and `Value::Bool(false)` for an Overdraft signal.
+
+use crate::adt::{Adt, Operation, SpecState};
+use crate::rational::Rational;
+use crate::value::{Inv, Value};
+
+/// Serial specification of a bank account with interest posting.
+///
+/// Amounts and percentages are positive rationals; the balance is a
+/// rational and starts at zero, so it is a state invariant that the balance
+/// is never negative (a successful debit requires sufficient funds).
+#[derive(Clone, Debug, Default)]
+pub struct AccountSpec;
+
+impl AccountSpec {
+    /// Invocation: `credit(amount)`.
+    pub fn credit(amount: Rational) -> Inv {
+        Inv::unary("credit", amount)
+    }
+
+    /// Invocation: `post(percent)`.
+    pub fn post(percent: Rational) -> Inv {
+        Inv::unary("post", percent)
+    }
+
+    /// Invocation: `debit(amount)`.
+    pub fn debit(amount: Rational) -> Inv {
+        Inv::unary("debit", amount)
+    }
+
+    /// The successful-debit response.
+    pub const OK: Value = Value::Bool(true);
+    /// The overdraft response.
+    pub const OVERDRAFT: Value = Value::Bool(false);
+
+    /// Operation instances over the given credit/debit amounts and posting
+    /// percentages: credits, posts, and both outcomes of every debit.
+    pub fn alphabet(amounts: &[i64], percents: &[i64]) -> Vec<Operation> {
+        let r = |ns: &[i64]| ns.iter().map(|&n| Rational::from_int(n)).collect::<Vec<_>>();
+        Self::alphabet_ext(&r(amounts), &r(amounts), &r(percents))
+    }
+
+    /// Like [`Self::alphabet`], but with independent (rational) credit and
+    /// debit amounts. Bounded derivation needs fractional credit amounts as
+    /// *witnesses*: `post(p)` invalidates an overdraft of `m` only from a
+    /// balance in `[100m/(100+p), m)`, a window that integer credits cannot
+    /// reach for small `p`. Over the paper's dense amount domain such
+    /// balances always exist, so the finite alphabet must include them.
+    pub fn alphabet_ext(
+        credits: &[Rational],
+        debits: &[Rational],
+        percents: &[Rational],
+    ) -> Vec<Operation> {
+        let mut ops = Vec::new();
+        for &a in credits {
+            ops.push(Operation::new(Self::credit(a), Value::Unit));
+        }
+        for &a in debits {
+            ops.push(Operation::new(Self::debit(a), Self::OK));
+            ops.push(Operation::new(Self::debit(a), Self::OVERDRAFT));
+        }
+        for &p in percents {
+            ops.push(Operation::new(Self::post(p), Value::Unit));
+        }
+        ops
+    }
+
+    fn balance(state: &SpecState) -> Rational {
+        state.0.as_rat()
+    }
+}
+
+impl Adt for AccountSpec {
+    fn initial(&self) -> SpecState {
+        SpecState(Value::Rat(Rational::ZERO))
+    }
+
+    fn step(&self, state: &SpecState, inv: &Inv) -> Vec<(Value, SpecState)> {
+        let bal = Self::balance(state);
+        match inv.op {
+            "credit" => {
+                let amt = inv.args[0].as_rat();
+                vec![(Value::Unit, SpecState(Value::Rat(bal + amt)))]
+            }
+            "post" => {
+                let mult = Rational::percent_multiplier(inv.args[0].as_rat());
+                vec![(Value::Unit, SpecState(Value::Rat(bal * mult)))]
+            }
+            "debit" => {
+                let amt = inv.args[0].as_rat();
+                if bal >= amt {
+                    vec![(Self::OK, SpecState(Value::Rat(bal - amt)))]
+                } else {
+                    // Overdraft: signal and leave the balance unchanged.
+                    vec![(Self::OVERDRAFT, state.clone())]
+                }
+            }
+            _ => vec![],
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        "Account"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adt::{legal, responses_after};
+
+    fn r(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+    fn credit(n: i64) -> Operation {
+        Operation::new(AccountSpec::credit(r(n)), Value::Unit)
+    }
+    fn post(n: i64) -> Operation {
+        Operation::new(AccountSpec::post(r(n)), Value::Unit)
+    }
+    fn debit_ok(n: i64) -> Operation {
+        Operation::new(AccountSpec::debit(r(n)), AccountSpec::OK)
+    }
+    fn overdraft(n: i64) -> Operation {
+        Operation::new(AccountSpec::debit(r(n)), AccountSpec::OVERDRAFT)
+    }
+
+    #[test]
+    fn debit_requires_funds() {
+        let a = AccountSpec;
+        assert!(legal(&a, &[credit(10), debit_ok(7)]));
+        assert!(!legal(&a, &[credit(5), debit_ok(7)]));
+    }
+
+    #[test]
+    fn overdraft_leaves_balance_unchanged() {
+        let a = AccountSpec;
+        assert!(legal(&a, &[credit(5), overdraft(7), debit_ok(5)]));
+        assert!(!legal(&a, &[credit(10), overdraft(7)]));
+    }
+
+    #[test]
+    fn post_multiplies_exactly() {
+        // 100 credited, 5% posted => 105 available.
+        let a = AccountSpec;
+        assert!(legal(&a, &[credit(100), post(5), debit_ok(105)]));
+        assert!(!legal(&a, &[credit(100), post(5), debit_ok(106)]));
+    }
+
+    #[test]
+    fn posting_on_zero_balance_is_a_noop() {
+        let a = AccountSpec;
+        assert!(legal(&a, &[post(5), overdraft(1)]));
+    }
+
+    #[test]
+    fn responses_are_deterministic_per_state() {
+        let a = AccountSpec;
+        assert_eq!(
+            responses_after(&a, &[credit(3)], &AccountSpec::debit(r(3))),
+            vec![AccountSpec::OK]
+        );
+        assert_eq!(
+            responses_after(&a, &[credit(3)], &AccountSpec::debit(r(4))),
+            vec![AccountSpec::OVERDRAFT]
+        );
+    }
+
+    #[test]
+    fn alphabet_contains_both_debit_outcomes() {
+        let a = AccountSpec::alphabet(&[1, 2], &[5]);
+        // 2 credits + 2*2 debit outcomes + 1 post.
+        assert_eq!(a.len(), 7);
+        assert!(a.iter().any(|o| o.res == AccountSpec::OVERDRAFT));
+    }
+}

@@ -1,0 +1,101 @@
+//! A Counter — an extension type (not in the paper) with commuting blind
+//! updates and a response-sensitive `read`.
+//!
+//! `inc(n)` and `dec(n)` are total and commute with one another; `read()`
+//! returns the current value and is invalidated by any update. The type
+//! exercises the derivation machinery on an object where the hybrid and
+//! commutativity relations coincide for updates but differ from naive
+//! read/write locking.
+
+use crate::adt::{Adt, Operation, SpecState};
+use crate::value::{Inv, Value};
+
+/// Serial specification of an integer counter.
+#[derive(Clone, Debug, Default)]
+pub struct CounterSpec;
+
+impl CounterSpec {
+    /// Invocation: `inc(n)`.
+    pub fn inc(n: i64) -> Inv {
+        Inv::unary("inc", n)
+    }
+
+    /// Invocation: `dec(n)`.
+    pub fn dec(n: i64) -> Inv {
+        Inv::unary("dec", n)
+    }
+
+    /// Invocation: `read()`.
+    pub fn read() -> Inv {
+        Inv::nullary("read")
+    }
+
+    /// Operation instances: `inc`/`dec` over `deltas`, `read()→v` over
+    /// `reads`.
+    pub fn alphabet(deltas: &[i64], reads: &[i64]) -> Vec<Operation> {
+        let mut ops = Vec::new();
+        for &d in deltas {
+            ops.push(Operation::new(Self::inc(d), Value::Unit));
+            ops.push(Operation::new(Self::dec(d), Value::Unit));
+        }
+        for &v in reads {
+            ops.push(Operation::new(Self::read(), v));
+        }
+        ops
+    }
+}
+
+impl Adt for CounterSpec {
+    fn initial(&self) -> SpecState {
+        SpecState(Value::Int(0))
+    }
+
+    fn step(&self, state: &SpecState, inv: &Inv) -> Vec<(Value, SpecState)> {
+        let n = state.0.as_int();
+        match inv.op {
+            "inc" => vec![(Value::Unit, SpecState(Value::Int(n + inv.args[0].as_int())))],
+            "dec" => vec![(Value::Unit, SpecState(Value::Int(n - inv.args[0].as_int())))],
+            "read" => vec![(Value::Int(n), state.clone())],
+            _ => vec![],
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        "Counter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adt::legal;
+
+    fn inc(n: i64) -> Operation {
+        Operation::new(CounterSpec::inc(n), Value::Unit)
+    }
+    fn dec(n: i64) -> Operation {
+        Operation::new(CounterSpec::dec(n), Value::Unit)
+    }
+    fn read(v: i64) -> Operation {
+        Operation::new(CounterSpec::read(), v)
+    }
+
+    #[test]
+    fn updates_accumulate() {
+        let c = CounterSpec;
+        assert!(legal(&c, &[inc(3), dec(1), read(2)]));
+        assert!(!legal(&c, &[inc(3), dec(1), read(3)]));
+    }
+
+    #[test]
+    fn counter_may_go_negative() {
+        let c = CounterSpec;
+        assert!(legal(&c, &[dec(5), read(-5)]));
+    }
+
+    #[test]
+    fn read_is_repeatable() {
+        let c = CounterSpec;
+        assert!(legal(&c, &[read(0), read(0), inc(1), read(1)]));
+    }
+}

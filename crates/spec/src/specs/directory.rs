@@ -1,0 +1,170 @@
+//! A Directory (key → value map) — the paper's introduction names
+//! directories as a motivating typed object; we give them a full
+//! specification as an extension type.
+//!
+//! `insert(k, v)` binds `k` if unbound (returns whether it did);
+//! `remove(k)` unbinds and returns the old value or `Null`;
+//! `lookup(k)` returns the bound value or `Null`. Operations on distinct
+//! keys never depend on one another, which the relation-derivation engine
+//! confirms.
+
+use crate::adt::{Adt, Operation, SpecState};
+use crate::value::{Inv, Value};
+
+/// Serial specification of a directory mapping keys to values.
+#[derive(Clone, Debug, Default)]
+pub struct DirectorySpec;
+
+impl DirectorySpec {
+    /// Invocation: `insert(k, v)`.
+    pub fn insert(k: impl Into<Value>, v: impl Into<Value>) -> Inv {
+        Inv::binary("insert", k, v)
+    }
+
+    /// Invocation: `remove(k)`.
+    pub fn remove(k: impl Into<Value>) -> Inv {
+        Inv::unary("remove", k)
+    }
+
+    /// Invocation: `lookup(k)`.
+    pub fn lookup(k: impl Into<Value>) -> Inv {
+        Inv::unary("lookup", k)
+    }
+
+    /// Operation instances over `keys` × `values`, with every observable
+    /// outcome (bound / unbound).
+    pub fn alphabet(keys: &[Value], values: &[Value]) -> Vec<Operation> {
+        let mut ops = Vec::new();
+        for k in keys {
+            for v in values {
+                ops.push(Operation::new(Self::insert(k.clone(), v.clone()), Value::Bool(true)));
+                ops.push(Operation::new(Self::insert(k.clone(), v.clone()), Value::Bool(false)));
+                ops.push(Operation::new(Self::remove(k.clone()), v.clone()));
+                ops.push(Operation::new(Self::lookup(k.clone()), v.clone()));
+            }
+            ops.push(Operation::new(Self::remove(k.clone()), Value::Null));
+            ops.push(Operation::new(Self::lookup(k.clone()), Value::Null));
+        }
+        ops
+    }
+
+    /// State is a sorted association list `[(k, v), ...]`.
+    fn entries(state: &SpecState) -> &Vec<Value> {
+        match &state.0 {
+            Value::List(xs) => xs,
+            _ => unreachable!("directory state is a list"),
+        }
+    }
+
+    fn find(entries: &[Value], k: &Value) -> Result<usize, usize> {
+        entries.binary_search_by(|e| match e {
+            Value::Pair(ek, _) => ek.as_ref().cmp(k),
+            _ => unreachable!("directory entries are pairs"),
+        })
+    }
+}
+
+impl Adt for DirectorySpec {
+    fn initial(&self) -> SpecState {
+        SpecState(Value::List(Vec::new()))
+    }
+
+    fn step(&self, state: &SpecState, inv: &Inv) -> Vec<(Value, SpecState)> {
+        let entries = Self::entries(state);
+        let k = &inv.args[0];
+        let pos = Self::find(entries, k);
+        match inv.op {
+            "insert" => match pos {
+                Ok(_) => vec![(Value::Bool(false), state.clone())],
+                Err(i) => {
+                    let mut next = entries.clone();
+                    next.insert(
+                        i,
+                        Value::Pair(Box::new(k.clone()), Box::new(inv.args[1].clone())),
+                    );
+                    vec![(Value::Bool(true), SpecState(Value::List(next)))]
+                }
+            },
+            "remove" => match pos {
+                Ok(i) => {
+                    let old = match &entries[i] {
+                        Value::Pair(_, v) => v.as_ref().clone(),
+                        _ => unreachable!(),
+                    };
+                    let mut next = entries.clone();
+                    next.remove(i);
+                    vec![(old, SpecState(Value::List(next)))]
+                }
+                Err(_) => vec![(Value::Null, state.clone())],
+            },
+            "lookup" => match pos {
+                Ok(i) => {
+                    let v = match &entries[i] {
+                        Value::Pair(_, v) => v.as_ref().clone(),
+                        _ => unreachable!(),
+                    };
+                    vec![(v, state.clone())]
+                }
+                Err(_) => vec![(Value::Null, state.clone())],
+            },
+            _ => vec![],
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        "Directory"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adt::legal;
+
+    fn ins(k: &str, v: i64, r: bool) -> Operation {
+        Operation::new(DirectorySpec::insert(k, v), r)
+    }
+    fn rem(k: &str, r: impl Into<Value>) -> Operation {
+        Operation::new(DirectorySpec::remove(k), r)
+    }
+    fn get(k: &str, r: impl Into<Value>) -> Operation {
+        Operation::new(DirectorySpec::lookup(k), r)
+    }
+
+    #[test]
+    fn insert_binds_once() {
+        let d = DirectorySpec;
+        assert!(legal(&d, &[ins("a", 1, true), ins("a", 2, false), get("a", 1)]));
+        assert!(!legal(&d, &[ins("a", 1, true), ins("a", 2, true)]));
+    }
+
+    #[test]
+    fn remove_returns_old_binding() {
+        let d = DirectorySpec;
+        assert!(legal(&d, &[ins("a", 1, true), rem("a", 1), get("a", Value::Null)]));
+        assert!(legal(&d, &[rem("a", Value::Null)]));
+        assert!(!legal(&d, &[rem("a", 1)]));
+    }
+
+    #[test]
+    fn lookup_misses_return_null() {
+        let d = DirectorySpec;
+        assert!(legal(&d, &[get("zzz", Value::Null)]));
+        assert!(!legal(&d, &[get("zzz", 3)]));
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let d = DirectorySpec;
+        assert!(legal(
+            &d,
+            &[ins("a", 1, true), ins("b", 2, true), rem("a", 1), get("b", 2)]
+        ));
+    }
+
+    #[test]
+    fn reinsert_after_remove() {
+        let d = DirectorySpec;
+        assert!(legal(&d, &[ins("a", 1, true), rem("a", 1), ins("a", 2, true), get("a", 2)]));
+    }
+}

@@ -1,0 +1,125 @@
+//! The File type (Section 4.3, Table I).
+//!
+//! ```text
+//! Read  = Operation() Returns(Value)
+//! Write = Operation(Value)
+//! ```
+//!
+//! `Read` returns the most recently written value. Its unique minimal
+//! dependency relation is `{ (Read()→v, Write(v')) : v ≠ v' }`, the
+//! generalized Thomas Write Rule: blind writes never conflict.
+
+use crate::adt::{Adt, Operation, SpecState};
+use crate::value::{Inv, Value};
+
+/// Serial specification of a File (a read/write register).
+#[derive(Clone, Debug)]
+pub struct FileSpec {
+    /// The value read before any write occurs.
+    pub initial: Value,
+}
+
+impl FileSpec {
+    /// A file whose initial content is `initial`.
+    pub fn new(initial: Value) -> FileSpec {
+        FileSpec { initial }
+    }
+
+    /// Invocation: `read()`.
+    pub fn read() -> Inv {
+        Inv::nullary("read")
+    }
+
+    /// Invocation: `write(v)`.
+    pub fn write(v: impl Into<Value>) -> Inv {
+        Inv::unary("write", v)
+    }
+
+    /// The operation instances over `domain` used for bounded relation
+    /// derivation: every `write(v)` and every `read()→v`.
+    pub fn alphabet(domain: &[Value]) -> Vec<Operation> {
+        let mut ops = Vec::new();
+        for v in domain {
+            ops.push(Operation::new(Self::write(v.clone()), Value::Unit));
+            ops.push(Operation::new(Self::read(), v.clone()));
+        }
+        ops
+    }
+}
+
+impl Default for FileSpec {
+    fn default() -> Self {
+        FileSpec::new(Value::Int(0))
+    }
+}
+
+impl Adt for FileSpec {
+    fn initial(&self) -> SpecState {
+        SpecState(self.initial.clone())
+    }
+
+    fn step(&self, state: &SpecState, inv: &Inv) -> Vec<(Value, SpecState)> {
+        match inv.op {
+            "read" => vec![(state.0.clone(), state.clone())],
+            "write" => vec![(Value::Unit, SpecState(inv.args[0].clone()))],
+            _ => vec![],
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        "File"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adt::{legal, responses_after};
+
+    fn w(v: i64) -> Operation {
+        Operation::new(FileSpec::write(v), Value::Unit)
+    }
+    fn r(v: i64) -> Operation {
+        Operation::new(FileSpec::read(), v)
+    }
+
+    #[test]
+    fn read_returns_last_written() {
+        let f = FileSpec::default();
+        assert!(legal(&f, &[w(1), w(2), r(2)]));
+        assert!(!legal(&f, &[w(1), w(2), r(1)]));
+    }
+
+    #[test]
+    fn read_of_initial_value() {
+        let f = FileSpec::new(Value::Int(7));
+        assert!(legal(&f, &[r(7)]));
+        assert!(!legal(&f, &[r(0)]));
+    }
+
+    #[test]
+    fn reads_are_stable() {
+        let f = FileSpec::default();
+        assert!(legal(&f, &[w(3), r(3), r(3)]));
+        assert!(!legal(&f, &[w(3), r(3), r(4)]));
+    }
+
+    #[test]
+    fn responses_enumerate_current_value_only() {
+        let f = FileSpec::default();
+        assert_eq!(responses_after(&f, &[w(5)], &FileSpec::read()), vec![Value::Int(5)]);
+    }
+
+    #[test]
+    fn unknown_op_is_illegal() {
+        let f = FileSpec::default();
+        assert!(!legal(&f, &[Operation::new(Inv::nullary("pop"), Value::Unit)]));
+    }
+
+    #[test]
+    fn alphabet_covers_reads_and_writes() {
+        let dom = vec![Value::Int(1), Value::Int(2)];
+        let a = FileSpec::alphabet(&dom);
+        assert_eq!(a.len(), 4);
+    }
+}

@@ -1,0 +1,24 @@
+//! Serial specifications for the paper's example data types (Section 4.3)
+//! and three extension types used by the broader test suite.
+//!
+//! Every specification implements [`crate::adt::Adt`] and additionally
+//! exposes an `alphabet` constructor producing the finite set of operation
+//! *instances* over a small value domain; `hcc-relations` uses these
+//! alphabets for bounded derivation of dependency and commutativity
+//! relations.
+
+mod account;
+mod counter;
+mod directory;
+mod file;
+mod queue;
+mod semiqueue;
+mod set;
+
+pub use account::AccountSpec;
+pub use counter::CounterSpec;
+pub use directory::DirectorySpec;
+pub use file::FileSpec;
+pub use queue::QueueSpec;
+pub use semiqueue::SemiqueueSpec;
+pub use set::SetSpec;

@@ -1,0 +1,127 @@
+//! The FIFO Queue (Section 4.3, Tables II and III).
+//!
+//! `Enq` places an item at the end; `Deq` removes and returns the item at
+//! the front, and is *partial*: on an empty queue it is undefined (the
+//! implementation blocks). The queue famously has **two distinct minimal
+//! dependency relations** (Tables II and III), which `hcc-relations`
+//! rediscovers mechanically.
+
+use crate::adt::{Adt, Operation, SpecState};
+use crate::value::{Inv, Value};
+
+/// Serial specification of a FIFO queue.
+#[derive(Clone, Debug, Default)]
+pub struct QueueSpec;
+
+impl QueueSpec {
+    /// Invocation: `enq(v)`.
+    pub fn enq(v: impl Into<Value>) -> Inv {
+        Inv::unary("enq", v)
+    }
+
+    /// Invocation: `deq()`.
+    pub fn deq() -> Inv {
+        Inv::nullary("deq")
+    }
+
+    /// Operation instances over `domain`: every `enq(v)→Ok` and `deq()→v`.
+    pub fn alphabet(domain: &[Value]) -> Vec<Operation> {
+        let mut ops = Vec::new();
+        for v in domain {
+            ops.push(Operation::new(Self::enq(v.clone()), Value::Unit));
+            ops.push(Operation::new(Self::deq(), v.clone()));
+        }
+        ops
+    }
+
+    fn items(state: &SpecState) -> &Vec<Value> {
+        match &state.0 {
+            Value::List(xs) => xs,
+            _ => unreachable!("queue state is a list"),
+        }
+    }
+}
+
+impl Adt for QueueSpec {
+    fn initial(&self) -> SpecState {
+        SpecState(Value::List(Vec::new()))
+    }
+
+    fn step(&self, state: &SpecState, inv: &Inv) -> Vec<(Value, SpecState)> {
+        let items = Self::items(state);
+        match inv.op {
+            "enq" => {
+                let mut next = items.clone();
+                next.push(inv.args[0].clone());
+                vec![(Value::Unit, SpecState(Value::List(next)))]
+            }
+            "deq" => {
+                // Partial: undefined on the empty queue.
+                match items.split_first() {
+                    None => vec![],
+                    Some((front, rest)) => {
+                        vec![(front.clone(), SpecState(Value::List(rest.to_vec())))]
+                    }
+                }
+            }
+            _ => vec![],
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        "FIFO-Queue"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adt::{legal, responses_after};
+
+    fn e(v: i64) -> Operation {
+        Operation::new(QueueSpec::enq(v), Value::Unit)
+    }
+    fn d(v: i64) -> Operation {
+        Operation::new(QueueSpec::deq(), v)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = QueueSpec;
+        assert!(legal(&q, &[e(1), e(2), d(1), d(2)]));
+        assert!(!legal(&q, &[e(1), e(2), d(2)]));
+    }
+
+    #[test]
+    fn deq_on_empty_is_undefined() {
+        let q = QueueSpec;
+        assert!(!legal(&q, &[d(1)]));
+        assert!(!legal(&q, &[e(1), d(1), d(1)]));
+    }
+
+    #[test]
+    fn duplicate_items_are_fine() {
+        let q = QueueSpec;
+        assert!(legal(&q, &[e(7), e(7), d(7), d(7)]));
+    }
+
+    #[test]
+    fn responses_are_the_front_item() {
+        let q = QueueSpec;
+        assert_eq!(responses_after(&q, &[e(4), e(5)], &QueueSpec::deq()), vec![Value::Int(4)]);
+        assert!(responses_after(&q, &[], &QueueSpec::deq()).is_empty());
+    }
+
+    #[test]
+    fn paper_section_3_2_example() {
+        // OpSeq(H) = [Enq(3), Ok] [Deq, 3] is legal.
+        let q = QueueSpec;
+        assert!(legal(&q, &[e(3), d(3)]));
+    }
+
+    #[test]
+    fn alphabet_size() {
+        let dom = vec![Value::Int(1), Value::Int(2)];
+        assert_eq!(QueueSpec::alphabet(&dom).len(), 4);
+    }
+}

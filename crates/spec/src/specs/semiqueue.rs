@@ -1,0 +1,137 @@
+//! The Semiqueue (Section 4.3, Table IV).
+//!
+//! `Ins` inserts an item; `Rem` *nondeterministically* removes and returns
+//! some present item (and, like `Deq`, is undefined when the semiqueue is
+//! empty). The nondeterminism is the point: `Rem` operations that return
+//! different items need not conflict, and `Ins` never conflicts with `Rem`.
+
+use crate::adt::{Adt, Operation, SpecState};
+use crate::value::{Inv, Value};
+
+/// Serial specification of a Semiqueue (a multiset with nondeterministic
+/// removal).
+#[derive(Clone, Debug, Default)]
+pub struct SemiqueueSpec;
+
+impl SemiqueueSpec {
+    /// Invocation: `ins(v)`.
+    pub fn ins(v: impl Into<Value>) -> Inv {
+        Inv::unary("ins", v)
+    }
+
+    /// Invocation: `rem()`.
+    pub fn rem() -> Inv {
+        Inv::nullary("rem")
+    }
+
+    /// Operation instances over `domain`: every `ins(v)→Ok` and `rem()→v`.
+    pub fn alphabet(domain: &[Value]) -> Vec<Operation> {
+        let mut ops = Vec::new();
+        for v in domain {
+            ops.push(Operation::new(Self::ins(v.clone()), Value::Unit));
+            ops.push(Operation::new(Self::rem(), v.clone()));
+        }
+        ops
+    }
+
+    /// State is a multiset encoded as a sorted list.
+    fn items(state: &SpecState) -> &Vec<Value> {
+        match &state.0 {
+            Value::List(xs) => xs,
+            _ => unreachable!("semiqueue state is a list"),
+        }
+    }
+}
+
+impl Adt for SemiqueueSpec {
+    fn initial(&self) -> SpecState {
+        SpecState(Value::List(Vec::new()))
+    }
+
+    fn step(&self, state: &SpecState, inv: &Inv) -> Vec<(Value, SpecState)> {
+        let items = Self::items(state);
+        match inv.op {
+            "ins" => {
+                let mut next = items.clone();
+                let v = inv.args[0].clone();
+                let pos = next.partition_point(|x| *x <= v);
+                next.insert(pos, v);
+                vec![(Value::Unit, SpecState(Value::List(next)))]
+            }
+            "rem" => {
+                // One successor per *distinct* present item.
+                let mut out = Vec::new();
+                let mut last: Option<&Value> = None;
+                for (i, v) in items.iter().enumerate() {
+                    if last == Some(v) {
+                        continue;
+                    }
+                    last = Some(v);
+                    let mut next = items.clone();
+                    next.remove(i);
+                    out.push((v.clone(), SpecState(Value::List(next))));
+                }
+                out
+            }
+            _ => vec![],
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        "Semiqueue"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adt::{legal, responses_after};
+
+    fn i(v: i64) -> Operation {
+        Operation::new(SemiqueueSpec::ins(v), Value::Unit)
+    }
+    fn r(v: i64) -> Operation {
+        Operation::new(SemiqueueSpec::rem(), v)
+    }
+
+    #[test]
+    fn rem_returns_any_present_item() {
+        let s = SemiqueueSpec;
+        assert!(legal(&s, &[i(1), i(2), r(2), r(1)]));
+        assert!(legal(&s, &[i(1), i(2), r(1), r(2)]));
+    }
+
+    #[test]
+    fn rem_of_absent_item_is_illegal() {
+        let s = SemiqueueSpec;
+        assert!(!legal(&s, &[i(1), r(2)]));
+        assert!(!legal(&s, &[r(1)]));
+    }
+
+    #[test]
+    fn multiset_semantics() {
+        let s = SemiqueueSpec;
+        assert!(legal(&s, &[i(5), i(5), r(5), r(5)]));
+        assert!(!legal(&s, &[i(5), r(5), r(5)]));
+    }
+
+    #[test]
+    fn responses_enumerate_distinct_items() {
+        let s = SemiqueueSpec;
+        let rs = responses_after(&s, &[i(1), i(2), i(2)], &SemiqueueSpec::rem());
+        assert_eq!(rs, vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn nondeterminism_keeps_multiple_states_live() {
+        // After ins(1) ins(2) rem()→1, a later rem()→2 must still succeed.
+        let s = SemiqueueSpec;
+        assert!(legal(&s, &[i(1), i(2), r(1), r(2)]));
+    }
+
+    #[test]
+    fn alphabet_size() {
+        let dom = vec![Value::Int(1), Value::Int(2)];
+        assert_eq!(SemiqueueSpec::alphabet(&dom).len(), 4);
+    }
+}

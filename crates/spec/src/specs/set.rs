@@ -1,0 +1,128 @@
+//! A Set — an extension type whose operations report whether they changed
+//! anything, giving rich response-dependent conflict structure.
+//!
+//! `add(v)` returns `true` iff `v` was absent; `remove(v)` returns `true`
+//! iff `v` was present; `contains(v)` reports membership. All three are
+//! total. Operations on different elements never depend on one another.
+
+use crate::adt::{Adt, Operation, SpecState};
+use crate::value::{Inv, Value};
+
+/// Serial specification of a set of values.
+#[derive(Clone, Debug, Default)]
+pub struct SetSpec;
+
+impl SetSpec {
+    /// Invocation: `add(v)`.
+    pub fn add(v: impl Into<Value>) -> Inv {
+        Inv::unary("add", v)
+    }
+
+    /// Invocation: `remove(v)`.
+    pub fn remove(v: impl Into<Value>) -> Inv {
+        Inv::unary("remove", v)
+    }
+
+    /// Invocation: `contains(v)`.
+    pub fn contains(v: impl Into<Value>) -> Inv {
+        Inv::unary("contains", v)
+    }
+
+    /// Operation instances over `domain`: both outcomes of every operation.
+    pub fn alphabet(domain: &[Value]) -> Vec<Operation> {
+        let mut ops = Vec::new();
+        for v in domain {
+            for outcome in [true, false] {
+                ops.push(Operation::new(Self::add(v.clone()), outcome));
+                ops.push(Operation::new(Self::remove(v.clone()), outcome));
+                ops.push(Operation::new(Self::contains(v.clone()), outcome));
+            }
+        }
+        ops
+    }
+
+    fn items(state: &SpecState) -> &Vec<Value> {
+        match &state.0 {
+            Value::List(xs) => xs,
+            _ => unreachable!("set state is a list"),
+        }
+    }
+}
+
+impl Adt for SetSpec {
+    fn initial(&self) -> SpecState {
+        SpecState(Value::List(Vec::new()))
+    }
+
+    fn step(&self, state: &SpecState, inv: &Inv) -> Vec<(Value, SpecState)> {
+        let items = Self::items(state);
+        let v = &inv.args[0];
+        let pos = items.binary_search(v);
+        match inv.op {
+            "add" => match pos {
+                Ok(_) => vec![(Value::Bool(false), state.clone())],
+                Err(i) => {
+                    let mut next = items.clone();
+                    next.insert(i, v.clone());
+                    vec![(Value::Bool(true), SpecState(Value::List(next)))]
+                }
+            },
+            "remove" => match pos {
+                Ok(i) => {
+                    let mut next = items.clone();
+                    next.remove(i);
+                    vec![(Value::Bool(true), SpecState(Value::List(next)))]
+                }
+                Err(_) => vec![(Value::Bool(false), state.clone())],
+            },
+            "contains" => vec![(Value::Bool(pos.is_ok()), state.clone())],
+            _ => vec![],
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        "Set"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adt::legal;
+
+    fn add(v: i64, r: bool) -> Operation {
+        Operation::new(SetSpec::add(v), r)
+    }
+    fn rem(v: i64, r: bool) -> Operation {
+        Operation::new(SetSpec::remove(v), r)
+    }
+    fn has(v: i64, r: bool) -> Operation {
+        Operation::new(SetSpec::contains(v), r)
+    }
+
+    #[test]
+    fn add_reports_novelty() {
+        let s = SetSpec;
+        assert!(legal(&s, &[add(1, true), add(1, false)]));
+        assert!(!legal(&s, &[add(1, true), add(1, true)]));
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let s = SetSpec;
+        assert!(legal(&s, &[rem(1, false), add(1, true), rem(1, true)]));
+        assert!(!legal(&s, &[rem(1, true)]));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let s = SetSpec;
+        assert!(legal(&s, &[has(2, false), add(2, true), has(2, true), rem(2, true), has(2, false)]));
+    }
+
+    #[test]
+    fn elements_are_independent() {
+        let s = SetSpec;
+        assert!(legal(&s, &[add(1, true), add(2, true), rem(1, true), has(2, true)]));
+    }
+}

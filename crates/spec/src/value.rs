@@ -1,0 +1,216 @@
+//! Dynamic values and invocations.
+//!
+//! Histories mix operations on objects of different types, so the formal
+//! layer uses a single dynamic representation: an invocation is an operation
+//! name plus argument [`Value`]s, and a response is a [`Value`]. Typed
+//! runtime objects (crate `hcc-adts`) convert to and from this
+//! representation for verification.
+
+use crate::rational::Rational;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dynamic value: operation arguments and responses.
+///
+/// `Value` is totally ordered and hashable so it can key multisets and
+/// appear in specification states.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// The unit (the paper's `Ok` response for operations that return nothing).
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An exact rational (account balances, interest rates).
+    Rat(Rational),
+    /// A string (directory keys, symbolic item names).
+    Str(String),
+    /// Absence (e.g., a directory lookup miss).
+    Null,
+    /// An ordered pair.
+    Pair(Box<Value>, Box<Value>),
+    /// A list.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Shorthand for `Value::Int`.
+    pub fn int(n: i64) -> Value {
+        Value::Int(n)
+    }
+
+    /// Shorthand for `Value::Str`.
+    pub fn str(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+
+    /// Shorthand for `Value::Rat`.
+    pub fn rat(n: i128, d: i128) -> Value {
+        Value::Rat(Rational::new(n, d))
+    }
+
+    /// Extract an integer, panicking with a clear message otherwise.
+    ///
+    /// Specification code uses this on arguments it has itself constructed.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(n) => *n,
+            other => panic!("expected Int, got {other:?}"),
+        }
+    }
+
+    /// Extract a rational, accepting integer values as exact rationals.
+    pub fn as_rat(&self) -> Rational {
+        match self {
+            Value::Rat(r) => *r,
+            Value::Int(n) => Rational::from_int(*n),
+            other => panic!("expected Rat, got {other:?}"),
+        }
+    }
+
+    /// Extract a boolean.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("expected Bool, got {other:?}"),
+        }
+    }
+
+    /// Extract a string slice.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(s) => s,
+            other => panic!("expected Str, got {other:?}"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "Ok"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Rat(r) => write!(f, "{r}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Null => write!(f, "null"),
+            Value::Pair(a, b) => write!(f, "({a:?}, {b:?})"),
+            Value::List(xs) => f.debug_list().entries(xs).finish(),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<Rational> for Value {
+    fn from(r: Rational) -> Self {
+        Value::Rat(r)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+/// An invocation: an operation name plus arguments.
+///
+/// The paper's `⟨inv, X, P⟩` events carry "both the name of the operation
+/// and its arguments"; `Inv` is that `inv` field.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct Inv {
+    /// Operation name, e.g. `"enq"`, `"deq"`, `"credit"`.
+    pub op: &'static str,
+    /// Operation arguments.
+    pub args: Vec<Value>,
+}
+
+impl Inv {
+    /// Construct an invocation.
+    pub fn new(op: &'static str, args: Vec<Value>) -> Inv {
+        Inv { op, args }
+    }
+
+    /// A zero-argument invocation.
+    pub fn nullary(op: &'static str) -> Inv {
+        Inv { op, args: Vec::new() }
+    }
+
+    /// A one-argument invocation.
+    pub fn unary(op: &'static str, arg: impl Into<Value>) -> Inv {
+        Inv { op, args: vec![arg.into()] }
+    }
+
+    /// A two-argument invocation.
+    pub fn binary(op: &'static str, a: impl Into<Value>, b: impl Into<Value>) -> Inv {
+        Inv { op, args: vec![a.into(), b.into()] }
+    }
+}
+
+impl fmt::Debug for Inv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.op)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors_roundtrip() {
+        assert_eq!(Value::int(5).as_int(), 5);
+        assert!(Value::Bool(true).as_bool());
+        assert_eq!(Value::str("k").as_str(), "k");
+        assert_eq!(Value::Int(3).as_rat(), Rational::from_int(3));
+        assert_eq!(Value::rat(1, 2).as_rat(), Rational::new(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn wrong_accessor_panics() {
+        Value::Unit.as_int();
+    }
+
+    #[test]
+    fn values_are_ordered() {
+        assert!(Value::Int(1) < Value::Int(2));
+        // Cross-variant ordering only needs to be total and stable.
+        let mut v = vec![Value::Int(2), Value::Unit, Value::Int(1)];
+        v.sort();
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn inv_debug_is_readable() {
+        assert_eq!(format!("{:?}", Inv::unary("enq", 3)), "enq(3)");
+        assert_eq!(format!("{:?}", Inv::nullary("deq")), "deq()");
+        let i = Inv::binary("insert", "k", 7);
+        assert_eq!(format!("{i:?}"), "insert(\"k\", 7)");
+    }
+
+    #[test]
+    fn inv_equality_includes_args() {
+        assert_ne!(Inv::unary("enq", 1), Inv::unary("enq", 2));
+        assert_eq!(Inv::unary("enq", 1), Inv::unary("enq", 1));
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for the model-of-computation layer: exact
+//! arithmetic laws, history invariants, and the legality engine.
+
+use hcc_spec::history::HistoryBuilder;
+use hcc_spec::specs::QueueSpec;
+use hcc_spec::{Frontier, ObjectId, Operation, Rational, TxnId, Value};
+use proptest::prelude::*;
+
+fn rat() -> impl Strategy<Value = Rational> {
+    (-500i128..500, 1i128..40).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---- Rational laws -------------------------------------------------
+
+    #[test]
+    fn rational_addition_commutes(a in rat(), b in rat()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn rational_multiplication_distributes(a in rat(), b in rat(), c in rat()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn rational_addition_associates(a in rat(), b in rat(), c in rat()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn rational_subtraction_inverts_addition(a in rat(), b in rat()) {
+        prop_assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn rational_ordering_is_translation_invariant(a in rat(), b in rat(), c in rat()) {
+        prop_assert_eq!(a < b, a + c < b + c);
+    }
+
+    #[test]
+    fn rational_normalization_is_canonical(n in -500i128..500, d in 1i128..40, k in 1i128..10) {
+        prop_assert_eq!(Rational::new(n, d), Rational::new(n * k, d * k));
+    }
+
+    // ---- Affine composition (the Account intent representation) --------
+
+    #[test]
+    fn affine_composition_is_exact(b in rat(), m1 in rat(), a1 in rat(), m2 in rat(), a2 in rat()) {
+        let sequential = (b * m1 + a1) * m2 + a2;
+        let composed = b * (m2 * m1) + (m2 * a1 + a2);
+        prop_assert_eq!(sequential, composed);
+    }
+
+    // ---- History invariants --------------------------------------------
+
+    /// Build a random *well-formed* single-object queue history and check
+    /// the derived relations and restrictions.
+    #[test]
+    fn history_invariants(script in prop::collection::vec((0u64..4, 0u8..4, 1i64..4), 1..25)) {
+        let mut b = HistoryBuilder::new();
+        // Track per-transaction status to keep the build well formed.
+        let mut committed = std::collections::HashSet::new();
+        let mut aborted = std::collections::HashSet::new();
+        let mut depth: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::new();
+        let mut next_ts = 1u64;
+        let mut any_committed_ts = 0u64;
+        for (t, kind, v) in script {
+            if committed.contains(&t) { continue; }
+            match kind {
+                0 => { b = b.op(0, t, QueueSpec::enq(v), Value::Unit);
+                       *depth.entry(t).or_default() += 1; }
+                1 if !aborted.contains(&t) => {
+                    // Commit with a fresh timestamp later than everything
+                    // observed (trivially satisfies precedes ⊆ TS).
+                    next_ts = next_ts.max(any_committed_ts + 1);
+                    b = b.commit(0, t, next_ts);
+                    any_committed_ts = next_ts;
+                    next_ts += 1;
+                    committed.insert(t);
+                }
+                2 => { b = b.abort(0, t); aborted.insert(t); }
+                _ => {}
+            }
+        }
+        let h = b.build();
+        h.well_formed().expect("constructed history is well formed");
+
+        // permanent(H) contains exactly the committed transactions.
+        let perm = h.permanent();
+        for t in perm.txns() {
+            prop_assert!(h.committed().contains_key(&t));
+        }
+        // Restrictions of well-formed histories are well formed.
+        for t in h.txns() {
+            h.restrict_txn(t).well_formed().unwrap();
+        }
+        h.restrict_obj(ObjectId(0)).well_formed().unwrap();
+        // precedes ⊆ known; TS ⊆ known.
+        let known = h.known();
+        for pair in h.precedes() {
+            prop_assert!(known.contains(&pair));
+        }
+        for pair in h.ts_rel() {
+            prop_assert!(known.contains(&pair));
+        }
+        // ts_order is sorted by timestamp and covers committed(H).
+        let order = h.ts_order();
+        prop_assert_eq!(order.len(), h.committed().len());
+        let stamps: Vec<_> = order.iter().map(|t| h.committed()[t]).collect();
+        prop_assert!(stamps.windows(2).all(|w| w[0] < w[1]));
+        // Serial(H, T) is serial and preserves per-transaction projections.
+        let serial = h.serialized(&h.txns());
+        prop_assert!(serial.is_serial());
+        for t in h.txns() {
+            let a = serial.restrict_txn(t);
+            let b = h.restrict_txn(t);
+            prop_assert_eq!(a.events(), b.events());
+        }
+    }
+
+    // ---- Legality engine -----------------------------------------------
+
+    /// Frontier advancement composes: stepping a+b equals stepping a then b.
+    #[test]
+    fn frontier_advance_composes(
+        a in prop::collection::vec((0u8..2, 1i64..4), 0..5),
+        b in prop::collection::vec((0u8..2, 1i64..4), 0..5),
+    ) {
+        let mk = |v: &[(u8, i64)]| -> Vec<Operation> {
+            v.iter().map(|&(k, x)| if k == 0 {
+                Operation::new(QueueSpec::enq(x), Value::Unit)
+            } else {
+                Operation::new(QueueSpec::deq(), x)
+            }).collect()
+        };
+        let (a, b) = (mk(&a), mk(&b));
+        let q = QueueSpec;
+        let whole = {
+            let mut s = a.clone();
+            s.extend(b.iter().cloned());
+            Frontier::initial(&q).advance_seq(&q, &s)
+        };
+        let split = Frontier::initial(&q).advance_seq(&q, &a).advance_seq(&q, &b);
+        prop_assert_eq!(whole, split);
+    }
+
+    /// Prefix closure: every prefix of a legal sequence is legal.
+    #[test]
+    fn legal_sequences_are_prefix_closed(
+        v in prop::collection::vec((0u8..2, 1i64..4), 0..8)
+    ) {
+        let ops: Vec<Operation> = v.iter().map(|&(k, x)| if k == 0 {
+            Operation::new(QueueSpec::enq(x), Value::Unit)
+        } else {
+            Operation::new(QueueSpec::deq(), x)
+        }).collect();
+        let q = QueueSpec;
+        if hcc_spec::legal(&q, &ops) {
+            for i in 0..ops.len() {
+                prop_assert!(hcc_spec::legal(&q, &ops[..i]));
+            }
+        }
+    }
+}
+
+#[test]
+fn ts_order_ties_broken_consistently() {
+    // Two commits of the same transaction don't duplicate it in ts_order.
+    let h = HistoryBuilder::new().commit(0, 1, 5).commit(1, 1, 5).commit(0, 2, 7).build();
+    h.well_formed().unwrap();
+    assert_eq!(h.ts_order(), vec![TxnId(1), TxnId(2)]);
+}

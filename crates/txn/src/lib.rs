@@ -1,0 +1,32 @@
+//! # hcc-txn — the transaction substrate
+//!
+//! The paper assumes three services around the LOCK algorithm; this crate
+//! provides all of them:
+//!
+//! * **Timestamp generation** ([`clock`]): a Lamport-style logical clock.
+//!   Each operation raises the transaction's lower bound to the object's
+//!   clock; commit timestamps are generated above both the global clock and
+//!   that bound, which yields exactly the paper's well-formedness
+//!   constraint `precedes(H|X) ⊆ TS(H)`.
+//! * **Atomic commitment** ([`manager`]): a transaction manager running a
+//!   two-phase protocol over every object the transaction touched, so a
+//!   transaction never commits at some objects and aborts at others. A
+//!   message-passing simulation of the distributed version lives in
+//!   [`sim`].
+//! * **Deadlock handling** ([`deadlock`]): the paper names "the usual
+//!   remedies (e.g., timeout or detection)"; both are here — a
+//!   waits-for-graph detector with youngest-victim selection, and the
+//!   timeout policy built into `hcc-core`'s blocking.
+//! * **Recovery** ([`wal`]): a write-ahead log of operations and
+//!   completion records; replay reconstructs the committed state after a
+//!   crash, in commit-timestamp order.
+
+pub mod clock;
+pub mod deadlock;
+pub mod manager;
+pub mod sim;
+pub mod wal;
+
+pub use clock::LogicalClock;
+pub use deadlock::DeadlockDetector;
+pub use manager::{CommitError, TxnManager};

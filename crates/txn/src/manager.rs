@@ -1,0 +1,285 @@
+//! The transaction manager: begin / commit / abort with two-phase atomic
+//! commitment and timestamp distribution.
+//!
+//! Commitment follows the paper's model: the transaction first reaches a
+//! state with no pending invocation, then a commit timestamp is generated
+//! (above the transaction's lower bound — see [`crate::clock`]) and a
+//! `commit(t)` event is delivered to every object the transaction touched.
+//! The two-phase structure (prepare votes, then commit fan-out) gives the
+//! *atomic commitment* property the paper assumes: a transaction never
+//! commits at some objects and aborts at others.
+
+use crate::clock::LogicalClock;
+use crate::deadlock::DeadlockDetector;
+use hcc_core::runtime::{RuntimeOptions, TxnHandle, TxnPhase};
+use hcc_spec::{Timestamp, TxnId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Why a commit was refused. In every case the transaction has been
+/// aborted at all objects (all-or-nothing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommitError {
+    /// Some object voted no in the prepare phase.
+    PrepareFailed {
+        /// The refusing object's name.
+        object: String,
+    },
+    /// The transaction was doomed by the deadlock detector.
+    Doomed,
+    /// The transaction is not active.
+    NotActive,
+}
+
+impl std::fmt::Display for CommitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for CommitError {}
+
+/// The transaction manager for one system.
+pub struct TxnManager {
+    clock: Arc<LogicalClock>,
+    detector: Arc<DeadlockDetector>,
+    next_id: AtomicU64,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+}
+
+impl TxnManager {
+    /// A fresh manager with its own clock and deadlock detector.
+    pub fn new() -> Arc<TxnManager> {
+        Arc::new(TxnManager {
+            clock: Arc::new(LogicalClock::new()),
+            detector: DeadlockDetector::new(),
+            next_id: AtomicU64::new(1),
+            committed: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+        })
+    }
+
+    /// The manager's logical clock.
+    pub fn clock(&self) -> &Arc<LogicalClock> {
+        &self.clock
+    }
+
+    /// The manager's deadlock detector.
+    pub fn detector(&self) -> &Arc<DeadlockDetector> {
+        &self.detector
+    }
+
+    /// Runtime options wiring objects to this manager's deadlock detector.
+    /// Construct objects with these options to get detection instead of
+    /// bare timeouts.
+    pub fn object_options(&self) -> RuntimeOptions {
+        RuntimeOptions::with_observer(self.detector.clone())
+    }
+
+    /// Begin a new transaction.
+    pub fn begin(&self) -> Arc<TxnHandle> {
+        let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let h = TxnHandle::new(id);
+        self.detector.register(&h);
+        h
+    }
+
+    /// Commit: two-phase atomic commitment across every touched object,
+    /// with a timestamp above the transaction's lower bound. On any error
+    /// the transaction is aborted everywhere.
+    pub fn commit(&self, txn: Arc<TxnHandle>) -> Result<Timestamp, CommitError> {
+        if txn.phase() != TxnPhase::Active {
+            return Err(CommitError::NotActive);
+        }
+        if txn.is_doomed() {
+            self.do_abort(&txn);
+            return Err(CommitError::Doomed);
+        }
+        let participants = txn.participants();
+        // Phase 1: collect votes.
+        for p in &participants {
+            if !p.prepare(&txn) {
+                let object = p.object_name().to_string();
+                self.do_abort(&txn);
+                return Err(CommitError::PrepareFailed { object });
+            }
+        }
+        // Generate the commit timestamp above the transaction's bound (the
+        // max object clock it observed), guaranteeing precedes ⊆ TS.
+        let ts = self.clock.timestamp_after(txn.bound());
+        txn.set_phase(TxnPhase::Committed(ts));
+        // Phase 2: distribute the timestamp.
+        for p in &participants {
+            p.commit_at(txn.id(), ts);
+        }
+        self.detector.forget(txn.id());
+        self.committed.fetch_add(1, Ordering::Relaxed);
+        Ok(Timestamp(ts))
+    }
+
+    /// Abort the transaction everywhere.
+    pub fn abort(&self, txn: Arc<TxnHandle>) {
+        self.do_abort(&txn);
+    }
+
+    fn do_abort(&self, txn: &Arc<TxnHandle>) {
+        if txn.phase() != TxnPhase::Active {
+            return;
+        }
+        txn.set_phase(TxnPhase::Aborted);
+        for p in txn.participants() {
+            p.abort_txn(txn.id());
+        }
+        self.detector.forget(txn.id());
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of transactions committed through this manager.
+    pub fn committed_count(&self) -> u64 {
+        self.committed.load(Ordering::Relaxed)
+    }
+
+    /// Number of transactions aborted through this manager.
+    pub fn aborted_count(&self) -> u64 {
+        self.aborted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_adts::account::AccountObject;
+    use hcc_adts::fifo_queue::QueueObject;
+    use hcc_spec::Rational;
+    use std::time::Duration;
+
+    fn r(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn commit_distributes_one_timestamp_to_all_objects() {
+        let mgr = TxnManager::new();
+        let a = AccountObject::hybrid("a");
+        let q: QueueObject<i64> = QueueObject::hybrid("q");
+        let t = mgr.begin();
+        a.credit(&t, r(5)).unwrap();
+        q.enq(&t, 1).unwrap();
+        let ts = mgr.commit(t).unwrap();
+        assert!(ts.0 > 0);
+        assert_eq!(a.committed_balance(), r(5));
+        assert_eq!(q.committed_len(), 1);
+        assert_eq!(mgr.committed_count(), 1);
+    }
+
+    #[test]
+    fn abort_is_all_or_nothing() {
+        let mgr = TxnManager::new();
+        let a = AccountObject::hybrid("a");
+        let q: QueueObject<i64> = QueueObject::hybrid("q");
+        let t = mgr.begin();
+        a.credit(&t, r(5)).unwrap();
+        q.enq(&t, 1).unwrap();
+        mgr.abort(t);
+        assert_eq!(a.committed_balance(), r(0));
+        assert_eq!(q.committed_len(), 0);
+        assert_eq!(mgr.aborted_count(), 1);
+    }
+
+    #[test]
+    fn doomed_transaction_cannot_commit() {
+        let mgr = TxnManager::new();
+        let a = AccountObject::hybrid("a");
+        let t = mgr.begin();
+        a.credit(&t, r(5)).unwrap();
+        t.doom();
+        assert_eq!(mgr.commit(t), Err(CommitError::Doomed));
+        assert_eq!(a.committed_balance(), r(0), "aborted everywhere");
+    }
+
+    #[test]
+    fn commit_twice_is_rejected() {
+        let mgr = TxnManager::new();
+        let t = mgr.begin();
+        let t2 = t.clone();
+        mgr.commit(t).unwrap();
+        assert_eq!(mgr.commit(t2), Err(CommitError::NotActive));
+    }
+
+    #[test]
+    fn timestamps_respect_object_clocks() {
+        let mgr = TxnManager::new();
+        let a = AccountObject::hybrid("a");
+        let t1 = mgr.begin();
+        a.credit(&t1, r(5)).unwrap();
+        let ts1 = mgr.commit(t1).unwrap();
+        // t2 runs at `a` after t1 committed there: its timestamp must be
+        // later.
+        let t2 = mgr.begin();
+        a.credit(&t2, r(1)).unwrap();
+        assert!(t2.bound() >= ts1.0);
+        let ts2 = mgr.commit(t2).unwrap();
+        assert!(ts2 > ts1);
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_a_victim_aborted() {
+        let mgr = TxnManager::new();
+        let a = Arc::new(AccountObject::with(
+            "a",
+            Arc::new(hcc_adts::account::AccountHybrid),
+            mgr.object_options(),
+        ));
+        let b = Arc::new(AccountObject::with(
+            "b",
+            Arc::new(hcc_adts::account::AccountHybrid),
+            mgr.object_options(),
+        ));
+        // Fund both accounts.
+        let t0 = mgr.begin();
+        a.credit(&t0, r(10)).unwrap();
+        b.credit(&t0, r(10)).unwrap();
+        mgr.commit(t0).unwrap();
+        // t1: debit a then b; t2: debit b then a.
+        let t1 = mgr.begin();
+        let t2 = mgr.begin();
+        assert!(a.debit(&t1, r(1)).unwrap());
+        assert!(b.debit(&t2, r(1)).unwrap());
+        let mgr2 = mgr.clone();
+        let b2 = b.clone();
+        let t1c = t1.clone();
+        let j1 = std::thread::spawn(move || {
+            let res = b2.debit(&t1c, r(1));
+            match res {
+                Ok(_) => mgr2.commit(t1c).map(|_| ()).map_err(|_| ()),
+                Err(_) => {
+                    mgr2.abort(t1c);
+                    Err(())
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        let res2 = a.debit(&t2, r(1));
+        let r2 = match res2 {
+            Ok(_) => mgr.commit(t2).map(|_| ()).map_err(|_| ()),
+            Err(_) => {
+                mgr.abort(t2);
+                Err(())
+            }
+        };
+        let r1 = j1.join().unwrap();
+        assert!(
+            r1.is_ok() != r2.is_ok() || (r1.is_ok() && r2.is_ok()),
+            "at least one transaction survives"
+        );
+        assert!(
+            mgr.detector().victims() >= 1 || (r1.is_ok() && r2.is_ok()),
+            "either a victim was chosen or no deadlock materialized"
+        );
+        // Money is conserved: 20 minus 1 per committed debit pair.
+        let total = a.committed_balance() + b.committed_balance();
+        let committed_debits = mgr.committed_count() as i64 - 1; // minus funding txn
+        assert_eq!(total, r(20 - 2 * committed_debits));
+    }
+}

@@ -1,0 +1,244 @@
+//! A message-passing simulation of distributed two-phase commitment.
+//!
+//! The paper's model is distributed: objects live at sites, and a commit
+//! protocol [9, 19, 26] delivers `commit(t)` events with a single
+//! timestamp to every site. This module simulates that setting in-process:
+//! each [`Site`] is a thread owning a set of objects and serving
+//! prepare/commit/abort messages over crossbeam channels; the
+//! [`Coordinator`] runs the two-phase protocol with a vote timeout, and
+//! sites can be *crashed* to exercise the abort path.
+
+use crate::clock::LogicalClock;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use hcc_core::runtime::{TxParticipant, TxnHandle, TxnPhase};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Messages a site serves.
+enum SiteMsg {
+    /// Phase 1: vote on committing `txn`.
+    Prepare { txn: Arc<TxnHandle>, reply: Sender<bool> },
+    /// Phase 2: `txn` committed at timestamp `ts`.
+    Commit { txn: hcc_spec::TxnId, ts: u64 },
+    /// `txn` aborted.
+    Abort { txn: hcc_spec::TxnId },
+    /// Stop responding (simulated crash).
+    Crash,
+    /// Clean shutdown.
+    Shutdown,
+}
+
+/// A simulated site hosting a set of objects.
+pub struct Site {
+    name: String,
+    tx: Sender<SiteMsg>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Site {
+    /// Spawn a site thread serving the given objects.
+    pub fn spawn(name: impl Into<String>, objects: Vec<Arc<dyn TxParticipant>>) -> Site {
+        let name = name.into();
+        let (tx, rx): (Sender<SiteMsg>, Receiver<SiteMsg>) = unbounded();
+        let thread_name = name.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("site-{thread_name}"))
+            .spawn(move || {
+                let mut crashed = false;
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        SiteMsg::Prepare { txn, reply } => {
+                            if !crashed {
+                                let vote = objects.iter().all(|o| o.prepare(&txn));
+                                let _ = reply.send(vote);
+                            }
+                            // A crashed site never replies: the coordinator
+                            // times out and aborts.
+                        }
+                        SiteMsg::Commit { txn, ts } => {
+                            if !crashed {
+                                for o in &objects {
+                                    o.commit_at(txn, ts);
+                                }
+                            }
+                        }
+                        SiteMsg::Abort { txn } => {
+                            if !crashed {
+                                for o in &objects {
+                                    o.abort_txn(txn);
+                                }
+                            }
+                        }
+                        SiteMsg::Crash => crashed = true,
+                        SiteMsg::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn site thread");
+        Site { name, tx, thread: Some(thread) }
+    }
+
+    /// The site's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Simulate a crash: the site stops voting and applying.
+    pub fn crash(&self) {
+        let _ = self.tx.send(SiteMsg::Crash);
+    }
+}
+
+impl Drop for Site {
+    fn drop(&mut self) {
+        let _ = self.tx.send(SiteMsg::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The two-phase-commit coordinator.
+pub struct Coordinator {
+    clock: Arc<LogicalClock>,
+    vote_timeout: Duration,
+}
+
+/// Outcome of a distributed commit attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// All sites voted yes; the commit was distributed with this
+    /// timestamp.
+    Committed(u64),
+    /// Aborted: a site voted no or failed to vote in time.
+    Aborted {
+        /// The site that caused the abort.
+        site: String,
+    },
+}
+
+impl Coordinator {
+    /// A coordinator over the given clock.
+    pub fn new(clock: Arc<LogicalClock>) -> Coordinator {
+        Coordinator { clock, vote_timeout: Duration::from_millis(200) }
+    }
+
+    /// Set the prepare-vote timeout.
+    pub fn with_vote_timeout(mut self, t: Duration) -> Coordinator {
+        self.vote_timeout = t;
+        self
+    }
+
+    /// Run two-phase commit for `txn` across `sites`.
+    ///
+    /// Phase 1 collects votes with a timeout; if every site votes yes, a
+    /// timestamp above the transaction's bound is generated and phase 2
+    /// distributes it. Otherwise every site receives an abort. Either way
+    /// all sites reach the same verdict: atomic commitment.
+    pub fn commit(&self, txn: &Arc<TxnHandle>, sites: &[Site]) -> CommitOutcome {
+        // Phase 1.
+        let mut pending = Vec::new();
+        for site in sites {
+            let (rtx, rrx) = bounded(1);
+            let _ = site.tx.send(SiteMsg::Prepare { txn: txn.clone(), reply: rtx });
+            pending.push((site, rrx));
+        }
+        for (site, rrx) in &pending {
+            match rrx.recv_timeout(self.vote_timeout) {
+                Ok(true) => {}
+                _ => {
+                    // Vote no or timeout: abort everywhere.
+                    txn.set_phase(TxnPhase::Aborted);
+                    for s in sites {
+                        let _ = s.tx.send(SiteMsg::Abort { txn: txn.id() });
+                    }
+                    return CommitOutcome::Aborted { site: site.name.clone() };
+                }
+            }
+        }
+        // Phase 2.
+        let ts = self.clock.timestamp_after(txn.bound());
+        txn.set_phase(TxnPhase::Committed(ts));
+        for s in sites {
+            let _ = s.tx.send(SiteMsg::Commit { txn: txn.id(), ts });
+        }
+        CommitOutcome::Committed(ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_adts::account::AccountObject;
+    use hcc_spec::{Rational, TxnId};
+
+    fn r(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    fn wait_for_balance(a: &AccountObject, expect: Rational) {
+        for _ in 0..100 {
+            if a.committed_balance() == expect {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(a.committed_balance(), expect);
+    }
+
+    #[test]
+    fn distributed_commit_reaches_all_sites() {
+        let a = Arc::new(AccountObject::hybrid("a"));
+        let b = Arc::new(AccountObject::hybrid("b"));
+        let site1 = Site::spawn("s1", vec![a.inner().clone()]);
+        let site2 = Site::spawn("s2", vec![b.inner().clone()]);
+        let clock = Arc::new(LogicalClock::new());
+        let coord = Coordinator::new(clock);
+
+        let t = TxnHandle::new(TxnId(1));
+        a.credit(&t, r(5)).unwrap();
+        b.credit(&t, r(7)).unwrap();
+        match coord.commit(&t, &[site1, site2]) {
+            CommitOutcome::Committed(ts) => assert!(ts > 0),
+            other => panic!("expected commit, got {other:?}"),
+        }
+        wait_for_balance(&a, r(5));
+        wait_for_balance(&b, r(7));
+    }
+
+    #[test]
+    fn crashed_site_aborts_the_transaction_everywhere() {
+        let a = Arc::new(AccountObject::hybrid("a"));
+        let b = Arc::new(AccountObject::hybrid("b"));
+        let site1 = Site::spawn("s1", vec![a.inner().clone()]);
+        let site2 = Site::spawn("s2", vec![b.inner().clone()]);
+        let clock = Arc::new(LogicalClock::new());
+        let coord =
+            Coordinator::new(clock).with_vote_timeout(Duration::from_millis(50));
+
+        let t = TxnHandle::new(TxnId(1));
+        a.credit(&t, r(5)).unwrap();
+        b.credit(&t, r(7)).unwrap();
+        site2.crash();
+        match coord.commit(&t, &[site1, site2]) {
+            CommitOutcome::Aborted { site } => assert_eq!(site, "s2"),
+            other => panic!("expected abort, got {other:?}"),
+        }
+        // The surviving site aborted too: all-or-nothing.
+        wait_for_balance(&a, r(0));
+        assert_eq!(t.phase(), TxnPhase::Aborted);
+    }
+
+    #[test]
+    fn doomed_transaction_is_voted_down() {
+        let a = Arc::new(AccountObject::hybrid("a"));
+        let site1 = Site::spawn("s1", vec![a.inner().clone()]);
+        let clock = Arc::new(LogicalClock::new());
+        let coord = Coordinator::new(clock);
+        let t = TxnHandle::new(TxnId(1));
+        a.credit(&t, r(5)).unwrap();
+        t.doom();
+        assert!(matches!(coord.commit(&t, &[site1]), CommitOutcome::Aborted { .. }));
+    }
+}

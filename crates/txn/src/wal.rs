@@ -1,0 +1,214 @@
+//! A write-ahead log and crash recovery of the committed state.
+//!
+//! The paper's recovery story is intentions lists: an aborted transaction's
+//! effects are discarded because they were never merged into the committed
+//! state. For durability across *crashes* (the Avalon `pinning`/stable
+//! storage machinery) we add a simple WAL: every executed operation is
+//! logged before commit, commit records carry the timestamp, and recovery
+//! replays the operations of committed transactions in timestamp order —
+//! which is exactly the serialization order hybrid atomicity guarantees,
+//! so replay rebuilds the same committed state.
+
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One log record. Operations are stored as JSON values so the log is
+/// type-agnostic; each data type serializes its operations as it sees fit.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// A transaction began.
+    Begin {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// A transaction executed an operation at an object.
+    Op {
+        /// Transaction id.
+        txn: u64,
+        /// Object name.
+        object: String,
+        /// Serialized operation.
+        op: serde_json::Value,
+    },
+    /// The transaction committed with this timestamp.
+    Commit {
+        /// Transaction id.
+        txn: u64,
+        /// Commit timestamp.
+        ts: u64,
+    },
+    /// The transaction aborted.
+    Abort {
+        /// Transaction id.
+        txn: u64,
+    },
+}
+
+/// An append-only, line-oriented JSON log.
+pub struct Wal {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl Wal {
+    /// Open (appending) or create the log at `path`.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Wal { path, writer: Mutex::new(BufWriter::new(file)) })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record (buffered).
+    pub fn append(&self, rec: &WalRecord) -> std::io::Result<()> {
+        let mut w = self.writer.lock().unwrap();
+        serde_json::to_writer(&mut *w, rec)?;
+        w.write_all(b"\n")
+    }
+
+    /// Append and force to the OS (called on completion records — the
+    /// "write-ahead" discipline: completion is durable before it is
+    /// acknowledged).
+    pub fn append_sync(&self, rec: &WalRecord) -> std::io::Result<()> {
+        self.append(rec)?;
+        let mut w = self.writer.lock().unwrap();
+        w.flush()?;
+        w.get_ref().sync_data()
+    }
+
+    /// Read every complete record from a log file. A torn trailing line
+    /// (crash mid-write) is ignored.
+    pub fn replay(path: impl AsRef<Path>) -> std::io::Result<Vec<WalRecord>> {
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut out = Vec::new();
+        for line in BufReader::new(file).lines() {
+            let line = line?;
+            match serde_json::from_str::<WalRecord>(&line) {
+                Ok(rec) => out.push(rec),
+                Err(_) => break, // torn tail: stop at the first bad line
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The operations of committed transactions, grouped per transaction and
+/// sorted by commit timestamp — replaying them in this order rebuilds the
+/// committed state of every object.
+pub fn committed_ops(records: &[WalRecord]) -> Vec<(u64, u64, Vec<(String, serde_json::Value)>)> {
+    use std::collections::{BTreeMap, HashMap};
+    let mut ops: HashMap<u64, Vec<(String, serde_json::Value)>> = HashMap::new();
+    let mut committed: BTreeMap<u64, u64> = BTreeMap::new(); // ts -> txn
+    for rec in records {
+        match rec {
+            WalRecord::Op { txn, object, op } => {
+                ops.entry(*txn).or_default().push((object.clone(), op.clone()));
+            }
+            WalRecord::Commit { txn, ts } => {
+                committed.insert(*ts, *txn);
+            }
+            _ => {}
+        }
+    }
+    committed
+        .into_iter()
+        .map(|(ts, txn)| (ts, txn, ops.remove(&txn).unwrap_or_default()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hcc-wal-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn op(v: i64) -> serde_json::Value {
+        serde_json::json!({ "credit": v })
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmp("roundtrip");
+        let wal = Wal::open(&path).unwrap();
+        wal.append(&WalRecord::Begin { txn: 1 }).unwrap();
+        wal.append(&WalRecord::Op { txn: 1, object: "a".into(), op: op(5) }).unwrap();
+        wal.append_sync(&WalRecord::Commit { txn: 1, ts: 7 }).unwrap();
+        drop(wal);
+        let recs = Wal::replay(&path).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[2], WalRecord::Commit { txn: 1, ts: 7 });
+    }
+
+    #[test]
+    fn committed_ops_orders_by_timestamp_and_drops_losers() {
+        let recs = vec![
+            WalRecord::Begin { txn: 1 },
+            WalRecord::Begin { txn: 2 },
+            WalRecord::Begin { txn: 3 },
+            WalRecord::Op { txn: 1, object: "a".into(), op: op(1) },
+            WalRecord::Op { txn: 2, object: "a".into(), op: op(2) },
+            WalRecord::Op { txn: 3, object: "a".into(), op: op(3) },
+            WalRecord::Commit { txn: 2, ts: 1 },
+            WalRecord::Abort { txn: 3 },
+            WalRecord::Commit { txn: 1, ts: 2 },
+        ];
+        let c = committed_ops(&recs);
+        assert_eq!(c.len(), 2);
+        assert_eq!((c[0].0, c[0].1), (1, 2), "txn 2 first (ts 1)");
+        assert_eq!((c[1].0, c[1].1), (2, 1));
+        // Aborted txn 3 and uncommitted ops are gone.
+        assert!(c.iter().all(|(_, txn, _)| *txn != 3));
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let path = tmp("torn");
+        {
+            let wal = Wal::open(&path).unwrap();
+            wal.append_sync(&WalRecord::Commit { txn: 1, ts: 1 }).unwrap();
+        }
+        // Simulate a crash mid-append.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"Commit\":{\"txn\":2,").unwrap();
+        }
+        let recs = Wal::replay(&path).unwrap();
+        assert_eq!(recs, vec![WalRecord::Commit { txn: 1, ts: 1 }]);
+    }
+
+    #[test]
+    fn replay_of_missing_file_is_empty() {
+        assert!(Wal::replay(tmp("missing")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reopen_appends() {
+        let path = tmp("reopen");
+        {
+            let wal = Wal::open(&path).unwrap();
+            wal.append_sync(&WalRecord::Begin { txn: 1 }).unwrap();
+        }
+        {
+            let wal = Wal::open(&path).unwrap();
+            wal.append_sync(&WalRecord::Commit { txn: 1, ts: 3 }).unwrap();
+        }
+        assert_eq!(Wal::replay(&path).unwrap().len(), 2);
+    }
+}

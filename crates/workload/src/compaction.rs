@@ -1,0 +1,85 @@
+//! Compaction probes for the Section-6 experiment (E11): the committed
+//! representation stays bounded while the horizon advances, and an old
+//! active transaction pins it.
+
+use crate::queue::bench_options;
+use crate::scheme::{make_account, Scheme};
+use hcc_spec::Rational;
+use hcc_txn::TxnManager;
+use std::sync::Arc;
+
+/// Retained committed-transaction counts sampled over a committed stream.
+#[derive(Clone, Debug)]
+pub struct CompactionReport {
+    /// `(committed txns so far, retained committed intents)` samples.
+    pub samples: Vec<(usize, usize)>,
+    /// Peak retained count while no old transaction was active.
+    pub max_retained_quiescent: usize,
+    /// Peak retained count while an old active transaction pinned the
+    /// horizon.
+    pub max_retained_pinned: usize,
+}
+
+/// Run `n` sequential committed credit transactions; in the second half,
+/// an old transaction stays active and pins the horizon until the end.
+pub fn account_stream(n: usize) -> CompactionReport {
+    let mgr = TxnManager::new();
+    let acct = Arc::new(make_account(Scheme::Hybrid, "acct", bench_options(&mgr)));
+    let mut samples = Vec::new();
+    let mut max_q = 0usize;
+    let mut max_p = 0usize;
+
+    // Phase 1: quiescent stream — horizon advances, state stays tiny.
+    for i in 0..n / 2 {
+        let t = mgr.begin();
+        acct.credit(&t, Rational::from_int(1)).unwrap();
+        mgr.commit(t).unwrap();
+        let retained = acct.inner().retained_committed();
+        samples.push((i + 1, retained));
+        max_q = max_q.max(retained);
+    }
+
+    // Phase 2: an old transaction executes an operation and stays active.
+    let pin = mgr.begin();
+    acct.credit(&pin, Rational::from_int(1)).unwrap();
+    for i in n / 2..n {
+        let t = mgr.begin();
+        acct.credit(&t, Rational::from_int(1)).unwrap();
+        mgr.commit(t).unwrap();
+        let retained = acct.inner().retained_committed();
+        samples.push((i + 1, retained));
+        max_p = max_p.max(retained);
+    }
+    mgr.commit(pin).unwrap();
+    samples.push((n + 1, acct.inner().retained_committed()));
+
+    CompactionReport { samples, max_retained_quiescent: max_q, max_retained_pinned: max_p }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiescent_state_is_bounded() {
+        let r = account_stream(40);
+        assert!(
+            r.max_retained_quiescent <= 2,
+            "horizon folds committed intents promptly: {}",
+            r.max_retained_quiescent
+        );
+    }
+
+    #[test]
+    fn active_transaction_pins_the_horizon() {
+        let r = account_stream(40);
+        assert!(
+            r.max_retained_pinned >= 15,
+            "a pinned horizon accumulates intents: {}",
+            r.max_retained_pinned
+        );
+        // After the pin commits, everything folds again.
+        let final_retained = r.samples.last().unwrap().1;
+        assert!(final_retained <= 2, "final retained {final_retained}");
+    }
+}

@@ -1,0 +1,27 @@
+//! # hcc-workload — workload generators and the multithreaded driver
+//!
+//! Every experiment in `EXPERIMENTS.md` runs through this crate: it
+//! constructs objects under a chosen [`Scheme`], drives them with worker
+//! threads through the `hcc-txn` manager (abort-and-retry on timeouts and
+//! deadlock victims), and reports [`Metrics`].
+//!
+//! Scenario families:
+//!
+//! * [`queue`] — enqueue-only producers and producer/consumer pipelines
+//!   (E7, E10);
+//! * [`bank`] — single-account operation mixes with a controllable
+//!   overdraft rate, and multi-account transfers (E8, E13);
+//! * [`register`] — write-heavy register workloads for the Thomas Write
+//!   Rule experiment (E9);
+//! * [`compaction`] — retained-state probes for the Section-6 experiment
+//!   (E11).
+
+pub mod bank;
+pub mod compaction;
+pub mod metrics;
+pub mod queue;
+pub mod register;
+pub mod scheme;
+
+pub use metrics::Metrics;
+pub use scheme::Scheme;

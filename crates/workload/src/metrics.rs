@@ -1,0 +1,105 @@
+//! Experiment metrics and tabular reporting.
+
+use crate::scheme::Scheme;
+use std::time::Duration;
+
+/// Aggregate results of one workload run.
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    /// Scenario name (e.g. `"queue-enq"`).
+    pub scenario: String,
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Worker threads.
+    pub threads: usize,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted (timeouts + deadlock victims), including
+    /// retries.
+    pub aborted: u64,
+    /// Lock requests refused at least once (summed over objects).
+    pub conflicts: u64,
+    /// Condvar waits (summed over objects).
+    pub waits: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl Metrics {
+    /// Committed transactions per second.
+    pub fn throughput(&self) -> f64 {
+        self.committed as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Aborts per committed transaction.
+    pub fn abort_ratio(&self) -> f64 {
+        self.aborted as f64 / (self.committed.max(1)) as f64
+    }
+
+    /// Header for [`Metrics::row`].
+    pub fn header() -> String {
+        format!(
+            "{:<22} {:<14} {:>7} {:>10} {:>8} {:>10} {:>9} {:>12}",
+            "scenario", "scheme", "threads", "committed", "aborted", "conflicts", "waits", "txn/s"
+        )
+    }
+
+    /// One aligned result row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<22} {:<14} {:>7} {:>10} {:>8} {:>10} {:>9} {:>12.0}",
+            self.scenario,
+            self.scheme.name(),
+            self.threads,
+            self.committed,
+            self.aborted,
+            self.conflicts,
+            self.waits,
+            self.throughput()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Metrics {
+        Metrics {
+            scenario: "test".into(),
+            scheme: Scheme::Hybrid,
+            threads: 4,
+            committed: 100,
+            aborted: 10,
+            conflicts: 5,
+            waits: 7,
+            elapsed: Duration::from_secs(2),
+        }
+    }
+
+    #[test]
+    fn throughput_and_ratio() {
+        let m = m();
+        assert!((m.throughput() - 50.0).abs() < 1e-9);
+        assert!((m.abort_ratio() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_alignment_matches_header() {
+        // Column count sanity: header and row split into the same number
+        // of whitespace-separated fields.
+        let h = Metrics::header();
+        let r = m().row();
+        assert_eq!(
+            h.split_whitespace().count(),
+            r.split_whitespace().count()
+        );
+    }
+
+    #[test]
+    fn zero_elapsed_does_not_divide_by_zero() {
+        let mut x = m();
+        x.elapsed = Duration::ZERO;
+        assert!(x.throughput().is_finite());
+    }
+}

@@ -1,0 +1,37 @@
+//! Scheme comparison on banking workloads: hybrid vs commutativity vs
+//! read/write 2PL, on a shared account and on multi-account transfers.
+//!
+//! ```text
+//! cargo run --release --example banking
+//! ```
+
+use hybrid_cc::workload::bank::{account_mix, transfers, Mix};
+use hybrid_cc::workload::{Metrics, Scheme};
+
+fn main() {
+    println!("single shared account, 4 workers x 200 txns x 4 ops, 5% overdraft attempts\n");
+    println!("{}", Metrics::header());
+    for scheme in Scheme::ALL {
+        let m = account_mix(scheme, 4, 200, 4, Mix::standard());
+        println!("{}", m.row());
+    }
+
+    println!("\n8 accounts, 4 workers x 100 transfer txns (deadlock-prone access pattern)\n");
+    println!("{}", Metrics::header());
+    for scheme in Scheme::ALL {
+        let r = transfers(scheme, 8, 4, 100);
+        println!("{}", r.metrics.row());
+        assert_eq!(
+            r.total_balance, r.expected_balance,
+            "transfers must conserve money"
+        );
+        println!(
+            "    money conserved ({} total), deadlock victims: {}",
+            r.total_balance, r.deadlock_victims
+        );
+    }
+
+    println!("\nTable V in action: the hybrid scheme admits Credit∥Post, Credit∥Debit-Ok and");
+    println!("Post∥Debit-Ok, which commutativity (Table VI) refuses — hence fewer conflicts");
+    println!("and higher committed throughput above.");
+}

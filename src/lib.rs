@@ -1,0 +1,51 @@
+//! # hybrid-cc — Hybrid Concurrency Control for Abstract Data Types
+//!
+//! A Rust reproduction of Herlihy & Weihl, *Hybrid Concurrency Control for
+//! Abstract Data Types* (PODS 1988; JCSS 43, 1991). This facade crate
+//! re-exports the workspace so that examples and downstream users need a
+//! single dependency:
+//!
+//! * [`spec`] — events, histories, well-formedness, serial specifications
+//!   and the example data types (paper Sections 2–3).
+//! * [`relations`] — dependency relations, invalidated-by and
+//!   failure-to-commute derivation, minimal-relation enumeration, and the
+//!   paper's Tables I–VI (Sections 4 and 7).
+//! * [`core`] — the LOCK state machine and the Avalon-style threaded object
+//!   runtime with horizon compaction (Sections 5–6, appendix).
+//! * [`adts`] — production object implementations (Account, FIFO queue,
+//!   Semiqueue, File, Counter, Set, Directory).
+//! * [`txn`] — logical clocks, the transaction manager, two-phase commit,
+//!   deadlock detection and the write-ahead log.
+//! * [`baselines`] — commutativity-based 2PL and read/write strict 2PL.
+//! * [`verify`] — serializability / hybrid-atomicity / online checkers.
+//! * [`workload`] — workload generation and the multithreaded driver.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hybrid_cc::adts::account::AccountObject;
+//! use hybrid_cc::txn::manager::TxnManager;
+//! use std::sync::Arc;
+//!
+//! let mgr = TxnManager::new();
+//! let acct = Arc::new(AccountObject::hybrid("checking"));
+//!
+//! // Credit in one transaction...
+//! let t1 = mgr.begin();
+//! acct.credit(&t1, 100.into()).unwrap();
+//! mgr.commit(t1).unwrap();
+//!
+//! // ...then debit in another.
+//! let t2 = mgr.begin();
+//! assert!(acct.debit(&t2, 30.into()).unwrap());
+//! mgr.commit(t2).unwrap();
+//! ```
+
+pub use hcc_adts as adts;
+pub use hcc_baselines as baselines;
+pub use hcc_core as core;
+pub use hcc_relations as relations;
+pub use hcc_spec as spec;
+pub use hcc_txn as txn;
+pub use hcc_verify as verify;
+pub use hcc_workload as workload;

@@ -1,0 +1,207 @@
+//! End-to-end system tests: multithreaded workloads through the full
+//! stack (manager + deadlock detector + objects), mixed-scheme systems
+//! (Section 7's upward compatibility), and the upward-compatibility claim
+//! verified on recorded histories.
+
+use hybrid_cc::adts::account::AccountObject;
+use hybrid_cc::adts::fifo_queue::QueueObject;
+use hybrid_cc::baselines::AccountCommutativity;
+use hybrid_cc::core::machine::{LockMachine, RespondOutcome};
+use hybrid_cc::core::FnConflict;
+use hybrid_cc::spec::specs::{AccountSpec, QueueSpec};
+use hybrid_cc::spec::{ObjectId, Operation, Rational, Timestamp, TxnId, Value};
+use hybrid_cc::txn::manager::TxnManager;
+use hybrid_cc::verify::{hybrid_atomic, SystemSpecs};
+use hybrid_cc::workload::bank::{transfers, Mix};
+use hybrid_cc::workload::queue::{enqueue_only, producer_consumer};
+use hybrid_cc::workload::Scheme;
+use std::sync::Arc;
+
+fn money(n: i64) -> Rational {
+    Rational::from_int(n)
+}
+
+#[test]
+fn concurrent_transfers_conserve_money_under_every_scheme() {
+    for scheme in Scheme::ALL {
+        let r = transfers(scheme, 6, 4, 25);
+        assert_eq!(
+            r.total_balance, r.expected_balance,
+            "{scheme}: transfers must conserve money"
+        );
+        assert_eq!(r.metrics.committed, 100, "{scheme}");
+    }
+}
+
+#[test]
+fn pipelines_deliver_every_item_under_every_scheme() {
+    for scheme in Scheme::ALL {
+        let m = producer_consumer(scheme, 2, 2, 15);
+        assert_eq!(m.committed, 60, "{scheme}: 30 enq txns + 30 deq txns");
+    }
+}
+
+#[test]
+fn hybrid_admits_more_concurrency_than_baselines_on_enqueues() {
+    let hybrid = enqueue_only(Scheme::Hybrid, 4, 50, 6);
+    let comm = enqueue_only(Scheme::Commutativity, 4, 50, 6);
+    assert_eq!(hybrid.conflicts, 0, "hybrid enqueues never conflict");
+    assert!(comm.conflicts > 0, "commutativity enqueues conflict");
+}
+
+#[test]
+fn account_mix_has_no_overdraft_no_conflict_dominance() {
+    // With 0% overdrafts, hybrid conflicts come only from Debit∥Debit.
+    let hybrid = hybrid_cc::workload::bank::account_mix(
+        Scheme::Hybrid,
+        4,
+        50,
+        4,
+        Mix { credit_pct: 90, debit_pct: 0, post_pct: 10, overdraft_pct: 0 },
+    );
+    assert_eq!(hybrid.conflicts, 0, "credits and posts never conflict under Table V");
+}
+
+/// Section 7: dynamic atomic (commutativity-based) and hybrid atomic
+/// objects may be combined in a single system without losing atomicity.
+/// Drive a two-object system — a hybrid queue and a commutativity-locked
+/// account — through the LOCK machine and verify the combined history.
+#[test]
+fn mixed_scheme_system_is_atomic() {
+    // Hybrid queue machine (Table II conflicts).
+    let queue_conflict = FnConflict::new("queue-hybrid", |q, p| match (q.inv.op, p.inv.op) {
+        ("deq", "enq") => q.res != p.inv.args[0],
+        ("deq", "deq") => q.res == p.res,
+        _ => false,
+    });
+    let mut queue_m =
+        LockMachine::new(ObjectId(0), Arc::new(QueueSpec), Arc::new(queue_conflict));
+    // Commutativity account machine (Table VI conflicts — a superset of
+    // Table V, hence still a dependency relation).
+    let acct_conflict = FnConflict::new("account-comm", |q, p| {
+        let class = |o: &Operation| match (o.inv.op, &o.res) {
+            ("credit", _) => 0u8,
+            ("post", _) => 1,
+            ("debit", Value::Bool(true)) => 2,
+            _ => 3,
+        };
+        matches!(
+            (class(q), class(p)),
+            (0, 1) | (1, 0) | (0, 3) | (3, 0) | (1, 2) | (2, 1) | (1, 3) | (3, 1) | (2, 2)
+        )
+    });
+    let mut acct_m =
+        LockMachine::new(ObjectId(1), Arc::new(AccountSpec), Arc::new(acct_conflict));
+
+    let (p, q, r) = (TxnId(1), TxnId(2), TxnId(3));
+    // Interleave the two machines, mirroring every event into a single
+    // system history in true temporal order.
+    let mut system = hybrid_cc::spec::History::new();
+    let (mut qc, mut ac) = (0usize, 0usize); // event cursors
+    macro_rules! sync {
+        () => {{
+            for e in &queue_m.history().events()[qc..] {
+                system.push(e.clone());
+            }
+            #[allow(unused_assignments)]
+            {
+                qc = queue_m.history().len();
+            }
+            for e in &acct_m.history().events()[ac..] {
+                system.push(e.clone());
+            }
+            #[allow(unused_assignments)]
+            {
+                ac = acct_m.history().len();
+            }
+        }};
+    }
+
+    // P: fund the account and enqueue a marker.
+    assert!(matches!(
+        acct_m.execute(p, AccountSpec::credit(money(100))).unwrap(),
+        RespondOutcome::Responded(_)
+    ));
+    sync!();
+    queue_m.execute(p, QueueSpec::enq(1)).unwrap();
+    sync!();
+    // Q and R run concurrently at both objects.
+    queue_m.execute(q, QueueSpec::enq(2)).unwrap();
+    queue_m.execute(r, QueueSpec::enq(3)).unwrap();
+    sync!();
+    acct_m.commit(p, Timestamp(1)).unwrap();
+    queue_m.commit(p, Timestamp(1)).unwrap();
+    sync!();
+    assert!(matches!(
+        acct_m.execute(q, AccountSpec::debit(money(10))).unwrap(),
+        RespondOutcome::Responded(_)
+    ));
+    sync!();
+    // R's post would conflict with Q's debit under commutativity locking.
+    assert!(matches!(
+        acct_m.execute(r, AccountSpec::post(money(5))).unwrap(),
+        RespondOutcome::Blocked { .. }
+    ));
+    acct_m.cancel_pending(r);
+    sync!();
+    acct_m.commit(q, Timestamp(3)).unwrap();
+    queue_m.commit(q, Timestamp(3)).unwrap();
+    sync!();
+    // After Q commits, R's post proceeds.
+    assert!(matches!(
+        acct_m.execute(r, AccountSpec::post(money(5))).unwrap(),
+        RespondOutcome::Responded(_)
+    ));
+    sync!();
+    acct_m.commit(r, Timestamp(4)).unwrap();
+    queue_m.commit(r, Timestamp(4)).unwrap();
+    sync!();
+
+    // Verify global hybrid atomicity of the merged system history.
+    system.well_formed().unwrap();
+    let specs = SystemSpecs::new()
+        .with(ObjectId(0), Arc::new(QueueSpec))
+        .with(ObjectId(1), Arc::new(AccountSpec));
+    assert!(hybrid_atomic(&system, &specs), "mixed-scheme system lost atomicity");
+}
+
+/// The production runtime version of the same claim: hybrid and
+/// commutativity objects in one transaction system.
+#[test]
+fn mixed_scheme_runtime_transactions() {
+    let mgr = TxnManager::new();
+    let q: QueueObject<i64> = QueueObject::hybrid("audit");
+    let acct = AccountObject::with(
+        "acct",
+        Arc::new(AccountCommutativity),
+        mgr.object_options(),
+    );
+    // Fund.
+    let t0 = mgr.begin();
+    acct.credit(&t0, money(100)).unwrap();
+    mgr.commit(t0).unwrap();
+    // Two transactions touch both objects.
+    let t1 = mgr.begin();
+    assert!(acct.debit(&t1, money(25)).unwrap());
+    q.enq(&t1, 25).unwrap();
+    mgr.commit(t1).unwrap();
+    let t2 = mgr.begin();
+    assert!(acct.debit(&t2, money(30)).unwrap());
+    q.enq(&t2, 30).unwrap();
+    mgr.commit(t2).unwrap();
+
+    assert_eq!(acct.committed_balance(), money(45));
+    let t3 = mgr.begin();
+    assert_eq!(q.deq(&t3).unwrap(), 25);
+    assert_eq!(q.deq(&t3).unwrap(), 30);
+    mgr.commit(t3).unwrap();
+}
+
+#[test]
+fn deadlock_prone_transfers_make_progress() {
+    // Many workers, few accounts: plenty of lock cycles; everything must
+    // still complete and conserve money.
+    let r = transfers(Scheme::Hybrid, 2, 6, 20);
+    assert_eq!(r.total_balance, r.expected_balance);
+    assert_eq!(r.metrics.committed, 120);
+}
