@@ -181,9 +181,7 @@ impl AccountObject {
 
     /// Debit the account; `Ok(true)` on success, `Ok(false)` on overdraft.
     pub fn debit(&self, txn: &Arc<TxnHandle>, amount: Rational) -> Result<bool, ExecError> {
-        self.obj
-            .execute(txn, AccountInv::Debit(amount))
-            .map(|r| r == AccountRes::Debited)
+        self.obj.execute(txn, AccountInv::Debit(amount)).map(|r| r == AccountRes::Debited)
     }
 
     /// The committed balance (no isolation — diagnostics only).

@@ -141,11 +141,7 @@ impl<K: Key, V: Val> RuntimeAdt for DirectoryAdt<K, V> {
 pub struct DirectoryHybrid;
 
 impl<K: Key, V: Val> LockSpec<DirectoryAdt<K, V>> for DirectoryHybrid {
-    fn conflicts(
-        &self,
-        a: &(DirInv<K, V>, DirRes<V>),
-        b: &(DirInv<K, V>, DirRes<V>),
-    ) -> bool {
+    fn conflicts(&self, a: &(DirInv<K, V>, DirRes<V>), b: &(DirInv<K, V>, DirRes<V>)) -> bool {
         let key = |o: &(DirInv<K, V>, DirRes<V>)| match &o.0 {
             DirInv::Insert(k, _) | DirInv::Remove(k) | DirInv::Lookup(k) => k.clone(),
         };

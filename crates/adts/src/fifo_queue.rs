@@ -131,11 +131,7 @@ fn replay<T: Clone>(q: &mut VecDeque<T>, ops: &[QueueOp<T>]) {
 pub struct QueueTableII;
 
 impl<T: Item> LockSpec<QueueAdt<T>> for QueueTableII {
-    fn conflicts(
-        &self,
-        a: &(QueueInv<T>, QueueRes<T>),
-        b: &(QueueInv<T>, QueueRes<T>),
-    ) -> bool {
+    fn conflicts(&self, a: &(QueueInv<T>, QueueRes<T>), b: &(QueueInv<T>, QueueRes<T>)) -> bool {
         match (a, b) {
             ((QueueInv::Deq, QueueRes::Item(v)), (QueueInv::Enq(w), _))
             | ((QueueInv::Enq(w), _), (QueueInv::Deq, QueueRes::Item(v))) => v != w,
@@ -154,11 +150,7 @@ impl<T: Item> LockSpec<QueueAdt<T>> for QueueTableII {
 pub struct QueueTableIII;
 
 impl<T: Item> LockSpec<QueueAdt<T>> for QueueTableIII {
-    fn conflicts(
-        &self,
-        a: &(QueueInv<T>, QueueRes<T>),
-        b: &(QueueInv<T>, QueueRes<T>),
-    ) -> bool {
+    fn conflicts(&self, a: &(QueueInv<T>, QueueRes<T>), b: &(QueueInv<T>, QueueRes<T>)) -> bool {
         match (a, b) {
             ((QueueInv::Enq(v), _), (QueueInv::Enq(w), _)) => v != w,
             ((QueueInv::Deq, QueueRes::Item(v)), (QueueInv::Deq, QueueRes::Item(w))) => v == w,
@@ -257,8 +249,7 @@ mod tests {
 
     #[test]
     fn table_ii_deq_blocks_on_uncommitted_enq_of_other_item() {
-        let q: QueueObject<i64> =
-            QueueObject::with("q", Arc::new(QueueTableII), short());
+        let q: QueueObject<i64> = QueueObject::with("q", Arc::new(QueueTableII), short());
         let t0 = h(1);
         q.enq(&t0, 1).unwrap();
         q.inner().commit_at(t0.id(), 1);
@@ -269,8 +260,7 @@ mod tests {
 
     #[test]
     fn table_iii_deq_runs_concurrently_with_enq() {
-        let q: QueueObject<i64> =
-            QueueObject::with("q", Arc::new(QueueTableIII), short());
+        let q: QueueObject<i64> = QueueObject::with("q", Arc::new(QueueTableIII), short());
         let t0 = h(1);
         q.enq(&t0, 1).unwrap();
         q.inner().commit_at(t0.id(), 1);
@@ -296,11 +286,9 @@ mod tests {
         let t1 = h(1);
         let qi = q.inner().clone();
         let t1c = t1.clone();
-        let consumer = std::thread::spawn(move || {
-            match qi.execute(&t1c, QueueInv::Deq).unwrap() {
-                QueueRes::Item(x) => x,
-                _ => unreachable!(),
-            }
+        let consumer = std::thread::spawn(move || match qi.execute(&t1c, QueueInv::Deq).unwrap() {
+            QueueRes::Item(x) => x,
+            _ => unreachable!(),
         });
         std::thread::sleep(Duration::from_millis(10));
         let t2 = h(2);
@@ -311,8 +299,7 @@ mod tests {
 
     #[test]
     fn aborted_enqueue_leaves_no_item() {
-        let q: QueueObject<i64> =
-            QueueObject::with("q", Arc::new(QueueTableII), short());
+        let q: QueueObject<i64> = QueueObject::with("q", Arc::new(QueueTableII), short());
         let t1 = h(1);
         q.enq(&t1, 7).unwrap();
         q.inner().abort_txn(t1.id());

@@ -65,10 +65,8 @@ impl<T: Content> RuntimeAdt for FileAdt<T> {
             FileInv::Write(v) => vec![(FileRes::Ok, Some(v.clone()))],
             FileInv::Read => {
                 let mut cur = version.clone();
-                for i in committed {
-                    if let Some(v) = i {
-                        cur = v.clone();
-                    }
+                for v in committed.iter().copied().flatten() {
+                    cur = v.clone();
                 }
                 if let Some(v) = own {
                     cur = v.clone();

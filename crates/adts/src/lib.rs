@@ -20,15 +20,16 @@
 pub mod account;
 pub mod counter;
 pub mod directory;
-pub mod file;
 pub mod fifo_queue;
+pub mod file;
 pub mod semiqueue;
 pub mod set;
+pub mod snapshot;
 
 pub use account::AccountObject;
 pub use counter::CounterObject;
 pub use directory::DirectoryObject;
-pub use file::FileObject;
 pub use fifo_queue::QueueObject;
+pub use file::FileObject;
 pub use semiqueue::SemiqueueObject;
 pub use set::SetObject;

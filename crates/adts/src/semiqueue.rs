@@ -242,7 +242,8 @@ mod tests {
 
     #[test]
     fn removers_conflict_only_on_the_last_item() {
-        let s: SemiqueueObject<i64> = SemiqueueObject::with("s", Arc::new(SemiqueueHybrid), short());
+        let s: SemiqueueObject<i64> =
+            SemiqueueObject::with("s", Arc::new(SemiqueueHybrid), short());
         let t0 = h(1);
         s.ins(&t0, 1).unwrap();
         s.inner().commit_at(t0.id(), 1);
@@ -266,7 +267,8 @@ mod tests {
     fn duplicate_items_allow_concurrent_removes_of_same_value() {
         // Two copies of 5: removers both get 5... but that is the same
         // item value, so they conflict under Table IV (v = v').
-        let s: SemiqueueObject<i64> = SemiqueueObject::with("s", Arc::new(SemiqueueHybrid), short());
+        let s: SemiqueueObject<i64> =
+            SemiqueueObject::with("s", Arc::new(SemiqueueHybrid), short());
         let t0 = h(1);
         s.ins(&t0, 5).unwrap();
         s.ins(&t0, 5).unwrap();

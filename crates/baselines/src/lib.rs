@@ -23,20 +23,20 @@
 
 use hcc_adts::account::{AccountAdt, AccountInv, AccountRes};
 use hcc_adts::counter::{CounterAdt, CounterInv, CounterRes};
-use hcc_adts::file::{Content, FileAdt, FileInv, FileRes};
 use hcc_adts::fifo_queue::{Item, QueueAdt, QueueInv, QueueRes};
+use hcc_adts::file::{Content, FileAdt, FileInv, FileRes};
 use hcc_adts::semiqueue::{SemiqueueAdt, SqInv, SqRes};
 use hcc_core::runtime::{LockSpec, RuntimeAdt};
 
+/// Re-export: the counter's commutativity relation coincides with the
+/// hybrid relation.
+pub use hcc_adts::counter::CounterHybrid as CounterCommutativity;
 /// Re-export: the queue's commutativity-induced conflict relation is
 /// exactly Table III (Section 7).
 pub use hcc_adts::fifo_queue::QueueTableIII as QueueCommutativity;
 /// Re-export: the semiqueue's commutativity relation coincides with the
 /// hybrid Table IV.
 pub use hcc_adts::semiqueue::SemiqueueHybrid as SemiqueueCommutativity;
-/// Re-export: the counter's commutativity relation coincides with the
-/// hybrid relation.
-pub use hcc_adts::counter::CounterHybrid as CounterCommutativity;
 
 /// The "failure to commute" relation for Account (Table VI).
 pub struct AccountCommutativity;
@@ -138,8 +138,8 @@ const _: fn(&(CounterInv, CounterRes)) = |_| {};
 mod tests {
     use super::*;
     use hcc_adts::account::AccountObject;
-    use hcc_adts::file::FileObject;
     use hcc_adts::fifo_queue::QueueObject;
+    use hcc_adts::file::FileObject;
     use hcc_core::runtime::{ExecError, RuntimeOptions, TxParticipant, TxnHandle};
     use hcc_spec::{Rational, TxnId};
     use std::sync::Arc;

@@ -14,7 +14,9 @@ use std::time::Duration;
 
 fn bench_account(c: &mut Criterion) {
     let mut g = c.benchmark_group("E8_account_mix");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     for od in [0u32, 50] {
         for scheme in Scheme::ALL {
             g.bench_with_input(

@@ -29,7 +29,9 @@ fn committed_stream(n: u64, compact: bool) -> LockMachine {
 
 fn bench_compaction(c: &mut Criterion) {
     let mut g = c.benchmark_group("E11_compaction");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
 
     // View assembly cost after 200 committed transactions: the compacted
     // machine answers from the folded version, the uncompacted one replays

@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_file(c: &mut Criterion) {
     let mut g = c.benchmark_group("E9_register_writes");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     for write_pct in [100u32, 50] {
         for scheme in Scheme::ALL {
             g.bench_with_input(

@@ -13,7 +13,9 @@ use std::time::Duration;
 
 fn bench_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("lock_overhead");
-    g.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     for scheme in Scheme::ALL {
         g.bench_with_input(
             BenchmarkId::new("account_txn", scheme.name()),
@@ -33,29 +35,25 @@ fn bench_overhead(c: &mut Criterion) {
                 });
             },
         );
-        g.bench_with_input(
-            BenchmarkId::new("queue_txn", scheme.name()),
-            &scheme,
-            |b, &scheme| {
-                let mgr = TxnManager::new();
-                let q = Arc::new(make_queue(scheme, "q", bench_options(&mgr)));
-                let mut i = 0i64;
-                b.iter(|| {
-                    i += 1;
-                    let t = mgr.begin();
-                    q.enq(&t, i).unwrap();
-                    mgr.commit(t.clone()).unwrap();
-                    let t2 = mgr.begin();
-                    q.deq(&t2).unwrap();
-                    mgr.commit(t2).unwrap();
-                });
-                // Keep the queue from growing without bound between
-                // iterations (paranoia; enq/deq pairs already balance).
+        g.bench_with_input(BenchmarkId::new("queue_txn", scheme.name()), &scheme, |b, &scheme| {
+            let mgr = TxnManager::new();
+            let q = Arc::new(make_queue(scheme, "q", bench_options(&mgr)));
+            let mut i = 0i64;
+            b.iter(|| {
+                i += 1;
                 let t = mgr.begin();
-                let _ = q.inner();
-                mgr.abort(t);
-            },
-        );
+                q.enq(&t, i).unwrap();
+                mgr.commit(t.clone()).unwrap();
+                let t2 = mgr.begin();
+                q.deq(&t2).unwrap();
+                mgr.commit(t2).unwrap();
+            });
+            // Keep the queue from growing without bound between
+            // iterations (paranoia; enq/deq pairs already balance).
+            let t = mgr.begin();
+            let _ = q.inner();
+            mgr.abort(t);
+        });
     }
     g.finish();
 }

@@ -12,7 +12,9 @@ use std::time::Duration;
 
 fn bench_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("E7_queue_enqueue");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     for threads in [2usize, 4] {
         for scheme in Scheme::ALL {
             g.bench_with_input(

@@ -12,18 +12,16 @@ use std::time::Duration;
 
 fn bench_semiqueue(c: &mut Criterion) {
     let mut g = c.benchmark_group("E10_semiqueue_vs_queue");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     for consumers in [1usize, 2, 4] {
-        g.bench_with_input(
-            BenchmarkId::new("fifo-queue", consumers),
-            &consumers,
-            |b, &c| b.iter(|| producer_consumer(Scheme::Hybrid, 2, c, 25)),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("semiqueue", consumers),
-            &consumers,
-            |b, &c| b.iter(|| semiqueue_producer_consumer(Scheme::Hybrid, 2, c, 25)),
-        );
+        g.bench_with_input(BenchmarkId::new("fifo-queue", consumers), &consumers, |b, &c| {
+            b.iter(|| producer_consumer(Scheme::Hybrid, 2, c, 25))
+        });
+        g.bench_with_input(BenchmarkId::new("semiqueue", consumers), &consumers, |b, &c| {
+            b.iter(|| semiqueue_producer_consumer(Scheme::Hybrid, 2, c, 25))
+        });
     }
     g.finish();
 }

@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("paper_tables");
-    g.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(300));
     g.bench_function("T1_file_invalidated_by", |b| {
         b.iter(|| AdtConfig::file().derive_invalidated_by("T1"))
     });

@@ -1,0 +1,110 @@
+//! WAL commit throughput: per-commit fsync vs. group commit.
+//!
+//! Eight writer threads each append-and-commit records as fast as they
+//! can. Under the classical discipline every commit pays its own
+//! `sync_data`; under group commit one leader fsyncs per batch of
+//! concurrent committers, so throughput scales with the batch size the
+//! fsync latency naturally accumulates. `Buffered` and `None` levels are
+//! included as upper bounds.
+//!
+//! Run with `cargo bench --bench wal_throughput`. The summary block at the
+//! end (commits/s and the group-commit speedup) is what `BENCH.md`
+//! records; the acceptance bar is ≥ 5× at 8 threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcc_storage::{Durability, LogRecord, SegmentedWal, WalOptions};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn bench_dir(tag: &str) -> std::path::PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "hcc-walbench-{}-{}-{}",
+        std::process::id(),
+        tag,
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// Commit `per_thread` records from each of `threads` writers; returns
+/// commits per second.
+fn run_commits(durability: Durability, group_commit: bool, threads: u64, per_thread: u64) -> f64 {
+    let dir = bench_dir("run");
+    let wal = Arc::new(
+        SegmentedWal::open(
+            &dir,
+            WalOptions { segment_max_bytes: 64 << 20, durability, group_commit },
+        )
+        .expect("open wal"),
+    );
+    let start = Instant::now();
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let wal = wal.clone();
+        joins.push(std::thread::spawn(move || {
+            for i in 0..per_thread {
+                let txn = t * per_thread + i + 1;
+                wal.append(&LogRecord::Op {
+                    txn,
+                    object: "acct".into(),
+                    op: br#"{"op":"credit","v":1}"#.to_vec(),
+                })
+                .unwrap();
+                wal.commit(&LogRecord::Commit { txn, ts: txn }).unwrap();
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+    (threads * per_thread) as f64 / elapsed.as_secs_f64()
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let threads = 8u64;
+    let mut g = c.benchmark_group("wal_throughput");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    let modes: [(&str, Durability, bool, u64); 4] = [
+        ("fsync_per_commit", Durability::Fsync, false, 40),
+        ("group_commit", Durability::Fsync, true, 150),
+        ("buffered", Durability::Buffered, false, 400),
+        ("none", Durability::None, false, 400),
+    ];
+    for (name, durability, group, per_thread) in modes {
+        g.bench_with_input(
+            BenchmarkId::new(name, format!("{threads}thr")),
+            &per_thread,
+            |b, &per_thread| {
+                b.iter(|| run_commits(durability, group, threads, per_thread));
+            },
+        );
+    }
+    g.finish();
+
+    // The headline numbers: one solid measurement per mode, plus the ratio
+    // the acceptance criterion cares about.
+    println!("\n== wal_throughput summary ({threads} writer threads) ==");
+    let base = run_commits(Durability::Fsync, false, threads, 150);
+    println!("  fsync per commit   : {base:>10.0} commits/s");
+    let group = run_commits(Durability::Fsync, true, threads, 1200);
+    println!(
+        "  group commit       : {group:>10.0} commits/s   ({:.1}x per-commit fsync)",
+        group / base
+    );
+    let buffered = run_commits(Durability::Buffered, false, threads, 4000);
+    println!("  buffered (no fsync): {buffered:>10.0} commits/s");
+    let none = run_commits(Durability::None, false, threads, 4000);
+    println!("  in-process buffer  : {none:>10.0} commits/s");
+}
+
+criterion_group!(benches, bench_wal);
+criterion_main!(benches);

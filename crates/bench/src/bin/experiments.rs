@@ -66,10 +66,7 @@ fn main() {
         "with an old active transaction pinning the horizon: peak retained = {}",
         r.max_retained_pinned
     );
-    println!(
-        "after the pinning transaction commits: retained = {}",
-        r.samples.last().unwrap().1
-    );
+    println!("after the pinning transaction commits: retained = {}", r.samples.last().unwrap().1);
 
     section("E13: multi-account transfers (deadlock detection, money conservation)");
     for scheme in Scheme::ALL {

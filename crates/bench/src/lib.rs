@@ -25,9 +25,8 @@ pub fn derive_all_tables() -> Vec<RelationTable> {
             .derive_invalidated_by("Table IV: Minimal Dependency Relation for Semiqueue"),
         AdtConfig::account()
             .derive_invalidated_by("Table V: Minimal Dependency Relation for Account"),
-        AdtConfig::account().derive_failure_to_commute(
-            "Table VI: \"Failure to Commute\" Relation for Account",
-        ),
+        AdtConfig::account()
+            .derive_failure_to_commute("Table VI: \"Failure to Commute\" Relation for Account"),
     ]
 }
 
@@ -43,8 +42,11 @@ pub fn derive_table_iii() -> RelationTable {
     );
     let table_ii = tables::paper_table_ii();
     for atoms in minimal {
-        let rel =
-            hcc_relations::minimal::atoms_to_instance_relation(&cfg.alphabet, &cfg.classify, &atoms);
+        let rel = hcc_relations::minimal::atoms_to_instance_relation(
+            &cfg.alphabet,
+            &cfg.classify,
+            &atoms,
+        );
         let t = RelationTable::from_instance_relation(
             "Table III: Second Minimal Dependency Relation for Queue",
             &cfg.alphabet,

@@ -1,0 +1,93 @@
+//! A minimal, offline, API-compatible subset of `crossbeam`: just the
+//! `channel` module, layered over `std::sync::mpsc`.
+
+/// Multi-producer channels (subset of `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half (unbounded or bounded).
+    #[derive(Clone)]
+    pub enum Sender<T> {
+        /// From [`unbounded`].
+        Unbounded(mpsc::Sender<T>),
+        /// From [`bounded`].
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message (blocking if bounded and full).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(s) => s.send(value),
+                Sender::Bounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Block with a timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Iterate until all senders disconnect.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// A channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver(rx))
+    }
+
+    /// A channel buffering at most `cap` messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(42).unwrap();
+            assert_eq!(rx.recv().unwrap(), 42);
+        }
+
+        #[test]
+        fn bounded_reply_pattern() {
+            let (tx, rx) = bounded(1);
+            std::thread::spawn(move || tx.send(true).unwrap());
+            assert!(rx.recv_timeout(Duration::from_secs(1)).unwrap());
+        }
+
+        #[test]
+        fn timeout_fires() {
+            let (tx, rx) = bounded::<u8>(1);
+            let res = rx.recv_timeout(Duration::from_millis(10));
+            assert!(res.is_err());
+            drop(tx);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! A minimal, offline, API-compatible subset of `proptest`.
+//!
+//! Supports the surface this workspace uses: the [`Strategy`] trait with
+//! `prop_map`, range strategies over integers, tuple strategies,
+//! `prop::collection::vec`, weighted [`prop_oneof!`], the [`proptest!`]
+//! test macro with `#![proptest_config(...)]`, and
+//! `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from real proptest: generation is deterministic (seeded per
+//! test name), there is no shrinking, and failures surface as ordinary
+//! panics with the failing case index in the message.
+
+use std::ops::Range;
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic RNG driving generation (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary string (e.g. the test name) so distinct
+    /// tests explore distinct sequences, reproducibly.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h = 0xcbf29ce484222325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// One raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A value generator. Object-safe: combinators require `Self: Sized`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Type-erase into a boxed strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128);
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// Weighted choice between boxed strategies (the `prop_oneof!` backend).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = (rng.next_u64() % self.total as u64) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + (rng.next_u64() as usize % span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, ...).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a proptest-based test file needs.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Weighted (or unweighted) choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Run each contained `#[test] fn name(binding in strategy, ...) { ... }`
+/// over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal item muncher for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..cfg.cases {
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    $body
+                }));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest {}: failing case index {} of {}",
+                        stringify!($name), __case, cfg.cases
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Kind {
+        A(u64),
+        B,
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::from_name("bounds");
+        for _ in 0..2000 {
+            let v = (-500i128..500).generate(&mut rng);
+            assert!((-500..500).contains(&v));
+            let u = (1usize..40).generate(&mut rng);
+            assert!((1..40).contains(&u));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let s = prop_oneof![
+            9 => (0u64..10).prop_map(Kind::A),
+            1 => (0u64..1).prop_map(|_| Kind::B),
+        ];
+        let mut rng = crate::TestRng::from_name("weights");
+        let n_b = (0..2000).filter(|_| s.generate(&mut rng) == Kind::B).count();
+        assert!(n_b > 80 && n_b < 420, "B chosen {n_b}/2000, expected ~200");
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let s = prop::collection::vec((0u8..4, 1i64..4), 1..25);
+        let mut rng = crate::TestRng::from_name("vec");
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((1..25).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn the_macro_works(a in 0i64..10, b in 0i64..10) {
+            prop_assert!(a + b >= 0);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! A minimal, offline, API-compatible subset of `rand` 0.8: `Rng`,
+//! `SeedableRng`, and `rngs::StdRng` backed by SplitMix64. Deterministic
+//! given a seed, which is what every caller in this workspace wants.
+
+use std::ops::Range;
+
+/// Integer types uniformly sampleable from a `Range`.
+pub trait SampleUniform: Copy {
+    /// Sample uniformly from `[lo, hi)` given one raw 64-bit draw.
+    fn sample_from(raw: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! sample_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from(raw: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi - lo) as u128;
+                lo + ((raw as u128 % span) as Self)
+            }
+        }
+    )*};
+}
+sample_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from(raw: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (raw as u128 % span) as i128) as Self
+            }
+        }
+    )*};
+}
+sample_uniform_signed!(i8, i16, i32, i64, i128, isize);
+
+/// The user-facing RNG trait (subset).
+pub trait Rng {
+    /// One raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `[range.start, range.end)`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_from(self.next_u64(), range.start, range.end)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p));
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// RNGs constructible from a seed (subset: `seed_from_u64` only).
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// RNG implementations.
+pub mod rngs {
+    /// The standard RNG: SplitMix64 (not cryptographic; deterministic).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = a.gen_range(0..100u32);
+            assert_eq!(x, b.gen_range(0..100u32));
+            assert!(x < 100);
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| c.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn signed_ranges() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[r.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c} far from uniform");
+        }
+    }
+}

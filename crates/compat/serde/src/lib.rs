@@ -1,0 +1,247 @@
+//! A minimal, offline, API-compatible subset of `serde`.
+//!
+//! The build environment for this workspace has no access to a crates
+//! registry, so this crate supplies just enough of serde's surface for the
+//! workspace: the [`Serialize`] / [`Deserialize`] traits (over a simple
+//! self-describing [`Content`] data model rather than serde's visitor
+//! machinery) and the derive macros re-exported from `serde_derive`.
+//!
+//! The serialized representation follows serde's JSON conventions exactly
+//! (externally tagged enums, newtype structs as their inner value), so
+//! `serde_json` output from this subset is byte-compatible with the real
+//! crates for the types in this workspace.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value — the data model both traits target.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// Unit / null.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any integer (widest native type).
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// A map with string keys, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Look up a key in a `Map`.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: what was expected and what was found.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Construct an error.
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can serialize themselves into the [`Content`] data model.
+pub trait Serialize {
+    /// The serialized form.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can reconstruct themselves from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstruct from serialized form.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+// ---- Serialize impls for primitives ------------------------------------
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::Int(*self as i128) }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize, isize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(format!("integer {} out of range", n))),
+                    other => Err(DeError::new(format!("expected integer, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize, isize);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Float(x) => Ok(*x),
+            Content::Int(n) => Ok(*n as f64),
+            other => Err(DeError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::new(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) if items.len() == 2 => {
+                Ok((A::from_content(&items[0])?, B::from_content(&items[1])?))
+            }
+            other => Err(DeError::new(format!("expected 2-tuple, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(i64::from_content(&42i64.to_content()).unwrap(), 42);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(String::from_content(&"hi".to_string().to_content()).unwrap(), "hi");
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_content(&v.to_content()).unwrap(), v);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_content(&Content::Int(300)).is_err());
+        assert!(u64::from_content(&Content::Int(-1)).is_err());
+    }
+}

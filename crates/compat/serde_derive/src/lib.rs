@@ -1,0 +1,388 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde subset.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): a small
+//! hand-rolled parser walks the item's `TokenStream` and the impl is
+//! emitted as a formatted string. Supports non-generic structs (unit,
+//! tuple, named) and enums whose variants are unit, tuple, or struct-like —
+//! exactly the shapes in this workspace. The generated representation
+//! follows serde's externally-tagged JSON conventions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct(String, Fields),
+    Enum(String, Vec<(String, Fields)>),
+}
+
+/// Skip attributes (`#[...]`, `#![...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if let Some(TokenTree::Punct(p2)) = tokens.get(i) {
+                    if p2.as_char() == '!' {
+                        i += 1;
+                    }
+                }
+                i += 1; // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Count the comma-separated fields of a tuple group, ignoring commas
+/// nested inside `<...>` (angle brackets are plain puncts, not groups).
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma does not add a field.
+    if let Some(TokenTree::Punct(p)) = tokens.last() {
+        if p.as_char() == ',' {
+            count -= 1;
+        }
+    }
+    count
+}
+
+/// Parse `name: Type, ...` named fields from a brace group.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
+        fields.push(name.to_string());
+        i += 1; // name
+        i += 1; // ':'
+                // Skip the type up to the next top-level comma.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Parse the enum body: `Variant, Variant(T, ..), Variant { f: T, .. }, ...`
+fn parse_variants(group: &proc_macro::Group) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Skip to after the separating comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (offline subset): generic types are not supported; write the impl by hand for `{name}`");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct(name, Fields::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::Struct(name, Fields::Tuple(count_tuple_fields(g)))
+            }
+            _ => Item::Struct(name, Fields::Unit),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(name, parse_variants(g))
+            }
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct(name, fields) => {
+            let expr = match fields {
+                Fields::Unit => "::serde::Content::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..n)
+                        .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Named(fs) => {
+                    let items: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(String::from(\"{f}\"), ::serde::Serialize::to_content(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Content::Map(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for (v, fields) in &variants {
+                let arm = match fields {
+                    Fields::Unit => {
+                        format!("{name}::{v} => ::serde::Content::Str(String::from(\"{v}\")),\n")
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Content::Map(vec![(String::from(\"{v}\"), \
+                         ::serde::Serialize::to_content(f0))]),\n"
+                    ),
+                    Fields::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_content(f{k})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Content::Map(vec![(String::from(\"{v}\"), \
+                             ::serde::Content::Seq(vec![{}]))]),\n",
+                            pats.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let pats = fs.join(", ");
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), ::serde::Serialize::to_content({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {pats} }} => ::serde::Content::Map(vec![\
+                             (String::from(\"{v}\"), ::serde::Content::Map(vec![{}]))]),\n",
+                            items.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct(name, fields) => {
+            let expr = match fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_content(c)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..n)
+                        .map(|k| format!("::serde::Deserialize::from_content(&items[{k}])?"))
+                        .collect();
+                    format!(
+                        "match c {{\n\
+                           ::serde::Content::Seq(items) if items.len() == {n} => \
+                             Ok({name}({})),\n\
+                           other => Err(::serde::DeError::new(format!(\
+                             \"expected {n}-element sequence for {name}, got {{other:?}}\"))),\n\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let items: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_content(c.get(\"{f}\")\
+                                 .ok_or_else(|| ::serde::DeError::new(\"missing field `{f}`\"))?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "match c {{\n\
+                           ::serde::Content::Map(_) => Ok({name} {{ {} }}),\n\
+                           other => Err(::serde::DeError::new(format!(\
+                             \"expected map for {name}, got {{other:?}}\"))),\n\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(c: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+                         {expr}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, fields) in &variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+                    }
+                    Fields::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_content(inner)?)),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_content(&items[{k}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => match inner {{\n\
+                               ::serde::Content::Seq(items) if items.len() == {n} => \
+                                 Ok({name}::{v}({})),\n\
+                               other => Err(::serde::DeError::new(format!(\
+                                 \"expected {n}-element sequence for {name}::{v}, got {{other:?}}\"))),\n\
+                             }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_content(inner.get(\"{f}\")\
+                                     .ok_or_else(|| ::serde::DeError::new(\"missing field `{f}`\"))?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => Ok({name}::{v} {{ {} }}),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(c: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+                         match c {{\n\
+                             ::serde::Content::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::DeError::new(format!(\
+                                     \"unknown unit variant {{other}} for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => Err(::serde::DeError::new(format!(\
+                                         \"unknown variant {{other}} for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::DeError::new(format!(\
+                                 \"expected externally tagged {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("serde_derive generated invalid Deserialize impl")
+}

@@ -29,8 +29,11 @@ pub trait ConflictRelation: Send + Sync {
 /// orders.
 pub struct FnConflict {
     name: &'static str,
-    f: Box<dyn Fn(&Operation, &Operation) -> bool + Send + Sync>,
+    f: ConflictFn,
 }
+
+/// The boxed symmetric conflict test wrapped by [`FnConflict`].
+type ConflictFn = Box<dyn Fn(&Operation, &Operation) -> bool + Send + Sync>;
 
 impl FnConflict {
     /// Wrap `f`, symmetrizing it (`a` conflicts `b` iff `f(a,b) ∨ f(b,a)`).
@@ -76,11 +79,7 @@ impl DerivedConflict {
     }
 
     fn related(&self, q: &Operation, p: &Operation) -> bool {
-        let atom = Atom {
-            row: (self.classify)(q),
-            col: (self.classify)(p),
-            cond: pair_cond(q, p),
-        };
+        let atom = Atom { row: (self.classify)(q), col: (self.classify)(p), cond: pair_cond(q, p) };
         self.atoms.contains(&atom)
     }
 }
@@ -139,9 +138,7 @@ pub type SharedConflict = Arc<dyn ConflictRelation>;
 /// Check symmetry of a conflict relation over a finite alphabet (used by
 /// tests; the machine requires symmetry).
 pub fn is_symmetric_over(rel: &dyn ConflictRelation, alphabet: &[Operation]) -> bool {
-    alphabet.iter().all(|a| {
-        alphabet.iter().all(|b| rel.conflicts(a, b) == rel.conflicts(b, a))
-    })
+    alphabet.iter().all(|a| alphabet.iter().all(|b| rel.conflicts(a, b) == rel.conflicts(b, a)))
 }
 
 /// Helper re-export: the key value used by condition-based atoms.

@@ -159,7 +159,7 @@ impl LockMachine {
     /// compacted base.
     fn view_frontier(&self, txn: TxnId) -> Frontier {
         let mut f = self.base.clone();
-        for (_, (_, ops)) in &self.committed_intents {
+        for (_, ops) in self.committed_intents.values() {
             f = f.advance_seq(self.adt.as_ref(), ops);
         }
         if let Some(own) = self.intentions.get(&txn) {
@@ -172,7 +172,7 @@ impl LockMachine {
     /// (diagnostics and tests).
     pub fn view_ops(&self, txn: TxnId) -> Vec<Operation> {
         let mut out = Vec::new();
-        for (_, (_, ops)) in &self.committed_intents {
+        for (_, ops) in self.committed_intents.values() {
             out.extend(ops.iter().cloned());
         }
         if let Some(own) = self.intentions.get(&txn) {
@@ -190,11 +190,7 @@ impl LockMachine {
     /// blocked or undefined it stays pending (the paper: "the response is
     /// discarded, and the invocation is later retried").
     pub fn try_respond(&mut self, txn: TxnId) -> Result<RespondOutcome, MachineError> {
-        let inv = self
-            .pending
-            .get(&txn)
-            .cloned()
-            .ok_or(MachineError::NoPendingInvocation(txn))?;
+        let inv = self.pending.get(&txn).cloned().ok_or(MachineError::NoPendingInvocation(txn))?;
         if self.is_completed(txn) {
             return Err(MachineError::TxnCompleted(txn));
         }

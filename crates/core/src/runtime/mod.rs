@@ -25,4 +25,4 @@ mod options;
 pub use adt::{LockSpec, RuntimeAdt};
 pub use handle::{TxnHandle, TxnPhase};
 pub use object::{ExecError, ObjectStats, TryExecOutcome, TxObject, TxParticipant};
-pub use options::{BlockPolicy, NullObserver, RuntimeOptions, WaitObserver};
+pub use options::{BlockPolicy, Durability, NullObserver, RuntimeOptions, WaitObserver};

@@ -177,7 +177,11 @@ impl<A: RuntimeAdt> TxObject<A> {
 
     /// Execute with blocking: retries on completion notifications until the
     /// lock is granted, the policy times out, or the transaction is doomed.
-    pub fn execute(self: &Arc<Self>, txn: &Arc<TxnHandle>, inv: A::Inv) -> Result<A::Res, ExecError> {
+    pub fn execute(
+        self: &Arc<Self>,
+        txn: &Arc<TxnHandle>,
+        inv: A::Inv,
+    ) -> Result<A::Res, ExecError> {
         let start = Instant::now();
         let mut blocked = false;
         loop {
@@ -218,15 +222,9 @@ impl<A: RuntimeAdt> TxObject<A> {
         }
     }
 
-    fn attempt(
-        &self,
-        st: &mut ObjState<A>,
-        txn: TxnId,
-        inv: &A::Inv,
-    ) -> TryExecOutcome<A::Res> {
+    fn attempt(&self, st: &mut ObjState<A>, txn: TxnId, inv: &A::Inv) -> TryExecOutcome<A::Res> {
         // Assemble the view: version + committed intents (ts order) + own.
-        let committed_refs: Vec<&A::Intent> =
-            st.committed.values().map(|r| &r.intent).collect();
+        let committed_refs: Vec<&A::Intent> = st.committed.values().map(|r| &r.intent).collect();
         let own = st.active.get(&txn).map(|r| r.intent.clone()).unwrap_or_default();
         let candidates = self.adt.candidates(&st.version, &committed_refs, &own, inv);
         drop(committed_refs);
@@ -376,10 +374,8 @@ mod tests {
                 RegInv::Write(v) => vec![(0, Some(*v))],
                 RegInv::Read => {
                     let mut cur = *version;
-                    for i in committed {
-                        if let Some(v) = i {
-                            cur = *v;
-                        }
+                    for v in committed.iter().copied().flatten() {
+                        cur = *v;
                     }
                     if let Some(v) = own {
                         cur = *v;
@@ -431,8 +427,8 @@ mod tests {
         let (t1, t2) = (h(1), h(2));
         o.execute(&t1, RegInv::Write(10)).unwrap();
         o.execute(&t2, RegInv::Write(20)).unwrap(); // no conflict!
-        // t2 commits later => later value wins regardless of execution
-        // order.
+                                                    // t2 commits later => later value wins regardless of execution
+                                                    // order.
         o.commit_at(t1.id(), 5);
         o.commit_at(t2.id(), 3);
         assert_eq!(o.committed_snapshot(), 10, "ts 5 overwrote ts 3");

@@ -43,6 +43,26 @@ impl WaitObserver for NullObserver {
     fn on_unblock(&self, _: TxnId) {}
 }
 
+/// How far a completion record must travel before a commit is
+/// acknowledged. The authoritative setting lives on `hcc-storage`'s
+/// `StorageOptions`; `TxnManager::object_options` mirrors the store's
+/// level into the options it hands out, so code holding only a
+/// `RuntimeOptions` can see what durability its commits actually get.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Durability {
+    /// Records stay in the process's own buffer until an opportunistic
+    /// flush (rotation, checkpoint, close). Fastest; a process crash loses
+    /// the unflushed tail.
+    None,
+    /// Every commit pushes the log to the OS page cache (`write`), but no
+    /// fsync: survives a process crash, not a power failure.
+    Buffered,
+    /// Every commit is fsynced (`sync_data`) before it is acknowledged —
+    /// batched across concurrent committers by group commit.
+    #[default]
+    Fsync,
+}
+
 /// Construction-time options for a [`super::TxObject`].
 #[derive(Clone)]
 pub struct RuntimeOptions {
@@ -50,26 +70,39 @@ pub struct RuntimeOptions {
     pub block: BlockPolicy,
     /// Contention observer (deadlock detection hook).
     pub observer: Arc<dyn WaitObserver>,
+    /// Durability required of completion records when a durable log is
+    /// attached (ignored when running purely in memory).
+    pub durability: Durability,
 }
 
 impl Default for RuntimeOptions {
     fn default() -> Self {
-        RuntimeOptions { block: BlockPolicy::default(), observer: Arc::new(NullObserver) }
+        RuntimeOptions {
+            block: BlockPolicy::default(),
+            observer: Arc::new(NullObserver),
+            durability: Durability::default(),
+        }
     }
 }
 
 impl RuntimeOptions {
     /// Options with a custom observer.
     pub fn with_observer(observer: Arc<dyn WaitObserver>) -> RuntimeOptions {
-        RuntimeOptions { block: BlockPolicy::default(), observer }
+        RuntimeOptions { observer, ..RuntimeOptions::default() }
     }
 
     /// Options with a custom timeout.
     pub fn with_timeout(timeout: Option<Duration>) -> RuntimeOptions {
         RuntimeOptions {
             block: BlockPolicy { timeout, ..BlockPolicy::default() },
-            observer: Arc::new(NullObserver),
+            ..RuntimeOptions::default()
         }
+    }
+
+    /// The same options with a different durability requirement.
+    pub fn with_durability(mut self, durability: Durability) -> RuntimeOptions {
+        self.durability = durability;
+        self
     }
 }
 

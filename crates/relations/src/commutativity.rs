@@ -136,11 +136,7 @@ mod tests {
         for (adt, alpha) in &cases {
             let hybrid = invalidated_by(adt.as_ref(), alpha, b).symmetric_closure();
             let comm = failure_to_commute(adt.as_ref(), alpha, b);
-            assert!(
-                hybrid.is_subset(&comm),
-                "hybrid ⊆ commutativity for {}",
-                adt.type_name()
-            );
+            assert!(hybrid.is_subset(&comm), "hybrid ⊆ commutativity for {}", adt.type_name());
             assert!(
                 hybrid.len() < comm.len(),
                 "hybrid ⊂ commutativity strictly for {}",

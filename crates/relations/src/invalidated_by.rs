@@ -33,11 +33,7 @@ impl Default for Bounds {
 /// Compute the bounded invalidated-by relation over `alphabet`:
 /// `(q, p) ∈ R` iff a witness `(h₁, h₂)` within `bounds` shows that `p`
 /// invalidates `q`.
-pub fn invalidated_by(
-    adt: &dyn Adt,
-    alphabet: &[Operation],
-    bounds: Bounds,
-) -> InstanceRelation {
+pub fn invalidated_by(adt: &dyn Adt, alphabet: &[Operation], bounds: Bounds) -> InstanceRelation {
     let mut rel = InstanceRelation::new();
     for h1 in legal_sequences(adt, alphabet, bounds.max_h1) {
         for (p, p_op) in alphabet.iter().enumerate() {

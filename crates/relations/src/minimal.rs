@@ -29,11 +29,8 @@ pub fn atoms_to_instance_relation(
     let mut rel = InstanceRelation::new();
     for (q, q_op) in alphabet.iter().enumerate() {
         for (p, p_op) in alphabet.iter().enumerate() {
-            let atom = Atom {
-                row: classify(q_op),
-                col: classify(p_op),
-                cond: pair_cond(q_op, p_op),
-            };
+            let atom =
+                Atom { row: classify(q_op), col: classify(p_op), cond: pair_cond(q_op, p_op) };
             if atoms.contains(&atom) {
                 rel.insert(q, p);
             }

@@ -119,9 +119,12 @@ impl RelationTable {
     /// Render the table as aligned plain text (the shape the paper prints).
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.classes.iter().map(|c| c.0.len().max(5)).collect();
-        let row_w = widths.iter().copied().max().unwrap_or(5).max(
-            self.classes.iter().map(|c| c.0.len()).max().unwrap_or(5),
-        );
+        let row_w = widths
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(5)
+            .max(self.classes.iter().map(|c| c.0.len()).max().unwrap_or(5));
         for (j, col) in self.classes.iter().enumerate() {
             for row in &self.classes {
                 widths[j] = widths[j].max(self.cell(row, col).render().len());
@@ -348,11 +351,8 @@ impl AdtConfig {
 
     /// Derive this type's invalidated-by relation as a rendered table.
     pub fn derive_invalidated_by(&self, title: impl Into<String>) -> RelationTable {
-        let rel = crate::invalidated_by::invalidated_by(
-            self.adt.as_ref(),
-            &self.alphabet,
-            self.bounds,
-        );
+        let rel =
+            crate::invalidated_by::invalidated_by(self.adt.as_ref(), &self.alphabet, self.bounds);
         RelationTable::from_instance_relation(
             title,
             &self.alphabet,
@@ -379,11 +379,7 @@ impl AdtConfig {
     }
 }
 
-fn table(
-    title: &str,
-    classes: &[&str],
-    entries: &[(&str, &str, CellCond)],
-) -> RelationTable {
+fn table(title: &str, classes: &[&str], entries: &[(&str, &str, CellCond)]) -> RelationTable {
     RelationTable {
         title: title.to_string(),
         classes: cls(classes),
@@ -525,11 +521,8 @@ mod tests {
         let tables: Vec<RelationTable> = rels
             .iter()
             .map(|atoms| {
-                let rel = crate::minimal::atoms_to_instance_relation(
-                    &cfg.alphabet,
-                    &cfg.classify,
-                    atoms,
-                );
+                let rel =
+                    crate::minimal::atoms_to_instance_relation(&cfg.alphabet, &cfg.classify, atoms);
                 RelationTable::from_instance_relation(
                     "derived",
                     &cfg.alphabet,
@@ -539,12 +532,12 @@ mod tests {
                 )
             })
             .collect();
-        let matches_ii = tables.iter().filter(|t| {
-            t.cell(&OpClass::new("Deq"), &OpClass::new("Enq")) == CellCond::Neq
-        });
-        let matches_iii = tables.iter().filter(|t| {
-            t.cell(&OpClass::new("Enq"), &OpClass::new("Enq")) == CellCond::Neq
-        });
+        let matches_ii = tables
+            .iter()
+            .filter(|t| t.cell(&OpClass::new("Deq"), &OpClass::new("Enq")) == CellCond::Neq);
+        let matches_iii = tables
+            .iter()
+            .filter(|t| t.cell(&OpClass::new("Enq"), &OpClass::new("Enq")) == CellCond::Neq);
         assert_eq!(matches_ii.count(), 1);
         assert_eq!(matches_iii.count(), 1);
     }

@@ -41,16 +41,7 @@ pub fn violations(adt: &dyn Adt, alphabet: &[Operation], bounds: Bounds) -> Vec<
                 continue;
             }
             let mut k = Vec::new();
-            extend_k(
-                adt,
-                alphabet,
-                bounds.max_h2,
-                &with_p,
-                &h.frontier,
-                p,
-                &mut k,
-                &mut out,
-            );
+            extend_k(adt, alphabet, bounds.max_h2, &with_p, &h.frontier, p, &mut k, &mut out);
         }
     }
     out.into_iter().map(|(p, candidates)| Violation { p, candidates }).collect()
@@ -78,8 +69,7 @@ fn extend_k(
         let w = with_p.advance(adt, q_op);
         if w.is_empty() {
             // Violation: k' = k·q; candidates are {(q', p) : q' ∈ k·q}.
-            let mut cands: BTreeSet<(usize, usize)> =
-                k.iter().map(|&q2| (q2, p)).collect();
+            let mut cands: BTreeSet<(usize, usize)> = k.iter().map(|&q2| (q2, p)).collect();
             cands.insert((q, p));
             out.insert((p, cands));
         } else if depth > 1 {

@@ -260,7 +260,7 @@ mod tests {
         let t = op(Inv::nullary("toggle"), Value::Unit);
         // toggle;toggle is equieffective to the empty sequence.
         assert!(equieffective(&Toggle, &[t.clone(), t.clone()], &[]));
-        assert!(!equieffective(&Toggle, &[t.clone()], &[]));
+        assert!(!equieffective(&Toggle, std::slice::from_ref(&t), &[]));
     }
 
     #[test]

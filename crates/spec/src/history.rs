@@ -278,7 +278,7 @@ impl History {
     pub fn serialized(&self, order: &[TxnId]) -> History {
         let mut events = Vec::with_capacity(self.events.len());
         for &p in order {
-            events.extend(self.restrict_txn(p).events.into_iter());
+            events.extend(self.restrict_txn(p).events);
         }
         History { events }
     }
@@ -343,9 +343,7 @@ impl History {
                         return Err(WfError::CommitWhilePending(*txn));
                     }
                     match s.ts {
-                        Some(t0) if t0 != *ts => {
-                            return Err(WfError::InconsistentTimestamp(*txn))
-                        }
+                        Some(t0) if t0 != *ts => return Err(WfError::InconsistentTimestamp(*txn)),
                         _ => s.ts = Some(*ts),
                     }
                     s.committed = true;
@@ -606,15 +604,8 @@ mod tests {
     fn wf_rejects_timestamp_contradicting_precedes() {
         // Q runs at X after P committed at X, but chooses a smaller
         // timestamp.
-        let h = HistoryBuilder::new()
-            .commit(0, 1, 5)
-            .op(0, 2, deq(), 1)
-            .commit(0, 2, 3)
-            .build();
-        assert_eq!(
-            h.well_formed(),
-            Err(WfError::TimestampContradictsPrecedes(TxnId(1), TxnId(2)))
-        );
+        let h = HistoryBuilder::new().commit(0, 1, 5).op(0, 2, deq(), 1).commit(0, 2, 3).build();
+        assert_eq!(h.well_formed(), Err(WfError::TimestampContradictsPrecedes(TxnId(1), TxnId(2))));
     }
 
     #[test]

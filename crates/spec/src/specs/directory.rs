@@ -78,10 +78,7 @@ impl Adt for DirectorySpec {
                 Ok(_) => vec![(Value::Bool(false), state.clone())],
                 Err(i) => {
                     let mut next = entries.clone();
-                    next.insert(
-                        i,
-                        Value::Pair(Box::new(k.clone()), Box::new(inv.args[1].clone())),
-                    );
+                    next.insert(i, Value::Pair(Box::new(k.clone()), Box::new(inv.args[1].clone())));
                     vec![(Value::Bool(true), SpecState(Value::List(next)))]
                 }
             },
@@ -156,10 +153,7 @@ mod tests {
     #[test]
     fn keys_are_independent() {
         let d = DirectorySpec;
-        assert!(legal(
-            &d,
-            &[ins("a", 1, true), ins("b", 2, true), rem("a", 1), get("b", 2)]
-        ));
+        assert!(legal(&d, &[ins("a", 1, true), ins("b", 2, true), rem("a", 1), get("b", 2)]));
     }
 
     #[test]

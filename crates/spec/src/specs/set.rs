@@ -117,7 +117,10 @@ mod tests {
     #[test]
     fn contains_tracks_membership() {
         let s = SetSpec;
-        assert!(legal(&s, &[has(2, false), add(2, true), has(2, true), rem(2, true), has(2, false)]));
+        assert!(legal(
+            &s,
+            &[has(2, false), add(2, true), has(2, true), rem(2, true), has(2, false)]
+        ));
     }
 
     #[test]

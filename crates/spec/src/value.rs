@@ -195,7 +195,7 @@ mod tests {
     fn values_are_ordered() {
         assert!(Value::Int(1) < Value::Int(2));
         // Cross-variant ordering only needs to be total and stable.
-        let mut v = vec![Value::Int(2), Value::Unit, Value::Int(1)];
+        let mut v = [Value::Int(2), Value::Unit, Value::Int(1)];
         v.sort();
         assert!(v.windows(2).all(|w| w[0] <= w[1]));
     }

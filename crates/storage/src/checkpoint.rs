@@ -1,0 +1,237 @@
+//! Checkpoint files: a serialized committed frontier plus the log position
+//! recovery should resume from.
+//!
+//! ```text
+//! file := magic "HCCKPT01", len: u32, crc: u32, payload
+//! payload := last_ts: u64, resume_seg: u64, n: u32,
+//!            n × { name: len-prefixed utf8, data: len-prefixed bytes }
+//! ```
+//!
+//! Files are named `ckpt-<last_ts>.ckpt`, written to a temp file, fsynced,
+//! then renamed — a half-written checkpoint can never shadow a complete
+//! one, and recovery skips any file whose CRC does not verify.
+
+use crate::record::crc32;
+use crate::StorageError;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"HCCKPT01";
+
+/// A serialized committed frontier.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Every commit with timestamp `≤ last_ts` is reflected in `objects`;
+    /// recovery replays only commits strictly above it.
+    pub last_ts: u64,
+    /// The segment opened right after this checkpoint (diagnostic).
+    /// Recovery scans *every* surviving segment: compaction already
+    /// deleted all pre-checkpoint segments except those pinned by
+    /// transactions live at checkpoint time, whose op records later
+    /// commits may still need.
+    pub resume_seg: u64,
+    /// `(object name, snapshot bytes)` for every registered object.
+    pub objects: Vec<(String, Vec<u8>)>,
+}
+
+fn checkpoint_path(dir: &Path, last_ts: u64) -> PathBuf {
+    dir.join(format!("ckpt-{last_ts:020}.ckpt"))
+}
+
+impl Checkpoint {
+    fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&self.last_ts.to_le_bytes());
+        payload.extend_from_slice(&self.resume_seg.to_le_bytes());
+        payload.extend_from_slice(&(self.objects.len() as u32).to_le_bytes());
+        for (name, data) in &self.objects {
+            payload.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            payload.extend_from_slice(name.as_bytes());
+            payload.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            payload.extend_from_slice(data);
+        }
+        let mut out = Vec::with_capacity(payload.len() + 16);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Checkpoint> {
+        if bytes.len() < 16 || &bytes[0..8] != MAGIC {
+            return None;
+        }
+        let len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        let payload = bytes.get(16..16 + len)?;
+        if crc32(payload) != crc {
+            return None;
+        }
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = payload.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        let last_ts = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let resume_seg = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let mut objects = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let name_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let name = String::from_utf8(take(&mut pos, name_len)?.to_vec()).ok()?;
+            let data_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let data = take(&mut pos, data_len)?.to_vec();
+            objects.push((name, data));
+        }
+        Some(Checkpoint { last_ts, resume_seg, objects })
+    }
+
+    /// Durably write this checkpoint into `dir` (temp file + fsync + rename
+    /// + directory fsync).
+    pub fn save(&self, dir: &Path) -> Result<PathBuf, StorageError> {
+        fs::create_dir_all(dir)?;
+        let final_path = checkpoint_path(dir, self.last_ts);
+        let tmp_path = dir.join(format!(".ckpt-{:020}.tmp", self.last_ts));
+        {
+            let mut f =
+                OpenOptions::new().create(true).write(true).truncate(true).open(&tmp_path)?;
+            f.write_all(&self.encode())?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_data(); // directory fsync: best effort
+        }
+        Ok(final_path)
+    }
+
+    /// Load the newest valid checkpoint in `dir`; corrupt or half-written
+    /// files are skipped.
+    pub fn load_latest(dir: &Path) -> Result<Option<Checkpoint>, StorageError> {
+        let entries = match fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let mut candidates: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .map(|n| n.starts_with("ckpt-") && n.ends_with(".ckpt"))
+                    .unwrap_or(false)
+            })
+            .collect();
+        candidates.sort();
+        for path in candidates.iter().rev() {
+            if let Some(ckpt) = fs::read(path).ok().as_deref().and_then(Checkpoint::decode) {
+                return Ok(Some(ckpt));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Delete checkpoints older than the one covering `keep_ts`.
+    pub fn prune_older(dir: &Path, keep_ts: u64) -> Result<u64, StorageError> {
+        let mut deleted = 0;
+        for entry in fs::read_dir(dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            if let Some(ts) = name.strip_prefix("ckpt-").and_then(|s| s.strip_suffix(".ckpt")) {
+                if ts.parse::<u64>().map(|t| t < keep_ts).unwrap_or(false) {
+                    fs::remove_file(&path)?;
+                    deleted += 1;
+                }
+            }
+        }
+        Ok(deleted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp(name: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "hcc-ckpt-{}-{}-{}",
+            std::process::id(),
+            name,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    fn sample(ts: u64) -> Checkpoint {
+        Checkpoint {
+            last_ts: ts,
+            resume_seg: 3,
+            objects: vec![
+                ("acct".into(), br#"{"balance":75}"#.to_vec()),
+                ("q".into(), b"[1,2]".to_vec()),
+            ],
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = tmp("roundtrip");
+        sample(42).save(&dir).unwrap();
+        assert_eq!(Checkpoint::load_latest(&dir).unwrap(), Some(sample(42)));
+    }
+
+    #[test]
+    fn latest_wins() {
+        let dir = tmp("latest");
+        sample(10).save(&dir).unwrap();
+        sample(99).save(&dir).unwrap();
+        sample(50).save(&dir).unwrap();
+        assert_eq!(Checkpoint::load_latest(&dir).unwrap().unwrap().last_ts, 99);
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_previous() {
+        let dir = tmp("fallback");
+        sample(10).save(&dir).unwrap();
+        let newest = sample(99).save(&dir).unwrap();
+        // Flip a payload byte in the newest file.
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+        assert_eq!(Checkpoint::load_latest(&dir).unwrap().unwrap().last_ts, 10);
+    }
+
+    #[test]
+    fn truncated_file_is_skipped() {
+        let dir = tmp("truncated");
+        sample(10).save(&dir).unwrap();
+        let newest = sample(99).save(&dir).unwrap();
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(Checkpoint::load_latest(&dir).unwrap().unwrap().last_ts, 10);
+    }
+
+    #[test]
+    fn prune_keeps_current() {
+        let dir = tmp("prune");
+        sample(10).save(&dir).unwrap();
+        sample(20).save(&dir).unwrap();
+        sample(30).save(&dir).unwrap();
+        assert_eq!(Checkpoint::prune_older(&dir, 30).unwrap(), 2);
+        assert_eq!(Checkpoint::load_latest(&dir).unwrap().unwrap().last_ts, 30);
+    }
+
+    #[test]
+    fn empty_dir_has_no_checkpoint() {
+        assert_eq!(Checkpoint::load_latest(&tmp("empty")).unwrap(), None);
+    }
+}

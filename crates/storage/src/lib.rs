@@ -1,0 +1,132 @@
+//! # hcc-storage — the durable storage subsystem
+//!
+//! The paper's recovery story is intentions lists: aborted transactions'
+//! effects are never merged into the committed state, and replaying the
+//! committed operations in commit-timestamp order — exactly the
+//! serialization order hybrid atomicity guarantees — rebuilds every
+//! object. This crate makes that story production-shaped:
+//!
+//! * [`record`] — length-prefixed, CRC32-protected binary log records with
+//!   torn-tail detection;
+//! * [`wal`] — a segmented write-ahead log with rotation and leader-based
+//!   **group commit**: concurrent committers share one fsync per batch;
+//! * [`checkpoint`] — durable snapshots of the committed frontier, so
+//!   recovery starts from the newest checkpoint and replays only the tail
+//!   instead of the whole history;
+//! * [`policy`] — the [`CompactMode`] state machine (Never / EveryN /
+//!   GrowthFactor / GrowthSize, AND-composed with a record-count floor)
+//!   deciding when to checkpoint and delete dead segments;
+//! * [`snapshot`] — the [`Snapshot`] trait every ADT implements;
+//! * [`store`] — [`DurableStore`], the façade `hcc-txn`'s manager logs
+//!   through, plus [`DurableStore::recover`].
+//!
+//! The durability knob ([`Durability`]: None / Buffered / Fsync) is defined
+//! in `hcc-core`'s `RuntimeOptions` and re-exported here; see
+//! `docs/DURABILITY.md` at the workspace root for the format and protocol
+//! descriptions.
+
+pub mod checkpoint;
+pub mod policy;
+pub mod record;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use checkpoint::Checkpoint;
+pub use hcc_core::runtime::Durability;
+pub use policy::{CompactMode, CompactionPolicy, LogStats};
+pub use record::LogRecord;
+pub use snapshot::{Snapshot, SnapshotError};
+pub use store::{CommittedTxn, DurableStore, Recovered, StorageOptions};
+pub use wal::{SegmentedWal, WalOptions};
+
+/// Anything that can go wrong in the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An I/O failure.
+    Io(std::io::Error),
+    /// A non-final segment contains an undecodable frame.
+    Corrupt {
+        /// The damaged segment's index.
+        segment: u64,
+        /// What failed to decode.
+        detail: String,
+    },
+    /// A commit record survived but its transaction's Begin/Op records are
+    /// gone — the log lost data it needed.
+    MissingOps {
+        /// The transaction whose operations are missing.
+        txn: u64,
+        /// Its commit timestamp.
+        ts: u64,
+    },
+    /// Two different transactions logged commit records with the same
+    /// timestamp. Timestamps are the replay order; recovering either one
+    /// silently would drop the other's acknowledged effects.
+    TimestampCollision {
+        /// The colliding timestamp.
+        ts: u64,
+        /// The first transaction seen with it.
+        first: u64,
+        /// The second transaction seen with it.
+        second: u64,
+    },
+    /// A checkpoint was requested over a store opened on a log with prior
+    /// commits that the registered objects have not absorbed (no
+    /// `mark_state_absorbed` after recovery): taking it would claim
+    /// coverage of history the snapshots do not contain, then prune it.
+    UnabsorbedHistory {
+        /// The watermark the snapshots would wrongly claim to cover.
+        last_ts: u64,
+    },
+    /// A snapshot payload could not be installed.
+    Snapshot(snapshot::SnapshotError),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Corrupt { segment, detail } => {
+                write!(f, "segment {segment} is corrupt: {detail}")
+            }
+            StorageError::MissingOps { txn, ts } => {
+                write!(f, "commit of txn {txn} at ts {ts} has no operation records")
+            }
+            StorageError::TimestampCollision { ts, first, second } => {
+                write!(f, "transactions {first} and {second} both committed at ts {ts}")
+            }
+            StorageError::UnabsorbedHistory { last_ts } => {
+                write!(
+                    f,
+                    "checkpoint refused: the log holds commits through ts {last_ts} that the \
+                     registered objects have not absorbed (recover first, then \
+                     mark_state_absorbed)"
+                )
+            }
+            StorageError::Snapshot(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> StorageError {
+        StorageError::Io(e)
+    }
+}
+
+impl From<snapshot::SnapshotError> for StorageError {
+    fn from(e: snapshot::SnapshotError) -> StorageError {
+        StorageError::Snapshot(e)
+    }
+}

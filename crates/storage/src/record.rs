@@ -1,0 +1,454 @@
+//! The on-disk record format: length-prefixed, CRC32-protected binary
+//! frames.
+//!
+//! ```text
+//! ┌──────────┬──────────┬───────────────┐
+//! │ len: u32 │ crc: u32 │ payload bytes │   (all integers little-endian)
+//! └──────────┴──────────┴───────────────┘
+//! payload := tag: u8, fields...
+//!   1 Begin  { txn: u64 }
+//!   2 Op     { txn: u64, object: len-prefixed utf8, op: len-prefixed bytes }
+//!   3 Commit { txn: u64, ts: u64 }
+//!   4 Abort  { txn: u64 }
+//! ```
+//!
+//! The CRC covers the payload only; a frame whose length field, CRC, or tag
+//! is implausible is treated as a torn tail when it is the last thing in
+//! the last segment, and as corruption anywhere else.
+
+/// Upper bound on one record's payload (guards against reading a garbage
+/// length field as an allocation size).
+pub const MAX_PAYLOAD: u32 = 1 << 30;
+
+/// One durable log record. The `op` payload is opaque to the storage layer;
+/// callers serialize operations however they like (the workspace uses
+/// compact JSON).
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogRecord {
+    /// A transaction began.
+    Begin {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// A transaction executed an operation at an object.
+    Op {
+        /// Transaction id.
+        txn: u64,
+        /// Object name.
+        object: String,
+        /// Serialized operation (opaque bytes).
+        op: Vec<u8>,
+    },
+    /// The transaction committed with this timestamp.
+    Commit {
+        /// Transaction id.
+        txn: u64,
+        /// Commit timestamp.
+        ts: u64,
+    },
+    /// The transaction aborted.
+    Abort {
+        /// Transaction id.
+        txn: u64,
+    },
+}
+
+impl LogRecord {
+    /// The transaction this record belongs to.
+    pub fn txn(&self) -> u64 {
+        match self {
+            LogRecord::Begin { txn }
+            | LogRecord::Op { txn, .. }
+            | LogRecord::Commit { txn, .. }
+            | LogRecord::Abort { txn } => *txn,
+        }
+    }
+
+    /// Is this a completion (commit/abort) record?
+    pub fn is_completion(&self) -> bool {
+        matches!(self, LogRecord::Commit { .. } | LogRecord::Abort { .. })
+    }
+}
+
+// ---- CRC32 (IEEE 802.3, the zlib polynomial) ---------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        table
+    })
+}
+
+/// IEEE CRC32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---- Encoding ----------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+/// Append the framed encoding of `rec` to `out`.
+pub fn encode_into(rec: &LogRecord, out: &mut Vec<u8>) {
+    let mut payload = Vec::with_capacity(32);
+    match rec {
+        LogRecord::Begin { txn } => {
+            payload.push(1);
+            put_u64(&mut payload, *txn);
+        }
+        LogRecord::Op { txn, object, op } => {
+            payload.push(2);
+            put_u64(&mut payload, *txn);
+            put_bytes(&mut payload, object.as_bytes());
+            put_bytes(&mut payload, op);
+        }
+        LogRecord::Commit { txn, ts } => {
+            payload.push(3);
+            put_u64(&mut payload, *txn);
+            put_u64(&mut payload, *ts);
+        }
+        LogRecord::Abort { txn } => {
+            payload.push(4);
+            put_u64(&mut payload, *txn);
+        }
+    }
+    put_u32(out, payload.len() as u32);
+    put_u32(out, crc32(&payload));
+    out.extend_from_slice(&payload);
+}
+
+/// The framed encoding of `rec`.
+pub fn encode(rec: &LogRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(40);
+    encode_into(rec, &mut out);
+    out
+}
+
+// ---- Decoding ----------------------------------------------------------
+
+/// Why a frame could not be decoded at some offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes remain than a header needs — clean EOF when 0 remain,
+    /// torn header otherwise.
+    Truncated,
+    /// The length field exceeds [`MAX_PAYLOAD`] (garbage header).
+    BadLength(u32),
+    /// The payload's CRC does not match the header.
+    BadCrc,
+    /// The payload's tag byte is unknown or its fields are malformed.
+    Malformed,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn len_bytes(&mut self) -> Option<&'a [u8]> {
+        let n = self.u32()?;
+        if n > MAX_PAYLOAD {
+            return None;
+        }
+        self.take(n as usize)
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Option<LogRecord> {
+    let mut c = Cursor { bytes: payload, pos: 0 };
+    let tag = *c.take(1)?.first()?;
+    let rec = match tag {
+        1 => LogRecord::Begin { txn: c.u64()? },
+        2 => {
+            let txn = c.u64()?;
+            let object = String::from_utf8(c.len_bytes()?.to_vec()).ok()?;
+            let op = c.len_bytes()?.to_vec();
+            LogRecord::Op { txn, object, op }
+        }
+        3 => LogRecord::Commit { txn: c.u64()?, ts: c.u64()? },
+        4 => LogRecord::Abort { txn: c.u64()? },
+        _ => return None,
+    };
+    if c.pos != payload.len() {
+        return None; // trailing junk inside the frame
+    }
+    Some(rec)
+}
+
+/// Extract one frame's CRC-verified payload at `bytes[offset..]`, plus the
+/// offset just past the frame. Shared by the full and metadata decoders so
+/// they can never diverge on what counts as a valid frame envelope.
+fn frame_at(bytes: &[u8], offset: usize) -> Result<(&[u8], usize), FrameError> {
+    let remaining = &bytes[offset.min(bytes.len())..];
+    if remaining.len() < 8 {
+        return Err(FrameError::Truncated);
+    }
+    let len = u32::from_le_bytes(remaining[0..4].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::BadLength(len));
+    }
+    let crc = u32::from_le_bytes(remaining[4..8].try_into().unwrap());
+    let end = 8usize + len as usize;
+    if remaining.len() < end {
+        return Err(FrameError::Truncated);
+    }
+    let payload = &remaining[8..end];
+    if crc32(payload) != crc {
+        return Err(FrameError::BadCrc);
+    }
+    Ok((payload, offset + end))
+}
+
+/// Decode one frame at `bytes[offset..]`, returning the record and the
+/// offset just past it.
+pub fn decode_at(bytes: &[u8], offset: usize) -> Result<(LogRecord, usize), FrameError> {
+    let (payload, next) = frame_at(bytes, offset)?;
+    match decode_payload(payload) {
+        Some(rec) => Ok((rec, next)),
+        None => Err(FrameError::Malformed),
+    }
+}
+
+/// A record's metadata, decodable without materializing object names or
+/// op payloads — for cheap watermark scans over large logs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordMeta {
+    /// The transaction the record belongs to.
+    pub txn: u64,
+    /// `Some(ts)` for commit records.
+    pub commit_ts: Option<u64>,
+}
+
+/// Allocation-free mirror of [`decode_payload`]: accepts exactly the
+/// payloads the full decoder accepts (field lengths and UTF-8 included),
+/// so a frame that passes a metadata scan can never fail a record scan.
+fn meta_from_payload(payload: &[u8]) -> Option<RecordMeta> {
+    if payload.len() < 9 {
+        return None;
+    }
+    let txn = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+    match payload[0] {
+        1 | 4 if payload.len() == 9 => Some(RecordMeta { txn, commit_ts: None }),
+        2 => {
+            let get_len = |at: usize| -> Option<usize> {
+                payload.get(at..at + 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()) as usize)
+            };
+            let obj_len = get_len(9)?;
+            let obj = payload.get(13..13 + obj_len)?;
+            std::str::from_utf8(obj).ok()?;
+            let op_len = get_len(13 + obj_len)?;
+            (payload.len() == 17 + obj_len + op_len).then_some(RecordMeta { txn, commit_ts: None })
+        }
+        3 if payload.len() == 17 => {
+            let ts = u64::from_le_bytes(payload[9..17].try_into().unwrap());
+            Some(RecordMeta { txn, commit_ts: Some(ts) })
+        }
+        _ => None,
+    }
+}
+
+/// Decode one frame's metadata at `bytes[offset..]` (CRC and payload shape
+/// still fully verified), returning it and the offset just past the frame.
+pub fn decode_meta_at(bytes: &[u8], offset: usize) -> Result<(RecordMeta, usize), FrameError> {
+    let (payload, next) = frame_at(bytes, offset)?;
+    match meta_from_payload(payload) {
+        Some(meta) => Ok((meta, next)),
+        None => Err(FrameError::Malformed),
+    }
+}
+
+/// Decode every complete frame in `bytes`. Returns the records plus the
+/// error that stopped the scan, if any (`None` means the buffer ended
+/// exactly on a frame boundary).
+pub fn decode_all(bytes: &[u8]) -> (Vec<LogRecord>, Option<FrameError>) {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        match decode_at(bytes, pos) {
+            Ok((rec, next)) => {
+                out.push(rec);
+                pos = next;
+            }
+            Err(e) => return (out, Some(e)),
+        }
+    }
+    (out, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<LogRecord> {
+        vec![
+            LogRecord::Begin { txn: 1 },
+            LogRecord::Op { txn: 1, object: "acct".into(), op: br#"{"credit":5}"#.to_vec() },
+            LogRecord::Commit { txn: 1, ts: 42 },
+            LogRecord::Abort { txn: 2 },
+        ]
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        for r in sample() {
+            encode_into(&r, &mut buf);
+        }
+        let (recs, err) = decode_all(&buf);
+        assert_eq!(recs, sample());
+        assert_eq!(err, None);
+    }
+
+    #[test]
+    fn torn_tail_detected() {
+        let mut buf = Vec::new();
+        let mut boundaries = vec![0usize];
+        for r in sample() {
+            encode_into(&r, &mut buf);
+            boundaries.push(buf.len());
+        }
+        for cut in 1..buf.len() {
+            let len = buf.len() - cut;
+            let (recs, err) = decode_all(&buf[..len]);
+            if let Some(whole) = boundaries.iter().position(|&b| b == len) {
+                // A cut on a frame boundary is a clean, shorter log.
+                assert_eq!(recs.len(), whole, "cut {cut} on boundary");
+                assert_eq!(err, None, "cut {cut} on boundary");
+            } else {
+                // Mid-frame cuts lose exactly the torn frame and are flagged.
+                assert!(err.is_some(), "cut {cut} must be flagged");
+                let whole = boundaries.iter().filter(|&&b| b <= len).count() - 1;
+                assert_eq!(recs.len(), whole, "cut {cut} record count");
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_bit_fails_crc() {
+        let mut buf = encode(&LogRecord::Commit { txn: 9, ts: 7 });
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let (recs, err) = decode_all(&buf);
+        assert!(recs.is_empty());
+        assert_eq!(err, Some(FrameError::BadCrc));
+    }
+
+    #[test]
+    fn garbage_length_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let (recs, err) = decode_all(&buf);
+        assert!(recs.is_empty());
+        assert_eq!(err, Some(FrameError::BadLength(u32::MAX)));
+    }
+
+    /// The metadata decoder must accept and reject exactly what the full
+    /// decoder does — a frame that survives an open-time tail-repair scan
+    /// can never be refused by recovery.
+    #[test]
+    fn meta_decoder_agrees_with_full_decoder() {
+        let mut cases: Vec<Vec<u8>> = sample()
+            .iter()
+            .map(|r| {
+                let e = encode(r);
+                e[8..].to_vec() // payload only
+            })
+            .collect();
+        // Payloads with trailing junk, short fields, bad UTF-8, bad tags.
+        for base in cases.clone() {
+            let mut longer = base.clone();
+            longer.push(0);
+            cases.push(longer);
+            if base.len() > 9 {
+                cases.push(base[..base.len() - 1].to_vec());
+            }
+        }
+        cases.push(vec![2, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0xFF, 0, 0, 0, 0]); // bad UTF-8 obj
+        cases.push(vec![99, 0, 0, 0, 0, 0, 0, 0, 0]);
+        for payload in cases {
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+            frame.extend_from_slice(&payload);
+            let full = decode_at(&frame, 0);
+            let meta = decode_meta_at(&frame, 0);
+            assert_eq!(
+                full.is_ok(),
+                meta.is_ok(),
+                "decoders disagree on payload {payload:?}: full={full:?} meta={meta:?}"
+            );
+            if let (Ok((rec, a)), Ok((m, b))) = (&full, &meta) {
+                assert_eq!(a, b);
+                assert_eq!(m.txn, rec.txn());
+                let ts = match rec {
+                    LogRecord::Commit { ts, .. } => Some(*ts),
+                    _ => None,
+                };
+                assert_eq!(m.commit_ts, ts);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_malformed() {
+        let payload = [99u8, 0, 0, 0, 0, 0, 0, 0, 0];
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let (_, err) = decode_all(&buf);
+        assert_eq!(err, Some(FrameError::Malformed));
+    }
+}

@@ -1,0 +1,39 @@
+//! The [`Snapshot`] trait: how a live object exposes its committed
+//! frontier to the checkpoint manager, and how recovery installs one.
+
+/// An object whose committed state can be serialized into a checkpoint and
+/// restored from one. Implemented by every ADT wrapper in `hcc-adts`.
+///
+/// `snapshot` must capture exactly the committed frontier — effects of
+/// active (uncommitted) transactions are excluded, which the runtime's
+/// version/intent split makes natural. `restore` installs the snapshot
+/// into a *fresh* object as one committed transaction at timestamp `ts`
+/// (the checkpoint's `last_ts`), so subsequent tail replay at higher
+/// timestamps observes a correctly-ordered history.
+pub trait Snapshot {
+    /// Serialize the committed frontier.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Install `bytes` into this (fresh) object as a committed transaction
+    /// at timestamp `ts`.
+    fn restore(&self, bytes: &[u8], ts: u64) -> Result<(), SnapshotError>;
+}
+
+/// A malformed or inapplicable snapshot payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotError(pub String);
+
+impl SnapshotError {
+    /// Construct an error.
+    pub fn new(msg: impl Into<String>) -> SnapshotError {
+        SnapshotError(msg.into())
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}

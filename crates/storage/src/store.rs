@@ -1,0 +1,552 @@
+//! The durable store: ties the segmented WAL, the checkpoint manager, and
+//! the compaction policy into one object the transaction layer can own.
+//!
+//! ## Checkpoint protocol
+//!
+//! 1. The caller quiesces commits (no commit may be logged while snapshots
+//!    are taken — `hcc-txn`'s manager holds its commit gate).
+//! 2. `checkpoint()` rotates the WAL: every record so far is in finished,
+//!    fsynced segments; new appends go to the fresh segment `R`.
+//! 3. Every registered object's committed frontier is serialized and the
+//!    checkpoint file `{last_ts, resume_seg = R, snapshots}` is written
+//!    durably (temp + fsync + rename).
+//! 4. Segments below `R` are deleted — except any still holding records of
+//!    transactions that were live at checkpoint time, which stay until a
+//!    later checkpoint finds them complete.
+//!
+//! ## Recovery
+//!
+//! `recover()` loads the newest valid checkpoint, scans every surviving
+//! segment (tolerating a torn tail in the last one), and returns the
+//! committed transactions with timestamp above the checkpoint, in
+//! timestamp order, each with its logged operations. A commit record whose
+//! transaction has no Begin/Op records in the surviving log is reported as
+//! [`StorageError::MissingOps`] — the log pruned something it needed.
+
+use crate::checkpoint::Checkpoint;
+use crate::policy::{CompactionPolicy, LogStats};
+use crate::record::LogRecord;
+use crate::snapshot::Snapshot;
+use crate::wal::{read_records, SegmentedWal, WalOptions};
+use crate::StorageError;
+use hcc_core::runtime::Durability;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Construction options for a [`DurableStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct StorageOptions {
+    /// Segment rotation threshold.
+    pub segment_max_bytes: u64,
+    /// Durability of completion records.
+    pub durability: Durability,
+    /// Batch concurrent commit fsyncs.
+    pub group_commit: bool,
+    /// When to checkpoint and delete dead segments.
+    pub policy: CompactionPolicy,
+}
+
+impl Default for StorageOptions {
+    fn default() -> Self {
+        StorageOptions {
+            segment_max_bytes: 4 * 1024 * 1024,
+            durability: Durability::Fsync,
+            group_commit: true,
+            policy: CompactionPolicy::default(),
+        }
+    }
+}
+
+/// One recovered committed transaction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommittedTxn {
+    /// Commit timestamp.
+    pub ts: u64,
+    /// Transaction id.
+    pub txn: u64,
+    /// Logged operations in execution order: `(object, opaque op bytes)`.
+    pub ops: Vec<(String, Vec<u8>)>,
+}
+
+/// Everything recovery learned from disk.
+#[derive(Clone, Debug, Default)]
+pub struct Recovered {
+    /// The newest valid checkpoint, if any.
+    pub checkpoint: Option<Checkpoint>,
+    /// Committed transactions above the checkpoint, in timestamp order.
+    pub committed: Vec<CommittedTxn>,
+    /// Was a torn tail dropped from the final segment?
+    pub torn_tail: bool,
+}
+
+/// A WAL + checkpoint store + compaction policy rooted at one directory.
+pub struct DurableStore {
+    dir: PathBuf,
+    wal: SegmentedWal,
+    opts: StorageOptions,
+    /// Highest commit timestamp logged through this store (seeded from the
+    /// checkpoint *and* the WAL tail on open, so a resumed session's clock
+    /// can be re-anchored above everything already durable).
+    last_commit_ts: AtomicU64,
+    /// Highest transaction id seen in the surviving log on open. A resumed
+    /// session must allocate above this, or its records would merge with a
+    /// dead transaction's under the same id at recovery.
+    max_txn_seen: u64,
+    /// Set when the store was opened over a log with prior commits (or a
+    /// checkpoint) that the caller's live objects have not absorbed.
+    /// Checkpointing in this state would claim coverage of history the
+    /// snapshots do not contain — and then prune it. Cleared by
+    /// [`DurableStore::mark_state_absorbed`].
+    unabsorbed_history: std::sync::atomic::AtomicBool,
+    /// Number of checkpoints taken by this instance.
+    checkpoints_taken: AtomicU64,
+}
+
+impl DurableStore {
+    /// Open (or create) the store rooted at `dir`.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        opts: StorageOptions,
+    ) -> Result<Arc<DurableStore>, StorageError> {
+        let dir = dir.as_ref().to_path_buf();
+        let wal = SegmentedWal::open(
+            &dir,
+            WalOptions {
+                segment_max_bytes: opts.segment_max_bytes,
+                durability: opts.durability,
+                group_commit: opts.group_commit,
+            },
+        )?;
+        let ckpt_ts = Checkpoint::load_latest(&dir)?.map(|c| c.last_ts).unwrap_or(0);
+        // One metadata-only pass over the surviving segments (bounded by
+        // compaction): resuming a log must not reuse timestamps or
+        // transaction ids that are already durable below the recovery
+        // watermarks.
+        let (wal_ts, max_txn) = crate::wal::scan_watermarks(&dir)?;
+        let last_ts = ckpt_ts.max(wal_ts);
+        Ok(Arc::new(DurableStore {
+            dir,
+            wal,
+            opts,
+            last_commit_ts: AtomicU64::new(last_ts),
+            max_txn_seen: max_txn,
+            unabsorbed_history: std::sync::atomic::AtomicBool::new(last_ts > 0),
+            checkpoints_taken: AtomicU64::new(0),
+        }))
+    }
+
+    /// Attest that the caller's live objects reflect every commit at or
+    /// below [`DurableStore::last_commit_ts`] — i.e. recovery (checkpoint
+    /// restore + tail replay) has been applied to the objects that will be
+    /// registered with [`DurableStore::checkpoint`]. Until this is called
+    /// on a store opened over prior history, checkpointing is refused.
+    pub fn mark_state_absorbed(&self) {
+        self.unabsorbed_history.store(false, Ordering::Release);
+    }
+
+    /// The highest commit timestamp known durable (checkpoint + WAL tail
+    /// at open time, plus everything logged since). A resumed session's
+    /// clock must issue strictly above this.
+    pub fn last_commit_ts(&self) -> u64 {
+        self.last_commit_ts.load(Ordering::Relaxed)
+    }
+
+    /// The highest transaction id in the log when the store was opened. A
+    /// resumed session must allocate ids strictly above this.
+    pub fn max_txn_seen(&self) -> u64 {
+        self.max_txn_seen
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured durability level.
+    pub fn durability(&self) -> Durability {
+        self.opts.durability
+    }
+
+    /// Log that `txn` began.
+    pub fn log_begin(&self, txn: u64) -> Result<(), StorageError> {
+        self.wal.append(&LogRecord::Begin { txn })
+    }
+
+    /// Log one executed operation.
+    pub fn log_op(&self, txn: u64, object: &str, op: &[u8]) -> Result<(), StorageError> {
+        self.wal.append(&LogRecord::Op { txn, object: object.to_string(), op: op.to_vec() })
+    }
+
+    /// Durably log that `txn` committed at `ts` (group-committed under
+    /// `Durability::Fsync`). Returns only once the record is as durable as
+    /// the configured level requires.
+    pub fn log_commit(&self, txn: u64, ts: u64) -> Result<(), StorageError> {
+        self.wal.commit(&LogRecord::Commit { txn, ts })?;
+        self.last_commit_ts.fetch_max(ts, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Log that `txn` aborted (buffered like an op record — recovery never
+    /// replays uncommitted transactions, so ordinary aborts need no fsync;
+    /// they only unpin segments for compaction).
+    pub fn log_abort(&self, txn: u64) -> Result<(), StorageError> {
+        self.wal.append(&LogRecord::Abort { txn })
+    }
+
+    /// Durably log that `txn` aborted. Used when a commit record may
+    /// already be on disk but was never acknowledged (its fsync failed):
+    /// recovery's abort-wins rule needs this record to survive.
+    pub fn log_abort_durable(&self, txn: u64) -> Result<(), StorageError> {
+        self.wal.commit(&LogRecord::Abort { txn })
+    }
+
+    /// Current log statistics.
+    pub fn stats(&self) -> LogStats {
+        self.wal.stats()
+    }
+
+    /// Does the compaction policy want a checkpoint now?
+    pub fn should_checkpoint(&self) -> bool {
+        self.opts.policy.should_compact(&self.wal.stats())
+    }
+
+    /// Checkpoints taken by this store instance.
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints_taken.load(Ordering::Relaxed)
+    }
+
+    /// Take a checkpoint of `objects` and delete dead segments.
+    ///
+    /// The caller must guarantee no commit is logged concurrently (the
+    /// manager's commit gate does this); the snapshots must reflect every
+    /// commit logged so far.
+    pub fn checkpoint(
+        &self,
+        objects: &[(&str, &dyn Snapshot)],
+    ) -> Result<Checkpoint, StorageError> {
+        if self.unabsorbed_history.load(Ordering::Acquire) {
+            return Err(StorageError::UnabsorbedHistory {
+                last_ts: self.last_commit_ts.load(Ordering::Relaxed),
+            });
+        }
+        // Finish the current segment so the checkpoint covers exactly the
+        // records below `resume_seg`.
+        let resume_seg = self.wal.rotate()?;
+        let ckpt = Checkpoint {
+            last_ts: self.last_commit_ts.load(Ordering::Relaxed),
+            resume_seg,
+            objects: objects
+                .iter()
+                .map(|(name, snap)| (name.to_string(), snap.snapshot()))
+                .collect(),
+        };
+        ckpt.save(&self.dir)?;
+        self.wal.mark_checkpoint();
+        self.wal.prune_segments(resume_seg)?;
+        Checkpoint::prune_older(&self.dir, ckpt.last_ts)?;
+        self.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
+        Ok(ckpt)
+    }
+
+    /// Convenience: checkpoint iff the policy fires.
+    pub fn maybe_checkpoint(
+        &self,
+        objects: &[(&str, &dyn Snapshot)],
+    ) -> Result<Option<Checkpoint>, StorageError> {
+        if self.should_checkpoint() {
+            self.checkpoint(objects).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Read the durable state under `dir`: newest checkpoint plus the
+    /// committed tail, in timestamp order. Static — recovery happens before
+    /// any appender is opened.
+    pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, StorageError> {
+        let dir = dir.as_ref();
+        let checkpoint = Checkpoint::load_latest(dir)?;
+        let ckpt_ts = checkpoint.as_ref().map(|c| c.last_ts).unwrap_or(0);
+        let (records, torn_tail) = read_records(dir)?;
+
+        let mut ops: HashMap<u64, Vec<(String, Vec<u8>)>> = HashMap::new();
+        let mut begun: HashSet<u64> = HashSet::new();
+        let mut aborted: HashSet<u64> = HashSet::new();
+        let mut commits: BTreeMap<u64, u64> = BTreeMap::new(); // ts -> txn
+        for rec in records {
+            match rec {
+                LogRecord::Begin { txn } => {
+                    begun.insert(txn);
+                }
+                LogRecord::Op { txn, object, op } => {
+                    begun.insert(txn);
+                    ops.entry(txn).or_default().push((object, op));
+                }
+                LogRecord::Commit { txn, ts } => {
+                    if ts > ckpt_ts {
+                        if let Some(prev) = commits.insert(ts, txn) {
+                            if prev != txn {
+                                // Silently keeping either transaction would
+                                // drop the other's acknowledged effects.
+                                return Err(StorageError::TimestampCollision {
+                                    ts,
+                                    first: prev,
+                                    second: txn,
+                                });
+                            }
+                        }
+                    }
+                }
+                LogRecord::Abort { txn } => {
+                    ops.remove(&txn);
+                    aborted.insert(txn);
+                }
+            }
+        }
+
+        let mut committed = Vec::with_capacity(commits.len());
+        for (ts, txn) in commits {
+            if aborted.contains(&txn) {
+                // Both a Commit and an Abort record survived. The manager
+                // writes an abort only when the commit was never
+                // acknowledged (its fsync failed), so the abort wins —
+                // reporting the transaction as committed-with-no-ops would
+                // resurrect effects the live system told its client were
+                // rolled back.
+                continue;
+            }
+            if !begun.contains(&txn) {
+                // The commit record survived but the transaction's Begin/Op
+                // records did not: the log lost something it needed.
+                return Err(StorageError::MissingOps { txn, ts });
+            }
+            committed.push(CommittedTxn { ts, txn, ops: ops.remove(&txn).unwrap_or_default() });
+        }
+        Ok(Recovered { checkpoint, committed, torn_tail })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotError;
+    use std::sync::Mutex;
+
+    fn tmp(name: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "hcc-store-{}-{}-{}",
+            std::process::id(),
+            name,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    /// A toy snapshotable counter for store-level tests.
+    #[derive(Default)]
+    struct Cell(Mutex<i64>);
+
+    impl Cell {
+        fn add(&self, v: i64) {
+            *self.0.lock().unwrap() += v;
+        }
+        fn get(&self) -> i64 {
+            *self.0.lock().unwrap()
+        }
+    }
+
+    impl Snapshot for Cell {
+        fn snapshot(&self) -> Vec<u8> {
+            self.get().to_le_bytes().to_vec()
+        }
+        fn restore(&self, bytes: &[u8], _ts: u64) -> Result<(), SnapshotError> {
+            let arr: [u8; 8] =
+                bytes.try_into().map_err(|_| SnapshotError::new("bad cell snapshot"))?;
+            *self.0.lock().unwrap() = i64::from_le_bytes(arr);
+            Ok(())
+        }
+    }
+
+    fn small_opts() -> StorageOptions {
+        StorageOptions {
+            segment_max_bytes: 256,
+            policy: CompactionPolicy::never(),
+            ..StorageOptions::default()
+        }
+    }
+
+    fn run_txn(store: &DurableStore, cell: &Cell, txn: u64, ts: u64, v: i64) {
+        store.log_begin(txn).unwrap();
+        store.log_op(txn, "cell", &v.to_le_bytes()).unwrap();
+        cell.add(v);
+        store.log_commit(txn, ts).unwrap();
+    }
+
+    fn replay(recovered: &Recovered, cell: &Cell) {
+        if let Some(ckpt) = &recovered.checkpoint {
+            for (name, data) in &ckpt.objects {
+                assert_eq!(name, "cell");
+                cell.restore(data, ckpt.last_ts).unwrap();
+            }
+        }
+        for txn in &recovered.committed {
+            for (obj, op) in &txn.ops {
+                assert_eq!(obj, "cell");
+                cell.add(i64::from_le_bytes(op.as_slice().try_into().unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    fn recover_without_checkpoint_replays_everything() {
+        let dir = tmp("plain");
+        let cell = Cell::default();
+        {
+            let store = DurableStore::open(&dir, small_opts()).unwrap();
+            for i in 1..=10 {
+                run_txn(&store, &cell, i, i, i as i64);
+            }
+            // An aborted transaction must not replay.
+            store.log_begin(99).unwrap();
+            store.log_op(99, "cell", &1000i64.to_le_bytes()).unwrap();
+            store.log_abort(99).unwrap();
+        }
+        let recovered = DurableStore::recover(&dir).unwrap();
+        assert!(recovered.checkpoint.is_none());
+        assert_eq!(recovered.committed.len(), 10);
+        let fresh = Cell::default();
+        replay(&recovered, &fresh);
+        assert_eq!(fresh.get(), cell.get());
+    }
+
+    #[test]
+    fn checkpoint_then_tail_equals_full_replay() {
+        let dir = tmp("ckpt");
+        let cell = Cell::default();
+        {
+            let store = DurableStore::open(&dir, small_opts()).unwrap();
+            for i in 1..=20 {
+                run_txn(&store, &cell, i, i, i as i64);
+            }
+            store.checkpoint(&[("cell", &cell)]).unwrap();
+            for i in 21..=30 {
+                run_txn(&store, &cell, i, i, i as i64);
+            }
+        }
+        let recovered = DurableStore::recover(&dir).unwrap();
+        let ckpt = recovered.checkpoint.as_ref().expect("checkpoint present");
+        assert_eq!(ckpt.last_ts, 20);
+        assert_eq!(recovered.committed.len(), 10, "only the tail replays");
+        assert!(recovered.committed.iter().all(|t| t.ts > 20));
+        let fresh = Cell::default();
+        replay(&recovered, &fresh);
+        assert_eq!(fresh.get(), (1..=30).sum::<i64>());
+    }
+
+    #[test]
+    fn checkpoint_prunes_dead_segments() {
+        let dir = tmp("prune");
+        let cell = Cell::default();
+        let store = DurableStore::open(&dir, small_opts()).unwrap();
+        for i in 1..=50 {
+            run_txn(&store, &cell, i, i, 1);
+        }
+        let before = crate::wal::list_segments(&dir).unwrap().len();
+        assert!(before > 2);
+        store.checkpoint(&[("cell", &cell)]).unwrap();
+        let after = crate::wal::list_segments(&dir).unwrap().len();
+        assert!(after <= 2, "dead segments survived: {after}");
+        assert_eq!(store.checkpoints_taken(), 1);
+    }
+
+    #[test]
+    fn policy_drives_maybe_checkpoint() {
+        let dir = tmp("policy");
+        let cell = Cell::default();
+        let store = DurableStore::open(
+            &dir,
+            StorageOptions {
+                segment_max_bytes: 256,
+                policy: CompactionPolicy::every_n(10),
+                ..StorageOptions::default()
+            },
+        )
+        .unwrap();
+        let mut taken = 0;
+        for i in 1..=35 {
+            run_txn(&store, &cell, i, i, 1);
+            if store.maybe_checkpoint(&[("cell", &cell)]).unwrap().is_some() {
+                taken += 1;
+            }
+        }
+        assert_eq!(taken, 3, "EveryN(10) over 35 commits");
+    }
+
+    #[test]
+    fn abort_record_overrides_unacknowledged_commit() {
+        let dir = tmp("commit-then-abort");
+        {
+            let store = DurableStore::open(&dir, small_opts()).unwrap();
+            // The ambiguous-failure shape: a commit frame reached disk but
+            // its fsync failed, so the manager aborted and told the client
+            // the commit did not happen.
+            store.log_begin(5).unwrap();
+            store.log_op(5, "cell", &7i64.to_le_bytes()).unwrap();
+            store.log_commit(5, 9).unwrap();
+            store.log_abort(5).unwrap();
+        }
+        let recovered = DurableStore::recover(&dir).unwrap();
+        assert!(
+            recovered.committed.is_empty(),
+            "an aborted transaction must not recover as committed: {recovered:?}"
+        );
+    }
+
+    #[test]
+    fn missing_ops_is_detected() {
+        let dir = tmp("missing");
+        {
+            let store = DurableStore::open(&dir, small_opts()).unwrap();
+            // A commit record with no Begin/Op in the log (simulates a
+            // wrongly pruned segment).
+            store.log_commit(7, 3).unwrap();
+        }
+        match DurableStore::recover(&dir) {
+            Err(StorageError::MissingOps { txn: 7, ts: 3 }) => {}
+            other => panic!("expected MissingOps, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reopen_after_checkpoint_keeps_timestamps_monotone() {
+        let dir = tmp("reopen");
+        let cell = Cell::default();
+        {
+            let store = DurableStore::open(&dir, small_opts()).unwrap();
+            for i in 1..=5 {
+                run_txn(&store, &cell, i, i, 1);
+            }
+            store.checkpoint(&[("cell", &cell)]).unwrap();
+        }
+        {
+            // A reopened store learns the checkpoint's watermark, so a new
+            // checkpoint without fresh commits keeps last_ts = 5. Until the
+            // caller attests its objects absorbed the prior history,
+            // checkpointing is refused — the same `cell` carried the state
+            // across the reopen here, so the attestation is truthful.
+            let store = DurableStore::open(&dir, small_opts()).unwrap();
+            match store.checkpoint(&[("cell", &cell)]) {
+                Err(StorageError::UnabsorbedHistory { last_ts: 5 }) => {}
+                other => panic!("expected UnabsorbedHistory, got {other:?}"),
+            }
+            store.mark_state_absorbed();
+            let ckpt = store.checkpoint(&[("cell", &cell)]).unwrap();
+            assert_eq!(ckpt.last_ts, 5);
+        }
+    }
+}

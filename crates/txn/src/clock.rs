@@ -30,12 +30,7 @@ impl LogicalClock {
         let mut cur = self.last.load(Ordering::Relaxed);
         loop {
             let next = cur.max(bound) + 1;
-            match self.last.compare_exchange_weak(
-                cur,
-                next,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
+            match self.last.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
                 Ok(_) => return next,
                 Err(seen) => cur = seen,
             }

@@ -13,6 +13,9 @@ use crate::clock::LogicalClock;
 use crate::deadlock::DeadlockDetector;
 use hcc_core::runtime::{RuntimeOptions, TxnHandle, TxnPhase};
 use hcc_spec::{Timestamp, TxnId};
+use hcc_storage::{Checkpoint, DurableStore, Snapshot, StorageError, StorageOptions};
+use parking_lot::RwLock;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -29,6 +32,9 @@ pub enum CommitError {
     Doomed,
     /// The transaction is not active.
     NotActive,
+    /// The durable log could not persist the commit record; the
+    /// transaction was aborted rather than acknowledged non-durably.
+    Storage(String),
 }
 
 impl std::fmt::Display for CommitError {
@@ -46,18 +52,69 @@ pub struct TxnManager {
     next_id: AtomicU64,
     committed: AtomicU64,
     aborted: AtomicU64,
+    /// The durable log, when this manager persists completion records.
+    store: Option<Arc<DurableStore>>,
+    /// Transactions whose Begin record failed to append (transient I/O).
+    /// The commit path retries the Begin before the commit record —
+    /// recovery refuses (`MissingOps`) a committed transaction with no
+    /// Begin/Op records at all, so the retry keeps a zero-op commit after
+    /// a logging hiccup recoverable.
+    begin_unlogged: parking_lot::Mutex<std::collections::HashSet<u64>>,
+    /// Commits hold this shared; checkpoints hold it exclusively, so a
+    /// snapshot can never observe a commit that is logged but not yet
+    /// applied at every object (or vice versa).
+    commit_gate: RwLock<()>,
 }
 
 impl TxnManager {
-    /// A fresh manager with its own clock and deadlock detector.
+    /// A fresh manager with its own clock and deadlock detector (no
+    /// durable log: commits live only in memory, as in the paper's model).
     pub fn new() -> Arc<TxnManager> {
+        Self::build(None)
+    }
+
+    /// A manager whose completion records are persisted through a
+    /// [`DurableStore`] rooted at `dir` — the commit path group-commits
+    /// under `opts.durability`, and [`TxnManager::checkpoint`] bounds
+    /// recovery time.
+    pub fn with_storage(
+        dir: impl AsRef<Path>,
+        opts: StorageOptions,
+    ) -> Result<Arc<TxnManager>, StorageError> {
+        Ok(Self::build(Some(DurableStore::open(dir, opts)?)))
+    }
+
+    /// A manager over an existing store (shared with other components).
+    pub fn with_durable_store(store: Arc<DurableStore>) -> Arc<TxnManager> {
+        Self::build(Some(store))
+    }
+
+    fn build(store: Option<Arc<DurableStore>>) -> Arc<TxnManager> {
+        let clock = Arc::new(LogicalClock::new());
+        let mut first_id = 1;
+        if let Some(store) = &store {
+            // Resume above everything already durable: commit timestamps
+            // at or below the recovery watermark would be silently ignored
+            // by a later recovery, and reused transaction ids would merge
+            // with a dead transaction's records.
+            clock.witness(store.last_commit_ts());
+            first_id = store.max_txn_seen() + 1;
+        }
         Arc::new(TxnManager {
-            clock: Arc::new(LogicalClock::new()),
+            clock,
             detector: DeadlockDetector::new(),
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(first_id),
             committed: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
+            store,
+            begin_unlogged: parking_lot::Mutex::new(std::collections::HashSet::new()),
+            commit_gate: RwLock::new(()),
         })
+    }
+
+    /// The durable store, if this manager has one.
+    pub fn storage(&self) -> Option<&Arc<DurableStore>> {
+        self.store.as_ref()
     }
 
     /// The manager's logical clock.
@@ -70,11 +127,14 @@ impl TxnManager {
         &self.detector
     }
 
-    /// Runtime options wiring objects to this manager's deadlock detector.
-    /// Construct objects with these options to get detection instead of
-    /// bare timeouts.
+    /// Runtime options wiring objects to this manager's deadlock detector,
+    /// and carrying the durability level the manager actually runs at (the
+    /// store's level, or the in-memory default without one). Construct
+    /// objects with these options to get detection instead of bare
+    /// timeouts.
     pub fn object_options(&self) -> RuntimeOptions {
-        RuntimeOptions::with_observer(self.detector.clone())
+        let durability = self.store.as_ref().map(|s| s.durability()).unwrap_or_default();
+        RuntimeOptions::with_observer(self.detector.clone()).with_durability(durability)
     }
 
     /// Begin a new transaction.
@@ -82,12 +142,44 @@ impl TxnManager {
         let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let h = TxnHandle::new(id);
         self.detector.register(&h);
+        if let Some(store) = &self.store {
+            // An I/O error must not fail `begin` — but it is remembered:
+            // the commit path retries the Begin record before the commit
+            // record, since recovery refuses a commit with no Begin/Op
+            // records (`MissingOps`).
+            if store.log_begin(id.0).is_err() {
+                self.begin_unlogged.lock().insert(id.0);
+            }
+        }
         h
+    }
+
+    /// Log one executed operation for `txn` (no-op without a durable
+    /// store). The write-ahead discipline requires every operation of a
+    /// transaction to be logged before its commit record; the object
+    /// wrappers do not log themselves, so workloads call this right after
+    /// each successful execution.
+    pub fn log_op(
+        &self,
+        txn: &Arc<TxnHandle>,
+        object: &str,
+        op: &serde_json::Value,
+    ) -> Result<(), StorageError> {
+        if let Some(store) = &self.store {
+            let bytes = serde_json::to_vec(op).expect("JSON values always serialize");
+            store.log_op(txn.id().0, object, &bytes)?;
+        }
+        Ok(())
     }
 
     /// Commit: two-phase atomic commitment across every touched object,
     /// with a timestamp above the transaction's lower bound. On any error
     /// the transaction is aborted everywhere.
+    ///
+    /// With a durable store attached, the commit record is persisted (group
+    /// commit under `Durability::Fsync`) *before* the timestamp is
+    /// distributed — the write-ahead discipline: a commit is acknowledged
+    /// only once it would survive a crash.
     pub fn commit(&self, txn: Arc<TxnHandle>) -> Result<Timestamp, CommitError> {
         if txn.phase() != TxnPhase::Active {
             return Err(CommitError::NotActive);
@@ -105,17 +197,82 @@ impl TxnManager {
                 return Err(CommitError::PrepareFailed { object });
             }
         }
+        // Logging the record and applying it at every object happens under
+        // the (shared) commit gate, so checkpoints see log and objects in
+        // agreement.
+        let gate = self.commit_gate.read();
         // Generate the commit timestamp above the transaction's bound (the
         // max object clock it observed), guaranteeing precedes ⊆ TS.
         let ts = self.clock.timestamp_after(txn.bound());
+        if let Some(store) = &self.store {
+            // Retry a Begin record that failed at `begin()`: without it a
+            // zero-op commit would make the whole log unrecoverable
+            // (`MissingOps`). Still failing means the log is unwell —
+            // refuse the commit rather than poison recovery.
+            if self.begin_unlogged.lock().contains(&txn.id().0) {
+                match store.log_begin(txn.id().0) {
+                    Ok(()) => {
+                        self.begin_unlogged.lock().remove(&txn.id().0);
+                    }
+                    Err(e) => {
+                        drop(gate);
+                        self.do_abort(&txn);
+                        return Err(CommitError::Storage(format!(
+                            "begin record could not be logged: {e}"
+                        )));
+                    }
+                }
+            }
+            if let Err(e) = store.log_commit(txn.id().0, ts) {
+                drop(gate);
+                // The commit frame may have reached disk even though its
+                // fsync failed; a *durable* abort record makes recovery's
+                // abort-wins rule suppress it. If even that fails, the
+                // post-crash outcome of this transaction is indeterminate —
+                // say so instead of hiding it.
+                let err = match store.log_abort_durable(txn.id().0) {
+                    Ok(()) => e.to_string(),
+                    Err(abort_err) => format!(
+                        "{e}; compensating abort record also failed ({abort_err}): \
+                         this transaction's outcome after a crash is indeterminate"
+                    ),
+                };
+                self.do_abort(&txn);
+                return Err(CommitError::Storage(err));
+            }
+        }
         txn.set_phase(TxnPhase::Committed(ts));
         // Phase 2: distribute the timestamp.
         for p in &participants {
             p.commit_at(txn.id(), ts);
         }
+        drop(gate);
         self.detector.forget(txn.id());
         self.committed.fetch_add(1, Ordering::Relaxed);
         Ok(Timestamp(ts))
+    }
+
+    /// Take a checkpoint of `objects` through the durable store, stopping
+    /// the world (no commit proceeds while snapshots are taken). Returns
+    /// `Ok(None)` when the manager has no store.
+    pub fn checkpoint(
+        &self,
+        objects: &[(&str, &dyn Snapshot)],
+    ) -> Result<Option<Checkpoint>, StorageError> {
+        let Some(store) = &self.store else { return Ok(None) };
+        let _gate = self.commit_gate.write();
+        store.checkpoint(objects).map(Some)
+    }
+
+    /// Checkpoint iff the store's compaction policy asks for it.
+    pub fn maybe_checkpoint(
+        &self,
+        objects: &[(&str, &dyn Snapshot)],
+    ) -> Result<Option<Checkpoint>, StorageError> {
+        match &self.store {
+            Some(store) if store.should_checkpoint() => self.checkpoint(objects),
+            _ => Ok(None),
+        }
     }
 
     /// Abort the transaction everywhere.
@@ -130,6 +287,12 @@ impl TxnManager {
         txn.set_phase(TxnPhase::Aborted);
         for p in txn.participants() {
             p.abort_txn(txn.id());
+        }
+        if let Some(store) = &self.store {
+            // Best effort: a missing abort record only delays segment
+            // pruning; recovery never replays uncommitted transactions.
+            let _ = store.log_abort(txn.id().0);
+            self.begin_unlogged.lock().remove(&txn.id().0);
         }
         self.detector.forget(txn.id());
         self.aborted.fetch_add(1, Ordering::Relaxed);

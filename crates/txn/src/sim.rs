@@ -214,8 +214,7 @@ mod tests {
         let site1 = Site::spawn("s1", vec![a.inner().clone()]);
         let site2 = Site::spawn("s2", vec![b.inner().clone()]);
         let clock = Arc::new(LogicalClock::new());
-        let coord =
-            Coordinator::new(clock).with_vote_timeout(Duration::from_millis(50));
+        let coord = Coordinator::new(clock).with_vote_timeout(Duration::from_millis(50));
 
         let t = TxnHandle::new(TxnId(1));
         a.credit(&t, r(5)).unwrap();

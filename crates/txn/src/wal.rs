@@ -1,13 +1,16 @@
-//! A write-ahead log and crash recovery of the committed state.
+//! The original line-JSON write-ahead log, kept as a compatibility shim.
 //!
-//! The paper's recovery story is intentions lists: an aborted transaction's
-//! effects are discarded because they were never merged into the committed
-//! state. For durability across *crashes* (the Avalon `pinning`/stable
-//! storage machinery) we add a simple WAL: every executed operation is
-//! logged before commit, commit records carry the timestamp, and recovery
-//! replays the operations of committed transactions in timestamp order —
-//! which is exactly the serialization order hybrid atomicity guarantees,
-//! so replay rebuilds the same committed state.
+//! The durable path now lives in `hcc-storage` (segmented CRC-framed WAL,
+//! checkpoints, compaction, group commit) and is wired into
+//! [`crate::manager::TxnManager::with_storage`]. This module remains for
+//! callers of the original API and as the simplest possible illustration
+//! of the paper's recovery story: every executed operation is logged
+//! before commit, commit records carry the timestamp, and recovery replays
+//! the operations of committed transactions in timestamp order — which is
+//! exactly the serialization order hybrid atomicity guarantees, so replay
+//! rebuilds the same committed state. Unlike the segmented log it is
+//! O(history) to replay and never compacts; prefer `hcc-storage` for
+//! anything long-running.
 
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
@@ -66,21 +69,32 @@ impl Wal {
         &self.path
     }
 
-    /// Append one record (buffered).
-    pub fn append(&self, rec: &WalRecord) -> std::io::Result<()> {
+    fn write(&self, rec: &WalRecord, sync: bool) -> std::io::Result<()> {
         let mut w = self.writer.lock().unwrap();
         serde_json::to_writer(&mut *w, rec)?;
-        w.write_all(b"\n")
+        w.write_all(b"\n")?;
+        if sync {
+            w.flush()?;
+            w.get_ref().sync_data()?;
+        }
+        Ok(())
     }
 
-    /// Append and force to the OS (called on completion records — the
-    /// "write-ahead" discipline: completion is durable before it is
-    /// acknowledged).
+    /// Append one record. Operation records are buffered; completion
+    /// records (`Commit` / `Abort`) are forced to disk before returning —
+    /// the log would otherwise be silently volatile for callers that never
+    /// use [`Wal::append_sync`], acknowledging commits a crash could lose.
+    pub fn append(&self, rec: &WalRecord) -> std::io::Result<()> {
+        let completion = matches!(rec, WalRecord::Commit { .. } | WalRecord::Abort { .. });
+        self.write(rec, completion)
+    }
+
+    /// Append and force to the OS (the "write-ahead" discipline:
+    /// completion is durable before it is acknowledged). For completion
+    /// records this is now what [`Wal::append`] does anyway — one fsync,
+    /// not two.
     pub fn append_sync(&self, rec: &WalRecord) -> std::io::Result<()> {
-        self.append(rec)?;
-        let mut w = self.writer.lock().unwrap();
-        w.flush()?;
-        w.get_ref().sync_data()
+        self.write(rec, true)
     }
 
     /// Read every complete record from a log file. A torn trailing line
@@ -106,7 +120,11 @@ impl Wal {
 /// The operations of committed transactions, grouped per transaction and
 /// sorted by commit timestamp — replaying them in this order rebuilds the
 /// committed state of every object.
-pub fn committed_ops(records: &[WalRecord]) -> Vec<(u64, u64, Vec<(String, serde_json::Value)>)> {
+/// `(timestamp, txn, ops)` triples in replay order, as returned by
+/// [`committed_ops`].
+pub type CommittedOps = Vec<(u64, u64, Vec<(String, serde_json::Value)>)>;
+
+pub fn committed_ops(records: &[WalRecord]) -> CommittedOps {
     use std::collections::{BTreeMap, HashMap};
     let mut ops: HashMap<u64, Vec<(String, serde_json::Value)>> = HashMap::new();
     let mut committed: BTreeMap<u64, u64> = BTreeMap::new(); // ts -> txn
@@ -121,10 +139,7 @@ pub fn committed_ops(records: &[WalRecord]) -> Vec<(u64, u64, Vec<(String, serde
             _ => {}
         }
     }
-    committed
-        .into_iter()
-        .map(|(ts, txn)| (ts, txn, ops.remove(&txn).unwrap_or_default()))
-        .collect()
+    committed.into_iter().map(|(ts, txn)| (ts, txn, ops.remove(&txn).unwrap_or_default())).collect()
 }
 
 #[cfg(test)]

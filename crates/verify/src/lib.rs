@@ -138,11 +138,8 @@ pub fn online_hybrid_atomic_at(h: &History, x: ObjectId, specs: &SystemSpecs) ->
     let committed: HashSet<TxnId> = hx.committed().keys().copied().collect();
     let aborted = hx.aborted();
     let known = hx.known();
-    let candidates: Vec<TxnId> = txns
-        .iter()
-        .copied()
-        .filter(|t| !committed.contains(t) && !aborted.contains(t))
-        .collect();
+    let candidates: Vec<TxnId> =
+        txns.iter().copied().filter(|t| !committed.contains(t) && !aborted.contains(t)).collect();
     // Every subset of the active transactions may still commit.
     for bits in 0..(1u32 << candidates.len()) {
         let mut c: HashSet<TxnId> = committed.clone();
@@ -281,10 +278,7 @@ mod tests {
     #[test]
     fn online_check_accepts_own_item_dequeue() {
         // A transaction dequeuing its *own* enqueue is fine.
-        let h = HistoryBuilder::new()
-            .op(0, 1, enq(1), Value::Unit)
-            .op(0, 1, deq(), 1)
-            .build();
+        let h = HistoryBuilder::new().op(0, 1, enq(1), Value::Unit).op(0, 1, deq(), 1).build();
         assert!(online_hybrid_atomic(&h, &queue_specs()));
     }
 

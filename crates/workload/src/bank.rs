@@ -183,10 +183,8 @@ pub fn transfers(
             });
         }
     });
-    let total: Rational = accounts
-        .iter()
-        .map(|a| a.committed_balance())
-        .fold(Rational::ZERO, |acc, b| acc + b);
+    let total: Rational =
+        accounts.iter().map(|a| a.committed_balance()).fold(Rational::ZERO, |acc, b| acc + b);
     TransferReport {
         metrics: Metrics {
             scenario: "bank-transfers".into(),
@@ -250,6 +248,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "mix must sum to 100")]
     fn bad_mix_is_rejected() {
-        account_mix(Scheme::Hybrid, 1, 1, 1, Mix { credit_pct: 50, debit_pct: 50, post_pct: 50, overdraft_pct: 0 });
+        account_mix(
+            Scheme::Hybrid,
+            1,
+            1,
+            1,
+            Mix { credit_pct: 50, debit_pct: 50, post_pct: 50, overdraft_pct: 0 },
+        );
     }
 }

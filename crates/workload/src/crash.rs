@@ -1,0 +1,494 @@
+//! Crash-recovery scenarios: a randomized bank + queue workload logged
+//! through the durable store, killed at an injected crash point, recovered
+//! from checkpoint + WAL tail, and verified three ways:
+//!
+//! 1. the recovered objects match an independently tracked oracle of the
+//!    committed effects that survived the crash;
+//! 2. the surviving commit set is a timestamp-prefix of what was committed
+//!    (durability is monotone in commit order);
+//! 3. the recovered history, rebuilt as formal events, satisfies
+//!    `hcc-verify`'s hybrid atomicity check.
+//!
+//! The "crash" is simulated by closing the store and truncating an
+//! arbitrary number of bytes off the final WAL segment — exactly what a
+//! power failure does to a log whose tail had not finished reaching disk.
+
+use hcc_adts::account::AccountObject;
+use hcc_adts::fifo_queue::QueueObject;
+use hcc_core::runtime::{Durability, RuntimeOptions};
+use hcc_spec::history::HistoryBuilder;
+use hcc_spec::specs::{AccountSpec, QueueSpec};
+use hcc_spec::{ObjectId, Rational, Value};
+use hcc_storage::{CompactionPolicy, DurableStore, StorageError, StorageOptions};
+use hcc_txn::manager::TxnManager;
+use hcc_verify::{hybrid_atomic, SystemSpecs};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One committed effect, as the oracle tracks it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Effect {
+    /// `credit(v)` on the account.
+    Credit(i64),
+    /// `debit(v)` that succeeded.
+    DebitOk(i64),
+    /// `debit(v)` refused (overdraft); no state change, but the response
+    /// matters to the verifier.
+    DebitOver(i64),
+    /// `enq(v)` on the queue.
+    Enq(i64),
+    /// `deq()` that returned `v`.
+    Deq(i64),
+}
+
+/// What the workload committed before the crash, keyed by commit
+/// timestamp.
+pub type Oracle = BTreeMap<u64, Vec<Effect>>;
+
+/// Options for one crash-recovery run.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashScenarioOptions {
+    /// RNG seed (the whole run is deterministic given the seed).
+    pub seed: u64,
+    /// Transactions to attempt.
+    pub txns: usize,
+    /// Open transactions interleaved at any moment.
+    pub interleave: usize,
+    /// Checkpoint every N commits (`None` = never).
+    pub checkpoint_every: Option<u64>,
+    /// Durability of the run.
+    pub durability: Durability,
+}
+
+impl Default for CrashScenarioOptions {
+    fn default() -> Self {
+        CrashScenarioOptions {
+            seed: 0xC4A5,
+            txns: 120,
+            interleave: 3,
+            checkpoint_every: None,
+            durability: Durability::Buffered,
+        }
+    }
+}
+
+/// Result of the workload phase.
+#[derive(Debug)]
+pub struct CrashWorkload {
+    /// Committed effects by timestamp.
+    pub oracle: Oracle,
+    /// Transactions committed (== `oracle.len()`).
+    pub committed: usize,
+    /// Transactions aborted by conflicts/timeouts.
+    pub aborted: usize,
+    /// Checkpoints taken during the run.
+    pub checkpoints: u64,
+}
+
+/// State rebuilt by recovery.
+#[derive(Debug, PartialEq)]
+pub struct RecoveredState {
+    /// Account balance.
+    pub balance: Rational,
+    /// Queue contents, front first.
+    pub queue: Vec<i64>,
+    /// The checkpoint's watermark (0 when recovery started from scratch):
+    /// every commit at or below it is folded into the snapshot.
+    pub checkpoint_ts: u64,
+    /// Timestamps of the replayed tail commits, ascending.
+    pub tail_ts: Vec<u64>,
+}
+
+fn money(n: i64) -> Rational {
+    Rational::from_int(n)
+}
+
+/// Run the randomized workload, logging through a [`DurableStore`] at
+/// `dir`, and close the store (an orderly close; combine with
+/// [`truncate_tail`] to simulate the crash).
+pub fn run_crash_workload(
+    dir: &Path,
+    opts: CrashScenarioOptions,
+) -> Result<CrashWorkload, StorageError> {
+    let storage = StorageOptions {
+        segment_max_bytes: 2048, // small segments: rotation + pruning exercised
+        durability: opts.durability,
+        group_commit: true,
+        policy: match opts.checkpoint_every {
+            Some(n) => CompactionPolicy::every_n(n),
+            None => CompactionPolicy::never(),
+        },
+    };
+    let mgr = TxnManager::with_storage(dir, storage)?;
+    // Short timeouts: a conflicting interleaving aborts quickly and the
+    // abort path gets logged coverage.
+    let obj_opts = RuntimeOptions::with_timeout(Some(std::time::Duration::from_millis(20)));
+    let acct = AccountObject::with(
+        "acct",
+        std::sync::Arc::new(hcc_adts::account::AccountHybrid),
+        obj_opts.clone(),
+    );
+    let queue: QueueObject<i64> =
+        QueueObject::with("q", std::sync::Arc::new(hcc_adts::fifo_queue::QueueTableII), obj_opts);
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut oracle = Oracle::new();
+    let mut aborted = 0usize;
+
+    // `interleave` transactions stay open at once; each step extends one of
+    // them or commits it, so op records of different transactions mix in
+    // the log.
+    struct Open {
+        txn: std::sync::Arc<hcc_core::runtime::TxnHandle>,
+        effects: Vec<Effect>,
+        failed: bool,
+    }
+    let mut open: Vec<Open> = Vec::new();
+    let mut started = 0usize;
+
+    while started < opts.txns || !open.is_empty() {
+        while open.len() < opts.interleave && started < opts.txns {
+            open.push(Open { txn: mgr.begin(), effects: Vec::new(), failed: false });
+            started += 1;
+        }
+        let slot = rng.gen_range(0..open.len());
+        let finish =
+            open[slot].failed || open[slot].effects.len() >= 4 || rng.gen_range(0..100u32) < 30;
+        if finish {
+            let o = open.swap_remove(slot);
+            if o.failed || o.effects.is_empty() {
+                mgr.abort(o.txn);
+                aborted += 1;
+            } else {
+                match mgr.commit(o.txn) {
+                    Ok(ts) => {
+                        oracle.insert(ts.0, o.effects);
+                        if opts.checkpoint_every.is_some() {
+                            mgr.maybe_checkpoint(&[("acct", &acct), ("q", &queue)])?;
+                        }
+                    }
+                    Err(_) => aborted += 1,
+                }
+            }
+            continue;
+        }
+        let o = &mut open[slot];
+        let dice = rng.gen_range(0..100u32);
+        let result: Result<Option<Effect>, hcc_core::runtime::ExecError> = if dice < 40 {
+            let v = rng.gen_range(1..50i64);
+            acct.credit(&o.txn, money(v)).map(|_| Some(Effect::Credit(v)))
+        } else if dice < 60 {
+            let v = rng.gen_range(1..80i64);
+            acct.debit(&o.txn, money(v))
+                .map(|ok| Some(if ok { Effect::DebitOk(v) } else { Effect::DebitOver(v) }))
+        } else if dice < 90 || queue.committed_len() == 0 {
+            let v = rng.gen_range(1..1000i64);
+            queue.enq(&o.txn, v).map(|_| Some(Effect::Enq(v)))
+        } else {
+            queue.deq(&o.txn).map(|v| Some(Effect::Deq(v)))
+        };
+        match result {
+            Ok(Some(effect)) => {
+                let op = effect_to_json(&effect);
+                let object = match effect {
+                    Effect::Enq(_) | Effect::Deq(_) => "q",
+                    _ => "acct",
+                };
+                mgr.log_op(&o.txn, object, &op)?;
+                o.effects.push(effect);
+            }
+            Ok(None) => {}
+            Err(_) => o.failed = true, // conflict/timeout: abort on finish
+        }
+    }
+
+    let checkpoints = mgr.storage().map(|s| s.checkpoints_taken()).unwrap_or(0);
+    Ok(CrashWorkload { committed: oracle.len(), oracle, aborted, checkpoints })
+}
+
+fn effect_to_json(e: &Effect) -> serde_json::Value {
+    match e {
+        Effect::Credit(v) => json!({"op": "credit", "v": (*v)}),
+        Effect::DebitOk(v) => json!({"op": "debit", "v": (*v), "ok": true}),
+        Effect::DebitOver(v) => json!({"op": "debit", "v": (*v), "ok": false}),
+        Effect::Enq(v) => json!({"op": "enq", "v": (*v)}),
+        Effect::Deq(v) => json!({"op": "deq", "v": (*v)}),
+    }
+}
+
+fn effect_from_json(v: &serde_json::Value) -> Effect {
+    let n = v["v"].as_i64().expect("op payload has v");
+    match v["op"].as_str().expect("op payload has op") {
+        "credit" => Effect::Credit(n),
+        "debit" => {
+            if v["ok"].as_bool().unwrap_or(false) {
+                Effect::DebitOk(n)
+            } else {
+                Effect::DebitOver(n)
+            }
+        }
+        "enq" => Effect::Enq(n),
+        "deq" => Effect::Deq(n),
+        other => panic!("unknown logged op {other}"),
+    }
+}
+
+/// Chop `bytes` off the end of the final WAL segment — the injected crash
+/// point. Returns how many bytes were actually removed.
+pub fn truncate_tail(dir: &Path, bytes: u64) -> std::io::Result<u64> {
+    let segments = hcc_storage::wal::list_segments(dir)?;
+    let Some((_, last)) = segments.last() else { return Ok(0) };
+    let len = std::fs::metadata(last)?.len();
+    let cut = bytes.min(len);
+    let file = std::fs::OpenOptions::new().write(true).open(last)?;
+    file.set_len(len - cut)?;
+    file.sync_data()?;
+    Ok(cut)
+}
+
+/// Recover the store at `dir` into fresh objects, replaying the checkpoint
+/// and tail, verifying the rebuilt history is hybrid atomic, and returning
+/// the reconstructed state.
+pub fn recover_and_verify(dir: &Path) -> Result<RecoveredState, StorageError> {
+    use hcc_storage::Snapshot as _;
+
+    let recovered = DurableStore::recover(dir)?;
+    let acct = AccountObject::hybrid("acct-recovered");
+    let queue: QueueObject<i64> = QueueObject::hybrid("q-recovered");
+    let mut tail_ts = Vec::new();
+
+    let ckpt_ts = match &recovered.checkpoint {
+        Some(ckpt) => {
+            for (name, data) in &ckpt.objects {
+                match name.as_str() {
+                    "acct" => acct.restore(data, ckpt.last_ts)?,
+                    "q" => queue.restore(data, ckpt.last_ts)?,
+                    other => panic!("unexpected checkpointed object {other}"),
+                }
+            }
+            ckpt.last_ts
+        }
+        None => 0,
+    };
+
+    // Replay the tail in timestamp order, and simultaneously rebuild the
+    // formal history for the verifier (account = object 0, queue = 1).
+    // The checkpoint enters the history the same way `Snapshot::restore`
+    // installs it: as one bootstrap transaction committed at the
+    // checkpoint timestamp — without it, a tail `deq` of an item enqueued
+    // before the checkpoint would be illegal from the initial state.
+    let mut hb = HistoryBuilder::new();
+    if ckpt_ts > 0 {
+        let boot = hcc_adts::snapshot::BOOTSTRAP_TXN;
+        let balance = acct.committed_balance();
+        hb = hb.op(0, boot, AccountSpec::credit(balance), Value::Unit);
+        let mut touched_queue = false;
+        for item in queue.inner().committed_snapshot() {
+            hb = hb.op(1, boot, QueueSpec::enq(item), Value::Unit);
+            touched_queue = true;
+        }
+        hb = hb.commit(0, boot, ckpt_ts);
+        if touched_queue {
+            hb = hb.commit(1, boot, ckpt_ts);
+        }
+    }
+    let mgr = TxnManager::new();
+    for committed in &recovered.committed {
+        assert!(committed.ts > ckpt_ts, "tail commits lie above the checkpoint");
+        let t = mgr.begin();
+        let mut touched = [false; 2];
+        for (object, op_bytes) in &committed.ops {
+            let op: serde_json::Value =
+                serde_json::from_slice(op_bytes).map_err(std::io::Error::from)?;
+            let effect = effect_from_json(&op);
+            touched[if object == "q" { 1 } else { 0 }] = true;
+            match (&effect, object.as_str()) {
+                (Effect::Credit(v), "acct") => {
+                    acct.credit(&t, money(*v)).expect("replay credit");
+                    hb = hb.op(0, committed.txn, AccountSpec::credit(money(*v)), Value::Unit);
+                }
+                (Effect::DebitOk(v), "acct") => {
+                    assert!(
+                        acct.debit(&t, money(*v)).expect("replay debit"),
+                        "a logged successful debit must succeed on replay"
+                    );
+                    hb = hb.op(0, committed.txn, AccountSpec::debit(money(*v)), AccountSpec::OK);
+                }
+                (Effect::DebitOver(v), "acct") => {
+                    assert!(
+                        !acct.debit(&t, money(*v)).expect("replay debit"),
+                        "a logged overdraft must stay an overdraft on replay"
+                    );
+                    hb = hb.op(
+                        0,
+                        committed.txn,
+                        AccountSpec::debit(money(*v)),
+                        AccountSpec::OVERDRAFT,
+                    );
+                }
+                (Effect::Enq(v), "q") => {
+                    queue.enq(&t, *v).expect("replay enq");
+                    hb = hb.op(1, committed.txn, QueueSpec::enq(*v), Value::Unit);
+                }
+                (Effect::Deq(v), "q") => {
+                    assert_eq!(
+                        queue.deq(&t).expect("replay deq"),
+                        *v,
+                        "deq must return the logged item on replay"
+                    );
+                    hb = hb.op(1, committed.txn, QueueSpec::deq(), *v);
+                }
+                (e, obj) => panic!("effect {e:?} logged against object {obj}"),
+            }
+        }
+        // The recovered timestamp is replayed verbatim into the history
+        // (commit events only at objects the transaction touched); the
+        // fresh manager assigns its own (order-isomorphic) timestamps to
+        // the live objects.
+        if touched[0] {
+            hb = hb.commit(0, committed.txn, committed.ts);
+        }
+        if touched[1] {
+            hb = hb.commit(1, committed.txn, committed.ts);
+        }
+        mgr.commit(t).expect("replay commit");
+        tail_ts.push(committed.ts);
+    }
+
+    let history = hb.build();
+    history.well_formed().expect("recovered history is well formed");
+    let specs = SystemSpecs::new()
+        .with(ObjectId(0), hcc_adts::account::spec())
+        .with(ObjectId(1), hcc_adts::fifo_queue::spec());
+    assert!(
+        hybrid_atomic(&history, &specs),
+        "recovered history must be hybrid atomic:\n{history:?}"
+    );
+
+    let queue_items: Vec<i64> = queue.inner().committed_snapshot().into_iter().collect();
+    Ok(RecoveredState {
+        balance: acct.committed_balance(),
+        queue: queue_items,
+        checkpoint_ts: ckpt_ts,
+        tail_ts,
+    })
+}
+
+/// Fold the oracle over the timestamp set `S` (ascending) into the state
+/// the objects should hold.
+pub fn fold_oracle(oracle: &Oracle, upto_inclusive: &[u64]) -> (Rational, Vec<i64>) {
+    let mut balance = Rational::ZERO;
+    let mut queue: std::collections::VecDeque<i64> = Default::default();
+    for ts in upto_inclusive {
+        for effect in oracle.get(ts).into_iter().flatten() {
+            match effect {
+                Effect::Credit(v) => balance += money(*v),
+                Effect::DebitOk(v) => balance -= money(*v),
+                Effect::DebitOver(_) => {}
+                Effect::Enq(v) => queue.push_back(*v),
+                Effect::Deq(v) => {
+                    let head = queue.pop_front();
+                    assert_eq!(head, Some(*v), "oracle queue disagrees with logged deq");
+                }
+            }
+        }
+    }
+    (balance, queue.into_iter().collect())
+}
+
+/// End-to-end property: run, crash at `cut_bytes` off the tail, recover,
+/// verify state equals the oracle folded over the surviving prefix.
+/// Returns `(committed before crash, surviving commits)`.
+pub fn crash_point_holds(
+    dir: &Path,
+    opts: CrashScenarioOptions,
+    cut_bytes: u64,
+) -> Result<(usize, usize), StorageError> {
+    let workload = run_crash_workload(dir, opts)?;
+    truncate_tail(dir, cut_bytes)?;
+    let state = recover_and_verify(dir)?;
+
+    // The covered set is everything inside the checkpoint plus the
+    // replayed tail; it must form a timestamp-prefix of what was committed
+    // (the driver commits in timestamp order, so truncating the log's tail
+    // can only drop a timestamp-suffix).
+    let all_ts: Vec<u64> = workload.oracle.keys().copied().collect();
+    let mut covered: Vec<u64> = all_ts
+        .iter()
+        .copied()
+        .filter(|t| *t <= state.checkpoint_ts)
+        .chain(state.tail_ts.iter().copied())
+        .collect();
+    covered.sort();
+    covered.dedup();
+    let expected_prefix: Vec<u64> = match covered.last() {
+        Some(&max) => all_ts.iter().copied().filter(|t| *t <= max).collect(),
+        None => Vec::new(),
+    };
+    assert_eq!(covered, expected_prefix, "survivors must form a timestamp prefix");
+
+    let (balance, queue) = fold_oracle(&workload.oracle, &covered);
+    assert_eq!(state.balance, balance, "recovered balance diverges from the oracle");
+    assert_eq!(state.queue, queue, "recovered queue diverges from the oracle");
+    Ok((workload.committed, covered.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "hcc-crash-{}-{}-{}",
+            std::process::id(),
+            name,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn clean_shutdown_recovers_everything() {
+        let dir = tmp("clean");
+        let (committed, survived) =
+            crash_point_holds(&dir, CrashScenarioOptions::default(), 0).unwrap();
+        assert!(committed > 30, "workload committed too little: {committed}");
+        assert_eq!(survived, committed, "no crash, nothing lost");
+    }
+
+    #[test]
+    fn mid_log_crash_recovers_a_prefix() {
+        let dir = tmp("cut");
+        let (committed, survived) =
+            crash_point_holds(&dir, CrashScenarioOptions::default(), 700).unwrap();
+        assert!(survived <= committed);
+    }
+
+    #[test]
+    fn checkpointed_run_recovers_from_checkpoint_plus_tail() {
+        let dir = tmp("ckpt");
+        let opts =
+            CrashScenarioOptions { checkpoint_every: Some(15), ..CrashScenarioOptions::default() };
+        let (committed, survived) = crash_point_holds(&dir, opts, 0).unwrap();
+        assert_eq!(survived, committed);
+    }
+
+    #[test]
+    fn fsync_run_with_group_commit_loses_nothing_on_clean_close() {
+        let dir = tmp("fsync");
+        let opts = CrashScenarioOptions {
+            durability: Durability::Fsync,
+            txns: 40,
+            ..CrashScenarioOptions::default()
+        };
+        let (committed, survived) = crash_point_holds(&dir, opts, 0).unwrap();
+        assert_eq!(survived, committed);
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod bank;
 pub mod compaction;
+pub mod crash;
 pub mod metrics;
 pub mod queue;
 pub mod register;

@@ -90,10 +90,7 @@ mod tests {
         // of whitespace-separated fields.
         let h = Metrics::header();
         let r = m().row();
-        assert_eq!(
-            h.split_whitespace().count(),
-            r.split_whitespace().count()
-        );
+        assert_eq!(h.split_whitespace().count(), r.split_whitespace().count());
     }
 
     #[test]

@@ -195,14 +195,14 @@ fn run_pipeline(
             s.spawn(move || {
                 barrier.wait();
                 loop {
-                // Claim an item slot before consuming.
-                if consumed.fetch_add(1, Ordering::Relaxed) >= total as u64 {
-                    consumed.fetch_sub(1, Ordering::Relaxed);
-                    break;
-                }
-                while !consume(&mgr) {
-                    aborted.fetch_add(1, Ordering::Relaxed);
-                }
+                    // Claim an item slot before consuming.
+                    if consumed.fetch_add(1, Ordering::Relaxed) >= total as u64 {
+                        consumed.fetch_sub(1, Ordering::Relaxed);
+                        break;
+                    }
+                    while !consume(&mgr) {
+                        aborted.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             });
         }

@@ -1,8 +1,8 @@
 //! Concurrency-control scheme selection and object construction.
 
 use hcc_adts::account::{AccountHybrid, AccountObject};
-use hcc_adts::file::{FileHybrid, FileObject};
 use hcc_adts::fifo_queue::{QueueObject, QueueTableII};
+use hcc_adts::file::{FileHybrid, FileObject};
 use hcc_adts::semiqueue::{SemiqueueHybrid, SemiqueueObject};
 use hcc_baselines::{
     rw_account, rw_file, rw_queue, rw_semiqueue, AccountCommutativity, FileCommutativity,

@@ -21,10 +21,7 @@ fn main() {
     for scheme in Scheme::ALL {
         let r = transfers(scheme, 8, 4, 100);
         println!("{}", r.metrics.row());
-        assert_eq!(
-            r.total_balance, r.expected_balance,
-            "transfers must conserve money"
-        );
+        assert_eq!(r.total_balance, r.expected_balance, "transfers must conserve money");
         println!(
             "    money conserved ({} total), deadlock victims: {}",
             r.total_balance, r.deadlock_victims

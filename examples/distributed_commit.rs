@@ -15,7 +15,7 @@ use hybrid_cc::adts::fifo_queue::QueueObject;
 use hybrid_cc::core::runtime::TxnHandle;
 use hybrid_cc::spec::{Rational, TxnId};
 use hybrid_cc::txn::clock::LogicalClock;
-use hybrid_cc::txn::sim::{Coordinator, CommitOutcome, Site};
+use hybrid_cc::txn::sim::{CommitOutcome, Coordinator, Site};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -49,8 +49,7 @@ fn main() {
     // everywhere (all-or-nothing).
     let site_a = Site::spawn("bank-site", vec![account.inner().clone()]);
     let site_b = Site::spawn("audit-site", vec![queue.inner().clone()]);
-    let coordinator =
-        Coordinator::new(clock).with_vote_timeout(Duration::from_millis(100));
+    let coordinator = Coordinator::new(clock).with_vote_timeout(Duration::from_millis(100));
     let t2 = TxnHandle::new(TxnId(2));
     account.credit(&t2, Rational::from_int(999)).unwrap();
     queue.enq(&t2, "credit 999".into()).unwrap();

@@ -48,11 +48,7 @@ fn main() {
     }
     assert_eq!(
         received,
-        vec![
-            "carol: hey".to_string(),
-            "alice: hello".to_string(),
-            "bob: hi there".to_string()
-        ],
+        vec!["carol: hey".to_string(), "alice: hello".to_string(), "bob: hi there".to_string()],
         "dequeue order follows commit timestamps"
     );
 

@@ -14,6 +14,8 @@
 //!   runtime with horizon compaction (Sections 5–6, appendix).
 //! * [`adts`] — production object implementations (Account, FIFO queue,
 //!   Semiqueue, File, Counter, Set, Directory).
+//! * [`storage`] — the durable storage subsystem: segmented CRC-framed
+//!   write-ahead log, checkpoints, compaction policies, and group commit.
 //! * [`txn`] — logical clocks, the transaction manager, two-phase commit,
 //!   deadlock detection and the write-ahead log.
 //! * [`baselines`] — commutativity-based 2PL and read/write strict 2PL.
@@ -46,6 +48,7 @@ pub use hcc_baselines as baselines;
 pub use hcc_core as core;
 pub use hcc_relations as relations;
 pub use hcc_spec as spec;
+pub use hcc_storage as storage;
 pub use hcc_txn as txn;
 pub use hcc_verify as verify;
 pub use hcc_workload as workload;

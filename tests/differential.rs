@@ -119,8 +119,11 @@ fn drive_queue(steps: Vec<Step<QueueInv<i64>>>) {
         ("deq", "deq") => q.res == p.res,
         _ => false,
     });
-    let mut machine =
-        LockMachine::new(ObjectId(0), Arc::new(hybrid_cc::spec::specs::QueueSpec), Arc::new(conflict));
+    let mut machine = LockMachine::new(
+        ObjectId(0),
+        Arc::new(hybrid_cc::spec::specs::QueueSpec),
+        Arc::new(conflict),
+    );
     let object = TxObject::new(
         "q",
         QueueAdt::<i64>::default(),

@@ -25,10 +25,7 @@ fn money(n: i64) -> Rational {
 fn concurrent_transfers_conserve_money_under_every_scheme() {
     for scheme in Scheme::ALL {
         let r = transfers(scheme, 6, 4, 25);
-        assert_eq!(
-            r.total_balance, r.expected_balance,
-            "{scheme}: transfers must conserve money"
-        );
+        assert_eq!(r.total_balance, r.expected_balance, "{scheme}: transfers must conserve money");
         assert_eq!(r.metrics.committed, 100, "{scheme}");
     }
 }
@@ -74,8 +71,7 @@ fn mixed_scheme_system_is_atomic() {
         ("deq", "deq") => q.res == p.res,
         _ => false,
     });
-    let mut queue_m =
-        LockMachine::new(ObjectId(0), Arc::new(QueueSpec), Arc::new(queue_conflict));
+    let mut queue_m = LockMachine::new(ObjectId(0), Arc::new(QueueSpec), Arc::new(queue_conflict));
     // Commutativity account machine (Table VI conflicts — a superset of
     // Table V, hence still a dependency relation).
     let acct_conflict = FnConflict::new("account-comm", |q, p| {
@@ -90,8 +86,7 @@ fn mixed_scheme_system_is_atomic() {
             (0, 1) | (1, 0) | (0, 3) | (3, 0) | (1, 2) | (2, 1) | (1, 3) | (3, 1) | (2, 2)
         )
     });
-    let mut acct_m =
-        LockMachine::new(ObjectId(1), Arc::new(AccountSpec), Arc::new(acct_conflict));
+    let mut acct_m = LockMachine::new(ObjectId(1), Arc::new(AccountSpec), Arc::new(acct_conflict));
 
     let (p, q, r) = (TxnId(1), TxnId(2), TxnId(3));
     // Interleave the two machines, mirroring every event into a single
@@ -171,11 +166,7 @@ fn mixed_scheme_system_is_atomic() {
 fn mixed_scheme_runtime_transactions() {
     let mgr = TxnManager::new();
     let q: QueueObject<i64> = QueueObject::hybrid("audit");
-    let acct = AccountObject::with(
-        "acct",
-        Arc::new(AccountCommutativity),
-        mgr.object_options(),
-    );
+    let acct = AccountObject::with("acct", Arc::new(AccountCommutativity), mgr.object_options());
     // Fund.
     let t0 = mgr.begin();
     acct.credit(&t0, money(100)).unwrap();

@@ -38,9 +38,7 @@ fn lemma_4_independent_suffixes_compose() {
             let conts = continuations(adt.as_ref(), &alpha, &h.frontier, 2);
             for k1 in &conts {
                 for k2 in &conts {
-                    let independent = k2.iter().all(|&q2| {
-                        k1.iter().all(|&q1| !r.contains(q2, q1))
-                    });
+                    let independent = k2.iter().all(|&q2| k1.iter().all(|&q1| !r.contains(q2, q1)));
                     if !independent {
                         continue;
                     }
@@ -104,10 +102,8 @@ fn lemma_7_r_views_suffice() {
                 // Enumerate subsequences g of h (h is short).
                 let n = h.ops.len();
                 'subseq: for bits in 0u32..(1 << n) {
-                    let g: Vec<usize> = (0..n)
-                        .filter(|&i| bits & (1 << i) != 0)
-                        .map(|i| h.ops[i])
-                        .collect();
+                    let g: Vec<usize> =
+                        (0..n).filter(|&i| bits & (1 << i) != 0).map(|i| h.ops[i]).collect();
                     // g must be an R-view of h for q:
                     // (a) contains every p ∈ h with (q, p) ∈ R;
                     for (i, &p) in h.ops.iter().enumerate() {
@@ -229,7 +225,7 @@ fn definition_3_needs_sequences_not_single_operations() {
     let enq1 = alpha[e1].clone();
     let enq2 = alpha[2].clone();
     let deq2 = alpha[d2].clone();
-    assert!(legal(&q, &[enq1.clone()]));
+    assert!(legal(&q, std::slice::from_ref(&enq1)));
     assert!(legal(&q, &[enq2.clone(), deq2.clone()]));
     // No operation of k depends on p under R′ (no deq-enq pairs):
     assert!(!r1.contains(2, e1) && !r1.contains(d2, e1));

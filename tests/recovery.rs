@@ -1,12 +1,21 @@
 //! Crash recovery through the write-ahead log: replaying the committed
 //! operations in timestamp order rebuilds the committed state — which is
 //! exactly the serialization order hybrid atomicity guarantees.
+//!
+//! Two generations are covered: the original line-JSON `hcc-txn` log
+//! (compatibility shim) and the `hcc-storage` durable store (segmented
+//! CRC-framed WAL + checkpoints + compaction), including the randomized
+//! kill-point property test.
 
 use hybrid_cc::adts::account::AccountObject;
 use hybrid_cc::adts::fifo_queue::QueueObject;
 use hybrid_cc::spec::Rational;
+use hybrid_cc::storage::{DurableStore, Snapshot, StorageError, StorageOptions};
 use hybrid_cc::txn::manager::TxnManager;
 use hybrid_cc::txn::wal::{committed_ops, Wal, WalRecord};
+use hybrid_cc::workload::crash::{
+    crash_point_holds, recover_and_verify, run_crash_workload, CrashScenarioOptions,
+};
 use serde_json::json;
 use std::path::PathBuf;
 
@@ -14,6 +23,7 @@ fn tmp(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
     p.push(format!("hcc-recovery-{}-{}", std::process::id(), name));
     let _ = std::fs::remove_file(&p);
+    let _ = std::fs::remove_dir_all(&p);
     p
 }
 
@@ -148,6 +158,203 @@ fn recovery_is_idempotent() {
     assert_eq!(first, second);
 }
 
+// ---- The segmented durable store (hcc-storage) -------------------------
+
+/// Drive a manager-with-storage banking session; returns the live state.
+fn run_durable_session(dir: &PathBuf, opts: StorageOptions) -> (Rational, usize) {
+    let mgr = TxnManager::with_storage(dir, opts).unwrap();
+    let acct = AccountObject::hybrid("acct");
+    let queue: QueueObject<i64> = QueueObject::hybrid("q");
+
+    let run = |ops: Vec<(&str, i64)>, commit: bool| {
+        let t = mgr.begin();
+        for (kind, v) in ops {
+            match kind {
+                "credit" => {
+                    acct.credit(&t, money(v)).unwrap();
+                    mgr.log_op(&t, "acct", &json!({"op": "credit", "v": v})).unwrap();
+                }
+                "debit" => {
+                    let ok = acct.debit(&t, money(v)).unwrap();
+                    mgr.log_op(&t, "acct", &json!({"op": "debit", "v": v, "ok": ok})).unwrap();
+                }
+                "enq" => {
+                    queue.enq(&t, v).unwrap();
+                    mgr.log_op(&t, "q", &json!({"op": "enq", "v": v})).unwrap();
+                }
+                other => panic!("unknown op {other}"),
+            }
+        }
+        if commit {
+            mgr.commit(t).unwrap();
+        } else {
+            mgr.abort(t);
+        }
+    };
+
+    run(vec![("credit", 100), ("enq", 1)], true);
+    run(vec![("credit", 999)], false); // aborted: must not recover
+    run(vec![("debit", 30), ("enq", 2)], true);
+    run(vec![("credit", 5)], true);
+    (acct.committed_balance(), queue.committed_len())
+}
+
+#[test]
+fn durable_store_recovery_rebuilds_committed_state() {
+    let dir = tmp("store-basic");
+    let (balance, qlen) = run_durable_session(&dir, StorageOptions::default());
+    assert_eq!(balance, money(75));
+    assert_eq!(qlen, 2);
+    let state = recover_and_verify(&dir).unwrap();
+    assert_eq!(state.balance, balance);
+    assert_eq!(state.queue.len(), qlen);
+}
+
+#[test]
+fn durable_store_survives_torn_final_record() {
+    let dir = tmp("store-torn");
+    let (balance, qlen) = run_durable_session(&dir, StorageOptions::default());
+    // Crash mid-append: write half a frame at the tail of the last segment.
+    let segments = hybrid_cc::storage::wal::list_segments(&dir).unwrap();
+    let last = &segments.last().unwrap().1;
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(last).unwrap();
+        f.write_all(&[0x20, 0x00, 0x00, 0x00, 0xAB]).unwrap(); // torn header
+    }
+    let state = recover_and_verify(&dir).unwrap();
+    assert_eq!(state.balance, balance);
+    assert_eq!(state.queue.len(), qlen);
+}
+
+#[test]
+fn durable_store_reports_commit_with_missing_ops() {
+    let dir = tmp("store-missing");
+    {
+        let store = DurableStore::open(
+            &dir,
+            StorageOptions { segment_max_bytes: 128, ..StorageOptions::default() },
+        )
+        .unwrap();
+        // Txn 1's Begin/Op records land in the first segments...
+        store.log_begin(1).unwrap();
+        store.log_op(1, "acct", br#"{"op":"credit","v":7}"#).unwrap();
+        for filler in 2..20 {
+            store.log_begin(filler).unwrap();
+            store.log_op(filler, "acct", &[0u8; 64]).unwrap();
+            store.log_abort(filler).unwrap();
+        }
+        // ...and its commit record in a later one.
+        store.log_commit(1, 10).unwrap();
+    }
+    // Delete the first segment behind the store's back (simulating a
+    // pruning bug or lost file): recovery must refuse, not silently
+    // drop the transaction's effects.
+    let segments = hybrid_cc::storage::wal::list_segments(&dir).unwrap();
+    assert!(segments.len() > 1, "scenario needs several segments");
+    std::fs::remove_file(&segments[0].1).unwrap();
+    match DurableStore::recover(&dir) {
+        Err(StorageError::MissingOps { txn: 1, ts: 10 }) => {}
+        other => panic!("expected MissingOps, got {other:?}"),
+    }
+}
+
+#[test]
+fn replay_orders_interleaved_transactions_by_timestamp() {
+    let dir = tmp("store-interleaved");
+    {
+        let mgr = TxnManager::with_storage(&dir, StorageOptions::default()).unwrap();
+        let acct = AccountObject::hybrid("acct");
+        // Two transactions with interleaved op records; t_late begins
+        // first but commits second. Replay must apply credit(10) then
+        // debit(60): debiting first would overdraft and panic the replay
+        // assertions.
+        let t_late = mgr.begin();
+        let t_early = mgr.begin();
+        acct.credit(&t_early, money(10)).unwrap();
+        mgr.log_op(&t_early, "acct", &json!({"op": "credit", "v": 10})).unwrap();
+        acct.credit(&t_late, money(50)).unwrap();
+        mgr.log_op(&t_late, "acct", &json!({"op": "credit", "v": 50})).unwrap();
+        mgr.commit(t_early).unwrap();
+        let ok = acct.debit(&t_late, money(60)).unwrap();
+        assert!(ok);
+        mgr.log_op(&t_late, "acct", &json!({"op": "debit", "v": 60, "ok": true})).unwrap();
+        mgr.commit(t_late).unwrap();
+    }
+    let state = recover_and_verify(&dir).unwrap();
+    assert_eq!(state.balance, money(0));
+    assert_eq!(state.tail_ts.len(), 2);
+    assert!(state.tail_ts[0] < state.tail_ts[1], "replay is timestamp-ordered");
+}
+
+#[test]
+fn checkpoint_plus_tail_equals_full_replay() {
+    let opts = CrashScenarioOptions { seed: 0xE0_0A11, ..CrashScenarioOptions::default() };
+    // Same deterministic workload, once compacting every 10 commits, once
+    // never compacting.
+    let dir_ckpt = tmp("store-eq-ckpt");
+    let w1 =
+        run_crash_workload(&dir_ckpt, CrashScenarioOptions { checkpoint_every: Some(10), ..opts })
+            .unwrap();
+    assert!(w1.checkpoints >= 2, "checkpointing run must actually checkpoint");
+    let dir_full = tmp("store-eq-full");
+    let w2 = run_crash_workload(&dir_full, opts).unwrap();
+    assert_eq!(w1.oracle, w2.oracle, "same seed, same committed effects");
+
+    let from_ckpt = recover_and_verify(&dir_ckpt).unwrap();
+    let from_full = recover_and_verify(&dir_full).unwrap();
+    assert_eq!(from_ckpt.balance, from_full.balance);
+    assert_eq!(from_ckpt.queue, from_full.queue);
+    assert!(from_ckpt.checkpoint_ts > 0);
+    assert_eq!(from_full.checkpoint_ts, 0);
+    assert!(
+        from_ckpt.tail_ts.len() < from_full.tail_ts.len(),
+        "checkpointed recovery replays a strictly shorter tail"
+    );
+}
+
+/// The acceptance property: randomized workloads killed at arbitrary
+/// crash points recover exactly the committed prefix, checked against the
+/// oracle and `hcc-verify`'s hybrid atomicity inside `crash_point_holds`.
+#[test]
+fn randomized_crash_points_recover_exactly_the_committed_state() {
+    for seed in [1u64, 7, 42, 1234, 0xDEAD] {
+        for (i, cut) in [0u64, 13, 97, 256, 911, 4096].into_iter().enumerate() {
+            let dir = tmp(&format!("store-prop-{seed}-{i}"));
+            for checkpoint_every in [None, Some(12)] {
+                let dir = dir.join(format!("ck{}", checkpoint_every.is_some()));
+                let opts = CrashScenarioOptions {
+                    seed,
+                    txns: 60,
+                    checkpoint_every,
+                    ..CrashScenarioOptions::default()
+                };
+                let (committed, survived) = crash_point_holds(&dir, opts, cut).unwrap();
+                assert!(survived <= committed);
+                if cut == 0 {
+                    assert_eq!(survived, committed, "no cut, no loss (seed {seed})");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_restore_is_what_checkpoint_recovery_uses() {
+    // A checkpoint taken mid-run restores into fresh objects bit-for-bit.
+    let dir = tmp("store-snapshot");
+    let mgr = TxnManager::with_storage(&dir, StorageOptions::default()).unwrap();
+    let acct = AccountObject::hybrid("acct");
+    let t = mgr.begin();
+    acct.credit(&t, money(123)).unwrap();
+    mgr.log_op(&t, "acct", &json!({"op": "credit", "v": 123})).unwrap();
+    mgr.commit(t).unwrap();
+    let ckpt = mgr.checkpoint(&[("acct", &acct)]).unwrap().expect("store attached");
+    let fresh = AccountObject::hybrid("fresh");
+    fresh.restore(&ckpt.objects[0].1, ckpt.last_ts).unwrap();
+    assert_eq!(fresh.committed_balance(), money(123));
+}
+
 #[test]
 fn uncommitted_tail_transaction_is_dropped() {
     let path = tmp("uncommitted");
@@ -156,8 +363,12 @@ fn uncommitted_tail_transaction_is_dropped() {
     {
         let wal = Wal::open(&path).unwrap();
         wal.append(&WalRecord::Begin { txn: 500 }).unwrap();
-        wal.append(&WalRecord::Op { txn: 500, object: "acct".into(), op: json!({"credit": 1_000}) })
-            .unwrap();
+        wal.append(&WalRecord::Op {
+            txn: 500,
+            object: "acct".into(),
+            op: json!({"credit": 1_000}),
+        })
+        .unwrap();
         // no Commit record: the crash hit between phases.
     }
     let (rbalance, _) = recover(&path);
