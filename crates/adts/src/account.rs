@@ -12,10 +12,13 @@
 //! locks.define(DEBIT_LOCK,     DEBIT_LOCK);
 //! ```
 
-use hcc_core::runtime::{ExecError, LockSpec, RuntimeAdt, RuntimeOptions, TxObject, TxnHandle};
+use hcc_core::runtime::{
+    ExecError, LockSpec, RedoDecodeError, RuntimeAdt, RuntimeOptions, TxObject, TxnHandle,
+};
 use hcc_spec::adt::SharedAdt;
 use hcc_spec::specs::AccountSpec;
 use hcc_spec::{Operation, Rational, Value};
+use serde_json::json;
 use std::sync::Arc;
 
 /// Account invocations.
@@ -117,6 +120,40 @@ impl RuntimeAdt for AccountAdt {
 
     fn apply(&self, version: &mut Rational, intent: &Affine) {
         *version = intent.apply(*version);
+    }
+
+    fn redo(&self, inv: &AccountInv, res: &AccountRes) -> Option<Vec<u8>> {
+        let v = match (inv, res) {
+            (AccountInv::Credit(a), _) => json!({"op": "credit", "v": (*a)}),
+            (AccountInv::Post(p), _) => json!({"op": "post", "v": (*p)}),
+            // Overdrafts change no state, but the refusal is part of the
+            // history the verifier checks — they replay as refusals.
+            (AccountInv::Debit(a), AccountRes::Debited) => {
+                json!({"op": "debit", "v": (*a), "ok": true})
+            }
+            (AccountInv::Debit(a), AccountRes::Overdraft) => {
+                json!({"op": "debit", "v": (*a), "ok": false})
+            }
+            (AccountInv::Debit(_), AccountRes::Ok) => {
+                unreachable!("debits respond Debited or Overdraft")
+            }
+        };
+        Some(serde_json::to_vec(&v).expect("JSON values serialize"))
+    }
+
+    fn decode_redo(&self, bytes: &[u8]) -> Result<(AccountInv, AccountRes), RedoDecodeError> {
+        let (op, v) = crate::decode_op(bytes)?;
+        let amt: Rational = crate::decode_field(&v, "v")?;
+        match op.as_str() {
+            "credit" => Ok((AccountInv::Credit(amt), AccountRes::Ok)),
+            "post" => Ok((AccountInv::Post(amt), AccountRes::Ok)),
+            "debit" => {
+                let ok: bool = crate::decode_field(&v, "ok")?;
+                let res = if ok { AccountRes::Debited } else { AccountRes::Overdraft };
+                Ok((AccountInv::Debit(amt), res))
+            }
+            other => Err(RedoDecodeError::new(format!("unknown account op {other:?}"))),
+        }
     }
 
     fn type_name(&self) -> &'static str {

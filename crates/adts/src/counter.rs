@@ -1,10 +1,13 @@
 //! A Counter — blind `inc`/`dec` updates commute-free under hybrid locking,
 //! while `read` takes a value-sensitive lock (extension type).
 
-use hcc_core::runtime::{ExecError, LockSpec, RuntimeAdt, RuntimeOptions, TxObject, TxnHandle};
+use hcc_core::runtime::{
+    ExecError, LockSpec, RedoDecodeError, RuntimeAdt, RuntimeOptions, TxObject, TxnHandle,
+};
 use hcc_spec::adt::SharedAdt;
 use hcc_spec::specs::CounterSpec;
 use hcc_spec::{Operation, Value};
+use serde_json::json;
 use std::sync::Arc;
 
 /// Counter invocations.
@@ -59,6 +62,25 @@ impl RuntimeAdt for CounterAdt {
 
     fn apply(&self, version: &mut i64, intent: &i64) {
         *version += intent;
+    }
+
+    fn redo(&self, inv: &CounterInv, _res: &CounterRes) -> Option<Vec<u8>> {
+        let v = match inv {
+            CounterInv::Inc(n) => json!({"op": "inc", "v": (*n)}),
+            CounterInv::Dec(n) => json!({"op": "dec", "v": (*n)}),
+            CounterInv::Read => return None, // pure read: nothing to redo
+        };
+        Some(serde_json::to_vec(&v).expect("JSON values serialize"))
+    }
+
+    fn decode_redo(&self, bytes: &[u8]) -> Result<(CounterInv, CounterRes), RedoDecodeError> {
+        let (op, v) = crate::decode_op(bytes)?;
+        let n: i64 = crate::decode_field(&v, "v")?;
+        match op.as_str() {
+            "inc" => Ok((CounterInv::Inc(n), CounterRes::Ok)),
+            "dec" => Ok((CounterInv::Dec(n), CounterRes::Ok)),
+            other => Err(RedoDecodeError::new(format!("unknown counter op {other:?}"))),
+        }
     }
 
     fn type_name(&self) -> &'static str {

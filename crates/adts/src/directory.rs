@@ -2,22 +2,28 @@
 //! conflicts (extension type; the paper's introduction motivates
 //! directories as typed objects).
 
-use hcc_core::runtime::{ExecError, LockSpec, RuntimeAdt, RuntimeOptions, TxObject, TxnHandle};
+use hcc_core::runtime::{
+    ExecError, LockSpec, RedoDecodeError, RuntimeAdt, RuntimeOptions, TxObject, TxnHandle,
+};
 use hcc_spec::adt::SharedAdt;
 use hcc_spec::specs::DirectorySpec;
 use hcc_spec::{Operation, Value};
+use serde::{Deserialize, Serialize};
+use serde_json::json;
 use std::collections::BTreeMap;
 use std::fmt::Debug;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-/// Bound alias for keys.
-pub trait Key: Clone + Ord + Debug + Send + Sync + 'static {}
-impl<T: Clone + Ord + Debug + Send + Sync + 'static> Key for T {}
+/// Bound alias for keys. Serde bounds make the type self-logging (redo
+/// payloads) and checkpointable (snapshots).
+pub trait Key: Clone + Ord + Debug + Send + Sync + Serialize + Deserialize + 'static {}
+impl<T: Clone + Ord + Debug + Send + Sync + Serialize + Deserialize + 'static> Key for T {}
 
-/// Bound alias for values.
-pub trait Val: Clone + Eq + Debug + Send + Sync + 'static {}
-impl<T: Clone + Eq + Debug + Send + Sync + 'static> Val for T {}
+/// Bound alias for values. Serde bounds make the type self-logging (redo
+/// payloads) and checkpointable (snapshots).
+pub trait Val: Clone + Eq + Debug + Send + Sync + Serialize + Deserialize + 'static {}
+impl<T: Clone + Eq + Debug + Send + Sync + Serialize + Deserialize + 'static> Val for T {}
 
 /// Directory invocations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -126,6 +132,48 @@ impl<K: Key, V: Val> RuntimeAdt for DirectoryAdt<K, V> {
                     version.remove(k);
                 }
             }
+        }
+    }
+
+    fn redo(&self, inv: &DirInv<K, V>, res: &DirRes<V>) -> Option<Vec<u8>> {
+        let v = match (inv, res) {
+            (DirInv::Insert(k, v), DirRes::Inserted) => {
+                json!({"op": "insert", "k": (k), "v": (v), "ok": true})
+            }
+            // Duplicate inserts change nothing, but the refusal is a
+            // response the verifier checks — logged like refused debits.
+            (DirInv::Insert(k, v), DirRes::Duplicate) => {
+                json!({"op": "insert", "k": (k), "v": (v), "ok": false})
+            }
+            (DirInv::Remove(k), DirRes::Val(prev)) => {
+                json!({"op": "remove", "k": (k), "prev": (prev)})
+            }
+            (DirInv::Remove(k), DirRes::Missing) => json!({"op": "remove", "k": (k)}),
+            (DirInv::Lookup(_), _) => return None, // pure read
+            (inv, res) => unreachable!("directory op {inv:?} cannot respond {res:?}"),
+        };
+        Some(serde_json::to_vec(&v).expect("JSON values serialize"))
+    }
+
+    fn decode_redo(&self, bytes: &[u8]) -> Result<(DirInv<K, V>, DirRes<V>), RedoDecodeError> {
+        let (op, v) = crate::decode_op(bytes)?;
+        let key: K = crate::decode_field(&v, "k")?;
+        match op.as_str() {
+            "insert" => {
+                let val: V = crate::decode_field(&v, "v")?;
+                let ok: bool = crate::decode_field(&v, "ok")?;
+                let res = if ok { DirRes::Inserted } else { DirRes::Duplicate };
+                Ok((DirInv::Insert(key, val), res))
+            }
+            "remove" => {
+                let prev: Option<V> = crate::decode_field(&v, "prev")?;
+                let res = match prev {
+                    Some(p) => DirRes::Val(p),
+                    None => DirRes::Missing,
+                };
+                Ok((DirInv::Remove(key), res))
+            }
+            other => Err(RedoDecodeError::new(format!("unknown directory op {other:?}"))),
         }
     }
 

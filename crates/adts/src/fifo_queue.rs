@@ -14,18 +14,23 @@
 //!   conflict (a dequeuer may run concurrently with enqueuers as long as it
 //!   consumes committed items).
 
-use hcc_core::runtime::{ExecError, LockSpec, RuntimeAdt, RuntimeOptions, TxObject, TxnHandle};
+use hcc_core::runtime::{
+    ExecError, LockSpec, RedoDecodeError, RuntimeAdt, RuntimeOptions, TxObject, TxnHandle,
+};
 use hcc_spec::adt::SharedAdt;
 use hcc_spec::specs::QueueSpec;
 use hcc_spec::{Operation, Value};
+use serde::{Deserialize, Serialize};
+use serde_json::json;
 use std::collections::VecDeque;
 use std::fmt::Debug;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-/// Bound alias for queue items.
-pub trait Item: Clone + Eq + Debug + Send + Sync + 'static {}
-impl<T: Clone + Eq + Debug + Send + Sync + 'static> Item for T {}
+/// Bound alias for queue items. Serde bounds make the type self-logging
+/// (redo payloads) and checkpointable (snapshots).
+pub trait Item: Clone + Eq + Debug + Send + Sync + Serialize + Deserialize + 'static {}
+impl<T: Clone + Eq + Debug + Send + Sync + Serialize + Deserialize + 'static> Item for T {}
 
 /// Queue invocations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -108,6 +113,27 @@ impl<T: Item> RuntimeAdt for QueueAdt<T> {
 
     fn apply(&self, version: &mut VecDeque<T>, intent: &Vec<QueueOp<T>>) {
         replay(version, intent);
+    }
+
+    fn redo(&self, inv: &QueueInv<T>, res: &QueueRes<T>) -> Option<Vec<u8>> {
+        let v = match (inv, res) {
+            (QueueInv::Enq(x), _) => json!({"op": "enq", "v": (x)}),
+            // The dequeued item rides along so replay can pin (and verify)
+            // the response.
+            (QueueInv::Deq, QueueRes::Item(x)) => json!({"op": "deq", "v": (x)}),
+            (QueueInv::Deq, QueueRes::Ok) => unreachable!("deq returns an item"),
+        };
+        Some(serde_json::to_vec(&v).expect("JSON values serialize"))
+    }
+
+    fn decode_redo(&self, bytes: &[u8]) -> Result<(QueueInv<T>, QueueRes<T>), RedoDecodeError> {
+        let (op, v) = crate::decode_op(bytes)?;
+        let item: T = crate::decode_field(&v, "v")?;
+        match op.as_str() {
+            "enq" => Ok((QueueInv::Enq(item), QueueRes::Ok)),
+            "deq" => Ok((QueueInv::Deq, QueueRes::Item(item))),
+            other => Err(RedoDecodeError::new(format!("unknown queue op {other:?}"))),
+        }
     }
 
     fn type_name(&self) -> &'static str {

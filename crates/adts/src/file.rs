@@ -5,17 +5,28 @@
 //! commit timestamp. A read conflicts with an uncommitted write only when
 //! the written value differs from the value read.
 
-use hcc_core::runtime::{ExecError, LockSpec, RuntimeAdt, RuntimeOptions, TxObject, TxnHandle};
+use hcc_core::runtime::{
+    ExecError, LockSpec, RedoDecodeError, RuntimeAdt, RuntimeOptions, TxObject, TxnHandle,
+};
 use hcc_spec::adt::SharedAdt;
 use hcc_spec::specs::FileSpec;
 use hcc_spec::{Operation, Value};
+use serde::{Deserialize, Serialize};
+use serde_json::json;
 use std::fmt::Debug;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-/// Bound alias for file contents.
-pub trait Content: Clone + Eq + Debug + Default + Send + Sync + 'static {}
-impl<T: Clone + Eq + Debug + Default + Send + Sync + 'static> Content for T {}
+/// Bound alias for file contents. Serde bounds make the type self-logging
+/// (redo payloads) and checkpointable (snapshots).
+pub trait Content:
+    Clone + Eq + Debug + Default + Send + Sync + Serialize + Deserialize + 'static
+{
+}
+impl<T: Clone + Eq + Debug + Default + Send + Sync + Serialize + Deserialize + 'static> Content
+    for T
+{
+}
 
 /// File invocations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -79,6 +90,24 @@ impl<T: Content> RuntimeAdt for FileAdt<T> {
     fn apply(&self, version: &mut T, intent: &Option<T>) {
         if let Some(v) = intent {
             *version = v.clone();
+        }
+    }
+
+    fn redo(&self, inv: &FileInv<T>, _res: &FileRes<T>) -> Option<Vec<u8>> {
+        match inv {
+            FileInv::Write(x) => Some(
+                serde_json::to_vec(&json!({"op": "write", "v": (x)}))
+                    .expect("JSON values serialize"),
+            ),
+            FileInv::Read => None, // pure read: nothing to redo
+        }
+    }
+
+    fn decode_redo(&self, bytes: &[u8]) -> Result<(FileInv<T>, FileRes<T>), RedoDecodeError> {
+        let (op, v) = crate::decode_op(bytes)?;
+        match op.as_str() {
+            "write" => Ok((FileInv::Write(crate::decode_field(&v, "v")?), FileRes::Ok)),
+            other => Err(RedoDecodeError::new(format!("unknown file op {other:?}"))),
         }
     }
 

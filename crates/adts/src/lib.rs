@@ -16,6 +16,37 @@
 //! both conflict relations are provided), [`semiqueue`] (Table IV),
 //! [`file`] (Table I / generalized Thomas Write Rule), and the extension
 //! types [`counter`], [`set`], [`directory`].
+//!
+//! Every type is **self-logging**: its `RuntimeAdt::redo` serializes each
+//! mutating operation as a compact JSON payload
+//! (`{"op":"credit","v":…}`), which the object runtime routes into the
+//! owning transaction manager's durable store automatically when one is
+//! attached. `decode_redo` is the exact inverse, used by recovery replay
+//! ([`snapshot`] wires the wrappers into the recovery registry via
+//! `hcc-storage`'s `DurableObject`).
+
+use hcc_core::runtime::RedoDecodeError;
+use serde::Deserialize;
+
+/// Parse a redo payload into its `"op"` discriminator and the whole value.
+pub(crate) fn decode_op(bytes: &[u8]) -> Result<(String, serde_json::Value), RedoDecodeError> {
+    let v: serde_json::Value = serde_json::from_slice(bytes)
+        .map_err(|e| RedoDecodeError::new(format!("redo payload is not JSON: {e}")))?;
+    let op = v["op"]
+        .as_str()
+        .ok_or_else(|| RedoDecodeError::new("redo payload has no \"op\" field"))?
+        .to_string();
+    Ok((op, v))
+}
+
+/// Decode one typed field of a redo payload.
+pub(crate) fn decode_field<T: Deserialize>(
+    v: &serde_json::Value,
+    key: &str,
+) -> Result<T, RedoDecodeError> {
+    serde_json::from_value(&v[key])
+        .map_err(|e| RedoDecodeError::new(format!("redo field {key:?}: {e}")))
+}
 
 pub mod account;
 pub mod counter;

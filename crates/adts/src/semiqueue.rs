@@ -7,19 +7,24 @@
 //! strictly more concurrency than the FIFO queue, which is the paper's
 //! point about nondeterminism.
 
-use hcc_core::runtime::{ExecError, LockSpec, RuntimeAdt, RuntimeOptions, TxObject, TxnHandle};
+use hcc_core::runtime::{
+    ExecError, LockSpec, RedoDecodeError, RuntimeAdt, RuntimeOptions, TxObject, TxnHandle,
+};
 use hcc_spec::adt::SharedAdt;
 use hcc_spec::specs::SemiqueueSpec;
 use hcc_spec::{Operation, Value};
+use serde::{Deserialize, Serialize};
+use serde_json::json;
 use std::collections::BTreeMap;
 use std::fmt::Debug;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
 /// Bound alias for semiqueue items (ordered so candidate enumeration is
-/// deterministic).
-pub trait Item: Clone + Ord + Debug + Send + Sync + 'static {}
-impl<T: Clone + Ord + Debug + Send + Sync + 'static> Item for T {}
+/// deterministic). Serde bounds make the type self-logging (redo
+/// payloads) and checkpointable (snapshots).
+pub trait Item: Clone + Ord + Debug + Send + Sync + Serialize + Deserialize + 'static {}
+impl<T: Clone + Ord + Debug + Send + Sync + Serialize + Deserialize + 'static> Item for T {}
 
 /// Semiqueue invocations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -120,6 +125,27 @@ impl<T: Item> RuntimeAdt for SemiqueueAdt<T> {
 
     fn apply(&self, version: &mut Multiset<T>, intent: &Vec<SqOp<T>>) {
         replay(version, intent);
+    }
+
+    fn redo(&self, inv: &SqInv<T>, res: &SqRes<T>) -> Option<Vec<u8>> {
+        let v = match (inv, res) {
+            (SqInv::Ins(x), _) => json!({"op": "ins", "v": (x)}),
+            // `rem` is nondeterministic; logging the removed item pins the
+            // replay to the original choice.
+            (SqInv::Rem, SqRes::Item(x)) => json!({"op": "rem", "v": (x)}),
+            (SqInv::Rem, SqRes::Ok) => unreachable!("rem returns an item"),
+        };
+        Some(serde_json::to_vec(&v).expect("JSON values serialize"))
+    }
+
+    fn decode_redo(&self, bytes: &[u8]) -> Result<(SqInv<T>, SqRes<T>), RedoDecodeError> {
+        let (op, v) = crate::decode_op(bytes)?;
+        let item: T = crate::decode_field(&v, "v")?;
+        match op.as_str() {
+            "ins" => Ok((SqInv::Ins(item), SqRes::Ok)),
+            "rem" => Ok((SqInv::Rem, SqRes::Item(item))),
+            other => Err(RedoDecodeError::new(format!("unknown semiqueue op {other:?}"))),
+        }
     }
 
     fn type_name(&self) -> &'static str {

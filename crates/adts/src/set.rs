@@ -6,18 +6,23 @@
 //! integration tests): all conflicts are per-element, and "no-op" outcomes
 //! conflict only with the operations that could invalidate them.
 
-use hcc_core::runtime::{ExecError, LockSpec, RuntimeAdt, RuntimeOptions, TxObject, TxnHandle};
+use hcc_core::runtime::{
+    ExecError, LockSpec, RedoDecodeError, RuntimeAdt, RuntimeOptions, TxObject, TxnHandle,
+};
 use hcc_spec::adt::SharedAdt;
 use hcc_spec::specs::SetSpec;
 use hcc_spec::{Operation, Value};
+use serde::{Deserialize, Serialize};
+use serde_json::json;
 use std::collections::BTreeSet;
 use std::fmt::Debug;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-/// Bound alias for set elements.
-pub trait Elem: Clone + Ord + Debug + Send + Sync + 'static {}
-impl<T: Clone + Ord + Debug + Send + Sync + 'static> Elem for T {}
+/// Bound alias for set elements. Serde bounds make the type self-logging
+/// (redo payloads) and checkpointable (snapshots).
+pub trait Elem: Clone + Ord + Debug + Send + Sync + Serialize + Deserialize + 'static {}
+impl<T: Clone + Ord + Debug + Send + Sync + Serialize + Deserialize + 'static> Elem for T {}
 
 /// Set invocations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -113,6 +118,29 @@ impl<T: Elem> RuntimeAdt for SetAdt<T> {
                     version.remove(x);
                 }
             }
+        }
+    }
+
+    fn redo(&self, inv: &SetInv<T>, res: &bool) -> Option<Vec<u8>> {
+        let v = match inv {
+            // No-op outcomes (`ok: false` adds of present elements, …)
+            // change no state but carry a response the verifier checks, so
+            // they are logged and replayed like refused debits.
+            SetInv::Add(x) => json!({"op": "add", "v": (x), "ok": (*res)}),
+            SetInv::Remove(x) => json!({"op": "rem", "v": (x), "ok": (*res)}),
+            SetInv::Contains(_) => return None, // pure read
+        };
+        Some(serde_json::to_vec(&v).expect("JSON values serialize"))
+    }
+
+    fn decode_redo(&self, bytes: &[u8]) -> Result<(SetInv<T>, bool), RedoDecodeError> {
+        let (op, v) = crate::decode_op(bytes)?;
+        let elem: T = crate::decode_field(&v, "v")?;
+        let ok: bool = crate::decode_field(&v, "ok")?;
+        match op.as_str() {
+            "add" => Ok((SetInv::Add(elem), ok)),
+            "rem" => Ok((SetInv::Remove(elem), ok)),
+            other => Err(RedoDecodeError::new(format!("unknown set op {other:?}"))),
         }
     }
 

@@ -19,10 +19,10 @@ use crate::fifo_queue::{Item, QueueObject};
 use crate::file::{Content, FileObject};
 use crate::semiqueue::{self, SemiqueueObject};
 use crate::set::{Elem, SetObject};
-use hcc_core::runtime::{TxParticipant, TxnHandle};
+use hcc_core::runtime::{ReplayError, TxParticipant, TxnHandle};
 use hcc_spec::{Rational, TxnId};
-use hcc_storage::{Snapshot, SnapshotError};
-use serde::{Deserialize, Serialize};
+use hcc_storage::{DurableObject, Snapshot, SnapshotError};
+use serde::Deserialize;
 use std::sync::Arc;
 
 /// The reserved transaction id snapshot restoration commits under. Real
@@ -30,7 +30,9 @@ use std::sync::Arc;
 pub const BOOTSTRAP_TXN: u64 = u64::MAX - 1;
 
 fn bootstrap() -> Arc<TxnHandle> {
-    TxnHandle::new(TxnId(BOOTSTRAP_TXN))
+    // A *replay* handle: restoration re-installs durable history, so
+    // self-logging objects must not log it again.
+    TxnHandle::replay(TxnId(BOOTSTRAP_TXN))
 }
 
 fn de<T: Deserialize>(bytes: &[u8]) -> Result<T, SnapshotError> {
@@ -73,7 +75,7 @@ impl Snapshot for CounterObject {
     }
 }
 
-impl<T: Item + Serialize + Deserialize> Snapshot for QueueObject<T> {
+impl<T: Item> Snapshot for QueueObject<T> {
     fn snapshot(&self) -> Vec<u8> {
         let items: Vec<T> = self.inner().committed_snapshot().into_iter().collect();
         serde_json::to_vec(&items).expect("queue items serialize")
@@ -90,7 +92,7 @@ impl<T: Item + Serialize + Deserialize> Snapshot for QueueObject<T> {
     }
 }
 
-impl<T: semiqueue::Item + Serialize + Deserialize> Snapshot for SemiqueueObject<T> {
+impl<T: semiqueue::Item> Snapshot for SemiqueueObject<T> {
     fn snapshot(&self) -> Vec<u8> {
         let items: Vec<(T, usize)> = self.inner().committed_snapshot().into_iter().collect();
         serde_json::to_vec(&items).expect("semiqueue items serialize")
@@ -109,7 +111,7 @@ impl<T: semiqueue::Item + Serialize + Deserialize> Snapshot for SemiqueueObject<
     }
 }
 
-impl<T: Content + Serialize + Deserialize> Snapshot for FileObject<T> {
+impl<T: Content> Snapshot for FileObject<T> {
     fn snapshot(&self) -> Vec<u8> {
         serde_json::to_vec(&self.committed_value()).expect("file content serializes")
     }
@@ -123,7 +125,7 @@ impl<T: Content + Serialize + Deserialize> Snapshot for FileObject<T> {
     }
 }
 
-impl<T: Elem + Serialize + Deserialize> Snapshot for SetObject<T> {
+impl<T: Elem> Snapshot for SetObject<T> {
     fn snapshot(&self) -> Vec<u8> {
         let items: Vec<T> = self.inner().committed_snapshot().into_iter().collect();
         serde_json::to_vec(&items).expect("set elements serialize")
@@ -140,11 +142,7 @@ impl<T: Elem + Serialize + Deserialize> Snapshot for SetObject<T> {
     }
 }
 
-impl<K, V> Snapshot for DirectoryObject<K, V>
-where
-    K: Key + Serialize + Deserialize,
-    V: Val + Serialize + Deserialize,
-{
+impl<K: Key, V: Val> Snapshot for DirectoryObject<K, V> {
     fn snapshot(&self) -> Vec<u8> {
         let entries: Vec<(K, V)> = self.inner().committed_snapshot().into_iter().collect();
         serde_json::to_vec(&entries).expect("directory entries serialize")
@@ -160,6 +158,34 @@ where
         Ok(())
     }
 }
+
+// ---- DurableObject: the recovery registry's view -----------------------
+//
+// Each wrapper exposes its name and replays its own redo payloads (the
+// inverse of the self-logging write path). `hcc-txn`'s `Registry` collects
+// these so recovery needs no caller-side dispatch.
+
+macro_rules! durable_object {
+    ($ty:ty $(, $bound:ident : $alias:path)*) => {
+        impl<$($bound: $alias),*> DurableObject for $ty {
+            fn object_name(&self) -> &str {
+                self.inner().name()
+            }
+
+            fn replay_op(&self, txn: &Arc<TxnHandle>, op: &[u8]) -> Result<(), ReplayError> {
+                self.inner().replay_redo(txn, op)
+            }
+        }
+    };
+}
+
+durable_object!(AccountObject);
+durable_object!(CounterObject);
+durable_object!(QueueObject<T>, T: Item);
+durable_object!(SemiqueueObject<T>, T: semiqueue::Item);
+durable_object!(FileObject<T>, T: Content);
+durable_object!(SetObject<T>, T: Elem);
+durable_object!(DirectoryObject<K, V>, K: Key, V: Val);
 
 #[cfg(test)]
 mod tests {
@@ -267,6 +293,65 @@ mod tests {
         assert_eq!(dir2.committed_len(), 2);
         let rd = t(5);
         assert_eq!(dir2.lookup(&rd, "b".into()).unwrap(), Some(2));
+    }
+
+    /// `decode_redo` is the exact inverse of `redo` for every type: the
+    /// write path and the recovery path can never disagree on the payload
+    /// format.
+    #[test]
+    fn redo_roundtrips_for_every_type() {
+        use hcc_core::runtime::RuntimeAdt;
+
+        fn roundtrip<A: RuntimeAdt>(adt: &A, inv: A::Inv, res: A::Res)
+        where
+            A::Inv: PartialEq + std::fmt::Debug,
+        {
+            let bytes = adt.redo(&inv, &res).expect("mutating op has a redo payload");
+            let (inv2, res2) = adt.decode_redo(&bytes).expect("payload decodes");
+            assert_eq!(inv2, inv, "invocation roundtrips");
+            assert_eq!(res2, res, "response roundtrips");
+        }
+
+        use crate::account::{AccountAdt, AccountInv, AccountRes};
+        roundtrip(&AccountAdt, AccountInv::Credit(Rational::new(5, 2)), AccountRes::Ok);
+        roundtrip(&AccountAdt, AccountInv::Post(r(5)), AccountRes::Ok);
+        roundtrip(&AccountAdt, AccountInv::Debit(r(3)), AccountRes::Debited);
+        roundtrip(&AccountAdt, AccountInv::Debit(r(9)), AccountRes::Overdraft);
+
+        use crate::counter::{CounterAdt, CounterInv, CounterRes};
+        roundtrip(&CounterAdt, CounterInv::Inc(7), CounterRes::Ok);
+        roundtrip(&CounterAdt, CounterInv::Dec(2), CounterRes::Ok);
+        assert!(CounterAdt.redo(&CounterInv::Read, &CounterRes::Val(0)).is_none());
+
+        use crate::fifo_queue::{QueueAdt, QueueInv, QueueRes};
+        let q: QueueAdt<i64> = QueueAdt::default();
+        roundtrip(&q, QueueInv::Enq(42), QueueRes::Ok);
+        roundtrip(&q, QueueInv::Deq, QueueRes::Item(42));
+
+        use crate::semiqueue::{SemiqueueAdt, SqInv, SqRes};
+        let sq: SemiqueueAdt<String> = SemiqueueAdt::default();
+        roundtrip(&sq, SqInv::Ins("x".into()), SqRes::Ok);
+        roundtrip(&sq, SqInv::Rem, SqRes::Item("x".to_string()));
+
+        use crate::file::{FileAdt, FileInv, FileRes};
+        let f: FileAdt<i64> = FileAdt::default();
+        roundtrip(&f, FileInv::Write(9), FileRes::Ok);
+        assert!(f.redo(&FileInv::Read, &FileRes::Val(0)).is_none());
+
+        use crate::set::{SetAdt, SetInv};
+        let s: SetAdt<i64> = SetAdt::default();
+        roundtrip(&s, SetInv::Add(1), true);
+        roundtrip(&s, SetInv::Add(1), false);
+        roundtrip(&s, SetInv::Remove(1), true);
+        assert!(s.redo(&SetInv::Contains(1), &true).is_none());
+
+        use crate::directory::{DirInv, DirRes, DirectoryAdt};
+        let d: DirectoryAdt<String, i64> = DirectoryAdt::default();
+        roundtrip(&d, DirInv::Insert("k".into(), 1), DirRes::Inserted);
+        roundtrip(&d, DirInv::Insert("k".into(), 1), DirRes::Duplicate);
+        roundtrip(&d, DirInv::Remove("k".into()), DirRes::Val(1));
+        roundtrip(&d, DirInv::Remove("k".into()), DirRes::Missing);
+        assert!(d.redo(&DirInv::Lookup("k".into()), &DirRes::Missing).is_none());
     }
 
     #[test]

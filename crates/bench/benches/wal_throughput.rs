@@ -50,7 +50,7 @@ fn run_commits(durability: Durability, group_commit: bool, threads: u64, per_thr
                 let txn = t * per_thread + i + 1;
                 wal.append(&LogRecord::Op {
                     txn,
-                    object: "acct".into(),
+                    obj: 1,
                     op: br#"{"op":"credit","v":1}"#.to_vec(),
                 })
                 .unwrap();

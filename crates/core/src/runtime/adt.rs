@@ -1,6 +1,25 @@
 //! Traits connecting typed data types and concurrency-control schemes to
 //! the generic object runtime.
 
+/// A redo payload could not be decoded back into an executed operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RedoDecodeError(pub String);
+
+impl RedoDecodeError {
+    /// Construct an error.
+    pub fn new(msg: impl Into<String>) -> RedoDecodeError {
+        RedoDecodeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for RedoDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "redo decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RedoDecodeError {}
+
 /// A production implementation of a data type: a compact committed version
 /// plus per-transaction intent summaries.
 ///
@@ -42,6 +61,25 @@ pub trait RuntimeAdt: Send + Sync + 'static {
     /// Fold a committed intent into the version (the appendix's
     /// `bal = i.mul * bal + i.add` inside `forget()`).
     fn apply(&self, version: &mut Self::Version, intent: &Self::Intent);
+
+    /// Serialize an executed operation `(inv, res)` as an opaque redo
+    /// payload, or `None` for operations with no durable effect worth
+    /// replaying (pure reads).
+    ///
+    /// This is the intrinsic half of the write-ahead discipline: when an
+    /// object's options carry a redo sink, every mutating execution routes
+    /// this payload into the transaction manager's durable log
+    /// automatically — callers never log by hand, so forgetting to log is
+    /// not expressible. The method is deliberately *required* (no default
+    /// body): every data type must decide what its redo record is, or
+    /// state explicitly that it has none.
+    fn redo(&self, inv: &Self::Inv, res: &Self::Res) -> Option<Vec<u8>>;
+
+    /// Decode a payload produced by [`RuntimeAdt::redo`] back into the
+    /// executed operation `(invocation, expected response)` for recovery
+    /// replay. Types whose `redo` always returns `None` should return an
+    /// error.
+    fn decode_redo(&self, bytes: &[u8]) -> Result<(Self::Inv, Self::Res), RedoDecodeError>;
 
     /// The type's name for diagnostics.
     fn type_name(&self) -> &'static str;

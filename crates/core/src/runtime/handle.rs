@@ -29,18 +29,41 @@ pub struct TxnHandle {
     /// operations; the commit timestamp must exceed it (`precedes ⊆ TS`).
     bound: AtomicU64,
     touched: Mutex<Vec<Arc<dyn TxParticipant>>>,
+    /// True for replay/bootstrap transactions: their executions re-install
+    /// already-durable history, so self-logging objects must not record
+    /// them again.
+    replay: bool,
 }
 
 impl TxnHandle {
     /// A fresh active handle.
     pub fn new(id: TxnId) -> Arc<TxnHandle> {
+        Self::build(id, false)
+    }
+
+    /// A handle for *replaying* already-durable history (recovery replay,
+    /// checkpoint bootstrap): identical to [`TxnHandle::new`] except that
+    /// self-logging objects skip the redo sink for its executions —
+    /// re-logging records that are already in the log would duplicate them.
+    pub fn replay(id: TxnId) -> Arc<TxnHandle> {
+        Self::build(id, true)
+    }
+
+    fn build(id: TxnId, replay: bool) -> Arc<TxnHandle> {
         Arc::new(TxnHandle {
             id,
             phase: Mutex::new(TxnPhase::Active),
             doomed: AtomicBool::new(false),
             bound: AtomicU64::new(0),
             touched: Mutex::new(Vec::new()),
+            replay,
         })
+    }
+
+    /// Is this a replay/bootstrap handle (its executions bypass the redo
+    /// sink)?
+    pub fn is_replay(&self) -> bool {
+        self.replay
     }
 
     /// The transaction's identifier.

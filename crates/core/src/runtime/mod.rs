@@ -22,7 +22,7 @@ mod handle;
 mod object;
 mod options;
 
-pub use adt::{LockSpec, RuntimeAdt};
+pub use adt::{LockSpec, RedoDecodeError, RuntimeAdt};
 pub use handle::{TxnHandle, TxnPhase};
-pub use object::{ExecError, ObjectStats, TryExecOutcome, TxObject, TxParticipant};
-pub use options::{BlockPolicy, Durability, NullObserver, RuntimeOptions, WaitObserver};
+pub use object::{ExecError, ObjectStats, ReplayError, TryExecOutcome, TxObject, TxParticipant};
+pub use options::{BlockPolicy, Durability, NullObserver, RedoSink, RuntimeOptions, WaitObserver};

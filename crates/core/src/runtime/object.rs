@@ -1,7 +1,7 @@
 //! The generic hybrid-atomic object: versions, intents, implicit locks,
 //! `when`-style blocking, and horizon-based forgetting.
 
-use super::adt::{LockSpec, RuntimeAdt};
+use super::adt::{LockSpec, RedoDecodeError, RuntimeAdt};
 use super::handle::{TxnHandle, TxnPhase};
 use super::options::RuntimeOptions;
 use hcc_spec::TxnId;
@@ -30,6 +30,38 @@ impl std::fmt::Display for ExecError {
 }
 
 impl std::error::Error for ExecError {}
+
+/// Why replaying a logged operation onto an object failed. Any of these
+/// during recovery means the log and the object disagree — corruption or a
+/// replay-order bug — and recovery must stop rather than guess.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The redo payload could not be decoded.
+    Decode(RedoDecodeError),
+    /// The replayed execution was refused (conflict/timeout against replay
+    /// state — should be impossible in a quiesced recovery).
+    Exec(ExecError),
+    /// The operation executed, but no candidate reproduced the logged
+    /// response.
+    Diverged {
+        /// The logged response (debug form).
+        expected: String,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Decode(e) => write!(f, "replay: {e}"),
+            ReplayError::Exec(e) => write!(f, "replay execution refused: {e}"),
+            ReplayError::Diverged { expected } => {
+                write!(f, "replay diverged: no candidate reproduced logged response {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
 
 /// Outcome of a single non-blocking execution attempt.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -164,15 +196,80 @@ impl<A: RuntimeAdt> TxObject<A> {
         }
         let mut st = self.inner.lock();
         let outcome = self.attempt(&mut st, txn.id(), inv);
-        if let TryExecOutcome::Executed(_) = outcome {
+        if let TryExecOutcome::Executed(res) = &outcome {
             let clock = st.clock;
             st.bounds.insert(txn.id(), clock);
             txn.observe_clock(clock);
+            // Self-logging: serializing the redo payload is an intrinsic
+            // effect of executing, not a caller obligation. It happens
+            // while the object lock is still held, so the WAL order of one
+            // object's ops can never diverge from their execution order
+            // (recovery replays in log order). Replay handles re-install
+            // history that is already durable, so they skip it.
+            if !txn.is_replay() {
+                if let Some(sink) = &self.opts.redo {
+                    if let Some(bytes) = self.adt.redo(inv, res) {
+                        sink.record_op(txn.id(), &self.name, &bytes);
+                    }
+                }
+            }
             drop(st);
             txn.register(self.clone() as Arc<dyn TxParticipant>);
             self.executed.fetch_add(1, Ordering::Relaxed);
         }
         Ok(outcome)
+    }
+
+    /// Replay one executed operation with its logged response: like a
+    /// normal execution, but only a candidate whose response equals
+    /// `expected` is eligible — nondeterministic operations (a semiqueue
+    /// `rem`) are pinned to the choice the original execution made, and a
+    /// deterministic operation whose outcome changed (a logged successful
+    /// debit that would now overdraft) is reported as divergence instead
+    /// of silently rewriting history.
+    pub fn replay_executed(
+        self: &Arc<Self>,
+        txn: &Arc<TxnHandle>,
+        inv: A::Inv,
+        expected: A::Res,
+    ) -> Result<(), ReplayError> {
+        if txn.phase() != TxnPhase::Active {
+            return Err(ReplayError::Exec(ExecError::NotActive));
+        }
+        let mut st = self.inner.lock();
+        let committed_refs: Vec<&A::Intent> = st.committed.values().map(|r| &r.intent).collect();
+        let own = st.active.get(&txn.id()).map(|r| r.intent.clone()).unwrap_or_default();
+        let candidates = self.adt.candidates(&st.version, &committed_refs, &own, &inv);
+        drop(committed_refs);
+        let Some((res, intent)) = candidates.into_iter().find(|(res, _)| *res == expected) else {
+            return Err(ReplayError::Diverged { expected: format!("{expected:?}") });
+        };
+        // Recovery replays into quiesced objects: lock conflicts cannot
+        // arise (the only active transactions are replay transactions,
+        // which committed without conflicting in the original history), so
+        // the operation is installed directly.
+        let rec = st.active.entry(txn.id()).or_default();
+        rec.intent = intent;
+        rec.ops.push((inv, res));
+        let clock = st.clock;
+        st.bounds.insert(txn.id(), clock);
+        txn.observe_clock(clock);
+        drop(st);
+        txn.register(self.clone() as Arc<dyn TxParticipant>);
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Decode a redo payload (produced by the type's
+    /// [`RuntimeAdt::redo`]) and replay it via
+    /// [`TxObject::replay_executed`].
+    pub fn replay_redo(
+        self: &Arc<Self>,
+        txn: &Arc<TxnHandle>,
+        bytes: &[u8],
+    ) -> Result<(), ReplayError> {
+        let (inv, expected) = self.adt.decode_redo(bytes).map_err(ReplayError::Decode)?;
+        self.replay_executed(txn, inv, expected)
     }
 
     /// Execute with blocking: retries on completion notifications until the
@@ -389,6 +486,20 @@ mod tests {
             if let Some(v) = intent {
                 *version = *v;
             }
+        }
+
+        fn redo(&self, inv: &RegInv, _res: &i64) -> Option<Vec<u8>> {
+            match inv {
+                RegInv::Write(v) => Some(v.to_le_bytes().to_vec()),
+                RegInv::Read => None,
+            }
+        }
+
+        fn decode_redo(&self, bytes: &[u8]) -> Result<(RegInv, i64), RedoDecodeError> {
+            let arr: [u8; 8] = bytes
+                .try_into()
+                .map_err(|_| RedoDecodeError::new("register redo payload is 8 bytes"))?;
+            Ok((RegInv::Write(i64::from_le_bytes(arr)), 0))
         }
 
         fn type_name(&self) -> &'static str {

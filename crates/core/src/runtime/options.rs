@@ -43,6 +43,22 @@ impl WaitObserver for NullObserver {
     fn on_unblock(&self, _: TxnId) {}
 }
 
+/// Receives serialized redo payloads as an *intrinsic effect* of executing
+/// mutating operations — the transaction manager implements this over its
+/// durable store.
+///
+/// An object whose [`RuntimeOptions`] carry a sink calls
+/// [`RedoSink::record_op`] from inside every successful mutating execution
+/// (replay transactions excepted), which is what makes the forget-to-log
+/// failure mode unrepresentable: there is no caller-side logging step to
+/// forget. Implementations must not panic on I/O problems; they buffer the
+/// failure and surface it at commit time, where refusing the commit is
+/// still possible.
+pub trait RedoSink: Send + Sync {
+    /// Record one executed operation of `txn` at the named object.
+    fn record_op(&self, txn: TxnId, object: &str, op: &[u8]);
+}
+
 /// How far a completion record must travel before a commit is
 /// acknowledged. The authoritative setting lives on `hcc-storage`'s
 /// `StorageOptions`; `TxnManager::object_options` mirrors the store's
@@ -73,6 +89,11 @@ pub struct RuntimeOptions {
     /// Durability required of completion records when a durable log is
     /// attached (ignored when running purely in memory).
     pub durability: Durability,
+    /// Where executed operations' redo payloads are recorded. `None` runs
+    /// the object purely in memory; `Some` makes every mutating operation
+    /// self-logging (`TxnManager::object_options` wires the manager in
+    /// when it has a durable store).
+    pub redo: Option<Arc<dyn RedoSink>>,
 }
 
 impl Default for RuntimeOptions {
@@ -81,6 +102,7 @@ impl Default for RuntimeOptions {
             block: BlockPolicy::default(),
             observer: Arc::new(NullObserver),
             durability: Durability::default(),
+            redo: None,
         }
     }
 }
@@ -102,6 +124,13 @@ impl RuntimeOptions {
     /// The same options with a different durability requirement.
     pub fn with_durability(mut self, durability: Durability) -> RuntimeOptions {
         self.durability = durability;
+        self
+    }
+
+    /// The same options with mutating operations self-logging through
+    /// `sink`.
+    pub fn with_redo(mut self, sink: Arc<dyn RedoSink>) -> RuntimeOptions {
+        self.redo = Some(sink);
         self
     }
 }

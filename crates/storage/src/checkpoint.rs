@@ -2,10 +2,18 @@
 //! recovery should resume from.
 //!
 //! ```text
-//! file := magic "HCCKPT01", len: u32, crc: u32, payload
+//! file := magic "HCCKPT02", len: u32, crc: u32, payload
 //! payload := last_ts: u64, resume_seg: u64, n: u32,
-//!            n × { name: len-prefixed utf8, data: len-prefixed bytes }
+//!            n × { name: len-prefixed utf8, data: len-prefixed bytes },
+//!            r: u32, r × { id: u64, name: len-prefixed utf8 }
 //! ```
+//!
+//! The trailing `r` entries are the object **registry bindings** (the WAL's
+//! `Register` records) at checkpoint time. They ride in the checkpoint —
+//! written temp + fsync + rename, so immune to tail truncation — because
+//! compaction deletes the segments holding the original `Register`
+//! records while pinned segments may keep op records that still reference
+//! the ids.
 //!
 //! Files are named `ckpt-<last_ts>.ckpt`, written to a temp file, fsynced,
 //! then renamed — a half-written checkpoint can never shadow a complete
@@ -17,7 +25,7 @@ use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-const MAGIC: &[u8; 8] = b"HCCKPT01";
+const MAGIC: &[u8; 8] = b"HCCKPT02";
 
 /// A serialized committed frontier.
 #[derive(Clone, Debug, PartialEq)]
@@ -33,6 +41,9 @@ pub struct Checkpoint {
     pub resume_seg: u64,
     /// `(object name, snapshot bytes)` for every registered object.
     pub objects: Vec<(String, Vec<u8>)>,
+    /// The WAL object registry at checkpoint time: `(id, name)` bindings
+    /// op records below (and pinned across) this checkpoint may use.
+    pub registry: Vec<(u64, String)>,
 }
 
 fn checkpoint_path(dir: &Path, last_ts: u64) -> PathBuf {
@@ -50,6 +61,12 @@ impl Checkpoint {
             payload.extend_from_slice(name.as_bytes());
             payload.extend_from_slice(&(data.len() as u32).to_le_bytes());
             payload.extend_from_slice(data);
+        }
+        payload.extend_from_slice(&(self.registry.len() as u32).to_le_bytes());
+        for (id, name) in &self.registry {
+            payload.extend_from_slice(&id.to_le_bytes());
+            payload.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            payload.extend_from_slice(name.as_bytes());
         }
         let mut out = Vec::with_capacity(payload.len() + 16);
         out.extend_from_slice(MAGIC);
@@ -86,7 +103,15 @@ impl Checkpoint {
             let data = take(&mut pos, data_len)?.to_vec();
             objects.push((name, data));
         }
-        Some(Checkpoint { last_ts, resume_seg, objects })
+        let r = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let mut registry = Vec::with_capacity(r as usize);
+        for _ in 0..r {
+            let id = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+            let name_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let name = String::from_utf8(take(&mut pos, name_len)?.to_vec()).ok()?;
+            registry.push((id, name));
+        }
+        Some(Checkpoint { last_ts, resume_seg, objects, registry })
     }
 
     /// Durably write this checkpoint into `dir` (temp file + fsync + rename
@@ -178,6 +203,7 @@ mod tests {
                 ("acct".into(), br#"{"balance":75}"#.to_vec()),
                 ("q".into(), b"[1,2]".to_vec()),
             ],
+            registry: vec![(1, "acct".into()), (2, "q".into())],
         }
     }
 

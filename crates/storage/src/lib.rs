@@ -7,7 +7,8 @@
 //! object. This crate makes that story production-shaped:
 //!
 //! * [`record`] — length-prefixed, CRC32-protected binary log records with
-//!   torn-tail detection;
+//!   torn-tail detection; op records carry compact object **registry
+//!   ids**, bound to names by durable `Register` records;
 //! * [`wal`] — a segmented write-ahead log with rotation and leader-based
 //!   **group commit**: concurrent committers share one fsync per batch;
 //! * [`checkpoint`] — durable snapshots of the committed frontier, so
@@ -16,7 +17,9 @@
 //! * [`policy`] — the [`CompactMode`] state machine (Never / EveryN /
 //!   GrowthFactor / GrowthSize, AND-composed with a record-count floor)
 //!   deciding when to checkpoint and delete dead segments;
-//! * [`snapshot`] — the [`Snapshot`] trait every ADT implements;
+//! * [`snapshot`] — the [`Snapshot`] trait every ADT implements, and
+//!   [`DurableObject`], the named/replayable view the recovery registry
+//!   dispatches through;
 //! * [`store`] — [`DurableStore`], the façade `hcc-txn`'s manager logs
 //!   through, plus [`DurableStore::recover`].
 //!
@@ -36,8 +39,8 @@ pub use checkpoint::Checkpoint;
 pub use hcc_core::runtime::Durability;
 pub use policy::{CompactMode, CompactionPolicy, LogStats};
 pub use record::LogRecord;
-pub use snapshot::{Snapshot, SnapshotError};
-pub use store::{CommittedTxn, DurableStore, Recovered, StorageOptions};
+pub use snapshot::{DurableObject, Snapshot, SnapshotError};
+pub use store::{CommittedTxn, DurableStore, InDoubtTxn, Recovered, StorageOptions};
 pub use wal::{SegmentedWal, WalOptions};
 
 /// Anything that can go wrong in the storage layer.
@@ -79,6 +82,14 @@ pub enum StorageError {
         /// The watermark the snapshots would wrongly claim to cover.
         last_ts: u64,
     },
+    /// An op record references a registry id with no surviving `Register`
+    /// binding — the log lost the id→name mapping it needed.
+    UnknownObjectId {
+        /// The unresolvable registry id.
+        id: u64,
+        /// The transaction whose op used it.
+        txn: u64,
+    },
     /// A snapshot payload could not be installed.
     Snapshot(snapshot::SnapshotError),
 }
@@ -103,6 +114,9 @@ impl std::fmt::Display for StorageError {
                      registered objects have not absorbed (recover first, then \
                      mark_state_absorbed)"
                 )
+            }
+            StorageError::UnknownObjectId { id, txn } => {
+                write!(f, "op record of txn {txn} references unregistered object id {id}")
             }
             StorageError::Snapshot(e) => write!(f, "{e}"),
         }

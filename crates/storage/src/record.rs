@@ -6,11 +6,20 @@
 //! │ len: u32 │ crc: u32 │ payload bytes │   (all integers little-endian)
 //! └──────────┴──────────┴───────────────┘
 //! payload := tag: u8, fields...
-//!   1 Begin  { txn: u64 }
-//!   2 Op     { txn: u64, object: len-prefixed utf8, op: len-prefixed bytes }
-//!   3 Commit { txn: u64, ts: u64 }
-//!   4 Abort  { txn: u64 }
+//!   1 Begin    { txn: u64 }
+//!   2 Op       { txn: u64, obj: u64, op: len-prefixed bytes }
+//!   3 Commit   { txn: u64, ts: u64 }
+//!   4 Abort    { txn: u64 }
+//!   5 Register { id: u64, name: len-prefixed utf8 }
 //! ```
+//!
+//! Op records reference objects by **registry id** — a compact u64 the
+//! store assigns the first time a name is logged against — instead of
+//! repeating the name string per operation. The id→name binding is itself
+//! a durable `Register` record, appended immediately before the first op
+//! using the id; checkpoints additionally carry the full binding table in
+//! their own file, so pruning the segments that held the original
+//! `Register` records can never orphan an id.
 //!
 //! The CRC covers the payload only; a frame whose length field, CRC, or tag
 //! is implausible is treated as a torn tail when it is the last thing in
@@ -34,8 +43,9 @@ pub enum LogRecord {
     Op {
         /// Transaction id.
         txn: u64,
-        /// Object name.
-        object: String,
+        /// The object's registry id (bound to a name by a `Register`
+        /// record).
+        obj: u64,
         /// Serialized operation (opaque bytes).
         op: Vec<u8>,
     },
@@ -51,16 +61,25 @@ pub enum LogRecord {
         /// Transaction id.
         txn: u64,
     },
+    /// An object name was bound to a registry id (not transaction-scoped).
+    Register {
+        /// The registry id.
+        id: u64,
+        /// The object's name.
+        name: String,
+    },
 }
 
 impl LogRecord {
-    /// The transaction this record belongs to.
+    /// The transaction this record belongs to (0 for `Register` records,
+    /// which are not transaction-scoped; real transaction ids start at 1).
     pub fn txn(&self) -> u64 {
         match self {
             LogRecord::Begin { txn }
             | LogRecord::Op { txn, .. }
             | LogRecord::Commit { txn, .. }
             | LogRecord::Abort { txn } => *txn,
+            LogRecord::Register { .. } => 0,
         }
     }
 
@@ -121,10 +140,10 @@ pub fn encode_into(rec: &LogRecord, out: &mut Vec<u8>) {
             payload.push(1);
             put_u64(&mut payload, *txn);
         }
-        LogRecord::Op { txn, object, op } => {
+        LogRecord::Op { txn, obj, op } => {
             payload.push(2);
             put_u64(&mut payload, *txn);
-            put_bytes(&mut payload, object.as_bytes());
+            put_u64(&mut payload, *obj);
             put_bytes(&mut payload, op);
         }
         LogRecord::Commit { txn, ts } => {
@@ -135,6 +154,11 @@ pub fn encode_into(rec: &LogRecord, out: &mut Vec<u8>) {
         LogRecord::Abort { txn } => {
             payload.push(4);
             put_u64(&mut payload, *txn);
+        }
+        LogRecord::Register { id, name } => {
+            payload.push(5);
+            put_u64(&mut payload, *id);
+            put_bytes(&mut payload, name.as_bytes());
         }
     }
     put_u32(out, payload.len() as u32);
@@ -205,12 +229,17 @@ fn decode_payload(payload: &[u8]) -> Option<LogRecord> {
         1 => LogRecord::Begin { txn: c.u64()? },
         2 => {
             let txn = c.u64()?;
-            let object = String::from_utf8(c.len_bytes()?.to_vec()).ok()?;
+            let obj = c.u64()?;
             let op = c.len_bytes()?.to_vec();
-            LogRecord::Op { txn, object, op }
+            LogRecord::Op { txn, obj, op }
         }
         3 => LogRecord::Commit { txn: c.u64()?, ts: c.u64()? },
         4 => LogRecord::Abort { txn: c.u64()? },
+        5 => {
+            let id = c.u64()?;
+            let name = String::from_utf8(c.len_bytes()?.to_vec()).ok()?;
+            LogRecord::Register { id, name }
+        }
         _ => return None,
     };
     if c.pos != payload.len() {
@@ -257,10 +286,13 @@ pub fn decode_at(bytes: &[u8], offset: usize) -> Result<(LogRecord, usize), Fram
 /// op payloads — for cheap watermark scans over large logs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RecordMeta {
-    /// The transaction the record belongs to.
+    /// The transaction the record belongs to (0 for `Register` records).
     pub txn: u64,
     /// `Some(ts)` for commit records.
     pub commit_ts: Option<u64>,
+    /// Is this a `Register` record? (Callers needing the binding do a full
+    /// decode of just that frame — registrations are rare.)
+    pub register: bool,
 }
 
 /// Allocation-free mirror of [`decode_payload`]: accepts exactly the
@@ -271,21 +303,32 @@ fn meta_from_payload(payload: &[u8]) -> Option<RecordMeta> {
         return None;
     }
     let txn = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+    let get_len = |at: usize| -> Option<usize> {
+        payload.get(at..at + 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()) as usize)
+    };
     match payload[0] {
-        1 | 4 if payload.len() == 9 => Some(RecordMeta { txn, commit_ts: None }),
+        1 | 4 if payload.len() == 9 => Some(RecordMeta { txn, commit_ts: None, register: false }),
         2 => {
-            let get_len = |at: usize| -> Option<usize> {
-                payload.get(at..at + 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()) as usize)
-            };
-            let obj_len = get_len(9)?;
-            let obj = payload.get(13..13 + obj_len)?;
-            std::str::from_utf8(obj).ok()?;
-            let op_len = get_len(13 + obj_len)?;
-            (payload.len() == 17 + obj_len + op_len).then_some(RecordMeta { txn, commit_ts: None })
+            let op_len = get_len(17)?;
+            (payload.len() == 21 + op_len).then_some(RecordMeta {
+                txn,
+                commit_ts: None,
+                register: false,
+            })
         }
         3 if payload.len() == 17 => {
             let ts = u64::from_le_bytes(payload[9..17].try_into().unwrap());
-            Some(RecordMeta { txn, commit_ts: Some(ts) })
+            Some(RecordMeta { txn, commit_ts: Some(ts), register: false })
+        }
+        5 => {
+            let name_len = get_len(9)?;
+            let name = payload.get(13..13 + name_len)?;
+            std::str::from_utf8(name).ok()?;
+            (payload.len() == 13 + name_len).then_some(RecordMeta {
+                txn: 0,
+                commit_ts: None,
+                register: true,
+            })
         }
         _ => None,
     }
@@ -325,8 +368,9 @@ mod tests {
 
     fn sample() -> Vec<LogRecord> {
         vec![
+            LogRecord::Register { id: 1, name: "acct".into() },
             LogRecord::Begin { txn: 1 },
-            LogRecord::Op { txn: 1, object: "acct".into(), op: br#"{"credit":5}"#.to_vec() },
+            LogRecord::Op { txn: 1, obj: 1, op: br#"{"credit":5}"#.to_vec() },
             LogRecord::Commit { txn: 1, ts: 42 },
             LogRecord::Abort { txn: 2 },
         ]
@@ -415,7 +459,8 @@ mod tests {
                 cases.push(base[..base.len() - 1].to_vec());
             }
         }
-        cases.push(vec![2, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0xFF, 0, 0, 0, 0]); // bad UTF-8 obj
+        cases.push(vec![5, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0xFF]); // bad UTF-8 name
+        cases.push(vec![2, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0xFF, 0, 0, 0, 0]); // short Op
         cases.push(vec![99, 0, 0, 0, 0, 0, 0, 0, 0]);
         for payload in cases {
             let mut frame = Vec::new();

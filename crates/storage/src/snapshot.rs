@@ -1,5 +1,10 @@
 //! The [`Snapshot`] trait: how a live object exposes its committed
-//! frontier to the checkpoint manager, and how recovery installs one.
+//! frontier to the checkpoint manager, and how recovery installs one —
+//! plus [`DurableObject`], the registry-facing view recovery replays
+//! through.
+
+use hcc_core::runtime::{ReplayError, TxnHandle};
+use std::sync::Arc;
 
 /// An object whose committed state can be serialized into a checkpoint and
 /// restored from one. Implemented by every ADT wrapper in `hcc-adts`.
@@ -17,6 +22,23 @@ pub trait Snapshot {
     /// Install `bytes` into this (fresh) object as a committed transaction
     /// at timestamp `ts`.
     fn restore(&self, bytes: &[u8], ts: u64) -> Result<(), SnapshotError>;
+}
+
+/// A self-logging object as the recovery registry sees it: named,
+/// checkpointable, and able to replay its own redo payloads.
+///
+/// Implemented by every ADT wrapper in `hcc-adts`. `hcc-txn`'s `Registry`
+/// collects these so recovery can restore checkpoints and replay the WAL
+/// tail *by object name*, with each object decoding its own payloads —
+/// the inverse of the self-logging write path, with no caller-side
+/// dispatch to get wrong.
+pub trait DurableObject: Snapshot + Send + Sync {
+    /// The object's name (the WAL registry key).
+    fn object_name(&self) -> &str;
+
+    /// Replay one redo payload under `txn` (a replay handle), reproducing
+    /// the logged response or failing with divergence.
+    fn replay_op(&self, txn: &Arc<TxnHandle>, op: &[u8]) -> Result<(), ReplayError>;
 }
 
 /// A malformed or inapplicable snapshot payload.

@@ -66,7 +66,22 @@ pub struct CommittedTxn {
     pub ts: u64,
     /// Transaction id.
     pub txn: u64,
-    /// Logged operations in execution order: `(object, opaque op bytes)`.
+    /// Logged operations in execution order: `(object, opaque op bytes)`
+    /// (registry ids already translated back to names).
+    pub ops: Vec<(String, Vec<u8>)>,
+}
+
+/// A transaction whose operations survived but whose outcome did not: no
+/// commit and no abort record. A single-site log simply drops these
+/// (recovery never replays uncommitted transactions); a 2PC *participant*
+/// consults the coordinator's decision log to resolve them — the classic
+/// in-doubt case of a site crashed between its yes-vote and the phase-2
+/// commit message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InDoubtTxn {
+    /// Transaction id.
+    pub txn: u64,
+    /// Logged operations in execution order.
     pub ops: Vec<(String, Vec<u8>)>,
 }
 
@@ -77,6 +92,8 @@ pub struct Recovered {
     pub checkpoint: Option<Checkpoint>,
     /// Committed transactions above the checkpoint, in timestamp order.
     pub committed: Vec<CommittedTxn>,
+    /// Transactions with operations but no completion record, by id.
+    pub in_doubt: Vec<InDoubtTxn>,
     /// Was a torn tail dropped from the final segment?
     pub torn_tail: bool,
 }
@@ -102,6 +119,16 @@ pub struct DurableStore {
     unabsorbed_history: std::sync::atomic::AtomicBool,
     /// Number of checkpoints taken by this instance.
     checkpoints_taken: AtomicU64,
+    /// The object registry: name → compact id used by `Op` records. Seeded
+    /// from the surviving `Register` records on open; grows as new names
+    /// are logged against.
+    registry: std::sync::Mutex<ObjectRegistry>,
+}
+
+#[derive(Default)]
+struct ObjectRegistry {
+    by_name: HashMap<String, u64>,
+    next_id: u64,
 }
 
 impl DurableStore {
@@ -119,21 +146,31 @@ impl DurableStore {
                 group_commit: opts.group_commit,
             },
         )?;
-        let ckpt_ts = Checkpoint::load_latest(&dir)?.map(|c| c.last_ts).unwrap_or(0);
+        let ckpt = Checkpoint::load_latest(&dir)?;
+        let ckpt_ts = ckpt.as_ref().map(|c| c.last_ts).unwrap_or(0);
         // One metadata-only pass over the surviving segments (bounded by
-        // compaction): resuming a log must not reuse timestamps or
-        // transaction ids that are already durable below the recovery
-        // watermarks.
-        let (wal_ts, max_txn) = crate::wal::scan_watermarks(&dir)?;
-        let last_ts = ckpt_ts.max(wal_ts);
+        // compaction): resuming a log must not reuse timestamps,
+        // transaction ids, or registry ids that are already durable below
+        // the recovery watermarks. Registry bindings come from the
+        // checkpoint (whose segments compaction deleted) plus the
+        // surviving Register records.
+        let scan = crate::wal::scan_watermarks(&dir)?;
+        let last_ts = ckpt_ts.max(scan.last_ts);
+        let mut registry = ObjectRegistry::default();
+        let ckpt_bindings = ckpt.map(|c| c.registry).unwrap_or_default();
+        for (id, name) in ckpt_bindings.into_iter().chain(scan.registrations) {
+            registry.next_id = registry.next_id.max(id);
+            registry.by_name.insert(name, id);
+        }
         Ok(Arc::new(DurableStore {
             dir,
             wal,
             opts,
             last_commit_ts: AtomicU64::new(last_ts),
-            max_txn_seen: max_txn,
+            max_txn_seen: scan.max_txn,
             unabsorbed_history: std::sync::atomic::AtomicBool::new(last_ts > 0),
             checkpoints_taken: AtomicU64::new(0),
+            registry: std::sync::Mutex::new(registry),
         }))
     }
 
@@ -174,9 +211,36 @@ impl DurableStore {
         self.wal.append(&LogRecord::Begin { txn })
     }
 
-    /// Log one executed operation.
+    /// Log one executed operation. The object name is translated to its
+    /// compact registry id; a first-seen name durably appends its
+    /// `Register` binding before the op record.
     pub fn log_op(&self, txn: u64, object: &str, op: &[u8]) -> Result<(), StorageError> {
-        self.wal.append(&LogRecord::Op { txn, object: object.to_string(), op: op.to_vec() })
+        let obj = self.object_id(object)?;
+        self.wal.append(&LogRecord::Op { txn, obj, op: op.to_vec() })
+    }
+
+    /// The registry id for `object`, assigning (and durably registering)
+    /// one on first use.
+    pub fn object_id(&self, object: &str) -> Result<u64, StorageError> {
+        let mut reg = self.registry.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(&id) = reg.by_name.get(object) {
+            return Ok(id);
+        }
+        // Reserve the id *before* the append, and never recycle it: a
+        // failed append may still leave the Register frame in the WAL
+        // buffer, where a later unrelated flush can make it durable —
+        // reusing the id for a different name would then durably bind two
+        // names to one id. A retried registration simply burns a fresh id
+        // (two ids resolving to one name is harmless; one id resolving to
+        // two names is corruption).
+        let id = reg.next_id + 1;
+        reg.next_id = id;
+        // The binding is cached only once the append succeeded, so the
+        // next attempt re-registers instead of logging ops against an id
+        // recovery might never learn.
+        self.wal.append(&LogRecord::Register { id, name: object.to_string() })?;
+        reg.by_name.insert(object.to_string(), id);
+        Ok(id)
     }
 
     /// Durably log that `txn` committed at `ts` (group-committed under
@@ -200,6 +264,14 @@ impl DurableStore {
     /// recovery's abort-wins rule needs this record to survive.
     pub fn log_abort_durable(&self, txn: u64) -> Result<(), StorageError> {
         self.wal.commit(&LogRecord::Abort { txn })
+    }
+
+    /// Force everything appended so far onto disk (flush + fsync),
+    /// regardless of the configured durability level. A 2PC participant
+    /// calls this before voting yes: its op records must survive a crash
+    /// once the coordinator may decide commit.
+    pub fn sync(&self) -> Result<(), StorageError> {
+        self.wal.sync()
     }
 
     /// Current log statistics.
@@ -234,6 +306,15 @@ impl DurableStore {
         // Finish the current segment so the checkpoint covers exactly the
         // records below `resume_seg`.
         let resume_seg = self.wal.rotate()?;
+        // The checkpoint carries the registry bindings: pruning deletes the
+        // segments holding the original Register records, while pinned
+        // segments may keep op records that still reference the ids — and
+        // the checkpoint file (temp + fsync + rename) is the one artifact
+        // a torn tail can never reach.
+        let registry: Vec<(u64, String)> = {
+            let reg = self.registry.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            reg.by_name.iter().map(|(name, &id)| (id, name.clone())).collect()
+        };
         let ckpt = Checkpoint {
             last_ts: self.last_commit_ts.load(Ordering::Relaxed),
             resume_seg,
@@ -241,6 +322,7 @@ impl DurableStore {
                 .iter()
                 .map(|(name, snap)| (name.to_string(), snap.snapshot()))
                 .collect(),
+            registry,
         };
         ckpt.save(&self.dir)?;
         self.wal.mark_checkpoint();
@@ -271,20 +353,42 @@ impl DurableStore {
         let ckpt_ts = checkpoint.as_ref().map(|c| c.last_ts).unwrap_or(0);
         let (records, torn_tail) = read_records(dir)?;
 
+        // The id→name registry: seeded from the checkpoint (which carries
+        // the bindings of every id pruned segments may still reference),
+        // then extended by the surviving Register records — built in a
+        // first pass so record order never matters.
+        let mut names: HashMap<u64, String> = HashMap::new();
+        if let Some(ckpt) = &checkpoint {
+            for (id, name) in &ckpt.registry {
+                names.insert(*id, name.clone());
+            }
+        }
+        for rec in &records {
+            if let LogRecord::Register { id, name } = rec {
+                names.insert(*id, name.clone());
+            }
+        }
+
         let mut ops: HashMap<u64, Vec<(String, Vec<u8>)>> = HashMap::new();
         let mut begun: HashSet<u64> = HashSet::new();
         let mut aborted: HashSet<u64> = HashSet::new();
+        let mut completed: HashSet<u64> = HashSet::new();
         let mut commits: BTreeMap<u64, u64> = BTreeMap::new(); // ts -> txn
         for rec in records {
             match rec {
                 LogRecord::Begin { txn } => {
                     begun.insert(txn);
                 }
-                LogRecord::Op { txn, object, op } => {
+                LogRecord::Op { txn, obj, op } => {
                     begun.insert(txn);
+                    let object = names
+                        .get(&obj)
+                        .cloned()
+                        .ok_or(StorageError::UnknownObjectId { id: obj, txn })?;
                     ops.entry(txn).or_default().push((object, op));
                 }
                 LogRecord::Commit { txn, ts } => {
+                    completed.insert(txn);
                     if ts > ckpt_ts {
                         if let Some(prev) = commits.insert(ts, txn) {
                             if prev != txn {
@@ -302,7 +406,9 @@ impl DurableStore {
                 LogRecord::Abort { txn } => {
                     ops.remove(&txn);
                     aborted.insert(txn);
+                    completed.insert(txn);
                 }
+                LogRecord::Register { .. } => {}
             }
         }
 
@@ -324,7 +430,16 @@ impl DurableStore {
             }
             committed.push(CommittedTxn { ts, txn, ops: ops.remove(&txn).unwrap_or_default() });
         }
-        Ok(Recovered { checkpoint, committed, torn_tail })
+        // Ops with no completion record at all: in-doubt. A 2PC site log
+        // resolves these against the coordinator's decision log; a
+        // single-site recovery just ignores them.
+        let mut in_doubt: Vec<InDoubtTxn> = ops
+            .into_iter()
+            .filter(|(txn, _)| !completed.contains(txn))
+            .map(|(txn, ops)| InDoubtTxn { txn, ops })
+            .collect();
+        in_doubt.sort_by_key(|t| t.txn);
+        Ok(Recovered { checkpoint, committed, in_doubt, torn_tail })
     }
 }
 
@@ -485,6 +600,60 @@ mod tests {
             }
         }
         assert_eq!(taken, 3, "EveryN(10) over 35 commits");
+    }
+
+    #[test]
+    fn registry_ids_are_stable_across_reopen_and_checkpoint_pruning() {
+        let dir = tmp("registry");
+        let cell = Cell::default();
+        let id_first;
+        {
+            let store = DurableStore::open(&dir, small_opts()).unwrap();
+            id_first = store.object_id("cell").unwrap();
+            assert_eq!(store.object_id("cell").unwrap(), id_first, "idempotent");
+            for i in 1..=30 {
+                run_txn(&store, &cell, i, i, 1);
+            }
+            // Checkpoint prunes the segments holding the original Register
+            // record; the binding survives in the checkpoint file's table.
+            store.checkpoint(&[("cell", &cell)]).unwrap();
+            for i in 31..=35 {
+                run_txn(&store, &cell, i, i, 1);
+            }
+        }
+        {
+            let store = DurableStore::open(&dir, small_opts()).unwrap();
+            assert_eq!(
+                store.object_id("cell").unwrap(),
+                id_first,
+                "reopen must resolve the same id from the surviving log"
+            );
+            let other = store.object_id("other").unwrap();
+            assert!(other > id_first, "fresh names allocate above survivors");
+        }
+        let recovered = DurableStore::recover(&dir).unwrap();
+        assert_eq!(recovered.committed.len(), 5, "tail above the checkpoint");
+        assert!(recovered.committed.iter().all(|t| t.ops.iter().all(|(name, _)| name == "cell")));
+    }
+
+    #[test]
+    fn in_doubt_transactions_are_reported() {
+        let dir = tmp("in-doubt");
+        {
+            let store = DurableStore::open(&dir, small_opts()).unwrap();
+            store.log_begin(1).unwrap();
+            store.log_op(1, "cell", &5i64.to_le_bytes()).unwrap();
+            store.log_commit(1, 1).unwrap();
+            // Txn 2 voted yes somewhere and crashed before the decision
+            // arrived: ops, no completion record.
+            store.log_begin(2).unwrap();
+            store.log_op(2, "cell", &7i64.to_le_bytes()).unwrap();
+        }
+        let recovered = DurableStore::recover(&dir).unwrap();
+        assert_eq!(recovered.committed.len(), 1);
+        assert_eq!(recovered.in_doubt.len(), 1);
+        assert_eq!(recovered.in_doubt[0].txn, 2);
+        assert_eq!(recovered.in_doubt[0].ops[0].0, "cell");
     }
 
     #[test]

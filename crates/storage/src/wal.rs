@@ -99,6 +99,16 @@ fn segment_path(dir: &Path, index: u64) -> PathBuf {
     dir.join(format!("seg-{index:08}.wal"))
 }
 
+/// Fsync the log directory itself, making freshly created (or renamed)
+/// segment files durable *as directory entries*. Without this, a crash
+/// after segment creation/rotation can lose the new file entirely — the
+/// records inside were fsynced, but the name pointing at them was not —
+/// which recovery sees as a hole in the log (checkpoint files already get
+/// the same treatment from `Checkpoint::save`).
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
 /// All segment files under `dir`, sorted by index.
 pub fn list_segments(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
@@ -155,8 +165,12 @@ impl SegmentedWal {
             }
             None => (1, 0),
         };
-        let file =
-            OpenOptions::new().create(true).append(true).open(segment_path(&dir, seg_index))?;
+        let seg_file = segment_path(&dir, seg_index);
+        let created = !seg_file.exists();
+        let file = OpenOptions::new().create(true).append(true).open(&seg_file)?;
+        if created {
+            sync_dir(&dir)?;
+        }
         let n_segments = segments.len().max(1) as u64;
         Ok(SegmentedWal {
             dir,
@@ -226,6 +240,9 @@ impl SegmentedWal {
                 .append(true)
                 .open(segment_path(&self.dir, inner.seg_index))?,
         );
+        // The new segment file must survive a crash as a directory entry,
+        // or recovery finds records referencing a segment that vanished.
+        sync_dir(&self.dir)?;
         let mut s = self.lock_sync();
         s.synced_seq = s.synced_seq.max(durable_seq);
         drop(s);
@@ -259,6 +276,7 @@ impl SegmentedWal {
             LogRecord::Abort { txn } => {
                 inner.live_low.remove(txn);
             }
+            LogRecord::Register { .. } => {}
         }
         Ok(seq)
     }
@@ -454,14 +472,26 @@ impl Drop for SegmentedWal {
     }
 }
 
-/// Fold `(highest commit timestamp, highest transaction id)` out of the
-/// segments under `dir` without materializing records — the cheap scan a
-/// reopening store uses to re-anchor clocks and id allocators. Same
-/// torn-tail semantics as [`read_records`].
-pub fn scan_watermarks(dir: &Path) -> Result<(u64, u64), StorageError> {
+/// What a reopening store learns from its cheap metadata scan.
+#[derive(Clone, Debug, Default)]
+pub struct OpenScan {
+    /// Highest commit timestamp in the surviving log.
+    pub last_ts: u64,
+    /// Highest transaction id in the surviving log.
+    pub max_txn: u64,
+    /// Object registry bindings (`id`, `name`), in log order.
+    pub registrations: Vec<(u64, String)>,
+}
+
+/// Fold the recovery watermarks (highest commit timestamp, highest
+/// transaction id) and the object registry bindings out of the segments
+/// under `dir` without materializing op payloads — the cheap scan a
+/// reopening store uses to re-anchor clocks, id allocators, and the
+/// name→id registry. Same torn-tail semantics as [`read_records`].
+pub fn scan_watermarks(dir: &Path) -> Result<OpenScan, StorageError> {
     let segments = list_segments(dir)?;
     let last_index = segments.last().map(|(i, _)| *i);
-    let (mut last_ts, mut max_txn) = (0u64, 0u64);
+    let mut scan = OpenScan::default();
     for (index, path) in &segments {
         let bytes = fs::read(path)?;
         let mut pos = 0usize;
@@ -471,9 +501,17 @@ pub fn scan_watermarks(dir: &Path) -> Result<(u64, u64), StorageError> {
             }
             match record::decode_meta_at(&bytes, pos) {
                 Ok((meta, next)) => {
-                    max_txn = max_txn.max(meta.txn);
+                    scan.max_txn = scan.max_txn.max(meta.txn);
                     if let Some(ts) = meta.commit_ts {
-                        last_ts = last_ts.max(ts);
+                        scan.last_ts = scan.last_ts.max(ts);
+                    }
+                    if meta.register {
+                        // Rare record: a full decode of just this frame.
+                        if let Ok((LogRecord::Register { id, name }, _)) =
+                            record::decode_at(&bytes, pos)
+                        {
+                            scan.registrations.push((id, name));
+                        }
                     }
                     pos = next;
                 }
@@ -489,7 +527,7 @@ pub fn scan_watermarks(dir: &Path) -> Result<(u64, u64), StorageError> {
             }
         }
     }
-    Ok((last_ts, max_txn))
+    Ok(scan)
 }
 
 /// Read every record from the segments under `dir`, in order. A torn or
@@ -550,7 +588,7 @@ mod tests {
         let dir = tmp("roundtrip");
         let wal = SegmentedWal::open(&dir, opts()).unwrap();
         wal.append(&LogRecord::Begin { txn: 1 }).unwrap();
-        wal.append(&LogRecord::Op { txn: 1, object: "a".into(), op: vec![1, 2, 3] }).unwrap();
+        wal.append(&LogRecord::Op { txn: 1, obj: 1, op: vec![1, 2, 3] }).unwrap();
         wal.commit(&LogRecord::Commit { txn: 1, ts: 9 }).unwrap();
         drop(wal);
         let (recs, torn) = read_records(&dir).unwrap();
@@ -564,7 +602,7 @@ mod tests {
         let dir = tmp("rotate");
         let wal = SegmentedWal::open(&dir, opts()).unwrap();
         for i in 0..100 {
-            wal.append(&LogRecord::Op { txn: i, object: "obj".into(), op: vec![0u8; 32] }).unwrap();
+            wal.append(&LogRecord::Op { txn: i, obj: 1, op: vec![0u8; 32] }).unwrap();
             wal.commit(&LogRecord::Commit { txn: i, ts: i + 1 }).unwrap();
         }
         let segments = list_segments(&dir).unwrap();
@@ -593,7 +631,7 @@ mod tests {
         let dir = tmp("corrupt-mid");
         let wal = SegmentedWal::open(&dir, opts()).unwrap();
         for i in 0..50 {
-            wal.append(&LogRecord::Op { txn: i, object: "x".into(), op: vec![0u8; 32] }).unwrap();
+            wal.append(&LogRecord::Op { txn: i, obj: 1, op: vec![0u8; 32] }).unwrap();
             wal.commit(&LogRecord::Commit { txn: i, ts: i + 1 }).unwrap();
         }
         drop(wal);
@@ -689,9 +727,9 @@ mod tests {
         let wal = SegmentedWal::open(&dir, opts()).unwrap();
         // Txn 999 begins early and stays incomplete.
         wal.append(&LogRecord::Begin { txn: 999 }).unwrap();
-        wal.append(&LogRecord::Op { txn: 999, object: "pin".into(), op: vec![0; 16] }).unwrap();
+        wal.append(&LogRecord::Op { txn: 999, obj: 1, op: vec![0; 16] }).unwrap();
         for i in 0..50 {
-            wal.append(&LogRecord::Op { txn: i, object: "x".into(), op: vec![0u8; 32] }).unwrap();
+            wal.append(&LogRecord::Op { txn: i, obj: 1, op: vec![0u8; 32] }).unwrap();
             wal.commit(&LogRecord::Commit { txn: i, ts: i + 1 }).unwrap();
         }
         let current = wal.current_segment();

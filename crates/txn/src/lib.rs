@@ -10,9 +10,12 @@
 //!   constraint `precedes(H|X) ⊆ TS(H)`.
 //! * **Atomic commitment** ([`manager`]): a transaction manager running a
 //!   two-phase protocol over every object the transaction touched, so a
-//!   transaction never commits at some objects and aborts at others. A
-//!   message-passing simulation of the distributed version lives in
-//!   [`sim`].
+//!   transaction never commits at some objects and aborts at others. The
+//!   manager is also the **redo sink** its objects self-log through
+//!   (`object_options` binds them), and [`registry`] replays a recovered
+//!   log back into registered objects by name. A message-passing
+//!   simulation of the distributed version — with per-site WALs and a
+//!   coordinator decision log — lives in [`sim`].
 //! * **Deadlock handling** ([`deadlock`]): the paper names "the usual
 //!   remedies (e.g., timeout or detection)"; both are here — a
 //!   waits-for-graph detector with youngest-victim selection, and the
@@ -24,9 +27,11 @@
 pub mod clock;
 pub mod deadlock;
 pub mod manager;
+pub mod registry;
 pub mod sim;
 pub mod wal;
 
 pub use clock::LogicalClock;
 pub use deadlock::DeadlockDetector;
 pub use manager::{CommitError, TxnManager};
+pub use registry::{RecoveryError, RecoveryReport, Registry};

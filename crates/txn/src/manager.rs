@@ -11,13 +11,17 @@
 
 use crate::clock::LogicalClock;
 use crate::deadlock::DeadlockDetector;
-use hcc_core::runtime::{RuntimeOptions, TxnHandle, TxnPhase};
+use crate::registry::{RecoveryError, RecoveryReport, Registry};
+use hcc_core::runtime::{RedoSink, RuntimeOptions, TxnHandle, TxnPhase};
 use hcc_spec::{Timestamp, TxnId};
 use hcc_storage::{Checkpoint, DurableStore, Snapshot, StorageError, StorageOptions};
 use parking_lot::RwLock;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Redo payloads awaiting a retry, in execution order: `(object, bytes)`.
+type PendingOps = Vec<(String, Vec<u8>)>;
 
 /// Why a commit was refused. In every case the transaction has been
 /// aborted at all objects (all-or-nothing).
@@ -60,6 +64,13 @@ pub struct TxnManager {
     /// Begin/Op records at all, so the retry keeps a zero-op commit after
     /// a logging hiccup recoverable.
     begin_unlogged: parking_lot::Mutex<std::collections::HashSet<u64>>,
+    /// Redo payloads that failed to append when their operation executed
+    /// (transient I/O), in execution order per transaction. Once a
+    /// transaction has one stashed payload, *all* its later payloads are
+    /// stashed too — appending them out of order would corrupt replay. The
+    /// commit path drains the stash before the commit record, or refuses
+    /// the commit.
+    ops_unlogged: parking_lot::Mutex<std::collections::HashMap<u64, PendingOps>>,
     /// Commits hold this shared; checkpoints hold it exclusively, so a
     /// snapshot can never observe a commit that is logged but not yet
     /// applied at every object (or vice versa).
@@ -108,6 +119,7 @@ impl TxnManager {
             aborted: AtomicU64::new(0),
             store,
             begin_unlogged: parking_lot::Mutex::new(std::collections::HashSet::new()),
+            ops_unlogged: parking_lot::Mutex::new(std::collections::HashMap::new()),
             commit_gate: RwLock::new(()),
         })
     }
@@ -127,14 +139,20 @@ impl TxnManager {
         &self.detector
     }
 
-    /// Runtime options wiring objects to this manager's deadlock detector,
-    /// and carrying the durability level the manager actually runs at (the
-    /// store's level, or the in-memory default without one). Construct
-    /// objects with these options to get detection instead of bare
-    /// timeouts.
-    pub fn object_options(&self) -> RuntimeOptions {
+    /// Runtime options *binding* objects to this manager: the deadlock
+    /// detector as wait observer, the durability level the manager
+    /// actually runs at, and — when the manager has a durable store — the
+    /// manager itself as the redo sink, so every mutating operation on an
+    /// object built with these options serializes and logs itself. There
+    /// is no separate logging call for callers to forget.
+    pub fn object_options(self: &Arc<Self>) -> RuntimeOptions {
         let durability = self.store.as_ref().map(|s| s.durability()).unwrap_or_default();
-        RuntimeOptions::with_observer(self.detector.clone()).with_durability(durability)
+        let opts = RuntimeOptions::with_observer(self.detector.clone()).with_durability(durability);
+        if self.store.is_some() {
+            opts.with_redo(self.clone())
+        } else {
+            opts
+        }
     }
 
     /// Begin a new transaction.
@@ -154,11 +172,17 @@ impl TxnManager {
         h
     }
 
-    /// Log one executed operation for `txn` (no-op without a durable
-    /// store). The write-ahead discipline requires every operation of a
-    /// transaction to be logged before its commit record; the object
-    /// wrappers do not log themselves, so workloads call this right after
-    /// each successful execution.
+    /// Log one executed operation for `txn` by hand (no-op without a
+    /// durable store).
+    ///
+    /// **Legacy.** Objects built with [`TxnManager::object_options`]
+    /// self-log every mutating operation — this caller-driven path exists
+    /// only for the differential harness that proves the two disciplines
+    /// produce identical recovery state (`hcc-workload::crash`), and is
+    /// hidden from the public API: an omitted call silently loses
+    /// committed effects on recovery, which is exactly the failure mode
+    /// self-logging removes.
+    #[doc(hidden)]
     pub fn log_op(
         &self,
         txn: &Arc<TxnHandle>,
@@ -223,6 +247,26 @@ impl TxnManager {
                     }
                 }
             }
+            // Drain redo payloads whose original append failed (transient
+            // I/O at execution time). The write-ahead discipline requires
+            // every op record on disk before the commit record; if the log
+            // still refuses, the commit is refused too — acknowledging it
+            // would lose these effects at recovery.
+            let stashed = self.ops_unlogged.lock().remove(&txn.id().0);
+            if let Some(stashed) = stashed {
+                for (object, bytes) in &stashed {
+                    if let Err(e) = store.log_op(txn.id().0, object, bytes) {
+                        // The transaction is aborted below; do_abort drops
+                        // any stash, so nothing is kept for a retry that
+                        // cannot happen.
+                        drop(gate);
+                        self.do_abort(&txn);
+                        return Err(CommitError::Storage(format!(
+                            "operation record could not be logged: {e}"
+                        )));
+                    }
+                }
+            }
             if let Err(e) = store.log_commit(txn.id().0, ts) {
                 drop(gate);
                 // The commit frame may have reached disk even though its
@@ -252,6 +296,20 @@ impl TxnManager {
         Ok(Timestamp(ts))
     }
 
+    /// Rebuild the registered objects from this manager's durable log:
+    /// newest checkpoint restored, committed tail replayed in timestamp
+    /// order through each object's own redo decoder, and the store marked
+    /// absorbed (so checkpointing is allowed again). Call once, right
+    /// after constructing the objects and before running transactions.
+    /// Returns an empty report when the manager has no store.
+    pub fn recover(&self, registry: &Registry) -> Result<RecoveryReport, RecoveryError> {
+        let Some(store) = &self.store else { return Ok(RecoveryReport::default()) };
+        let recovered = DurableStore::recover(store.dir())?;
+        let report = registry.restore_and_replay(&recovered)?;
+        store.mark_state_absorbed();
+        Ok(report)
+    }
+
     /// Take a checkpoint of `objects` through the durable store, stopping
     /// the world (no commit proceeds while snapshots are taken). Returns
     /// `Ok(None)` when the manager has no store.
@@ -275,6 +333,26 @@ impl TxnManager {
         }
     }
 
+    /// [`TxnManager::checkpoint`] over every object in a [`Registry`].
+    pub fn checkpoint_registry(
+        &self,
+        registry: &Registry,
+    ) -> Result<Option<Checkpoint>, StorageError> {
+        self.checkpoint(&registry.snapshot_refs())
+    }
+
+    /// [`TxnManager::maybe_checkpoint`] over every object in a
+    /// [`Registry`].
+    pub fn maybe_checkpoint_registry(
+        &self,
+        registry: &Registry,
+    ) -> Result<Option<Checkpoint>, StorageError> {
+        match &self.store {
+            Some(store) if store.should_checkpoint() => self.checkpoint_registry(registry),
+            _ => Ok(None),
+        }
+    }
+
     /// Abort the transaction everywhere.
     pub fn abort(&self, txn: Arc<TxnHandle>) {
         self.do_abort(&txn);
@@ -293,6 +371,7 @@ impl TxnManager {
             // pruning; recovery never replays uncommitted transactions.
             let _ = store.log_abort(txn.id().0);
             self.begin_unlogged.lock().remove(&txn.id().0);
+            self.ops_unlogged.lock().remove(&txn.id().0);
         }
         self.detector.forget(txn.id());
         self.aborted.fetch_add(1, Ordering::Relaxed);
@@ -306,6 +385,32 @@ impl TxnManager {
     /// Number of transactions aborted through this manager.
     pub fn aborted_count(&self) -> u64 {
         self.aborted.load(Ordering::Relaxed)
+    }
+}
+
+/// The manager *is* the redo sink its objects log through: executing a
+/// mutating operation on an object built with
+/// [`TxnManager::object_options`] lands here, which appends the payload to
+/// the durable store. An append failure is stashed (in execution order)
+/// and retried by the commit path — and once one payload of a transaction
+/// is stashed, all its later payloads are too, so the log can never hold
+/// a transaction's ops out of order.
+impl RedoSink for TxnManager {
+    fn record_op(&self, txn: TxnId, object: &str, op: &[u8]) {
+        let Some(store) = &self.store else { return };
+        let mut stash = self.ops_unlogged.lock();
+        if let Some(pending) = stash.get_mut(&txn.0) {
+            pending.push((object.to_string(), op.to_vec()));
+            return;
+        }
+        drop(stash);
+        if store.log_op(txn.0, object, op).is_err() {
+            self.ops_unlogged
+                .lock()
+                .entry(txn.0)
+                .or_default()
+                .push((object.to_string(), op.to_vec()));
+        }
     }
 }
 

@@ -7,24 +7,97 @@
 //! prepare/commit/abort messages over crossbeam channels; the
 //! [`Coordinator`] runs the two-phase protocol with a vote timeout, and
 //! sites can be *crashed* to exercise the abort path.
+//!
+//! ## Durability
+//!
+//! The simulation speaks the same self-logging dialect as the single-site
+//! manager:
+//!
+//! * objects hosted at a site are built with options carrying a
+//!   [`SiteWal`] redo sink, so every mutating operation appends to that
+//!   site's own WAL automatically;
+//! * a durable [`Site`] (see [`Site::spawn_durable`]) logs each phase-2
+//!   commit decision to its WAL *before* applying it;
+//! * the [`Coordinator`] can carry a decision log
+//!   ([`Coordinator::with_decision_log`]): the commit decision is made
+//!   durable before any phase-2 message is sent — the classic 2PC
+//!   write-ahead rule;
+//! * [`recover_site`] rebuilds a site from its WAL through the recovery
+//!   [`Registry`], resolving *in-doubt* transactions (ops logged, no
+//!   local decision — the site crashed between its yes-vote and the
+//!   phase-2 message) against the coordinator's recovered decisions.
+//!
+//! A site crashed between Prepare and Commit no longer vanishes silently:
+//! phase 2 collects acknowledgements, and the coordinator reports
+//! [`CommitOutcome::CommittedPartial`] naming the sites that never
+//! confirmed — the commit *is* decided (phase 1 closed), but delivery is
+//! known-incomplete until those sites recover.
 
 use crate::clock::LogicalClock;
+use crate::registry::{Decisions, RecoveryError, RecoveryReport, Registry};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use hcc_core::runtime::{TxParticipant, TxnHandle, TxnPhase};
+use hcc_core::runtime::{RedoSink, TxParticipant, TxnHandle, TxnPhase};
+use hcc_spec::TxnId;
+use hcc_storage::{DurableStore, StorageError};
+use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// A redo sink appending to one site's WAL: objects hosted at a site are
+/// built with `RuntimeOptions::default().with_redo(site_wal)` and then
+/// self-log exactly like objects owned by a single-site manager.
+pub struct SiteWal {
+    store: Arc<DurableStore>,
+    /// Set when an op append failed: the WAL no longer holds every
+    /// executed operation, so the site must vote no until it is healthy
+    /// again — a yes-vote over an incomplete log could let in-doubt
+    /// resolution replay half a transaction.
+    poisoned: std::sync::atomic::AtomicBool,
+}
+
+impl SiteWal {
+    /// A sink over the site's store.
+    pub fn new(store: Arc<DurableStore>) -> Arc<SiteWal> {
+        Arc::new(SiteWal { store, poisoned: std::sync::atomic::AtomicBool::new(false) })
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<DurableStore> {
+        &self.store
+    }
+
+    /// Did any op append fail (making the WAL incomplete)?
+    pub fn poisoned(&self) -> bool {
+        self.poisoned.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
+impl RedoSink for SiteWal {
+    fn record_op(&self, txn: TxnId, object: &str, op: &[u8]) {
+        // The simulation's sites have no commit-path stash; a failed
+        // append poisons the sink instead, and the site votes no on every
+        // later Prepare (see `Site::spawn_durable`).
+        if self.store.log_op(txn.0, object, op).is_err() {
+            self.poisoned.store(true, std::sync::atomic::Ordering::Release);
+        }
+    }
+}
 
 /// Messages a site serves.
 enum SiteMsg {
     /// Phase 1: vote on committing `txn`.
     Prepare { txn: Arc<TxnHandle>, reply: Sender<bool> },
-    /// Phase 2: `txn` committed at timestamp `ts`.
-    Commit { txn: hcc_spec::TxnId, ts: u64 },
+    /// Phase 2: `txn` committed at timestamp `ts`; acknowledge on `ack`.
+    Commit { txn: TxnId, ts: u64, ack: Sender<()> },
     /// `txn` aborted.
-    Abort { txn: hcc_spec::TxnId },
+    Abort { txn: TxnId },
     /// Stop responding (simulated crash).
     Crash,
+    /// Reply to the next Prepare, then crash — the window between a
+    /// yes-vote and the phase-2 message.
+    CrashAfterPrepare,
     /// Clean shutdown.
     Shutdown,
 }
@@ -37,40 +110,104 @@ pub struct Site {
 }
 
 impl Site {
-    /// Spawn a site thread serving the given objects.
+    /// Spawn a site thread serving the given objects (no durable log).
     pub fn spawn(name: impl Into<String>, objects: Vec<Arc<dyn TxParticipant>>) -> Site {
-        let name = name.into();
+        Self::spawn_inner(name.into(), objects, None)
+    }
+
+    /// Spawn a site whose WAL discipline is full 2PC-participant grade:
+    /// hosted objects self-log through `wal` (pass the same [`SiteWal`]
+    /// in their options), a yes-vote **forces the WAL to disk first**
+    /// (ops must survive once the coordinator may decide commit) and is
+    /// refused while the sink is poisoned, and phase-2 decisions are
+    /// logged before being applied.
+    pub fn spawn_durable(
+        name: impl Into<String>,
+        objects: Vec<Arc<dyn TxParticipant>>,
+        wal: Arc<SiteWal>,
+    ) -> Site {
+        Self::spawn_inner(name.into(), objects, Some(wal))
+    }
+
+    fn spawn_inner(
+        name: String,
+        objects: Vec<Arc<dyn TxParticipant>>,
+        store: Option<Arc<SiteWal>>,
+    ) -> Site {
         let (tx, rx): (Sender<SiteMsg>, Receiver<SiteMsg>) = unbounded();
         let thread_name = name.clone();
         let thread = std::thread::Builder::new()
             .name(format!("site-{thread_name}"))
             .spawn(move || {
                 let mut crashed = false;
+                let mut crash_after_prepare = false;
                 while let Ok(msg) = rx.recv() {
                     match msg {
                         SiteMsg::Prepare { txn, reply } => {
                             if !crashed {
-                                let vote = objects.iter().all(|o| o.prepare(&txn));
+                                let mut vote = objects.iter().all(|o| o.prepare(&txn));
+                                if let Some(wal) = &store {
+                                    // Classic 2PC: the participant forces
+                                    // its log before voting yes — once the
+                                    // coordinator may decide commit, the
+                                    // ops must survive a crash. A poisoned
+                                    // sink (a lost op append) or a failed
+                                    // force means the log is incomplete:
+                                    // vote no.
+                                    vote = vote && !wal.poisoned() && wal.store().sync().is_ok();
+                                }
                                 let _ = reply.send(vote);
+                                if crash_after_prepare {
+                                    crashed = true;
+                                }
                             }
                             // A crashed site never replies: the coordinator
                             // times out and aborts.
                         }
-                        SiteMsg::Commit { txn, ts } => {
+                        SiteMsg::Commit { txn, ts, ack } => {
                             if !crashed {
-                                for o in &objects {
-                                    o.commit_at(txn, ts);
+                                // Write-ahead at the participant: the local
+                                // decision record must reach the site's WAL
+                                // before the effects are applied (a Begin
+                                // record keeps a zero-op commit
+                                // recoverable). A site that cannot make the
+                                // decision durable behaves like a crashed
+                                // one — no apply, no ack — so the
+                                // coordinator reports partial delivery and
+                                // recovery heals it from the decision logs,
+                                // instead of acknowledging a commit a
+                                // restart would lose.
+                                let logged = match &store {
+                                    Some(wal) => wal
+                                        .store()
+                                        .log_begin(txn.0)
+                                        .and_then(|()| wal.store().log_commit(txn.0, ts))
+                                        .is_ok(),
+                                    None => true,
+                                };
+                                if logged {
+                                    for o in &objects {
+                                        o.commit_at(txn, ts);
+                                    }
+                                    let _ = ack.send(());
                                 }
                             }
+                            // A crashed site neither applies nor
+                            // acknowledges: the coordinator reports the
+                            // delivery as partial.
                         }
                         SiteMsg::Abort { txn } => {
                             if !crashed {
+                                if let Some(wal) = &store {
+                                    let _ = wal.store().log_abort(txn.0);
+                                }
                                 for o in &objects {
                                     o.abort_txn(txn);
                                 }
                             }
                         }
                         SiteMsg::Crash => crashed = true,
+                        SiteMsg::CrashAfterPrepare => crash_after_prepare = true,
                         SiteMsg::Shutdown => break,
                     }
                 }
@@ -88,6 +225,13 @@ impl Site {
     pub fn crash(&self) {
         let _ = self.tx.send(SiteMsg::Crash);
     }
+
+    /// Simulate a crash in the prepare→commit window: the site answers
+    /// the next Prepare (voting normally), then stops responding — so the
+    /// phase-2 Commit message finds it dead.
+    pub fn crash_after_prepare(&self) {
+        let _ = self.tx.send(SiteMsg::CrashAfterPrepare);
+    }
 }
 
 impl Drop for Site {
@@ -103,15 +247,31 @@ impl Drop for Site {
 pub struct Coordinator {
     clock: Arc<LogicalClock>,
     vote_timeout: Duration,
+    /// The coordinator's own durable decision log: commit decisions are
+    /// persisted here before any phase-2 message goes out, so recovering
+    /// sites can resolve their in-doubt transactions.
+    decisions: Option<Arc<DurableStore>>,
 }
 
 /// Outcome of a distributed commit attempt.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CommitOutcome {
-    /// All sites voted yes; the commit was distributed with this
-    /// timestamp.
+    /// All sites voted yes and acknowledged the phase-2 commit.
     Committed(u64),
-    /// Aborted: a site voted no or failed to vote in time.
+    /// The commit was *decided* (every site voted yes) but one or more
+    /// sites never acknowledged the phase-2 message — crashed in the
+    /// prepare→commit window. Their durable effects are recovered by
+    /// [`recover_site`] against the coordinator's decision log; reporting
+    /// this as a plain `Committed` would silently hide that live replicas
+    /// disagree until then.
+    CommittedPartial {
+        /// The commit timestamp.
+        ts: u64,
+        /// Sites that did not acknowledge within the timeout.
+        missed: Vec<String>,
+    },
+    /// Aborted: a site voted no or failed to vote in time (or the
+    /// coordinator could not persist its decision).
     Aborted {
         /// The site that caused the abort.
         site: String,
@@ -121,21 +281,30 @@ pub enum CommitOutcome {
 impl Coordinator {
     /// A coordinator over the given clock.
     pub fn new(clock: Arc<LogicalClock>) -> Coordinator {
-        Coordinator { clock, vote_timeout: Duration::from_millis(200) }
+        Coordinator { clock, vote_timeout: Duration::from_millis(200), decisions: None }
     }
 
-    /// Set the prepare-vote timeout.
+    /// Set the prepare-vote (and phase-2 acknowledgement) timeout.
     pub fn with_vote_timeout(mut self, t: Duration) -> Coordinator {
         self.vote_timeout = t;
+        self
+    }
+
+    /// Attach a durable decision log: every commit decision is persisted
+    /// before phase 2 begins. [`coordinator_decisions`] reads it back for
+    /// in-doubt resolution at recovering sites.
+    pub fn with_decision_log(mut self, store: Arc<DurableStore>) -> Coordinator {
+        self.decisions = Some(store);
         self
     }
 
     /// Run two-phase commit for `txn` across `sites`.
     ///
     /// Phase 1 collects votes with a timeout; if every site votes yes, a
-    /// timestamp above the transaction's bound is generated and phase 2
-    /// distributes it. Otherwise every site receives an abort. Either way
-    /// all sites reach the same verdict: atomic commitment.
+    /// timestamp above the transaction's bound is generated, the decision
+    /// is made durable (when a decision log is attached), and phase 2
+    /// distributes it, collecting acknowledgements. Either way all sites
+    /// reach the same verdict: atomic commitment.
     pub fn commit(&self, txn: &Arc<TxnHandle>, sites: &[Site]) -> CommitOutcome {
         // Phase 1.
         let mut pending = Vec::new();
@@ -153,28 +322,105 @@ impl Coordinator {
                     for s in sites {
                         let _ = s.tx.send(SiteMsg::Abort { txn: txn.id() });
                     }
+                    if let Some(log) = &self.decisions {
+                        let _ = log.log_abort(txn.id().0);
+                    }
                     return CommitOutcome::Aborted { site: site.name.clone() };
                 }
             }
         }
-        // Phase 2.
+        // The decision point: generate the timestamp and (when configured)
+        // persist the decision before any site hears about it — a
+        // recovering participant must always be able to learn the verdict.
         let ts = self.clock.timestamp_after(txn.bound());
-        txn.set_phase(TxnPhase::Committed(ts));
-        for s in sites {
-            let _ = s.tx.send(SiteMsg::Commit { txn: txn.id(), ts });
+        if let Some(log) = &self.decisions {
+            let durable = log.log_begin(txn.id().0).and_then(|()| log.log_commit(txn.id().0, ts));
+            if durable.is_err() {
+                // An undecidable decision log means the verdict could be
+                // lost; aborting is the only outcome recovery can always
+                // reconstruct. The commit frame may still have reached
+                // disk even though its fsync failed — a durable abort
+                // record makes recovery's abort-wins rule suppress it, so
+                // no recovering site can resurrect a decision every live
+                // site is about to discard.
+                let _ = log.log_abort_durable(txn.id().0);
+                txn.set_phase(TxnPhase::Aborted);
+                for s in sites {
+                    let _ = s.tx.send(SiteMsg::Abort { txn: txn.id() });
+                }
+                return CommitOutcome::Aborted { site: "coordinator".to_string() };
+            }
         }
-        CommitOutcome::Committed(ts)
+        // Phase 2: distribute the timestamp and collect acknowledgements.
+        txn.set_phase(TxnPhase::Committed(ts));
+        let mut acks = Vec::new();
+        for s in sites {
+            let (atx, arx) = bounded(1);
+            let _ = s.tx.send(SiteMsg::Commit { txn: txn.id(), ts, ack: atx });
+            acks.push((s, arx));
+        }
+        // One shared deadline for the whole ack pass: k dead sites cost
+        // one timeout, not k of them.
+        let deadline = std::time::Instant::now() + self.vote_timeout;
+        let mut missed = Vec::new();
+        for (site, arx) in &acks {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if arx.recv_timeout(remaining).is_err() {
+                missed.push(site.name.clone());
+            }
+        }
+        if missed.is_empty() {
+            CommitOutcome::Committed(ts)
+        } else {
+            CommitOutcome::CommittedPartial { ts, missed }
+        }
     }
+}
+
+/// The commit decisions a coordinator's log survived with: `txn → ts`.
+pub fn coordinator_decisions(dir: impl AsRef<Path>) -> Result<BTreeMap<u64, u64>, StorageError> {
+    let recovered = DurableStore::recover(dir)?;
+    Ok(recovered.committed.into_iter().map(|c| (c.txn, c.ts)).collect())
+}
+
+/// Rebuild one site's objects from its WAL: checkpoint restored, locally
+/// decided commits replayed, and *in-doubt* transactions (ops logged but
+/// no local completion record — the crash hit between the yes-vote and
+/// the phase-2 message) resolved against the coordinator's `decisions`.
+/// Thin wrapper over [`Registry::restore_and_replay_resolved`].
+pub fn recover_site(
+    dir: impl AsRef<Path>,
+    registry: &Registry,
+    decisions: &Decisions,
+) -> Result<RecoveryReport, RecoveryError> {
+    let recovered = DurableStore::recover(dir).map_err(RecoveryError::Storage)?;
+    registry.restore_and_replay_resolved(&recovered, decisions)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use hcc_adts::account::AccountObject;
+    use hcc_core::runtime::RuntimeOptions;
     use hcc_spec::{Rational, TxnId};
+    use hcc_storage::StorageOptions;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn r(n: i64) -> Rational {
         Rational::from_int(n)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "hcc-sim-{}-{}-{}",
+            std::process::id(),
+            name,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        p
     }
 
     fn wait_for_balance(a: &AccountObject, expect: Rational) {
@@ -239,5 +485,93 @@ mod tests {
         a.credit(&t, r(5)).unwrap();
         t.doom();
         assert!(matches!(coord.commit(&t, &[site1]), CommitOutcome::Aborted { .. }));
+    }
+
+    /// Regression: a site crashed between Prepare and Commit used to drop
+    /// the phase-2 message silently — the coordinator reported a clean
+    /// `Committed` while one replica had never applied (or logged) the
+    /// transaction. The outcome now names the site.
+    #[test]
+    fn crash_between_prepare_and_commit_is_reported_not_swallowed() {
+        let a = Arc::new(AccountObject::hybrid("a"));
+        let b = Arc::new(AccountObject::hybrid("b"));
+        let site1 = Site::spawn("s1", vec![a.inner().clone()]);
+        let site2 = Site::spawn("s2", vec![b.inner().clone()]);
+        let clock = Arc::new(LogicalClock::new());
+        let coord = Coordinator::new(clock).with_vote_timeout(Duration::from_millis(100));
+
+        let t = TxnHandle::new(TxnId(1));
+        a.credit(&t, r(5)).unwrap();
+        b.credit(&t, r(7)).unwrap();
+        site2.crash_after_prepare();
+        match coord.commit(&t, &[site1, site2]) {
+            CommitOutcome::CommittedPartial { ts, missed } => {
+                assert!(ts > 0);
+                assert_eq!(missed, vec!["s2".to_string()]);
+            }
+            other => panic!("expected partial commit, got {other:?}"),
+        }
+        // The commit *was* decided; the surviving site applied it.
+        wait_for_balance(&a, r(5));
+        assert_eq!(b.committed_balance(), r(0), "crashed site never applied");
+    }
+
+    /// The full 2PC durability story: self-logging per-site WALs, a
+    /// durable coordinator decision, a site crashed in the prepare→commit
+    /// window, and recovery that heals it from its own WAL plus the
+    /// coordinator's decision log.
+    #[test]
+    fn crashed_site_recovers_in_doubt_commit_from_decision_logs() {
+        let dir_site = tmp("site");
+        let dir_coord = tmp("coord");
+        let decided_ts;
+        {
+            let store = DurableStore::open(&dir_site, StorageOptions::default()).unwrap();
+            let wal = SiteWal::new(store);
+            let b = Arc::new(AccountObject::with(
+                "b",
+                Arc::new(hcc_adts::account::AccountHybrid),
+                RuntimeOptions::default().with_redo(wal.clone()),
+            ));
+            let site = Site::spawn_durable("s-b", vec![b.inner().clone()], wal);
+            let coord_store = DurableStore::open(&dir_coord, StorageOptions::default()).unwrap();
+            let clock = Arc::new(LogicalClock::new());
+            let coord = Coordinator::new(clock)
+                .with_vote_timeout(Duration::from_millis(100))
+                .with_decision_log(coord_store);
+
+            // Ops self-log into the site WAL; then the site crashes after
+            // voting yes, so its WAL holds ops but no commit record.
+            let t = TxnHandle::new(TxnId(1));
+            b.credit(&t, r(42)).unwrap();
+            site.crash_after_prepare();
+            match coord.commit(&t, &[site]) {
+                CommitOutcome::CommittedPartial { ts, missed } => {
+                    assert_eq!(missed, vec!["s-b".to_string()]);
+                    decided_ts = ts;
+                }
+                other => panic!("expected partial commit, got {other:?}"),
+            }
+            assert_eq!(b.committed_balance(), r(0), "site died before applying");
+        }
+        // The site restarts: fresh object, recovery from its WAL resolves
+        // the in-doubt transaction against the coordinator's decision.
+        let decisions = coordinator_decisions(&dir_coord).unwrap();
+        assert_eq!(decisions.get(&1), Some(&decided_ts));
+        let b = Arc::new(AccountObject::hybrid("b"));
+        let mut registry = Registry::new();
+        registry.register(b.clone());
+        let report = recover_site(&dir_site, &registry, &decisions).unwrap();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(b.committed_balance(), r(42), "the decided commit is healed");
+
+        // Without the decision, the same WAL recovers to nothing: an
+        // undecided in-doubt transaction is an abort.
+        let b2 = Arc::new(AccountObject::hybrid("b"));
+        let mut registry2 = Registry::new();
+        registry2.register(b2.clone());
+        let report2 = recover_site(&dir_site, &registry2, &BTreeMap::new()).unwrap();
+        assert_eq!(report2.replayed, 0);
+        assert_eq!(b2.committed_balance(), r(0));
     }
 }

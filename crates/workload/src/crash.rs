@@ -9,6 +9,13 @@
 //! 3. the recovered history, rebuilt as formal events, satisfies
 //!    `hcc-verify`'s hybrid atomicity check.
 //!
+//! The workload performs **no explicit logging calls**: its objects are
+//! built with the manager's options, so every mutating operation
+//! serializes its own redo record into the WAL (self-logging). The old
+//! caller-driven discipline survives as [`LogDiscipline::Manual`] purely
+//! so the differential test can prove both produce identical recovery
+//! state.
+//!
 //! The "crash" is simulated by closing the store and truncating an
 //! arbitrary number of bytes off the final WAL segment — exactly what a
 //! power failure does to a log whose tail had not finished reaching disk.
@@ -21,12 +28,14 @@ use hcc_spec::specs::{AccountSpec, QueueSpec};
 use hcc_spec::{ObjectId, Rational, Value};
 use hcc_storage::{CompactionPolicy, DurableStore, StorageError, StorageOptions};
 use hcc_txn::manager::TxnManager;
+use hcc_txn::registry::Registry;
 use hcc_verify::{hybrid_atomic, SystemSpecs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::json;
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::Arc;
 
 /// One committed effect, as the oracle tracks it.
 #[derive(Clone, Debug, PartialEq)]
@@ -48,6 +57,20 @@ pub enum Effect {
 /// timestamp.
 pub type Oracle = BTreeMap<u64, Vec<Effect>>;
 
+/// How executed operations reach the WAL.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LogDiscipline {
+    /// Objects self-log through the manager (the production path; no
+    /// logging calls appear in the workload).
+    #[default]
+    SelfLogging,
+    /// The legacy caller-driven discipline: the workload pairs every
+    /// successful execution with an explicit `log_op` carrying the same
+    /// payload the ADT would have produced. Kept only for the
+    /// differential test.
+    Manual,
+}
+
 /// Options for one crash-recovery run.
 #[derive(Clone, Copy, Debug)]
 pub struct CrashScenarioOptions {
@@ -61,6 +84,8 @@ pub struct CrashScenarioOptions {
     pub checkpoint_every: Option<u64>,
     /// Durability of the run.
     pub durability: Durability,
+    /// Self-logging (default) or the legacy manual discipline.
+    pub discipline: LogDiscipline,
 }
 
 impl Default for CrashScenarioOptions {
@@ -71,7 +96,24 @@ impl Default for CrashScenarioOptions {
             interleave: 3,
             checkpoint_every: None,
             durability: Durability::Buffered,
+            discipline: LogDiscipline::SelfLogging,
         }
+    }
+}
+
+impl CrashScenarioOptions {
+    /// Override the durability level from the `HCC_DURABILITY` environment
+    /// variable (`none` / `buffered` / `fsync`, case-insensitive) — how
+    /// CI runs the recovery suite as a durability matrix. Unset or
+    /// unrecognized values keep the current level.
+    pub fn durability_from_env(mut self) -> Self {
+        match std::env::var("HCC_DURABILITY").as_deref().map(str::to_ascii_lowercase).as_deref() {
+            Ok("none") => self.durability = Durability::None,
+            Ok("buffered") => self.durability = Durability::Buffered,
+            Ok("fsync") => self.durability = Durability::Fsync,
+            _ => {}
+        }
+        self
     }
 }
 
@@ -100,6 +142,9 @@ pub struct RecoveredState {
     pub checkpoint_ts: u64,
     /// Timestamps of the replayed tail commits, ascending.
     pub tail_ts: Vec<u64>,
+    /// Snapshot bytes of every recovered object, by name — the
+    /// byte-level recovery state the differential test compares.
+    pub snapshots: Vec<(String, Vec<u8>)>,
 }
 
 fn money(n: i64) -> Rational {
@@ -124,8 +169,14 @@ pub fn run_crash_workload(
     };
     let mgr = TxnManager::with_storage(dir, storage)?;
     // Short timeouts: a conflicting interleaving aborts quickly and the
-    // abort path gets logged coverage.
-    let obj_opts = RuntimeOptions::with_timeout(Some(std::time::Duration::from_millis(20)));
+    // abort path gets logged coverage. Under self-logging the redo sink is
+    // the only difference from the manual run — both disciplines must make
+    // identical scheduling decisions for the differential test to bite.
+    let timeout = Some(std::time::Duration::from_millis(20));
+    let obj_opts = match opts.discipline {
+        LogDiscipline::SelfLogging => RuntimeOptions::with_timeout(timeout).with_redo(mgr.clone()),
+        LogDiscipline::Manual => RuntimeOptions::with_timeout(timeout),
+    };
     let acct = AccountObject::with(
         "acct",
         std::sync::Arc::new(hcc_adts::account::AccountHybrid),
@@ -192,12 +243,16 @@ pub fn run_crash_workload(
         };
         match result {
             Ok(Some(effect)) => {
-                let op = effect_to_json(&effect);
-                let object = match effect {
-                    Effect::Enq(_) | Effect::Deq(_) => "q",
-                    _ => "acct",
-                };
-                mgr.log_op(&o.txn, object, &op)?;
+                if opts.discipline == LogDiscipline::Manual {
+                    // The forget-to-log-prone path: the workload must
+                    // remember to pair the execution with this call.
+                    let op = effect_to_json(&effect);
+                    let object = match effect {
+                        Effect::Enq(_) | Effect::Deq(_) => "q",
+                        _ => "acct",
+                    };
+                    mgr.log_op(&o.txn, object, &op)?;
+                }
                 o.effects.push(effect);
             }
             Ok(None) => {}
@@ -209,29 +264,38 @@ pub fn run_crash_workload(
     Ok(CrashWorkload { committed: oracle.len(), oracle, aborted, checkpoints })
 }
 
+/// The exact payload the ADT's `redo` produces for this effect — the
+/// manual discipline logs these so both disciplines write byte-identical
+/// op records.
 fn effect_to_json(e: &Effect) -> serde_json::Value {
     match e {
-        Effect::Credit(v) => json!({"op": "credit", "v": (*v)}),
-        Effect::DebitOk(v) => json!({"op": "debit", "v": (*v), "ok": true}),
-        Effect::DebitOver(v) => json!({"op": "debit", "v": (*v), "ok": false}),
+        Effect::Credit(v) => json!({"op": "credit", "v": (money(*v))}),
+        Effect::DebitOk(v) => json!({"op": "debit", "v": (money(*v)), "ok": true}),
+        Effect::DebitOver(v) => json!({"op": "debit", "v": (money(*v)), "ok": false}),
         Effect::Enq(v) => json!({"op": "enq", "v": (*v)}),
         Effect::Deq(v) => json!({"op": "deq", "v": (*v)}),
     }
 }
 
+fn rational_int(v: &serde_json::Value) -> i64 {
+    let r: Rational = serde_json::from_value(v).expect("op payload holds a rational");
+    assert!(r.is_integer(), "workload amounts are integers");
+    i64::try_from(r.numerator()).expect("workload amounts fit i64")
+}
+
 fn effect_from_json(v: &serde_json::Value) -> Effect {
-    let n = v["v"].as_i64().expect("op payload has v");
     match v["op"].as_str().expect("op payload has op") {
-        "credit" => Effect::Credit(n),
+        "credit" => Effect::Credit(rational_int(&v["v"])),
         "debit" => {
+            let n = rational_int(&v["v"]);
             if v["ok"].as_bool().unwrap_or(false) {
                 Effect::DebitOk(n)
             } else {
                 Effect::DebitOver(n)
             }
         }
-        "enq" => Effect::Enq(n),
-        "deq" => Effect::Deq(n),
+        "enq" => Effect::Enq(v["v"].as_i64().expect("enq payload has v")),
+        "deq" => Effect::Deq(v["v"].as_i64().expect("deq payload has v")),
         other => panic!("unknown logged op {other}"),
     }
 }
@@ -249,37 +313,37 @@ pub fn truncate_tail(dir: &Path, bytes: u64) -> std::io::Result<u64> {
     Ok(cut)
 }
 
-/// Recover the store at `dir` into fresh objects, replaying the checkpoint
-/// and tail, verifying the rebuilt history is hybrid atomic, and returning
-/// the reconstructed state.
+/// Recover the store at `dir` into fresh objects through the recovery
+/// [`Registry`] — each object decodes and replays its own redo payloads,
+/// verifying every logged response reproduces — while simultaneously
+/// rebuilding the formal history and checking it hybrid atomic with
+/// `hcc-verify`. Returns the reconstructed state.
 pub fn recover_and_verify(dir: &Path) -> Result<RecoveredState, StorageError> {
     use hcc_storage::Snapshot as _;
 
     let recovered = DurableStore::recover(dir)?;
-    let acct = AccountObject::hybrid("acct-recovered");
-    let queue: QueueObject<i64> = QueueObject::hybrid("q-recovered");
+    let acct = Arc::new(AccountObject::hybrid("acct"));
+    let queue: Arc<QueueObject<i64>> = Arc::new(QueueObject::hybrid("q"));
+    let mut registry = Registry::new();
+    registry.register(acct.clone());
+    registry.register(queue.clone());
     let mut tail_ts = Vec::new();
 
     let ckpt_ts = match &recovered.checkpoint {
         Some(ckpt) => {
-            for (name, data) in &ckpt.objects {
-                match name.as_str() {
-                    "acct" => acct.restore(data, ckpt.last_ts)?,
-                    "q" => queue.restore(data, ckpt.last_ts)?,
-                    other => panic!("unexpected checkpointed object {other}"),
-                }
-            }
+            registry.restore_checkpoint(ckpt).expect("checkpoint restores into the registry");
             ckpt.last_ts
         }
         None => 0,
     };
 
-    // Replay the tail in timestamp order, and simultaneously rebuild the
-    // formal history for the verifier (account = object 0, queue = 1).
-    // The checkpoint enters the history the same way `Snapshot::restore`
-    // installs it: as one bootstrap transaction committed at the
-    // checkpoint timestamp — without it, a tail `deq` of an item enqueued
-    // before the checkpoint would be illegal from the initial state.
+    // Replay the tail in timestamp order through the registry, and
+    // simultaneously rebuild the formal history for the verifier (account
+    // = object 0, queue = 1). The checkpoint enters the history the same
+    // way `Snapshot::restore` installs it: as one bootstrap transaction
+    // committed at the checkpoint timestamp — without it, a tail `deq` of
+    // an item enqueued before the checkpoint would be illegal from the
+    // initial state.
     let mut hb = HistoryBuilder::new();
     if ckpt_ts > 0 {
         let boot = hcc_adts::snapshot::BOOTSTRAP_TXN;
@@ -295,33 +359,20 @@ pub fn recover_and_verify(dir: &Path) -> Result<RecoveredState, StorageError> {
             hb = hb.commit(1, boot, ckpt_ts);
         }
     }
-    let mgr = TxnManager::new();
     for committed in &recovered.committed {
         assert!(committed.ts > ckpt_ts, "tail commits lie above the checkpoint");
-        let t = mgr.begin();
-        let mut touched = [false; 2];
         for (object, op_bytes) in &committed.ops {
             let op: serde_json::Value =
                 serde_json::from_slice(op_bytes).map_err(std::io::Error::from)?;
             let effect = effect_from_json(&op);
-            touched[if object == "q" { 1 } else { 0 }] = true;
             match (&effect, object.as_str()) {
                 (Effect::Credit(v), "acct") => {
-                    acct.credit(&t, money(*v)).expect("replay credit");
                     hb = hb.op(0, committed.txn, AccountSpec::credit(money(*v)), Value::Unit);
                 }
                 (Effect::DebitOk(v), "acct") => {
-                    assert!(
-                        acct.debit(&t, money(*v)).expect("replay debit"),
-                        "a logged successful debit must succeed on replay"
-                    );
                     hb = hb.op(0, committed.txn, AccountSpec::debit(money(*v)), AccountSpec::OK);
                 }
                 (Effect::DebitOver(v), "acct") => {
-                    assert!(
-                        !acct.debit(&t, money(*v)).expect("replay debit"),
-                        "a logged overdraft must stay an overdraft on replay"
-                    );
                     hb = hb.op(
                         0,
                         committed.txn,
@@ -330,31 +381,29 @@ pub fn recover_and_verify(dir: &Path) -> Result<RecoveredState, StorageError> {
                     );
                 }
                 (Effect::Enq(v), "q") => {
-                    queue.enq(&t, *v).expect("replay enq");
                     hb = hb.op(1, committed.txn, QueueSpec::enq(*v), Value::Unit);
                 }
                 (Effect::Deq(v), "q") => {
-                    assert_eq!(
-                        queue.deq(&t).expect("replay deq"),
-                        *v,
-                        "deq must return the logged item on replay"
-                    );
                     hb = hb.op(1, committed.txn, QueueSpec::deq(), *v);
                 }
                 (e, obj) => panic!("effect {e:?} logged against object {obj}"),
             }
         }
-        // The recovered timestamp is replayed verbatim into the history
-        // (commit events only at objects the transaction touched); the
-        // fresh manager assigns its own (order-isomorphic) timestamps to
-        // the live objects.
-        if touched[0] {
+        // The recovered timestamp is replayed verbatim: commit events only
+        // at the objects the transaction touched, both in the history and
+        // at the live objects (the registry pins each replayed response to
+        // the logged one and panics the test on divergence).
+        let touched_acct = committed.ops.iter().any(|(o, _)| o == "acct");
+        let touched_queue = committed.ops.iter().any(|(o, _)| o == "q");
+        if touched_acct {
             hb = hb.commit(0, committed.txn, committed.ts);
         }
-        if touched[1] {
+        if touched_queue {
             hb = hb.commit(1, committed.txn, committed.ts);
         }
-        mgr.commit(t).expect("replay commit");
+        registry
+            .replay_txn(committed.txn, committed.ts, &committed.ops)
+            .expect("logged transaction replays without divergence");
         tail_ts.push(committed.ts);
     }
 
@@ -374,6 +423,7 @@ pub fn recover_and_verify(dir: &Path) -> Result<RecoveredState, StorageError> {
         queue: queue_items,
         checkpoint_ts: ckpt_ts,
         tail_ts,
+        snapshots: vec![("acct".to_string(), acct.snapshot()), ("q".to_string(), queue.snapshot())],
     })
 }
 
@@ -458,7 +508,8 @@ mod tests {
     fn clean_shutdown_recovers_everything() {
         let dir = tmp("clean");
         let (committed, survived) =
-            crash_point_holds(&dir, CrashScenarioOptions::default(), 0).unwrap();
+            crash_point_holds(&dir, CrashScenarioOptions::default().durability_from_env(), 0)
+                .unwrap();
         assert!(committed > 30, "workload committed too little: {committed}");
         assert_eq!(survived, committed, "no crash, nothing lost");
     }
@@ -467,7 +518,8 @@ mod tests {
     fn mid_log_crash_recovers_a_prefix() {
         let dir = tmp("cut");
         let (committed, survived) =
-            crash_point_holds(&dir, CrashScenarioOptions::default(), 700).unwrap();
+            crash_point_holds(&dir, CrashScenarioOptions::default().durability_from_env(), 700)
+                .unwrap();
         assert!(survived <= committed);
     }
 
@@ -475,7 +527,8 @@ mod tests {
     fn checkpointed_run_recovers_from_checkpoint_plus_tail() {
         let dir = tmp("ckpt");
         let opts =
-            CrashScenarioOptions { checkpoint_every: Some(15), ..CrashScenarioOptions::default() };
+            CrashScenarioOptions { checkpoint_every: Some(15), ..CrashScenarioOptions::default() }
+                .durability_from_env();
         let (committed, survived) = crash_point_holds(&dir, opts, 0).unwrap();
         assert_eq!(survived, committed);
     }
@@ -488,6 +541,15 @@ mod tests {
             txns: 40,
             ..CrashScenarioOptions::default()
         };
+        let (committed, survived) = crash_point_holds(&dir, opts, 0).unwrap();
+        assert_eq!(survived, committed);
+    }
+
+    #[test]
+    fn manual_discipline_still_holds_for_the_differential_baseline() {
+        let dir = tmp("manual");
+        let opts = CrashScenarioOptions { discipline: LogDiscipline::Manual, ..Default::default() }
+            .durability_from_env();
         let (committed, survived) = crash_point_holds(&dir, opts, 0).unwrap();
         assert_eq!(survived, committed);
     }

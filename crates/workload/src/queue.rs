@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 /// Blocking options tuned for benchmark runs: fast wake-ups, short
 /// timeout, deadlock detection via the manager.
-pub fn bench_options(mgr: &TxnManager) -> RuntimeOptions {
+pub fn bench_options(mgr: &Arc<TxnManager>) -> RuntimeOptions {
     let mut opts = mgr.object_options();
     opts.block = BlockPolicy {
         wait_slice: Duration::from_micros(200),

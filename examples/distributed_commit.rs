@@ -2,9 +2,11 @@
 //!
 //! The paper's model is distributed: a transaction must not commit at some
 //! objects and abort at others, and the commit timestamp must reach every
-//! object. This example runs the message-passing simulation: two sites
-//! hosting an account and a queue, a coordinator, and a site crash
-//! exercising the abort path.
+//! object. This example runs the message-passing simulation in three
+//! acts: a clean distributed commit, a site crash before voting (abort
+//! everywhere), and a site crash *between* its yes-vote and the phase-2
+//! message — detected as a partial commit and healed from the site's own
+//! WAL plus the coordinator's decision log.
 //!
 //! ```text
 //! cargo run --example distributed_commit
@@ -12,10 +14,14 @@
 
 use hybrid_cc::adts::account::AccountObject;
 use hybrid_cc::adts::fifo_queue::QueueObject;
-use hybrid_cc::core::runtime::TxnHandle;
+use hybrid_cc::core::runtime::{RuntimeOptions, TxnHandle};
 use hybrid_cc::spec::{Rational, TxnId};
+use hybrid_cc::storage::{DurableStore, StorageOptions};
 use hybrid_cc::txn::clock::LogicalClock;
-use hybrid_cc::txn::sim::{CommitOutcome, Coordinator, Site};
+use hybrid_cc::txn::registry::Registry;
+use hybrid_cc::txn::sim::{
+    coordinator_decisions, recover_site, CommitOutcome, Coordinator, Site, SiteWal,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -38,7 +44,7 @@ fn main() {
         CommitOutcome::Committed(ts) => {
             println!("T1 committed at both sites with timestamp {ts}")
         }
-        CommitOutcome::Aborted { site } => panic!("unexpected abort at {site}"),
+        other => panic!("unexpected outcome {other:?}"),
     }
     wait_settle();
     println!("  savings balance: {}", account.committed_balance());
@@ -49,7 +55,7 @@ fn main() {
     // everywhere (all-or-nothing).
     let site_a = Site::spawn("bank-site", vec![account.inner().clone()]);
     let site_b = Site::spawn("audit-site", vec![queue.inner().clone()]);
-    let coordinator = Coordinator::new(clock).with_vote_timeout(Duration::from_millis(100));
+    let coordinator = Coordinator::new(clock.clone()).with_vote_timeout(Duration::from_millis(100));
     let t2 = TxnHandle::new(TxnId(2));
     account.credit(&t2, Rational::from_int(999)).unwrap();
     queue.enq(&t2, "credit 999".into()).unwrap();
@@ -59,12 +65,62 @@ fn main() {
         CommitOutcome::Aborted { site } => {
             println!("T2 aborted (caused by {site}) — at *every* site")
         }
-        CommitOutcome::Committed(_) => panic!("must not commit past a crash"),
+        other => panic!("must not commit past a crash: {other:?}"),
     }
     wait_settle();
     println!("  savings balance unchanged: {}", account.committed_balance());
     assert_eq!(account.committed_balance(), Rational::from_int(100));
     assert_eq!(queue.committed_len(), 1);
+
+    // Third round: a *durable* site crashes between its yes-vote and the
+    // phase-2 message. The coordinator reports the partial delivery
+    // instead of swallowing it, and the site heals from its own WAL (the
+    // self-logged operations) plus the coordinator's decision log.
+    let dir_site = std::env::temp_dir().join(format!("hcc-dist-site-{}", std::process::id()));
+    let dir_coord = std::env::temp_dir().join(format!("hcc-dist-coord-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir_site);
+    let _ = std::fs::remove_dir_all(&dir_coord);
+    let decided_ts;
+    {
+        let store = DurableStore::open(&dir_site, StorageOptions::default()).unwrap();
+        let wal = SiteWal::new(store);
+        let ledger = Arc::new(AccountObject::with(
+            "ledger",
+            Arc::new(hybrid_cc::adts::account::AccountHybrid),
+            RuntimeOptions::default().with_redo(wal.clone()),
+        ));
+        let site = Site::spawn_durable("ledger-site", vec![ledger.inner().clone()], wal);
+        let coordinator = Coordinator::new(clock)
+            .with_vote_timeout(Duration::from_millis(100))
+            .with_decision_log(DurableStore::open(&dir_coord, StorageOptions::default()).unwrap());
+
+        let t3 = TxnHandle::new(TxnId(3));
+        ledger.credit(&t3, Rational::from_int(250)).unwrap(); // self-logs to the site WAL
+        site.crash_after_prepare();
+        println!("\nledger site crashed between its yes-vote and phase 2...");
+        match coordinator.commit(&t3, &[site]) {
+            CommitOutcome::CommittedPartial { ts, missed } => {
+                println!("T3 decided at ts {ts}, but not acknowledged by {missed:?}");
+                decided_ts = ts;
+            }
+            other => panic!("expected a partial commit, got {other:?}"),
+        }
+        assert_eq!(ledger.committed_balance(), Rational::from_int(0));
+    }
+    // The site restarts: fresh object, recovery resolves the in-doubt
+    // transaction against the coordinator's recovered decision.
+    let decisions = coordinator_decisions(&dir_coord).unwrap();
+    assert_eq!(decisions.get(&3), Some(&decided_ts));
+    let ledger = Arc::new(AccountObject::hybrid("ledger"));
+    let mut registry = Registry::new();
+    registry.register(ledger.clone());
+    let report = recover_site(&dir_site, &registry, &decisions).unwrap();
+    println!(
+        "ledger site recovered: {} in-doubt commit(s) healed, balance {}",
+        report.replayed,
+        ledger.committed_balance()
+    );
+    assert_eq!(ledger.committed_balance(), Rational::from_int(250));
 }
 
 fn wait_settle() {

@@ -11,55 +11,44 @@
 //!     recover from checkpoint + WAL tail and print the rebuilt state
 //! ```
 //!
-//! After a crash, `recover` must print exactly the state of the commits
-//! that were acknowledged before the abort — that is what `Fsync`
+//! Note what the workload below never does: log. The account is built
+//! with the manager's options, so every credit serializes its own redo
+//! record into the WAL (self-logging) — there is no logging call to
+//! forget. After a crash, `recover` must print exactly the state of the
+//! commits that were acknowledged before the abort — that is what `Fsync`
 //! durability promises.
 
-use hybrid_cc::adts::account::AccountObject;
+use hybrid_cc::adts::account::{AccountHybrid, AccountObject};
 use hybrid_cc::spec::Rational;
-use hybrid_cc::storage::{CompactionPolicy, DurableStore, Snapshot, StorageOptions};
+use hybrid_cc::storage::{CompactionPolicy, StorageOptions};
 use hybrid_cc::txn::manager::TxnManager;
-use serde_json::json;
+use hybrid_cc::txn::registry::Registry;
+use std::sync::Arc;
 
 fn run(dir: &str, txns: u64, abort_after: Option<u64>) {
-    // Absorb whatever a previous session left behind: restore the latest
-    // checkpoint and replay the committed tail into the live account, so
-    // this session *continues* the log instead of shadowing it. (The store
-    // refuses to checkpoint until this has happened.)
-    let prior = DurableStore::recover(dir).expect("recover prior state");
     let opts = StorageOptions {
         segment_max_bytes: 2048,
         policy: CompactionPolicy::every_n(25),
         ..StorageOptions::default()
     };
     let mgr = TxnManager::with_storage(dir, opts).expect("open store");
-    let acct = AccountObject::hybrid("acct");
-    if let Some(ckpt) = &prior.checkpoint {
-        for (name, data) in &ckpt.objects {
-            assert_eq!(name, "acct");
-            acct.restore(data, ckpt.last_ts).expect("restore snapshot");
-        }
-    }
-    let replay_mgr = TxnManager::new();
-    for txn in &prior.committed {
-        let t = replay_mgr.begin();
-        for (_, op) in &txn.ops {
-            let op: serde_json::Value = serde_json::from_slice(op).unwrap();
-            acct.credit(&t, Rational::from_int(op["v"].as_i64().unwrap())).unwrap();
-        }
-        replay_mgr.commit(t).unwrap();
-    }
-    if !prior.committed.is_empty() || prior.checkpoint.is_some() {
+    let acct = Arc::new(AccountObject::with("acct", Arc::new(AccountHybrid), mgr.object_options()));
+    let mut registry = Registry::new();
+    registry.register(acct.clone());
+    // Absorb whatever a previous session left behind: the manager restores
+    // the latest checkpoint and replays the committed tail into the
+    // registered objects, so this session *continues* the log instead of
+    // shadowing it. (The store refuses to checkpoint until this happens.)
+    let report = mgr.recover(&registry).expect("recover prior state");
+    if report.replayed > 0 || report.checkpoint_ts > 0 {
         println!("resumed with balance {:?} from prior sessions", acct.committed_balance());
     }
-    mgr.storage().unwrap().mark_state_absorbed();
     for i in 1..=txns {
         let t = mgr.begin();
-        acct.credit(&t, Rational::from_int(i as i64)).unwrap();
-        mgr.log_op(&t, "acct", &json!({"op": "credit", "v": (i as i64)})).unwrap();
+        acct.credit(&t, Rational::from_int(i as i64)).unwrap(); // self-logs
         mgr.commit(t).unwrap();
         println!("committed txn {i}: balance {:?}", acct.committed_balance());
-        mgr.maybe_checkpoint(&[("acct", &acct)]).unwrap();
+        mgr.maybe_checkpoint_registry(&registry).unwrap();
         if abort_after == Some(i) {
             eprintln!("== simulating power failure: abort() after {i} acknowledged commits ==");
             std::process::abort();
@@ -73,30 +62,17 @@ fn run(dir: &str, txns: u64, abort_after: Option<u64>) {
 }
 
 fn recover(dir: &str) {
-    let recovered = DurableStore::recover(dir).expect("recover");
-    let acct = AccountObject::hybrid("acct");
-    let mut from_ckpt = 0u64;
-    if let Some(ckpt) = &recovered.checkpoint {
-        for (name, data) in &ckpt.objects {
-            assert_eq!(name, "acct");
-            acct.restore(data, ckpt.last_ts).expect("restore snapshot");
-        }
-        from_ckpt = ckpt.last_ts;
-    }
-    let replay_mgr = TxnManager::new();
-    for txn in &recovered.committed {
-        let t = replay_mgr.begin();
-        for (_, op) in &txn.ops {
-            let op: serde_json::Value = serde_json::from_slice(op).unwrap();
-            acct.credit(&t, Rational::from_int(op["v"].as_i64().unwrap())).unwrap();
-        }
-        replay_mgr.commit(t).unwrap();
-    }
+    let acct = Arc::new(AccountObject::hybrid("acct"));
+    let mut registry = Registry::new();
+    registry.register(acct.clone());
+    let mgr = TxnManager::with_storage(dir, StorageOptions::default()).expect("open store");
+    let report = mgr.recover(&registry).expect("recover");
     println!(
-        "recovered balance {:?} (checkpoint through ts {from_ckpt}, {} tail commits, torn tail: {})",
+        "recovered balance {:?} (checkpoint through ts {}, {} tail commits, torn tail: {})",
         acct.committed_balance(),
-        recovered.committed.len(),
-        recovered.torn_tail
+        report.checkpoint_ts,
+        report.replayed,
+        report.torn_tail
     );
 }
 

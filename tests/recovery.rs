@@ -18,6 +18,7 @@ use hybrid_cc::workload::crash::{
 };
 use serde_json::json;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 fn tmp(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
@@ -161,10 +162,22 @@ fn recovery_is_idempotent() {
 // ---- The segmented durable store (hcc-storage) -------------------------
 
 /// Drive a manager-with-storage banking session; returns the live state.
+///
+/// Note what is *absent*: no logging call anywhere. The objects are built
+/// with the manager's options, so every mutating operation serializes its
+/// own redo record into the WAL.
 fn run_durable_session(dir: &PathBuf, opts: StorageOptions) -> (Rational, usize) {
     let mgr = TxnManager::with_storage(dir, opts).unwrap();
-    let acct = AccountObject::hybrid("acct");
-    let queue: QueueObject<i64> = QueueObject::hybrid("q");
+    let acct = AccountObject::with(
+        "acct",
+        Arc::new(hybrid_cc::adts::account::AccountHybrid),
+        mgr.object_options(),
+    );
+    let queue: QueueObject<i64> = QueueObject::with(
+        "q",
+        Arc::new(hybrid_cc::adts::fifo_queue::QueueTableII),
+        mgr.object_options(),
+    );
 
     let run = |ops: Vec<(&str, i64)>, commit: bool| {
         let t = mgr.begin();
@@ -172,15 +185,12 @@ fn run_durable_session(dir: &PathBuf, opts: StorageOptions) -> (Rational, usize)
             match kind {
                 "credit" => {
                     acct.credit(&t, money(v)).unwrap();
-                    mgr.log_op(&t, "acct", &json!({"op": "credit", "v": v})).unwrap();
                 }
                 "debit" => {
-                    let ok = acct.debit(&t, money(v)).unwrap();
-                    mgr.log_op(&t, "acct", &json!({"op": "debit", "v": v, "ok": ok})).unwrap();
+                    acct.debit(&t, money(v)).unwrap();
                 }
                 "enq" => {
                     queue.enq(&t, v).unwrap();
-                    mgr.log_op(&t, "q", &json!({"op": "enq", "v": v})).unwrap();
                 }
                 other => panic!("unknown op {other}"),
             }
@@ -236,26 +246,63 @@ fn durable_store_reports_commit_with_missing_ops() {
             StorageOptions { segment_max_bytes: 128, ..StorageOptions::default() },
         )
         .unwrap();
-        // Txn 1's Begin/Op records land in the first segments...
+        // Establish history and a checkpoint, so the registry binding for
+        // "acct" survives in the checkpoint file no matter which segments
+        // disappear.
+        let acct = AccountObject::hybrid("acct");
         store.log_begin(1).unwrap();
-        store.log_op(1, "acct", br#"{"op":"credit","v":7}"#).unwrap();
-        for filler in 2..20 {
+        store.log_op(1, "acct", br#"{"op":"credit","v":{"den":1,"num":7}}"#).unwrap();
+        store.log_commit(1, 1).unwrap();
+        store.checkpoint(&[("acct", &acct)]).unwrap();
+        // Txn 2's Begin/Op records land in the post-checkpoint segment...
+        store.log_begin(2).unwrap();
+        store.log_op(2, "acct", br#"{"op":"credit","v":{"den":1,"num":9}}"#).unwrap();
+        for filler in 3..20 {
             store.log_begin(filler).unwrap();
             store.log_op(filler, "acct", &[0u8; 64]).unwrap();
             store.log_abort(filler).unwrap();
         }
         // ...and its commit record in a later one.
-        store.log_commit(1, 10).unwrap();
+        store.log_commit(2, 10).unwrap();
     }
-    // Delete the first segment behind the store's back (simulating a
-    // pruning bug or lost file): recovery must refuse, not silently
-    // drop the transaction's effects.
+    // Delete the segment holding txn 2's Begin/Op behind the store's back
+    // (simulating a pruning bug or lost file): recovery must refuse, not
+    // silently drop the transaction's effects.
     let segments = hybrid_cc::storage::wal::list_segments(&dir).unwrap();
     assert!(segments.len() > 1, "scenario needs several segments");
     std::fs::remove_file(&segments[0].1).unwrap();
     match DurableStore::recover(&dir) {
-        Err(StorageError::MissingOps { txn: 1, ts: 10 }) => {}
+        Err(StorageError::MissingOps { txn: 2, ts: 10 }) => {}
         other => panic!("expected MissingOps, got {other:?}"),
+    }
+}
+
+#[test]
+fn durable_store_refuses_ops_whose_registry_binding_is_lost() {
+    let dir = tmp("store-unregistered");
+    {
+        let store = DurableStore::open(
+            &dir,
+            StorageOptions { segment_max_bytes: 128, ..StorageOptions::default() },
+        )
+        .unwrap();
+        // The Register record for "acct" lands in the first segment with
+        // the first op; later segments hold ops referencing its id.
+        for txn in 1..20 {
+            store.log_begin(txn).unwrap();
+            store.log_op(txn, "acct", &[0u8; 64]).unwrap();
+            store.log_commit(txn, txn).unwrap();
+        }
+    }
+    // Losing the first segment loses the binding (no checkpoint carried
+    // it): recovery must refuse rather than guess which object the
+    // surviving ops belong to.
+    let segments = hybrid_cc::storage::wal::list_segments(&dir).unwrap();
+    assert!(segments.len() > 1, "scenario needs several segments");
+    std::fs::remove_file(&segments[0].1).unwrap();
+    match DurableStore::recover(&dir) {
+        Err(StorageError::UnknownObjectId { id: 1, .. }) => {}
+        other => panic!("expected UnknownObjectId, got {other:?}"),
     }
 }
 
@@ -264,21 +311,22 @@ fn replay_orders_interleaved_transactions_by_timestamp() {
     let dir = tmp("store-interleaved");
     {
         let mgr = TxnManager::with_storage(&dir, StorageOptions::default()).unwrap();
-        let acct = AccountObject::hybrid("acct");
-        // Two transactions with interleaved op records; t_late begins
-        // first but commits second. Replay must apply credit(10) then
-        // debit(60): debiting first would overdraft and panic the replay
-        // assertions.
+        let acct = AccountObject::with(
+            "acct",
+            Arc::new(hybrid_cc::adts::account::AccountHybrid),
+            mgr.object_options(),
+        );
+        // Two transactions with interleaved (self-logged) op records;
+        // t_late begins first but commits second. Replay must apply
+        // credit(10) then debit(60): debiting first would overdraft and
+        // fail replay with a divergence.
         let t_late = mgr.begin();
         let t_early = mgr.begin();
         acct.credit(&t_early, money(10)).unwrap();
-        mgr.log_op(&t_early, "acct", &json!({"op": "credit", "v": 10})).unwrap();
         acct.credit(&t_late, money(50)).unwrap();
-        mgr.log_op(&t_late, "acct", &json!({"op": "credit", "v": 50})).unwrap();
         mgr.commit(t_early).unwrap();
         let ok = acct.debit(&t_late, money(60)).unwrap();
         assert!(ok);
-        mgr.log_op(&t_late, "acct", &json!({"op": "debit", "v": 60, "ok": true})).unwrap();
         mgr.commit(t_late).unwrap();
     }
     let state = recover_and_verify(&dir).unwrap();
@@ -313,9 +361,13 @@ fn checkpoint_plus_tail_equals_full_replay() {
     );
 }
 
-/// The acceptance property: randomized workloads killed at arbitrary
-/// crash points recover exactly the committed prefix, checked against the
-/// oracle and `hcc-verify`'s hybrid atomicity inside `crash_point_holds`.
+/// The acceptance property: randomized workloads of transactional
+/// mutations — with **no explicit logging call anywhere** (the objects
+/// self-log through the manager) — killed at arbitrary crash points
+/// recover exactly the committed prefix, checked against the oracle and
+/// `hcc-verify`'s hybrid atomicity inside `crash_point_holds`. Forgetting
+/// to log is no longer expressible. `HCC_DURABILITY` (CI matrix) selects
+/// the durability level.
 #[test]
 fn randomized_crash_points_recover_exactly_the_committed_state() {
     for seed in [1u64, 7, 42, 1234, 0xDEAD] {
@@ -328,10 +380,11 @@ fn randomized_crash_points_recover_exactly_the_committed_state() {
                     txns: 60,
                     checkpoint_every,
                     ..CrashScenarioOptions::default()
-                };
+                }
+                .durability_from_env();
                 let (committed, survived) = crash_point_holds(&dir, opts, cut).unwrap();
                 assert!(survived <= committed);
-                if cut == 0 {
+                if cut == 0 && opts.durability != hybrid_cc::core::runtime::Durability::None {
                     assert_eq!(survived, committed, "no cut, no loss (seed {seed})");
                 }
             }
@@ -344,10 +397,13 @@ fn snapshot_restore_is_what_checkpoint_recovery_uses() {
     // A checkpoint taken mid-run restores into fresh objects bit-for-bit.
     let dir = tmp("store-snapshot");
     let mgr = TxnManager::with_storage(&dir, StorageOptions::default()).unwrap();
-    let acct = AccountObject::hybrid("acct");
+    let acct = AccountObject::with(
+        "acct",
+        Arc::new(hybrid_cc::adts::account::AccountHybrid),
+        mgr.object_options(),
+    );
     let t = mgr.begin();
     acct.credit(&t, money(123)).unwrap();
-    mgr.log_op(&t, "acct", &json!({"op": "credit", "v": 123})).unwrap();
     mgr.commit(t).unwrap();
     let ckpt = mgr.checkpoint(&[("acct", &acct)]).unwrap().expect("store attached");
     let fresh = AccountObject::hybrid("fresh");
