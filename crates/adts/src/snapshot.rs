@@ -43,10 +43,32 @@ fn exec_err(e: impl std::fmt::Display) -> SnapshotError {
     SnapshotError::new(format!("restore execution failed: {e}"))
 }
 
+/// The fuzzy-checkpoint hooks every wrapper forwards to its runtime
+/// object: pin the fold horizon at the watermark, snapshot at it,
+/// release.
+macro_rules! fuzzy_hooks {
+    () => {
+        fn pin_horizon(&self, watermark: u64) {
+            self.inner().pin_horizon(watermark)
+        }
+
+        fn unpin_horizon(&self) {
+            self.inner().unpin_horizon()
+        }
+    };
+}
+
 impl Snapshot for AccountObject {
     fn snapshot(&self) -> Vec<u8> {
-        serde_json::to_vec(&self.committed_balance()).expect("rational serializes")
+        self.snapshot_at(u64::MAX)
     }
+
+    fn snapshot_at(&self, watermark: u64) -> Vec<u8> {
+        serde_json::to_vec(&self.inner().committed_snapshot_at(watermark))
+            .expect("rational serializes")
+    }
+
+    fuzzy_hooks!();
 
     fn restore(&self, bytes: &[u8], ts: u64) -> Result<(), SnapshotError> {
         let balance: Rational = de(bytes)?;
@@ -59,8 +81,14 @@ impl Snapshot for AccountObject {
 
 impl Snapshot for CounterObject {
     fn snapshot(&self) -> Vec<u8> {
-        serde_json::to_vec(&self.inner().committed_snapshot()).expect("i64 serializes")
+        self.snapshot_at(u64::MAX)
     }
+
+    fn snapshot_at(&self, watermark: u64) -> Vec<u8> {
+        serde_json::to_vec(&self.inner().committed_snapshot_at(watermark)).expect("i64 serializes")
+    }
+
+    fuzzy_hooks!();
 
     fn restore(&self, bytes: &[u8], ts: u64) -> Result<(), SnapshotError> {
         let value: i64 = de(bytes)?;
@@ -77,9 +105,15 @@ impl Snapshot for CounterObject {
 
 impl<T: Item> Snapshot for QueueObject<T> {
     fn snapshot(&self) -> Vec<u8> {
-        let items: Vec<T> = self.inner().committed_snapshot().into_iter().collect();
+        self.snapshot_at(u64::MAX)
+    }
+
+    fn snapshot_at(&self, watermark: u64) -> Vec<u8> {
+        let items: Vec<T> = self.inner().committed_snapshot_at(watermark).into_iter().collect();
         serde_json::to_vec(&items).expect("queue items serialize")
     }
+
+    fuzzy_hooks!();
 
     fn restore(&self, bytes: &[u8], ts: u64) -> Result<(), SnapshotError> {
         let items: Vec<T> = de(bytes)?;
@@ -94,9 +128,16 @@ impl<T: Item> Snapshot for QueueObject<T> {
 
 impl<T: semiqueue::Item> Snapshot for SemiqueueObject<T> {
     fn snapshot(&self) -> Vec<u8> {
-        let items: Vec<(T, usize)> = self.inner().committed_snapshot().into_iter().collect();
+        self.snapshot_at(u64::MAX)
+    }
+
+    fn snapshot_at(&self, watermark: u64) -> Vec<u8> {
+        let items: Vec<(T, usize)> =
+            self.inner().committed_snapshot_at(watermark).into_iter().collect();
         serde_json::to_vec(&items).expect("semiqueue items serialize")
     }
+
+    fuzzy_hooks!();
 
     fn restore(&self, bytes: &[u8], ts: u64) -> Result<(), SnapshotError> {
         let items: Vec<(T, usize)> = de(bytes)?;
@@ -113,8 +154,15 @@ impl<T: semiqueue::Item> Snapshot for SemiqueueObject<T> {
 
 impl<T: Content> Snapshot for FileObject<T> {
     fn snapshot(&self) -> Vec<u8> {
-        serde_json::to_vec(&self.committed_value()).expect("file content serializes")
+        self.snapshot_at(u64::MAX)
     }
+
+    fn snapshot_at(&self, watermark: u64) -> Vec<u8> {
+        serde_json::to_vec(&self.inner().committed_snapshot_at(watermark))
+            .expect("file content serializes")
+    }
+
+    fuzzy_hooks!();
 
     fn restore(&self, bytes: &[u8], ts: u64) -> Result<(), SnapshotError> {
         let value: T = de(bytes)?;
@@ -127,9 +175,15 @@ impl<T: Content> Snapshot for FileObject<T> {
 
 impl<T: Elem> Snapshot for SetObject<T> {
     fn snapshot(&self) -> Vec<u8> {
-        let items: Vec<T> = self.inner().committed_snapshot().into_iter().collect();
+        self.snapshot_at(u64::MAX)
+    }
+
+    fn snapshot_at(&self, watermark: u64) -> Vec<u8> {
+        let items: Vec<T> = self.inner().committed_snapshot_at(watermark).into_iter().collect();
         serde_json::to_vec(&items).expect("set elements serialize")
     }
+
+    fuzzy_hooks!();
 
     fn restore(&self, bytes: &[u8], ts: u64) -> Result<(), SnapshotError> {
         let items: Vec<T> = de(bytes)?;
@@ -144,9 +198,16 @@ impl<T: Elem> Snapshot for SetObject<T> {
 
 impl<K: Key, V: Val> Snapshot for DirectoryObject<K, V> {
     fn snapshot(&self) -> Vec<u8> {
-        let entries: Vec<(K, V)> = self.inner().committed_snapshot().into_iter().collect();
+        self.snapshot_at(u64::MAX)
+    }
+
+    fn snapshot_at(&self, watermark: u64) -> Vec<u8> {
+        let entries: Vec<(K, V)> =
+            self.inner().committed_snapshot_at(watermark).into_iter().collect();
         serde_json::to_vec(&entries).expect("directory entries serialize")
     }
+
+    fuzzy_hooks!();
 
     fn restore(&self, bytes: &[u8], ts: u64) -> Result<(), SnapshotError> {
         let entries: Vec<(K, V)> = de(bytes)?;

@@ -12,7 +12,7 @@
 //! records; the acceptance bar is ≥ 5× at 8 threads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hcc_storage::{Durability, LogRecord, SegmentedWal, WalOptions};
+use hcc_storage::{Durability, SegmentedWal, WalOptions};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -37,7 +37,7 @@ fn run_commits(durability: Durability, group_commit: bool, threads: u64, per_thr
     let wal = Arc::new(
         SegmentedWal::open(
             &dir,
-            WalOptions { segment_max_bytes: 64 << 20, durability, group_commit },
+            WalOptions { segment_max_bytes: 64 << 20, durability, group_commit, stripes: 1 },
         )
         .expect("open wal"),
     );
@@ -48,13 +48,8 @@ fn run_commits(durability: Durability, group_commit: bool, threads: u64, per_thr
         joins.push(std::thread::spawn(move || {
             for i in 0..per_thread {
                 let txn = t * per_thread + i + 1;
-                wal.append(&LogRecord::Op {
-                    txn,
-                    obj: 1,
-                    op: br#"{"op":"credit","v":1}"#.to_vec(),
-                })
-                .unwrap();
-                wal.commit(&LogRecord::Commit { txn, ts: txn }).unwrap();
+                wal.append_op(wal.reserve(), txn, 1, br#"{"op":"credit","v":1}"#).unwrap();
+                wal.commit_txn(txn, txn).unwrap();
             }
         }));
     }

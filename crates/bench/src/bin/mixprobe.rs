@@ -1,0 +1,47 @@
+//! Quick interactive sweep of the durable mix (the full grid lives in
+//! `benches/durable_mix.rs`); kept as a binary for fast iteration:
+//! `cargo run --release -p hcc-bench --bin mixprobe [reps]`.
+//! Reports the best of `reps` runs per cell (default 3) — the
+//! container's disk latency drifts, and max-of filters the drift out.
+fn main() {
+    use hcc_core::runtime::Durability;
+    use hcc_workload::durable::{durable_account_mix, DurableMixOptions};
+    let reps: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+    let tmp = std::env::temp_dir();
+    for (d, group, name) in [
+        (Durability::Fsync, false, "fsync/classical"),
+        (Durability::Fsync, true, "fsync/group"),
+        (Durability::Buffered, true, "buffered"),
+    ] {
+        let mut rates = Vec::new();
+        for stripes in [1usize, 4, 8] {
+            let mut best = 0f64;
+            for r in 0..reps {
+                let dir = tmp.join(format!(
+                    "probe-{}-{stripes}-{r}-{}",
+                    name.replace('/', "-"),
+                    std::process::id()
+                ));
+                let _ = std::fs::remove_dir_all(&dir);
+                let per = if group || d == Durability::Buffered { 100 } else { 25 };
+                let rep = durable_account_mix(
+                    &dir,
+                    DurableMixOptions {
+                        threads: 8,
+                        txns_per_thread: per,
+                        durability: d,
+                        stripes,
+                        group_commit: group,
+                        checkpoint_mid_run: false,
+                        ..Default::default()
+                    },
+                );
+                best = best.max(rep.commits_per_sec);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            println!("{name:16} s={stripes}: {best:8.0} commits/s (best of {reps})");
+            rates.push(best);
+        }
+        println!("{name:16} s8/s1 ratio: {:.2}x", rates[2] / rates[0]);
+    }
+}

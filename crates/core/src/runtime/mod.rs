@@ -25,4 +25,6 @@ mod options;
 pub use adt::{LockSpec, RedoDecodeError, RuntimeAdt};
 pub use handle::{TxnHandle, TxnPhase};
 pub use object::{ExecError, ObjectStats, ReplayError, TryExecOutcome, TxObject, TxParticipant};
-pub use options::{BlockPolicy, Durability, NullObserver, RedoSink, RuntimeOptions, WaitObserver};
+pub use options::{
+    BlockPolicy, Durability, NullObserver, RedoSink, RedoTicket, RuntimeOptions, WaitObserver,
+};

@@ -11,6 +11,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// The reserved transaction id [`TxObject::pin_horizon`] parks its bound
+/// under. Real transaction ids are allocated from 1 upward and the
+/// snapshot bootstrap id is `u64::MAX - 1`; this cannot collide with
+/// either.
+const HORIZON_PIN: TxnId = TxnId(u64::MAX - 2);
+
 /// Why a blocking execution gave up.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ExecError {
@@ -200,20 +206,29 @@ impl<A: RuntimeAdt> TxObject<A> {
             let clock = st.clock;
             st.bounds.insert(txn.id(), clock);
             txn.observe_clock(clock);
-            // Self-logging: serializing the redo payload is an intrinsic
-            // effect of executing, not a caller obligation. It happens
-            // while the object lock is still held, so the WAL order of one
-            // object's ops can never diverge from their execution order
-            // (recovery replays in log order). Replay handles re-install
-            // history that is already durable, so they skip it.
+            // Self-logging, two-phase: serializing the redo payload is an
+            // intrinsic effect of executing, not a caller obligation. The
+            // order slot (ticket) is *reserved* while the object lock is
+            // still held — so the ticket order of this object's ops can
+            // never diverge from their execution order, and recovery
+            // replays in ticket order — but the append itself is
+            // *published* after the lock drops, so a log stripe's
+            // rotation fsync can no longer stall every transaction
+            // queued on a hot object. Replay handles re-install history
+            // that is already durable, so they skip the sink entirely.
+            let mut pending = None;
             if !txn.is_replay() {
                 if let Some(sink) = &self.opts.redo {
                     if let Some(bytes) = self.adt.redo(inv, res) {
-                        sink.record_op(txn.id(), &self.name, &bytes);
+                        pending = Some((sink.reserve(txn.id(), &self.name), bytes));
                     }
                 }
             }
             drop(st);
+            if let Some((ticket, bytes)) = pending {
+                let sink = self.opts.redo.as_ref().expect("reserved from this sink");
+                sink.publish(ticket, txn.id(), &self.name, &bytes);
+            }
             txn.register(self.clone() as Arc<dyn TxParticipant>);
             self.executed.fetch_add(1, Ordering::Relaxed);
         }
@@ -385,12 +400,44 @@ impl<A: RuntimeAdt> TxObject<A> {
     /// A snapshot of the state a brand-new read-only observer would see:
     /// version with all committed intents applied.
     pub fn committed_snapshot(&self) -> A::Version {
+        self.committed_snapshot_at(u64::MAX)
+    }
+
+    /// The committed state **as of commit timestamp `watermark`**: the
+    /// compacted version plus every committed-but-unforgotten intent with
+    /// `ts ≤ watermark`. Exact only while commits above the watermark are
+    /// prevented from folding into the version — either because the
+    /// caller quiesced commits, or because it holds a
+    /// [`TxObject::pin_horizon`] at the watermark (the fuzzy-checkpoint
+    /// protocol).
+    pub fn committed_snapshot_at(&self, watermark: u64) -> A::Version {
         let st = self.inner.lock();
         let mut v = st.version.clone();
-        for rec in st.committed.values() {
+        for (_, rec) in st.committed.range(..=watermark) {
             self.adt.apply(&mut v, &rec.intent);
         }
         v
+    }
+
+    /// Forbid `forget()` from folding commits with `ts > watermark` into
+    /// the compacted version until [`TxObject::unpin_horizon`] — the
+    /// object-side half of a fuzzy checkpoint. Implemented as an entry in
+    /// the bound table under a reserved transaction id, so the horizon
+    /// computation (Definition 20) needs no new machinery: the pin is
+    /// just one more active lower bound.
+    pub fn pin_horizon(&self, watermark: u64) {
+        let mut st = self.inner.lock();
+        st.bounds.insert(HORIZON_PIN, watermark);
+    }
+
+    /// Release the pin installed by [`TxObject::pin_horizon`] and fold
+    /// whatever it was holding back.
+    pub fn unpin_horizon(&self) {
+        let mut st = self.inner.lock();
+        st.bounds.remove(&HORIZON_PIN);
+        self.forget(&mut st);
+        drop(st);
+        self.cv.notify_all();
     }
 
     /// Contention statistics.
@@ -693,6 +740,80 @@ mod tests {
             TryExecOutcome::Conflict(holders) => assert_eq!(holders, vec![TxnId(1)]),
             other => panic!("expected conflict, got {other:?}"),
         }
+    }
+
+    /// The fuzzy-checkpoint contract: with a horizon pin at `w`, commits
+    /// above `w` keep flowing but can neither fold into the version nor
+    /// leak into `committed_snapshot_at(w)`.
+    #[test]
+    fn horizon_pin_keeps_snapshot_at_watermark_exact() {
+        let o = obj();
+        for i in 1..=3u64 {
+            let t = h(i);
+            o.execute(&t, RegInv::Write(i as i64)).unwrap();
+            o.commit_at(t.id(), i);
+        }
+        o.pin_horizon(3);
+        // Commits above the watermark land while the pin is held.
+        for i in 4..=6u64 {
+            let t = h(i);
+            o.execute(&t, RegInv::Write(i as i64 * 10)).unwrap();
+            o.commit_at(t.id(), i);
+        }
+        assert_eq!(o.committed_snapshot_at(3), 3, "watermark image excludes later commits");
+        assert_eq!(o.committed_snapshot(), 60, "live frontier sees everything");
+        assert!(
+            o.retained_committed() >= 3,
+            "pinned commits stay unfolded: {}",
+            o.retained_committed()
+        );
+        o.unpin_horizon();
+        // The pin released: folding catches up.
+        assert_eq!(o.retained_committed(), 1);
+        assert_eq!(o.committed_snapshot(), 60);
+    }
+
+    /// Tickets are reserved under the object lock in execution order even
+    /// though publishing happens outside it.
+    #[test]
+    fn redo_tickets_are_reserved_in_execution_order() {
+        use super::super::options::{RedoSink, RedoTicket};
+        use std::sync::Mutex as StdMutex;
+
+        #[derive(Default)]
+        struct ProbeSink {
+            next: AtomicU64,
+            published: StdMutex<Vec<(u64, TxnId)>>,
+        }
+        impl RedoSink for ProbeSink {
+            fn reserve(&self, _txn: TxnId, _object: &str) -> RedoTicket {
+                RedoTicket(self.next.fetch_add(1, Ordering::Relaxed) + 1)
+            }
+            fn publish(&self, ticket: RedoTicket, txn: TxnId, _object: &str, _op: &[u8]) {
+                self.published.lock().unwrap().push((ticket.0, txn));
+            }
+        }
+
+        let sink = Arc::new(ProbeSink::default());
+        let o = TxObject::new(
+            "reg",
+            Register,
+            Arc::new(RegisterHybrid),
+            RuntimeOptions::default().with_redo(sink.clone()),
+        );
+        for i in 1..=5u64 {
+            let t = h(i);
+            o.execute(&t, RegInv::Write(i as i64)).unwrap();
+            o.commit_at(t.id(), i);
+        }
+        let published = sink.published.lock().unwrap();
+        let tickets: Vec<u64> = published.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tickets, vec![1, 2, 3, 4, 5], "execution order == ticket order");
+        // Replay handles bypass the sink entirely.
+        drop(published);
+        let replay = TxnHandle::replay(TxnId(99));
+        o.execute(&replay, RegInv::Write(7)).unwrap();
+        assert_eq!(sink.published.lock().unwrap().len(), 5, "replay did not log");
     }
 
     #[test]

@@ -43,20 +43,50 @@ impl WaitObserver for NullObserver {
     fn on_unblock(&self, _: TxnId) {}
 }
 
+/// A global order ticket for one executed operation's redo record,
+/// handed out by [`RedoSink::reserve`] and redeemed by
+/// [`RedoSink::publish`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RedoTicket(pub u64);
+
 /// Receives serialized redo payloads as an *intrinsic effect* of executing
 /// mutating operations — the transaction manager implements this over its
 /// durable store.
 ///
-/// An object whose [`RuntimeOptions`] carry a sink calls
-/// [`RedoSink::record_op`] from inside every successful mutating execution
-/// (replay transactions excepted), which is what makes the forget-to-log
-/// failure mode unrepresentable: there is no caller-side logging step to
-/// forget. Implementations must not panic on I/O problems; they buffer the
-/// failure and surface it at commit time, where refusing the commit is
-/// still possible.
+/// The API is **two-phase**. An object whose [`RuntimeOptions`] carry a
+/// sink calls [`RedoSink::reserve`] from inside every successful mutating
+/// execution *while still holding its own lock* — reserving the
+/// operation's slot in the global log order, a cheap non-blocking counter
+/// bump — and then calls [`RedoSink::publish`] with the serialized
+/// payload *after releasing the lock*. The split is what keeps a log
+/// stripe's rotation fsync from ever stalling a hot object: the ordering
+/// obligation (per-object log order equals execution order) is
+/// discharged by the ticket, not by appending under the lock, and
+/// recovery replays in ticket order.
+///
+/// Replay transactions are excepted, and there is no caller-side logging
+/// step to forget — the forget-to-log failure mode stays
+/// unrepresentable. Implementations must not panic on I/O problems; they
+/// buffer the failure (keyed by ticket, preserving order) and surface it
+/// at commit time, where refusing the commit is still possible.
 pub trait RedoSink: Send + Sync {
-    /// Record one executed operation of `txn` at the named object.
-    fn record_op(&self, txn: TxnId, object: &str, op: &[u8]);
+    /// Reserve the global order slot for one about-to-be-recorded
+    /// operation of `txn` at the named object. Called under the object's
+    /// lock: must be cheap and must never block on I/O.
+    fn reserve(&self, txn: TxnId, object: &str) -> RedoTicket;
+
+    /// Record the operation reserved as `ticket`. Called outside the
+    /// object's lock; may block (group commit, rotation) and must absorb
+    /// I/O failures for commit-time handling.
+    fn publish(&self, ticket: RedoTicket, txn: TxnId, object: &str, op: &[u8]);
+
+    /// One-shot convenience: reserve and immediately publish. Correct
+    /// whenever the caller's execution order is already serialized some
+    /// other way (single-threaded drivers, site mailboxes).
+    fn record_op(&self, txn: TxnId, object: &str, op: &[u8]) {
+        let ticket = self.reserve(txn, object);
+        self.publish(ticket, txn, object, op);
+    }
 }
 
 /// How far a completion record must travel before a commit is

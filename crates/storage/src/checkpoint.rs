@@ -1,23 +1,40 @@
-//! Checkpoint files: a serialized committed frontier plus the log position
-//! recovery should resume from.
+//! Checkpoint files: a serialized committed frontier plus the per-stripe
+//! log positions recovery may prune below.
 //!
 //! ```text
-//! file := magic "HCCKPT02", len: u32, crc: u32, payload
-//! payload := last_ts: u64, resume_seg: u64, n: u32,
-//!            n × { name: len-prefixed utf8, data: len-prefixed bytes },
+//! file := magic "HCCKPT03", len: u32, crc: u32, payload
+//! payload := last_ts: u64, last_ticket: u64, commit_chain: u64,
+//!            s: u32, s × { low: u64 },
+//!            n: u32, n × { name: len-prefixed utf8, data: len-prefixed bytes },
 //!            r: u32, r × { id: u64, name: len-prefixed utf8 }
 //! ```
 //!
-//! The trailing `r` entries are the object **registry bindings** (the WAL's
-//! `Register` records) at checkpoint time. They ride in the checkpoint —
-//! written temp + fsync + rename, so immune to tail truncation — because
-//! compaction deletes the segments holding the original `Register`
-//! records while pinned segments may keep op records that still reference
-//! the ids.
+//! `last_ts` is the **fuzzy-checkpoint watermark**: every commit with
+//! timestamp `≤ last_ts` is reflected in every snapshot (the snapshots
+//! are taken *at* the watermark while later commits keep flowing), and
+//! recovery replays only commits strictly above it. `last_ticket` is the
+//! global ticket watermark at checkpoint time — a reopening log anchors
+//! its ticket counter above it, since compaction may have deleted the
+//! segments that held the highest tickets.
 //!
-//! Files are named `ckpt-<last_ts>.ckpt`, written to a temp file, fsynced,
-//! then renamed — a half-written checkpoint can never shadow a complete
-//! one, and recovery skips any file whose CRC does not verify.
+//! The `s` entries are the **per-stripe low-water marks**: for stripe
+//! `i`, every segment with index `< low[i]` was deleted by the
+//! checkpoint's compaction (segments pinned by transactions live at
+//! checkpoint time keep `low[i]` clamped down until they complete).
+//! Recovery scans every surviving segment regardless — the vector is a
+//! diagnostic record of what compaction was entitled to delete, not a
+//! scan bound.
+//!
+//! The trailing `r` entries are the object **registry bindings** (the
+//! WAL's `Register` records) at checkpoint time. They ride in the
+//! checkpoint — written temp + fsync + rename, so immune to tail
+//! truncation — because compaction deletes the segments holding the
+//! original `Register` records while pinned segments may keep op records
+//! that still reference the ids.
+//!
+//! Files are named `ckpt-<last_ts>.ckpt`, written to a temp file,
+//! fsynced, then renamed — a half-written checkpoint can never shadow a
+//! complete one, and recovery skips any file whose CRC does not verify.
 
 use crate::record::crc32;
 use crate::StorageError;
@@ -25,7 +42,7 @@ use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-const MAGIC: &[u8; 8] = b"HCCKPT02";
+const MAGIC: &[u8; 8] = b"HCCKPT03";
 
 /// A serialized committed frontier.
 #[derive(Clone, Debug, PartialEq)]
@@ -33,13 +50,19 @@ pub struct Checkpoint {
     /// Every commit with timestamp `≤ last_ts` is reflected in `objects`;
     /// recovery replays only commits strictly above it.
     pub last_ts: u64,
-    /// The segment opened right after this checkpoint (diagnostic).
-    /// Recovery scans *every* surviving segment: compaction already
-    /// deleted all pre-checkpoint segments except those pinned by
-    /// transactions live at checkpoint time, whose op records later
-    /// commits may still need.
-    pub resume_seg: u64,
-    /// `(object name, snapshot bytes)` for every registered object.
+    /// The global ticket watermark at checkpoint time: a reopened log
+    /// must hand out tickets strictly above it.
+    pub last_ticket: u64,
+    /// The commit-chain watermark: the ticket of the last commit record
+    /// chained before the checkpoint began. Recovery's chain walk starts
+    /// here — every accepted post-checkpoint commit must link back to it
+    /// through surviving records.
+    pub commit_chain: u64,
+    /// Per-stripe low-water marks: segment indexes compaction pruned
+    /// below (diagnostic — recovery scans every surviving segment).
+    pub stripe_lows: Vec<u64>,
+    /// `(object name, snapshot bytes)` for every registered object, taken
+    /// at the `last_ts` watermark.
     pub objects: Vec<(String, Vec<u8>)>,
     /// The WAL object registry at checkpoint time: `(id, name)` bindings
     /// op records below (and pinned across) this checkpoint may use.
@@ -54,7 +77,12 @@ impl Checkpoint {
     fn encode(&self) -> Vec<u8> {
         let mut payload = Vec::new();
         payload.extend_from_slice(&self.last_ts.to_le_bytes());
-        payload.extend_from_slice(&self.resume_seg.to_le_bytes());
+        payload.extend_from_slice(&self.last_ticket.to_le_bytes());
+        payload.extend_from_slice(&self.commit_chain.to_le_bytes());
+        payload.extend_from_slice(&(self.stripe_lows.len() as u32).to_le_bytes());
+        for low in &self.stripe_lows {
+            payload.extend_from_slice(&low.to_le_bytes());
+        }
         payload.extend_from_slice(&(self.objects.len() as u32).to_le_bytes());
         for (name, data) in &self.objects {
             payload.extend_from_slice(&(name.len() as u32).to_le_bytes());
@@ -93,7 +121,13 @@ impl Checkpoint {
             Some(s)
         };
         let last_ts = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
-        let resume_seg = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let last_ticket = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let commit_chain = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let s = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let mut stripe_lows = Vec::with_capacity(s as usize);
+        for _ in 0..s {
+            stripe_lows.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()));
+        }
         let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
         let mut objects = Vec::with_capacity(n as usize);
         for _ in 0..n {
@@ -111,7 +145,7 @@ impl Checkpoint {
             let name = String::from_utf8(take(&mut pos, name_len)?.to_vec()).ok()?;
             registry.push((id, name));
         }
-        Some(Checkpoint { last_ts, resume_seg, objects, registry })
+        Some(Checkpoint { last_ts, last_ticket, commit_chain, stripe_lows, objects, registry })
     }
 
     /// Durably write this checkpoint into `dir` (temp file + fsync + rename
@@ -198,7 +232,9 @@ mod tests {
     fn sample(ts: u64) -> Checkpoint {
         Checkpoint {
             last_ts: ts,
-            resume_seg: 3,
+            last_ticket: 321,
+            commit_chain: 300,
+            stripe_lows: vec![3, 1, 7, 2],
             objects: vec![
                 ("acct".into(), br#"{"balance":75}"#.to_vec()),
                 ("q".into(), b"[1,2]".to_vec()),
@@ -259,5 +295,13 @@ mod tests {
     #[test]
     fn empty_dir_has_no_checkpoint() {
         assert_eq!(Checkpoint::load_latest(&tmp("empty")).unwrap(), None);
+    }
+
+    #[test]
+    fn empty_stripe_vector_roundtrips() {
+        let dir = tmp("no-stripes");
+        let ckpt = Checkpoint { stripe_lows: vec![], objects: vec![], ..sample(7) };
+        ckpt.save(&dir).unwrap();
+        assert_eq!(Checkpoint::load_latest(&dir).unwrap(), Some(ckpt));
     }
 }

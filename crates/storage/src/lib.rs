@@ -40,7 +40,10 @@ pub use hcc_core::runtime::Durability;
 pub use policy::{CompactMode, CompactionPolicy, LogStats};
 pub use record::LogRecord;
 pub use snapshot::{DurableObject, Snapshot, SnapshotError};
-pub use store::{CommittedTxn, DurableStore, InDoubtTxn, Recovered, StorageOptions};
+pub use store::{
+    stripes_env_override, CheckpointCursor, CommittedTxn, DurableStore, InDoubtTxn, Recovered,
+    StorageOptions,
+};
 pub use wal::{SegmentedWal, WalOptions};
 
 /// Anything that can go wrong in the storage layer.
@@ -54,14 +57,6 @@ pub enum StorageError {
         segment: u64,
         /// What failed to decode.
         detail: String,
-    },
-    /// A commit record survived but its transaction's Begin/Op records are
-    /// gone — the log lost data it needed.
-    MissingOps {
-        /// The transaction whose operations are missing.
-        txn: u64,
-        /// Its commit timestamp.
-        ts: u64,
     },
     /// Two different transactions logged commit records with the same
     /// timestamp. Timestamps are the replay order; recovering either one
@@ -100,9 +95,6 @@ impl std::fmt::Display for StorageError {
             StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
             StorageError::Corrupt { segment, detail } => {
                 write!(f, "segment {segment} is corrupt: {detail}")
-            }
-            StorageError::MissingOps { txn, ts } => {
-                write!(f, "commit of txn {txn} at ts {ts} has no operation records")
             }
             StorageError::TimestampCollision { ts, first, second } => {
                 write!(f, "transactions {first} and {second} both committed at ts {ts}")

@@ -1,33 +1,62 @@
 //! The on-disk record format: length-prefixed, CRC32-protected binary
-//! frames.
+//! frames, each stamped with a **global sequence ticket**.
 //!
 //! ```text
-//! ┌──────────┬──────────┬───────────────┐
-//! │ len: u32 │ crc: u32 │ payload bytes │   (all integers little-endian)
-//! └──────────┴──────────┴───────────────┘
+//! ┌──────────┬──────────┬──────────┬───────────────┐
+//! │ len: u32 │ crc: u32 │ seq: u64 │ payload bytes │  (integers little-endian)
+//! └──────────┴──────────┴──────────┴───────────────┘
 //! payload := tag: u8, fields...
 //!   1 Begin    { txn: u64 }
 //!   2 Op       { txn: u64, obj: u64, op: len-prefixed bytes }
-//!   3 Commit   { txn: u64, ts: u64 }
+//!   3 Commit   { txn: u64, ts: u64, ops: u32, prev: u64 }
 //!   4 Abort    { txn: u64 }
 //!   5 Register { id: u64, name: len-prefixed utf8 }
 //! ```
 //!
+//! The `seq` ticket is allocated from one process-wide monotone counter no
+//! matter which **append stripe** the record lands on, so recovery can
+//! merge the stripes back into a single deterministic order by sorting on
+//! it. Tickets are reserved *under the owning object's lock* for op
+//! records (see `hcc-core`'s `RedoSink::reserve`), which is what keeps
+//! each object's ticket order identical to its execution order even
+//! though the physical append happens outside the lock and may interleave
+//! arbitrarily within a stripe.
+//!
+//! Commit records carry the number of op records their transaction logged
+//! (`ops`). With the log spread over stripes, a crash can lose one
+//! stripe's tail while another stripe keeps the commit record; the count
+//! lets recovery detect the txn as *incompletely durable* and drop it
+//! (it was never acknowledged — see `store::recover`) instead of
+//! replaying half a transaction.
+//!
+//! Commit records also carry `prev` — the ticket of the commit record
+//! appended just before them, store-wide: the **commit chain**. Striping
+//! spreads commit records over stripes, so losing one stripe's tail
+//! could otherwise silently drop an *earlier acknowledged* commit while
+//! keeping a later one that observed its effects. Recovery walks the
+//! chain from the checkpoint's watermark and accepts only commits whose
+//! every predecessor survives (an abort record that reused a failed
+//! commit's ticket also links) — restoring exactly the global
+//! durable-prefix property a single-stream log has.
+//!
 //! Op records reference objects by **registry id** — a compact u64 the
 //! store assigns the first time a name is logged against — instead of
 //! repeating the name string per operation. The id→name binding is itself
-//! a durable `Register` record, appended immediately before the first op
-//! using the id; checkpoints additionally carry the full binding table in
-//! their own file, so pruning the segments that held the original
-//! `Register` records can never orphan an id.
+//! a durable `Register` record routed to the *same stripe* as the ops
+//! using the id (so a torn tail that keeps an op always keeps its
+//! binding); checkpoints additionally carry the full binding table in
+//! their own file.
 //!
-//! The CRC covers the payload only; a frame whose length field, CRC, or tag
-//! is implausible is treated as a torn tail when it is the last thing in
-//! the last segment, and as corruption anywhere else.
+//! The CRC covers the seq plus the payload; a frame whose length field,
+//! CRC, or tag is implausible is treated as a torn tail when it is the
+//! last thing in a stripe's last segment, and as corruption anywhere else.
 
 /// Upper bound on one record's payload (guards against reading a garbage
 /// length field as an allocation size).
 pub const MAX_PAYLOAD: u32 = 1 << 30;
+
+/// Bytes of frame header before the payload: len + crc + seq.
+pub const HEADER_BYTES: usize = 16;
 
 /// One durable log record. The `op` payload is opaque to the storage layer;
 /// callers serialize operations however they like (the workspace uses
@@ -55,6 +84,13 @@ pub enum LogRecord {
         txn: u64,
         /// Commit timestamp.
         ts: u64,
+        /// Number of op records the transaction logged. Recovery refuses
+        /// to replay the transaction with fewer surviving ops.
+        ops: u32,
+        /// Ticket of the commit record appended just before this one
+        /// (store-wide, any stripe); 0 = the first commit ever. The
+        /// commit chain recovery walks to reject holes.
+        prev: u64,
     },
     /// The transaction aborted.
     Abort {
@@ -107,14 +143,23 @@ fn crc32_table() -> &'static [u32; 256] {
     })
 }
 
-/// IEEE CRC32 of `bytes`.
-pub fn crc32(bytes: &[u8]) -> u32 {
+fn crc32_update(mut c: u32, bytes: &[u8]) -> u32 {
     let table = crc32_table();
-    let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
         c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
-    c ^ 0xFFFF_FFFF
+    c
+}
+
+/// IEEE CRC32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+/// IEEE CRC32 of `seq_le || payload` — what a frame's CRC field protects.
+fn frame_crc(seq: u64, payload: &[u8]) -> u32 {
+    let c = crc32_update(0xFFFF_FFFF, &seq.to_le_bytes());
+    crc32_update(c, payload) ^ 0xFFFF_FFFF
 }
 
 // ---- Encoding ----------------------------------------------------------
@@ -132,8 +177,9 @@ fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
     out.extend_from_slice(bytes);
 }
 
-/// Append the framed encoding of `rec` to `out`.
-pub fn encode_into(rec: &LogRecord, out: &mut Vec<u8>) {
+/// Append the framed encoding of `rec`, stamped with ticket `seq`, to
+/// `out`.
+pub fn encode_into(rec: &LogRecord, seq: u64, out: &mut Vec<u8>) {
     let mut payload = Vec::with_capacity(32);
     match rec {
         LogRecord::Begin { txn } => {
@@ -146,10 +192,12 @@ pub fn encode_into(rec: &LogRecord, out: &mut Vec<u8>) {
             put_u64(&mut payload, *obj);
             put_bytes(&mut payload, op);
         }
-        LogRecord::Commit { txn, ts } => {
+        LogRecord::Commit { txn, ts, ops, prev } => {
             payload.push(3);
             put_u64(&mut payload, *txn);
             put_u64(&mut payload, *ts);
+            put_u32(&mut payload, *ops);
+            put_u64(&mut payload, *prev);
         }
         LogRecord::Abort { txn } => {
             payload.push(4);
@@ -162,14 +210,15 @@ pub fn encode_into(rec: &LogRecord, out: &mut Vec<u8>) {
         }
     }
     put_u32(out, payload.len() as u32);
-    put_u32(out, crc32(&payload));
+    put_u32(out, frame_crc(seq, &payload));
+    put_u64(out, seq);
     out.extend_from_slice(&payload);
 }
 
-/// The framed encoding of `rec`.
-pub fn encode(rec: &LogRecord) -> Vec<u8> {
-    let mut out = Vec::with_capacity(40);
-    encode_into(rec, &mut out);
+/// The framed encoding of `rec` with ticket `seq`.
+pub fn encode(rec: &LogRecord, seq: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(48);
+    encode_into(rec, seq, &mut out);
     out
 }
 
@@ -233,7 +282,7 @@ fn decode_payload(payload: &[u8]) -> Option<LogRecord> {
             let op = c.len_bytes()?.to_vec();
             LogRecord::Op { txn, obj, op }
         }
-        3 => LogRecord::Commit { txn: c.u64()?, ts: c.u64()? },
+        3 => LogRecord::Commit { txn: c.u64()?, ts: c.u64()?, ops: c.u32()?, prev: c.u64()? },
         4 => LogRecord::Abort { txn: c.u64()? },
         5 => {
             let id = c.u64()?;
@@ -248,12 +297,13 @@ fn decode_payload(payload: &[u8]) -> Option<LogRecord> {
     Some(rec)
 }
 
-/// Extract one frame's CRC-verified payload at `bytes[offset..]`, plus the
-/// offset just past the frame. Shared by the full and metadata decoders so
-/// they can never diverge on what counts as a valid frame envelope.
-fn frame_at(bytes: &[u8], offset: usize) -> Result<(&[u8], usize), FrameError> {
+/// Extract one frame's CRC-verified `(seq, payload)` at `bytes[offset..]`,
+/// plus the offset just past the frame. Shared by the full and metadata
+/// decoders so they can never diverge on what counts as a valid frame
+/// envelope.
+fn frame_at(bytes: &[u8], offset: usize) -> Result<(u64, &[u8], usize), FrameError> {
     let remaining = &bytes[offset.min(bytes.len())..];
-    if remaining.len() < 8 {
+    if remaining.len() < HEADER_BYTES {
         return Err(FrameError::Truncated);
     }
     let len = u32::from_le_bytes(remaining[0..4].try_into().unwrap());
@@ -261,23 +311,24 @@ fn frame_at(bytes: &[u8], offset: usize) -> Result<(&[u8], usize), FrameError> {
         return Err(FrameError::BadLength(len));
     }
     let crc = u32::from_le_bytes(remaining[4..8].try_into().unwrap());
-    let end = 8usize + len as usize;
+    let seq = u64::from_le_bytes(remaining[8..16].try_into().unwrap());
+    let end = HEADER_BYTES + len as usize;
     if remaining.len() < end {
         return Err(FrameError::Truncated);
     }
-    let payload = &remaining[8..end];
-    if crc32(payload) != crc {
+    let payload = &remaining[HEADER_BYTES..end];
+    if frame_crc(seq, payload) != crc {
         return Err(FrameError::BadCrc);
     }
-    Ok((payload, offset + end))
+    Ok((seq, payload, offset + end))
 }
 
-/// Decode one frame at `bytes[offset..]`, returning the record and the
-/// offset just past it.
-pub fn decode_at(bytes: &[u8], offset: usize) -> Result<(LogRecord, usize), FrameError> {
-    let (payload, next) = frame_at(bytes, offset)?;
+/// Decode one frame at `bytes[offset..]`, returning its ticket, the
+/// record, and the offset just past it.
+pub fn decode_at(bytes: &[u8], offset: usize) -> Result<(u64, LogRecord, usize), FrameError> {
+    let (seq, payload, next) = frame_at(bytes, offset)?;
     match decode_payload(payload) {
-        Some(rec) => Ok((rec, next)),
+        Some(rec) => Ok((seq, rec, next)),
         None => Err(FrameError::Malformed),
     }
 }
@@ -286,6 +337,8 @@ pub fn decode_at(bytes: &[u8], offset: usize) -> Result<(LogRecord, usize), Fram
 /// op payloads — for cheap watermark scans over large logs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RecordMeta {
+    /// The record's global sequence ticket.
+    pub seq: u64,
     /// The transaction the record belongs to (0 for `Register` records).
     pub txn: u64,
     /// `Some(ts)` for commit records.
@@ -298,7 +351,7 @@ pub struct RecordMeta {
 /// Allocation-free mirror of [`decode_payload`]: accepts exactly the
 /// payloads the full decoder accepts (field lengths and UTF-8 included),
 /// so a frame that passes a metadata scan can never fail a record scan.
-fn meta_from_payload(payload: &[u8]) -> Option<RecordMeta> {
+fn meta_from_payload(seq: u64, payload: &[u8]) -> Option<RecordMeta> {
     if payload.len() < 9 {
         return None;
     }
@@ -307,24 +360,28 @@ fn meta_from_payload(payload: &[u8]) -> Option<RecordMeta> {
         payload.get(at..at + 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()) as usize)
     };
     match payload[0] {
-        1 | 4 if payload.len() == 9 => Some(RecordMeta { txn, commit_ts: None, register: false }),
+        1 | 4 if payload.len() == 9 => {
+            Some(RecordMeta { seq, txn, commit_ts: None, register: false })
+        }
         2 => {
             let op_len = get_len(17)?;
             (payload.len() == 21 + op_len).then_some(RecordMeta {
+                seq,
                 txn,
                 commit_ts: None,
                 register: false,
             })
         }
-        3 if payload.len() == 17 => {
+        3 if payload.len() == 29 => {
             let ts = u64::from_le_bytes(payload[9..17].try_into().unwrap());
-            Some(RecordMeta { txn, commit_ts: Some(ts), register: false })
+            Some(RecordMeta { seq, txn, commit_ts: Some(ts), register: false })
         }
         5 => {
             let name_len = get_len(9)?;
             let name = payload.get(13..13 + name_len)?;
             std::str::from_utf8(name).ok()?;
             (payload.len() == 13 + name_len).then_some(RecordMeta {
+                seq,
                 txn: 0,
                 commit_ts: None,
                 register: true,
@@ -337,23 +394,23 @@ fn meta_from_payload(payload: &[u8]) -> Option<RecordMeta> {
 /// Decode one frame's metadata at `bytes[offset..]` (CRC and payload shape
 /// still fully verified), returning it and the offset just past the frame.
 pub fn decode_meta_at(bytes: &[u8], offset: usize) -> Result<(RecordMeta, usize), FrameError> {
-    let (payload, next) = frame_at(bytes, offset)?;
-    match meta_from_payload(payload) {
+    let (seq, payload, next) = frame_at(bytes, offset)?;
+    match meta_from_payload(seq, payload) {
         Some(meta) => Ok((meta, next)),
         None => Err(FrameError::Malformed),
     }
 }
 
-/// Decode every complete frame in `bytes`. Returns the records plus the
-/// error that stopped the scan, if any (`None` means the buffer ended
-/// exactly on a frame boundary).
-pub fn decode_all(bytes: &[u8]) -> (Vec<LogRecord>, Option<FrameError>) {
+/// Decode every complete frame in `bytes`. Returns `(seq, record)` pairs
+/// plus the error that stopped the scan, if any (`None` means the buffer
+/// ended exactly on a frame boundary).
+pub fn decode_all(bytes: &[u8]) -> (Vec<(u64, LogRecord)>, Option<FrameError>) {
     let mut out = Vec::new();
     let mut pos = 0;
     while pos < bytes.len() {
         match decode_at(bytes, pos) {
-            Ok((rec, next)) => {
-                out.push(rec);
+            Ok((seq, rec, next)) => {
+                out.push((seq, rec));
                 pos = next;
             }
             Err(e) => return (out, Some(e)),
@@ -371,9 +428,19 @@ mod tests {
             LogRecord::Register { id: 1, name: "acct".into() },
             LogRecord::Begin { txn: 1 },
             LogRecord::Op { txn: 1, obj: 1, op: br#"{"credit":5}"#.to_vec() },
-            LogRecord::Commit { txn: 1, ts: 42 },
+            LogRecord::Commit { txn: 1, ts: 42, ops: 1, prev: 0 },
             LogRecord::Abort { txn: 2 },
         ]
+    }
+
+    fn encode_sample() -> (Vec<u8>, Vec<usize>) {
+        let mut buf = Vec::new();
+        let mut boundaries = vec![0usize];
+        for (i, r) in sample().iter().enumerate() {
+            encode_into(r, i as u64 + 1, &mut buf);
+            boundaries.push(buf.len());
+        }
+        (buf, boundaries)
     }
 
     #[test]
@@ -384,24 +451,19 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip() {
-        let mut buf = Vec::new();
-        for r in sample() {
-            encode_into(&r, &mut buf);
-        }
+    fn roundtrip_preserves_records_and_tickets() {
+        let (buf, _) = encode_sample();
         let (recs, err) = decode_all(&buf);
-        assert_eq!(recs, sample());
         assert_eq!(err, None);
+        let seqs: Vec<u64> = recs.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
+        let records: Vec<LogRecord> = recs.into_iter().map(|(_, r)| r).collect();
+        assert_eq!(records, sample());
     }
 
     #[test]
     fn torn_tail_detected() {
-        let mut buf = Vec::new();
-        let mut boundaries = vec![0usize];
-        for r in sample() {
-            encode_into(&r, &mut buf);
-            boundaries.push(buf.len());
-        }
+        let (buf, boundaries) = encode_sample();
         for cut in 1..buf.len() {
             let len = buf.len() - cut;
             let (recs, err) = decode_all(&buf[..len]);
@@ -420,11 +482,21 @@ mod tests {
 
     #[test]
     fn flipped_bit_fails_crc() {
-        let mut buf = encode(&LogRecord::Commit { txn: 9, ts: 7 });
+        let mut buf = encode(&LogRecord::Commit { txn: 9, ts: 7, ops: 0, prev: 0 }, 3);
         let last = buf.len() - 1;
         buf[last] ^= 0x01;
         let (recs, err) = decode_all(&buf);
         assert!(recs.is_empty());
+        assert_eq!(err, Some(FrameError::BadCrc));
+    }
+
+    /// The CRC covers the seq field too: a flipped ticket bit cannot
+    /// silently reorder the merged replay.
+    #[test]
+    fn flipped_seq_bit_fails_crc() {
+        let mut buf = encode(&LogRecord::Begin { txn: 1 }, 77);
+        buf[8] ^= 0x01; // low byte of the seq field
+        let (_, err) = decode_all(&buf);
         assert_eq!(err, Some(FrameError::BadCrc));
     }
 
@@ -433,6 +505,7 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
         buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
         let (recs, err) = decode_all(&buf);
         assert!(recs.is_empty());
         assert_eq!(err, Some(FrameError::BadLength(u32::MAX)));
@@ -446,8 +519,8 @@ mod tests {
         let mut cases: Vec<Vec<u8>> = sample()
             .iter()
             .map(|r| {
-                let e = encode(r);
-                e[8..].to_vec() // payload only
+                let e = encode(r, 9);
+                e[HEADER_BYTES..].to_vec() // payload only
             })
             .collect();
         // Payloads with trailing junk, short fields, bad UTF-8, bad tags.
@@ -463,9 +536,11 @@ mod tests {
         cases.push(vec![2, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0xFF, 0, 0, 0, 0]); // short Op
         cases.push(vec![99, 0, 0, 0, 0, 0, 0, 0, 0]);
         for payload in cases {
+            let seq = 9u64;
             let mut frame = Vec::new();
             frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-            frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+            frame.extend_from_slice(&frame_crc(seq, &payload).to_le_bytes());
+            frame.extend_from_slice(&seq.to_le_bytes());
             frame.extend_from_slice(&payload);
             let full = decode_at(&frame, 0);
             let meta = decode_meta_at(&frame, 0);
@@ -474,8 +549,9 @@ mod tests {
                 meta.is_ok(),
                 "decoders disagree on payload {payload:?}: full={full:?} meta={meta:?}"
             );
-            if let (Ok((rec, a)), Ok((m, b))) = (&full, &meta) {
+            if let (Ok((fseq, rec, a)), Ok((m, b))) = (&full, &meta) {
                 assert_eq!(a, b);
+                assert_eq!(m.seq, *fseq);
                 assert_eq!(m.txn, rec.txn());
                 let ts = match rec {
                     LogRecord::Commit { ts, .. } => Some(*ts),
@@ -491,7 +567,8 @@ mod tests {
         let payload = [99u8, 0, 0, 0, 0, 0, 0, 0, 0];
         let mut buf = Vec::new();
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&frame_crc(4, &payload).to_le_bytes());
+        buf.extend_from_slice(&4u64.to_le_bytes());
         buf.extend_from_slice(&payload);
         let (_, err) = decode_all(&buf);
         assert_eq!(err, Some(FrameError::Malformed));

@@ -15,9 +15,47 @@ use std::sync::Arc;
 /// into a *fresh* object as one committed transaction at timestamp `ts`
 /// (the checkpoint's `last_ts`), so subsequent tail replay at higher
 /// timestamps observes a correctly-ordered history.
+///
+/// The three watermark methods are what makes **fuzzy checkpoints**
+/// possible: the checkpointer establishes a commit-timestamp watermark
+/// `w` under a brief exclusive gate, pins every object's fold horizon at
+/// `w` (so commits above `w` can never be compacted into the base
+/// version), releases the gate, and then calls `snapshot_at(w)` on each
+/// object under that object's own lock while new commits keep flowing.
+/// The defaults make every `Snapshot` implementation correct for a
+/// *quiesced* caller (no commits during the checkpoint): `snapshot_at`
+/// falls back to `snapshot()` and the pins are no-ops.
+///
+/// **Warning:** an implementation that keeps the defaults is *only*
+/// safe quiesced. Handing it to `hcc-txn`'s `TxnManager::checkpoint`
+/// (which snapshots while commits flow) would capture commits above the
+/// watermark that recovery then replays again. Every ADT wrapper in
+/// `hcc-adts` overrides all three methods; custom durable objects used
+/// with the fuzzy checkpointer must too.
 pub trait Snapshot {
     /// Serialize the committed frontier.
     fn snapshot(&self) -> Vec<u8>;
+
+    /// Serialize the committed frontier **as of commit-timestamp
+    /// `watermark`**: exactly the commits with `ts ≤ watermark`, no
+    /// matter what commits land while the checkpoint is in flight. Only
+    /// meaningful between `pin_horizon(watermark)` and `unpin_horizon`
+    /// (or with commits quiesced, where the default fallback is exact).
+    fn snapshot_at(&self, watermark: u64) -> Vec<u8> {
+        let _ = watermark;
+        self.snapshot()
+    }
+
+    /// Forbid compacting commits with `ts > watermark` into the base
+    /// version until [`Snapshot::unpin_horizon`] — the fuzzy
+    /// checkpointer's guarantee that `snapshot_at(watermark)` can still
+    /// separate them out.
+    fn pin_horizon(&self, watermark: u64) {
+        let _ = watermark;
+    }
+
+    /// Release the pin installed by [`Snapshot::pin_horizon`].
+    fn unpin_horizon(&self) {}
 
     /// Install `bytes` into this (fresh) object as a committed transaction
     /// at timestamp `ts`.

@@ -1,27 +1,45 @@
-//! The durable store: ties the segmented WAL, the checkpoint manager, and
+//! The durable store: ties the striped WAL, the checkpoint manager, and
 //! the compaction policy into one object the transaction layer can own.
 //!
-//! ## Checkpoint protocol
+//! ## Fuzzy checkpoint protocol
 //!
-//! 1. The caller quiesces commits (no commit may be logged while snapshots
-//!    are taken — `hcc-txn`'s manager holds its commit gate).
-//! 2. `checkpoint()` rotates the WAL: every record so far is in finished,
-//!    fsynced segments; new appends go to the fresh segment `R`.
-//! 3. Every registered object's committed frontier is serialized and the
-//!    checkpoint file `{last_ts, resume_seg = R, snapshots}` is written
-//!    durably (temp + fsync + rename).
-//! 4. Segments below `R` are deleted — except any still holding records of
-//!    transactions that were live at checkpoint time, which stay until a
-//!    later checkpoint finds them complete.
+//! Checkpoints no longer stop the world. The protocol splits into a brief
+//! *begin* (under the caller's exclusive commit gate — microseconds, no
+//! I/O) and a lazy *finish* (commits flow concurrently):
+//!
+//! 1. **Begin** (`checkpoint_begin`, gate held): record the watermark
+//!    `ts0 = last_commit_ts`, the global ticket watermark, and each
+//!    stripe's cut — its active segment index clamped below any segment
+//!    pinned by a live transaction. The caller pins every object's fold
+//!    horizon at `ts0` before releasing the gate.
+//! 2. **Snapshot** (gate released): each object serializes its committed
+//!    frontier *at* `ts0` under its own lock (`Snapshot::snapshot_at`);
+//!    commits with `ts > ts0` proceed concurrently and are simply not in
+//!    the image.
+//! 3. **Finish** (`checkpoint_finish`): the `HCCKPT03` file
+//!    `{ts0, ticket, stripe_lows, snapshots, registry}` is written
+//!    durably (temp + fsync + rename), segments below each stripe's cut
+//!    are deleted, and older checkpoints pruned. Every record of a commit
+//!    above `ts0` is either at/above its stripe's cut (logged after
+//!    begin) or in a segment pinned by its then-live transaction — so
+//!    pruning can never eat a record the fuzzy image is missing.
 //!
 //! ## Recovery
 //!
-//! `recover()` loads the newest valid checkpoint, scans every surviving
-//! segment (tolerating a torn tail in the last one), and returns the
-//! committed transactions with timestamp above the checkpoint, in
-//! timestamp order, each with its logged operations. A commit record whose
-//! transaction has no Begin/Op records in the surviving log is reported as
-//! [`StorageError::MissingOps`] — the log pruned something it needed.
+//! `recover()` loads the newest valid checkpoint, merges every stripe's
+//! surviving records into ticket order (tolerating a torn tail per
+//! stripe), and returns the committed transactions with timestamp above
+//! the watermark, in timestamp order, each with its logged operations.
+//! Commit records are **self-certifying**: they carry their op count and
+//! chain link, so recovery needs no Begin record to trust them (Begin
+//! records are buffered on the transaction's home stripe and may not
+//! survive a crash that the fsynced commit did). A commit whose op count
+//! exceeds the surviving ops lost part of a stripe tail in the crash; it
+//! was never acknowledged at `Fsync` durability, so it is *dropped* as
+//! incompletely durable (`Recovered::incomplete`) rather than
+//! half-replayed — and because ops of one object always share a stripe,
+//! dropping it can never orphan a surviving transaction that depended on
+//! it. The same reporting covers a wrongly pruned middle segment.
 
 use crate::checkpoint::Checkpoint;
 use crate::policy::{CompactionPolicy, LogStats};
@@ -44,6 +62,8 @@ pub struct StorageOptions {
     pub durability: Durability,
     /// Batch concurrent commit fsyncs.
     pub group_commit: bool,
+    /// Number of WAL append stripes (1 = the legacy single-stream log).
+    pub stripes: usize,
     /// When to checkpoint and delete dead segments.
     pub policy: CompactionPolicy,
 }
@@ -54,8 +74,28 @@ impl Default for StorageOptions {
             segment_max_bytes: 4 * 1024 * 1024,
             durability: Durability::Fsync,
             group_commit: true,
+            stripes: 1,
             policy: CompactionPolicy::default(),
         }
+    }
+}
+
+/// The `HCC_WAL_STRIPES` environment override (the CI striping axis),
+/// shared by every options type that carries a stripe count: `Some(n)`
+/// for a parsable value ≥ 1, `None` otherwise.
+pub fn stripes_env_override() -> Option<usize> {
+    std::env::var("HCC_WAL_STRIPES").ok()?.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+impl StorageOptions {
+    /// Override the stripe count from `HCC_WAL_STRIPES` — how CI runs
+    /// the recovery suite as a striping matrix. Unset or unparsable
+    /// values keep the current count.
+    pub fn stripes_from_env(mut self) -> Self {
+        if let Some(n) = stripes_env_override() {
+            self.stripes = n;
+        }
+        self
     }
 }
 
@@ -66,8 +106,8 @@ pub struct CommittedTxn {
     pub ts: u64,
     /// Transaction id.
     pub txn: u64,
-    /// Logged operations in execution order: `(object, opaque op bytes)`
-    /// (registry ids already translated back to names).
+    /// Logged operations in execution (ticket) order: `(object, opaque op
+    /// bytes)` (registry ids already translated back to names).
     pub ops: Vec<(String, Vec<u8>)>,
 }
 
@@ -94,8 +134,28 @@ pub struct Recovered {
     pub committed: Vec<CommittedTxn>,
     /// Transactions with operations but no completion record, by id.
     pub in_doubt: Vec<InDoubtTxn>,
-    /// Was a torn tail dropped from the final segment?
+    /// Transactions whose commit record survived but some op records did
+    /// not (a stripe's crash tail took them): never acknowledged durable,
+    /// dropped from replay.
+    pub incomplete: Vec<u64>,
+    /// Did any stripe drop a torn tail from its final segment?
     pub torn_tail: bool,
+}
+
+/// What [`DurableStore::checkpoint_begin`] captured under the commit
+/// gate: everything `checkpoint_finish` needs, frozen at the watermark.
+#[derive(Clone, Debug)]
+pub struct CheckpointCursor {
+    /// The commit-timestamp watermark (`ts0`): every commit at or below
+    /// it is fully logged and applied; the snapshots are taken at it.
+    pub last_ts: u64,
+    /// The global ticket watermark at begin time.
+    pub last_ticket: u64,
+    /// The commit-chain watermark at begin time (no commit is mid-chain:
+    /// the caller holds its commit gate exclusively).
+    pub commit_chain: u64,
+    /// Per-stripe prune bounds (active segment clamped by live pins).
+    pub stripe_cuts: Vec<u64>,
 }
 
 /// A WAL + checkpoint store + compaction policy rooted at one directory.
@@ -121,8 +181,9 @@ pub struct DurableStore {
     checkpoints_taken: AtomicU64,
     /// The object registry: name → compact id used by `Op` records. Seeded
     /// from the surviving `Register` records on open; grows as new names
-    /// are logged against.
-    registry: std::sync::Mutex<ObjectRegistry>,
+    /// are logged against. Reads (the per-op fast path) take the lock
+    /// shared so the registry cannot become a serial point across stripes.
+    registry: std::sync::RwLock<ObjectRegistry>,
 }
 
 #[derive(Default)]
@@ -144,18 +205,25 @@ impl DurableStore {
                 segment_max_bytes: opts.segment_max_bytes,
                 durability: opts.durability,
                 group_commit: opts.group_commit,
+                stripes: opts.stripes,
             },
         )?;
         let ckpt = Checkpoint::load_latest(&dir)?;
         let ckpt_ts = ckpt.as_ref().map(|c| c.last_ts).unwrap_or(0);
-        // One metadata-only pass over the surviving segments (bounded by
-        // compaction): resuming a log must not reuse timestamps,
-        // transaction ids, or registry ids that are already durable below
-        // the recovery watermarks. Registry bindings come from the
-        // checkpoint (whose segments compaction deleted) plus the
+        // The WAL already made one metadata pass over the surviving
+        // segments when it opened (tail repair + ticket/chain anchors);
+        // reuse its scan: resuming a log must not reuse timestamps,
+        // transaction ids, tickets, or registry ids that are already
+        // durable below the recovery watermarks. Registry bindings come
+        // from the checkpoint (whose segments compaction deleted) plus the
         // surviving Register records.
-        let scan = crate::wal::scan_watermarks(&dir)?;
+        let scan = wal.open_scan().clone();
         let last_ts = ckpt_ts.max(scan.last_ts);
+        // Compaction may have deleted the segments holding the highest
+        // tickets (and the chain link below the watermark); the
+        // checkpoint remembers both.
+        wal.witness_ticket(ckpt.as_ref().map(|c| c.last_ticket + 1).unwrap_or(0));
+        wal.witness_chain(ckpt.as_ref().map(|c| c.commit_chain).unwrap_or(0));
         let mut registry = ObjectRegistry::default();
         let ckpt_bindings = ckpt.map(|c| c.registry).unwrap_or_default();
         for (id, name) in ckpt_bindings.into_iter().chain(scan.registrations) {
@@ -170,7 +238,7 @@ impl DurableStore {
             max_txn_seen: scan.max_txn,
             unabsorbed_history: std::sync::atomic::AtomicBool::new(last_ts > 0),
             checkpoints_taken: AtomicU64::new(0),
-            registry: std::sync::Mutex::new(registry),
+            registry: std::sync::RwLock::new(registry),
         }))
     }
 
@@ -206,25 +274,60 @@ impl DurableStore {
         self.opts.durability
     }
 
-    /// Log that `txn` began.
-    pub fn log_begin(&self, txn: u64) -> Result<(), StorageError> {
-        self.wal.append(&LogRecord::Begin { txn })
+    /// The number of WAL append stripes.
+    pub fn stripes(&self) -> usize {
+        self.wal.stripe_count()
     }
 
-    /// Log one executed operation. The object name is translated to its
-    /// compact registry id; a first-seen name durably appends its
-    /// `Register` binding before the op record.
-    pub fn log_op(&self, txn: u64, object: &str, op: &[u8]) -> Result<(), StorageError> {
+    /// Reserve the next global order ticket. The two-phase redo path
+    /// calls this *under the executing object's lock* — that is the whole
+    /// trick: the ticket order of one object's ops equals their execution
+    /// order, while the append itself (`publish_op`) happens outside the
+    /// lock and can never stall the object behind a rotation fsync.
+    pub fn reserve_ticket(&self) -> u64 {
+        self.wal.reserve()
+    }
+
+    /// Log that `txn` began.
+    pub fn log_begin(&self, txn: u64) -> Result<(), StorageError> {
+        self.wal.append_begin(txn)
+    }
+
+    /// Append one executed operation under a pre-reserved ticket. The
+    /// object name is translated to its compact registry id; a first-seen
+    /// name durably appends its `Register` binding (on the same stripe)
+    /// before the op record.
+    pub fn publish_op(
+        &self,
+        ticket: u64,
+        txn: u64,
+        object: &str,
+        op: &[u8],
+    ) -> Result<(), StorageError> {
         let obj = self.object_id(object)?;
-        self.wal.append(&LogRecord::Op { txn, obj, op: op.to_vec() })
+        self.wal.append_op(ticket, txn, obj, op)
+    }
+
+    /// Log one executed operation, reserving its ticket at append time
+    /// (single-phase; callers that executed under an object lock should
+    /// use [`DurableStore::reserve_ticket`] + [`DurableStore::publish_op`]
+    /// instead so the ticket order matches the execution order).
+    pub fn log_op(&self, txn: u64, object: &str, op: &[u8]) -> Result<(), StorageError> {
+        self.publish_op(self.wal.reserve(), txn, object, op)
     }
 
     /// The registry id for `object`, assigning (and durably registering)
     /// one on first use.
     pub fn object_id(&self, object: &str) -> Result<u64, StorageError> {
-        let mut reg = self.registry.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        {
+            let reg = self.registry.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(&id) = reg.by_name.get(object) {
+                return Ok(id);
+            }
+        }
+        let mut reg = self.registry.write().unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(&id) = reg.by_name.get(object) {
-            return Ok(id);
+            return Ok(id); // lost the upgrade race: someone registered it
         }
         // Reserve the id *before* the append, and never recycle it: a
         // failed append may still leave the Register frame in the WAL
@@ -238,16 +341,17 @@ impl DurableStore {
         // The binding is cached only once the append succeeded, so the
         // next attempt re-registers instead of logging ops against an id
         // recovery might never learn.
-        self.wal.append(&LogRecord::Register { id, name: object.to_string() })?;
+        self.wal.append_register(id, object)?;
         reg.by_name.insert(object.to_string(), id);
         Ok(id)
     }
 
-    /// Durably log that `txn` committed at `ts` (group-committed under
-    /// `Durability::Fsync`). Returns only once the record is as durable as
-    /// the configured level requires.
+    /// Durably log that `txn` committed at `ts` (group-committed per
+    /// stripe under `Durability::Fsync`; the transaction's other op
+    /// stripes are settled first). Returns only once the record is as
+    /// durable as the configured level requires.
     pub fn log_commit(&self, txn: u64, ts: u64) -> Result<(), StorageError> {
-        self.wal.commit(&LogRecord::Commit { txn, ts })?;
+        self.wal.commit_txn(txn, ts)?;
         self.last_commit_ts.fetch_max(ts, Ordering::Relaxed);
         Ok(())
     }
@@ -256,20 +360,20 @@ impl DurableStore {
     /// replays uncommitted transactions, so ordinary aborts need no fsync;
     /// they only unpin segments for compaction).
     pub fn log_abort(&self, txn: u64) -> Result<(), StorageError> {
-        self.wal.append(&LogRecord::Abort { txn })
+        self.wal.append_abort(txn)
     }
 
     /// Durably log that `txn` aborted. Used when a commit record may
     /// already be on disk but was never acknowledged (its fsync failed):
     /// recovery's abort-wins rule needs this record to survive.
     pub fn log_abort_durable(&self, txn: u64) -> Result<(), StorageError> {
-        self.wal.commit(&LogRecord::Abort { txn })
+        self.wal.commit_abort(txn)
     }
 
-    /// Force everything appended so far onto disk (flush + fsync),
-    /// regardless of the configured durability level. A 2PC participant
-    /// calls this before voting yes: its op records must survive a crash
-    /// once the coordinator may decide commit.
+    /// Force everything appended so far onto disk (flush + fsync on every
+    /// stripe), regardless of the configured durability level. A 2PC
+    /// participant calls this before voting yes: its op records must
+    /// survive a crash once the coordinator may decide commit.
     pub fn sync(&self) -> Result<(), StorageError> {
         self.wal.sync()
     }
@@ -289,47 +393,72 @@ impl DurableStore {
         self.checkpoints_taken.load(Ordering::Relaxed)
     }
 
-    /// Take a checkpoint of `objects` and delete dead segments.
-    ///
-    /// The caller must guarantee no commit is logged concurrently (the
-    /// manager's commit gate does this); the snapshots must reflect every
-    /// commit logged so far.
-    pub fn checkpoint(
-        &self,
-        objects: &[(&str, &dyn Snapshot)],
-    ) -> Result<Checkpoint, StorageError> {
+    /// Phase 1 of a fuzzy checkpoint. The caller must hold its commit
+    /// gate exclusively across this call (and across pinning its objects'
+    /// horizons at the returned watermark) — microseconds of stall, no
+    /// I/O — and must then release the gate before snapshotting.
+    pub fn checkpoint_begin(&self) -> Result<CheckpointCursor, StorageError> {
         if self.unabsorbed_history.load(Ordering::Acquire) {
             return Err(StorageError::UnabsorbedHistory {
                 last_ts: self.last_commit_ts.load(Ordering::Relaxed),
             });
         }
-        // Finish the current segment so the checkpoint covers exactly the
-        // records below `resume_seg`.
-        let resume_seg = self.wal.rotate()?;
+        Ok(CheckpointCursor {
+            last_ts: self.last_commit_ts.load(Ordering::Relaxed),
+            last_ticket: self.wal.current_ticket(),
+            commit_chain: self.wal.commit_chain(),
+            stripe_cuts: self.wal.checkpoint_cuts(),
+        })
+    }
+
+    /// Phase 2 of a fuzzy checkpoint: persist the snapshots (taken at
+    /// `cursor.last_ts` via [`Snapshot::snapshot_at`]) and compact.
+    /// Commits may be running concurrently.
+    pub fn checkpoint_finish(
+        &self,
+        cursor: &CheckpointCursor,
+        objects: Vec<(String, Vec<u8>)>,
+    ) -> Result<Checkpoint, StorageError> {
         // The checkpoint carries the registry bindings: pruning deletes the
         // segments holding the original Register records, while pinned
         // segments may keep op records that still reference the ids — and
         // the checkpoint file (temp + fsync + rename) is the one artifact
         // a torn tail can never reach.
         let registry: Vec<(u64, String)> = {
-            let reg = self.registry.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let reg = self.registry.read().unwrap_or_else(std::sync::PoisonError::into_inner);
             reg.by_name.iter().map(|(name, &id)| (id, name.clone())).collect()
         };
         let ckpt = Checkpoint {
-            last_ts: self.last_commit_ts.load(Ordering::Relaxed),
-            resume_seg,
-            objects: objects
-                .iter()
-                .map(|(name, snap)| (name.to_string(), snap.snapshot()))
-                .collect(),
+            last_ts: cursor.last_ts,
+            last_ticket: cursor.last_ticket,
+            commit_chain: cursor.commit_chain,
+            stripe_lows: cursor.stripe_cuts.clone(),
+            objects,
             registry,
         };
         ckpt.save(&self.dir)?;
         self.wal.mark_checkpoint();
-        self.wal.prune_segments(resume_seg)?;
+        self.wal.prune_segments(&cursor.stripe_cuts)?;
         Checkpoint::prune_older(&self.dir, ckpt.last_ts)?;
         self.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
         Ok(ckpt)
+    }
+
+    /// Take a checkpoint of `objects` and delete dead segments, assuming
+    /// a **quiesced** caller: no commit may be logged between the begin
+    /// and the snapshots (the transaction manager's fuzzy path pins
+    /// horizons and snapshots at the watermark instead — see
+    /// `hcc-txn::TxnManager::checkpoint`).
+    pub fn checkpoint(
+        &self,
+        objects: &[(&str, &dyn Snapshot)],
+    ) -> Result<Checkpoint, StorageError> {
+        let cursor = self.checkpoint_begin()?;
+        let snaps = objects
+            .iter()
+            .map(|(name, snap)| (name.to_string(), snap.snapshot_at(cursor.last_ts)))
+            .collect();
+        self.checkpoint_finish(&cursor, snaps)
     }
 
     /// Convenience: checkpoint iff the policy fires.
@@ -351,6 +480,8 @@ impl DurableStore {
         let dir = dir.as_ref();
         let checkpoint = Checkpoint::load_latest(dir)?;
         let ckpt_ts = checkpoint.as_ref().map(|c| c.last_ts).unwrap_or(0);
+        // Records arrive merged into global ticket order — the
+        // deterministic stripe merge.
         let (records, torn_tail) = read_records(dir)?;
 
         // The id→name registry: seeded from the checkpoint (which carries
@@ -363,52 +494,85 @@ impl DurableStore {
                 names.insert(*id, name.clone());
             }
         }
-        for rec in &records {
+        for (_, rec) in &records {
             if let LogRecord::Register { id, name } = rec {
                 names.insert(*id, name.clone());
             }
         }
 
         let mut ops: HashMap<u64, Vec<(String, Vec<u8>)>> = HashMap::new();
-        let mut begun: HashSet<u64> = HashSet::new();
         let mut aborted: HashSet<u64> = HashSet::new();
         let mut completed: HashSet<u64> = HashSet::new();
-        let mut commits: BTreeMap<u64, u64> = BTreeMap::new(); // ts -> txn
-        for rec in records {
+        let mut op_counts: HashMap<u64, u32> = HashMap::new();
+        // Commit records in ticket (chain) order, plus the tickets of
+        // abort records (a compensating abort reuses a failed commit's
+        // chain ticket, keeping the chain linkable through it).
+        let mut commit_nodes: Vec<(u64, u64, u64, u64)> = Vec::new(); // (seq, txn, ts, prev)
+        let mut abort_tickets: HashSet<u64> = HashSet::new();
+        for (seq, rec) in records {
             match rec {
-                LogRecord::Begin { txn } => {
-                    begun.insert(txn);
-                }
+                LogRecord::Begin { .. } => {}
                 LogRecord::Op { txn, obj, op } => {
-                    begun.insert(txn);
                     let object = names
                         .get(&obj)
                         .cloned()
                         .ok_or(StorageError::UnknownObjectId { id: obj, txn })?;
                     ops.entry(txn).or_default().push((object, op));
                 }
-                LogRecord::Commit { txn, ts } => {
+                LogRecord::Commit { txn, ts, ops: n, prev } => {
                     completed.insert(txn);
-                    if ts > ckpt_ts {
-                        if let Some(prev) = commits.insert(ts, txn) {
-                            if prev != txn {
-                                // Silently keeping either transaction would
-                                // drop the other's acknowledged effects.
-                                return Err(StorageError::TimestampCollision {
-                                    ts,
-                                    first: prev,
-                                    second: txn,
-                                });
-                            }
-                        }
-                    }
+                    // Duplicate commit records of one txn (a retried 2PC
+                    // phase-2 delivery) may disagree on the count — the
+                    // retry is logged after the tracking entry was
+                    // cleared. The max is the true count; any duplicate
+                    // below it carries no new obligation.
+                    let c = op_counts.entry(txn).or_insert(0);
+                    *c = (*c).max(n);
+                    commit_nodes.push((seq, txn, ts, prev));
                 }
                 LogRecord::Abort { txn } => {
                     ops.remove(&txn);
                     aborted.insert(txn);
                     completed.insert(txn);
+                    abort_tickets.insert(seq);
                 }
                 LogRecord::Register { .. } => {}
+            }
+        }
+
+        // The commit-chain walk: a commit is *durably linked* when its
+        // `prev` pointer resolves — to the checkpoint's chain watermark,
+        // to another linked commit, or to an abort that reused a failed
+        // commit's ticket. A hole means a stripe's crash tail took an
+        // earlier commit record than one that survived elsewhere; the
+        // unlinked commit (and transitively everything chained past the
+        // hole) was never acknowledged-and-depended-on consistently, so
+        // it is dropped — exactly the "a tail cut removes a suffix"
+        // semantics of a single-stream log, reconstructed across stripes.
+        let chain_floor = checkpoint.as_ref().map(|c| c.commit_chain).unwrap_or(0);
+        let mut linked: HashSet<u64> = HashSet::new();
+        let mut commits: BTreeMap<u64, u64> = BTreeMap::new(); // ts -> txn
+        let mut incomplete = Vec::new();
+        for &(seq, txn, ts, prev) in &commit_nodes {
+            if seq <= chain_floor {
+                // Pinned pre-checkpoint record: absorbed in the
+                // snapshots, never replayed; not part of the walk.
+                continue;
+            }
+            let ok = prev <= chain_floor || linked.contains(&prev) || abort_tickets.contains(&prev);
+            if !ok {
+                incomplete.push(txn);
+                continue;
+            }
+            linked.insert(seq);
+            if ts > ckpt_ts {
+                if let Some(first) = commits.insert(ts, txn) {
+                    if first != txn {
+                        // Silently keeping either transaction would drop
+                        // the other's acknowledged effects.
+                        return Err(StorageError::TimestampCollision { ts, first, second: txn });
+                    }
+                }
             }
         }
 
@@ -423,12 +587,22 @@ impl DurableStore {
                 // rolled back.
                 continue;
             }
-            if !begun.contains(&txn) {
-                // The commit record survived but the transaction's Begin/Op
-                // records did not: the log lost something it needed.
-                return Err(StorageError::MissingOps { txn, ts });
+            let survivors = ops.remove(&txn).unwrap_or_default();
+            let want = op_counts.get(&txn).copied().unwrap_or(0) as usize;
+            if survivors.len() < want {
+                // Part of the transaction's ops went down with a stripe's
+                // crash tail while its commit record (on another stripe)
+                // survived. The commit was never acknowledged at `Fsync`
+                // durability — the op stripes settle before the commit
+                // record syncs — so dropping it is exactly the
+                // crashed-before-acknowledge outcome. Per-object stripe
+                // affinity guarantees no *surviving* transaction observed
+                // its effects: any later op on the same object sat behind
+                // the lost one in the same stripe and is lost too.
+                incomplete.push(txn);
+                continue;
             }
-            committed.push(CommittedTxn { ts, txn, ops: ops.remove(&txn).unwrap_or_default() });
+            committed.push(CommittedTxn { ts, txn, ops: survivors });
         }
         // Ops with no completion record at all: in-doubt. A 2PC site log
         // resolves these against the coordinator's decision log; a
@@ -439,7 +613,7 @@ impl DurableStore {
             .map(|(txn, ops)| InDoubtTxn { txn, ops })
             .collect();
         in_doubt.sort_by_key(|t| t.txn);
-        Ok(Recovered { checkpoint, committed, in_doubt, torn_tail })
+        Ok(Recovered { checkpoint, committed, in_doubt, incomplete, torn_tail })
     }
 }
 
@@ -493,6 +667,10 @@ mod tests {
             policy: CompactionPolicy::never(),
             ..StorageOptions::default()
         }
+    }
+
+    fn striped_opts(n: usize) -> StorageOptions {
+        StorageOptions { stripes: n, ..small_opts() }
     }
 
     fn run_txn(store: &DurableStore, cell: &Cell, txn: u64, ts: u64, v: i64) {
@@ -571,12 +749,35 @@ mod tests {
         for i in 1..=50 {
             run_txn(&store, &cell, i, i, 1);
         }
-        let before = crate::wal::list_segments(&dir).unwrap().len();
+        let stripe = &crate::wal::stripe_dirs(&dir).unwrap()[0].1;
+        let before = crate::wal::list_segments(stripe).unwrap().len();
         assert!(before > 2);
         store.checkpoint(&[("cell", &cell)]).unwrap();
-        let after = crate::wal::list_segments(&dir).unwrap().len();
+        let after = crate::wal::list_segments(stripe).unwrap().len();
         assert!(after <= 2, "dead segments survived: {after}");
         assert_eq!(store.checkpoints_taken(), 1);
+    }
+
+    #[test]
+    fn striped_store_recovers_identically_to_single_stripe() {
+        let dir1 = tmp("stripes-1");
+        let dir8 = tmp("stripes-8");
+        let drive = |dir: &PathBuf, stripes: usize| {
+            let store = DurableStore::open(dir, striped_opts(stripes)).unwrap();
+            // Several objects so striping actually spreads the records.
+            for i in 1..=40u64 {
+                let name = format!("cell-{}", i % 5);
+                store.log_begin(i).unwrap();
+                store.log_op(i, &name, &(i as i64).to_le_bytes()).unwrap();
+                store.log_commit(i, i).unwrap();
+            }
+        };
+        drive(&dir1, 1);
+        drive(&dir8, 8);
+        let r1 = DurableStore::recover(&dir1).unwrap();
+        let r8 = DurableStore::recover(&dir8).unwrap();
+        assert_eq!(r1.committed, r8.committed, "merged replay is routing-invariant");
+        assert!(crate::wal::stripe_dirs(&dir8).unwrap().len() > 1);
     }
 
     #[test]
@@ -676,19 +877,105 @@ mod tests {
         );
     }
 
+    /// Commit records are self-certifying: a zero-op commit replays as an
+    /// empty transaction even with no Begin record anywhere (a crash can
+    /// fsync the commit while the buffered Begin on another stripe is
+    /// lost), and a commit whose stamped op count exceeds the surviving
+    /// ops is reported as incomplete rather than refusing the log.
     #[test]
-    fn missing_ops_is_detected() {
-        let dir = tmp("missing");
+    fn commits_are_self_certifying_without_begin_records() {
+        let dir = tmp("self-certify");
         {
             let store = DurableStore::open(&dir, small_opts()).unwrap();
-            // A commit record with no Begin/Op in the log (simulates a
-            // wrongly pruned segment).
-            store.log_commit(7, 3).unwrap();
+            store.log_commit(7, 3).unwrap(); // no Begin, no ops: count = 0
         }
-        match DurableStore::recover(&dir) {
-            Err(StorageError::MissingOps { txn: 7, ts: 3 }) => {}
-            other => panic!("expected MissingOps, got {other:?}"),
+        let recovered = DurableStore::recover(&dir).unwrap();
+        assert_eq!(recovered.committed.len(), 1);
+        assert_eq!(recovered.committed[0].txn, 7);
+        assert!(recovered.committed[0].ops.is_empty());
+        assert!(recovered.incomplete.is_empty());
+    }
+
+    /// The striped crash shape: a stripe's tail takes a transaction's op
+    /// records while its commit record (op count stamped in) survives on
+    /// another stripe. The transaction was never acknowledged; recovery
+    /// drops it as incomplete instead of refusing the whole log or
+    /// replaying half of it.
+    #[test]
+    fn commit_with_partially_lost_ops_is_dropped_as_incomplete() {
+        let dir = tmp("incomplete");
+        {
+            let store = DurableStore::open(
+                &dir,
+                StorageOptions { segment_max_bytes: 1 << 20, ..striped_opts(2) },
+            )
+            .unwrap();
+            // cell-a gets registry id 1 (stripe 1), cell-b id 2 (stripe
+            // 0). txn 3's home stripe is 1, so its multi-stripe commit
+            // lands on stripe 1 while its cell-b op sits alone at stripe
+            // 0's tail.
+            store.log_begin(3).unwrap();
+            store.log_op(3, "cell-a", &1i64.to_le_bytes()).unwrap();
+            store.log_op(3, "cell-b", &2i64.to_le_bytes()).unwrap();
+            store.log_commit(3, 1).unwrap();
+            store.log_begin(5).unwrap();
+            store.log_op(5, "cell-a", &3i64.to_le_bytes()).unwrap();
+            store.log_commit(5, 2).unwrap();
         }
+        // Chop cell-b's op off stripe 0's tail; stripe 1 (commit record,
+        // op count 2) is untouched.
+        let sdir = &crate::wal::stripe_dirs(&dir).unwrap()[0].1;
+        let last = crate::wal::list_segments(sdir).unwrap().pop().unwrap().1;
+        let len = std::fs::metadata(&last).unwrap().len();
+        std::fs::OpenOptions::new().write(true).open(&last).unwrap().set_len(len - 10).unwrap();
+
+        let recovered = DurableStore::recover(&dir).unwrap();
+        assert_eq!(recovered.incomplete, vec![3], "txn 3 lost an op record");
+        assert_eq!(recovered.committed.len(), 1, "txn 5 is intact");
+        assert_eq!(recovered.committed[0].txn, 5);
+    }
+
+    /// The commit-chain rule: a stripe's crash tail takes an *earlier*
+    /// commit record while a later, possibly dependent commit survives on
+    /// another stripe. Without the chain, replay would keep the later
+    /// transaction over state missing its predecessor; with it, the hole
+    /// unlinks the later commit and everything chained past it.
+    #[test]
+    fn chain_hole_drops_commits_past_a_lost_predecessor() {
+        let dir = tmp("chain");
+        {
+            let store = DurableStore::open(
+                &dir,
+                StorageOptions { segment_max_bytes: 1 << 20, ..striped_opts(2) },
+            )
+            .unwrap();
+            // txn 3 (home stripe 1) touches both objects → commit on its
+            // home stripe 1. txn 4 touches only cell-b (stripe 0) → its
+            // commit lands on stripe 0 with its op.
+            store.log_begin(3).unwrap();
+            store.log_op(3, "cell-a", &1i64.to_le_bytes()).unwrap(); // id 1 → stripe 1
+            store.log_op(3, "cell-b", &2i64.to_le_bytes()).unwrap(); // id 2 → stripe 0
+            store.log_commit(3, 1).unwrap();
+            store.log_begin(4).unwrap();
+            store.log_op(4, "cell-b", &3i64.to_le_bytes()).unwrap();
+            store.log_commit(4, 2).unwrap();
+        }
+        // Cut stripe 1's tail: txn 3 loses its commit record (and its
+        // cell-a op); stripe 0 keeps txn 4's op + commit intact.
+        let sdir = &crate::wal::stripe_dirs(&dir).unwrap()[1].1;
+        let last = crate::wal::list_segments(sdir).unwrap().pop().unwrap().1;
+        let len = std::fs::metadata(&last).unwrap().len();
+        std::fs::OpenOptions::new().write(true).open(&last).unwrap().set_len(len - 40).unwrap();
+
+        let recovered = DurableStore::recover(&dir).unwrap();
+        assert!(
+            recovered.committed.is_empty(),
+            "txn 4's chain predecessor (txn 3's commit) is gone — it must not replay: {:?}",
+            recovered.committed
+        );
+        assert_eq!(recovered.incomplete, vec![4], "txn 4 is beyond the durable horizon");
+        assert_eq!(recovered.in_doubt.len(), 1, "txn 3 reverts to in-doubt (ops, no outcome)");
+        assert_eq!(recovered.in_doubt[0].txn, 3);
     }
 
     #[test]
@@ -716,6 +1003,32 @@ mod tests {
             store.mark_state_absorbed();
             let ckpt = store.checkpoint(&[("cell", &cell)]).unwrap();
             assert_eq!(ckpt.last_ts, 5);
+        }
+    }
+
+    #[test]
+    fn tickets_resume_above_checkpoint_watermark_after_full_pruning() {
+        let dir = tmp("ticket-floor");
+        let cell = Cell::default();
+        let ticket_at_ckpt;
+        {
+            let store = DurableStore::open(&dir, small_opts()).unwrap();
+            for i in 1..=30 {
+                run_txn(&store, &cell, i, i, 1);
+            }
+            let ckpt = store.checkpoint(&[("cell", &cell)]).unwrap();
+            ticket_at_ckpt = ckpt.last_ticket;
+            assert!(ticket_at_ckpt > 60);
+        }
+        {
+            // Compaction deleted the old segments; the surviving log may
+            // hold no high tickets at all. The reopened store must still
+            // allocate above the checkpoint watermark.
+            let store = DurableStore::open(&dir, small_opts()).unwrap();
+            assert!(
+                store.reserve_ticket() > ticket_at_ckpt,
+                "tickets must not restart below the checkpoint watermark"
+            );
         }
     }
 }

@@ -12,7 +12,7 @@
 use crate::clock::LogicalClock;
 use crate::deadlock::DeadlockDetector;
 use crate::registry::{RecoveryError, RecoveryReport, Registry};
-use hcc_core::runtime::{RedoSink, RuntimeOptions, TxnHandle, TxnPhase};
+use hcc_core::runtime::{RedoSink, RedoTicket, RuntimeOptions, TxnHandle, TxnPhase};
 use hcc_spec::{Timestamp, TxnId};
 use hcc_storage::{Checkpoint, DurableStore, Snapshot, StorageError, StorageOptions};
 use parking_lot::RwLock;
@@ -20,8 +20,9 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Redo payloads awaiting a retry, in execution order: `(object, bytes)`.
-type PendingOps = Vec<(String, Vec<u8>)>;
+/// Redo payloads awaiting a retry, in execution order, each keeping its
+/// reserved order ticket: `(ticket, object, bytes)`.
+type PendingOps = Vec<(RedoTicket, String, Vec<u8>)>;
 
 /// Why a commit was refused. In every case the transaction has been
 /// aborted at all objects (all-or-nothing).
@@ -59,10 +60,11 @@ pub struct TxnManager {
     /// The durable log, when this manager persists completion records.
     store: Option<Arc<DurableStore>>,
     /// Transactions whose Begin record failed to append (transient I/O).
-    /// The commit path retries the Begin before the commit record —
-    /// recovery refuses (`MissingOps`) a committed transaction with no
-    /// Begin/Op records at all, so the retry keeps a zero-op commit after
-    /// a logging hiccup recoverable.
+    /// The commit path retries the Begin before the commit record: Begin
+    /// records pin the transaction's segments for compaction from its
+    /// first record on, and keep the on-disk history complete for
+    /// inspection (recovery itself no longer needs them — commit records
+    /// are self-certifying).
     begin_unlogged: parking_lot::Mutex<std::collections::HashSet<u64>>,
     /// Redo payloads that failed to append when their operation executed
     /// (transient I/O), in execution order per transaction. Once a
@@ -71,10 +73,18 @@ pub struct TxnManager {
     /// commit path drains the stash before the commit record, or refuses
     /// the commit.
     ops_unlogged: parking_lot::Mutex<std::collections::HashMap<u64, PendingOps>>,
-    /// Commits hold this shared; checkpoints hold it exclusively, so a
-    /// snapshot can never observe a commit that is logged but not yet
-    /// applied at every object (or vice versa).
+    /// Commits hold this shared around log-write + phase-2 apply.
+    /// Checkpoints hold it exclusively only for the *begin* instant of
+    /// the fuzzy protocol — establishing the watermark and pinning
+    /// horizons, no I/O — so a watermark can never fall between a
+    /// commit's log record and its application at the objects.
     commit_gate: RwLock<()>,
+    /// Serializes whole checkpoints against each other (two concurrent
+    /// fuzzy checkpoints would fight over the horizon pins).
+    checkpoint_serial: parking_lot::Mutex<()>,
+    /// How long the last checkpoint held the commit gate exclusively, in
+    /// nanoseconds — the entire commit stall a fuzzy checkpoint imposes.
+    ckpt_gate_nanos: AtomicU64,
 }
 
 impl TxnManager {
@@ -121,6 +131,8 @@ impl TxnManager {
             begin_unlogged: parking_lot::Mutex::new(std::collections::HashSet::new()),
             ops_unlogged: parking_lot::Mutex::new(std::collections::HashMap::new()),
             commit_gate: RwLock::new(()),
+            checkpoint_serial: parking_lot::Mutex::new(()),
+            ckpt_gate_nanos: AtomicU64::new(0),
         })
     }
 
@@ -163,37 +175,13 @@ impl TxnManager {
         if let Some(store) = &self.store {
             // An I/O error must not fail `begin` — but it is remembered:
             // the commit path retries the Begin record before the commit
-            // record, since recovery refuses a commit with no Begin/Op
-            // records (`MissingOps`).
+            // record, keeping segment pinning and the on-disk history
+            // complete.
             if store.log_begin(id.0).is_err() {
                 self.begin_unlogged.lock().insert(id.0);
             }
         }
         h
-    }
-
-    /// Log one executed operation for `txn` by hand (no-op without a
-    /// durable store).
-    ///
-    /// **Legacy.** Objects built with [`TxnManager::object_options`]
-    /// self-log every mutating operation — this caller-driven path exists
-    /// only for the differential harness that proves the two disciplines
-    /// produce identical recovery state (`hcc-workload::crash`), and is
-    /// hidden from the public API: an omitted call silently loses
-    /// committed effects on recovery, which is exactly the failure mode
-    /// self-logging removes.
-    #[doc(hidden)]
-    pub fn log_op(
-        &self,
-        txn: &Arc<TxnHandle>,
-        object: &str,
-        op: &serde_json::Value,
-    ) -> Result<(), StorageError> {
-        if let Some(store) = &self.store {
-            let bytes = serde_json::to_vec(op).expect("JSON values always serialize");
-            store.log_op(txn.id().0, object, &bytes)?;
-        }
-        Ok(())
     }
 
     /// Commit: two-phase atomic commitment across every touched object,
@@ -229,10 +217,9 @@ impl TxnManager {
         // max object clock it observed), guaranteeing precedes ⊆ TS.
         let ts = self.clock.timestamp_after(txn.bound());
         if let Some(store) = &self.store {
-            // Retry a Begin record that failed at `begin()`: without it a
-            // zero-op commit would make the whole log unrecoverable
-            // (`MissingOps`). Still failing means the log is unwell —
-            // refuse the commit rather than poison recovery.
+            // Retry a Begin record that failed at `begin()`. Still
+            // failing means the log is unwell — refuse the commit rather
+            // than continue over a log that is dropping appends.
             if self.begin_unlogged.lock().contains(&txn.id().0) {
                 match store.log_begin(txn.id().0) {
                     Ok(()) => {
@@ -254,8 +241,10 @@ impl TxnManager {
             // would lose these effects at recovery.
             let stashed = self.ops_unlogged.lock().remove(&txn.id().0);
             if let Some(stashed) = stashed {
-                for (object, bytes) in &stashed {
-                    if let Err(e) = store.log_op(txn.id().0, object, bytes) {
+                for (ticket, object, bytes) in &stashed {
+                    // Retried under the originally reserved ticket, so the
+                    // merged replay order is unchanged by the hiccup.
+                    if let Err(e) = store.publish_op(ticket.0, txn.id().0, object, bytes) {
                         // The transaction is aborted below; do_abort drops
                         // any stash, so nothing is kept for a retry that
                         // cannot happen.
@@ -310,16 +299,49 @@ impl TxnManager {
         Ok(report)
     }
 
-    /// Take a checkpoint of `objects` through the durable store, stopping
-    /// the world (no commit proceeds while snapshots are taken). Returns
-    /// `Ok(None)` when the manager has no store.
+    /// Take a **fuzzy checkpoint** of `objects` through the durable
+    /// store. Returns `Ok(None)` when the manager has no store.
+    ///
+    /// The commit gate is held exclusively only for the *begin* instant —
+    /// recording the watermark `ts0`, the per-stripe cuts, and pinning
+    /// every object's fold horizon at `ts0`; no I/O, microseconds — and
+    /// is then released. Snapshots are taken incrementally, each under
+    /// its own object's lock, *at* the watermark
+    /// ([`Snapshot::snapshot_at`]), while concurrent commits (all with
+    /// `ts > ts0`) keep flowing; recovery replays them over the fuzzy
+    /// image in timestamp order. The gate-hold duration is recorded in
+    /// [`TxnManager::last_checkpoint_gate_nanos`].
     pub fn checkpoint(
         &self,
         objects: &[(&str, &dyn Snapshot)],
     ) -> Result<Option<Checkpoint>, StorageError> {
         let Some(store) = &self.store else { return Ok(None) };
-        let _gate = self.commit_gate.write();
-        store.checkpoint(objects).map(Some)
+        let _serial = self.checkpoint_serial.lock();
+        let cursor = {
+            let _gate = self.commit_gate.write();
+            let held = std::time::Instant::now();
+            let cursor = store.checkpoint_begin()?;
+            for (_, obj) in objects {
+                obj.pin_horizon(cursor.last_ts);
+            }
+            self.ckpt_gate_nanos.store(held.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            cursor
+        };
+        let snaps: Vec<(String, Vec<u8>)> = objects
+            .iter()
+            .map(|(name, obj)| (name.to_string(), obj.snapshot_at(cursor.last_ts)))
+            .collect();
+        for (_, obj) in objects {
+            obj.unpin_horizon();
+        }
+        store.checkpoint_finish(&cursor, snaps).map(Some)
+    }
+
+    /// How long the most recent [`TxnManager::checkpoint`] held the
+    /// commit gate exclusively (nanoseconds) — the entire stall a fuzzy
+    /// checkpoint imposes on concurrent commits.
+    pub fn last_checkpoint_gate_nanos(&self) -> u64 {
+        self.ckpt_gate_nanos.load(Ordering::Relaxed)
     }
 
     /// Checkpoint iff the store's compaction policy asks for it.
@@ -390,26 +412,37 @@ impl TxnManager {
 
 /// The manager *is* the redo sink its objects log through: executing a
 /// mutating operation on an object built with
-/// [`TxnManager::object_options`] lands here, which appends the payload to
-/// the durable store. An append failure is stashed (in execution order)
-/// and retried by the commit path — and once one payload of a transaction
-/// is stashed, all its later payloads are too, so the log can never hold
-/// a transaction's ops out of order.
+/// [`TxnManager::object_options`] lands here. The object reserves the
+/// operation's global order ticket under its own lock
+/// ([`RedoSink::reserve`] — one atomic bump against the store's ticket
+/// counter) and publishes the payload after releasing it, so a stripe's
+/// rotation fsync can never stall the object. An append failure is
+/// stashed with its ticket (in execution order) and retried by the
+/// commit path under the *same* ticket — and once one payload of a
+/// transaction is stashed, all its later payloads are too, so the log
+/// can never hold a transaction's ops out of order.
 impl RedoSink for TxnManager {
-    fn record_op(&self, txn: TxnId, object: &str, op: &[u8]) {
+    fn reserve(&self, _txn: TxnId, _object: &str) -> RedoTicket {
+        match &self.store {
+            Some(store) => RedoTicket(store.reserve_ticket()),
+            None => RedoTicket(0),
+        }
+    }
+
+    fn publish(&self, ticket: RedoTicket, txn: TxnId, object: &str, op: &[u8]) {
         let Some(store) = &self.store else { return };
         let mut stash = self.ops_unlogged.lock();
         if let Some(pending) = stash.get_mut(&txn.0) {
-            pending.push((object.to_string(), op.to_vec()));
+            pending.push((ticket, object.to_string(), op.to_vec()));
             return;
         }
         drop(stash);
-        if store.log_op(txn.0, object, op).is_err() {
-            self.ops_unlogged
-                .lock()
-                .entry(txn.0)
-                .or_default()
-                .push((object.to_string(), op.to_vec()));
+        if store.publish_op(ticket.0, txn.0, object, op).is_err() {
+            self.ops_unlogged.lock().entry(txn.0).or_default().push((
+                ticket,
+                object.to_string(),
+                op.to_vec(),
+            ));
         }
     }
 }

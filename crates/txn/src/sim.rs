@@ -36,7 +36,7 @@
 use crate::clock::LogicalClock;
 use crate::registry::{Decisions, RecoveryError, RecoveryReport, Registry};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use hcc_core::runtime::{RedoSink, TxParticipant, TxnHandle, TxnPhase};
+use hcc_core::runtime::{RedoSink, RedoTicket, TxParticipant, TxnHandle, TxnPhase};
 use hcc_spec::TxnId;
 use hcc_storage::{DurableStore, StorageError};
 use std::collections::BTreeMap;
@@ -75,11 +75,15 @@ impl SiteWal {
 }
 
 impl RedoSink for SiteWal {
-    fn record_op(&self, txn: TxnId, object: &str, op: &[u8]) {
+    fn reserve(&self, _txn: TxnId, _object: &str) -> RedoTicket {
+        RedoTicket(self.store.reserve_ticket())
+    }
+
+    fn publish(&self, ticket: RedoTicket, txn: TxnId, object: &str, op: &[u8]) {
         // The simulation's sites have no commit-path stash; a failed
         // append poisons the sink instead, and the site votes no on every
         // later Prepare (see `Site::spawn_durable`).
-        if self.store.log_op(txn.0, object, op).is_err() {
+        if self.store.publish_op(ticket.0, txn.0, object, op).is_err() {
             self.poisoned.store(true, std::sync::atomic::Ordering::Release);
         }
     }
@@ -278,6 +282,18 @@ pub enum CommitOutcome {
     },
 }
 
+/// An injected coordinator failure for crash workloads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CoordinatorKill {
+    /// Run the protocol to completion.
+    #[default]
+    None,
+    /// Crash right after the decision record is durable and before any
+    /// phase-2 message is sent — the window the decision log exists for.
+    /// Every site is left in doubt; the outcome reports them all missed.
+    AfterDecision,
+}
+
 impl Coordinator {
     /// A coordinator over the given clock.
     pub fn new(clock: Arc<LogicalClock>) -> Coordinator {
@@ -306,6 +322,19 @@ impl Coordinator {
     /// distributes it, collecting acknowledgements. Either way all sites
     /// reach the same verdict: atomic commitment.
     pub fn commit(&self, txn: &Arc<TxnHandle>, sites: &[Site]) -> CommitOutcome {
+        let refs: Vec<&Site> = sites.iter().collect();
+        self.commit_with_kill(txn, &refs, CoordinatorKill::None)
+    }
+
+    /// [`Coordinator::commit`] with an injected coordinator crash — the
+    /// crash workloads' kill-point hook. Takes site references so
+    /// long-lived harnesses can keep ownership of their sites.
+    pub fn commit_with_kill(
+        &self,
+        txn: &Arc<TxnHandle>,
+        sites: &[&Site],
+        kill: CoordinatorKill,
+    ) -> CommitOutcome {
         // Phase 1.
         let mut pending = Vec::new();
         for site in sites {
@@ -351,16 +380,37 @@ impl Coordinator {
                 return CommitOutcome::Aborted { site: "coordinator".to_string() };
             }
         }
-        // Phase 2: distribute the timestamp and collect acknowledgements.
+        // The decision is now durable (or no log is configured). A
+        // coordinator crash from here on cannot change the verdict — only
+        // delay its delivery.
         txn.set_phase(TxnPhase::Committed(ts));
+        if kill == CoordinatorKill::AfterDecision {
+            // Crash before phase 2: every site stays in doubt until a
+            // recovered coordinator redelivers ([`Coordinator::retry_phase2`])
+            // or the site restarts and consults the decision log.
+            return CommitOutcome::CommittedPartial {
+                ts,
+                missed: sites.iter().map(|s| s.name.clone()).collect(),
+            };
+        }
+        // Phase 2: distribute the timestamp and collect acknowledgements.
+        match self.deliver_phase2(txn.id(), ts, sites) {
+            missed if missed.is_empty() => CommitOutcome::Committed(ts),
+            missed => CommitOutcome::CommittedPartial { ts, missed },
+        }
+    }
+
+    /// Send `Commit {txn, ts}` to every site in `sites` and collect
+    /// acknowledgements under one shared deadline (k dead sites cost one
+    /// timeout, not k of them). Returns the names of sites that did not
+    /// acknowledge.
+    fn deliver_phase2(&self, txn: TxnId, ts: u64, sites: &[&Site]) -> Vec<String> {
         let mut acks = Vec::new();
         for s in sites {
             let (atx, arx) = bounded(1);
-            let _ = s.tx.send(SiteMsg::Commit { txn: txn.id(), ts, ack: atx });
+            let _ = s.tx.send(SiteMsg::Commit { txn, ts, ack: atx });
             acks.push((s, arx));
         }
-        // One shared deadline for the whole ack pass: k dead sites cost
-        // one timeout, not k of them.
         let deadline = std::time::Instant::now() + self.vote_timeout;
         let mut missed = Vec::new();
         for (site, arx) in &acks {
@@ -369,10 +419,36 @@ impl Coordinator {
                 missed.push(site.name.clone());
             }
         }
-        if missed.is_empty() {
-            CommitOutcome::Committed(ts)
-        } else {
-            CommitOutcome::CommittedPartial { ts, missed }
+        missed
+    }
+
+    /// Redeliver a *decided* commit to sites that never acknowledged
+    /// phase 2, up to `max_rounds` times — the recovery half of
+    /// [`CommitOutcome::CommittedPartial`]. The caller passes the live
+    /// `Site` handles to retry against (typically freshly recovered
+    /// replacements of the crashed ones — see [`recover_site`]); delivery
+    /// is idempotent at the sites, so redelivering to a site that already
+    /// applied the commit (live or via recovery) is harmless. Returns
+    /// `Committed` once every site acknowledged, or `CommittedPartial`
+    /// naming the still-unreachable ones.
+    pub fn retry_phase2(
+        &self,
+        txn: TxnId,
+        ts: u64,
+        sites: &[&Site],
+        max_rounds: usize,
+    ) -> CommitOutcome {
+        let mut pending: Vec<&Site> = sites.to_vec();
+        for _ in 0..max_rounds {
+            let missed = self.deliver_phase2(txn, ts, &pending);
+            if missed.is_empty() {
+                return CommitOutcome::Committed(ts);
+            }
+            pending.retain(|s| missed.contains(&s.name));
+        }
+        CommitOutcome::CommittedPartial {
+            ts,
+            missed: pending.into_iter().map(|s| s.name.clone()).collect(),
         }
     }
 }
@@ -573,5 +649,120 @@ mod tests {
         let report2 = recover_site(&dir_site, &registry2, &BTreeMap::new()).unwrap();
         assert_eq!(report2.replayed, 0);
         assert_eq!(b2.committed_balance(), r(0));
+    }
+
+    /// The transient-failure healing loop: a `CommittedPartial` (site
+    /// crashed between Prepare and Commit) becomes a full `Committed`
+    /// once the site is recovered from its WAL and the coordinator
+    /// redelivers phase 2 — and the redelivery is idempotent over the
+    /// state recovery already replayed.
+    #[test]
+    fn phase2_retry_turns_partial_commit_into_full_commit() {
+        let dir_site = tmp("retry-site");
+        let dir_coord = tmp("retry-coord");
+        let clock = Arc::new(LogicalClock::new());
+        let coord_store = DurableStore::open(&dir_coord, StorageOptions::default()).unwrap();
+        let coord = Coordinator::new(clock)
+            .with_vote_timeout(Duration::from_millis(100))
+            .with_decision_log(coord_store);
+
+        let (ts, txn_id) = {
+            let store = DurableStore::open(&dir_site, StorageOptions::default()).unwrap();
+            let wal = SiteWal::new(store);
+            let b = Arc::new(AccountObject::with(
+                "b",
+                Arc::new(hcc_adts::account::AccountHybrid),
+                RuntimeOptions::default().with_redo(wal.clone()),
+            ));
+            let site = Site::spawn_durable("s-b", vec![b.inner().clone()], wal);
+            let t = TxnHandle::new(TxnId(1));
+            b.credit(&t, r(31)).unwrap();
+            site.crash_after_prepare();
+            match coord.commit(&t, &[site]) {
+                CommitOutcome::CommittedPartial { ts, missed } => {
+                    assert_eq!(missed, vec!["s-b".to_string()]);
+                    (ts, t.id())
+                }
+                other => panic!("expected partial commit, got {other:?}"),
+            }
+            // Site (and its WAL handle) drop here: the "machine" is down.
+        };
+
+        // Restart the site: recover its objects from its WAL + the
+        // coordinator's decisions, then serve again.
+        let decisions = coordinator_decisions(&dir_coord).unwrap();
+        let store = DurableStore::open(&dir_site, StorageOptions::default()).unwrap();
+        let wal = SiteWal::new(store);
+        let b = Arc::new(AccountObject::with(
+            "b",
+            Arc::new(hcc_adts::account::AccountHybrid),
+            RuntimeOptions::default().with_redo(wal.clone()),
+        ));
+        let mut registry = Registry::new();
+        registry.register(b.clone());
+        let report = recover_site(&dir_site, &registry, &decisions).unwrap();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(b.committed_balance(), r(31));
+        let site = Site::spawn_durable("s-b", vec![b.inner().clone()], wal);
+
+        // The coordinator redelivers the unacknowledged phase 2: full
+        // commit, idempotent at the recovered site.
+        match coord.retry_phase2(txn_id, ts, &[&site], 3) {
+            CommitOutcome::Committed(got) => assert_eq!(got, ts),
+            other => panic!("expected full commit after retry, got {other:?}"),
+        }
+        assert_eq!(b.committed_balance(), r(31), "redelivery did not double-apply");
+
+        // A still-dead site stays reported as missed after bounded rounds.
+        site.crash();
+        match coord.retry_phase2(txn_id, ts, &[&site], 2) {
+            CommitOutcome::CommittedPartial { missed, .. } => {
+                assert_eq!(missed, vec!["s-b".to_string()]);
+            }
+            other => panic!("expected partial, got {other:?}"),
+        }
+    }
+
+    /// A coordinator killed after its decision fsync leaves every site in
+    /// doubt — and every site heals from the decision log at restart.
+    #[test]
+    fn coordinator_crash_after_decision_heals_at_site_recovery() {
+        let dir_site = tmp("ckill-site");
+        let dir_coord = tmp("ckill-coord");
+        let clock = Arc::new(LogicalClock::new());
+        let coord_store = DurableStore::open(&dir_coord, StorageOptions::default()).unwrap();
+        let coord = Coordinator::new(clock)
+            .with_vote_timeout(Duration::from_millis(100))
+            .with_decision_log(coord_store);
+
+        let decided_ts = {
+            let store = DurableStore::open(&dir_site, StorageOptions::default()).unwrap();
+            let wal = SiteWal::new(store);
+            let b = Arc::new(AccountObject::with(
+                "b",
+                Arc::new(hcc_adts::account::AccountHybrid),
+                RuntimeOptions::default().with_redo(wal.clone()),
+            ));
+            let site = Site::spawn_durable("s-b", vec![b.inner().clone()], wal);
+            let t = TxnHandle::new(TxnId(1));
+            b.credit(&t, r(8)).unwrap();
+            match coord.commit_with_kill(&t, &[&site], CoordinatorKill::AfterDecision) {
+                CommitOutcome::CommittedPartial { ts, missed } => {
+                    assert_eq!(missed, vec!["s-b".to_string()]);
+                    assert_eq!(b.committed_balance(), r(0), "no phase-2 message was sent");
+                    ts
+                }
+                other => panic!("expected partial commit, got {other:?}"),
+            }
+        };
+
+        let decisions = coordinator_decisions(&dir_coord).unwrap();
+        assert_eq!(decisions.get(&1), Some(&decided_ts));
+        let b = Arc::new(AccountObject::hybrid("b"));
+        let mut registry = Registry::new();
+        registry.register(b.clone());
+        let report = recover_site(&dir_site, &registry, &decisions).unwrap();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(b.committed_balance(), r(8));
     }
 }

@@ -32,7 +32,6 @@ use hcc_txn::registry::Registry;
 use hcc_verify::{hybrid_atomic, SystemSpecs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde_json::json;
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -84,6 +83,8 @@ pub struct CrashScenarioOptions {
     pub checkpoint_every: Option<u64>,
     /// Durability of the run.
     pub durability: Durability,
+    /// WAL append stripes (1 = the legacy single-stream log).
+    pub stripes: usize,
     /// Self-logging (default) or the legacy manual discipline.
     pub discipline: LogDiscipline,
 }
@@ -96,6 +97,7 @@ impl Default for CrashScenarioOptions {
             interleave: 3,
             checkpoint_every: None,
             durability: Durability::Buffered,
+            stripes: 1,
             discipline: LogDiscipline::SelfLogging,
         }
     }
@@ -114,6 +116,22 @@ impl CrashScenarioOptions {
             _ => {}
         }
         self
+    }
+
+    /// Override the WAL stripe count from the `HCC_WAL_STRIPES`
+    /// environment variable — CI's striping axis. Unset or unparsable
+    /// values keep the current count.
+    pub fn stripes_from_env(mut self) -> Self {
+        if let Some(n) = hcc_storage::stripes_env_override() {
+            self.stripes = n;
+        }
+        self
+    }
+
+    /// Apply every environment override (`HCC_DURABILITY`,
+    /// `HCC_WAL_STRIPES`).
+    pub fn env_overrides(self) -> Self {
+        self.durability_from_env().stripes_from_env()
     }
 }
 
@@ -162,6 +180,7 @@ pub fn run_crash_workload(
         segment_max_bytes: 2048, // small segments: rotation + pruning exercised
         durability: opts.durability,
         group_commit: true,
+        stripes: opts.stripes,
         policy: match opts.checkpoint_every {
             Some(n) => CompactionPolicy::every_n(n),
             None => CompactionPolicy::never(),
@@ -245,13 +264,16 @@ pub fn run_crash_workload(
             Ok(Some(effect)) => {
                 if opts.discipline == LogDiscipline::Manual {
                     // The forget-to-log-prone path: the workload must
-                    // remember to pair the execution with this call.
-                    let op = effect_to_json(&effect);
-                    let object = match effect {
-                        Effect::Enq(_) | Effect::Deq(_) => "q",
-                        _ => "acct",
-                    };
-                    mgr.log_op(&o.txn, object, &op)?;
+                    // remember to pair the execution with this call. The
+                    // payload is synthesized through the ADT's own `redo`
+                    // encoder — the storage-level `log_op` is the only
+                    // caller-driven append left in the workspace.
+                    let (object, bytes) = effect_redo(&effect);
+                    mgr.storage().expect("manual discipline needs a store").log_op(
+                        o.txn.id().0,
+                        object,
+                        &bytes,
+                    )?;
                 }
                 o.effects.push(effect);
             }
@@ -264,16 +286,41 @@ pub fn run_crash_workload(
     Ok(CrashWorkload { committed: oracle.len(), oracle, aborted, checkpoints })
 }
 
-/// The exact payload the ADT's `redo` produces for this effect — the
-/// manual discipline logs these so both disciplines write byte-identical
-/// op records.
-fn effect_to_json(e: &Effect) -> serde_json::Value {
+/// The payload the manual discipline appends for this effect,
+/// synthesized through the ADT's own `redo` encoder — by construction
+/// byte-identical to what self-logging writes, with no hand-maintained
+/// JSON shadow format to drift.
+fn effect_redo(e: &Effect) -> (&'static str, Vec<u8>) {
+    use hcc_adts::account::{AccountAdt, AccountInv, AccountRes};
+    use hcc_adts::fifo_queue::{QueueAdt, QueueInv, QueueRes};
+    use hcc_core::runtime::RuntimeAdt;
+
+    let queue: QueueAdt<i64> = QueueAdt::default();
     match e {
-        Effect::Credit(v) => json!({"op": "credit", "v": (money(*v))}),
-        Effect::DebitOk(v) => json!({"op": "debit", "v": (money(*v)), "ok": true}),
-        Effect::DebitOver(v) => json!({"op": "debit", "v": (money(*v)), "ok": false}),
-        Effect::Enq(v) => json!({"op": "enq", "v": (*v)}),
-        Effect::Deq(v) => json!({"op": "deq", "v": (*v)}),
+        Effect::Credit(v) => (
+            "acct",
+            AccountAdt
+                .redo(&AccountInv::Credit(money(*v)), &AccountRes::Ok)
+                .expect("credit is mutating"),
+        ),
+        Effect::DebitOk(v) => (
+            "acct",
+            AccountAdt
+                .redo(&AccountInv::Debit(money(*v)), &AccountRes::Debited)
+                .expect("debit is mutating"),
+        ),
+        Effect::DebitOver(v) => (
+            "acct",
+            AccountAdt
+                .redo(&AccountInv::Debit(money(*v)), &AccountRes::Overdraft)
+                .expect("overdraft is logged"),
+        ),
+        Effect::Enq(v) => {
+            ("q", queue.redo(&QueueInv::Enq(*v), &QueueRes::Ok).expect("enq is mutating"))
+        }
+        Effect::Deq(v) => {
+            ("q", queue.redo(&QueueInv::Deq, &QueueRes::Item(*v)).expect("deq is mutating"))
+        }
     }
 }
 
@@ -300,17 +347,24 @@ fn effect_from_json(v: &serde_json::Value) -> Effect {
     }
 }
 
-/// Chop `bytes` off the end of the final WAL segment — the injected crash
-/// point. Returns how many bytes were actually removed.
+/// Chop `bytes` off the end of **every stripe's** final WAL segment — the
+/// injected crash point. Per-stripe loss is always a suffix (exactly what
+/// a power failure does to each stripe's unflushed tail), which is the
+/// shape striped recovery's per-object-prefix guarantee covers. Returns
+/// how many bytes were removed in total.
 pub fn truncate_tail(dir: &Path, bytes: u64) -> std::io::Result<u64> {
-    let segments = hcc_storage::wal::list_segments(dir)?;
-    let Some((_, last)) = segments.last() else { return Ok(0) };
-    let len = std::fs::metadata(last)?.len();
-    let cut = bytes.min(len);
-    let file = std::fs::OpenOptions::new().write(true).open(last)?;
-    file.set_len(len - cut)?;
-    file.sync_data()?;
-    Ok(cut)
+    let mut total = 0;
+    for (_, stripe) in hcc_storage::wal::stripe_dirs(dir)? {
+        let segments = hcc_storage::wal::list_segments(&stripe)?;
+        let Some((_, last)) = segments.last() else { continue };
+        let len = std::fs::metadata(last)?.len();
+        let cut = bytes.min(len);
+        let file = std::fs::OpenOptions::new().write(true).open(last)?;
+        file.set_len(len - cut)?;
+        file.sync_data()?;
+        total += cut;
+    }
+    Ok(total)
 }
 
 /// Recover the store at `dir` into fresh objects through the recovery
@@ -462,9 +516,7 @@ pub fn crash_point_holds(
     let state = recover_and_verify(dir)?;
 
     // The covered set is everything inside the checkpoint plus the
-    // replayed tail; it must form a timestamp-prefix of what was committed
-    // (the driver commits in timestamp order, so truncating the log's tail
-    // can only drop a timestamp-suffix).
+    // replayed tail.
     let all_ts: Vec<u64> = workload.oracle.keys().copied().collect();
     let mut covered: Vec<u64> = all_ts
         .iter()
@@ -474,11 +526,23 @@ pub fn crash_point_holds(
         .collect();
     covered.sort();
     covered.dedup();
-    let expected_prefix: Vec<u64> = match covered.last() {
-        Some(&max) => all_ts.iter().copied().filter(|t| *t <= max).collect(),
-        None => Vec::new(),
-    };
-    assert_eq!(covered, expected_prefix, "survivors must form a timestamp prefix");
+    if opts.stripes == 1 {
+        // Single stripe: the log is one stream, so truncating its tail
+        // can only drop a timestamp-suffix — survivors form a global
+        // timestamp prefix (the driver commits in timestamp order).
+        let expected_prefix: Vec<u64> = match covered.last() {
+            Some(&max) => all_ts.iter().copied().filter(|t| *t <= max).collect(),
+            None => Vec::new(),
+        };
+        assert_eq!(covered, expected_prefix, "survivors must form a timestamp prefix");
+    }
+    // Striped logs guarantee a *per-object* prefix, not a global one: a
+    // cut on one stripe drops a suffix of each object routed there, and
+    // commit-record op counts drop any transaction that lost part of
+    // itself. The oracle fold below still must reproduce the recovered
+    // state exactly (it asserts internal consistency, e.g. every replayed
+    // deq matches the fold's queue head), and `recover_and_verify`
+    // already checked the surviving history hybrid-atomic.
 
     let (balance, queue) = fold_oracle(&workload.oracle, &covered);
     assert_eq!(state.balance, balance, "recovered balance diverges from the oracle");
@@ -508,8 +572,7 @@ mod tests {
     fn clean_shutdown_recovers_everything() {
         let dir = tmp("clean");
         let (committed, survived) =
-            crash_point_holds(&dir, CrashScenarioOptions::default().durability_from_env(), 0)
-                .unwrap();
+            crash_point_holds(&dir, CrashScenarioOptions::default().env_overrides(), 0).unwrap();
         assert!(committed > 30, "workload committed too little: {committed}");
         assert_eq!(survived, committed, "no crash, nothing lost");
     }
@@ -518,8 +581,7 @@ mod tests {
     fn mid_log_crash_recovers_a_prefix() {
         let dir = tmp("cut");
         let (committed, survived) =
-            crash_point_holds(&dir, CrashScenarioOptions::default().durability_from_env(), 700)
-                .unwrap();
+            crash_point_holds(&dir, CrashScenarioOptions::default().env_overrides(), 700).unwrap();
         assert!(survived <= committed);
     }
 
@@ -528,7 +590,7 @@ mod tests {
         let dir = tmp("ckpt");
         let opts =
             CrashScenarioOptions { checkpoint_every: Some(15), ..CrashScenarioOptions::default() }
-                .durability_from_env();
+                .env_overrides();
         let (committed, survived) = crash_point_holds(&dir, opts, 0).unwrap();
         assert_eq!(survived, committed);
     }
@@ -549,7 +611,7 @@ mod tests {
     fn manual_discipline_still_holds_for_the_differential_baseline() {
         let dir = tmp("manual");
         let opts = CrashScenarioOptions { discipline: LogDiscipline::Manual, ..Default::default() }
-            .durability_from_env();
+            .env_overrides();
         let (committed, survived) = crash_point_holds(&dir, opts, 0).unwrap();
         assert_eq!(survived, committed);
     }

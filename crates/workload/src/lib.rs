@@ -19,7 +19,9 @@
 pub mod bank;
 pub mod compaction;
 pub mod crash;
+pub mod durable;
 pub mod metrics;
+pub mod multisite;
 pub mod queue;
 pub mod register;
 pub mod scheme;

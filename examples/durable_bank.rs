@@ -26,11 +26,13 @@ use hybrid_cc::txn::registry::Registry;
 use std::sync::Arc;
 
 fn run(dir: &str, txns: u64, abort_after: Option<u64>) {
+    // HCC_WAL_STRIPES picks the stripe count, like the CI matrix.
     let opts = StorageOptions {
         segment_max_bytes: 2048,
         policy: CompactionPolicy::every_n(25),
         ..StorageOptions::default()
-    };
+    }
+    .stripes_from_env();
     let mgr = TxnManager::with_storage(dir, opts).expect("open store");
     let acct = Arc::new(AccountObject::with("acct", Arc::new(AccountHybrid), mgr.object_options()));
     let mut registry = Registry::new();
@@ -65,7 +67,8 @@ fn recover(dir: &str) {
     let acct = Arc::new(AccountObject::hybrid("acct"));
     let mut registry = Registry::new();
     registry.register(acct.clone());
-    let mgr = TxnManager::with_storage(dir, StorageOptions::default()).expect("open store");
+    let mgr = TxnManager::with_storage(dir, StorageOptions::default().stripes_from_env())
+        .expect("open store");
     let report = mgr.recover(&registry).expect("recover");
     println!(
         "recovered balance {:?} (checkpoint through ts {}, {} tail commits, torn tail: {})",

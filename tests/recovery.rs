@@ -224,8 +224,10 @@ fn durable_store_recovery_rebuilds_committed_state() {
 fn durable_store_survives_torn_final_record() {
     let dir = tmp("store-torn");
     let (balance, qlen) = run_durable_session(&dir, StorageOptions::default());
-    // Crash mid-append: write half a frame at the tail of the last segment.
-    let segments = hybrid_cc::storage::wal::list_segments(&dir).unwrap();
+    // Crash mid-append: write half a frame at the tail of the last
+    // segment of the (single) stripe.
+    let stripe = &hybrid_cc::storage::wal::stripe_dirs(&dir).unwrap()[0].1;
+    let segments = hybrid_cc::storage::wal::list_segments(stripe).unwrap();
     let last = &segments.last().unwrap().1;
     {
         use std::io::Write;
@@ -238,7 +240,7 @@ fn durable_store_survives_torn_final_record() {
 }
 
 #[test]
-fn durable_store_reports_commit_with_missing_ops() {
+fn durable_store_reports_commit_with_missing_ops_as_incomplete() {
     let dir = tmp("store-missing");
     {
         let store = DurableStore::open(
@@ -266,15 +268,22 @@ fn durable_store_reports_commit_with_missing_ops() {
         store.log_commit(2, 10).unwrap();
     }
     // Delete the segment holding txn 2's Begin/Op behind the store's back
-    // (simulating a pruning bug or lost file): recovery must refuse, not
-    // silently drop the transaction's effects.
-    let segments = hybrid_cc::storage::wal::list_segments(&dir).unwrap();
+    // (simulating a pruning bug or lost file): the commit record's
+    // stamped op count (1) exceeds the surviving ops (0), so recovery
+    // must drop txn 2 and *report* it — never replay half of it and
+    // never refuse the rest of the log (the same shape arises from an
+    // honest per-stripe crash tail, which must stay recoverable).
+    let stripe = &hybrid_cc::storage::wal::stripe_dirs(&dir).unwrap()[0].1;
+    let segments = hybrid_cc::storage::wal::list_segments(stripe).unwrap();
     assert!(segments.len() > 1, "scenario needs several segments");
     std::fs::remove_file(&segments[0].1).unwrap();
-    match DurableStore::recover(&dir) {
-        Err(StorageError::MissingOps { txn: 2, ts: 10 }) => {}
-        other => panic!("expected MissingOps, got {other:?}"),
-    }
+    let recovered = DurableStore::recover(&dir).unwrap();
+    assert_eq!(recovered.incomplete, vec![2], "txn 2's effects are reported lost");
+    assert!(
+        recovered.committed.iter().all(|t| t.txn != 2),
+        "txn 2 must not replay half-recovered: {:?}",
+        recovered.committed
+    );
 }
 
 #[test]
@@ -297,7 +306,8 @@ fn durable_store_refuses_ops_whose_registry_binding_is_lost() {
     // Losing the first segment loses the binding (no checkpoint carried
     // it): recovery must refuse rather than guess which object the
     // surviving ops belong to.
-    let segments = hybrid_cc::storage::wal::list_segments(&dir).unwrap();
+    let stripe = &hybrid_cc::storage::wal::stripe_dirs(&dir).unwrap()[0].1;
+    let segments = hybrid_cc::storage::wal::list_segments(stripe).unwrap();
     assert!(segments.len() > 1, "scenario needs several segments");
     std::fs::remove_file(&segments[0].1).unwrap();
     match DurableStore::recover(&dir) {
@@ -381,7 +391,7 @@ fn randomized_crash_points_recover_exactly_the_committed_state() {
                     checkpoint_every,
                     ..CrashScenarioOptions::default()
                 }
-                .durability_from_env();
+                .env_overrides();
                 let (committed, survived) = crash_point_holds(&dir, opts, cut).unwrap();
                 assert!(survived <= committed);
                 if cut == 0 && opts.durability != hybrid_cc::core::runtime::Durability::None {

@@ -45,7 +45,7 @@ fn self_logging_and_manual_log_op_recover_byte_identically() {
     for seed in [3u64, 99, 0xBEEF] {
         for cut in [0u64, 150, 1024] {
             let base =
-                CrashScenarioOptions { seed, txns: 80, ..Default::default() }.durability_from_env();
+                CrashScenarioOptions { seed, txns: 80, ..Default::default() }.env_overrides();
             let dir_self = tmp(&format!("diff-self-{seed}-{cut}"));
             let dir_manual = tmp(&format!("diff-manual-{seed}-{cut}"));
 
@@ -95,7 +95,7 @@ fn mutations_with_no_explicit_logging_survive_a_random_kill_point() {
             checkpoint_every: if i % 2 == 0 { Some(10) } else { None },
             ..Default::default()
         }
-        .durability_from_env();
+        .env_overrides();
         assert_eq!(opts.discipline, LogDiscipline::SelfLogging);
         let (committed, survived) = crash_point_holds(&dir, opts, cut).unwrap();
         assert!(survived <= committed);
