@@ -15,7 +15,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hcc_core::runtime::Durability;
-use hcc_workload::durable::{durable_account_mix, DurableMixOptions, DurableMixReport};
+use hcc_workload::durable::{durable_account_mix, DurableMixOptions, DurableMixReport, MixApi};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 fn bench_dir(tag: &str) -> std::path::PathBuf {
@@ -120,6 +120,46 @@ fn bench_durable_mix(c: &mut Criterion) {
                 } else {
                     String::new()
                 }
+            );
+        }
+    }
+
+    // Facade overhead: the identical workload (same accounts, same op
+    // stream, same storage options) driven once through raw
+    // `TxnManager::begin`/`commit` and once through `Db::transact`
+    // (typed handles, closure scopes, unified errors, retry
+    // classification on every commit). Best of 3 per cell; the target
+    // in BENCH.md is "within noise".
+    println!("\n== Db facade overhead (commits/s, raw TxnManager vs Db::transact) ==");
+    let api_modes: [(&str, Durability, usize); 2] =
+        [("fsync/group", Durability::Fsync, 800), ("buffered/group", Durability::Buffered, 3000)];
+    for (name, durability, per) in api_modes {
+        for threads in [1usize, 8] {
+            let best = |api: MixApi| -> f64 {
+                (0..3)
+                    .map(|_| {
+                        let dir = bench_dir("api");
+                        let r = durable_account_mix(
+                            &dir,
+                            DurableMixOptions {
+                                threads,
+                                txns_per_thread: per / threads.max(1),
+                                durability,
+                                stripes: 1,
+                                api,
+                                ..Default::default()
+                            },
+                        );
+                        let _ = std::fs::remove_dir_all(&dir);
+                        r.commits_per_sec
+                    })
+                    .fold(0.0, f64::max)
+            };
+            let raw = best(MixApi::Raw);
+            let facade = best(MixApi::Facade);
+            println!(
+                "  {name:<16} {threads} thr: raw {raw:>9.0}  db {facade:>9.0}  (db/raw: {:.3}x)",
+                facade / raw
             );
         }
     }

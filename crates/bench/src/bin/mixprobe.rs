@@ -44,4 +44,46 @@ fn main() {
         }
         println!("{name:16} s8/s1 ratio: {:.2}x", rates[2] / rates[0]);
     }
+
+    // Facade overhead: the same workload through raw begin/commit vs
+    // `Db::transact` (BENCH.md target: within noise).
+    use hcc_workload::durable::MixApi;
+    println!();
+    for (d, name, per) in
+        [(Durability::Fsync, "fsync/group", 100), (Durability::Buffered, "buffered", 400)]
+    {
+        for threads in [1usize, 8] {
+            let best_for = |api: MixApi| {
+                let mut best = 0f64;
+                for r in 0..reps {
+                    let dir = tmp.join(format!(
+                        "probe-api-{}-{threads}-{api:?}-{r}-{}",
+                        name.replace('/', "-"),
+                        std::process::id()
+                    ));
+                    let _ = std::fs::remove_dir_all(&dir);
+                    let rep = durable_account_mix(
+                        &dir,
+                        DurableMixOptions {
+                            threads,
+                            txns_per_thread: per,
+                            durability: d,
+                            stripes: 1,
+                            api,
+                            ..Default::default()
+                        },
+                    );
+                    best = best.max(rep.commits_per_sec);
+                    let _ = std::fs::remove_dir_all(&dir);
+                }
+                best
+            };
+            let raw = best_for(MixApi::Raw);
+            let facade = best_for(MixApi::Facade);
+            println!(
+                "{name:16} {threads}thr api: raw {raw:8.0}  db {facade:8.0}  (db/raw {:.3}x)",
+                facade / raw
+            );
+        }
+    }
 }

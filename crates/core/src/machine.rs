@@ -71,7 +71,36 @@ pub enum MachineError {
 
 impl std::fmt::Display for MachineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{self:?}")
+        match self {
+            MachineError::InvocationWhilePending(t) => {
+                write!(f, "transaction {t:?} already has a pending invocation")
+            }
+            MachineError::NoPendingInvocation(t) => {
+                write!(f, "no invocation is pending for transaction {t:?}")
+            }
+            MachineError::TxnCompleted(t) => {
+                write!(f, "transaction {t:?} has already committed or aborted")
+            }
+            MachineError::CommitWhilePending(t) => {
+                write!(f, "commit of {t:?} attempted while an invocation is pending")
+            }
+            MachineError::CommitAbortConflict(t) => {
+                write!(f, "commit and abort both attempted for transaction {t:?}")
+            }
+            MachineError::TimestampReused(ts, t) => {
+                write!(f, "timestamp {ts:?} was already committed by transaction {t:?}")
+            }
+            MachineError::TimestampMismatch(t) => {
+                write!(f, "transaction {t:?} previously committed with a different timestamp")
+            }
+            MachineError::TimestampTooEarly { txn, bound } => {
+                write!(
+                    f,
+                    "timestamp for {txn:?} is not above its lower bound {bound:?} \
+                     (precedes ⊆ TS would be violated)"
+                )
+            }
+        }
     }
 }
 

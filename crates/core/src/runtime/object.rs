@@ -31,7 +31,20 @@ pub enum ExecError {
 
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{self:?}")
+        match self {
+            ExecError::Doomed => {
+                write!(f, "execution refused: transaction was doomed as a deadlock victim")
+            }
+            ExecError::Timeout => {
+                write!(f, "execution refused: lock-wait timeout elapsed while blocked")
+            }
+            ExecError::NotActive => {
+                write!(
+                    f,
+                    "execution refused: transaction is not active (already committed or aborted)"
+                )
+            }
+        }
     }
 }
 

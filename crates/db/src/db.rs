@@ -1,0 +1,500 @@
+//! The [`Db`] session facade: one front door to the transaction manager,
+//! the durable store, and the recovery registry.
+//!
+//! `Db::open` constructs the store, scans the log, and readies recovery
+//! in one call; [`Db::object`] hands out typed handles that register
+//! themselves and absorb their durable history; [`Db::transact`] scopes
+//! transactions to a closure and retries transient failures under a
+//! bounded-backoff [`RetryPolicy`]. The low-level `TxnManager` stays
+//! reachable through [`Db::manager`] as the documented escape hatch.
+
+use crate::error::HccError;
+use crate::handle::DbObject;
+use crate::tx::{RetryPolicy, Tx};
+use hcc_core::runtime::{Durability, RuntimeOptions};
+use hcc_spec::Timestamp;
+use hcc_storage::{Checkpoint, CompactionPolicy, DurableObject, DurableStore, StorageOptions};
+use hcc_txn::registry::{self, Decisions, RecoveryReport, Registry};
+use hcc_txn::TxnManager;
+use parking_lot::{Mutex, RwLock};
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configures and opens a [`Db`]. Obtained from [`Db::builder`].
+#[derive(Clone, Debug, Default)]
+pub struct DbBuilder {
+    storage: StorageOptions,
+    lock_timeout: Option<Option<Duration>>,
+    retry: RetryPolicy,
+    decisions: Decisions,
+}
+
+impl DbBuilder {
+    /// Durability of acknowledged commits (default [`Durability::Fsync`]).
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.storage.durability = durability;
+        self
+    }
+
+    /// WAL append stripes (default 1 — the single-stream log).
+    pub fn stripes(mut self, stripes: usize) -> Self {
+        self.storage.stripes = stripes;
+        self
+    }
+
+    /// Segment rotation threshold in bytes.
+    pub fn segment_max_bytes(mut self, bytes: u64) -> Self {
+        self.storage.segment_max_bytes = bytes;
+        self
+    }
+
+    /// Leader-based group commit (default on).
+    pub fn group_commit(mut self, on: bool) -> Self {
+        self.storage.group_commit = on;
+        self
+    }
+
+    /// When to checkpoint and prune dead segments.
+    pub fn compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.storage.policy = policy;
+        self
+    }
+
+    /// Replace the whole storage configuration at once.
+    pub fn storage_options(mut self, storage: StorageOptions) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Give up on a blocked lock request after `timeout` (the default
+    /// keeps the runtime's own policy; the deadlock detector dooms
+    /// victims regardless).
+    pub fn lock_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_timeout = Some(Some(timeout));
+        self
+    }
+
+    /// Wait forever on blocked lock requests (deadlock victims still get
+    /// doomed and retried by `transact`).
+    pub fn no_lock_timeout(mut self) -> Self {
+        self.lock_timeout = Some(None);
+        self
+    }
+
+    /// The transient-failure retry policy for [`Db::transact`].
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Coordinator commit decisions (`txn → ts`) for recovering a 2PC
+    /// *participant* site: in-doubt transactions with a decision replay
+    /// as committed; undecided ones stay dropped (no decision means
+    /// abort).
+    pub fn decisions(mut self, decisions: Decisions) -> Self {
+        self.decisions = decisions;
+        self
+    }
+
+    /// Apply the CI environment overrides (`HCC_DURABILITY`,
+    /// `HCC_WAL_STRIPES`) on top of the configured options.
+    pub fn env_overrides(mut self) -> Self {
+        self.storage = self.storage.env_overrides();
+        self
+    }
+
+    /// Open (creating if absent) the durable database rooted at `dir`:
+    /// store constructed, log scanned, recovery readied — handles from
+    /// [`Db::object`] come back holding their recovered state.
+    pub fn open(self, dir: impl AsRef<Path>) -> Result<Db, HccError> {
+        let mgr = TxnManager::with_storage(dir, self.storage)?;
+        let store = mgr.storage().expect("with_storage attaches a store").clone();
+        let mut recovered = DurableStore::recover(store.dir())?;
+
+        // Merge decided in-doubt transactions (2PC participant recovery)
+        // into the committed tail — the same `resolve_committed` rule the
+        // registry path uses, including the DecisionBelowCheckpoint
+        // refusal — and slice the image by object name once, so each
+        // handle materializes from (and frees) exactly its own share.
+        // The owned resolve *moves* every payload into its name's slice;
+        // nothing is copied.
+        let checkpoint_ts = recovered.checkpoint.as_ref().map_or(0, |c| c.last_ts);
+        let resolved = registry::resolve_committed_owned(&mut recovered, &self.decisions)?;
+        let replayed = resolved.len();
+        let mut tail: HashMap<String, Vec<TailTxn>> = HashMap::new();
+        for c in resolved {
+            // `c.ops` is in execution (ticket) order and the resolved
+            // list in timestamp order, so each per-name slice stays in
+            // replay order.
+            for (name, bytes) in c.ops {
+                let slot = tail.entry(name).or_default();
+                match slot.last_mut() {
+                    Some((txn, _, ops)) if *txn == c.txn => ops.push(bytes),
+                    _ => slot.push((c.txn, c.ts, vec![bytes])),
+                }
+            }
+        }
+        let report = RecoveryReport { checkpoint_ts, replayed, torn_tail: recovered.torn_tail };
+
+        let mut snapshots: HashMap<String, Vec<u8>> = HashMap::new();
+        if let Some(ckpt) = recovered.checkpoint {
+            snapshots.extend(ckpt.objects);
+        }
+        let unmaterialized: HashSet<String> =
+            snapshots.keys().chain(tail.keys()).cloned().collect();
+        if unmaterialized.is_empty() {
+            store.mark_state_absorbed();
+        }
+
+        Ok(Db {
+            mgr,
+            retry: self.retry,
+            lock_timeout: self.lock_timeout,
+            registry: RwLock::new(Registry::new()),
+            handles: Mutex::new(HashMap::new()),
+            pending: Mutex::new(PendingRecovery {
+                checkpoint_ts,
+                snapshots,
+                tail,
+                unmaterialized,
+                poisoned: HashSet::new(),
+            }),
+            report,
+        })
+    }
+
+    /// A purely in-memory database (no durable store, as in the paper's
+    /// model): same typed handles and scoped transactions, nothing
+    /// written to disk.
+    pub fn in_memory(self) -> Db {
+        Db {
+            mgr: TxnManager::new(),
+            retry: self.retry,
+            lock_timeout: self.lock_timeout,
+            registry: RwLock::new(Registry::new()),
+            handles: Mutex::new(HashMap::new()),
+            pending: Mutex::new(PendingRecovery {
+                checkpoint_ts: 0,
+                snapshots: HashMap::new(),
+                tail: HashMap::new(),
+                unmaterialized: HashSet::new(),
+                poisoned: HashSet::new(),
+            }),
+            report: RecoveryReport::default(),
+        }
+    }
+}
+
+/// One object's slice of one recovered transaction: `(txn, ts, op
+/// payloads in execution order)`.
+type TailTxn = (u64, u64, Vec<Vec<u8>>);
+
+/// Aborts one `transact` attempt's transaction when dropped — the
+/// scope's abort path, covering both `Err` returns and panics
+/// unwinding out of the closure (a leaked active transaction would
+/// hold its locks at every touched object forever). A no-op once the
+/// transaction committed or was already aborted.
+struct AbortOnDrop<'a> {
+    mgr: &'a Arc<TxnManager>,
+    txn: Arc<hcc_core::runtime::TxnHandle>,
+}
+
+impl Drop for AbortOnDrop<'_> {
+    fn drop(&mut self) {
+        self.mgr.abort(self.txn.clone());
+    }
+}
+
+/// Durable state recovered from the log but not yet installed into a
+/// live object — already sliced per object name, consumed (and freed)
+/// name by name as [`Db::object`] / [`Db::attach`] materialize handles.
+struct PendingRecovery {
+    /// The restored checkpoint's watermark (0 = none).
+    checkpoint_ts: u64,
+    /// Per-name checkpoint snapshot bytes.
+    snapshots: HashMap<String, Vec<u8>>,
+    /// Per-name slices of the committed tail in replay order:
+    /// `name → [(txn, ts, op payloads)]`.
+    tail: HashMap<String, Vec<TailTxn>>,
+    /// Names the log knows that no live handle has absorbed yet. The
+    /// store refuses checkpoints until this drains — a checkpoint taken
+    /// earlier would claim coverage of history its snapshots lack, then
+    /// prune it.
+    unmaterialized: HashSet<String>,
+    /// Names whose materialization failed *into an attached instance*:
+    /// the caller still holds that partially-recovered object, so
+    /// re-applying the pending state through another `attach` could
+    /// double its effects. Further attaches are refused; `Db::object`
+    /// (always a fresh instance) and a database reopen stay safe.
+    poisoned: HashSet<String>,
+}
+
+/// The session facade: typed durable handles and scoped, retrying
+/// transactions over one transaction manager.
+///
+/// ```
+/// use hcc_db::Db;
+/// use hcc_adts::account::AccountObject;
+///
+/// let db = Db::in_memory();
+/// let acct = db.object::<AccountObject>("checking").unwrap();
+/// db.transact(|tx| {
+///     acct.credit(tx, 100.into())?;
+///     Ok(())
+/// })
+/// .unwrap();
+/// assert_eq!(acct.committed_balance(), 100.into());
+/// ```
+pub struct Db {
+    mgr: Arc<TxnManager>,
+    retry: RetryPolicy,
+    lock_timeout: Option<Option<Duration>>,
+    registry: RwLock<Registry>,
+    handles: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
+    pending: Mutex<PendingRecovery>,
+    report: RecoveryReport,
+}
+
+impl Db {
+    /// Configure a database.
+    pub fn builder() -> DbBuilder {
+        DbBuilder::default()
+    }
+
+    /// [`DbBuilder::open`] with default options: fsync durability, one
+    /// stripe, default compaction, default retry policy.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Db, HccError> {
+        Db::builder().open(dir)
+    }
+
+    /// [`DbBuilder::in_memory`] with default options.
+    pub fn in_memory() -> Db {
+        Db::builder().in_memory()
+    }
+
+    /// The typed handle named `name`.
+    ///
+    /// First call constructs the object (hybrid conflict relation, the
+    /// database's runtime options), installs whatever state the log
+    /// holds under that name (checkpoint snapshot + committed tail, in
+    /// timestamp order), and registers it with the recovery registry and
+    /// redo sink. Later calls return the *same* instance — never a blank
+    /// twin — or [`HccError::TypeMismatch`] if asked for it as a
+    /// different type.
+    pub fn object<T: DbObject>(&self, name: &str) -> Result<Arc<T>, HccError> {
+        let mut handles = self.handles.lock();
+        if let Some(existing) = handles.get(name) {
+            return existing.clone().downcast::<T>().map_err(|_| HccError::TypeMismatch {
+                object: name.to_string(),
+                requested: std::any::type_name::<T>(),
+            });
+        }
+        let obj = T::fresh(name, self.object_options());
+        debug_assert_eq!(obj.object_name(), name, "DbObject::fresh must honor the name");
+        self.materialize(obj.as_ref())?;
+        self.registry.write().register(obj.clone());
+        handles.insert(name.to_string(), obj.clone());
+        self.mark_absorbed_if_drained();
+        Ok(obj)
+    }
+
+    /// Adopt a caller-built durable object (e.g. one constructed with a
+    /// non-default conflict relation over [`Db::object_options`]):
+    /// recovered state is installed and the object registered, exactly
+    /// as [`Db::object`] does for canonical handles.
+    ///
+    /// If materialization fails, the caller's instance is left partially
+    /// recovered (restore/replay mutate as they go); because a re-attach
+    /// cannot prove it was handed a *fresh* instance, further `attach`
+    /// calls for that name are refused ([`HccError::PoisonedRecovery`])
+    /// — re-applying the pending state to a dirtied object would double
+    /// its effects. Reopen the database (or use [`Db::object`], which
+    /// always builds fresh) to retry the recovery.
+    pub fn attach<T: DbObject>(&self, obj: Arc<T>) -> Result<Arc<T>, HccError> {
+        let name = obj.object_name().to_string();
+        let mut handles = self.handles.lock();
+        if handles.contains_key(&name) {
+            return Err(HccError::DuplicateObject { object: name });
+        }
+        if self.pending.lock().poisoned.contains(&name) {
+            return Err(HccError::PoisonedRecovery { object: name });
+        }
+        if let Err(e) = self.materialize(obj.as_ref()) {
+            self.pending.lock().poisoned.insert(name);
+            return Err(e);
+        }
+        self.registry.write().register(obj.clone());
+        handles.insert(name, obj.clone());
+        self.mark_absorbed_if_drained();
+        Ok(obj)
+    }
+
+    /// Install the log's state for one object: checkpoint snapshot
+    /// first, then its slice of the committed tail in replay order, each
+    /// replayed operation pinned to its logged response
+    /// ([`registry::replay_object_ops`]). The name's share of the
+    /// pending image is consumed — freed — only on success: a failed
+    /// materialization (wrong type asked for the name, replay
+    /// divergence) leaves it pending, so a later open retries the
+    /// recovery instead of minting a blank twin. (The retry is sound
+    /// because [`Db::object`] discards the partially-mutated instance
+    /// and builds a fresh one; [`Db::attach`] cannot, and poisons the
+    /// name instead.)
+    fn materialize(&self, obj: &dyn DurableObject) -> Result<(), HccError> {
+        let name = obj.object_name();
+        let mut pending = self.pending.lock();
+        if !pending.unmaterialized.contains(name) {
+            return Ok(()); // nothing durable under this name
+        }
+        if let Some(data) = pending.snapshots.get(name) {
+            obj.restore(data, pending.checkpoint_ts)?;
+        }
+        for (txn, ts, ops) in pending.tail.get(name).into_iter().flatten() {
+            registry::replay_object_ops(obj, *txn, *ts, ops)?;
+        }
+        pending.snapshots.remove(name);
+        pending.tail.remove(name);
+        pending.unmaterialized.remove(name);
+        Ok(())
+    }
+
+    /// Once every logged name has a **registered** live handle, attest
+    /// absorption to the store (checkpointing becomes legal again).
+    /// Called only after `registry.register` — marking earlier would let
+    /// a concurrent checkpoint pass the `UnabsorbedHistory` guard while
+    /// the registry still misses the just-recovered object, and then
+    /// prune the only copy of its history.
+    fn mark_absorbed_if_drained(&self) {
+        if self.pending.lock().unmaterialized.is_empty() {
+            if let Some(store) = self.mgr.storage() {
+                store.mark_state_absorbed();
+            }
+        }
+    }
+
+    /// Run `f` as one transaction: commit on `Ok`, abort on `Err`, and
+    /// transparently abort-and-retry (fresh transaction, bounded
+    /// backoff) when the failure is transient per
+    /// [`HccError::is_transient`] — a deadlock doom, a lock timeout, a
+    /// refused prepare vote. Fatal errors surface immediately; a
+    /// transient failure that outlives the retry budget surfaces as
+    /// [`HccError::RetriesExhausted`].
+    ///
+    /// Effects apply **exactly once**: they become visible only through
+    /// the single successful commit; every failed attempt was aborted at
+    /// all objects before the next began. The closure may run several
+    /// times and must not carry side effects outside its transaction.
+    pub fn transact<T>(
+        &self,
+        mut f: impl FnMut(&Tx) -> Result<T, HccError>,
+    ) -> Result<T, HccError> {
+        self.transact_ts(&mut f).map(|(v, _)| v)
+    }
+
+    /// [`Db::transact`], also returning the commit timestamp.
+    pub fn transact_ts<T>(
+        &self,
+        mut f: impl FnMut(&Tx) -> Result<T, HccError>,
+    ) -> Result<(T, Timestamp), HccError> {
+        let mut attempt: u32 = 0;
+        loop {
+            let err = {
+                let tx = Tx::new(self.mgr.begin());
+                // The guard is the abort path for this attempt: it fires
+                // when the scope ends — on an `Err` return, and on a
+                // panic unwinding out of the closure, which must not
+                // leak the attempt's held locks. Once the transaction
+                // committed (or `commit` aborted it), the abort is a
+                // no-op.
+                let _guard = AbortOnDrop { mgr: &self.mgr, txn: tx.handle().clone() };
+                match f(&tx) {
+                    Ok(v) => match self.mgr.commit(tx.handle().clone()) {
+                        Ok(ts) => return Ok((v, ts)),
+                        Err(e) => HccError::from(e), // already aborted everywhere
+                    },
+                    Err(e) => e, // the guard aborts on scope exit
+                }
+            };
+            if !err.is_transient() {
+                return Err(err);
+            }
+            if attempt >= self.retry.max_retries {
+                return Err(HccError::RetriesExhausted {
+                    attempts: attempt + 1,
+                    last: Box::new(err),
+                });
+            }
+            std::thread::sleep(self.retry.backoff(attempt));
+            attempt += 1;
+        }
+    }
+
+    /// Take a fuzzy checkpoint of every object this `Db` has handed out.
+    /// `Ok(None)` for an in-memory database. Refused with
+    /// `StorageError::UnabsorbedHistory` while logged names remain
+    /// unopened — a checkpoint then would claim coverage of state no
+    /// live object holds.
+    pub fn checkpoint(&self) -> Result<Option<Checkpoint>, HccError> {
+        self.mgr.checkpoint_registry(&self.registry.read()).map_err(Into::into)
+    }
+
+    /// [`Db::checkpoint`] iff the store's compaction policy asks for it.
+    pub fn maybe_checkpoint(&self) -> Result<Option<Checkpoint>, HccError> {
+        self.mgr.maybe_checkpoint_registry(&self.registry.read()).map_err(Into::into)
+    }
+
+    /// What opening this database recovered: checkpoint watermark,
+    /// committed tail size, torn-tail flag.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.report
+    }
+
+    /// Durable names recovered from the log that no [`Db::object`] /
+    /// [`Db::attach`] call has opened yet. Until this is empty,
+    /// checkpoints are refused.
+    pub fn unopened_objects(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.pending.lock().unmaterialized.iter().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The runtime options this database builds objects with: deadlock
+    /// observer, the store's durability, the redo sink, and the
+    /// configured lock timeout. For constructing custom objects to
+    /// [`Db::attach`].
+    pub fn object_options(&self) -> RuntimeOptions {
+        let mut opts = self.mgr.object_options();
+        if let Some(timeout) = self.lock_timeout {
+            opts.block.timeout = timeout;
+        }
+        opts
+    }
+
+    /// **Escape hatch**: the underlying transaction manager, for callers
+    /// that need manual `begin`/`commit` (interleaving several open
+    /// transactions in one thread, scheme-comparison harnesses, the 2PC
+    /// simulation). See `docs/API.md` — everything routed through it
+    /// still self-logs and recovers through this `Db`.
+    pub fn manager(&self) -> &Arc<TxnManager> {
+        &self.mgr
+    }
+
+    /// The durable store, when this database has one.
+    pub fn storage(&self) -> Option<&Arc<DurableStore>> {
+        self.mgr.storage()
+    }
+
+    /// Transactions committed through this database.
+    pub fn committed_count(&self) -> u64 {
+        self.mgr.committed_count()
+    }
+
+    /// Transactions aborted through this database (including retried
+    /// `transact` attempts).
+    pub fn aborted_count(&self) -> u64 {
+        self.mgr.aborted_count()
+    }
+}

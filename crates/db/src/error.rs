@@ -1,0 +1,241 @@
+//! The unified error taxonomy: every way a `Db` interaction can fail,
+//! classified **transient** (an expected, retriable outcome of the
+//! paper's hybrid scheme — deadlock victims, refused prepare votes, lock
+//! timeouts) or **fatal** (storage trouble, recovery divergence, misuse).
+//!
+//! The classification is the contract [`crate::Db::transact`] retries
+//! on: a correct retry loop is impossible to write against four
+//! unrelated error types, and trivial against one [`HccError`] with
+//! [`HccError::is_transient`].
+
+use hcc_core::runtime::{ExecError, ReplayError};
+use hcc_storage::{SnapshotError, StorageError};
+use hcc_txn::manager::CommitError;
+use hcc_txn::registry::RecoveryError;
+
+/// Anything that can go wrong talking to a [`crate::Db`].
+///
+/// Lower-layer errors convert in with `?` ([`From`] impls for
+/// [`ExecError`], [`CommitError`], [`StorageError`], [`RecoveryError`],
+/// [`ReplayError`], [`SnapshotError`], and `std::io::Error`), so a
+/// `transact` closure can use the ADT methods directly.
+#[derive(Debug)]
+pub enum HccError {
+    /// An operation execution was refused (deadlock doom, lock timeout,
+    /// dead transaction handle).
+    Exec(ExecError),
+    /// A commit was refused; the transaction was aborted at every object.
+    Commit(CommitError),
+    /// The storage layer failed (I/O, corruption, refused checkpoint).
+    Storage(StorageError),
+    /// Recovery could not rebuild the durable state.
+    Recovery(RecoveryError),
+    /// A logged operation failed to replay at its object.
+    Replay(ReplayError),
+    /// [`crate::Db::object`] was asked for a name that is already open as
+    /// a different type — handing out the same state under two types
+    /// would fork its history.
+    TypeMismatch {
+        /// The contested object name.
+        object: String,
+        /// The type the caller requested.
+        requested: &'static str,
+    },
+    /// [`crate::Db::attach`] was given an object whose name is already
+    /// open.
+    DuplicateObject {
+        /// The already-registered name.
+        object: String,
+    },
+    /// A previous [`crate::Db::attach`] for this name failed mid-
+    /// materialization, leaving that caller-held instance partially
+    /// recovered; re-applying the pending state through another attach
+    /// could double its effects, so further attaches for the name are
+    /// refused. Reopen the database (or use [`crate::Db::object`],
+    /// which always builds a fresh instance) to retry the recovery.
+    PoisonedRecovery {
+        /// The name whose recovery is poisoned for `attach`.
+        object: String,
+    },
+    /// The `transact` closure itself asked for the transaction to be
+    /// rolled back — an application decision, not an infrastructure
+    /// failure. Fatal by classification: the caller chose to abort, so
+    /// retrying would be wrong.
+    Rollback {
+        /// The closure's stated reason.
+        reason: String,
+    },
+    /// A `transact` closure kept failing transiently past the configured
+    /// retry budget; `last` is the final attempt's error.
+    RetriesExhausted {
+        /// Attempts made (initial try included).
+        attempts: u32,
+        /// The error the final attempt died with.
+        last: Box<HccError>,
+    },
+}
+
+impl HccError {
+    /// An application-level rollback request for a `transact` closure:
+    /// `return Err(HccError::rollback("insufficient funds"))` aborts the
+    /// transaction without retrying.
+    pub fn rollback(reason: impl Into<String>) -> HccError {
+        HccError::Rollback { reason: reason.into() }
+    }
+
+    /// Is this an *expected, transient* outcome of the hybrid scheme —
+    /// one a fresh attempt of the same transaction may well survive?
+    ///
+    /// Transient: a deadlock victim's doom ([`ExecError::Doomed`],
+    /// [`CommitError::Doomed`]), a lock-wait timeout
+    /// ([`ExecError::Timeout`]), and a refused prepare vote
+    /// ([`CommitError::PrepareFailed`]). In every transient case the
+    /// transaction has already been aborted at all objects, so retrying
+    /// re-applies nothing.
+    ///
+    /// Fatal (everything else): storage and recovery failures, replay
+    /// divergence, dead handles, facade misuse. Retrying cannot help and
+    /// may hide data loss — [`crate::Db::transact`] surfaces these
+    /// immediately.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            HccError::Exec(ExecError::Doomed | ExecError::Timeout)
+                | HccError::Commit(CommitError::Doomed | CommitError::PrepareFailed { .. })
+        )
+    }
+}
+
+impl std::fmt::Display for HccError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HccError::Exec(e) => write!(f, "{e}"),
+            HccError::Commit(e) => write!(f, "{e}"),
+            HccError::Storage(e) => write!(f, "{e}"),
+            HccError::Recovery(e) => write!(f, "{e}"),
+            HccError::Replay(e) => write!(f, "{e}"),
+            HccError::TypeMismatch { object, requested } => {
+                write!(f, "object {object:?} is already open as a different type than {requested}")
+            }
+            HccError::DuplicateObject { object } => {
+                write!(f, "an object named {object:?} is already attached to this Db")
+            }
+            HccError::PoisonedRecovery { object } => {
+                write!(
+                    f,
+                    "recovery of {object:?} previously failed into an attached instance; \
+                     reopen the database to retry"
+                )
+            }
+            HccError::Rollback { reason } => {
+                write!(f, "transaction rolled back by the application: {reason}")
+            }
+            HccError::RetriesExhausted { attempts, last } => {
+                write!(f, "transaction still failing transiently after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HccError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HccError::Exec(e) => Some(e),
+            HccError::Commit(e) => Some(e),
+            HccError::Storage(e) => Some(e),
+            HccError::Recovery(e) => Some(e),
+            HccError::Replay(e) => Some(e),
+            HccError::RetriesExhausted { last, .. } => Some(last),
+            HccError::TypeMismatch { .. }
+            | HccError::DuplicateObject { .. }
+            | HccError::PoisonedRecovery { .. }
+            | HccError::Rollback { .. } => None,
+        }
+    }
+}
+
+impl From<ExecError> for HccError {
+    fn from(e: ExecError) -> HccError {
+        HccError::Exec(e)
+    }
+}
+
+impl From<CommitError> for HccError {
+    fn from(e: CommitError) -> HccError {
+        HccError::Commit(e)
+    }
+}
+
+impl From<StorageError> for HccError {
+    fn from(e: StorageError) -> HccError {
+        HccError::Storage(e)
+    }
+}
+
+impl From<RecoveryError> for HccError {
+    fn from(e: RecoveryError) -> HccError {
+        HccError::Recovery(e)
+    }
+}
+
+impl From<ReplayError> for HccError {
+    fn from(e: ReplayError) -> HccError {
+        HccError::Replay(e)
+    }
+}
+
+impl From<SnapshotError> for HccError {
+    fn from(e: SnapshotError) -> HccError {
+        HccError::Recovery(RecoveryError::Snapshot(e))
+    }
+}
+
+impl From<std::io::Error> for HccError {
+    fn from(e: std::io::Error) -> HccError {
+        HccError::Storage(StorageError::Io(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_the_taxonomy() {
+        assert!(HccError::from(ExecError::Doomed).is_transient());
+        assert!(HccError::from(ExecError::Timeout).is_transient());
+        assert!(!HccError::from(ExecError::NotActive).is_transient());
+        assert!(HccError::from(CommitError::Doomed).is_transient());
+        assert!(HccError::from(CommitError::PrepareFailed { object: "a".into() }).is_transient());
+        assert!(!HccError::from(CommitError::NotActive).is_transient());
+        assert!(!HccError::from(CommitError::Storage("disk on fire".into())).is_transient());
+        assert!(!HccError::from(StorageError::Io(std::io::Error::other("x"))).is_transient());
+        let exhausted = HccError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(HccError::from(CommitError::Doomed)),
+        };
+        assert!(!exhausted.is_transient(), "an exhausted budget is final");
+    }
+
+    #[test]
+    fn display_is_honest_prose_not_debug() {
+        let e = HccError::from(CommitError::Doomed);
+        let msg = format!("{e}");
+        assert!(!msg.contains("Doomed"), "no bare Debug variant name: {msg}");
+        assert!(msg.contains("deadlock"), "says why: {msg}");
+        let e = HccError::from(ExecError::Timeout);
+        assert!(format!("{e}").contains("timeout"), "{e}");
+    }
+
+    #[test]
+    fn source_chains_to_the_lower_layer() {
+        use std::error::Error as _;
+        let e = HccError::from(StorageError::Io(std::io::Error::other("boom")));
+        assert!(e.source().is_some());
+        let e = HccError::RetriesExhausted {
+            attempts: 2,
+            last: Box::new(HccError::from(CommitError::Doomed)),
+        };
+        assert!(e.source().unwrap().to_string().contains("deadlock"));
+    }
+}

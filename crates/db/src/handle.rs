@@ -1,0 +1,78 @@
+//! [`DbObject`]: the typed-handle trait behind [`crate::Db::object`].
+//!
+//! Every ADT wrapper in `hcc-adts` implements it, so
+//! `db.object::<AccountObject>("checking")` constructs the object under
+//! the database's runtime options (deadlock observer, durability, redo
+//! sink), registers it for checkpointing and recovery, and materializes
+//! any state the log already holds under that name — all in one call.
+//! Forgetting to register is unrepresentable; custom durable types join
+//! by implementing this one method.
+
+use hcc_adts::account::{AccountHybrid, AccountObject};
+use hcc_adts::counter::{CounterHybrid, CounterObject};
+use hcc_adts::directory::{DirectoryHybrid, DirectoryObject, Key, Val};
+use hcc_adts::fifo_queue::{Item, QueueObject, QueueTableII};
+use hcc_adts::file::{Content, FileHybrid, FileObject};
+use hcc_adts::semiqueue::{self, SemiqueueHybrid, SemiqueueObject};
+use hcc_adts::set::{Elem, SetHybrid, SetObject};
+use hcc_core::runtime::RuntimeOptions;
+use hcc_storage::DurableObject;
+use std::sync::Arc;
+
+/// A durable type [`crate::Db`] can hand out as a typed handle.
+///
+/// `fresh` constructs an *empty* instance under `name` with the
+/// database's runtime options — under the type's canonical hybrid
+/// (paper-table) conflict relation. The `Db` then restores/replays the
+/// log's state into it and registers it; callers never see the blank
+/// instance when the name has durable history.
+///
+/// To use a non-default conflict relation (a baseline scheme, a custom
+/// lock table), build the object yourself with
+/// [`crate::Db::object_options`] and hand it to [`crate::Db::attach`].
+pub trait DbObject: DurableObject + Sized + 'static {
+    /// A fresh, empty instance named `name`, built with `opts`.
+    fn fresh(name: &str, opts: RuntimeOptions) -> Arc<Self>;
+}
+
+impl DbObject for AccountObject {
+    fn fresh(name: &str, opts: RuntimeOptions) -> Arc<Self> {
+        Arc::new(AccountObject::with(name, Arc::new(AccountHybrid), opts))
+    }
+}
+
+impl DbObject for CounterObject {
+    fn fresh(name: &str, opts: RuntimeOptions) -> Arc<Self> {
+        Arc::new(CounterObject::with(name, Arc::new(CounterHybrid), opts))
+    }
+}
+
+impl<T: Item + 'static> DbObject for QueueObject<T> {
+    fn fresh(name: &str, opts: RuntimeOptions) -> Arc<Self> {
+        Arc::new(QueueObject::with(name, Arc::new(QueueTableII), opts))
+    }
+}
+
+impl<T: semiqueue::Item + 'static> DbObject for SemiqueueObject<T> {
+    fn fresh(name: &str, opts: RuntimeOptions) -> Arc<Self> {
+        Arc::new(SemiqueueObject::with(name, Arc::new(SemiqueueHybrid), opts))
+    }
+}
+
+impl<T: Content + 'static> DbObject for FileObject<T> {
+    fn fresh(name: &str, opts: RuntimeOptions) -> Arc<Self> {
+        Arc::new(FileObject::with(name, Arc::new(FileHybrid), opts))
+    }
+}
+
+impl<T: Elem + 'static> DbObject for SetObject<T> {
+    fn fresh(name: &str, opts: RuntimeOptions) -> Arc<Self> {
+        Arc::new(SetObject::with(name, Arc::new(SetHybrid), opts))
+    }
+}
+
+impl<K: Key + 'static, V: Val + 'static> DbObject for DirectoryObject<K, V> {
+    fn fresh(name: &str, opts: RuntimeOptions) -> Arc<Self> {
+        Arc::new(DirectoryObject::with(name, Arc::new(DirectoryHybrid), opts))
+    }
+}

@@ -1,0 +1,101 @@
+//! The scoped transaction handle [`Tx`] and the bounded-backoff
+//! [`RetryPolicy`] governing [`crate::Db::transact`].
+
+use hcc_core::runtime::TxnHandle;
+use hcc_spec::TxnId;
+use std::ops::Deref;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The handle a [`crate::Db::transact`] closure runs under.
+///
+/// `Tx` dereferences to the runtime's `Arc<TxnHandle>`, so every ADT
+/// method takes it directly: `acct.credit(&tx, amount)?`. The closure
+/// never begins, commits, or aborts — the scope does: `Ok` commits,
+/// `Err` aborts, and a transient failure aborts *and retries* with a
+/// fresh `Tx`.
+pub struct Tx {
+    handle: Arc<TxnHandle>,
+}
+
+impl Tx {
+    pub(crate) fn new(handle: Arc<TxnHandle>) -> Tx {
+        Tx { handle }
+    }
+
+    /// The underlying runtime handle (for low-level calls that want the
+    /// `Arc` itself).
+    pub fn handle(&self) -> &Arc<TxnHandle> {
+        &self.handle
+    }
+
+    /// This attempt's transaction id. Retried attempts run under fresh
+    /// ids — each attempt is a new transaction.
+    pub fn id(&self) -> TxnId {
+        self.handle.id()
+    }
+}
+
+impl Deref for Tx {
+    type Target = Arc<TxnHandle>;
+
+    fn deref(&self) -> &Arc<TxnHandle> {
+        &self.handle
+    }
+}
+
+/// How [`crate::Db::transact`] retries transient failures: bounded
+/// attempts with capped exponential backoff. Fatal errors are never
+/// retried regardless of policy.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 = try once).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 16,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Never retry: every failure, transient or not, surfaces at once.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_retries: 0, ..RetryPolicy::default() }
+    }
+
+    /// The backoff before retry number `attempt` (0-based): exponential,
+    /// capped at [`RetryPolicy::max_backoff`].
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX);
+        self.base_backoff.checked_mul(factor).map_or(self.max_backoff, |d| d.min(self.max_backoff))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(1),
+        };
+        assert_eq!(p.backoff(0), Duration::from_micros(100));
+        assert_eq!(p.backoff(1), Duration::from_micros(200));
+        assert_eq!(p.backoff(2), Duration::from_micros(400));
+        assert_eq!(p.backoff(10), Duration::from_millis(1), "capped");
+        assert_eq!(p.backoff(u32::MAX), Duration::from_millis(1), "no overflow");
+    }
+}

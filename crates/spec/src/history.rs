@@ -46,7 +46,36 @@ pub enum WfError {
 
 impl std::fmt::Display for WfError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{self:?}")
+        match self {
+            WfError::InvocationWhilePending(t) => {
+                write!(f, "transaction {t:?} invoked an operation while another was pending")
+            }
+            WfError::ResponseWithoutPending(t) => {
+                write!(f, "a response was generated for {t:?} with no pending invocation")
+            }
+            WfError::ResponseWrongObject(t) => {
+                write!(f, "a response for {t:?} names a different object than its invocation")
+            }
+            WfError::CommitAndAbort(t) => write!(f, "transaction {t:?} both commits and aborts"),
+            WfError::CommitWhilePending(t) => {
+                write!(f, "transaction {t:?} commits while an invocation is pending")
+            }
+            WfError::OpAfterCommit(t) => {
+                write!(f, "committed transaction {t:?} subsequently invokes an operation")
+            }
+            WfError::InconsistentTimestamp(t) => {
+                write!(f, "commit events of {t:?} carry different timestamps")
+            }
+            WfError::DuplicateTimestamp(a, b) => {
+                write!(f, "transactions {a:?} and {b:?} committed with the same timestamp")
+            }
+            WfError::TimestampContradictsPrecedes(a, b) => {
+                write!(
+                    f,
+                    "{a:?} precedes {b:?} at some object but does not have the earlier timestamp"
+                )
+            }
+        }
     }
 }
 

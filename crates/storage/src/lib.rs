@@ -41,8 +41,8 @@ pub use policy::{CompactMode, CompactionPolicy, LogStats};
 pub use record::LogRecord;
 pub use snapshot::{DurableObject, Snapshot, SnapshotError};
 pub use store::{
-    stripes_env_override, CheckpointCursor, CommittedTxn, DurableStore, InDoubtTxn, Recovered,
-    StorageOptions,
+    durability_env_override, stripes_env_override, CheckpointCursor, CommittedTxn, DurableStore,
+    InDoubtTxn, Recovered, StorageOptions,
 };
 pub use wal::{SegmentedWal, WalOptions};
 

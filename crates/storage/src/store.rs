@@ -87,6 +87,19 @@ pub fn stripes_env_override() -> Option<usize> {
     std::env::var("HCC_WAL_STRIPES").ok()?.trim().parse::<usize>().ok().filter(|&n| n >= 1)
 }
 
+/// The `HCC_DURABILITY` environment override (`none` / `buffered` /
+/// `fsync`, case-insensitive) — the CI durability axis, shared by every
+/// options type that carries a durability level. `None` when unset or
+/// unrecognized.
+pub fn durability_env_override() -> Option<Durability> {
+    match std::env::var("HCC_DURABILITY").ok()?.trim().to_ascii_lowercase().as_str() {
+        "none" => Some(Durability::None),
+        "buffered" => Some(Durability::Buffered),
+        "fsync" => Some(Durability::Fsync),
+        _ => None,
+    }
+}
+
 impl StorageOptions {
     /// Override the stripe count from `HCC_WAL_STRIPES` — how CI runs
     /// the recovery suite as a striping matrix. Unset or unparsable
@@ -96,6 +109,21 @@ impl StorageOptions {
             self.stripes = n;
         }
         self
+    }
+
+    /// Override the durability level from `HCC_DURABILITY`. Unset or
+    /// unrecognized values keep the current level.
+    pub fn durability_from_env(mut self) -> Self {
+        if let Some(d) = durability_env_override() {
+            self.durability = d;
+        }
+        self
+    }
+
+    /// Apply every environment override (`HCC_DURABILITY`,
+    /// `HCC_WAL_STRIPES`).
+    pub fn env_overrides(self) -> Self {
+        self.durability_from_env().stripes_from_env()
     }
 }
 

@@ -44,7 +44,23 @@ pub enum CommitError {
 
 impl std::fmt::Display for CommitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{self:?}")
+        match self {
+            CommitError::PrepareFailed { object } => {
+                write!(f, "commit refused: object {object:?} voted no in the prepare phase")
+            }
+            CommitError::Doomed => {
+                write!(f, "commit refused: transaction was doomed as a deadlock victim")
+            }
+            CommitError::NotActive => {
+                write!(
+                    f,
+                    "commit refused: transaction is not active (already committed or aborted)"
+                )
+            }
+            CommitError::Storage(detail) => {
+                write!(f, "commit aborted: the durable log could not persist it ({detail})")
+            }
+        }
     }
 }
 

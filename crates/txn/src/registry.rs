@@ -10,7 +10,7 @@
 
 use hcc_core::runtime::{ReplayError, TxnHandle, TxnPhase};
 use hcc_spec::TxnId;
-use hcc_storage::{DurableObject, Recovered, SnapshotError, StorageError};
+use hcc_storage::{CommittedTxn, DurableObject, Recovered, SnapshotError, StorageError};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -206,26 +206,120 @@ impl Registry {
             self.restore_checkpoint(ckpt)?;
             report.checkpoint_ts = ckpt.last_ts;
         }
-        type Entry<'a> = (u64, u64, &'a [(String, Vec<u8>)]);
-        let mut txns: Vec<Entry<'_>> =
-            recovered.committed.iter().map(|c| (c.ts, c.txn, c.ops.as_slice())).collect();
-        for in_doubt in &recovered.in_doubt {
-            if let Some(&ts) = decisions.get(&in_doubt.txn) {
-                if ts <= report.checkpoint_ts {
-                    return Err(RecoveryError::DecisionBelowCheckpoint {
-                        txn: in_doubt.txn,
-                        ts,
-                        checkpoint_ts: report.checkpoint_ts,
-                    });
-                }
-                txns.push((ts, in_doubt.txn, in_doubt.ops.as_slice()));
-            }
-        }
-        txns.sort_by_key(|&(ts, txn, _)| (ts, txn));
-        for (ts, txn, ops) in txns {
-            self.replay_txn(txn, ts, ops)?;
+        for c in resolve_committed(recovered, decisions)? {
+            self.replay_txn(c.txn, c.ts, c.ops)?;
             report.replayed += 1;
         }
         Ok(report)
     }
+}
+
+/// One resolved transaction of a recovered image, borrowing its
+/// operations from the [`Recovered`] log image.
+#[derive(Clone, Copy)]
+pub struct ResolvedTxn<'a> {
+    /// Commit timestamp (the *decided* timestamp for a resolved in-doubt
+    /// transaction).
+    pub ts: u64,
+    /// Transaction id.
+    pub txn: u64,
+    /// Logged operations in execution order.
+    pub ops: &'a [(String, Vec<u8>)],
+}
+
+/// The validity half of the 2PC resolution rule, shared by both
+/// `resolve_committed` variants: every *decided* in-doubt transaction
+/// must land strictly above the checkpoint watermark (the snapshot
+/// excludes it, so replaying below the watermark would apply it out of
+/// timestamp order). Returns the watermark.
+fn validate_decisions(recovered: &Recovered, decisions: &Decisions) -> Result<u64, RecoveryError> {
+    let checkpoint_ts = recovered.checkpoint.as_ref().map_or(0, |c| c.last_ts);
+    for in_doubt in &recovered.in_doubt {
+        if let Some(&ts) = decisions.get(&in_doubt.txn) {
+            if ts <= checkpoint_ts {
+                return Err(RecoveryError::DecisionBelowCheckpoint {
+                    txn: in_doubt.txn,
+                    ts,
+                    checkpoint_ts,
+                });
+            }
+        }
+    }
+    Ok(checkpoint_ts)
+}
+
+/// Merge a [`Recovered`] image's committed tail with its *decided*
+/// in-doubt transactions into one replay-ordered list — the single
+/// authority on the 2PC resolution rule, shared by
+/// [`Registry::restore_and_replay_resolved`] and `hcc-db`'s lazy
+/// materialization. In-doubt transactions with a coordinator decision
+/// replay as committed at the decided timestamp; undecided ones are
+/// dropped (no decision record means abort); a decision at or below the
+/// checkpoint watermark is refused as
+/// [`RecoveryError::DecisionBelowCheckpoint`]. The entries borrow from
+/// `recovered` — no op payload is copied.
+pub fn resolve_committed<'a>(
+    recovered: &'a Recovered,
+    decisions: &Decisions,
+) -> Result<Vec<ResolvedTxn<'a>>, RecoveryError> {
+    validate_decisions(recovered, decisions)?;
+    let mut committed: Vec<ResolvedTxn<'a>> = recovered
+        .committed
+        .iter()
+        .map(|c| ResolvedTxn { ts: c.ts, txn: c.txn, ops: &c.ops })
+        .collect();
+    for in_doubt in &recovered.in_doubt {
+        if let Some(&ts) = decisions.get(&in_doubt.txn) {
+            committed.push(ResolvedTxn { ts, txn: in_doubt.txn, ops: &in_doubt.ops });
+        }
+    }
+    committed.sort_by_key(|c| (c.ts, c.txn));
+    Ok(committed)
+}
+
+/// [`resolve_committed`] draining the image by value: the committed and
+/// decided-in-doubt payloads are *moved* out of `recovered` (whose
+/// checkpoint and flags are left untouched), not copied — for callers
+/// like `hcc-db`'s open path that own the image and keep the resolved
+/// tail. Same rule, same order, same refusal.
+pub fn resolve_committed_owned(
+    recovered: &mut Recovered,
+    decisions: &Decisions,
+) -> Result<Vec<CommittedTxn>, RecoveryError> {
+    validate_decisions(recovered, decisions)?;
+    let mut committed = std::mem::take(&mut recovered.committed);
+    for in_doubt in std::mem::take(&mut recovered.in_doubt) {
+        if let Some(&ts) = decisions.get(&in_doubt.txn) {
+            committed.push(CommittedTxn { ts, txn: in_doubt.txn, ops: in_doubt.ops });
+        }
+    }
+    committed.sort_by_key(|c| (c.ts, c.txn));
+    Ok(committed)
+}
+
+/// Replay one recovered transaction's operations **at a single object**
+/// — the per-object half of [`Registry::replay_txn`], used by `hcc-db`'s
+/// name-by-name materialization (which recovers each object as its
+/// typed handle is first opened, so a multi-object transaction replays
+/// at each of its objects separately, under the same protocol): every
+/// payload replays pinned to its logged response, then the commit event
+/// is delivered at the recovered timestamp.
+pub fn replay_object_ops(
+    obj: &dyn DurableObject,
+    txn: u64,
+    ts: u64,
+    ops: &[Vec<u8>],
+) -> Result<(), RecoveryError> {
+    let t = TxnHandle::replay(TxnId(txn));
+    for bytes in ops {
+        obj.replay_op(&t, bytes).map_err(|error| RecoveryError::Replay {
+            object: obj.object_name().to_string(),
+            error,
+        })?;
+    }
+    t.set_phase(TxnPhase::Committed(ts));
+    for p in t.participants() {
+        p.commit_at(t.id(), ts);
+    }
+    Ok(())
 }

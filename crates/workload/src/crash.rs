@@ -9,12 +9,13 @@
 //! 3. the recovered history, rebuilt as formal events, satisfies
 //!    `hcc-verify`'s hybrid atomicity check.
 //!
-//! The workload performs **no explicit logging calls**: its objects are
-//! built with the manager's options, so every mutating operation
-//! serializes its own redo record into the WAL (self-logging). The old
-//! caller-driven discipline survives as [`LogDiscipline::Manual`] purely
-//! so the differential test can prove both produce identical recovery
-//! state.
+//! The workload performs **no explicit logging, registration, or
+//! recovery wiring**: it opens a [`Db`], attaches its objects (every
+//! mutating operation then serializes its own redo record — self-
+//! logging), and recovery is `Db::open` plus two typed-handle lookups.
+//! The old caller-driven discipline survives as
+//! [`LogDiscipline::Manual`] purely so the differential test can prove
+//! both produce identical recovery state.
 //!
 //! The "crash" is simulated by closing the store and truncating an
 //! arbitrary number of bytes off the final WAL segment — exactly what a
@@ -23,12 +24,11 @@
 use hcc_adts::account::AccountObject;
 use hcc_adts::fifo_queue::QueueObject;
 use hcc_core::runtime::{Durability, RuntimeOptions};
+use hcc_db::{Db, HccError};
 use hcc_spec::history::HistoryBuilder;
 use hcc_spec::specs::{AccountSpec, QueueSpec};
 use hcc_spec::{ObjectId, Rational, Value};
-use hcc_storage::{CompactionPolicy, DurableStore, StorageError, StorageOptions};
-use hcc_txn::manager::TxnManager;
-use hcc_txn::registry::Registry;
+use hcc_storage::{CompactionPolicy, DurableStore, StorageOptions};
 use hcc_verify::{hybrid_atomic, SystemSpecs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -109,11 +109,8 @@ impl CrashScenarioOptions {
     /// CI runs the recovery suite as a durability matrix. Unset or
     /// unrecognized values keep the current level.
     pub fn durability_from_env(mut self) -> Self {
-        match std::env::var("HCC_DURABILITY").as_deref().map(str::to_ascii_lowercase).as_deref() {
-            Ok("none") => self.durability = Durability::None,
-            Ok("buffered") => self.durability = Durability::Buffered,
-            Ok("fsync") => self.durability = Durability::Fsync,
-            _ => {}
+        if let Some(d) = hcc_storage::durability_env_override() {
+            self.durability = d;
         }
         self
     }
@@ -169,13 +166,19 @@ fn money(n: i64) -> Rational {
     Rational::from_int(n)
 }
 
-/// Run the randomized workload, logging through a [`DurableStore`] at
-/// `dir`, and close the store (an orderly close; combine with
+/// Run the randomized workload, logging through a [`Db`] opened at
+/// `dir`, and close the database (an orderly close; combine with
 /// [`truncate_tail`] to simulate the crash).
+///
+/// The interleaved transaction loop runs on `db.manager()` — the
+/// documented low-level escape hatch — because keeping several
+/// transactions open at once *from one thread* is exactly what
+/// closure-scoped `transact` cannot express, and mixed op records of
+/// concurrent transactions are the log shapes under test.
 pub fn run_crash_workload(
     dir: &Path,
     opts: CrashScenarioOptions,
-) -> Result<CrashWorkload, StorageError> {
+) -> Result<CrashWorkload, HccError> {
     let storage = StorageOptions {
         segment_max_bytes: 2048, // small segments: rotation + pruning exercised
         durability: opts.durability,
@@ -186,23 +189,29 @@ pub fn run_crash_workload(
             None => CompactionPolicy::never(),
         },
     };
-    let mgr = TxnManager::with_storage(dir, storage)?;
+    let db = Db::builder().storage_options(storage).open(dir)?;
+    let mgr = db.manager().clone();
     // Short timeouts: a conflicting interleaving aborts quickly and the
-    // abort path gets logged coverage. Under self-logging the redo sink is
-    // the only difference from the manual run — both disciplines must make
-    // identical scheduling decisions for the differential test to bite.
+    // abort path gets logged coverage. Both disciplines build their
+    // objects with the *same* options modulo the redo sink — they must
+    // make identical scheduling decisions for the differential test to
+    // bite — so the objects are attached rather than taken from
+    // `db.object` (whose options would wire the sink unconditionally).
     let timeout = Some(std::time::Duration::from_millis(20));
     let obj_opts = match opts.discipline {
         LogDiscipline::SelfLogging => RuntimeOptions::with_timeout(timeout).with_redo(mgr.clone()),
         LogDiscipline::Manual => RuntimeOptions::with_timeout(timeout),
     };
-    let acct = AccountObject::with(
+    let acct = db.attach(Arc::new(AccountObject::with(
         "acct",
-        std::sync::Arc::new(hcc_adts::account::AccountHybrid),
+        Arc::new(hcc_adts::account::AccountHybrid),
         obj_opts.clone(),
-    );
-    let queue: QueueObject<i64> =
-        QueueObject::with("q", std::sync::Arc::new(hcc_adts::fifo_queue::QueueTableII), obj_opts);
+    )))?;
+    let queue = db.attach(Arc::new(QueueObject::<i64>::with(
+        "q",
+        Arc::new(hcc_adts::fifo_queue::QueueTableII),
+        obj_opts,
+    )))?;
 
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut oracle = Oracle::new();
@@ -237,7 +246,7 @@ pub fn run_crash_workload(
                     Ok(ts) => {
                         oracle.insert(ts.0, o.effects);
                         if opts.checkpoint_every.is_some() {
-                            mgr.maybe_checkpoint(&[("acct", &acct), ("q", &queue)])?;
+                            db.maybe_checkpoint()?;
                         }
                     }
                     Err(_) => aborted += 1,
@@ -269,7 +278,7 @@ pub fn run_crash_workload(
                     // encoder — the storage-level `log_op` is the only
                     // caller-driven append left in the workspace.
                     let (object, bytes) = effect_redo(&effect);
-                    mgr.storage().expect("manual discipline needs a store").log_op(
+                    db.storage().expect("manual discipline needs a store").log_op(
                         o.txn.id().0,
                         object,
                         &bytes,
@@ -282,7 +291,7 @@ pub fn run_crash_workload(
         }
     }
 
-    let checkpoints = mgr.storage().map(|s| s.checkpoints_taken()).unwrap_or(0);
+    let checkpoints = db.storage().map(|s| s.checkpoints_taken()).unwrap_or(0);
     Ok(CrashWorkload { committed: oracle.len(), oracle, aborted, checkpoints })
 }
 
@@ -367,50 +376,60 @@ pub fn truncate_tail(dir: &Path, bytes: u64) -> std::io::Result<u64> {
     Ok(total)
 }
 
-/// Recover the store at `dir` into fresh objects through the recovery
-/// [`Registry`] — each object decodes and replays its own redo payloads,
-/// verifying every logged response reproduces — while simultaneously
-/// rebuilding the formal history and checking it hybrid atomic with
-/// `hcc-verify`. Returns the reconstructed state.
-pub fn recover_and_verify(dir: &Path) -> Result<RecoveredState, StorageError> {
+/// Recover the store at `dir` through the [`Db`] facade alone — open
+/// the database, ask for the typed handles, and the recovered state is
+/// simply *there* (each object decodes and replays its own redo
+/// payloads, pinning every logged response) — while independently
+/// rebuilding the formal history from the raw log image and checking it
+/// hybrid atomic with `hcc-verify`. Returns the reconstructed state.
+pub fn recover_and_verify(dir: &Path) -> Result<RecoveredState, HccError> {
     use hcc_storage::Snapshot as _;
 
+    // The raw image feeds the verifier; reading it first keeps this scan
+    // independent of anything the facade's open does.
     let recovered = DurableStore::recover(dir)?;
-    let acct = Arc::new(AccountObject::hybrid("acct"));
-    let queue: Arc<QueueObject<i64>> = Arc::new(QueueObject::hybrid("q"));
-    let mut registry = Registry::new();
-    registry.register(acct.clone());
-    registry.register(queue.clone());
+    // The whole recovery path under test is these three calls: no
+    // Registry, no replay loop, no checkpoint dispatch.
+    let db =
+        Db::builder().storage_options(StorageOptions::default().stripes_from_env()).open(dir)?;
+    let acct = db.object::<AccountObject>("acct")?;
+    let queue = db.object::<QueueObject<i64>>("q")?;
+    let ckpt_ts = db.recovery_report().checkpoint_ts;
     let mut tail_ts = Vec::new();
 
-    let ckpt_ts = match &recovered.checkpoint {
-        Some(ckpt) => {
-            registry.restore_checkpoint(ckpt).expect("checkpoint restores into the registry");
-            ckpt.last_ts
-        }
-        None => 0,
-    };
-
-    // Replay the tail in timestamp order through the registry, and
-    // simultaneously rebuild the formal history for the verifier (account
-    // = object 0, queue = 1). The checkpoint enters the history the same
-    // way `Snapshot::restore` installs it: as one bootstrap transaction
+    // Rebuild the formal history for the verifier (account = object 0,
+    // queue = 1). The checkpoint enters the history the same way
+    // `Snapshot::restore` installs it: as one bootstrap transaction
     // committed at the checkpoint timestamp — without it, a tail `deq` of
     // an item enqueued before the checkpoint would be illegal from the
-    // initial state.
+    // initial state. The bootstrap state is decoded straight from the
+    // checkpoint image (the live objects already hold checkpoint *plus*
+    // tail).
     let mut hb = HistoryBuilder::new();
-    if ckpt_ts > 0 {
+    if let Some(ckpt) = &recovered.checkpoint {
         let boot = hcc_adts::snapshot::BOOTSTRAP_TXN;
-        let balance = acct.committed_balance();
-        hb = hb.op(0, boot, AccountSpec::credit(balance), Value::Unit);
         let mut touched_queue = false;
-        for item in queue.inner().committed_snapshot() {
-            hb = hb.op(1, boot, QueueSpec::enq(item), Value::Unit);
-            touched_queue = true;
+        for (name, bytes) in &ckpt.objects {
+            match name.as_str() {
+                "acct" => {
+                    let balance: Rational =
+                        serde_json::from_slice(bytes).expect("account snapshot is a rational");
+                    hb = hb.op(0, boot, AccountSpec::credit(balance), Value::Unit);
+                }
+                "q" => {
+                    let items: Vec<i64> =
+                        serde_json::from_slice(bytes).expect("queue snapshot is a list");
+                    for item in items {
+                        hb = hb.op(1, boot, QueueSpec::enq(item), Value::Unit);
+                        touched_queue = true;
+                    }
+                }
+                other => panic!("unexpected checkpointed object {other}"),
+            }
         }
-        hb = hb.commit(0, boot, ckpt_ts);
+        hb = hb.commit(0, boot, ckpt.last_ts);
         if touched_queue {
-            hb = hb.commit(1, boot, ckpt_ts);
+            hb = hb.commit(1, boot, ckpt.last_ts);
         }
     }
     for committed in &recovered.committed {
@@ -443,10 +462,9 @@ pub fn recover_and_verify(dir: &Path) -> Result<RecoveredState, StorageError> {
                 (e, obj) => panic!("effect {e:?} logged against object {obj}"),
             }
         }
-        // The recovered timestamp is replayed verbatim: commit events only
-        // at the objects the transaction touched, both in the history and
-        // at the live objects (the registry pins each replayed response to
-        // the logged one and panics the test on divergence).
+        // The recovered timestamp enters the history verbatim: commit
+        // events only at the objects the transaction touched. (The live
+        // replay already happened inside `db.object`, response-pinned.)
         let touched_acct = committed.ops.iter().any(|(o, _)| o == "acct");
         let touched_queue = committed.ops.iter().any(|(o, _)| o == "q");
         if touched_acct {
@@ -455,9 +473,6 @@ pub fn recover_and_verify(dir: &Path) -> Result<RecoveredState, StorageError> {
         if touched_queue {
             hb = hb.commit(1, committed.txn, committed.ts);
         }
-        registry
-            .replay_txn(committed.txn, committed.ts, &committed.ops)
-            .expect("logged transaction replays without divergence");
         tail_ts.push(committed.ts);
     }
 
@@ -510,7 +525,7 @@ pub fn crash_point_holds(
     dir: &Path,
     opts: CrashScenarioOptions,
     cut_bytes: u64,
-) -> Result<(usize, usize), StorageError> {
+) -> Result<(usize, usize), HccError> {
     let workload = run_crash_workload(dir, opts)?;
     truncate_tail(dir, cut_bytes)?;
     let state = recover_and_verify(dir)?;

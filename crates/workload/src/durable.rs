@@ -18,6 +18,7 @@
 
 use hcc_adts::account::{AccountHybrid, AccountObject};
 use hcc_core::runtime::Durability;
+use hcc_db::Db;
 use hcc_spec::Rational;
 use hcc_storage::{CompactionPolicy, StorageOptions};
 use hcc_txn::registry::Registry;
@@ -26,6 +27,18 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
+
+/// Which API surface the workers drive — the measured subject of the
+/// facade-overhead comparison in `durable_mix`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MixApi {
+    /// Manual `TxnManager::begin`/`commit` calls (the low-level escape
+    /// hatch).
+    #[default]
+    Raw,
+    /// Closure-scoped [`Db::transact`] through the facade.
+    Facade,
+}
 
 /// Options for one [`durable_account_mix`] run.
 #[derive(Clone, Copy, Debug)]
@@ -49,6 +62,8 @@ pub struct DurableMixOptions {
     pub group_commit: bool,
     /// Issue one fuzzy checkpoint when roughly half the commits are in.
     pub checkpoint_mid_run: bool,
+    /// Drive workers through the raw manager or the `Db` facade.
+    pub api: MixApi,
 }
 
 impl Default for DurableMixOptions {
@@ -62,6 +77,7 @@ impl Default for DurableMixOptions {
             stripes: 1,
             group_commit: true,
             checkpoint_mid_run: false,
+            api: MixApi::default(),
         }
     }
 }
@@ -88,7 +104,85 @@ pub struct DurableMixReport {
     pub final_balances: Vec<Rational>,
 }
 
-/// Drive the workload against a fresh store at `dir` and report.
+/// One transaction's operations, shared by both API paths so the
+/// facade-overhead comparison measures the API, not the workload.
+fn txn_ops(
+    acct: &AccountObject,
+    t: &Arc<hcc_core::runtime::TxnHandle>,
+    w: usize,
+    i: usize,
+    ops_per_txn: usize,
+) -> Result<(), hcc_core::runtime::ExecError> {
+    for k in 0..ops_per_txn {
+        let v = Rational::from_int(((w + i + k) % 40 + 1) as i64);
+        if k % 4 == 3 {
+            acct.debit(t, v)?;
+        } else {
+            acct.credit(t, v)?;
+        }
+    }
+    Ok(())
+}
+
+/// The measurement harness both API paths run under: barrier start,
+/// per-worker commit-gap tracking, optional mid-run checkpoint thread.
+/// `run_txn(worker, i)` commits one transaction and reports success;
+/// `checkpoint()` takes the mid-run checkpoint.
+fn drive_mix(
+    opts: &DurableMixOptions,
+    run_txn: impl Fn(usize, usize) -> bool + Sync,
+    checkpoint: impl FnOnce() + Send,
+) -> (Duration, u64, u64) {
+    let aborted = AtomicU64::new(0);
+    let committed_so_far = AtomicU64::new(0);
+    let ckpt_running = AtomicBool::new(false);
+    let max_gap_in_ckpt = AtomicU64::new(0);
+    let barrier = Barrier::new(opts.threads + usize::from(opts.checkpoint_mid_run));
+    let total_target = (opts.threads * opts.txns_per_thread) as u64;
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..opts.threads {
+            let (run_txn, barrier) = (&run_txn, &barrier);
+            let (aborted, committed_so_far) = (&aborted, &committed_so_far);
+            let (ckpt_running, max_gap_in_ckpt) = (&ckpt_running, &max_gap_in_ckpt);
+            s.spawn(move || {
+                barrier.wait();
+                let mut last_commit = Instant::now();
+                for i in 0..opts.txns_per_thread {
+                    if run_txn(w, i) {
+                        committed_so_far.fetch_add(1, Ordering::Relaxed);
+                        let now = Instant::now();
+                        if ckpt_running.load(Ordering::Relaxed) {
+                            let gap = now.duration_since(last_commit).as_nanos() as u64;
+                            max_gap_in_ckpt.fetch_max(gap, Ordering::Relaxed);
+                        }
+                        last_commit = now;
+                    } else {
+                        aborted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        if opts.checkpoint_mid_run {
+            let (barrier, committed_so_far, ckpt_running) =
+                (&barrier, &committed_so_far, &ckpt_running);
+            s.spawn(move || {
+                barrier.wait();
+                while committed_so_far.load(Ordering::Relaxed) < total_target / 2 {
+                    std::thread::yield_now();
+                }
+                ckpt_running.store(true, Ordering::Relaxed);
+                checkpoint();
+                ckpt_running.store(false, Ordering::Relaxed);
+            });
+        }
+    });
+    (start.elapsed(), aborted.load(Ordering::Relaxed), max_gap_in_ckpt.load(Ordering::Relaxed))
+}
+
+/// Drive the workload against a fresh store at `dir` and report, through
+/// the API surface `opts.api` selects.
 pub fn durable_account_mix(dir: &Path, opts: DurableMixOptions) -> DurableMixReport {
     let accounts = opts.accounts.max(opts.threads);
     let storage = StorageOptions {
@@ -98,6 +192,20 @@ pub fn durable_account_mix(dir: &Path, opts: DurableMixOptions) -> DurableMixRep
         policy: CompactionPolicy::never(), // the mid-run checkpoint is explicit
         ..StorageOptions::default()
     };
+    match opts.api {
+        MixApi::Raw => mix_raw(dir, &opts, accounts, storage),
+        MixApi::Facade => mix_facade(dir, &opts, accounts, storage),
+    }
+}
+
+/// The low-level path: manual manager wiring, explicit begin/commit —
+/// the documented escape hatch, kept as the facade-overhead baseline.
+fn mix_raw(
+    dir: &Path,
+    opts: &DurableMixOptions,
+    accounts: usize,
+    storage: StorageOptions,
+) -> DurableMixReport {
     let mgr = TxnManager::with_storage(dir, storage).expect("open durable store");
     let accts: Vec<Arc<AccountObject>> = (0..accounts)
         .map(|i| {
@@ -113,87 +221,75 @@ pub fn durable_account_mix(dir: &Path, opts: DurableMixOptions) -> DurableMixRep
         registry.register(a.clone());
     }
 
-    let aborted = Arc::new(AtomicU64::new(0));
-    let committed_so_far = Arc::new(AtomicU64::new(0));
-    let ckpt_running = Arc::new(AtomicBool::new(false));
-    let max_gap_in_ckpt = Arc::new(AtomicU64::new(0));
-    let barrier = Arc::new(Barrier::new(opts.threads + usize::from(opts.checkpoint_mid_run)));
-    let total_target = (opts.threads * opts.txns_per_thread) as u64;
-
-    let start = Instant::now();
-    let mut ckpt_gate_nanos = 0u64;
-    std::thread::scope(|s| {
-        for w in 0..opts.threads {
-            let mgr = mgr.clone();
-            let acct = accts[w % accounts].clone();
-            let aborted = aborted.clone();
-            let committed_so_far = committed_so_far.clone();
-            let ckpt_running = ckpt_running.clone();
-            let max_gap_in_ckpt = max_gap_in_ckpt.clone();
-            let barrier = barrier.clone();
-            s.spawn(move || {
-                barrier.wait();
-                let mut last_commit = Instant::now();
-                for i in 0..opts.txns_per_thread {
-                    let t = mgr.begin();
-                    let mut ok = true;
-                    for k in 0..opts.ops_per_txn {
-                        let v = Rational::from_int(((w + i + k) % 40 + 1) as i64);
-                        let res = if k % 4 == 3 {
-                            acct.debit(&t, v).map(|_| ())
-                        } else {
-                            acct.credit(&t, v).map(|_| ())
-                        };
-                        if res.is_err() {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    if ok && mgr.commit(t.clone()).is_ok() {
-                        committed_so_far.fetch_add(1, Ordering::Relaxed);
-                        let now = Instant::now();
-                        if ckpt_running.load(Ordering::Relaxed) {
-                            let gap = now.duration_since(last_commit).as_nanos() as u64;
-                            max_gap_in_ckpt.fetch_max(gap, Ordering::Relaxed);
-                        }
-                        last_commit = now;
-                    } else {
-                        mgr.abort(t);
-                        aborted.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            });
-        }
-        if opts.checkpoint_mid_run {
-            let mgr = mgr.clone();
-            let registry = &registry;
-            let committed_so_far = committed_so_far.clone();
-            let ckpt_running = ckpt_running.clone();
-            let barrier = barrier.clone();
-            s.spawn(move || {
-                barrier.wait();
-                while committed_so_far.load(Ordering::Relaxed) < total_target / 2 {
-                    std::thread::yield_now();
-                }
-                ckpt_running.store(true, Ordering::Relaxed);
-                mgr.checkpoint_registry(registry).expect("mid-run checkpoint").expect("store");
-                ckpt_running.store(false, Ordering::Relaxed);
-            });
-        }
-    });
-    let elapsed = start.elapsed();
-    if opts.checkpoint_mid_run {
-        ckpt_gate_nanos = mgr.last_checkpoint_gate_nanos();
-    }
+    let (elapsed, aborted, max_gap) = drive_mix(
+        opts,
+        |w, i| {
+            let acct = &accts[w % accounts];
+            let t = mgr.begin();
+            if txn_ops(acct, &t, w, i, opts.ops_per_txn).is_ok() && mgr.commit(t.clone()).is_ok() {
+                true
+            } else {
+                mgr.abort(t);
+                false
+            }
+        },
+        || {
+            mgr.checkpoint_registry(&registry).expect("mid-run checkpoint").expect("store");
+        },
+    );
 
     let committed = mgr.committed_count();
     DurableMixReport {
         committed,
-        aborted: aborted.load(Ordering::Relaxed),
+        aborted,
         elapsed,
         commits_per_sec: committed as f64 / elapsed.as_secs_f64(),
-        checkpoint_gate_nanos: ckpt_gate_nanos,
-        checkpoint_max_commit_gap_nanos: max_gap_in_ckpt.load(Ordering::Relaxed),
+        checkpoint_gate_nanos: if opts.checkpoint_mid_run {
+            mgr.last_checkpoint_gate_nanos()
+        } else {
+            0
+        },
+        checkpoint_max_commit_gap_nanos: max_gap,
+        final_balances: accts.iter().map(|a| a.committed_balance()).collect(),
+    }
+}
+
+/// The facade path: `Db::open`, typed handles, `Db::transact` scopes —
+/// zero manual registration or begin/commit calls.
+fn mix_facade(
+    dir: &Path,
+    opts: &DurableMixOptions,
+    accounts: usize,
+    storage: StorageOptions,
+) -> DurableMixReport {
+    let db = Db::builder().storage_options(storage).open(dir).expect("open database");
+    let accts: Vec<Arc<AccountObject>> = (0..accounts)
+        .map(|i| db.object::<AccountObject>(&format!("acct-{i}")).expect("typed handle"))
+        .collect();
+
+    let (elapsed, aborted, max_gap) = drive_mix(
+        opts,
+        |w, i| {
+            let acct = &accts[w % accounts];
+            db.transact(|tx| txn_ops(acct, tx, w, i, opts.ops_per_txn).map_err(Into::into)).is_ok()
+        },
+        || {
+            db.checkpoint().expect("mid-run checkpoint").expect("store");
+        },
+    );
+
+    let committed = db.committed_count();
+    DurableMixReport {
+        committed,
+        aborted,
+        elapsed,
+        commits_per_sec: committed as f64 / elapsed.as_secs_f64(),
+        checkpoint_gate_nanos: if opts.checkpoint_mid_run {
+            db.manager().last_checkpoint_gate_nanos()
+        } else {
+            0
+        },
+        checkpoint_max_commit_gap_nanos: max_gap,
         final_balances: accts.iter().map(|a| a.committed_balance()).collect(),
     }
 }
@@ -258,6 +354,31 @@ mod tests {
             "gate held {} ns",
             report.checkpoint_gate_nanos
         );
+    }
+
+    /// The facade path commits everything the raw path does, and a bare
+    /// `Db::open` + typed handles recovers its exact final state — no
+    /// Registry, no replay loop.
+    #[test]
+    fn facade_mix_commits_and_recovers_through_db_open_alone() {
+        let dir = tmp("facade");
+        let opts = DurableMixOptions {
+            threads: 4,
+            txns_per_thread: 30,
+            durability: Durability::Buffered,
+            stripes: 4,
+            api: MixApi::Facade,
+            ..Default::default()
+        };
+        let report = durable_account_mix(&dir, opts);
+        assert_eq!(report.committed, 120);
+        assert_eq!(report.aborted, 0, "thread-affine accounts should not conflict");
+
+        let db = Db::open(&dir).expect("reopen");
+        for (i, expected) in report.final_balances.iter().enumerate() {
+            let acct = db.object::<AccountObject>(&format!("acct-{i}")).expect("handle");
+            assert_eq!(acct.committed_balance(), *expected, "account {i} diverged");
+        }
     }
 
     /// Every commit acknowledged during a striped, fuzz-checkpointed,

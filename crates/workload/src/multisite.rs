@@ -14,6 +14,16 @@
 //! of every site WAL. Transient `CommittedPartial` outcomes become full
 //! commits; nothing is double-applied (redelivery is idempotent) and
 //! nothing undecided survives.
+//!
+//! This driver deliberately runs on the low-level API (the documented
+//! escape hatch, `docs/API.md`): sites log through their own [`SiteWal`]
+//! and commit through the message-passing [`Coordinator`], not a local
+//! `TxnManager` — and the final from-scratch check must recover a WAL
+//! whose appender the live site still owns, which the read-only
+//! `recover_site` scan permits and an appender-opening `Db::open` would
+//! not. Applications recovering a participant site go through
+//! `Db::builder().decisions(...)` instead (see
+//! `examples/distributed_commit.rs`).
 
 use hcc_adts::account::{AccountHybrid, AccountObject};
 use hcc_core::runtime::{Durability, RuntimeOptions, TxnHandle};

@@ -18,10 +18,8 @@ use hybrid_cc::core::runtime::{RuntimeOptions, TxnHandle};
 use hybrid_cc::spec::{Rational, TxnId};
 use hybrid_cc::storage::{DurableStore, StorageOptions};
 use hybrid_cc::txn::clock::LogicalClock;
-use hybrid_cc::txn::registry::Registry;
-use hybrid_cc::txn::sim::{
-    coordinator_decisions, recover_site, CommitOutcome, Coordinator, Site, SiteWal,
-};
+use hybrid_cc::txn::sim::{coordinator_decisions, CommitOutcome, Coordinator, Site, SiteWal};
+use hybrid_cc::Db;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -107,17 +105,17 @@ fn main() {
         }
         assert_eq!(ledger.committed_balance(), Rational::from_int(0));
     }
-    // The site restarts: fresh object, recovery resolves the in-doubt
-    // transaction against the coordinator's recovered decision.
+    // The site restarts through the `Db` facade: opening the database
+    // with the coordinator's recovered decisions resolves the in-doubt
+    // transaction, and the typed handle arrives already healed — no
+    // Registry wiring, no replay loop.
     let decisions = coordinator_decisions(&dir_coord).unwrap();
     assert_eq!(decisions.get(&3), Some(&decided_ts));
-    let ledger = Arc::new(AccountObject::hybrid("ledger"));
-    let mut registry = Registry::new();
-    registry.register(ledger.clone());
-    let report = recover_site(&dir_site, &registry, &decisions).unwrap();
+    let db = Db::builder().decisions(decisions).open(&dir_site).unwrap();
+    let ledger = db.object::<AccountObject>("ledger").unwrap();
     println!(
         "ledger site recovered: {} in-doubt commit(s) healed, balance {}",
-        report.replayed,
+        db.recovery_report().replayed,
         ledger.committed_balance()
     );
     assert_eq!(ledger.committed_balance(), Rational::from_int(250));

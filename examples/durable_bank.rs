@@ -1,4 +1,5 @@
-//! The durable storage subsystem end to end, with a *real* crash.
+//! The durable storage subsystem end to end, with a *real* crash —
+//! driven entirely through the [`Db`] facade.
 //!
 //! ```text
 //! cargo run --release --example durable_bank -- run <dir> <txns>
@@ -11,52 +12,49 @@
 //!     recover from checkpoint + WAL tail and print the rebuilt state
 //! ```
 //!
-//! Note what the workload below never does: log. The account is built
-//! with the manager's options, so every credit serializes its own redo
-//! record into the WAL (self-logging) — there is no logging call to
-//! forget. After a crash, `recover` must print exactly the state of the
-//! commits that were acknowledged before the abort — that is what `Fsync`
-//! durability promises.
+//! Note what the workload below never does: log, register, or wire
+//! recovery. `Db::open` constructs the store and scans the log;
+//! `db.object` hands back the account *with its recovered state already
+//! installed* (a second session resumes where the first stopped, even
+//! one that died by SIGABRT); every credit inside `transact` serializes
+//! its own redo record (self-logging). After a crash, `recover` must
+//! print exactly the state of the commits acknowledged before the abort
+//! — that is what `Fsync` durability promises.
 
-use hybrid_cc::adts::account::{AccountHybrid, AccountObject};
+use hybrid_cc::adts::account::AccountObject;
 use hybrid_cc::spec::Rational;
-use hybrid_cc::storage::{CompactionPolicy, StorageOptions};
-use hybrid_cc::txn::manager::TxnManager;
-use hybrid_cc::txn::registry::Registry;
-use std::sync::Arc;
+use hybrid_cc::storage::CompactionPolicy;
+use hybrid_cc::Db;
 
 fn run(dir: &str, txns: u64, abort_after: Option<u64>) {
-    // HCC_WAL_STRIPES picks the stripe count, like the CI matrix.
-    let opts = StorageOptions {
-        segment_max_bytes: 2048,
-        policy: CompactionPolicy::every_n(25),
-        ..StorageOptions::default()
-    }
-    .stripes_from_env();
-    let mgr = TxnManager::with_storage(dir, opts).expect("open store");
-    let acct = Arc::new(AccountObject::with("acct", Arc::new(AccountHybrid), mgr.object_options()));
-    let mut registry = Registry::new();
-    registry.register(acct.clone());
-    // Absorb whatever a previous session left behind: the manager restores
-    // the latest checkpoint and replays the committed tail into the
-    // registered objects, so this session *continues* the log instead of
-    // shadowing it. (The store refuses to checkpoint until this happens.)
-    let report = mgr.recover(&registry).expect("recover prior state");
+    // HCC_WAL_STRIPES / HCC_DURABILITY pick the CI matrix axes.
+    let db = Db::builder()
+        .segment_max_bytes(2048)
+        .compaction(CompactionPolicy::every_n(25))
+        .env_overrides()
+        .open(dir)
+        .expect("open database");
+    // The typed handle arrives holding whatever previous sessions
+    // committed: this session *continues* the log instead of shadowing it.
+    let acct = db.object::<AccountObject>("acct").expect("open account");
+    let report = db.recovery_report();
     if report.replayed > 0 || report.checkpoint_ts > 0 {
         println!("resumed with balance {:?} from prior sessions", acct.committed_balance());
     }
     for i in 1..=txns {
-        let t = mgr.begin();
-        acct.credit(&t, Rational::from_int(i as i64)).unwrap(); // self-logs
-        mgr.commit(t).unwrap();
+        db.transact(|tx| {
+            acct.credit(tx, Rational::from_int(i as i64))?; // self-logs
+            Ok(())
+        })
+        .expect("commit");
         println!("committed txn {i}: balance {:?}", acct.committed_balance());
-        mgr.maybe_checkpoint_registry(&registry).unwrap();
+        db.maybe_checkpoint().unwrap();
         if abort_after == Some(i) {
             eprintln!("== simulating power failure: abort() after {i} acknowledged commits ==");
             std::process::abort();
         }
     }
-    let ckpts = mgr.storage().map(|s| s.checkpoints_taken()).unwrap_or(0);
+    let ckpts = db.storage().map(|s| s.checkpoints_taken()).unwrap_or(0);
     println!(
         "final balance {:?} after {txns} txns ({ckpts} checkpoints)",
         acct.committed_balance()
@@ -64,12 +62,11 @@ fn run(dir: &str, txns: u64, abort_after: Option<u64>) {
 }
 
 fn recover(dir: &str) {
-    let acct = Arc::new(AccountObject::hybrid("acct"));
-    let mut registry = Registry::new();
-    registry.register(acct.clone());
-    let mgr = TxnManager::with_storage(dir, StorageOptions::default().stripes_from_env())
-        .expect("open store");
-    let report = mgr.recover(&registry).expect("recover");
+    // Recovery is nothing but opening the database and asking for the
+    // object: no Registry, no replay loop, no wiring to forget.
+    let db = Db::builder().env_overrides().open(dir).expect("open database");
+    let acct = db.object::<AccountObject>("acct").expect("open account");
+    let report = db.recovery_report();
     println!(
         "recovered balance {:?} (checkpoint through ts {}, {} tail commits, torn tail: {})",
         acct.committed_balance(),

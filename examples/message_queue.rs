@@ -10,63 +10,74 @@
 //! ```
 
 use hybrid_cc::adts::fifo_queue::QueueObject;
-use hybrid_cc::txn::manager::TxnManager;
+use hybrid_cc::Db;
 use std::sync::Arc;
 
 fn main() {
-    let mgr = TxnManager::new();
-    let queue: Arc<QueueObject<String>> = Arc::new(QueueObject::hybrid("mailbox"));
+    let db = Arc::new(Db::in_memory());
+    let queue = db.object::<QueueObject<String>>("mailbox").unwrap();
 
-    // Three producers enqueue concurrently — all three transactions are
-    // simultaneously active, holding Enq locks that do not conflict.
-    let t_alice = mgr.begin();
-    let t_bob = mgr.begin();
-    let t_carol = mgr.begin();
-    queue.enq(&t_alice, "alice: hello".into()).unwrap();
-    queue.enq(&t_bob, "bob: hi there".into()).unwrap();
-    queue.enq(&t_carol, "carol: hey".into()).unwrap();
-    println!("three producers hold enq locks concurrently — no conflicts");
-
-    // They commit in a different order than they executed; the commit
-    // timestamps fix the serialization.
-    let ts_carol = mgr.commit(t_carol).unwrap();
-    let ts_alice = mgr.commit(t_alice).unwrap();
-    let ts_bob = mgr.commit(t_bob).unwrap();
-    println!("commit order: carol {ts_carol}, alice {ts_alice}, bob {ts_bob}");
-
-    // A consumer dequeues everything in commit-timestamp order.
-    let t_consumer = mgr.begin();
-    let mut received = Vec::new();
-    for _ in 0..3 {
-        received.push(queue.deq(&t_consumer).unwrap());
+    // Three producers enqueue from three threads — their transactions are
+    // simultaneously active, holding Enq locks that do not conflict, and
+    // each commit timestamp fixes that message's place in the dequeue
+    // order.
+    let mut commits: Vec<(u64, String)> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ["alice: hello", "bob: hi there", "carol: hey"]
+            .into_iter()
+            .map(|msg| {
+                let db = db.clone();
+                let queue = queue.clone();
+                s.spawn(move || {
+                    let (_, ts) = db
+                        .transact_ts(|tx| {
+                            queue.enq(tx, msg.to_string())?;
+                            Ok(())
+                        })
+                        .unwrap();
+                    (ts.0, msg.to_string())
+                })
+            })
+            .collect();
+        for h in handles {
+            commits.push(h.join().unwrap());
+        }
+    });
+    commits.sort();
+    println!("producers committed concurrently, in timestamp order:");
+    for (ts, msg) in &commits {
+        println!("  @{ts}  {msg}");
     }
-    mgr.commit(t_consumer).unwrap();
 
+    // A consumer dequeues everything in one transaction: the order is
+    // exactly the commit-timestamp order, whatever interleaving the
+    // threads produced.
+    let received = db
+        .transact(|tx| {
+            let mut got = Vec::new();
+            for _ in 0..3 {
+                got.push(queue.deq(tx)?);
+            }
+            Ok(got)
+        })
+        .unwrap();
     println!("consumer received:");
     for msg in &received {
         println!("  {msg}");
     }
-    assert_eq!(
-        received,
-        vec!["carol: hey".to_string(), "alice: hello".to_string(), "bob: hi there".to_string()],
-        "dequeue order follows commit timestamps"
-    );
+    let expected: Vec<String> = commits.iter().map(|(_, m)| m.clone()).collect();
+    assert_eq!(received, expected, "dequeue order follows commit timestamps");
 
     // A producer/consumer pipeline across threads: the consumer blocks on
     // the empty queue (Deq is a *partial* operation) until a producer
     // commits.
+    let consumer_db = db.clone();
     let consumer_q = queue.clone();
-    let consumer_mgr = mgr.clone();
     let consumer = std::thread::spawn(move || {
-        let t = consumer_mgr.begin();
-        let msg = consumer_q.deq(&t).unwrap();
-        consumer_mgr.commit(t).unwrap();
-        msg
+        consumer_db.transact(|tx| consumer_q.deq(tx).map_err(Into::into)).unwrap()
     });
     std::thread::sleep(std::time::Duration::from_millis(20));
-    let t = mgr.begin();
-    queue.enq(&t, "dave: am I late?".into()).unwrap();
-    mgr.commit(t).unwrap();
+    db.transact(|tx| queue.enq(tx, "dave: am I late?".into()).map_err(Into::into)).unwrap();
     let msg = consumer.join().unwrap();
     println!("blocked consumer woke up with: {msg}");
 }

@@ -1,4 +1,5 @@
-//! Quickstart: transactions over a hybrid-atomic bank account.
+//! Quickstart: scoped transactions over a hybrid-atomic bank account,
+//! through the [`Db`] session facade.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -6,52 +7,75 @@
 
 use hybrid_cc::adts::account::AccountObject;
 use hybrid_cc::spec::Rational;
-use hybrid_cc::txn::manager::TxnManager;
+use hybrid_cc::{Db, HccError};
 
 fn money(n: i64) -> Rational {
     Rational::from_int(n)
 }
 
 fn main() {
-    // One transaction manager per system: it issues transaction handles,
-    // generates commit timestamps consistent with each object's history,
-    // and runs two-phase atomic commitment over every object touched.
-    let mgr = TxnManager::new();
+    // One `Db` per system: it owns the transaction manager (timestamps,
+    // two-phase commitment, deadlock handling) and hands out typed object
+    // handles. `Db::open(dir)` gives the identical API with a durable WAL
+    // underneath; in-memory matches the paper's model.
+    let db = Db::in_memory();
 
-    // An account under the paper's hybrid (Table V) conflict relation.
-    let checking = AccountObject::hybrid("checking");
+    // An account under the paper's hybrid (Table V) conflict relation,
+    // constructed and registered in one call.
+    let checking = db.object::<AccountObject>("checking").unwrap();
 
-    // T1 deposits a salary.
-    let t1 = mgr.begin();
-    checking.credit(&t1, money(2500)).unwrap();
-    let ts1 = mgr.commit(t1).unwrap();
+    // T1 deposits a salary. The closure is the transaction: `Ok` commits,
+    // `Err` aborts, and transient failures (deadlock victims, refused
+    // prepare votes) are retried with bounded backoff automatically.
+    let ts1 = db
+        .transact_ts(|tx| {
+            checking.credit(tx, money(2500))?;
+            Ok(())
+        })
+        .unwrap()
+        .1;
     println!("T1 committed at {ts1}: +2500");
 
-    // T2 and T3 run concurrently. A credit and a successful debit do not
-    // conflict under Table V, so neither waits for the other.
-    let t2 = mgr.begin();
-    let t3 = mgr.begin();
-    let debited = checking.debit(&t2, money(300)).unwrap();
-    checking.credit(&t3, money(40)).unwrap();
-    assert!(debited);
-    let ts2 = mgr.commit(t2).unwrap();
-    let ts3 = mgr.commit(t3).unwrap();
-    println!("T2 committed at {ts2}: -300 (ran concurrently with T3)");
-    println!("T3 committed at {ts3}: +40");
+    // T2 and T3 run concurrently from two threads. A credit and a
+    // successful debit do not conflict under Table V, so neither waits
+    // for the other.
+    std::thread::scope(|s| {
+        let debit = s.spawn(|| {
+            db.transact_ts(|tx| {
+                let ok = checking.debit(tx, money(300))?;
+                assert!(ok, "funds are there");
+                Ok(())
+            })
+            .unwrap()
+            .1
+        });
+        let credit = s.spawn(|| {
+            db.transact_ts(|tx| {
+                checking.credit(tx, money(40))?;
+                Ok(())
+            })
+            .unwrap()
+            .1
+        });
+        let ts2 = debit.join().unwrap();
+        let ts3 = credit.join().unwrap();
+        println!("T2 committed at {ts2}: -300 (ran concurrently with T3)");
+        println!("T3 committed at {ts3}: +40");
+    });
 
     // T4 attempts an overdraft: the response signals failure and leaves
     // the balance unchanged; the transaction still commits (committing a
     // refusal is perfectly serializable).
-    let t4 = mgr.begin();
-    let ok = checking.debit(&t4, money(1_000_000)).unwrap();
+    let ok = db.transact(|tx| checking.debit(tx, money(1_000_000)).map_err(Into::into)).unwrap();
     assert!(!ok, "overdraft refused");
-    mgr.commit(t4).unwrap();
     println!("T4 committed: overdraft refused, balance untouched");
 
-    // T5 aborts: its deposit leaves no trace.
-    let t5 = mgr.begin();
-    checking.credit(&t5, money(999)).unwrap();
-    mgr.abort(t5);
+    // T5 aborts: returning `Err` from the closure rolls everything back.
+    let aborted: Result<(), HccError> = db.transact(|tx| {
+        checking.credit(tx, money(999))?;
+        Err(HccError::rollback("user cancelled the deposit"))
+    });
+    assert!(aborted.is_err());
     println!("T5 aborted: +999 discarded");
 
     let balance = checking.committed_balance();

@@ -5,6 +5,9 @@
 //! re-exports the workspace so that examples and downstream users need a
 //! single dependency:
 //!
+//! * [`db`] — **the front door**: the [`Db`] session facade — typed
+//!   durable handles, scoped retrying transactions, the unified
+//!   [`HccError`] taxonomy (see `docs/API.md`).
 //! * [`spec`] — events, histories, well-formedness, serial specifications
 //!   and the example data types (paper Sections 2–3).
 //! * [`relations`] — dependency relations, invalidated-by and
@@ -17,7 +20,8 @@
 //! * [`storage`] — the durable storage subsystem: segmented CRC-framed
 //!   write-ahead log, checkpoints, compaction policies, and group commit.
 //! * [`txn`] — logical clocks, the transaction manager, two-phase commit,
-//!   deadlock detection and the write-ahead log.
+//!   deadlock detection and the write-ahead log (the low-level escape
+//!   hatch under [`Db`]).
 //! * [`baselines`] — commutativity-based 2PL and read/write strict 2PL.
 //! * [`verify`] — serializability / hybrid-atomicity / online checkers.
 //! * [`workload`] — workload generation and the multithreaded driver.
@@ -26,29 +30,45 @@
 //!
 //! ```
 //! use hybrid_cc::adts::account::AccountObject;
-//! use hybrid_cc::txn::manager::TxnManager;
-//! use std::sync::Arc;
+//! use hybrid_cc::Db;
 //!
-//! let mgr = TxnManager::new();
-//! let acct = Arc::new(AccountObject::hybrid("checking"));
+//! // One `Db` per system. `Db::open(dir)` gives the same API durably
+//! // (WAL + checkpoints + recovery); in-memory matches the paper's model.
+//! let db = Db::in_memory();
 //!
-//! // Credit in one transaction...
-//! let t1 = mgr.begin();
-//! acct.credit(&t1, 100.into()).unwrap();
-//! mgr.commit(t1).unwrap();
+//! // Typed handles construct, register, and (when durable) recover the
+//! // object in one call — reopening "checking" later returns this same
+//! // instance, never a blank twin.
+//! let checking = db.object::<AccountObject>("checking").unwrap();
 //!
-//! // ...then debit in another.
-//! let t2 = mgr.begin();
-//! assert!(acct.debit(&t2, 30.into()).unwrap());
-//! mgr.commit(t2).unwrap();
+//! // Scoped transactions: commit on Ok, abort on Err; transient failures
+//! // (deadlock victims, refused prepare votes) retry with bounded
+//! // backoff, applying effects exactly once.
+//! db.transact(|tx| {
+//!     checking.credit(tx, 100.into())?;
+//!     Ok(())
+//! })
+//! .unwrap();
+//!
+//! let debited = db
+//!     .transact(|tx| {
+//!         let ok = checking.debit(tx, 30.into())?;
+//!         Ok(ok)
+//!     })
+//!     .unwrap();
+//! assert!(debited);
+//! assert_eq!(checking.committed_balance(), 70.into());
 //! ```
 
 pub use hcc_adts as adts;
 pub use hcc_baselines as baselines;
 pub use hcc_core as core;
+pub use hcc_db as db;
 pub use hcc_relations as relations;
 pub use hcc_spec as spec;
 pub use hcc_storage as storage;
 pub use hcc_txn as txn;
 pub use hcc_verify as verify;
 pub use hcc_workload as workload;
+
+pub use hcc_db::{Db, DbBuilder, DbObject, HccError, RetryPolicy, Tx};

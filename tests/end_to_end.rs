@@ -10,11 +10,11 @@ use hybrid_cc::core::machine::{LockMachine, RespondOutcome};
 use hybrid_cc::core::FnConflict;
 use hybrid_cc::spec::specs::{AccountSpec, QueueSpec};
 use hybrid_cc::spec::{ObjectId, Operation, Rational, Timestamp, TxnId, Value};
-use hybrid_cc::txn::manager::TxnManager;
 use hybrid_cc::verify::{hybrid_atomic, SystemSpecs};
 use hybrid_cc::workload::bank::{transfers, Mix};
 use hybrid_cc::workload::queue::{enqueue_only, producer_consumer};
 use hybrid_cc::workload::Scheme;
+use hybrid_cc::Db;
 use std::sync::Arc;
 
 fn money(n: i64) -> Rational {
@@ -161,31 +161,39 @@ fn mixed_scheme_system_is_atomic() {
 }
 
 /// The production runtime version of the same claim: hybrid and
-/// commutativity objects in one transaction system.
+/// commutativity objects in one transaction system — driven through the
+/// `Db` facade, with the non-default conflict relation joining via
+/// `attach`.
 #[test]
 fn mixed_scheme_runtime_transactions() {
-    let mgr = TxnManager::new();
-    let q: QueueObject<i64> = QueueObject::hybrid("audit");
-    let acct = AccountObject::with("acct", Arc::new(AccountCommutativity), mgr.object_options());
+    let db = Db::in_memory();
+    let q = db.object::<QueueObject<i64>>("audit").unwrap();
+    let acct = db
+        .attach(Arc::new(AccountObject::with(
+            "acct",
+            Arc::new(AccountCommutativity),
+            db.object_options(),
+        )))
+        .unwrap();
     // Fund.
-    let t0 = mgr.begin();
-    acct.credit(&t0, money(100)).unwrap();
-    mgr.commit(t0).unwrap();
+    db.transact(|tx| acct.credit(tx, money(100)).map_err(Into::into)).unwrap();
     // Two transactions touch both objects.
-    let t1 = mgr.begin();
-    assert!(acct.debit(&t1, money(25)).unwrap());
-    q.enq(&t1, 25).unwrap();
-    mgr.commit(t1).unwrap();
-    let t2 = mgr.begin();
-    assert!(acct.debit(&t2, money(30)).unwrap());
-    q.enq(&t2, 30).unwrap();
-    mgr.commit(t2).unwrap();
+    for amount in [25i64, 30] {
+        db.transact(|tx| {
+            assert!(acct.debit(tx, money(amount))?);
+            q.enq(tx, amount)?;
+            Ok(())
+        })
+        .unwrap();
+    }
 
     assert_eq!(acct.committed_balance(), money(45));
-    let t3 = mgr.begin();
-    assert_eq!(q.deq(&t3).unwrap(), 25);
-    assert_eq!(q.deq(&t3).unwrap(), 30);
-    mgr.commit(t3).unwrap();
+    db.transact(|tx| {
+        assert_eq!(q.deq(tx)?, 25);
+        assert_eq!(q.deq(tx)?, 30);
+        Ok(())
+    })
+    .unwrap();
 }
 
 #[test]
