@@ -50,6 +50,7 @@ pub(crate) fn decode_field<T: Deserialize>(
 
 pub mod account;
 pub mod counter;
+pub mod define;
 pub mod directory;
 pub mod fifo_queue;
 pub mod file;
@@ -59,6 +60,7 @@ pub mod snapshot;
 
 pub use account::AccountObject;
 pub use counter::CounterObject;
+pub use define::SpecObject;
 pub use directory::DirectoryObject;
 pub use fifo_queue::QueueObject;
 pub use file::FileObject;

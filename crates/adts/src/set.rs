@@ -232,6 +232,94 @@ impl<T: Elem> SetObject<T> {
     }
 }
 
+/// The Set restated through the declarative [`AdtDef`] surface — the
+/// **ported twin** of [`SetAdt`] + [`SetHybrid`]: the per-element,
+/// response-dependent conflict relation is *derived* from
+/// [`SetSpec`](hcc_spec::specs::SetSpec) at first construction (cached
+/// per type) instead of hand-encoded, and snapshots/replay/`Db` handles
+/// are generic. The wire format reuses [`SetAdt`]'s encoders, so
+/// `SpecObject<SetDef<T>>` writes byte-identical WAL traces and
+/// checkpoint images — proven by the differential test in
+/// `tests/defined_adts.rs`.
+pub struct SetDef<T>(PhantomData<fn() -> T>);
+
+impl<T> Default for SetDef<T> {
+    fn default() -> Self {
+        SetDef(PhantomData)
+    }
+}
+
+impl<T: Elem + Into<Value>> crate::define::AdtDef for SetDef<T> {
+    type State = BTreeSet<T>;
+    type Op = SetInv<T>;
+    type Res = bool;
+
+    fn type_name(&self) -> &'static str {
+        "Set"
+    }
+
+    fn initial(&self) -> BTreeSet<T> {
+        BTreeSet::new()
+    }
+
+    fn respond(&self, state: &BTreeSet<T>, op: &SetInv<T>) -> Vec<bool> {
+        let elem = match op {
+            SetInv::Add(x) | SetInv::Remove(x) | SetInv::Contains(x) => x,
+        };
+        let present = state.contains(elem);
+        match op {
+            SetInv::Add(_) => vec![!present],
+            SetInv::Remove(_) | SetInv::Contains(_) => vec![present],
+        }
+    }
+
+    fn apply(&self, state: &mut BTreeSet<T>, op: &SetInv<T>, res: &bool) {
+        match (op, res) {
+            (SetInv::Add(x), true) => {
+                state.insert(x.clone());
+            }
+            (SetInv::Remove(x), true) => {
+                state.remove(x);
+            }
+            _ => {}
+        }
+    }
+
+    fn is_read(&self, op: &SetInv<T>, _res: &bool) -> bool {
+        // No-op adds/removes are *not* reads: their refusals carry
+        // verifier-checked responses and are logged, exactly as the
+        // hand-written twin logs them.
+        matches!(op, SetInv::Contains(_))
+    }
+
+    fn spec_op(&self, op: &SetInv<T>, res: &bool) -> Operation {
+        to_spec_op(op, res)
+    }
+
+    fn conflict_spec(&self) -> crate::define::ConflictSpec {
+        crate::define::ConflictSpec::Derived(crate::define::AdtConfig::set().into())
+    }
+
+    fn encode_op(&self, op: &SetInv<T>, res: &bool) -> Vec<u8> {
+        SetAdt::<T>::default().redo(op, res).expect("set updates have redo payloads")
+    }
+
+    fn decode_op(&self, bytes: &[u8]) -> Result<(SetInv<T>, bool), RedoDecodeError> {
+        SetAdt::<T>::default().decode_redo(bytes)
+    }
+
+    fn encode_state(&self, state: &BTreeSet<T>) -> Vec<u8> {
+        let items: Vec<T> = state.iter().cloned().collect();
+        serde_json::to_vec(&items).expect("set elements serialize")
+    }
+
+    fn decode_state(&self, bytes: &[u8]) -> Result<BTreeSet<T>, RedoDecodeError> {
+        let items: Vec<T> =
+            serde_json::from_slice(bytes).map_err(|e| RedoDecodeError::new(e.to_string()))?;
+        Ok(items.into_iter().collect())
+    }
+}
+
 /// Map a runtime operation onto the dynamic specification operation.
 pub fn to_spec_op<T: Elem + Into<Value>>(inv: &SetInv<T>, res: &bool) -> Operation {
     match inv {

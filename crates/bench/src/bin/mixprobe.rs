@@ -45,6 +45,88 @@ fn main() {
         println!("{name:16} s8/s1 ratio: {:.2}x", rates[2] / rates[0]);
     }
 
+    // Derivation cost at construction: the bounded invalidated-by search
+    // each type pays on *first* construction (cached per type name
+    // afterwards), plus the cost of a warm cache hit.
+    {
+        use hcc_relations::derive::{cached_conflict_atoms, conflict_atoms, DeriveSpec};
+        use hcc_relations::tables::AdtConfig;
+        println!();
+        for (name, cfg) in [
+            ("File", AdtConfig::file as fn() -> AdtConfig),
+            ("Queue", AdtConfig::queue),
+            ("Semiqueue", AdtConfig::semiqueue),
+            ("Account", AdtConfig::account),
+            ("Counter", AdtConfig::counter),
+            ("Set", AdtConfig::set),
+            ("Directory", AdtConfig::directory),
+        ] {
+            let spec: DeriveSpec = cfg().into();
+            let t0 = std::time::Instant::now();
+            let atoms = conflict_atoms(&spec);
+            let cold = t0.elapsed();
+            let key = format!("probe-{name}");
+            cached_conflict_atoms(&key, &spec);
+            let t1 = std::time::Instant::now();
+            for _ in 0..1000 {
+                cached_conflict_atoms(&key, &spec);
+            }
+            let warm = t1.elapsed() / 1000;
+            println!(
+                "derive {name:10} {:9.2} ms cold ({} atoms), {:6} ns per cached lookup",
+                cold.as_secs_f64() * 1e3,
+                atoms.len(),
+                warm.as_nanos()
+            );
+        }
+    }
+
+    // Declarative-surface overhead: the same Counter+Set workload through
+    // the hand-written twins vs the generic SpecObject path (derived
+    // class-table locks, view materialization by replay).
+    {
+        use hcc_workload::durable::{defined_adt_mix, MixAdts};
+        println!();
+        for (d, name, per) in
+            [(Durability::Fsync, "fsync/group", 100), (Durability::Buffered, "buffered", 400)]
+        {
+            for threads in [1usize, 8] {
+                let best_for = |flavor: MixAdts| {
+                    let mut best = 0f64;
+                    for r in 0..reps {
+                        let dir = tmp.join(format!(
+                            "probe-adt-{}-{threads}-{flavor:?}-{r}-{}",
+                            name.replace('/', "-"),
+                            std::process::id()
+                        ));
+                        let _ = std::fs::remove_dir_all(&dir);
+                        let rep = defined_adt_mix(
+                            &dir,
+                            DurableMixOptions {
+                                threads,
+                                txns_per_thread: per,
+                                durability: d,
+                                stripes: 1,
+                                ..Default::default()
+                            },
+                            flavor,
+                        );
+                        best = best.max(rep.commits_per_sec);
+                        let _ = std::fs::remove_dir_all(&dir);
+                    }
+                    best
+                };
+                let hand = best_for(MixAdts::HandWritten);
+                let defined = best_for(MixAdts::Defined);
+                println!(
+                    "{name:16} {threads}thr adts: hand {hand:8.0}  defined {defined:8.0}  \
+                     (defined/hand {:.3}x)",
+                    defined / hand
+                );
+            }
+        }
+    }
+
     // Facade overhead: the same workload through raw begin/commit vs
     // `Db::transact` (BENCH.md target: within noise).
     use hcc_workload::durable::MixApi;

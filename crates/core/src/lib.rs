@@ -30,6 +30,6 @@ pub mod runtime;
 pub use conflict::{ConflictRelation, DerivedConflict, FnConflict};
 pub use machine::{LockMachine, MachineError, RespondOutcome};
 pub use runtime::{
-    BlockPolicy, ExecError, LockSpec, RuntimeAdt, RuntimeOptions, TxObject, TxParticipant,
-    TxnHandle, TxnPhase, WaitObserver,
+    AdtDef, BlockPolicy, ConflictSpec, ExecError, LockSpec, RuntimeAdt, RuntimeOptions, SpecAdt,
+    SpecLock, TxObject, TxParticipant, TxnHandle, TxnPhase, WaitObserver,
 };

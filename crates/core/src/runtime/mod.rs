@@ -21,10 +21,14 @@ mod adt;
 mod handle;
 mod object;
 mod options;
+mod spec_adt;
 
 pub use adt::{LockSpec, RedoDecodeError, RuntimeAdt};
 pub use handle::{TxnHandle, TxnPhase};
-pub use object::{ExecError, ObjectStats, ReplayError, TryExecOutcome, TxObject, TxParticipant};
+pub use object::{
+    ExecError, NotFresh, ObjectStats, ReplayError, TryExecOutcome, TxObject, TxParticipant,
+};
 pub use options::{
     BlockPolicy, Durability, NullObserver, RedoSink, RedoTicket, RuntimeOptions, WaitObserver,
 };
+pub use spec_adt::{AdtDef, ConflictSpec, ConflictTable, SpecAdt, SpecLock};

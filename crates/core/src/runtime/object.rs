@@ -82,6 +82,19 @@ impl std::fmt::Display for ReplayError {
 
 impl std::error::Error for ReplayError {}
 
+/// Refusal from [`TxObject::install_version`]: the object is not fresh
+/// — it already holds committed history or active transactions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotFresh;
+
+impl std::fmt::Display for NotFresh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot install a recovered version: the object already has history")
+    }
+}
+
+impl std::error::Error for NotFresh {}
+
 /// Outcome of a single non-blocking execution attempt.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TryExecOutcome<R> {
@@ -193,6 +206,11 @@ impl<A: RuntimeAdt> TxObject<A> {
     /// The object's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The data type this object runs.
+    pub fn adt(&self) -> &A {
+        &self.adt
     }
 
     /// The lock scheme's name (for experiment output).
@@ -451,6 +469,30 @@ impl<A: RuntimeAdt> TxObject<A> {
         self.forget(&mut st);
         drop(st);
         self.cv.notify_all();
+    }
+
+    /// Install a recovered base version into this **fresh** object as
+    /// the committed state at timestamp `ts` — the generic
+    /// checkpoint-restore path: where a hand-written wrapper replays
+    /// synthetic bootstrap operations (a credit of the whole balance, an
+    /// enqueue per item), a declaratively defined type installs its
+    /// decoded state directly. The object's clock advances to `ts`, so
+    /// tail replay (at strictly greater timestamps) observes a
+    /// well-formed history, exactly as after a bootstrap commit.
+    ///
+    /// Refused with [`NotFresh`] when the object already has history or
+    /// active transactions — installing over existing state would
+    /// silently drop or double effects. (An attach of a used object is
+    /// the reachable case; the error flows back as a failed
+    /// materialization, not a crash.)
+    pub fn install_version(&self, version: A::Version, ts: u64) -> Result<(), NotFresh> {
+        let mut st = self.inner.lock();
+        if st.clock != 0 || !st.committed.is_empty() || !st.active.is_empty() {
+            return Err(NotFresh);
+        }
+        st.version = version;
+        st.clock = ts;
+        Ok(())
     }
 
     /// Contention statistics.

@@ -112,7 +112,14 @@ impl DbBuilder {
     pub fn open(self, dir: impl AsRef<Path>) -> Result<Db, HccError> {
         let mgr = TxnManager::with_storage(dir, self.storage)?;
         let store = mgr.storage().expect("with_storage attaches a store").clone();
-        let mut recovered = DurableStore::recover(store.dir())?;
+        // One pass over the log serves both the store's clock/id seeding
+        // and this materialization: the open above already decoded every
+        // surviving record and retained the image; claim it instead of
+        // re-scanning the directory (static re-read only as fallback).
+        let mut recovered = match store.take_recovered()? {
+            Some(recovered) => recovered,
+            None => DurableStore::recover(store.dir())?,
+        };
 
         // Merge decided in-doubt transactions (2PC participant recovery)
         // into the committed tail — the same `resolve_committed` rule the

@@ -10,12 +10,13 @@
 
 use hcc_adts::account::{AccountHybrid, AccountObject};
 use hcc_adts::counter::{CounterHybrid, CounterObject};
+use hcc_adts::define::SpecObject;
 use hcc_adts::directory::{DirectoryHybrid, DirectoryObject, Key, Val};
 use hcc_adts::fifo_queue::{Item, QueueObject, QueueTableII};
 use hcc_adts::file::{Content, FileHybrid, FileObject};
 use hcc_adts::semiqueue::{self, SemiqueueHybrid, SemiqueueObject};
 use hcc_adts::set::{Elem, SetHybrid, SetObject};
-use hcc_core::runtime::RuntimeOptions;
+use hcc_core::runtime::{AdtDef, RuntimeOptions};
 use hcc_storage::DurableObject;
 use std::sync::Arc;
 
@@ -33,6 +34,18 @@ use std::sync::Arc;
 pub trait DbObject: DurableObject + Sized + 'static {
     /// A fresh, empty instance named `name`, built with `opts`.
     fn fresh(name: &str, opts: RuntimeOptions) -> Arc<Self>;
+}
+
+/// Every declaratively defined type is a `Db` citizen with no further
+/// impls: `db.object::<SpecObject<MyDef>>(name)` constructs the object
+/// under the definition's canonical conflict source ([`AdtDef::
+/// conflict_spec`] — derived from the serial specification or stated as
+/// a table), registers it, and materializes its durable history, exactly
+/// like the built-in wrappers.
+impl<D: AdtDef> DbObject for SpecObject<D> {
+    fn fresh(name: &str, opts: RuntimeOptions) -> Arc<Self> {
+        Arc::new(SpecObject::with_options(name, opts))
+    }
 }
 
 impl DbObject for AccountObject {

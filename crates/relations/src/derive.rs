@@ -1,0 +1,185 @@
+//! Deriving **runtime** conflict relations from serial specifications —
+//! the bridge between the paper's offline derivation (Sections 4–5) and
+//! the live object runtime.
+//!
+//! A [`DeriveSpec`] bundles everything the bounded invalidated-by search
+//! needs: the dynamic specification, a finite operation alphabet over a
+//! small value domain, a classifier, and the search bounds.
+//! [`conflict_atoms`] runs the search and lifts the instance-level
+//! relation to class-level [`Atom`]s (class pairs under a key condition),
+//! which generalize beyond the derivation domain: the runtime lock test
+//! is "classify both executed operations, bucket their key condition,
+//! look the atom up" — `hcc-core`'s `DerivedConflict`/`SpecLock` apply
+//! the symmetric closure at lookup time, exactly as the paper constructs
+//! conflict relations from dependency relations.
+//!
+//! Derivation is *bounded model checking* and costs milliseconds, not
+//! nanoseconds, so [`cached_conflict_atoms`] memoizes the result per
+//! type name: every object of one type — across databases, threads, and
+//! repeated construction — shares one derivation. The raw entry points
+//! stay public for benchmarking the derivation itself.
+
+use crate::invalidated_by::{invalidated_by, Bounds};
+use crate::relation::{pair_cond, Atom, Cond, InstanceRelation, OpClass};
+use crate::tables::AdtConfig;
+use hcc_spec::adt::SharedAdt;
+use hcc_spec::Operation;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Everything needed to derive one type's conflict relation from its
+/// serial specification. The runtime-facing sibling of
+/// [`AdtConfig`](crate::tables::AdtConfig) (which adds table-rendering
+/// presentation); [`From<AdtConfig>`] drops the presentation fields.
+pub struct DeriveSpec {
+    /// The serial specification (the paper's Section-3.1 object).
+    pub adt: SharedAdt,
+    /// Operation instances over a small derivation domain.
+    pub alphabet: Vec<Operation>,
+    /// Instance → class; also classifies *runtime* operations at lock
+    /// time, so the derived relation generalizes beyond the domain.
+    pub classify: fn(&Operation) -> OpClass,
+    /// Bounded-search depths.
+    pub bounds: Bounds,
+}
+
+impl From<AdtConfig> for DeriveSpec {
+    fn from(cfg: AdtConfig) -> DeriveSpec {
+        DeriveSpec {
+            adt: cfg.adt,
+            alphabet: cfg.alphabet,
+            classify: cfg.classify,
+            bounds: cfg.bounds,
+        }
+    }
+}
+
+/// Lift an instance-level relation over `alphabet` to class-level atoms,
+/// bucketing each class pair's instance pairs by key condition (the
+/// paper's table semantics, see `tables.rs`):
+///
+/// * a bucket with a related instance emits its atom — a *partially*
+///   related bucket over-approximates to related, which is sound (a
+///   superset of a dependency relation still hits every Definition-3
+///   violation; the condition language simply cannot carve it finer);
+/// * a bucket the derivation domain left **empty** generalizes from the
+///   other bucket — `debit(m)` vs `post(p)` with `m = p` never arises
+///   over the account alphabet, yet Table V states the dependency as
+///   `Always`, so a related populated bucket carries into the empty one.
+pub fn lift_to_atoms(
+    alphabet: &[Operation],
+    classify: fn(&Operation) -> OpClass,
+    rel: &InstanceRelation,
+) -> BTreeSet<Atom> {
+    #[derive(Default)]
+    struct Bucket {
+        total: usize,
+        related: usize,
+    }
+    let mut buckets: HashMap<(OpClass, OpClass), (Bucket, Bucket)> = HashMap::new();
+    for (q, q_op) in alphabet.iter().enumerate() {
+        for (p, p_op) in alphabet.iter().enumerate() {
+            let entry = buckets.entry((classify(q_op), classify(p_op))).or_default();
+            let bucket = match pair_cond(q_op, p_op) {
+                Cond::KeyEq => &mut entry.0,
+                Cond::KeyNeq => &mut entry.1,
+            };
+            bucket.total += 1;
+            if rel.contains(q, p) {
+                bucket.related += 1;
+            }
+        }
+    }
+    let mut atoms = BTreeSet::new();
+    for ((row, col), (eq, neq)) in buckets {
+        let eq_related = eq.related > 0 || (eq.total == 0 && neq.related > 0);
+        let neq_related = neq.related > 0 || (neq.total == 0 && eq.related > 0);
+        for (hit, cond) in [(eq_related, Cond::KeyEq), (neq_related, Cond::KeyNeq)] {
+            if hit {
+                atoms.insert(Atom { row: row.clone(), col: col.clone(), cond });
+            }
+        }
+    }
+    atoms
+}
+
+/// Derive the type's hybrid conflict atoms: the bounded invalidated-by
+/// relation (Definitions 8–9, a dependency relation by Theorem 10),
+/// lifted to class level. The symmetric closure — what the paper calls
+/// the conflict relation — is applied by the consumer at lookup time.
+pub fn conflict_atoms(spec: &DeriveSpec) -> BTreeSet<Atom> {
+    let rel = invalidated_by(spec.adt.as_ref(), &spec.alphabet, spec.bounds);
+    lift_to_atoms(&spec.alphabet, spec.classify, &rel)
+}
+
+/// The per-type derivation cache: type name → derived atoms.
+fn cache() -> &'static Mutex<HashMap<String, Arc<BTreeSet<Atom>>>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<BTreeSet<Atom>>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+static DERIVATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// [`conflict_atoms`], memoized per `key` (by convention the type name):
+/// the first construction of an object of a given type pays the bounded
+/// search once; every later construction — any thread, any database —
+/// gets the shared result.
+pub fn cached_conflict_atoms(key: &str, spec: &DeriveSpec) -> Arc<BTreeSet<Atom>> {
+    if let Some(atoms) = lock_cache().get(key) {
+        return atoms.clone();
+    }
+    // Derive outside the lock (milliseconds); first insert wins if two
+    // threads race — both derived the same pure function of the spec.
+    let atoms = Arc::new(conflict_atoms(spec));
+    DERIVATIONS.fetch_add(1, Ordering::Relaxed);
+    lock_cache().entry(key.to_string()).or_insert(atoms).clone()
+}
+
+fn lock_cache() -> std::sync::MutexGuard<'static, HashMap<String, Arc<BTreeSet<Atom>>>> {
+    cache().lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// How many actual (cache-missing) derivations have run in this process
+/// — lets tests assert that repeated construction of one type derives
+/// once.
+pub fn derivations_performed() -> u64 {
+    DERIVATIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Cond;
+
+    fn atom(row: &str, col: &str, cond: Cond) -> Atom {
+        Atom { row: OpClass::new(row), col: OpClass::new(col), cond }
+    }
+
+    #[test]
+    fn queue_atoms_are_table_ii() {
+        let atoms = conflict_atoms(&AdtConfig::queue().into());
+        let expected: BTreeSet<Atom> =
+            [atom("Deq", "Enq", Cond::KeyNeq), atom("Deq", "Deq", Cond::KeyEq)].into();
+        assert_eq!(atoms, expected);
+    }
+
+    #[test]
+    fn file_atoms_are_table_i() {
+        let atoms = conflict_atoms(&AdtConfig::file().into());
+        let expected: BTreeSet<Atom> = [atom("Read", "Write", Cond::KeyNeq)].into();
+        assert_eq!(atoms, expected);
+    }
+
+    #[test]
+    fn cache_derives_each_key_once() {
+        let before = derivations_performed();
+        let a = cached_conflict_atoms("test-semiqueue", &AdtConfig::semiqueue().into());
+        let after_first = derivations_performed();
+        let b = cached_conflict_atoms("test-semiqueue", &AdtConfig::semiqueue().into());
+        assert!(Arc::ptr_eq(&a, &b), "second lookup shares the derivation");
+        assert_eq!(derivations_performed(), after_first, "no re-derivation");
+        assert!(after_first > before, "first lookup derived");
+        assert_eq!(*a, conflict_atoms(&AdtConfig::semiqueue().into()));
+    }
+}

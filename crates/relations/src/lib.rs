@@ -21,6 +21,10 @@
 //! * [`tables`] — rendering of derived relations in the paper's tabular
 //!   format, the ground-truth Tables I–VI, and per-type derivation
 //!   configurations.
+//! * [`derive`] — the runtime bridge: derive a type's conflict atoms from
+//!   its [`DeriveSpec`] and memoize them per type name, so constructing a
+//!   live object under a *derived* lock relation pays the bounded search
+//!   once per process (`hcc-core::runtime::SpecLock` does the lifting).
 //!
 //! ## Boundedness
 //!
@@ -32,6 +36,7 @@
 //! every bundled type.
 
 pub mod commutativity;
+pub mod derive;
 pub mod enumerate;
 pub mod invalidated_by;
 pub mod minimal;
@@ -40,6 +45,7 @@ pub mod tables;
 pub mod violations;
 
 pub use commutativity::failure_to_commute;
+pub use derive::{cached_conflict_atoms, conflict_atoms, DeriveSpec};
 pub use invalidated_by::invalidated_by;
 pub use minimal::minimal_dependency_relations;
 pub use relation::{Atom, Cond, InstanceRelation, OpClass};

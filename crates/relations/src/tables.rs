@@ -272,10 +272,19 @@ impl AdtConfig {
         }
     }
 
-    /// Counter with deltas {1, 2} and read outcomes {0, 1, 2, 3}.
+    /// Counter with deltas {0, 1, 2} and read outcomes {0, 1, 2, 3}.
+    ///
+    /// Zero-delta updates are their own class, `Touch`: `inc(0)` is a
+    /// state-level no-op, so lumping it into `Inc` would smear the
+    /// `Read ⊦ Inc` dependency (witnessed only by non-zero deltas) into a
+    /// condition the table language cannot express ("delta ≠ 0" is not a
+    /// key comparison between the two operations). Derivation confirms
+    /// `Touch` participates in no dependency — which is exactly what the
+    /// hand-written hybrid relation encodes by ignoring zero updates.
     pub fn counter() -> AdtConfig {
         fn classify(op: &Operation) -> OpClass {
             OpClass::new(match op.inv.op {
+                "inc" | "dec" if op.inv.args[0] == Value::Int(0) => "Touch",
                 "inc" => "Inc",
                 "dec" => "Dec",
                 _ => "Read",
@@ -283,9 +292,9 @@ impl AdtConfig {
         }
         AdtConfig {
             adt: Arc::new(CounterSpec),
-            alphabet: CounterSpec::alphabet(&[1, 2], &[0, 1, 2, 3]),
+            alphabet: CounterSpec::alphabet(&[0, 1, 2], &[0, 1, 2, 3]),
             classify,
-            classes: cls(&["Inc", "Dec", "Read"]),
+            classes: cls(&["Inc", "Dec", "Touch", "Read"]),
             bounds: Bounds { max_h1: 2, max_h2: 2 },
         }
     }

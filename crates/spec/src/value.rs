@@ -125,6 +125,12 @@ impl From<&str> for Value {
     }
 }
 
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
 /// An invocation: an operation name plus arguments.
 ///
 /// The paper's `⟨inv, X, P⟩` events carry "both the name of the operation

@@ -205,6 +205,17 @@ pub struct DurableStore {
     /// snapshots do not contain — and then prune it. Cleared by
     /// [`DurableStore::mark_state_absorbed`].
     unabsorbed_history: std::sync::atomic::AtomicBool,
+    /// The recovery image the single open-time disk pass produced: the
+    /// checkpoint loaded at open plus the WAL's fully decoded surviving
+    /// records. Claimed (once) by [`DurableStore::take_recovered`] so
+    /// recovery never re-reads what open just read; dropped on
+    /// absorption, and on the first append (recovery runs before
+    /// transactions, so an append signals no materialization is coming),
+    /// so the memory is never held for a recovery that will not run.
+    open_image: std::sync::Mutex<Option<OpenImage>>,
+    /// Cheap guard for [`DurableStore::release_image_on_append`]: true
+    /// while a non-empty open image is retained.
+    open_image_present: std::sync::atomic::AtomicBool,
     /// Number of checkpoints taken by this instance.
     checkpoints_taken: AtomicU64,
     /// The object registry: name → compact id used by `Op` records. Seeded
@@ -218,6 +229,18 @@ pub struct DurableStore {
 struct ObjectRegistry {
     by_name: HashMap<String, u64>,
     next_id: u64,
+}
+
+/// What the open-time pass read off disk, retained verbatim: assembly
+/// into a [`Recovered`] is deferred to [`DurableStore::take_recovered`]
+/// so that opening a store stays permissive (a log whose tail recovery
+/// would refuse — a timestamp collision, an unknown object id — still
+/// opens; the refusal surfaces where recovery is actually requested,
+/// exactly as it did when recovery re-read the disk).
+struct OpenImage {
+    checkpoint: Option<Checkpoint>,
+    records: Vec<(u64, crate::record::LogRecord)>,
+    torn_tail: bool,
 }
 
 impl DurableStore {
@@ -238,8 +261,8 @@ impl DurableStore {
         )?;
         let ckpt = Checkpoint::load_latest(&dir)?;
         let ckpt_ts = ckpt.as_ref().map(|c| c.last_ts).unwrap_or(0);
-        // The WAL already made one metadata pass over the surviving
-        // segments when it opened (tail repair + ticket/chain anchors);
+        // The WAL made one full pass over the surviving segments when it
+        // opened (tail repair + ticket/chain anchors + decoded records);
         // reuse its scan: resuming a log must not reuse timestamps,
         // transaction ids, tickets, or registry ids that are already
         // durable below the recovery watermarks. Registry bindings come
@@ -253,11 +276,22 @@ impl DurableStore {
         wal.witness_ticket(ckpt.as_ref().map(|c| c.last_ticket + 1).unwrap_or(0));
         wal.witness_chain(ckpt.as_ref().map(|c| c.commit_chain).unwrap_or(0));
         let mut registry = ObjectRegistry::default();
-        let ckpt_bindings = ckpt.map(|c| c.registry).unwrap_or_default();
+        let ckpt_bindings: Vec<(u64, String)> =
+            ckpt.as_ref().map(|c| c.registry.clone()).unwrap_or_default();
         for (id, name) in ckpt_bindings.into_iter().chain(scan.registrations) {
             registry.next_id = registry.next_id.max(id);
             registry.by_name.insert(name, id);
         }
+        // Retain the pass's full product — checkpoint + decoded records
+        // — as the recovery image, so `take_recovered` serves the
+        // materialization from memory instead of re-reading every
+        // segment (the ROADMAP's "double log scan at open").
+        let open_image = wal.take_open_image().map(|(records, torn_tail)| OpenImage {
+            checkpoint: ckpt,
+            records,
+            torn_tail,
+        });
+        let has_image = open_image.as_ref().is_some_and(|img| !img.records.is_empty());
         Ok(Arc::new(DurableStore {
             dir,
             wal,
@@ -267,7 +301,40 @@ impl DurableStore {
             unabsorbed_history: std::sync::atomic::AtomicBool::new(last_ts > 0),
             checkpoints_taken: AtomicU64::new(0),
             registry: std::sync::RwLock::new(registry),
+            open_image: std::sync::Mutex::new(open_image),
+            open_image_present: std::sync::atomic::AtomicBool::new(has_image),
         }))
+    }
+
+    /// Release the retained open image on the first append: a caller
+    /// that starts logging without having taken it signaled that no
+    /// recovery materialization is coming (recovery always runs before
+    /// transactions), so an append-only store — a 2PC coordinator's
+    /// decision log, a pure workload driver — does not pin a decoded
+    /// copy of its whole history in memory for its lifetime. One relaxed
+    /// atomic load on the hot path; the image (if any) is taken once.
+    fn release_image_on_append(&self) {
+        if self.open_image_present.load(Ordering::Relaxed) {
+            self.open_image_present.store(false, Ordering::Relaxed);
+            self.open_image.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+        }
+    }
+
+    /// The durable state this store's open-time pass read: newest
+    /// checkpoint plus the committed tail, in timestamp order —
+    /// identical to [`DurableStore::recover`] on the same directory, but
+    /// served from the image the open already decoded, so the log is
+    /// scanned once, not twice. Returns `Some` exactly once; `None`
+    /// after it was claimed or after [`DurableStore::mark_state_absorbed`]
+    /// dropped it (callers then fall back to the static re-read).
+    pub fn take_recovered(&self) -> Result<Option<Recovered>, StorageError> {
+        self.open_image_present.store(false, Ordering::Relaxed);
+        let image =
+            self.open_image.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+        match image {
+            Some(img) => assemble_recovered(img.checkpoint, img.records, img.torn_tail).map(Some),
+            None => Ok(None),
+        }
     }
 
     /// Attest that the caller's live objects reflect every commit at or
@@ -277,6 +344,10 @@ impl DurableStore {
     /// on a store opened over prior history, checkpointing is refused.
     pub fn mark_state_absorbed(&self) {
         self.unabsorbed_history.store(false, Ordering::Release);
+        // Absorption means nobody will materialize from the open image
+        // anymore; release its memory.
+        self.open_image_present.store(false, Ordering::Relaxed);
+        self.open_image.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
     }
 
     /// The highest commit timestamp known durable (checkpoint + WAL tail
@@ -318,6 +389,7 @@ impl DurableStore {
 
     /// Log that `txn` began.
     pub fn log_begin(&self, txn: u64) -> Result<(), StorageError> {
+        self.release_image_on_append();
         self.wal.append_begin(txn)
     }
 
@@ -332,6 +404,7 @@ impl DurableStore {
         object: &str,
         op: &[u8],
     ) -> Result<(), StorageError> {
+        self.release_image_on_append();
         let obj = self.object_id(object)?;
         self.wal.append_op(ticket, txn, obj, op)
     }
@@ -379,6 +452,7 @@ impl DurableStore {
     /// stripes are settled first). Returns only once the record is as
     /// durable as the configured level requires.
     pub fn log_commit(&self, txn: u64, ts: u64) -> Result<(), StorageError> {
+        self.release_image_on_append();
         self.wal.commit_txn(txn, ts)?;
         self.last_commit_ts.fetch_max(ts, Ordering::Relaxed);
         Ok(())
@@ -388,6 +462,7 @@ impl DurableStore {
     /// replays uncommitted transactions, so ordinary aborts need no fsync;
     /// they only unpin segments for compaction).
     pub fn log_abort(&self, txn: u64) -> Result<(), StorageError> {
+        self.release_image_on_append();
         self.wal.append_abort(txn)
     }
 
@@ -395,6 +470,7 @@ impl DurableStore {
     /// already be on disk but was never acknowledged (its fsync failed):
     /// recovery's abort-wins rule needs this record to survive.
     pub fn log_abort_durable(&self, txn: u64) -> Result<(), StorageError> {
+        self.release_image_on_append();
         self.wal.commit_abort(txn)
     }
 
@@ -452,10 +528,13 @@ impl DurableStore {
         // segments may keep op records that still reference the ids — and
         // the checkpoint file (temp + fsync + rename) is the one artifact
         // a torn tail can never reach.
-        let registry: Vec<(u64, String)> = {
+        let mut registry: Vec<(u64, String)> = {
             let reg = self.registry.read().unwrap_or_else(std::sync::PoisonError::into_inner);
             reg.by_name.iter().map(|(name, &id)| (id, name.clone())).collect()
         };
+        // Sorted (by id), so checkpoint bytes are a deterministic function
+        // of the logged history — identical runs produce identical files.
+        registry.sort();
         let ckpt = Checkpoint {
             last_ts: cursor.last_ts,
             last_ticket: cursor.last_ticket,
@@ -503,146 +582,161 @@ impl DurableStore {
 
     /// Read the durable state under `dir`: newest checkpoint plus the
     /// committed tail, in timestamp order. Static — recovery happens before
-    /// any appender is opened.
+    /// any appender is opened. (A store opened over the same directory
+    /// serves the identical image from its open-time pass via
+    /// [`DurableStore::take_recovered`] without re-reading the disk.)
     pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, StorageError> {
         let dir = dir.as_ref();
         let checkpoint = Checkpoint::load_latest(dir)?;
-        let ckpt_ts = checkpoint.as_ref().map(|c| c.last_ts).unwrap_or(0);
         // Records arrive merged into global ticket order — the
         // deterministic stripe merge.
         let (records, torn_tail) = read_records(dir)?;
-
-        // The id→name registry: seeded from the checkpoint (which carries
-        // the bindings of every id pruned segments may still reference),
-        // then extended by the surviving Register records — built in a
-        // first pass so record order never matters.
-        let mut names: HashMap<u64, String> = HashMap::new();
-        if let Some(ckpt) = &checkpoint {
-            for (id, name) in &ckpt.registry {
-                names.insert(*id, name.clone());
-            }
-        }
-        for (_, rec) in &records {
-            if let LogRecord::Register { id, name } = rec {
-                names.insert(*id, name.clone());
-            }
-        }
-
-        let mut ops: HashMap<u64, Vec<(String, Vec<u8>)>> = HashMap::new();
-        let mut aborted: HashSet<u64> = HashSet::new();
-        let mut completed: HashSet<u64> = HashSet::new();
-        let mut op_counts: HashMap<u64, u32> = HashMap::new();
-        // Commit records in ticket (chain) order, plus the tickets of
-        // abort records (a compensating abort reuses a failed commit's
-        // chain ticket, keeping the chain linkable through it).
-        let mut commit_nodes: Vec<(u64, u64, u64, u64)> = Vec::new(); // (seq, txn, ts, prev)
-        let mut abort_tickets: HashSet<u64> = HashSet::new();
-        for (seq, rec) in records {
-            match rec {
-                LogRecord::Begin { .. } => {}
-                LogRecord::Op { txn, obj, op } => {
-                    let object = names
-                        .get(&obj)
-                        .cloned()
-                        .ok_or(StorageError::UnknownObjectId { id: obj, txn })?;
-                    ops.entry(txn).or_default().push((object, op));
-                }
-                LogRecord::Commit { txn, ts, ops: n, prev } => {
-                    completed.insert(txn);
-                    // Duplicate commit records of one txn (a retried 2PC
-                    // phase-2 delivery) may disagree on the count — the
-                    // retry is logged after the tracking entry was
-                    // cleared. The max is the true count; any duplicate
-                    // below it carries no new obligation.
-                    let c = op_counts.entry(txn).or_insert(0);
-                    *c = (*c).max(n);
-                    commit_nodes.push((seq, txn, ts, prev));
-                }
-                LogRecord::Abort { txn } => {
-                    ops.remove(&txn);
-                    aborted.insert(txn);
-                    completed.insert(txn);
-                    abort_tickets.insert(seq);
-                }
-                LogRecord::Register { .. } => {}
-            }
-        }
-
-        // The commit-chain walk: a commit is *durably linked* when its
-        // `prev` pointer resolves — to the checkpoint's chain watermark,
-        // to another linked commit, or to an abort that reused a failed
-        // commit's ticket. A hole means a stripe's crash tail took an
-        // earlier commit record than one that survived elsewhere; the
-        // unlinked commit (and transitively everything chained past the
-        // hole) was never acknowledged-and-depended-on consistently, so
-        // it is dropped — exactly the "a tail cut removes a suffix"
-        // semantics of a single-stream log, reconstructed across stripes.
-        let chain_floor = checkpoint.as_ref().map(|c| c.commit_chain).unwrap_or(0);
-        let mut linked: HashSet<u64> = HashSet::new();
-        let mut commits: BTreeMap<u64, u64> = BTreeMap::new(); // ts -> txn
-        let mut incomplete = Vec::new();
-        for &(seq, txn, ts, prev) in &commit_nodes {
-            if seq <= chain_floor {
-                // Pinned pre-checkpoint record: absorbed in the
-                // snapshots, never replayed; not part of the walk.
-                continue;
-            }
-            let ok = prev <= chain_floor || linked.contains(&prev) || abort_tickets.contains(&prev);
-            if !ok {
-                incomplete.push(txn);
-                continue;
-            }
-            linked.insert(seq);
-            if ts > ckpt_ts {
-                if let Some(first) = commits.insert(ts, txn) {
-                    if first != txn {
-                        // Silently keeping either transaction would drop
-                        // the other's acknowledged effects.
-                        return Err(StorageError::TimestampCollision { ts, first, second: txn });
-                    }
-                }
-            }
-        }
-
-        let mut committed = Vec::with_capacity(commits.len());
-        for (ts, txn) in commits {
-            if aborted.contains(&txn) {
-                // Both a Commit and an Abort record survived. The manager
-                // writes an abort only when the commit was never
-                // acknowledged (its fsync failed), so the abort wins —
-                // reporting the transaction as committed-with-no-ops would
-                // resurrect effects the live system told its client were
-                // rolled back.
-                continue;
-            }
-            let survivors = ops.remove(&txn).unwrap_or_default();
-            let want = op_counts.get(&txn).copied().unwrap_or(0) as usize;
-            if survivors.len() < want {
-                // Part of the transaction's ops went down with a stripe's
-                // crash tail while its commit record (on another stripe)
-                // survived. The commit was never acknowledged at `Fsync`
-                // durability — the op stripes settle before the commit
-                // record syncs — so dropping it is exactly the
-                // crashed-before-acknowledge outcome. Per-object stripe
-                // affinity guarantees no *surviving* transaction observed
-                // its effects: any later op on the same object sat behind
-                // the lost one in the same stripe and is lost too.
-                incomplete.push(txn);
-                continue;
-            }
-            committed.push(CommittedTxn { ts, txn, ops: survivors });
-        }
-        // Ops with no completion record at all: in-doubt. A 2PC site log
-        // resolves these against the coordinator's decision log; a
-        // single-site recovery just ignores them.
-        let mut in_doubt: Vec<InDoubtTxn> = ops
-            .into_iter()
-            .filter(|(txn, _)| !completed.contains(txn))
-            .map(|(txn, ops)| InDoubtTxn { txn, ops })
-            .collect();
-        in_doubt.sort_by_key(|t| t.txn);
-        Ok(Recovered { checkpoint, committed, in_doubt, incomplete, torn_tail })
+        assemble_recovered(checkpoint, records, torn_tail)
     }
+}
+
+/// Turn a raw log image — checkpoint + ticket-ordered surviving records —
+/// into the replayable [`Recovered`] state: registry resolution, the
+/// commit-chain walk, op-count certification, abort-wins, and in-doubt
+/// collection. Shared by the static [`DurableStore::recover`] (re-reads
+/// the disk) and [`DurableStore::take_recovered`] (consumes the open-time
+/// pass's image).
+fn assemble_recovered(
+    checkpoint: Option<Checkpoint>,
+    records: Vec<(u64, LogRecord)>,
+    torn_tail: bool,
+) -> Result<Recovered, StorageError> {
+    let ckpt_ts = checkpoint.as_ref().map(|c| c.last_ts).unwrap_or(0);
+    // The id→name registry: seeded from the checkpoint (which carries
+    // the bindings of every id pruned segments may still reference),
+    // then extended by the surviving Register records — built in a
+    // first pass so record order never matters.
+    let mut names: HashMap<u64, String> = HashMap::new();
+    if let Some(ckpt) = &checkpoint {
+        for (id, name) in &ckpt.registry {
+            names.insert(*id, name.clone());
+        }
+    }
+    for (_, rec) in &records {
+        if let LogRecord::Register { id, name } = rec {
+            names.insert(*id, name.clone());
+        }
+    }
+
+    let mut ops: HashMap<u64, Vec<(String, Vec<u8>)>> = HashMap::new();
+    let mut aborted: HashSet<u64> = HashSet::new();
+    let mut completed: HashSet<u64> = HashSet::new();
+    let mut op_counts: HashMap<u64, u32> = HashMap::new();
+    // Commit records in ticket (chain) order, plus the tickets of
+    // abort records (a compensating abort reuses a failed commit's
+    // chain ticket, keeping the chain linkable through it).
+    let mut commit_nodes: Vec<(u64, u64, u64, u64)> = Vec::new(); // (seq, txn, ts, prev)
+    let mut abort_tickets: HashSet<u64> = HashSet::new();
+    for (seq, rec) in records {
+        match rec {
+            LogRecord::Begin { .. } => {}
+            LogRecord::Op { txn, obj, op } => {
+                let object = names
+                    .get(&obj)
+                    .cloned()
+                    .ok_or(StorageError::UnknownObjectId { id: obj, txn })?;
+                ops.entry(txn).or_default().push((object, op));
+            }
+            LogRecord::Commit { txn, ts, ops: n, prev } => {
+                completed.insert(txn);
+                // Duplicate commit records of one txn (a retried 2PC
+                // phase-2 delivery) may disagree on the count — the
+                // retry is logged after the tracking entry was
+                // cleared. The max is the true count; any duplicate
+                // below it carries no new obligation.
+                let c = op_counts.entry(txn).or_insert(0);
+                *c = (*c).max(n);
+                commit_nodes.push((seq, txn, ts, prev));
+            }
+            LogRecord::Abort { txn } => {
+                ops.remove(&txn);
+                aborted.insert(txn);
+                completed.insert(txn);
+                abort_tickets.insert(seq);
+            }
+            LogRecord::Register { .. } => {}
+        }
+    }
+
+    // The commit-chain walk: a commit is *durably linked* when its
+    // `prev` pointer resolves — to the checkpoint's chain watermark,
+    // to another linked commit, or to an abort that reused a failed
+    // commit's ticket. A hole means a stripe's crash tail took an
+    // earlier commit record than one that survived elsewhere; the
+    // unlinked commit (and transitively everything chained past the
+    // hole) was never acknowledged-and-depended-on consistently, so
+    // it is dropped — exactly the "a tail cut removes a suffix"
+    // semantics of a single-stream log, reconstructed across stripes.
+    let chain_floor = checkpoint.as_ref().map(|c| c.commit_chain).unwrap_or(0);
+    let mut linked: HashSet<u64> = HashSet::new();
+    let mut commits: BTreeMap<u64, u64> = BTreeMap::new(); // ts -> txn
+    let mut incomplete = Vec::new();
+    for &(seq, txn, ts, prev) in &commit_nodes {
+        if seq <= chain_floor {
+            // Pinned pre-checkpoint record: absorbed in the
+            // snapshots, never replayed; not part of the walk.
+            continue;
+        }
+        let ok = prev <= chain_floor || linked.contains(&prev) || abort_tickets.contains(&prev);
+        if !ok {
+            incomplete.push(txn);
+            continue;
+        }
+        linked.insert(seq);
+        if ts > ckpt_ts {
+            if let Some(first) = commits.insert(ts, txn) {
+                if first != txn {
+                    // Silently keeping either transaction would drop
+                    // the other's acknowledged effects.
+                    return Err(StorageError::TimestampCollision { ts, first, second: txn });
+                }
+            }
+        }
+    }
+
+    let mut committed = Vec::with_capacity(commits.len());
+    for (ts, txn) in commits {
+        if aborted.contains(&txn) {
+            // Both a Commit and an Abort record survived. The manager
+            // writes an abort only when the commit was never
+            // acknowledged (its fsync failed), so the abort wins —
+            // reporting the transaction as committed-with-no-ops would
+            // resurrect effects the live system told its client were
+            // rolled back.
+            continue;
+        }
+        let survivors = ops.remove(&txn).unwrap_or_default();
+        let want = op_counts.get(&txn).copied().unwrap_or(0) as usize;
+        if survivors.len() < want {
+            // Part of the transaction's ops went down with a stripe's
+            // crash tail while its commit record (on another stripe)
+            // survived. The commit was never acknowledged at `Fsync`
+            // durability — the op stripes settle before the commit
+            // record syncs — so dropping it is exactly the
+            // crashed-before-acknowledge outcome. Per-object stripe
+            // affinity guarantees no *surviving* transaction observed
+            // its effects: any later op on the same object sat behind
+            // the lost one in the same stripe and is lost too.
+            incomplete.push(txn);
+            continue;
+        }
+        committed.push(CommittedTxn { ts, txn, ops: survivors });
+    }
+    // Ops with no completion record at all: in-doubt. A 2PC site log
+    // resolves these against the coordinator's decision log; a
+    // single-site recovery just ignores them.
+    let mut in_doubt: Vec<InDoubtTxn> = ops
+        .into_iter()
+        .filter(|(txn, _)| !completed.contains(txn))
+        .map(|(txn, ops)| InDoubtTxn { txn, ops })
+        .collect();
+    in_doubt.sort_by_key(|t| t.txn);
+    Ok(Recovered { checkpoint, committed, in_doubt, incomplete, torn_tail })
 }
 
 #[cfg(test)]
@@ -1004,6 +1098,49 @@ mod tests {
         assert_eq!(recovered.incomplete, vec![4], "txn 4 is beyond the durable horizon");
         assert_eq!(recovered.in_doubt.len(), 1, "txn 3 reverts to in-doubt (ops, no outcome)");
         assert_eq!(recovered.in_doubt[0].txn, 3);
+    }
+
+    /// The single-scan open: a reopened store hands its open-time image
+    /// back as the recovery state — byte-equal to what a fresh disk read
+    /// produces — exactly once; absorption drops an unclaimed image.
+    #[test]
+    fn open_retains_the_recovery_image_for_a_single_scan() {
+        let dir = tmp("single-scan");
+        let cell = Cell::default();
+        {
+            let store = DurableStore::open(&dir, small_opts()).unwrap();
+            for i in 1..=12 {
+                run_txn(&store, &cell, i, i, i as i64);
+            }
+            store.checkpoint(&[("cell", &cell)]).unwrap();
+            for i in 13..=20 {
+                run_txn(&store, &cell, i, i, i as i64);
+            }
+        }
+        let from_disk = DurableStore::recover(&dir).unwrap();
+        {
+            let store = DurableStore::open(&dir, small_opts()).unwrap();
+            let retained = store.take_recovered().unwrap().expect("open retained the image");
+            assert_eq!(retained.checkpoint, from_disk.checkpoint);
+            assert_eq!(retained.committed, from_disk.committed);
+            assert_eq!(retained.incomplete, from_disk.incomplete);
+            assert!(store.take_recovered().unwrap().is_none(), "claimed exactly once");
+        }
+        {
+            // Absorption without a take drops the retained image.
+            let store = DurableStore::open(&dir, small_opts()).unwrap();
+            store.mark_state_absorbed();
+            assert!(store.take_recovered().unwrap().is_none(), "absorbed image is released");
+        }
+        {
+            // Appending without a take drops it too: recovery runs
+            // before transactions, so the first append means no
+            // materialization is coming — an append-only store (a 2PC
+            // decision log) must not pin its decoded history forever.
+            let store = DurableStore::open(&dir, small_opts()).unwrap();
+            store.log_begin(999).unwrap();
+            assert!(store.take_recovered().unwrap().is_none(), "first append released the image");
+        }
     }
 
     #[test]

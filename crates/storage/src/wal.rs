@@ -144,6 +144,10 @@ struct TxnTrack {
     ops: u32,
 }
 
+/// The decoded record image of an open-time scan: the surviving records
+/// in merged ticket order, and whether any stripe dropped a torn tail.
+pub type OpenRecords = (Vec<(u64, LogRecord)>, bool);
+
 /// A striped, segmented, CRC-framed, group-committing write-ahead log.
 pub struct SegmentedWal {
     dir: PathBuf,
@@ -153,10 +157,16 @@ pub struct SegmentedWal {
     ticket: AtomicU64,
     /// Live transactions' dirty-stripe masks and op counts.
     txns: Mutex<HashMap<u64, TxnTrack>>,
-    /// What the open-time metadata pass learned (watermarks + registry
-    /// bindings) — the store reads this instead of re-scanning the
-    /// segments it just opened.
+    /// What the open-time scan learned (watermarks + registry bindings)
+    /// — the store reads this instead of re-scanning the segments it
+    /// just opened.
     open_scan: OpenScan,
+    /// The fully decoded records of that same open-time scan, in merged
+    /// ticket order, plus the torn-tail flag — retained so the *one*
+    /// pass over the surviving segments serves both clock/id seeding and
+    /// recovery materialization. Taken (once) by the store's recovery
+    /// path; dropped when the caller attests absorption.
+    open_image: Mutex<Option<OpenRecords>>,
     /// The commit chain: ticket of the most recently reserved commit
     /// record (any stripe). Each commit record carries its predecessor's
     /// ticket so recovery can reject chain holes — the cross-stripe
@@ -548,14 +558,17 @@ impl SegmentedWal {
         for i in 0..count {
             stripes.push(Stripe::open(stripe_dir(&dir, i))?);
         }
-        // One metadata pass over every surviving (tail-repaired) segment:
+        // One full pass over every surviving (tail-repaired) segment:
         // re-anchors the ticket counter (reusing a ticket would make the
         // recovery merge ambiguous, exactly like reusing a transaction
         // id) and the commit chain (the next commit links to the highest
-        // surviving commit ticket), and collects the watermarks +
-        // registry bindings the store needs — so opening a store reads
-        // each segment exactly once.
-        let scan = scan_watermarks(&dir)?;
+        // surviving commit ticket), collects the watermarks + registry
+        // bindings the store needs, **and retains the decoded records**
+        // so the recovery path materializes from this same pass instead
+        // of re-reading every segment — opening a store reads each
+        // segment exactly once, recovery included.
+        let (records, torn) = read_records(&dir)?;
+        let scan = OpenScan::from_records(&records);
         let wal = SegmentedWal {
             dir,
             opts,
@@ -567,6 +580,7 @@ impl SegmentedWal {
             chain_settled: Mutex::new(scan.max_commit_seq),
             chain_settled_cv: Condvar::new(),
             open_scan: scan,
+            open_image: Mutex::new(Some((records, torn))),
         };
         Ok(wal)
     }
@@ -575,6 +589,15 @@ impl SegmentedWal {
     /// registry bindings of the surviving log.
     pub fn open_scan(&self) -> &OpenScan {
         &self.open_scan
+    }
+
+    /// Take the decoded record image of the open-time scan (merged
+    /// ticket order, plus the torn-tail flag). `Some` exactly once: the
+    /// store claims it right after opening so one disk pass serves both
+    /// open seeding and recovery materialization; later calls get `None`
+    /// and must re-read.
+    pub fn take_open_image(&self) -> Option<OpenRecords> {
+        self.open_image.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take()
     }
 
     /// The log directory.
@@ -962,58 +985,34 @@ pub struct OpenScan {
     pub registrations: Vec<(u64, String)>,
 }
 
-/// Fold the recovery watermarks (highest commit timestamp, transaction
-/// id, and ticket) and the object registry bindings out of every stripe
-/// under `dir` without materializing op payloads — the cheap scan a
-/// reopening store uses to re-anchor clocks, id allocators, and the
-/// name→id registry. Same torn-tail semantics as [`read_records`].
-pub fn scan_watermarks(dir: &Path) -> Result<OpenScan, StorageError> {
-    let mut scan = OpenScan::default();
-    let mut registrations: Vec<(u64, u64, String)> = Vec::new(); // (seq, id, name)
-    for (_, sdir) in stripe_dirs(dir)? {
-        let segments = list_segments(&sdir)?;
-        let last_index = segments.last().map(|(i, _)| *i);
-        for (index, path) in &segments {
-            let bytes = fs::read(path)?;
-            let mut pos = 0usize;
-            loop {
-                if pos >= bytes.len() {
-                    break;
+impl OpenScan {
+    /// Fold the recovery watermarks (highest commit timestamp,
+    /// transaction id, and ticket) and the object registry bindings out
+    /// of an already-decoded, ticket-sorted record image — the seeding
+    /// half of the single open-time pass ([`read_records`] is the read
+    /// half; the image itself is retained for recovery).
+    pub fn from_records(records: &[(u64, LogRecord)]) -> OpenScan {
+        let mut scan = OpenScan::default();
+        for (seq, rec) in records {
+            scan.max_seq = scan.max_seq.max(*seq);
+            match rec {
+                LogRecord::Begin { txn } | LogRecord::Abort { txn } | LogRecord::Op { txn, .. } => {
+                    scan.max_txn = scan.max_txn.max(*txn);
                 }
-                match record::decode_meta_at(&bytes, pos) {
-                    Ok((meta, next)) => {
-                        scan.max_txn = scan.max_txn.max(meta.txn);
-                        scan.max_seq = scan.max_seq.max(meta.seq);
-                        if let Some(ts) = meta.commit_ts {
-                            scan.last_ts = scan.last_ts.max(ts);
-                            scan.max_commit_seq = scan.max_commit_seq.max(meta.seq);
-                        }
-                        if meta.register {
-                            // Rare record: a full decode of just this frame.
-                            if let Ok((seq, LogRecord::Register { id, name }, _)) =
-                                record::decode_at(&bytes, pos)
-                            {
-                                registrations.push((seq, id, name));
-                            }
-                        }
-                        pos = next;
-                    }
-                    Err(e) => {
-                        if Some(*index) == last_index {
-                            break; // torn tail
-                        }
-                        return Err(StorageError::Corrupt {
-                            segment: *index,
-                            detail: format!("{e:?} in non-final segment"),
-                        });
-                    }
+                LogRecord::Commit { txn, ts, .. } => {
+                    scan.max_txn = scan.max_txn.max(*txn);
+                    scan.last_ts = scan.last_ts.max(*ts);
+                    scan.max_commit_seq = scan.max_commit_seq.max(*seq);
+                }
+                LogRecord::Register { id, name } => {
+                    // Records arrive ticket-sorted, so bindings land in
+                    // ticket order.
+                    scan.registrations.push((*id, name.clone()));
                 }
             }
         }
+        scan
     }
-    registrations.sort();
-    scan.registrations = registrations.into_iter().map(|(_, id, name)| (id, name)).collect();
-    Ok(scan)
 }
 
 /// Read every record from every stripe under `dir`, merged into the

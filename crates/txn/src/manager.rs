@@ -309,7 +309,14 @@ impl TxnManager {
     /// Returns an empty report when the manager has no store.
     pub fn recover(&self, registry: &Registry) -> Result<RecoveryReport, RecoveryError> {
         let Some(store) = &self.store else { return Ok(RecoveryReport::default()) };
-        let recovered = DurableStore::recover(store.dir())?;
+        // The store's open already decoded the surviving log once; use
+        // that image instead of re-reading every segment. The static
+        // re-read remains as the fallback for a store whose image was
+        // already claimed.
+        let recovered = match store.take_recovered()? {
+            Some(recovered) => recovered,
+            None => DurableStore::recover(store.dir())?,
+        };
         let report = registry.restore_and_replay(&recovered)?;
         store.mark_state_absorbed();
         Ok(report)

@@ -14,11 +14,15 @@
 //! * [`register`] — write-heavy register workloads for the Thomas Write
 //!   Rule experiment (E9);
 //! * [`compaction`] — retained-state probes for the Section-6 experiment
-//!   (E11).
+//!   (E11);
+//! * [`crash`] / [`multisite`] / [`custom`] — randomized crash-recovery
+//!   scenarios (single-site, distributed, and a user-defined
+//!   `define_adt!` type written only against the public API).
 
 pub mod bank;
 pub mod compaction;
 pub mod crash;
+pub mod custom;
 pub mod durable;
 pub mod metrics;
 pub mod multisite;

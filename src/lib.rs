@@ -16,7 +16,11 @@
 //! * [`core`] — the LOCK state machine and the Avalon-style threaded object
 //!   runtime with horizon compaction (Sections 5–6, appendix).
 //! * [`adts`] — production object implementations (Account, FIFO queue,
-//!   Semiqueue, File, Counter, Set, Directory).
+//!   Semiqueue, File, Counter, Set, Directory), plus the **declarative
+//!   ADT surface** (`adts::define`, `define_adt!`): state a type's
+//!   serial specification once and get locking (derived), logging,
+//!   recovery, and typed [`Db`] handles generically — see
+//!   `docs/API.md`, "Defining your own ADT".
 //! * [`storage`] — the durable storage subsystem: segmented CRC-framed
 //!   write-ahead log, checkpoints, compaction policies, and group commit.
 //! * [`txn`] — logical clocks, the transaction manager, two-phase commit,
