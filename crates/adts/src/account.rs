@@ -179,6 +179,19 @@ impl LockSpec<AccountAdt> for AccountHybrid {
     fn name(&self) -> &'static str {
         "hybrid"
     }
+    fn class_of(&self, op: &(AccountInv, AccountRes)) -> Option<String> {
+        // Table V's own row/column names, so the live lock metrics read
+        // like the paper.
+        Some(
+            match (&op.0, &op.1) {
+                (AccountInv::Credit(_), _) => "Credit",
+                (AccountInv::Post(_), _) => "Post",
+                (AccountInv::Debit(_), AccountRes::Debited) => "Debit-Ok",
+                (AccountInv::Debit(_), _) => "Debit-Over",
+            }
+            .to_string(),
+        )
+    }
 }
 
 /// A bank account: `TxObject<AccountAdt>` with ergonomic methods.

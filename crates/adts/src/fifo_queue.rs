@@ -168,6 +168,18 @@ impl<T: Item> LockSpec<QueueAdt<T>> for QueueTableII {
     fn name(&self) -> &'static str {
         "hybrid-table-ii"
     }
+    fn class_of(&self, op: &(QueueInv<T>, QueueRes<T>)) -> Option<String> {
+        Some(queue_class(op))
+    }
+}
+
+/// Table II/III's class names for queue operations.
+fn queue_class<T: Item>(op: &(QueueInv<T>, QueueRes<T>)) -> String {
+    match op.0 {
+        QueueInv::Enq(_) => "Enq",
+        QueueInv::Deq => "Deq-Ok",
+    }
+    .to_string()
 }
 
 /// Table III conflicts: `Enq(v)` ↔ `Enq(v′)` when `v ≠ v′`; `Deq→v` ↔
@@ -185,6 +197,9 @@ impl<T: Item> LockSpec<QueueAdt<T>> for QueueTableIII {
     }
     fn name(&self) -> &'static str {
         "hybrid-table-iii"
+    }
+    fn class_of(&self, op: &(QueueInv<T>, QueueRes<T>)) -> Option<String> {
+        Some(queue_class(op))
     }
 }
 

@@ -178,6 +178,15 @@ impl<T: Item> LockSpec<SemiqueueAdt<T>> for SemiqueueHybrid {
     fn name(&self) -> &'static str {
         "hybrid"
     }
+    fn class_of(&self, op: &(SqInv<T>, SqRes<T>)) -> Option<String> {
+        Some(
+            match op.0 {
+                SqInv::Ins(_) => "Ins",
+                SqInv::Rem => "Rem-Ok",
+            }
+            .to_string(),
+        )
+    }
 }
 
 /// A semiqueue object with ergonomic methods.

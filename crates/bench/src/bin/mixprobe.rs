@@ -168,4 +168,52 @@ fn main() {
             );
         }
     }
+
+    // Observability primitives: the always-on metric hot paths. A grant
+    // is one cached `Counter::inc`; a WAL append adds one inc plus (per
+    // batch) a `Histogram::observe` — these ns/op numbers bound the
+    // instrumentation's share of a commit for BENCH.md's ≤2% budget.
+    // The buffered s=8 cell above is the before/after comparison point.
+    {
+        use hcc_obs::Registry;
+        use std::sync::Arc;
+        println!();
+        let reg = Registry::new();
+        let c = reg.counter("probe.counter");
+        let h = reg.histogram("probe.hist");
+        let n = 4_000_000u64;
+        let t0 = std::time::Instant::now();
+        for _ in 0..n {
+            c.inc();
+        }
+        let inc_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+        let t1 = std::time::Instant::now();
+        for i in 0..n {
+            h.observe(i);
+        }
+        let obs_ns = t1.elapsed().as_nanos() as f64 / n as f64;
+        // Contended: 8 threads on one shared counter (the sharding's job).
+        let t2 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c: Arc<_> = c.clone();
+                s.spawn(move || {
+                    for _ in 0..n / 8 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        let contended_ns = t2.elapsed().as_nanos() as f64 / n as f64;
+        let snaps = 1_000u32;
+        let t3 = std::time::Instant::now();
+        for _ in 0..snaps {
+            std::hint::black_box(reg.snapshot());
+        }
+        let snap_us = t3.elapsed().as_micros() as f64 / f64::from(snaps);
+        println!(
+            "obs: counter.inc {inc_ns:.1} ns, histogram.observe {obs_ns:.1} ns, \
+             counter.inc@8thr {contended_ns:.1} ns/op, snapshot {snap_us:.1} us"
+        );
+    }
 }

@@ -1,0 +1,111 @@
+//! CI schema check for `HCC_METRICS=json` dumps.
+//!
+//! Reads a process's combined output from stdin, extracts every
+//! `{"hcc_metrics":…}` line, and validates the dump contract:
+//!
+//! - the line is well-formed JSON with a single top-level `hcc_metrics`
+//!   object;
+//! - every metric value is an integer (counters/gauges) or a histogram
+//!   object with integer `count`/`sum`/`p50`/`p99` and `[bound, count]`
+//!   bucket pairs — never a float, so never a NaN;
+//! - histogram bucket counts sum back to `count`;
+//! - at least one dump in the stream carries the core transaction
+//!   counters (`txn.begun`/`txn.committed`/`txn.aborted`).
+//!
+//! Exits nonzero with a diagnostic on the first violation, so the
+//! recovery-matrix CI jobs fail if an instrumentation change breaks the
+//! machine-readable dump. Usage: `some-test-run 2>&1 | obscheck`.
+
+use serde_json::Value;
+use std::io::Read;
+use std::process::exit;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("obscheck: FAIL: {msg}");
+    exit(1)
+}
+
+fn as_u64(v: &Value, ctx: &str) -> u64 {
+    match v.as_u64() {
+        Some(n) => n,
+        None => fail(&format!("{ctx}: expected a non-negative integer, got {v}")),
+    }
+}
+
+fn check_histogram(name: &str, h: &serde_json::Map) {
+    for key in ["count", "sum", "p50", "p99", "buckets"] {
+        if !h.contains_key(key) {
+            fail(&format!("{name}: histogram missing key {key:?}"));
+        }
+    }
+    let count = as_u64(&h["count"], name);
+    as_u64(&h["sum"], name);
+    as_u64(&h["p50"], name);
+    as_u64(&h["p99"], name);
+    let buckets = match h["buckets"].as_array() {
+        Some(b) => b,
+        None => fail(&format!("{name}: buckets is not an array")),
+    };
+    let mut total = 0u64;
+    for b in buckets {
+        let pair = match b.as_array() {
+            Some(p) if p.len() == 2 => p,
+            _ => fail(&format!("{name}: bucket entry is not a [bound, count] pair: {b}")),
+        };
+        as_u64(&pair[0], name);
+        total += as_u64(&pair[1], name);
+    }
+    if total != count {
+        fail(&format!("{name}: bucket counts sum to {total} but count={count}"));
+    }
+}
+
+fn check_line(line: &str) -> bool {
+    let parsed: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => fail(&format!("invalid JSON: {e}\n  line: {line}")),
+    };
+    let top = match parsed.as_object() {
+        Some(o) if o.len() == 1 && o.contains_key("hcc_metrics") => o,
+        _ => fail("top level must be exactly {\"hcc_metrics\": {…}}"),
+    };
+    let metrics = match top["hcc_metrics"].as_object() {
+        Some(m) => m,
+        None => fail("hcc_metrics is not an object"),
+    };
+    for (name, v) in metrics {
+        match v {
+            Value::Number(n) if n.as_i64().is_some() || n.as_u64().is_some() => {}
+            Value::Number(_) => fail(&format!("{name}: float value {v} in dump")),
+            Value::Object(h) => check_histogram(name, h),
+            other => fail(&format!("{name}: unexpected value kind {other}")),
+        }
+    }
+    ["txn.begun", "txn.committed", "txn.aborted"].iter().all(|k| metrics.contains_key(*k))
+}
+
+fn main() {
+    let mut input = String::new();
+    std::io::stdin().read_to_string(&mut input).unwrap_or_else(|e| {
+        fail(&format!("cannot read stdin: {e}"));
+    });
+    let mut lines = 0u64;
+    let mut with_txn_core = 0u64;
+    for line in input.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"hcc_metrics\"") {
+            continue;
+        }
+        lines += 1;
+        if check_line(line) {
+            with_txn_core += 1;
+        }
+    }
+    if lines == 0 {
+        fail("no hcc_metrics line found in input (was HCC_METRICS=json set?)");
+    }
+    if with_txn_core == 0 {
+        fail("no dump carried txn.begun/txn.committed/txn.aborted");
+    }
+    println!("obscheck: OK ({lines} dump(s), {with_txn_core} with core txn counters)");
+}

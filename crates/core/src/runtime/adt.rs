@@ -98,4 +98,16 @@ pub trait LockSpec<A: RuntimeAdt + ?Sized>: Send + Sync {
     /// Scheme name (`"hybrid"`, `"commutativity"`, `"rw-2pl"`) for
     /// experiment output.
     fn name(&self) -> &'static str;
+
+    /// The conflict class the executed operation `op` belongs to, when
+    /// this scheme names its classes — the row/column labels of the
+    /// paper's conflict tables (`"Debit-Ok"`, `"Deq-Ok"`, …). Lock
+    /// metrics key grant/refusal counters by these names so a live
+    /// system's counters line up with the tables in the paper. `None`
+    /// (the default) makes the runtime fall back to a label derived from
+    /// the invocation's `Debug` form.
+    fn class_of(&self, op: &(A::Inv, A::Res)) -> Option<String> {
+        let _ = op;
+        None
+    }
 }

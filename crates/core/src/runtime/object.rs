@@ -4,9 +4,11 @@
 use super::adt::{LockSpec, RedoDecodeError, RuntimeAdt};
 use super::handle::{TxnHandle, TxnPhase};
 use super::options::RuntimeOptions;
+use hcc_obs::Counter;
 use hcc_spec::TxnId;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
+use std::mem::{discriminant, Discriminant};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -172,7 +174,22 @@ pub struct TxObject<A: RuntimeAdt> {
     conflicts: AtomicU64,
     waits: AtomicU64,
     forgotten: AtomicU64,
+    /// Pre-resolved grant counters by executed-operation variant, so the
+    /// hot grant path is a map read instead of a per-op label allocation.
+    /// Types whose conflict class depends on a payload *value* (not just
+    /// the variant) label all of a variant's grants under the first-seen
+    /// class; refusal/wait counters (cold path) always label exactly.
+    grant_cache: RwLock<HashMap<OpVariant<A>, Arc<Counter>>>,
 }
+
+/// An executed operation's variant pair — the grant-counter cache key.
+type OpVariant<A> = (Discriminant<<A as RuntimeAdt>::Inv>, Discriminant<<A as RuntimeAdt>::Res>);
+
+/// The `(requested, held)` executed-operation pair behind a refusal.
+type ConflictPair<A> = (
+    (<A as RuntimeAdt>::Inv, <A as RuntimeAdt>::Res),
+    (<A as RuntimeAdt>::Inv, <A as RuntimeAdt>::Res),
+);
 
 impl<A: RuntimeAdt> TxObject<A> {
     /// Create an object with the given data type, lock scheme and options.
@@ -200,6 +217,7 @@ impl<A: RuntimeAdt> TxObject<A> {
             conflicts: AtomicU64::new(0),
             waits: AtomicU64::new(0),
             forgotten: AtomicU64::new(0),
+            grant_cache: RwLock::new(HashMap::new()),
         })
     }
 
@@ -225,14 +243,28 @@ impl<A: RuntimeAdt> TxObject<A> {
         txn: &Arc<TxnHandle>,
         inv: &A::Inv,
     ) -> Result<TryExecOutcome<A::Res>, ExecError> {
+        self.try_execute_inner(txn, inv, &mut None)
+    }
+
+    /// [`TxObject::try_execute`] plus a wait-counter hint: on a refusal,
+    /// `wait_hint` is filled with the pair-keyed wait counter so the
+    /// blocking loop in [`TxObject::execute`] can count each wait slice
+    /// without re-deriving the conflict-class labels.
+    fn try_execute_inner(
+        self: &Arc<Self>,
+        txn: &Arc<TxnHandle>,
+        inv: &A::Inv,
+        wait_hint: &mut Option<Arc<Counter>>,
+    ) -> Result<TryExecOutcome<A::Res>, ExecError> {
         if txn.is_doomed() {
             return Err(ExecError::Doomed);
         }
         if txn.phase() != TxnPhase::Active {
             return Err(ExecError::NotActive);
         }
+        let mut conflict_ops = None;
         let mut st = self.inner.lock();
-        let outcome = self.attempt(&mut st, txn.id(), inv);
+        let outcome = self.attempt(&mut st, txn.id(), inv, &mut conflict_ops);
         if let TryExecOutcome::Executed(res) = &outcome {
             let clock = st.clock;
             st.bounds.insert(txn.id(), clock);
@@ -262,8 +294,60 @@ impl<A: RuntimeAdt> TxObject<A> {
             }
             txn.register(self.clone() as Arc<dyn TxParticipant>);
             self.executed.fetch_add(1, Ordering::Relaxed);
+            self.grant_counter(inv, res).inc();
+            if let Some(tr) = &self.opts.trace {
+                tr.record(txn.id().0, &self.name, "grant", self.class_label(inv, res));
+            }
+        } else {
+            drop(st);
+            if let TryExecOutcome::Conflict(_) = &outcome {
+                self.conflicts.fetch_add(1, Ordering::Relaxed);
+                // The refusal is already a slow path (the caller is about
+                // to block), so exact pair labels — the live view of the
+                // paper's conflict tables — are affordable here.
+                let pair = match &conflict_ops {
+                    Some((requested, held)) => format!(
+                        "{}|{}",
+                        self.class_label(&requested.0, &requested.1),
+                        self.class_label(&held.0, &held.1)
+                    ),
+                    None => "unknown|unknown".to_string(),
+                };
+                let ty = self.adt.type_name();
+                self.opts.metrics.counter(&format!("lock.refusals.{ty}.{pair}")).inc();
+                *wait_hint = Some(self.opts.metrics.counter(&format!("lock.waits.{ty}.{pair}")));
+                if let Some(tr) = &self.opts.trace {
+                    tr.record(txn.id().0, &self.name, "refuse", pair);
+                }
+            }
         }
         Ok(outcome)
+    }
+
+    /// The executed operation's conflict-class label: the scheme's own
+    /// class name when it has one (the paper tables' row/column names),
+    /// else the invocation's `Debug` head.
+    fn class_label(&self, inv: &A::Inv, res: &A::Res) -> String {
+        let op = (inv.clone(), res.clone());
+        self.locks.class_of(&op).unwrap_or_else(|| {
+            let dbg = format!("{:?}", op.0);
+            let end = dbg
+                .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '-'))
+                .unwrap_or(dbg.len());
+            dbg[..end].to_string()
+        })
+    }
+
+    /// The grant counter for this executed operation's variant (see the
+    /// `grant_cache` field for the caching contract).
+    fn grant_counter(&self, inv: &A::Inv, res: &A::Res) -> Arc<Counter> {
+        let key = (discriminant(inv), discriminant(res));
+        if let Some(c) = self.grant_cache.read().get(&key) {
+            return c.clone();
+        }
+        let name = format!("lock.grants.{}.{}", self.adt.type_name(), self.class_label(inv, res));
+        let counter = self.opts.metrics.counter(&name);
+        self.grant_cache.write().entry(key).or_insert(counter).clone()
     }
 
     /// Replay one executed operation with its logged response: like a
@@ -327,8 +411,10 @@ impl<A: RuntimeAdt> TxObject<A> {
     ) -> Result<A::Res, ExecError> {
         let start = Instant::now();
         let mut blocked = false;
+        let mut wait_counter: Option<Arc<Counter>> = None;
         loop {
-            match self.try_execute(txn, &inv)? {
+            let mut wait_hint = None;
+            match self.try_execute_inner(txn, &inv, &mut wait_hint)? {
                 TryExecOutcome::Executed(res) => {
                     if blocked {
                         self.opts.observer.on_unblock(txn.id());
@@ -336,7 +422,9 @@ impl<A: RuntimeAdt> TxObject<A> {
                     return Ok(res);
                 }
                 TryExecOutcome::Conflict(holders) => {
-                    self.conflicts.fetch_add(1, Ordering::Relaxed);
+                    if wait_hint.is_some() {
+                        wait_counter = wait_hint;
+                    }
                     self.opts.observer.on_block(txn.id(), &holders);
                     blocked = true;
                 }
@@ -355,6 +443,14 @@ impl<A: RuntimeAdt> TxObject<A> {
                 }
             }
             self.waits.fetch_add(1, Ordering::Relaxed);
+            let slice_counter = wait_counter.get_or_insert_with(|| {
+                // Undefined blocks have no conflict pair; label them so.
+                self.opts.metrics.counter(&format!("lock.waits.{}.undefined", self.adt.type_name()))
+            });
+            slice_counter.inc();
+            if let Some(tr) = &self.opts.trace {
+                tr.record(txn.id().0, &self.name, "wait", String::new());
+            }
             let mut st = self.inner.lock();
             self.cv.wait_for(&mut st, self.opts.block.wait_slice);
             drop(st);
@@ -365,7 +461,13 @@ impl<A: RuntimeAdt> TxObject<A> {
         }
     }
 
-    fn attempt(&self, st: &mut ObjState<A>, txn: TxnId, inv: &A::Inv) -> TryExecOutcome<A::Res> {
+    fn attempt(
+        &self,
+        st: &mut ObjState<A>,
+        txn: TxnId,
+        inv: &A::Inv,
+        conflict_ops: &mut Option<ConflictPair<A>>,
+    ) -> TryExecOutcome<A::Res> {
         // Assemble the view: version + committed intents (ts order) + own.
         let committed_refs: Vec<&A::Intent> = st.committed.values().map(|r| &r.intent).collect();
         let own = st.active.get(&txn).map(|r| r.intent.clone()).unwrap_or_default();
@@ -377,14 +479,21 @@ impl<A: RuntimeAdt> TxObject<A> {
         let mut blockers: Vec<TxnId> = Vec::new();
         for (res, intent) in candidates {
             let op = (inv.clone(), res);
-            let mut holders: Vec<TxnId> = st
-                .active
-                .iter()
-                .filter(|(&p, rec)| {
-                    p != txn && rec.ops.iter().any(|q| self.locks.conflicts(q, &op))
-                })
-                .map(|(&p, _)| p)
-                .collect();
+            let mut holders: Vec<TxnId> = Vec::new();
+            for (&p, rec) in st.active.iter() {
+                if p == txn {
+                    continue;
+                }
+                if let Some(q) = rec.ops.iter().find(|q| self.locks.conflicts(q, &op)) {
+                    // Remember the first refusing pair: it labels the
+                    // refusal/wait counters with the class pair that
+                    // actually blocked the caller.
+                    if conflict_ops.is_none() {
+                        *conflict_ops = Some((op.clone(), q.clone()));
+                    }
+                    holders.push(p);
+                }
+            }
             if holders.is_empty() {
                 let rec = st.active.entry(txn).or_default();
                 rec.intent = intent;

@@ -1,5 +1,6 @@
 //! Blocking policy and contention observation hooks.
 
+use hcc_obs::{FlightRecorder, Registry};
 use hcc_spec::TxnId;
 use std::sync::Arc;
 use std::time::Duration;
@@ -124,6 +125,14 @@ pub struct RuntimeOptions {
     /// self-logging (`TxnManager::object_options` wires the manager in
     /// when it has a durable store).
     pub redo: Option<Arc<dyn RedoSink>>,
+    /// Where the object's lock-table counters land (grants, refusals,
+    /// waits, keyed by ADT type and conflict-class pair). Every object
+    /// gets one — standalone objects default to a private registry;
+    /// `TxnManager::object_options` shares the manager's so `db.stats()`
+    /// sees everything.
+    pub metrics: Arc<Registry>,
+    /// The per-txn flight recorder (`HCC_TRACE=N`), when tracing is on.
+    pub trace: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for RuntimeOptions {
@@ -133,6 +142,8 @@ impl Default for RuntimeOptions {
             observer: Arc::new(NullObserver),
             durability: Durability::default(),
             redo: None,
+            metrics: Arc::new(Registry::new()),
+            trace: None,
         }
     }
 }
@@ -161,6 +172,18 @@ impl RuntimeOptions {
     /// `sink`.
     pub fn with_redo(mut self, sink: Arc<dyn RedoSink>) -> RuntimeOptions {
         self.redo = Some(sink);
+        self
+    }
+
+    /// The same options recording lock-table counters into `metrics`.
+    pub fn with_metrics(mut self, metrics: Arc<Registry>) -> RuntimeOptions {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The same options tracing into `recorder`.
+    pub fn with_trace(mut self, recorder: Option<Arc<FlightRecorder>>) -> RuntimeOptions {
+        self.trace = recorder;
         self
     }
 }

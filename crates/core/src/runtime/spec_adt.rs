@@ -295,6 +295,13 @@ impl<D: AdtDef> LockSpec<SpecAdt<D>> for SpecLock<D> {
     fn name(&self) -> &'static str {
         self.name
     }
+
+    fn class_of(&self, op: &(D::Op, D::Res)) -> Option<String> {
+        // The same classification the conflict lookup uses, so the lock
+        // metrics' grant/refusal keys are exactly the atoms' row/column
+        // names (derived or stated).
+        Some((self.classify)(&self.def.spec_op(&op.0, &op.1)).0.clone())
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@ use crate::error::HccError;
 use crate::handle::DbObject;
 use crate::tx::{RetryPolicy, Tx};
 use hcc_core::runtime::{Durability, RuntimeOptions};
+use hcc_obs::{Counter, Histogram};
 use hcc_spec::Timestamp;
 use hcc_storage::{Checkpoint, CompactionPolicy, DurableObject, DurableStore, StorageOptions};
 use hcc_txn::registry::{self, Decisions, RecoveryReport, Registry};
@@ -118,7 +119,7 @@ impl DbBuilder {
         // re-scanning the directory (static re-read only as fallback).
         let mut recovered = match store.take_recovered()? {
             Some(recovered) => recovered,
-            None => DurableStore::recover(store.dir())?,
+            None => store.reread_recovered()?,
         };
 
         // Merge decided in-doubt transactions (2PC participant recovery)
@@ -156,6 +157,8 @@ impl DbBuilder {
             store.mark_state_absorbed();
         }
 
+        let transact_attempts = mgr.metrics().histogram("db.transact.attempts");
+        let transact_backoff_nanos = mgr.metrics().counter("db.transact.backoff_nanos");
         Ok(Db {
             mgr,
             retry: self.retry,
@@ -170,6 +173,8 @@ impl DbBuilder {
                 poisoned: HashSet::new(),
             }),
             report,
+            transact_attempts,
+            transact_backoff_nanos,
         })
     }
 
@@ -177,8 +182,11 @@ impl DbBuilder {
     /// model): same typed handles and scoped transactions, nothing
     /// written to disk.
     pub fn in_memory(self) -> Db {
+        let mgr = TxnManager::new();
+        let transact_attempts = mgr.metrics().histogram("db.transact.attempts");
+        let transact_backoff_nanos = mgr.metrics().counter("db.transact.backoff_nanos");
         Db {
-            mgr: TxnManager::new(),
+            mgr,
             retry: self.retry,
             lock_timeout: self.lock_timeout,
             registry: RwLock::new(Registry::new()),
@@ -191,6 +199,8 @@ impl DbBuilder {
                 poisoned: HashSet::new(),
             }),
             report: RecoveryReport::default(),
+            transact_attempts,
+            transact_backoff_nanos,
         }
     }
 }
@@ -263,6 +273,11 @@ pub struct Db {
     handles: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
     pending: Mutex<PendingRecovery>,
     report: RecoveryReport,
+    /// `db.transact.attempts` — attempts each `transact` call took (1 =
+    /// first try committed). Resolved once at construction.
+    transact_attempts: Arc<Histogram>,
+    /// `db.transact.backoff_nanos` — total backoff slept between retries.
+    transact_backoff_nanos: Arc<Counter>,
 }
 
 impl Db {
@@ -419,22 +434,29 @@ impl Db {
                 let _guard = AbortOnDrop { mgr: &self.mgr, txn: tx.handle().clone() };
                 match f(&tx) {
                     Ok(v) => match self.mgr.commit(tx.handle().clone()) {
-                        Ok(ts) => return Ok((v, ts)),
+                        Ok(ts) => {
+                            self.transact_attempts.observe(u64::from(attempt) + 1);
+                            return Ok((v, ts));
+                        }
                         Err(e) => HccError::from(e), // already aborted everywhere
                     },
                     Err(e) => e, // the guard aborts on scope exit
                 }
             };
             if !err.is_transient() {
+                self.transact_attempts.observe(u64::from(attempt) + 1);
                 return Err(err);
             }
             if attempt >= self.retry.max_retries {
+                self.transact_attempts.observe(u64::from(attempt) + 1);
                 return Err(HccError::RetriesExhausted {
                     attempts: attempt + 1,
                     last: Box::new(err),
                 });
             }
-            std::thread::sleep(self.retry.backoff(attempt));
+            let backoff = self.retry.backoff(attempt);
+            self.transact_backoff_nanos.add(backoff.as_nanos() as u64);
+            std::thread::sleep(backoff);
             attempt += 1;
         }
     }
@@ -503,5 +525,37 @@ impl Db {
     /// `transact` attempts).
     pub fn aborted_count(&self) -> u64 {
         self.mgr.aborted_count()
+    }
+
+    /// A point-in-time snapshot of every metric this database's layers
+    /// recorded: lock grants/refusals/waits per ADT type and conflict
+    /// class (the paper's conflict tables, live), transaction counts and
+    /// latency histograms, `transact` retry attempts, WAL appends /
+    /// group-commit batches / fsync latency, checkpoint and recovery
+    /// totals. Diff two snapshots with [`hcc_obs::Snapshot::delta`].
+    pub fn stats(&self) -> hcc_obs::Snapshot {
+        self.mgr.metrics().snapshot()
+    }
+
+    /// The live metric registry, shared by the store, the WAL, the
+    /// manager, and every object this database built.
+    pub fn metrics(&self) -> &Arc<hcc_obs::Registry> {
+        self.mgr.metrics()
+    }
+}
+
+impl Drop for Db {
+    /// Honor `HCC_METRICS=dump|json`: print a final metrics snapshot to
+    /// stderr when the session ends — the zero-code observability hook
+    /// (`dump` renders the aligned table; `json` one machine-readable
+    /// line for CI schema checks).
+    fn drop(&mut self) {
+        if let Some(mode) = hcc_obs::dump_mode_from_env() {
+            let snap = self.mgr.metrics().snapshot();
+            match mode {
+                hcc_obs::DumpMode::Table => eprintln!("{}", snap.render_table()),
+                hcc_obs::DumpMode::Json => eprintln!("{}", snap.render_json()),
+            }
+        }
     }
 }

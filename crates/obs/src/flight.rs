@@ -1,0 +1,136 @@
+//! The per-transaction flight recorder: a bounded ring of recent events.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One recorded event: who did what to which object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (causal order across transactions).
+    pub seq: u64,
+    /// Transaction id, when the event belongs to one (0 = system).
+    pub txn: u64,
+    /// Object name, when the event targets one (empty = manager-level).
+    pub object: String,
+    /// Short machine-stable kind: `grant`, `refuse`, `wait`, `log.begin`,
+    /// `log.op`, `log.commit`, `log.abort`, `commit`, `abort`, …
+    pub kind: &'static str,
+    /// Free-form detail (conflict-class pair, error text, byte counts).
+    pub detail: String,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s (`HCC_TRACE=N`).
+///
+/// Always cheap to carry around (an `Option<Arc<FlightRecorder>>` that is
+/// `None` when tracing is off costs one branch); when on, each record is
+/// one mutex lock on a small deque — tracing is a debugging tool, not a
+/// production counter, so contention here is acceptable. The ring keeps
+/// the *last* `cap` events: when a commit fails fatally or recovery
+/// refuses a log, [`FlightRecorder::dump_to_stderr`] prints a readable
+/// causal trace of what led up to it.
+pub struct FlightRecorder {
+    cap: usize,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `cap` events (min 1).
+    pub fn with_capacity(cap: usize) -> FlightRecorder {
+        let cap = cap.max(1);
+        FlightRecorder {
+            cap,
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(cap)),
+        }
+    }
+
+    /// The `HCC_TRACE` environment hook: `HCC_TRACE=N` (a positive event
+    /// count) enables a recorder; unset, zero, or unparsable → `None`.
+    pub fn from_env() -> Option<FlightRecorder> {
+        let n: usize = std::env::var("HCC_TRACE").ok()?.trim().parse().ok()?;
+        if n == 0 {
+            return None;
+        }
+        Some(FlightRecorder::with_capacity(n))
+    }
+
+    /// Record one event, evicting the oldest when full.
+    pub fn record(&self, txn: u64, object: &str, kind: &'static str, detail: String) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let ev = TraceEvent { seq, txn, object: object.to_string(), kind, detail };
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Render the retained events as a readable trace, oldest first,
+    /// with a `reason` headline.
+    pub fn render(&self, reason: &str) -> String {
+        let events = self.events();
+        let mut out = format!("=== hcc flight recorder: {reason} ({} events) ===\n", events.len());
+        for ev in &events {
+            let obj = if ev.object.is_empty() { "-" } else { &ev.object };
+            out.push_str(&format!(
+                "#{:<6} txn={:<6} {:<12} {:<12} {}\n",
+                ev.seq, ev.txn, ev.kind, obj, ev.detail
+            ));
+        }
+        out.push_str("=== end flight recorder ===\n");
+        out
+    }
+
+    /// Dump the trace to stderr (the crash-path sink: commit failed
+    /// fatally, or recovery refused the log).
+    pub fn dump_to_stderr(&self, reason: &str) {
+        eprintln!("{}", self.render(reason));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_only_the_last_cap_events() {
+        let fr = FlightRecorder::with_capacity(3);
+        for i in 0..10u64 {
+            fr.record(i, "obj", "grant", format!("ev{i}"));
+        }
+        let events = fr.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].detail, "ev7");
+        assert_eq!(events[2].detail, "ev9");
+        // Sequence numbers stay global even after eviction.
+        assert_eq!(events[2].seq, 9);
+    }
+
+    #[test]
+    fn render_includes_reason_and_events() {
+        let fr = FlightRecorder::with_capacity(8);
+        fr.record(1, "acct", "refuse", "Debit-Ok|Debit-Ok".to_string());
+        fr.record(1, "", "commit", "ts=4".to_string());
+        let text = fr.render("commit failed");
+        assert!(text.contains("commit failed"));
+        assert!(text.contains("Debit-Ok|Debit-Ok"));
+        assert!(text.contains("txn=1"));
+        // Manager-level events render a placeholder object.
+        assert!(text.lines().any(|l| l.contains("commit") && l.contains(" - ")));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let fr = FlightRecorder::with_capacity(0);
+        fr.record(1, "o", "wait", String::new());
+        fr.record(2, "o", "wait", String::new());
+        assert_eq!(fr.events().len(), 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! A fixed-bucket base-2 log-scale histogram, sharded like the counter.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Bucket count. Bucket `i` holds values whose bit length is `i`:
+/// bucket 0 is exactly `{0}`, bucket `i ≥ 1` covers `[2^(i-1), 2^i)`,
+/// and bucket 64 (bit length of `u64::MAX`) tops out the range — so 65
+/// fixed buckets span all of `u64`: nanosecond latencies, batch sizes,
+/// and byte counts all fit without configuration.
+pub const BUCKETS: usize = 65;
+
+/// Shards per histogram; fewer than the counter's because a histogram
+/// shard is a whole bucket array (the padding already isolates shards).
+const SHARDS: usize = 8;
+
+#[repr(align(128))]
+struct Shard {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Shard {
+    fn default() -> Shard {
+        Shard { buckets: std::array::from_fn(|_| AtomicU64::new(0)), sum: AtomicU64::new(0) }
+    }
+}
+
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SLOT: usize = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The bucket a value lands in: its bit length.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// A log-scale histogram with lock-free, shard-local observation.
+///
+/// `observe` is two relaxed `fetch_add`s (bucket + sum) on the calling
+/// thread's shard; all integer math, so a snapshot can never hold a NaN.
+/// The bucket count always equals the observation count — each
+/// observation lands in exactly one bucket of one shard.
+#[derive(Default)]
+pub struct Histogram {
+    shards: [Shard; SHARDS],
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let shard = &self.shards[THREAD_SLOT.with(|s| *s) & (SHARDS - 1)];
+        shard.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record a `std::time::Duration` as nanoseconds (saturating).
+    #[inline]
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.snapshot().count
+    }
+
+    /// A consistent-enough point-in-time copy (relaxed reads; exact at
+    /// quiesce).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; BUCKETS];
+        let mut sum = 0u64;
+        for shard in &self.shards {
+            for (b, cell) in buckets.iter_mut().zip(shard.buckets.iter()) {
+                *b += cell.load(Ordering::Relaxed);
+            }
+            sum = sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
+        }
+        let count = buckets.iter().sum();
+        HistogramSnapshot { count, sum, buckets }
+    }
+}
+
+/// A merged copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations (always equals the bucket sum).
+    pub count: u64,
+    /// Sum of observed values (wrapping; meaningful until ~2^64).
+    pub sum: u64,
+    /// Dense bucket counts; index = value bit length (see [`BUCKETS`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot { count: 0, sum: 0, buckets: vec![0; BUCKETS] }
+    }
+
+    /// Mean observed value (0 when empty). The one floating-point
+    /// convenience; derived at read time, never stored.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding quantile `q` (0 when empty):
+    /// the log-scale estimate, exact to within one power of two.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Everything recorded since `earlier` (saturating per bucket, so a
+    /// mismatched pair degrades to zeros instead of wrapping).
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(earlier.buckets.iter())
+            .map(|(now, then)| now.saturating_sub(*then))
+            .collect();
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum: self.sum.wrapping_sub(earlier.sum),
+            buckets,
+        }
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i - 1`; bucket 0 holds `{0}`).
+pub(crate) fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn buckets_are_bit_lengths() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Bucket count covers the largest index.
+        assert_eq!(BUCKETS, bucket_of(u64::MAX) + 1);
+        assert_eq!(bucket_of(u64::MAX - 1), 64);
+    }
+
+    #[test]
+    fn bucket_counts_sum_to_observation_count() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 5, 120, 4096, u64::MAX] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        let expected =
+            [0u64, 1, 1, 5, 120, 4096, u64::MAX].iter().fold(0u64, |acc, v| acc.wrapping_add(*v));
+        assert_eq!(s.sum, expected);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5);
+        let p99 = s.quantile(0.99);
+        assert!((511..=1023).contains(&p50), "p50 within one power of two: {p50}");
+        assert!(p99 >= p50);
+        assert!((s.mean() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let h = Histogram::new();
+        h.observe(10);
+        let before = h.snapshot();
+        h.observe(10);
+        h.observe(100);
+        let d = h.snapshot().delta(&before);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 110);
+        assert_eq!(d.buckets.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn hammered_histogram_loses_nothing() {
+        let h = Arc::new(Histogram::new());
+        let threads = 8;
+        let per = 20_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        h.observe(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, threads * per);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+    }
+
+    #[test]
+    fn bucket_upper_bounds() {
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(10), 1023);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+}

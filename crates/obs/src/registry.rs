@@ -1,0 +1,349 @@
+//! The named metric directory and its snapshots.
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::{bucket_upper_bound, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named get-or-create directory of metrics.
+///
+/// One registry per system (the `Db` facade and its `TxnManager` and
+/// `DurableStore` share one); hot paths resolve their `Arc<Counter>` /
+/// `Arc<Histogram>` once and record lock-free afterwards. The mutex here
+/// guards only creation and snapshotting.
+///
+/// Names are dot-separated, coarse-to-fine (`lock.refusals.Account.…`),
+/// so prefix sums ([`Snapshot::sum_prefix`]) aggregate families.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    ///
+    /// # Panics
+    /// If `name` already names a gauge or histogram — one name, one kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(name.to_string()).or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} exists with a different kind"),
+        }
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    ///
+    /// # Panics
+    /// If `name` already names a counter or histogram.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(name.to_string()).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} exists with a different kind"),
+        }
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    ///
+    /// # Panics
+    /// If `name` already names a counter or gauge.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} exists with a different kind"),
+        }
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let m = self.metrics.lock().unwrap();
+        let values = m
+            .iter()
+            .map(|(name, metric)| {
+                let v = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), v)
+            })
+            .collect();
+        Snapshot { values }
+    }
+}
+
+/// One metric's value inside a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge's last value.
+    Gauge(i64),
+    /// A histogram's merged state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time copy of a [`Registry`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Metric values by name (sorted — `BTreeMap` keeps renders stable).
+    pub values: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// The counter named `name` (0 when absent or another kind).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.values.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The gauge named `name` (0 when absent or another kind).
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.values.get(name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The histogram named `name`, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.values.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Sum of every *counter* whose name starts with `prefix` — family
+    /// aggregation (`sum_prefix("lock.refusals.")` = all refusals).
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.values
+            .range(prefix.to_string()..)
+            .take_while(|(name, _)| name.starts_with(prefix))
+            .filter_map(|(_, v)| match v {
+                MetricValue::Counter(c) => Some(*c),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// What happened between `earlier` and `self`: counters and
+    /// histograms subtract (saturating); gauges keep the later value
+    /// (a gauge is a level, not a flow). Metrics absent from `earlier`
+    /// appear whole.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let values = self
+            .values
+            .iter()
+            .map(|(name, now)| {
+                let v = match (now, earlier.values.get(name)) {
+                    (MetricValue::Counter(n), Some(MetricValue::Counter(e))) => {
+                        MetricValue::Counter(n.saturating_sub(*e))
+                    }
+                    (MetricValue::Histogram(n), Some(MetricValue::Histogram(e))) => {
+                        MetricValue::Histogram(n.delta(e))
+                    }
+                    (now, _) => now.clone(),
+                };
+                (name.clone(), v)
+            })
+            .collect();
+        Snapshot { values }
+    }
+
+    /// The aligned human-readable table (`HCC_METRICS=dump`).
+    pub fn render_table(&self) -> String {
+        let width = self.values.keys().map(String::len).max().unwrap_or(0).max(6);
+        let mut out = String::new();
+        out.push_str(&format!("{:<width$}  {:>12}  {}\n", "metric", "value", "detail"));
+        for (name, v) in &self.values {
+            match v {
+                MetricValue::Counter(c) => {
+                    out.push_str(&format!("{name:<width$}  {c:>12}\n"));
+                }
+                MetricValue::Gauge(g) => {
+                    out.push_str(&format!("{name:<width$}  {g:>12}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{name:<width$}  {:>12}  mean={:.0} p50≤{} p99≤{} max≤{}\n",
+                        h.count,
+                        h.mean(),
+                        h.quantile(0.5),
+                        h.quantile(0.99),
+                        h.quantile(1.0),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// One machine-checkable JSON line (`HCC_METRICS=json`): an object
+    /// `{"hcc_metrics": {name: value-or-histogram-object, …}}`. All
+    /// values are integers (histogram quantiles included), so the dump
+    /// can never contain a NaN.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"hcc_metrics\":{");
+        let mut first = true;
+        for (name, v) in &self.values {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            json_string(&mut out, name);
+            out.push(':');
+            match v {
+                MetricValue::Counter(c) => out.push_str(&c.to_string()),
+                MetricValue::Gauge(g) => out.push_str(&g.to_string()),
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{},\"buckets\":[",
+                        h.count,
+                        h.sum,
+                        h.quantile(0.5),
+                        h.quantile(0.99),
+                    ));
+                    let mut first_b = true;
+                    for (i, b) in h.buckets.iter().enumerate() {
+                        if *b == 0 {
+                            continue;
+                        }
+                        if !first_b {
+                            out.push(',');
+                        }
+                        first_b = false;
+                        out.push_str(&format!("[{},{}]", bucket_upper_bound(i), b));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Append `s` as a JSON string literal (quotes + control escapes).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_metric() {
+        let r = Registry::new();
+        r.counter("a.b").inc();
+        r.counter("a.b").inc();
+        assert_eq!(r.snapshot().counter("a.b"), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_collisions_panic() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_delta_round_trips() {
+        let r = Registry::new();
+        r.counter("c").add(10);
+        r.gauge("g").set(5);
+        r.histogram("h").observe(100);
+        let t0 = r.snapshot();
+        // No activity: the delta against itself is all zeros…
+        let zero = t0.delta(&t0);
+        assert_eq!(zero.counter("c"), 0);
+        assert_eq!(zero.histogram("h").unwrap().count, 0);
+        // …and gauges carry the level through.
+        assert_eq!(zero.gauge("g"), 5);
+
+        r.counter("c").add(7);
+        r.histogram("h").observe(200);
+        let d = r.snapshot().delta(&t0);
+        assert_eq!(d.counter("c"), 7);
+        assert_eq!(d.histogram("h").unwrap().count, 1);
+        // Adding the delta back to the base reproduces the new totals.
+        assert_eq!(t0.counter("c") + d.counter("c"), r.snapshot().counter("c"));
+    }
+
+    #[test]
+    fn prefix_sums_aggregate_families() {
+        let r = Registry::new();
+        r.counter("lock.refusals.Account.a").add(2);
+        r.counter("lock.refusals.Account.b").add(3);
+        r.counter("lock.refusals.Queue.c").add(5);
+        r.counter("lock.grants.Account.x").add(100);
+        let s = r.snapshot();
+        assert_eq!(s.sum_prefix("lock.refusals."), 10);
+        assert_eq!(s.sum_prefix("lock.refusals.Account."), 5);
+        assert_eq!(s.sum_prefix("lock."), 110);
+        assert_eq!(s.sum_prefix("nope."), 0);
+    }
+
+    #[test]
+    fn json_render_is_parseable_shape() {
+        let r = Registry::new();
+        r.counter("a").add(1);
+        r.gauge("g\"q").set(-2);
+        r.histogram("h").observe(3);
+        let json = r.snapshot().render_json();
+        assert!(json.starts_with("{\"hcc_metrics\":{"));
+        assert!(json.ends_with("}}"));
+        assert!(json.contains("\"a\":1"));
+        assert!(json.contains("\\\"q\""), "quotes escaped: {json}");
+        assert!(json.contains("\"count\":1"));
+        assert!(!json.contains("NaN"));
+        // Balanced braces/brackets — cheap structural sanity without a
+        // JSON parser in a dependency-free crate.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = json.matches(open).count();
+            let closes = json.matches(close).count();
+            assert_eq!(opens, closes, "{open}{close} balanced");
+        }
+    }
+
+    #[test]
+    fn table_render_lists_every_metric() {
+        let r = Registry::new();
+        r.counter("a.count").add(4);
+        r.histogram("lat").observe(1000);
+        let t = r.snapshot().render_table();
+        assert!(t.contains("a.count"));
+        assert!(t.contains("lat"));
+        assert!(t.contains("p99"));
+    }
+}

@@ -48,6 +48,7 @@ use crate::snapshot::Snapshot;
 use crate::wal::{read_records, SegmentedWal, WalOptions};
 use crate::StorageError;
 use hcc_core::runtime::Durability;
+use hcc_obs::Registry;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -223,6 +224,12 @@ pub struct DurableStore {
     /// are logged against. Reads (the per-op fast path) take the lock
     /// shared so the registry cannot become a serial point across stripes.
     registry: std::sync::RwLock<ObjectRegistry>,
+    /// The system-wide metric registry. Created here (the store is the
+    /// bottom of the stack) and adopted upward by the transaction manager
+    /// and the `Db` facade, so every layer's instruments land in one
+    /// snapshot. The WAL's stripe instruments are resolved from it at
+    /// open.
+    metrics: Arc<Registry>,
 }
 
 #[derive(Default)]
@@ -250,7 +257,8 @@ impl DurableStore {
         opts: StorageOptions,
     ) -> Result<Arc<DurableStore>, StorageError> {
         let dir = dir.as_ref().to_path_buf();
-        let wal = SegmentedWal::open(
+        let metrics = Arc::new(Registry::new());
+        let wal = SegmentedWal::open_with_metrics(
             &dir,
             WalOptions {
                 segment_max_bytes: opts.segment_max_bytes,
@@ -258,6 +266,7 @@ impl DurableStore {
                 group_commit: opts.group_commit,
                 stripes: opts.stripes,
             },
+            &metrics,
         )?;
         let ckpt = Checkpoint::load_latest(&dir)?;
         let ckpt_ts = ckpt.as_ref().map(|c| c.last_ts).unwrap_or(0);
@@ -303,7 +312,16 @@ impl DurableStore {
             registry: std::sync::RwLock::new(registry),
             open_image: std::sync::Mutex::new(open_image),
             open_image_present: std::sync::atomic::AtomicBool::new(has_image),
+            metrics,
         }))
+    }
+
+    /// The system-wide metric registry rooted at this store. The
+    /// transaction manager (and through it every object) adopts this
+    /// registry, so one snapshot covers locks, transactions, the WAL,
+    /// checkpoints, and recovery.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
     }
 
     /// Release the retained open image on the first append: a caller
@@ -332,9 +350,25 @@ impl DurableStore {
         let image =
             self.open_image.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
         match image {
-            Some(img) => assemble_recovered(img.checkpoint, img.records, img.torn_tail).map(Some),
+            Some(img) => {
+                self.metrics.counter("recovery.segments_scanned").add(self.wal.stats().segments);
+                assemble_recovered(img.checkpoint, img.records, img.torn_tail, Some(&self.metrics))
+                    .map(Some)
+            }
             None => Ok(None),
         }
+    }
+
+    /// Re-read the durable state from disk through this instance —
+    /// byte-equal to the static [`DurableStore::recover`], but the
+    /// recovery totals (`recovery.*`) land in this store's metric
+    /// registry. The fallback when the open-time image was already
+    /// claimed or released.
+    pub fn reread_recovered(&self) -> Result<Recovered, StorageError> {
+        let checkpoint = Checkpoint::load_latest(&self.dir)?;
+        let (records, torn_tail) = read_records(&self.dir)?;
+        self.metrics.counter("recovery.segments_scanned").add(self.wal.stats().segments);
+        assemble_recovered(checkpoint, records, torn_tail, Some(&self.metrics))
     }
 
     /// Attest that the caller's live objects reflect every commit at or
@@ -545,9 +579,14 @@ impl DurableStore {
         };
         ckpt.save(&self.dir)?;
         self.wal.mark_checkpoint();
-        self.wal.prune_segments(&cursor.stripe_cuts)?;
+        let pruned = self.wal.prune_segments(&cursor.stripe_cuts)?;
         Checkpoint::prune_older(&self.dir, ckpt.last_ts)?;
         self.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
+        self.metrics.counter("ckpt.count").inc();
+        self.metrics
+            .counter("ckpt.bytes")
+            .add(ckpt.objects.iter().map(|(_, b)| b.len() as u64).sum());
+        self.metrics.counter("ckpt.segments_pruned").add(pruned);
         Ok(ckpt)
     }
 
@@ -591,7 +630,7 @@ impl DurableStore {
         // Records arrive merged into global ticket order — the
         // deterministic stripe merge.
         let (records, torn_tail) = read_records(dir)?;
-        assemble_recovered(checkpoint, records, torn_tail)
+        assemble_recovered(checkpoint, records, torn_tail, None)
     }
 }
 
@@ -605,6 +644,7 @@ fn assemble_recovered(
     checkpoint: Option<Checkpoint>,
     records: Vec<(u64, LogRecord)>,
     torn_tail: bool,
+    metrics: Option<&Registry>,
 ) -> Result<Recovered, StorageError> {
     let ckpt_ts = checkpoint.as_ref().map(|c| c.last_ts).unwrap_or(0);
     // The id→name registry: seeded from the checkpoint (which carries
@@ -736,6 +776,18 @@ fn assemble_recovered(
         .map(|(txn, ops)| InDoubtTxn { txn, ops })
         .collect();
     in_doubt.sort_by_key(|t| t.txn);
+    // Recovery totals, when an owning store's registry is at hand (the
+    // static path has none to write into).
+    if let Some(m) = metrics {
+        m.counter("recovery.commits_replayed").add(committed.len() as u64);
+        m.counter("recovery.records_replayed")
+            .add(committed.iter().map(|t| t.ops.len() as u64).sum());
+        m.counter("recovery.commits_dropped").add(incomplete.len() as u64);
+        m.counter("recovery.commits_in_doubt").add(in_doubt.len() as u64);
+        if torn_tail {
+            m.counter("recovery.torn_tails_repaired").inc();
+        }
+    }
     Ok(Recovered { checkpoint, committed, in_doubt, incomplete, torn_tail })
 }
 

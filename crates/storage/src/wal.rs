@@ -53,6 +53,7 @@
 use crate::record::{self, FrameError, LogRecord};
 use crate::StorageError;
 use hcc_core::runtime::Durability;
+use hcc_obs::{Counter, Histogram, Registry};
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
@@ -125,6 +126,29 @@ struct SyncState {
     max_requested: u64,
 }
 
+/// The metric handles one stripe bumps on its hot paths, resolved once at
+/// open so appends never touch the registry's name map. The per-stripe
+/// append counter is distinct per stripe (`wal.appends.stripeNN`); the
+/// rotation counter and the fsync/batch histograms are shared across
+/// stripes (stripes sync in parallel, the histograms are sharded).
+struct StripeInstruments {
+    appends: std::sync::Arc<Counter>,
+    rotations: std::sync::Arc<Counter>,
+    fsync_nanos: std::sync::Arc<Histogram>,
+    batch: std::sync::Arc<Histogram>,
+}
+
+impl StripeInstruments {
+    fn resolve(metrics: &Registry, stripe: usize) -> StripeInstruments {
+        StripeInstruments {
+            appends: metrics.counter(&format!("wal.appends.stripe{stripe:02}")),
+            rotations: metrics.counter("wal.rotations"),
+            fsync_nanos: metrics.histogram("wal.fsync_nanos"),
+            batch: metrics.histogram("wal.group_commit.batch"),
+        }
+    }
+}
+
 /// One append stripe: its own segment directory, buffer, and group-commit
 /// protocol.
 struct Stripe {
@@ -132,6 +156,7 @@ struct Stripe {
     inner: Mutex<Inner>,
     sync_state: Mutex<SyncState>,
     sync_cv: Condvar,
+    ins: StripeInstruments,
 }
 
 /// Per-live-transaction bookkeeping at the striped level.
@@ -258,7 +283,7 @@ impl Stripe {
     /// Open one stripe (created if missing), truncating a torn tail off
     /// its active segment. The ticket/chain anchor scan over the repaired
     /// segments happens afterwards in [`SegmentedWal::open`].
-    fn open(dir: PathBuf) -> Result<Stripe, StorageError> {
+    fn open(dir: PathBuf, ins: StripeInstruments) -> Result<Stripe, StorageError> {
         fs::create_dir_all(&dir)?;
         let segments = list_segments(&dir)?;
         let mut total_bytes: u64 =
@@ -317,6 +342,7 @@ impl Stripe {
                 max_requested: 0,
             }),
             sync_cv: Condvar::new(),
+            ins,
         })
     }
 
@@ -342,6 +368,7 @@ impl Stripe {
     fn rotate_locked(&self, inner: &mut Inner) -> std::io::Result<()> {
         Self::flush_locked(inner)?;
         inner.file.sync_data()?;
+        self.ins.rotations.inc();
         let durable_pos = inner.next_pos - 1;
         inner.seg_index += 1;
         inner.segments += 1;
@@ -373,6 +400,7 @@ impl Stripe {
         if inner.seg_bytes >= segment_max_bytes {
             self.rotate_locked(inner)?;
         }
+        self.ins.appends.inc();
         let pos = inner.next_pos;
         inner.next_pos += 1;
         let before = inner.buf.len();
@@ -450,7 +478,10 @@ impl Stripe {
                     // Classical discipline (the legacy `Wal::append_sync`):
                     // the stripe lock is held across the fsync, serializing
                     // one durable commit at a time.
+                    let started = std::time::Instant::now();
                     inner.file.sync_data()?;
+                    self.ins.fsync_nanos.observe_duration(started.elapsed());
+                    self.ins.batch.observe(1);
                     Ok(())
                 }
             }
@@ -511,12 +542,20 @@ impl Stripe {
                         Self::flush_locked(&mut inner)?;
                         (inner.next_pos - 1, inner.file.clone())
                     };
+                    let started = std::time::Instant::now();
                     file.sync_data()?;
+                    self.ins.fsync_nanos.observe_duration(started.elapsed());
                     Ok(high)
                 })();
                 s = self.lock_sync();
                 match outcome {
-                    Ok(high) => s.synced_pos = s.synced_pos.max(high),
+                    Ok(high) => {
+                        // Batch size: append positions this one fsync made
+                        // durable (clamped at 1 — a leader can re-sync a
+                        // position another rotation already covered).
+                        self.ins.batch.observe(high.saturating_sub(s.synced_pos).max(1));
+                        s.synced_pos = s.synced_pos.max(high);
+                    }
                     Err(e) => {
                         s.sync_running = false;
                         drop(s);
@@ -543,6 +582,18 @@ impl SegmentedWal {
     /// higher watermark — pruning may have deleted the segments that held
     /// the highest tickets).
     pub fn open(dir: impl AsRef<Path>, opts: WalOptions) -> Result<SegmentedWal, StorageError> {
+        Self::open_with_metrics(dir, opts, &Registry::new())
+    }
+
+    /// [`SegmentedWal::open`] with the owning system's metric registry:
+    /// per-stripe append counters, rotation counts, and the group-commit
+    /// batch/fsync histograms are resolved from it once, at open (the
+    /// plain `open` uses a private throwaway registry).
+    pub fn open_with_metrics(
+        dir: impl AsRef<Path>,
+        opts: WalOptions,
+        metrics: &Registry,
+    ) -> Result<SegmentedWal, StorageError> {
         let dir = dir.as_ref().to_path_buf();
         let mut opts = opts;
         opts.stripes = opts.stripes.clamp(1, MAX_STRIPES);
@@ -556,7 +607,8 @@ impl SegmentedWal {
         let count = count.clamp(1, MAX_STRIPES);
         let mut stripes = Vec::with_capacity(count);
         for i in 0..count {
-            stripes.push(Stripe::open(stripe_dir(&dir, i))?);
+            stripes
+                .push(Stripe::open(stripe_dir(&dir, i), StripeInstruments::resolve(metrics, i))?);
         }
         // One full pass over every surviving (tail-repaired) segment:
         // re-anchors the ticket counter (reusing a ticket would make the

@@ -9,16 +9,20 @@
 //! the manager aborts it.
 
 use hcc_core::runtime::{TxnHandle, WaitObserver};
+use hcc_obs::Counter;
 use hcc_spec::TxnId;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Weak};
+use std::sync::{Arc, OnceLock, Weak};
 
 /// The detector. One instance per system; share it with every object via
 /// [`hcc_core::runtime::RuntimeOptions`].
 #[derive(Default)]
 pub struct DeadlockDetector {
     inner: Mutex<Graph>,
+    /// Mirror of the victim tally in the owning system's metric registry
+    /// (`deadlock.victims`), wired by the transaction manager.
+    victim_counter: OnceLock<Arc<Counter>>,
 }
 
 #[derive(Default)]
@@ -52,6 +56,13 @@ impl DeadlockDetector {
     /// Number of victims doomed so far.
     pub fn victims(&self) -> u64 {
         self.inner.lock().victims
+    }
+
+    /// Mirror every future doom into `counter` (idempotent; first wiring
+    /// wins). The manager points this at its registry's
+    /// `deadlock.victims`.
+    pub fn mirror_victims_into(&self, counter: Arc<Counter>) {
+        let _ = self.victim_counter.set(counter);
     }
 
     /// Is there a path `from → … → to` of length ≥ 1 in the waits-for
@@ -114,6 +125,9 @@ impl WaitObserver for DeadlockDetector {
         if let Some(h) = g.handles.get(&victim).and_then(Weak::upgrade) {
             h.doom();
             g.victims += 1;
+            if let Some(c) = self.victim_counter.get() {
+                c.inc();
+            }
         }
         g.edges.remove(&victim);
     }

@@ -13,12 +13,14 @@ use crate::clock::LogicalClock;
 use crate::deadlock::DeadlockDetector;
 use crate::registry::{RecoveryError, RecoveryReport, Registry};
 use hcc_core::runtime::{RedoSink, RedoTicket, RuntimeOptions, TxnHandle, TxnPhase};
+use hcc_obs::{Counter, FlightRecorder, Gauge, Histogram};
 use hcc_spec::{Timestamp, TxnId};
 use hcc_storage::{Checkpoint, DurableStore, Snapshot, StorageError, StorageOptions};
 use parking_lot::RwLock;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Redo payloads awaiting a retry, in execution order, each keeping its
 /// reserved order ticket: `(ticket, object, bytes)`.
@@ -98,9 +100,42 @@ pub struct TxnManager {
     /// Serializes whole checkpoints against each other (two concurrent
     /// fuzzy checkpoints would fight over the horizon pins).
     checkpoint_serial: parking_lot::Mutex<()>,
-    /// How long the last checkpoint held the commit gate exclusively, in
-    /// nanoseconds — the entire commit stall a fuzzy checkpoint imposes.
-    ckpt_gate_nanos: AtomicU64,
+    /// The system's metric registry — adopted from the durable store when
+    /// there is one (so WAL/recovery counters and transaction counters
+    /// land in one place), private otherwise.
+    metrics: Arc<hcc_obs::Registry>,
+    /// Pre-resolved transaction/checkpoint instruments (hot paths never
+    /// touch the registry's name map).
+    instruments: Instruments,
+    /// The per-txn flight recorder (`HCC_TRACE=N`), when tracing is on.
+    trace: Option<Arc<FlightRecorder>>,
+}
+
+/// The manager's pre-resolved metric handles.
+struct Instruments {
+    begun: Arc<Counter>,
+    committed: Arc<Counter>,
+    aborted: Arc<Counter>,
+    commit_nanos: Arc<Histogram>,
+    abort_nanos: Arc<Histogram>,
+    ckpt_gate_nanos: Arc<Histogram>,
+    ckpt_duration_nanos: Arc<Histogram>,
+    ckpt_last_gate: Arc<Gauge>,
+}
+
+impl Instruments {
+    fn resolve(metrics: &hcc_obs::Registry) -> Instruments {
+        Instruments {
+            begun: metrics.counter("txn.begun"),
+            committed: metrics.counter("txn.committed"),
+            aborted: metrics.counter("txn.aborted"),
+            commit_nanos: metrics.histogram("txn.commit_nanos"),
+            abort_nanos: metrics.histogram("txn.abort_nanos"),
+            ckpt_gate_nanos: metrics.histogram("ckpt.gate_nanos"),
+            ckpt_duration_nanos: metrics.histogram("ckpt.duration_nanos"),
+            ckpt_last_gate: metrics.gauge("ckpt.last_gate_nanos"),
+        }
+    }
 }
 
 impl TxnManager {
@@ -137,9 +172,18 @@ impl TxnManager {
             clock.witness(store.last_commit_ts());
             first_id = store.max_txn_seen() + 1;
         }
+        // One registry per system: adopt the store's (where WAL and
+        // recovery counters already live) so `db.stats()` is one snapshot.
+        let metrics = match &store {
+            Some(store) => store.metrics().clone(),
+            None => Arc::new(hcc_obs::Registry::new()),
+        };
+        let instruments = Instruments::resolve(&metrics);
+        let detector = DeadlockDetector::new();
+        detector.mirror_victims_into(metrics.counter("deadlock.victims"));
         Arc::new(TxnManager {
             clock,
-            detector: DeadlockDetector::new(),
+            detector,
             next_id: AtomicU64::new(first_id),
             committed: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
@@ -148,8 +192,21 @@ impl TxnManager {
             ops_unlogged: parking_lot::Mutex::new(std::collections::HashMap::new()),
             commit_gate: RwLock::new(()),
             checkpoint_serial: parking_lot::Mutex::new(()),
-            ckpt_gate_nanos: AtomicU64::new(0),
+            metrics,
+            instruments,
+            trace: FlightRecorder::from_env().map(Arc::new),
         })
+    }
+
+    /// The system's metric registry (lock, transaction, WAL, checkpoint
+    /// and recovery instruments all land here).
+    pub fn metrics(&self) -> &Arc<hcc_obs::Registry> {
+        &self.metrics
+    }
+
+    /// The flight recorder, when `HCC_TRACE=N` enabled one.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.trace.as_ref()
     }
 
     /// The durable store, if this manager has one.
@@ -175,7 +232,10 @@ impl TxnManager {
     /// is no separate logging call for callers to forget.
     pub fn object_options(self: &Arc<Self>) -> RuntimeOptions {
         let durability = self.store.as_ref().map(|s| s.durability()).unwrap_or_default();
-        let opts = RuntimeOptions::with_observer(self.detector.clone()).with_durability(durability);
+        let opts = RuntimeOptions::with_observer(self.detector.clone())
+            .with_durability(durability)
+            .with_metrics(self.metrics.clone())
+            .with_trace(self.trace.clone());
         if self.store.is_some() {
             opts.with_redo(self.clone())
         } else {
@@ -188,6 +248,10 @@ impl TxnManager {
         let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let h = TxnHandle::new(id);
         self.detector.register(&h);
+        self.instruments.begun.inc();
+        if let Some(tr) = &self.trace {
+            tr.record(id.0, "", "begin", String::new());
+        }
         if let Some(store) = &self.store {
             // An I/O error must not fail `begin` — but it is remembered:
             // the commit path retries the Begin record before the commit
@@ -209,6 +273,7 @@ impl TxnManager {
     /// distributed — the write-ahead discipline: a commit is acknowledged
     /// only once it would survive a crash.
     pub fn commit(&self, txn: Arc<TxnHandle>) -> Result<Timestamp, CommitError> {
+        let started = Instant::now();
         if txn.phase() != TxnPhase::Active {
             return Err(CommitError::NotActive);
         }
@@ -244,6 +309,7 @@ impl TxnManager {
                     Err(e) => {
                         drop(gate);
                         self.do_abort(&txn);
+                        self.fatal_commit_trace(txn.id(), &e.to_string());
                         return Err(CommitError::Storage(format!(
                             "begin record could not be logged: {e}"
                         )));
@@ -266,6 +332,7 @@ impl TxnManager {
                         // cannot happen.
                         drop(gate);
                         self.do_abort(&txn);
+                        self.fatal_commit_trace(txn.id(), &e.to_string());
                         return Err(CommitError::Storage(format!(
                             "operation record could not be logged: {e}"
                         )));
@@ -287,6 +354,7 @@ impl TxnManager {
                     ),
                 };
                 self.do_abort(&txn);
+                self.fatal_commit_trace(txn.id(), &err);
                 return Err(CommitError::Storage(err));
             }
         }
@@ -298,7 +366,22 @@ impl TxnManager {
         drop(gate);
         self.detector.forget(txn.id());
         self.committed.fetch_add(1, Ordering::Relaxed);
+        self.instruments.committed.inc();
+        self.instruments.commit_nanos.observe_duration(started.elapsed());
+        if let Some(tr) = &self.trace {
+            tr.record(txn.id().0, "", "commit", format!("ts={ts}"));
+        }
         Ok(Timestamp(ts))
+    }
+
+    /// A commit failed *fatally* (the log refused it): dump the flight
+    /// recorder, if one is running, so the events leading up to the
+    /// failure are readable instead of lost.
+    fn fatal_commit_trace(&self, txn: TxnId, detail: &str) {
+        if let Some(tr) = &self.trace {
+            tr.record(txn.0, "", "commit.fail", detail.to_string());
+            tr.dump_to_stderr(&format!("commit of txn {} failed fatally: {detail}", txn.0));
+        }
     }
 
     /// Rebuild the registered objects from this manager's durable log:
@@ -313,13 +396,29 @@ impl TxnManager {
         // that image instead of re-reading every segment. The static
         // re-read remains as the fallback for a store whose image was
         // already claimed.
-        let recovered = match store.take_recovered()? {
-            Some(recovered) => recovered,
-            None => DurableStore::recover(store.dir())?,
+        let recovered = match store.take_recovered() {
+            Ok(Some(recovered)) => recovered,
+            Ok(None) => store.reread_recovered().inspect_err(|e| {
+                self.recovery_refused_trace(&e.to_string());
+            })?,
+            Err(e) => {
+                self.recovery_refused_trace(&e.to_string());
+                return Err(e.into());
+            }
         };
-        let report = registry.restore_and_replay(&recovered)?;
+        let report = registry
+            .restore_and_replay(&recovered)
+            .inspect_err(|e| self.recovery_refused_trace(&e.to_string()))?;
         store.mark_state_absorbed();
         Ok(report)
+    }
+
+    /// Recovery refused the log: dump the flight recorder, if running.
+    fn recovery_refused_trace(&self, detail: &str) {
+        if let Some(tr) = &self.trace {
+            tr.record(0, "", "recovery.fail", detail.to_string());
+            tr.dump_to_stderr(&format!("recovery refused the log: {detail}"));
+        }
     }
 
     /// Take a **fuzzy checkpoint** of `objects` through the durable
@@ -339,15 +438,18 @@ impl TxnManager {
         objects: &[(&str, &dyn Snapshot)],
     ) -> Result<Option<Checkpoint>, StorageError> {
         let Some(store) = &self.store else { return Ok(None) };
+        let started = Instant::now();
         let _serial = self.checkpoint_serial.lock();
         let cursor = {
             let _gate = self.commit_gate.write();
-            let held = std::time::Instant::now();
+            let held = Instant::now();
             let cursor = store.checkpoint_begin()?;
             for (_, obj) in objects {
                 obj.pin_horizon(cursor.last_ts);
             }
-            self.ckpt_gate_nanos.store(held.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let gate_nanos = held.elapsed().as_nanos() as u64;
+            self.instruments.ckpt_gate_nanos.observe(gate_nanos);
+            self.instruments.ckpt_last_gate.set(gate_nanos as i64);
             cursor
         };
         let snaps: Vec<(String, Vec<u8>)> = objects
@@ -357,14 +459,23 @@ impl TxnManager {
         for (_, obj) in objects {
             obj.unpin_horizon();
         }
-        store.checkpoint_finish(&cursor, snaps).map(Some)
+        let ckpt = store.checkpoint_finish(&cursor, snaps)?;
+        self.instruments.ckpt_duration_nanos.observe_duration(started.elapsed());
+        Ok(Some(ckpt))
     }
 
     /// How long the most recent [`TxnManager::checkpoint`] held the
     /// commit gate exclusively (nanoseconds) — the entire stall a fuzzy
     /// checkpoint imposes on concurrent commits.
+    ///
+    /// Superseded by the checkpoint histogram family: read the
+    /// `ckpt.last_gate_nanos` gauge (this value), the `ckpt.gate_nanos`
+    /// histogram (every checkpoint, not just the last), and
+    /// `ckpt.duration_nanos` from [`TxnManager::metrics`] snapshots.
+    #[doc(hidden)]
+    #[deprecated(since = "0.2.0", note = "read the ckpt.* metrics from TxnManager::metrics()")]
     pub fn last_checkpoint_gate_nanos(&self) -> u64 {
-        self.ckpt_gate_nanos.load(Ordering::Relaxed)
+        self.instruments.ckpt_last_gate.get() as u64
     }
 
     /// Checkpoint iff the store's compaction policy asks for it.
@@ -407,6 +518,7 @@ impl TxnManager {
         if txn.phase() != TxnPhase::Active {
             return;
         }
+        let started = Instant::now();
         txn.set_phase(TxnPhase::Aborted);
         for p in txn.participants() {
             p.abort_txn(txn.id());
@@ -420,6 +532,11 @@ impl TxnManager {
         }
         self.detector.forget(txn.id());
         self.aborted.fetch_add(1, Ordering::Relaxed);
+        self.instruments.aborted.inc();
+        self.instruments.abort_nanos.observe_duration(started.elapsed());
+        if let Some(tr) = &self.trace {
+            tr.record(txn.id().0, "", "abort", String::new());
+        }
     }
 
     /// Number of transactions committed through this manager.
@@ -466,6 +583,11 @@ impl RedoSink for TxnManager {
                 object.to_string(),
                 op.to_vec(),
             ));
+            if let Some(tr) = &self.trace {
+                tr.record(txn.0, object, "log.stash", format!("ticket={}", ticket.0));
+            }
+        } else if let Some(tr) = &self.trace {
+            tr.record(txn.0, object, "log.op", format!("ticket={} bytes={}", ticket.0, op.len()));
         }
     }
 }

@@ -111,15 +111,15 @@ pub fn account_mix(
             });
         }
     });
-    let stats = acct.inner().stats();
+    let snap = mgr.metrics().snapshot();
     Metrics {
         scenario: "account-mix".into(),
         scheme,
         threads,
         committed: mgr.committed_count() - 1, // exclude funding txn
         aborted: aborted.load(Ordering::Relaxed),
-        conflicts: stats.conflicts,
-        waits: stats.waits,
+        conflicts: snap.sum_prefix("lock.refusals."),
+        waits: snap.sum_prefix("lock.waits."),
         elapsed: start.elapsed(),
     }
 }
@@ -185,6 +185,9 @@ pub fn transfers(
     });
     let total: Rational =
         accounts.iter().map(|a| a.committed_balance()).fold(Rational::ZERO, |acc, b| acc + b);
+    // One registry covers all the accounts: the manager's metrics already
+    // sum refusals/waits across every object it built options for.
+    let snap = mgr.metrics().snapshot();
     TransferReport {
         metrics: Metrics {
             scenario: "bank-transfers".into(),
@@ -192,8 +195,8 @@ pub fn transfers(
             threads,
             committed: mgr.committed_count() - n_accounts as u64,
             aborted: aborted.load(Ordering::Relaxed),
-            conflicts: accounts.iter().map(|a| a.inner().stats().conflicts).sum(),
-            waits: accounts.iter().map(|a| a.inner().stats().waits).sum(),
+            conflicts: snap.sum_prefix("lock.refusals."),
+            waits: snap.sum_prefix("lock.waits."),
             elapsed: start.elapsed(),
         },
         total_balance: total,

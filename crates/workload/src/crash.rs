@@ -486,6 +486,21 @@ pub fn recover_and_verify(dir: &Path) -> Result<RecoveredState, HccError> {
         "recovered history must be hybrid atomic:\n{history:?}"
     );
 
+    // Surface what this recovery did, from the registry the open
+    // populated (the registry is born at open, so the snapshot *is* the
+    // recovery delta — nothing else has run yet).
+    let snap = db.stats();
+    eprintln!(
+        "recovery: segments_scanned={} commits_replayed={} records_replayed={} \
+         commits_dropped={} in_doubt={} torn_tails_repaired={}",
+        snap.counter("recovery.segments_scanned"),
+        snap.counter("recovery.commits_replayed"),
+        snap.counter("recovery.records_replayed"),
+        snap.counter("recovery.commits_dropped"),
+        snap.counter("recovery.commits_in_doubt"),
+        snap.counter("recovery.torn_tails_repaired"),
+    );
+
     let queue_items: Vec<i64> = queue.inner().committed_snapshot().into_iter().collect();
     Ok(RecoveredState {
         balance: acct.committed_balance(),

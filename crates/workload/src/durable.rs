@@ -11,10 +11,10 @@
 //! that is exactly the axis the stripe sweep varies.
 //!
 //! The optional mid-run fuzzy checkpoint measures the checkpoint stall:
-//! how long the commit gate was held exclusively
-//! (`TxnManager::last_checkpoint_gate_nanos`) and the longest gap any
-//! worker saw between consecutive commit completions while the
-//! checkpoint was in flight.
+//! how long the commit gate was held exclusively (the
+//! `ckpt.last_gate_nanos` gauge in the system's metric registry) and the
+//! longest gap any worker saw between consecutive commit completions
+//! while the checkpoint was in flight.
 
 use hcc_adts::account::{AccountHybrid, AccountObject};
 use hcc_adts::counter::{CounterDef, CounterInv, CounterObject};
@@ -248,7 +248,7 @@ fn mix_raw(
         elapsed,
         commits_per_sec: committed as f64 / elapsed.as_secs_f64(),
         checkpoint_gate_nanos: if opts.checkpoint_mid_run {
-            mgr.last_checkpoint_gate_nanos()
+            mgr.metrics().snapshot().gauge("ckpt.last_gate_nanos") as u64
         } else {
             0
         },
@@ -288,7 +288,7 @@ fn mix_facade(
         elapsed,
         commits_per_sec: committed as f64 / elapsed.as_secs_f64(),
         checkpoint_gate_nanos: if opts.checkpoint_mid_run {
-            db.manager().last_checkpoint_gate_nanos()
+            db.stats().gauge("ckpt.last_gate_nanos") as u64
         } else {
             0
         },

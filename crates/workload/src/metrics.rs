@@ -32,6 +32,27 @@ impl Metrics {
     }
 
     /// Aborts per committed transaction.
+    ///
+    /// The divisor is pinned at `committed.max(1)`: a run that committed
+    /// nothing reports its aborts as a finite count-per-(at-least-)one
+    /// rather than dividing by zero.
+    ///
+    /// ```
+    /// use hcc_workload::{Metrics, Scheme};
+    /// use std::time::Duration;
+    ///
+    /// let m = Metrics {
+    ///     scenario: "doc".into(),
+    ///     scheme: Scheme::Hybrid,
+    ///     threads: 1,
+    ///     committed: 0,
+    ///     aborted: 3,
+    ///     conflicts: 0,
+    ///     waits: 0,
+    ///     elapsed: Duration::from_secs(1),
+    /// };
+    /// assert_eq!(m.abort_ratio(), 3.0, "zero commits divide by max(committed, 1)");
+    /// ```
     pub fn abort_ratio(&self) -> f64 {
         self.aborted as f64 / (self.committed.max(1)) as f64
     }

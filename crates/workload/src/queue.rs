@@ -66,15 +66,18 @@ pub fn enqueue_only(
             });
         }
     });
-    let stats = q.inner().stats();
+    // Conflicts and waits come from the manager's metric registry (one
+    // `lock.refusals.*` / `lock.waits.*` counter per type and conflict
+    // -class pair), not from per-object plumbing.
+    let snap = mgr.metrics().snapshot();
     Metrics {
         scenario: "queue-enq".into(),
         scheme,
         threads,
         committed: mgr.committed_count(),
         aborted: aborted.load(Ordering::Relaxed),
-        conflicts: stats.conflicts,
-        waits: stats.waits,
+        conflicts: snap.sum_prefix("lock.refusals."),
+        waits: snap.sum_prefix("lock.waits."),
         elapsed: start.elapsed(),
     }
 }
@@ -111,10 +114,6 @@ pub fn producer_consumer(
                 q.deq(&t).is_ok() && mgr.commit(t).is_ok()
             }
         },
-        || {
-            let s = q.inner().stats();
-            (s.conflicts, s.waits)
-        },
     )
 }
 
@@ -149,10 +148,6 @@ pub fn semiqueue_producer_consumer(
                 sq.rem(&t).is_ok() && mgr.commit(t).is_ok()
             }
         },
-        || {
-            let s = sq.inner().stats();
-            (s.conflicts, s.waits)
-        },
     )
 }
 
@@ -166,7 +161,6 @@ fn run_pipeline(
     items_per_producer: usize,
     produce: impl Fn(&Arc<TxnManager>, i64) -> bool + Send + Sync,
     consume: impl Fn(&Arc<TxnManager>) -> bool + Send + Sync,
-    stats: impl Fn() -> (u64, u64),
 ) -> Metrics {
     let total = producers * items_per_producer;
     let consumed = Arc::new(AtomicU64::new(0));
@@ -207,15 +201,15 @@ fn run_pipeline(
             });
         }
     });
-    let (conflicts, waits) = stats();
+    let snap = mgr.metrics().snapshot();
     Metrics {
         scenario: scenario.into(),
         scheme,
         threads: producers + consumers,
         committed: mgr.committed_count(),
         aborted: aborted.load(Ordering::Relaxed),
-        conflicts,
-        waits,
+        conflicts: snap.sum_prefix("lock.refusals."),
+        waits: snap.sum_prefix("lock.waits."),
         elapsed: start.elapsed(),
     }
 }

@@ -56,15 +56,17 @@ pub fn register_workload(
             });
         }
     });
-    let stats = file.inner().stats();
+    // Read conflict/wait totals off the manager's metric registry — the
+    // same counters `Db::stats` exposes — instead of per-object plumbing.
+    let snap = mgr.metrics().snapshot();
     Metrics {
         scenario: format!("register-w{write_pct}"),
         scheme,
         threads,
         committed: mgr.committed_count(),
         aborted: aborted.load(Ordering::Relaxed),
-        conflicts: stats.conflicts,
-        waits: stats.waits,
+        conflicts: snap.sum_prefix("lock.refusals."),
+        waits: snap.sum_prefix("lock.waits."),
         elapsed: start.elapsed(),
     }
 }

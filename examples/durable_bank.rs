@@ -65,6 +65,9 @@ fn recover(dir: &str) {
     // Recovery is nothing but opening the database and asking for the
     // object: no Registry, no replay loop, no wiring to forget.
     let db = Db::builder().env_overrides().open(dir).expect("open database");
+    // Snapshot right after open: everything counted so far is recovery
+    // work, and the delta against a later snapshot isolates the session.
+    let at_open = db.stats();
     let acct = db.object::<AccountObject>("acct").expect("open account");
     let report = db.recovery_report();
     println!(
@@ -74,6 +77,29 @@ fn recover(dir: &str) {
         report.replayed,
         report.torn_tail
     );
+    for key in [
+        "recovery.segments_scanned",
+        "recovery.commits_replayed",
+        "recovery.records_replayed",
+        "recovery.commits_dropped",
+        "recovery.commits_in_doubt",
+        "recovery.torn_tails_repaired",
+    ] {
+        println!("  {key} = {}", at_open.counter(key));
+    }
+    // What this session itself did (nothing yet): the delta is all
+    // zeros, which is exactly the point — recovery cost is all at open.
+    let session = db.stats().delta(&at_open);
+    let moved = session
+        .values
+        .iter()
+        .filter(|(_, v)| match v {
+            hybrid_cc::obs::MetricValue::Counter(c) => *c != 0,
+            hybrid_cc::obs::MetricValue::Gauge(_) => false, // a level, not a flow
+            hybrid_cc::obs::MetricValue::Histogram(h) => h.count != 0,
+        })
+        .count();
+    println!("  session delta since open: {moved} non-zero metric(s)");
 }
 
 fn main() {

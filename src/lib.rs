@@ -27,6 +27,10 @@
 //!   deadlock detection and the write-ahead log (the low-level escape
 //!   hatch under [`Db`]).
 //! * [`baselines`] — commutativity-based 2PL and read/write strict 2PL.
+//! * [`obs`] — dependency-free metric primitives behind `db.stats()`:
+//!   sharded counters/gauges, log-scale histograms, snapshots and deltas,
+//!   the `HCC_METRICS` dump hook and the `HCC_TRACE` flight recorder
+//!   (see `docs/OBSERVABILITY.md`).
 //! * [`verify`] — serializability / hybrid-atomicity / online checkers.
 //! * [`workload`] — workload generation and the multithreaded driver.
 //!
@@ -68,6 +72,7 @@ pub use hcc_adts as adts;
 pub use hcc_baselines as baselines;
 pub use hcc_core as core;
 pub use hcc_db as db;
+pub use hcc_obs as obs;
 pub use hcc_relations as relations;
 pub use hcc_spec as spec;
 pub use hcc_storage as storage;

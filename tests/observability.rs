@@ -1,0 +1,233 @@
+//! Acceptance tests for the observability layer: the always-on metric
+//! registry every subsystem feeds (`db.stats()`), checked end to end —
+//! accounting invariants at quiesce, histogram internal consistency,
+//! snapshot/delta algebra through the facade, concurrent counting, and
+//! the conflict-matrix contract (refusal labels are exactly the class
+//! pairs of the lock's atom set).
+
+use hybrid_cc::adts::account::AccountObject;
+use hybrid_cc::adts::counter::{CounterDef, CounterInv};
+use hybrid_cc::adts::SpecObject;
+use hybrid_cc::core::runtime::{BlockPolicy, SpecLock};
+use hybrid_cc::obs::MetricValue;
+use hybrid_cc::spec::Rational;
+use hybrid_cc::txn::TxnManager;
+use hybrid_cc::Db;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A contended in-memory workload through the facade: every transaction
+/// the retry loop begins — first tries and retries alike — must end as
+/// exactly one commit or one abort by the time the threads join.
+#[test]
+fn quiesced_txn_counters_balance() {
+    let db = Db::in_memory();
+    let acct = db.object::<AccountObject>("acct").expect("open account");
+    db.transact(|tx| {
+        acct.credit(tx, Rational::from_int(1_000))?;
+        Ok(())
+    })
+    .unwrap();
+    std::thread::scope(|s| {
+        for w in 0..4 {
+            let (db, acct) = (&db, &acct);
+            s.spawn(move || {
+                for i in 0..25u32 {
+                    db.transact(|tx| {
+                        if (w + i) % 2 == 0 {
+                            acct.credit(tx, Rational::from_int(1))?;
+                        } else {
+                            acct.debit(tx, Rational::from_int(1))?;
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+                }
+            });
+        }
+    });
+    let snap = db.stats();
+    let (begun, committed, aborted) =
+        (snap.counter("txn.begun"), snap.counter("txn.committed"), snap.counter("txn.aborted"));
+    assert_eq!(begun, committed + aborted, "begun {begun} != {committed} + {aborted}");
+    assert!(committed >= 101, "the 101 workload transactions all committed eventually");
+    // The attempts histogram saw every transact() call exactly once.
+    let attempts = snap.histogram("db.transact.attempts").expect("attempts histogram");
+    assert_eq!(attempts.count, 101);
+    // Commit latency was recorded per commit.
+    assert_eq!(snap.histogram("txn.commit_nanos").unwrap().count, committed);
+}
+
+/// Every histogram in a live snapshot keeps its internal contract:
+/// bucket counts sum to `count`, and quantiles stay within the observed
+/// value's bucket bound.
+#[test]
+fn histogram_buckets_sum_to_count() {
+    let db = Db::in_memory();
+    let acct = db.object::<AccountObject>("acct").expect("open account");
+    for i in 0..50 {
+        db.transact(|tx| {
+            acct.credit(tx, Rational::from_int(i))?;
+            Ok(())
+        })
+        .unwrap();
+    }
+    let snap = db.stats();
+    let mut histograms = 0;
+    for (name, v) in &snap.values {
+        if let MetricValue::Histogram(h) = v {
+            histograms += 1;
+            let bucket_total: u64 = h.buckets.iter().sum();
+            assert_eq!(bucket_total, h.count, "{name}: bucket sum != count");
+            if h.count > 0 {
+                assert!(h.quantile(0.5) <= h.quantile(1.0), "{name}: quantiles out of order");
+            }
+        }
+    }
+    assert!(histograms >= 4, "expected the txn/db histogram families, saw {histograms}");
+}
+
+/// Snapshot/delta algebra through `db.stats()`: `later = earlier + delta`
+/// for counters and histogram counts, and a delta against self is zero.
+#[test]
+fn snapshot_delta_round_trips_through_facade() {
+    let db = Db::in_memory();
+    let acct = db.object::<AccountObject>("acct").expect("open account");
+    let work = |n: i64| {
+        for i in 0..n {
+            db.transact(|tx| {
+                acct.credit(tx, Rational::from_int(i))?;
+                Ok(())
+            })
+            .unwrap();
+        }
+    };
+    work(10);
+    let earlier = db.stats();
+    work(7);
+    let later = db.stats();
+    let delta = later.delta(&earlier);
+    assert_eq!(delta.counter("txn.committed"), 7);
+    assert_eq!(
+        later.counter("txn.committed"),
+        earlier.counter("txn.committed") + delta.counter("txn.committed")
+    );
+    assert_eq!(delta.histogram("db.transact.attempts").unwrap().count, 7);
+    // Delta against self: every counter and histogram count is zero.
+    let zero = later.delta(&later);
+    for (name, v) in &zero.values {
+        match v {
+            MetricValue::Counter(c) => assert_eq!(*c, 0, "{name}"),
+            MetricValue::Histogram(h) => assert_eq!(h.count, 0, "{name}"),
+            MetricValue::Gauge(_) => {} // levels carry over by design
+        }
+    }
+}
+
+/// Registry primitives under concurrency, through the facade re-export:
+/// 8 threads hammering one shared counter and histogram lose nothing.
+#[test]
+fn concurrent_hammer_counts_exactly() {
+    let reg = hybrid_cc::obs::Registry::new();
+    let c = reg.counter("hammer.count");
+    let h = reg.histogram("hammer.obs");
+    const THREADS: u64 = 8;
+    const PER: u64 = 50_000;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (c, h) = (c.clone(), h.clone());
+            s.spawn(move || {
+                for i in 0..PER {
+                    c.inc();
+                    h.observe(t * PER + i);
+                }
+            });
+        }
+    });
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("hammer.count"), THREADS * PER);
+    let hs = snap.histogram("hammer.obs").unwrap();
+    assert_eq!(hs.count, THREADS * PER);
+    assert_eq!(hs.buckets.iter().sum::<u64>(), THREADS * PER);
+}
+
+/// The conflict-matrix contract: every refusal label the runtime emits
+/// for a [`SpecLock`]-governed object is a `req|held` pair whose classes
+/// appear (in one direction or the other — the lock tests the symmetric
+/// closure) in the very atom set the lock decides with. The metrics are
+/// a live view of the paper's conflict tables, not a parallel taxonomy.
+#[test]
+fn refusal_labels_are_lock_atom_class_pairs() {
+    let lock = SpecLock::<CounterDef>::from_def();
+    let allowed: Vec<(String, String)> =
+        lock.atoms().iter().map(|a| (a.row.to_string(), a.col.to_string())).collect();
+    assert!(!allowed.is_empty(), "derived Counter table has atoms");
+
+    let mgr = TxnManager::new();
+    let mut opts = mgr.object_options();
+    opts.block = BlockPolicy {
+        wait_slice: Duration::from_micros(200),
+        timeout: Some(Duration::from_millis(400)),
+    };
+    let obj = Arc::new(SpecObject::<CounterDef>::with_options("tally", opts));
+    // Deterministic conflict: the writer holds an uncommitted Inc across
+    // a barrier while the reader's Read arrives — `Read ⊦ Inc` is in the
+    // derived table, so the Read is refused (and waits) until commit.
+    let barrier = Arc::new(std::sync::Barrier::new(2));
+    std::thread::scope(|s| {
+        {
+            let (mgr, obj, barrier) = (mgr.clone(), obj.clone(), barrier.clone());
+            s.spawn(move || {
+                let t = mgr.begin();
+                obj.execute(&t, CounterInv::Inc(1)).unwrap();
+                barrier.wait(); // reader now collides with the held Inc
+                std::thread::sleep(Duration::from_millis(30));
+                mgr.commit(t).unwrap();
+            });
+        }
+        {
+            let (mgr, obj, barrier) = (mgr.clone(), obj.clone(), barrier.clone());
+            s.spawn(move || {
+                barrier.wait();
+                loop {
+                    let t = mgr.begin();
+                    if obj.execute(&t, CounterInv::Read).is_ok() && mgr.commit(t.clone()).is_ok() {
+                        break;
+                    }
+                    mgr.abort(t);
+                }
+            });
+        }
+    });
+    let snap = mgr.metrics().snapshot();
+    let refusals = snap.sum_prefix("lock.refusals.");
+    assert!(refusals > 0, "Read vs Inc contention must refuse at least once");
+    let mut checked = 0;
+    for name in snap.values.keys() {
+        let Some(rest) = name.strip_prefix("lock.refusals.") else { continue };
+        let (ty, pair) = rest.split_once('.').expect("refusal key has TYPE.pair");
+        assert_eq!(ty, "Counter");
+        let (req, held) = pair.split_once('|').expect("refusal pair is req|held");
+        let hit = allowed
+            .iter()
+            .any(|(row, col)| (row == req && col == held) || (row == held && col == req));
+        assert!(hit, "refusal pair {req}|{held} not in the lock's atom set {allowed:?}");
+        checked += 1;
+    }
+    assert!(checked > 0);
+    // And grants are labelled with single atom class names.
+    let classes: Vec<&String> = allowed
+        .iter()
+        .flat_map(|(r, c)| [r, c])
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    for name in snap.values.keys() {
+        let Some(rest) = name.strip_prefix("lock.grants.") else { continue };
+        let (_ty, class) = rest.split_once('.').expect("grant key has TYPE.class");
+        assert!(
+            classes.iter().any(|c| c.as_str() == class),
+            "grant class {class} unknown to the atom set"
+        );
+    }
+}
