@@ -169,6 +169,41 @@ fn main() {
         }
     }
 
+    // Static-checking cost: what `adtcheck` pays per registered type at
+    // the CI depth (3) and the quicker smoke depth (2) — the soundness
+    // search dominates; deadlock-potential is timed separately. These
+    // numbers size the CI job's 60 s budget in BENCH.md.
+    {
+        use hcc_check::{check_soundness, deadlock_potential, registry, Depth};
+        println!();
+        let mut total = std::time::Duration::ZERO;
+        for reg in registry() {
+            let mut cells = Vec::new();
+            for depth in [2usize, 3] {
+                let t0 = std::time::Instant::now();
+                let rep = check_soundness(&reg.input, Depth::new(depth));
+                let dt = t0.elapsed();
+                assert!(rep.sound(), "{}: bundled table must stay sound", reg.input.name);
+                if depth == 3 {
+                    total += dt;
+                }
+                cells.push(format!(
+                    "d{depth} {:7} scheds {:7.1} ms",
+                    rep.schedules,
+                    dt.as_secs_f64() * 1e3
+                ));
+            }
+            let t1 = std::time::Instant::now();
+            let cycles = deadlock_potential(&reg.input, 3).len();
+            cells.push(format!(
+                "waits {:5.1} ms ({cycles} cycles)",
+                t1.elapsed().as_secs_f64() * 1e3
+            ));
+            println!("adtcheck {:11} {}", reg.input.name, cells.join("  "));
+        }
+        println!("adtcheck total soundness @ depth 3: {:.1} ms", total.as_secs_f64() * 1e3);
+    }
+
     // Observability primitives: the always-on metric hot paths. A grant
     // is one cached `Counter::inc`; a WAL append adds one inc plus (per
     // batch) a `Histogram::observe` — these ns/op numbers bound the

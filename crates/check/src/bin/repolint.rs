@@ -1,0 +1,98 @@
+//! `repolint` — repository-convention lints that grep-level review
+//! keeps missing, run from the repo root (CI invokes it there).
+//!
+//! 1. **WAL discipline**: direct `log_op` method calls appear only
+//!    inside `crates/storage` — every other layer logs through the
+//!    runtime's self-logging path, so a stray direct append bypasses
+//!    striping, durability policy, and recovery accounting. Integration
+//!    tests under `tests/` may hand-craft WAL records (torn tails,
+//!    divergent logs), and one workload file is grandfathered: the
+//!    ratchet denies *new* production call sites.
+//! 2. **Snapshot discipline**: in `crates/adts`, every `impl Snapshot
+//!    for` block overrides `snapshot_at` — the default would serialize
+//!    the latest state instead of the checkpoint watermark's, silently
+//!    corrupting checkpoint/recovery consistency.
+//!
+//! Exit status 1 on any finding, listing file and line.
+
+use std::path::{Path, PathBuf};
+
+fn rust_files(root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(root) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            rust_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    let root = std::env::current_dir().expect("cwd");
+    if !root.join("Cargo.toml").exists() {
+        eprintln!("repolint: run from the repository root");
+        std::process::exit(2);
+    }
+    let mut files = Vec::new();
+    rust_files(&root, &mut files);
+    files.sort();
+
+    // Assembled so this linter's own source does not contain its needle.
+    let log_op_call = [".log", "_op("].concat();
+
+    // The ratchet's standing exceptions: tests that hand-craft WAL
+    // records on purpose, and the manual-discipline workload whose whole
+    // point is demonstrating the caller-driven append (its comment calls
+    // itself "the only caller-driven append left in the workspace").
+    let log_op_allowed = |rel: &str| {
+        rel.starts_with("tests/")
+            || rel.contains("/tests/")
+            || rel == "crates/workload/src/crash.rs"
+    };
+
+    let mut findings = Vec::new();
+    for path in &files {
+        let Ok(text) = std::fs::read_to_string(path) else { continue };
+        let rel = path.strip_prefix(&root).unwrap_or(path);
+        let rel_s = rel.to_string_lossy().replace('\\', "/");
+
+        if !rel_s.starts_with("crates/storage/") && !log_op_allowed(&rel_s) {
+            for (i, line) in text.lines().enumerate() {
+                if line.contains(&log_op_call) {
+                    findings.push(format!(
+                        "{rel_s}:{}: direct WAL append `{log_op_call}` outside crates/storage",
+                        i + 1
+                    ));
+                }
+            }
+        }
+
+        if rel_s.starts_with("crates/adts/") {
+            let impls = text.matches("impl Snapshot for").count();
+            let overrides = text.matches("fn snapshot_at").count();
+            if overrides < impls {
+                findings.push(format!(
+                    "{rel_s}: {impls} `impl Snapshot for` but only {overrides} \
+                     `fn snapshot_at` override(s) — a default snapshot_at serializes \
+                     the latest state, not the watermark's"
+                ));
+            }
+        }
+    }
+
+    if findings.is_empty() {
+        println!("repolint: {} files clean", files.len());
+    } else {
+        for f in &findings {
+            eprintln!("repolint: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,48 @@
+//! The `adtcheck` registry: the seven bundled derivation configs plus
+//! the two `define_adt!` types the workload crate ships (leaderboard,
+//! inventory).
+
+use crate::input::CheckInput;
+use hcc_relations::derive::DeriveSpec;
+use hcc_relations::tables::AdtConfig;
+use hcc_workload::{custom, inventory};
+
+/// One registry entry: the audit input plus the derivation spec behind
+/// it (for the bounds-invariance self-check).
+pub struct Registered {
+    /// The normalized audit input.
+    pub input: CheckInput,
+    /// The derivation spec the atoms came from.
+    pub derive: DeriveSpec,
+    /// `true` for `define_adt!` user-defined types, `false` for the
+    /// paper's built-ins.
+    pub defined: bool,
+}
+
+fn builtin(cfg: AdtConfig) -> Registered {
+    let derive: DeriveSpec = cfg.into();
+    let input = CheckInput::from_derive_spec(derive.adt.type_name().to_string(), &derive);
+    Registered { input, derive, defined: false }
+}
+
+fn defined(name: &str, derive: DeriveSpec) -> Registered {
+    let input = CheckInput::from_derive_spec(name.to_string(), &derive);
+    Registered { input, derive, defined: true }
+}
+
+/// Every type `adtcheck --all` audits, in presentation order: the seven
+/// built-ins (Tables I–VI plus the counter), then the bundled
+/// user-defined types.
+pub fn registry() -> Vec<Registered> {
+    vec![
+        builtin(AdtConfig::file()),
+        builtin(AdtConfig::queue()),
+        builtin(AdtConfig::semiqueue()),
+        builtin(AdtConfig::account()),
+        builtin(AdtConfig::counter()),
+        builtin(AdtConfig::set()),
+        builtin(AdtConfig::directory()),
+        defined("Leaderboard", custom::lb_derive_spec()),
+        defined("Inventory", inventory::inv_derive_spec()),
+    ]
+}

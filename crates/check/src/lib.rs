@@ -1,0 +1,48 @@
+//! # hcc-check — static soundness analysis for conflict tables
+//!
+//! The paper derives a data type's lock conflict relation from its serial
+//! specification (Sections 4–5) and proves the construction hybrid atomic
+//! (Theorems 10 and 16). This crate is the *auditor* for that machinery:
+//! given any conflict table — derived by `hcc-relations`, or stated by
+//! hand through `ConflictSpec::Table` — it decides, within bounds and
+//! **without executing the runtime's locks**, whether the table is
+//! sound, where it is conservative, and where it can deadlock.
+//!
+//! * [`soundness`] — enumerate every two-transaction schedule the table
+//!   *permits* (only table-compatible operations overlap) over bounded
+//!   op sequences and check the resulting histories against the
+//!   `hcc-verify` hybrid-atomicity oracle. A violation is delta-debugged
+//!   to a minimal witness naming the offending class pairs.
+//! * [`soundness::atom_necessity`] — conservatism reporting: an atom
+//!   whose removal admits no bounded violation is an over-approximation
+//!   (informational; mirrors the paper's Table V "Always" bucket
+//!   generalization).
+//! * [`deadlock`] — the possible-waits graph over conflict classes and
+//!   its minimal cycles: symmetric conflicts mean lock waits, and a wait
+//!   cycle the table admits is a deadlock the runtime's detector will
+//!   have to break (cross-checked live against `deadlock.victims`).
+//! * [`report`] — the `adtcheck` verdict table renderer.
+//! * [`builtin`] — the registry of the seven bundled types plus the
+//!   `define_adt!` leaderboard and inventory.
+//!
+//! The model: a violation of hybrid atomicity among the schedules a
+//! table admits exists within bounds iff there are a committed setup
+//! sequence `σ` and two continuations `α`, `β` — each legal against the
+//! committed state plus its own effects, exactly the runtime's view
+//! semantics — whose operations pairwise overlap compatibly, yet
+//! `σ·α·β` is illegal serially. See [`soundness`] for why two
+//! transactions and this shape suffice.
+
+pub mod builtin;
+pub mod deadlock;
+pub mod input;
+pub mod report;
+pub mod soundness;
+
+pub use builtin::{registry, Registered};
+pub use deadlock::{cycles, deadlock_potential, possible_waits, WaitCycle, WaitEdge};
+pub use input::CheckInput;
+pub use report::{render_counterexample, render_detail, render_verdict_table, TypeVerdict};
+pub use soundness::{
+    atom_necessity, check_soundness, AtomNecessity, Counterexample, Depth, SoundnessReport,
+};

@@ -276,7 +276,18 @@ impl<D: AdtDef> SpecLock<D> {
         &self.atoms
     }
 
-    fn related(&self, q: &Operation, p: &Operation) -> bool {
+    /// The class the conflict lookup files a spec-level operation under —
+    /// exposed so static analysis (`hcc-check`) classifies exactly as the
+    /// live lock does.
+    pub fn classify_op(&self, q: &Operation) -> OpClass {
+        (self.classify)(q)
+    }
+
+    /// The one-directional dependency lookup: is `(class(q), class(p))`
+    /// under their key condition an atom of the table? [`LockSpec::conflicts`]
+    /// is the symmetric closure of this — public so tests can pin that
+    /// the closure leaves no lookup-order disagreement behind.
+    pub fn related(&self, q: &Operation, p: &Operation) -> bool {
         self.atoms.contains(&Atom {
             row: (self.classify)(q),
             col: (self.classify)(p),

@@ -15,16 +15,19 @@
 //!
 //! Derivation is *bounded model checking* and costs milliseconds, not
 //! nanoseconds, so [`cached_conflict_atoms`] memoizes the result per
-//! type name: every object of one type — across databases, threads, and
-//! repeated construction — shares one derivation. The raw entry points
-//! stay public for benchmarking the derivation itself.
+//! (type name, [`derive_fingerprint`]): every object of one type —
+//! across databases, threads, and repeated construction — shares one
+//! derivation, while two specs that merely share a name (or one whose
+//! bounds/alphabet changed) can never serve each other stale atoms. The
+//! raw entry points stay public for benchmarking the derivation itself.
 
 use crate::invalidated_by::{invalidated_by, Bounds};
 use crate::relation::{pair_cond, Atom, Cond, InstanceRelation, OpClass};
 use crate::tables::AdtConfig;
 use hcc_spec::adt::SharedAdt;
-use hcc_spec::Operation;
+use hcc_spec::{Frontier, Operation};
 use std::collections::{BTreeSet, HashMap};
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -32,6 +35,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// serial specification. The runtime-facing sibling of
 /// [`AdtConfig`](crate::tables::AdtConfig) (which adds table-rendering
 /// presentation); [`From<AdtConfig>`] drops the presentation fields.
+#[derive(Clone)]
 pub struct DeriveSpec {
     /// The serial specification (the paper's Section-3.1 object).
     pub adt: SharedAdt,
@@ -113,31 +117,143 @@ pub fn conflict_atoms(spec: &DeriveSpec) -> BTreeSet<Atom> {
     lift_to_atoms(&spec.alphabet, spec.classify, &rel)
 }
 
-/// The per-type derivation cache: type name → derived atoms.
-fn cache() -> &'static Mutex<HashMap<String, Arc<BTreeSet<Atom>>>> {
-    static CACHE: OnceLock<Mutex<HashMap<String, Arc<BTreeSet<Atom>>>>> = OnceLock::new();
+/// A 64-bit fingerprint of everything the bounded search reads from a
+/// [`DeriveSpec`]: the type name, the bounds, each alphabet instance and
+/// its class, plus a shallow behavioural probe of the specification (the
+/// initial state and each instance's single-step legality from it).
+///
+/// The classifier is captured by its *behaviour on the alphabet* — the
+/// only way [`lift_to_atoms`] ever consults it — so two `fn` items that
+/// classify identically fingerprint identically, which is exactly when
+/// sharing a derivation is sound. The probe is deliberately shallow: it
+/// distinguishes specs that differ near the initial state (the common
+/// editing accident) without paying a full bounded search per lookup;
+/// two *behaviourally different* specs that agree on name, alphabet,
+/// classes, bounds, and every first step are out of scope.
+pub fn derive_fingerprint(spec: &DeriveSpec) -> u64 {
+    /// FNV-1a over everything `write_str` receives — lets the hash
+    /// consume `Debug` renderings without intermediate allocation.
+    struct Fnv(u64);
+    impl std::fmt::Write for Fnv {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            for b in s.bytes() {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+            Ok(())
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    let _ = write!(
+        h,
+        "{}|{}+{}|{:?}",
+        spec.adt.type_name(),
+        spec.bounds.max_h1,
+        spec.bounds.max_h2,
+        spec.adt.initial()
+    );
+    let initial = Frontier::initial(spec.adt.as_ref());
+    for op in &spec.alphabet {
+        let first_step_legal = !initial.advance(spec.adt.as_ref(), op).is_empty();
+        let _ = write!(h, "|{:?}={}:{}", op, (spec.classify)(op), u8::from(first_step_legal));
+    }
+    h.0
+}
+
+/// The per-type derivation cache: type name → (fingerprint, atoms). The
+/// inner list is effectively always length 1 — it only grows if distinct
+/// specs share a type name, the collision the fingerprint exists to keep
+/// harmless.
+type CacheMap = HashMap<String, Vec<(u64, Arc<BTreeSet<Atom>>)>>;
+
+fn cache() -> &'static Mutex<CacheMap> {
+    static CACHE: OnceLock<Mutex<CacheMap>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 static DERIVATIONS: AtomicU64 = AtomicU64::new(0);
 
-/// [`conflict_atoms`], memoized per `key` (by convention the type name):
-/// the first construction of an object of a given type pays the bounded
-/// search once; every later construction — any thread, any database —
-/// gets the shared result.
+/// [`conflict_atoms`], memoized per `(key, fingerprint)` — `key` is by
+/// convention the type name: the first construction of an object of a
+/// given type pays the bounded search once; every later construction —
+/// any thread, any database — gets the shared result. The
+/// [`derive_fingerprint`] half of the cache key means a second def that
+/// happens to share the name, or a def whose bounds or alphabet changed,
+/// derives its own atoms instead of being served stale ones.
 pub fn cached_conflict_atoms(key: &str, spec: &DeriveSpec) -> Arc<BTreeSet<Atom>> {
-    if let Some(atoms) = lock_cache().get(key) {
-        return atoms.clone();
+    let fp = derive_fingerprint(spec);
+    if let Some(entries) = lock_cache().get(key) {
+        if let Some((_, atoms)) = entries.iter().find(|(f, _)| *f == fp) {
+            return atoms.clone();
+        }
     }
     // Derive outside the lock (milliseconds); first insert wins if two
     // threads race — both derived the same pure function of the spec.
     let atoms = Arc::new(conflict_atoms(spec));
     DERIVATIONS.fetch_add(1, Ordering::Relaxed);
-    lock_cache().entry(key.to_string()).or_insert(atoms).clone()
+    let mut cache = lock_cache();
+    let entries = cache.entry(key.to_string()).or_default();
+    match entries.iter().find(|(f, _)| *f == fp) {
+        Some((_, winner)) => winner.clone(),
+        None => {
+            entries.push((fp, atoms.clone()));
+            atoms
+        }
+    }
 }
 
-fn lock_cache() -> std::sync::MutexGuard<'static, HashMap<String, Arc<BTreeSet<Atom>>>> {
+fn lock_cache() -> std::sync::MutexGuard<'static, CacheMap> {
     cache().lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// How the derived atom set moved when the search bounds doubled —
+/// evidence that the configured bounds had *not* converged.
+#[derive(Clone, Debug)]
+pub struct BoundsDrift {
+    /// The configured bounds.
+    pub base: Bounds,
+    /// The doubled bounds the check re-derived at.
+    pub doubled: Bounds,
+    /// Atoms the doubled search found that the configured one missed —
+    /// dependencies the runtime table would silently lack.
+    pub missing: BTreeSet<Atom>,
+}
+
+impl std::fmt::Display for BoundsDrift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "derivation bounds {}+{} have not converged: doubling to {}+{} adds atoms {:?}",
+            self.base.max_h1,
+            self.base.max_h2,
+            self.doubled.max_h1,
+            self.doubled.max_h2,
+            self.missing
+        )
+    }
+}
+
+/// The bounds-invariance self-check: derive at the configured bounds `B`
+/// and again at `2B`, and demand identical atom sets. Bounded search can
+/// only *miss* witnesses, never invent them, so a bound that has
+/// converged is indistinguishable from the unbounded relation on this
+/// alphabet — while an under-sized bound shows up as atoms the doubled
+/// search finds and the configured one lacks (returned as the error).
+/// `adtcheck` runs this for every `define_adt!` type, and debug builds
+/// of the bundled user-defined types assert it in their test suites,
+/// like `larger_bounds_do_not_change_queue_relation`.
+pub fn check_bounds_invariance(spec: &DeriveSpec) -> Result<BTreeSet<Atom>, Box<BoundsDrift>> {
+    let base = conflict_atoms(spec);
+    let doubled = Bounds { max_h1: spec.bounds.max_h1 * 2, max_h2: spec.bounds.max_h2 * 2 };
+    let grown = conflict_atoms(&DeriveSpec { bounds: doubled, ..spec.clone() });
+    // `grown ⊇ base` by monotonicity of the bounded search; anything in
+    // `base` alone would be a search bug, so report it symmetrically.
+    if grown == base {
+        Ok(base)
+    } else {
+        let missing = grown.difference(&base).cloned().collect();
+        Err(Box::new(BoundsDrift { base: spec.bounds, doubled, missing }))
+    }
 }
 
 /// How many actual (cache-missing) derivations have run in this process
@@ -181,5 +297,128 @@ mod tests {
         assert_eq!(derivations_performed(), after_first, "no re-derivation");
         assert!(after_first > before, "first lookup derived");
         assert_eq!(*a, conflict_atoms(&AdtConfig::semiqueue().into()));
+    }
+
+    /// The regression the fingerprinted key exists for: two different
+    /// specs sharing one type name must not serve each other stale atoms
+    /// (per-name-only memoization returned the queue's atoms for the
+    /// file here).
+    #[test]
+    fn cache_key_distinguishes_specs_sharing_a_name() {
+        let queue: DeriveSpec = AdtConfig::queue().into();
+        let file: DeriveSpec = AdtConfig::file().into();
+        let a = cached_conflict_atoms("test-name-collision", &queue);
+        let b = cached_conflict_atoms("test-name-collision", &file);
+        assert_eq!(*a, conflict_atoms(&queue));
+        assert_eq!(*b, conflict_atoms(&file), "second spec derives its own atoms, not stale ones");
+        assert_ne!(*a, *b);
+        // And both stay individually cached under the shared name.
+        let a2 = cached_conflict_atoms("test-name-collision", &queue);
+        let b2 = cached_conflict_atoms("test-name-collision", &file);
+        assert!(Arc::ptr_eq(&a, &a2) && Arc::ptr_eq(&b, &b2));
+    }
+
+    /// A bounds change alone must change the cache key: atoms derived at
+    /// one bound can be stale for another.
+    #[test]
+    fn fingerprint_tracks_bounds_and_alphabet() {
+        let base: DeriveSpec = AdtConfig::queue().into();
+        let mut rebound = base.clone();
+        rebound.bounds = Bounds { max_h1: base.bounds.max_h1 + 1, max_h2: base.bounds.max_h2 };
+        assert_ne!(derive_fingerprint(&base), derive_fingerprint(&rebound));
+        let mut trimmed = base.clone();
+        trimmed.alphabet.pop();
+        assert_ne!(derive_fingerprint(&base), derive_fingerprint(&trimmed));
+        assert_eq!(derive_fingerprint(&base), derive_fingerprint(&base.clone()));
+    }
+
+    /// The carried ROADMAP self-check, closed: the bundled configs'
+    /// bounds have converged — doubling them derives identical atoms.
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "doubled-bounds sweep of all 7 types; covered per-type \
+                                           in release CI by `adtcheck --all --invariance all`"
+    )]
+    fn builtin_bounds_are_invariant_under_doubling() {
+        for cfg in [
+            AdtConfig::file as fn() -> AdtConfig,
+            AdtConfig::queue,
+            AdtConfig::semiqueue,
+            AdtConfig::account,
+            AdtConfig::counter,
+            AdtConfig::set,
+            AdtConfig::directory,
+        ] {
+            let spec: DeriveSpec = cfg().into();
+            let name = spec.adt.type_name();
+            if let Err(drift) = check_bounds_invariance(&spec) {
+                panic!("{name}: {drift}");
+            }
+        }
+    }
+
+    /// A meter that refuses `cap` past count 4: the `Cap ⊦ Inc`
+    /// dependency is only witnessed by histories with four increments, so
+    /// bounds 1+1 derive an empty relation and the doubled 2+2 search
+    /// exposes the drift.
+    struct Meter;
+
+    impl hcc_spec::Adt for Meter {
+        fn initial(&self) -> hcc_spec::adt::SpecState {
+            hcc_spec::adt::SpecState(hcc_spec::Value::Int(0))
+        }
+        fn step(
+            &self,
+            state: &hcc_spec::adt::SpecState,
+            inv: &hcc_spec::Inv,
+        ) -> Vec<(hcc_spec::Value, hcc_spec::adt::SpecState)> {
+            let n = state.0.as_int();
+            match inv.op {
+                "inc" => {
+                    vec![(
+                        hcc_spec::Value::Unit,
+                        hcc_spec::adt::SpecState(hcc_spec::Value::Int(n + 1)),
+                    )]
+                }
+                "cap" if n <= 4 => vec![(hcc_spec::Value::Bool(true), state.clone())],
+                _ => vec![],
+            }
+        }
+        fn type_name(&self) -> &'static str {
+            "Meter"
+        }
+    }
+
+    fn meter_spec(bounds: Bounds) -> DeriveSpec {
+        fn classify(op: &Operation) -> OpClass {
+            OpClass::new(if op.inv.op == "inc" { "Inc" } else { "Cap" })
+        }
+        DeriveSpec {
+            adt: Arc::new(Meter),
+            alphabet: vec![
+                Operation::new(hcc_spec::Inv::nullary("inc"), hcc_spec::Value::Unit),
+                Operation::new(hcc_spec::Inv::nullary("cap"), true),
+            ],
+            classify,
+            bounds,
+        }
+    }
+
+    #[test]
+    fn bounds_invariance_reports_unconverged_bounds() {
+        let drift = check_bounds_invariance(&meter_spec(Bounds { max_h1: 1, max_h2: 1 }))
+            .expect_err("1+1 cannot witness the depth-4 dependency");
+        // The depth-4 witness lands in the KeyEq bucket (`inc` is
+        // keyless), and the lift's empty-bucket generalization promotes
+        // it to the Always case — so doubling adds *both* conditions.
+        assert_eq!(
+            drift.missing.iter().collect::<Vec<_>>(),
+            vec![&atom("Cap", "Inc", Cond::KeyEq), &atom("Cap", "Inc", Cond::KeyNeq)],
+            "{drift}"
+        );
+        // At 2+2 the witness fits and doubling again changes nothing.
+        check_bounds_invariance(&meter_spec(Bounds { max_h1: 2, max_h2: 2 }))
+            .expect("2+2 has converged");
     }
 }

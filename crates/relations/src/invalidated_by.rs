@@ -14,6 +14,8 @@
 use crate::enumerate::legal_sequences;
 use crate::relation::InstanceRelation;
 use hcc_spec::{Adt, Frontier, Operation};
+use std::collections::BTreeSet;
+use std::collections::HashMap;
 
 /// Search bounds for relation derivation.
 #[derive(Clone, Copy, Debug)]
@@ -33,15 +35,27 @@ impl Default for Bounds {
 /// Compute the bounded invalidated-by relation over `alphabet`:
 /// `(q, p) ∈ R` iff a witness `(h₁, h₂)` within `bounds` shows that `p`
 /// invalidates `q`.
+///
+/// Whether a witness exists depends only on the *frontier* `h₁` leaves
+/// behind, never on `h₁` itself, so distinct prefixes reaching the same
+/// frontier are searched once; likewise each `(h₁, p)` extension tree
+/// memoizes its `(with-p, without-p)` frontier pairs. Both collapses are
+/// exact — the relation is identical to the naive enumeration — but they
+/// turn the cost from the number of legal sequences into the (much
+/// smaller) number of reachable frontiers, which is what makes doubled
+/// bounds ([`crate::derive::check_bounds_invariance`]) affordable.
 pub fn invalidated_by(adt: &dyn Adt, alphabet: &[Operation], bounds: Bounds) -> InstanceRelation {
     let mut rel = InstanceRelation::new();
-    for h1 in legal_sequences(adt, alphabet, bounds.max_h1) {
+    let frontiers: BTreeSet<Frontier> =
+        legal_sequences(adt, alphabet, bounds.max_h1).into_iter().map(|s| s.frontier).collect();
+    for h1 in &frontiers {
         for (p, p_op) in alphabet.iter().enumerate() {
-            let with_p = h1.frontier.advance(adt, p_op);
+            let with_p = h1.advance(adt, p_op);
             if with_p.is_empty() {
                 continue; // h₁·p illegal: p cannot be inserted here
             }
-            extend_h2(adt, alphabet, bounds.max_h2, &with_p, &h1.frontier, p, &mut rel);
+            let mut seen = HashMap::new();
+            extend_h2(adt, alphabet, bounds.max_h2, &with_p, h1, p, &mut rel, &mut seen);
         }
     }
     rel
@@ -49,7 +63,10 @@ pub fn invalidated_by(adt: &dyn Adt, alphabet: &[Operation], bounds: Bounds) -> 
 
 /// Recursively extend `h₂`, tracking the frontier after `h₁·p·h₂`
 /// (`with_p`) and after `h₁·h₂` (`without_p`). At every node, any `q` legal
-/// without `p` but illegal with it is invalidated by `p`.
+/// without `p` but illegal with it is invalidated by `p`. A frontier pair
+/// already explored with at least as much remaining depth contributes
+/// nothing new and is pruned.
+#[allow(clippy::too_many_arguments)]
 fn extend_h2(
     adt: &dyn Adt,
     alphabet: &[Operation],
@@ -58,7 +75,15 @@ fn extend_h2(
     without_p: &Frontier,
     p: usize,
     rel: &mut InstanceRelation,
+    seen: &mut HashMap<(Frontier, Frontier), usize>,
 ) {
+    match seen.get_mut(&(with_p.clone(), without_p.clone())) {
+        Some(explored) if *explored >= depth => return,
+        Some(explored) => *explored = depth,
+        None => {
+            seen.insert((with_p.clone(), without_p.clone()), depth);
+        }
+    }
     for (q, q_op) in alphabet.iter().enumerate() {
         if rel.contains(q, p) {
             continue; // already witnessed
@@ -79,7 +104,7 @@ fn extend_h2(
         if wo.is_empty() {
             continue; // h₁·h₂·q requires h₁·h₂ legal
         }
-        extend_h2(adt, alphabet, depth - 1, &w, &wo, p, rel);
+        extend_h2(adt, alphabet, depth - 1, &w, &wo, p, rel, seen);
     }
 }
 

@@ -83,7 +83,12 @@ impl fmt::Debug for SpecState {
 
 /// The set of specification states reachable by some legal execution of a
 /// prefix. Empty iff the prefix is illegal.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Ordered and hashable so that searches over many prefixes (relation
+/// derivation, the `hcc-check` soundness search) can deduplicate prefixes
+/// by the frontier they leave behind — legality of every continuation
+/// depends only on the frontier, never on the prefix itself.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Frontier {
     states: BTreeSet<SpecState>,
 }

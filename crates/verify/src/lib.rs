@@ -99,9 +99,20 @@ pub fn atomic(h: &History, specs: &SystemSpecs) -> bool {
 /// Is `h` hybrid atomic — `permanent(h)` serializable in timestamp order
 /// (Section 3.3)?
 pub fn hybrid_atomic(h: &History, specs: &SystemSpecs) -> bool {
+    hybrid_atomic_violation(h, specs).is_none()
+}
+
+/// Why a history is not hybrid atomic: the first object (in id order)
+/// whose permanent operations, serialized in timestamp order, are not a
+/// legal sequence of its specification. `None` means `h` is hybrid
+/// atomic. The library entry point for tools that need to *report* a
+/// violation, not just detect one — `hcc-check` confirms every
+/// counterexample its static soundness search finds through this
+/// function, so the search and the oracle can never silently disagree.
+pub fn hybrid_atomic_violation(h: &History, specs: &SystemSpecs) -> Option<ObjectId> {
     let p = h.permanent();
     let order = p.ts_order();
-    serializable_in(&p, &order, specs)
+    p.objects().into_iter().find(|&x| !legal(specs.get(x).as_ref(), &p.serial_ops_at(&order, x)))
 }
 
 /// Is `h` dynamic atomic — `permanent(h)` serializable in **every** total
@@ -224,6 +235,7 @@ mod tests {
             .build();
         let specs = queue_specs();
         assert!(!hybrid_atomic(&h, &specs));
+        assert_eq!(hybrid_atomic_violation(&h, &specs), Some(ObjectId(0)), "names the object");
         // It *is* serializable in some order (Q, P, R), hence atomic...
         assert!(atomic(&h, &specs));
         // ...and dynamic atomicity fails too: P, Q, R is consistent with

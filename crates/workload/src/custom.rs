@@ -118,7 +118,9 @@ pub enum LbRes {
     Best(i64),
 }
 
-fn lb_classify(op: &Operation) -> OpClass {
+/// The leaderboard's operation classifier — public so `adtcheck` can
+/// audit the derived table exactly as the runtime classifies it.
+pub fn lb_classify(op: &Operation) -> OpClass {
     OpClass::new(match (op.inv.op, &op.res) {
         ("submit", Value::Bool(true)) => "Submit-Win",
         ("submit", _) => "Submit-Lose",
@@ -126,7 +128,9 @@ fn lb_classify(op: &Operation) -> OpClass {
     })
 }
 
-fn lb_alphabet() -> Vec<Operation> {
+/// The derivation alphabet (players a/b × scores 1/2, win/lose submits,
+/// bests 0..2) — public for the same audit.
+pub fn lb_alphabet() -> Vec<Operation> {
     let mut ops = Vec::new();
     for player in ["a", "b"] {
         for score in [1i64, 2] {
@@ -139,6 +143,18 @@ fn lb_alphabet() -> Vec<Operation> {
         }
     }
     ops
+}
+
+/// The full derivation spec exactly as [`LeaderboardDef`]'s `conflicts`
+/// states it — the single source `adtcheck` audits and the debug
+/// bounds-invariance test doubles.
+pub fn lb_derive_spec() -> DeriveSpec {
+    DeriveSpec {
+        adt: spec(),
+        alphabet: lb_alphabet(),
+        classify: lb_classify,
+        bounds: hcc_adts::define::Bounds { max_h1: 2, max_h2: 2 },
+    }
 }
 
 define_adt! {
@@ -172,12 +188,7 @@ define_adt! {
             }
             other => unreachable!("ill-typed leaderboard op {other:?}"),
         },
-        conflicts: || ConflictSpec::Derived(DeriveSpec {
-            adt: spec(),
-            alphabet: lb_alphabet(),
-            classify: lb_classify,
-            bounds: hcc_adts::define::Bounds { max_h1: 2, max_h2: 2 },
-        }),
+        conflicts: || ConflictSpec::Derived(lb_derive_spec()),
     }
 }
 
@@ -453,6 +464,16 @@ mod tests {
         assert!(!lock.conflicts(&best("ada", 3), &best("ada", 3)), "reads coexist");
         assert!(!lock.conflicts(&lose("ada", 1), &best("ada", 3)));
         assert_eq!(lock.name(), "hybrid-derived");
+    }
+
+    /// The ROADMAP's debug-build self-check, closed: the stated bounds
+    /// (2+2) have converged — doubling them derives identical atoms.
+    /// Release runs get the same guarantee from `adtcheck --all`.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn leaderboard_bounds_are_invariant_under_doubling() {
+        hcc_adts::define::check_bounds_invariance(&lb_derive_spec())
+            .expect("leaderboard derivation bounds have converged");
     }
 
     /// Constructing many leaderboards derives the relation once.

@@ -24,6 +24,7 @@ pub mod compaction;
 pub mod crash;
 pub mod custom;
 pub mod durable;
+pub mod inventory;
 pub mod metrics;
 pub mod multisite;
 pub mod queue;

@@ -32,6 +32,10 @@
 //!   the `HCC_METRICS` dump hook and the `HCC_TRACE` flight recorder
 //!   (see `docs/OBSERVABILITY.md`).
 //! * [`verify`] — serializability / hybrid-atomicity / online checkers.
+//! * [`check`] — the static auditor: bounded soundness verification of
+//!   conflict tables against the hybrid-atomicity oracle, conservatism
+//!   reporting, deadlock-potential analysis, and the `adtcheck` /
+//!   `repolint` CI binaries (see `docs/CHECKING.md`).
 //! * [`workload`] — workload generation and the multithreaded driver.
 //!
 //! ## Quickstart
@@ -70,6 +74,7 @@
 
 pub use hcc_adts as adts;
 pub use hcc_baselines as baselines;
+pub use hcc_check as check;
 pub use hcc_core as core;
 pub use hcc_db as db;
 pub use hcc_obs as obs;
