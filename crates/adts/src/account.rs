@@ -238,6 +238,14 @@ impl AccountObject {
     pub fn committed_balance(&self) -> Rational {
         self.obj.committed_snapshot()
     }
+
+    /// The balance as of commit timestamp `watermark` — the wait-free
+    /// snapshot-read accessor (`TxObject::snapshot_read`): no lock
+    /// acquisition, no conflict with writers. Refused when compaction
+    /// has already folded past `watermark`.
+    pub fn balance_at(&self, watermark: u64) -> Result<Rational, hcc_core::runtime::SnapshotStale> {
+        self.obj.snapshot_read(watermark)
+    }
 }
 
 /// Map a runtime operation to the dynamic specification operation, for

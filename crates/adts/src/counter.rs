@@ -153,6 +153,13 @@ impl CounterObject {
     pub fn committed_value(&self) -> i64 {
         self.obj.committed_snapshot()
     }
+
+    /// The value as of commit timestamp `watermark` — the wait-free
+    /// snapshot-read accessor: no lock acquisition, no conflict with
+    /// writers. Refused when compaction has folded past `watermark`.
+    pub fn value_at(&self, watermark: u64) -> Result<i64, hcc_core::runtime::SnapshotStale> {
+        self.obj.snapshot_read(watermark)
+    }
 }
 
 /// The Counter restated through the declarative [`AdtDef`] surface — the

@@ -143,6 +143,13 @@ impl<D: AdtDef> SpecObject<D> {
     pub fn committed_state(&self) -> D::State {
         self.obj.committed_snapshot()
     }
+
+    /// The state as of commit timestamp `watermark` — the wait-free
+    /// snapshot-read accessor: no lock acquisition, no conflict with
+    /// writers. Refused when compaction has folded past `watermark`.
+    pub fn state_at(&self, watermark: u64) -> Result<D::State, hcc_core::runtime::SnapshotStale> {
+        self.obj.snapshot_read(watermark)
+    }
 }
 
 impl<D: AdtDef> Snapshot for SpecObject<D> {

@@ -270,6 +270,16 @@ impl<K: Key, V: Val> DirectoryObject<K, V> {
     pub fn committed_len(&self) -> usize {
         self.obj.committed_snapshot().len()
     }
+
+    /// The bindings as of commit timestamp `watermark` — the wait-free
+    /// snapshot-read accessor: no lock acquisition, no conflict with
+    /// writers. Refused when compaction has folded past `watermark`.
+    pub fn entries_at(
+        &self,
+        watermark: u64,
+    ) -> Result<BTreeMap<K, V>, hcc_core::runtime::SnapshotStale> {
+        self.obj.snapshot_read(watermark)
+    }
 }
 
 /// Map a runtime operation onto the dynamic specification operation.

@@ -245,6 +245,17 @@ impl<T: Item> QueueObject<T> {
     pub fn committed_len(&self) -> usize {
         self.obj.committed_snapshot().len()
     }
+
+    /// The queue contents as of commit timestamp `watermark` — the
+    /// wait-free snapshot-read accessor: no lock acquisition, no
+    /// conflict with writers. Refused when compaction has folded past
+    /// `watermark`.
+    pub fn items_at(
+        &self,
+        watermark: u64,
+    ) -> Result<VecDeque<T>, hcc_core::runtime::SnapshotStale> {
+        self.obj.snapshot_read(watermark)
+    }
 }
 
 /// Map a runtime operation onto the dynamic specification operation.

@@ -174,6 +174,13 @@ impl<T: Content> FileObject<T> {
     pub fn committed_value(&self) -> T {
         self.obj.committed_snapshot()
     }
+
+    /// The value as of commit timestamp `watermark` — the wait-free
+    /// snapshot-read accessor: no lock acquisition, no conflict with
+    /// writers. Refused when compaction has folded past `watermark`.
+    pub fn value_at(&self, watermark: u64) -> Result<T, hcc_core::runtime::SnapshotStale> {
+        self.obj.snapshot_read(watermark)
+    }
 }
 
 /// Map a runtime operation onto the dynamic specification operation.

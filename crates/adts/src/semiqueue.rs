@@ -62,7 +62,8 @@ impl<T> Default for SemiqueueAdt<T> {
     }
 }
 
-type Multiset<T> = BTreeMap<T, usize>;
+/// The Semiqueue's committed version: item → multiplicity.
+pub type Multiset<T> = BTreeMap<T, usize>;
 
 fn ms_insert<T: Ord>(ms: &mut Multiset<T>, x: T) {
     *ms.entry(x).or_insert(0) += 1;
@@ -231,6 +232,17 @@ impl<T: Item> SemiqueueObject<T> {
     /// Total committed item count (diagnostics).
     pub fn committed_len(&self) -> usize {
         self.obj.committed_snapshot().values().sum()
+    }
+
+    /// The item multiset as of commit timestamp `watermark` — the
+    /// wait-free snapshot-read accessor: no lock acquisition, no
+    /// conflict with writers. Refused when compaction has folded past
+    /// `watermark`.
+    pub fn items_at(
+        &self,
+        watermark: u64,
+    ) -> Result<Multiset<T>, hcc_core::runtime::SnapshotStale> {
+        self.obj.snapshot_read(watermark)
     }
 }
 

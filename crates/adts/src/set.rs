@@ -230,6 +230,16 @@ impl<T: Elem> SetObject<T> {
     pub fn committed_len(&self) -> usize {
         self.obj.committed_snapshot().len()
     }
+
+    /// The members as of commit timestamp `watermark` — the wait-free
+    /// snapshot-read accessor: no lock acquisition, no conflict with
+    /// writers. Refused when compaction has folded past `watermark`.
+    pub fn members_at(
+        &self,
+        watermark: u64,
+    ) -> Result<BTreeSet<T>, hcc_core::runtime::SnapshotStale> {
+        self.obj.snapshot_read(watermark)
+    }
 }
 
 /// The Set restated through the declarative [`AdtDef`] surface — the

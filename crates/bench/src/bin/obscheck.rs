@@ -10,7 +10,13 @@
 //!   bucket pairs — never a float, so never a NaN;
 //! - histogram bucket counts sum back to `count`;
 //! - at least one dump in the stream carries the core transaction
-//!   counters (`txn.begun`/`txn.committed`/`txn.aborted`).
+//!   counters (`txn.begun`/`txn.committed`/`txn.aborted`);
+//! - read-path invariants: any dump carrying `txn.read_only.begun`
+//!   must also carry `txn.read_only.completed`, with
+//!   `completed ≤ begun`; and in the *final* dump of the stream every
+//!   begun read has completed and the `horizon.pins` gauge is back to
+//!   zero — a process that exits with a pinned fold horizon leaked a
+//!   reader.
 //!
 //! Exits nonzero with a diagnostic on the first violation, so the
 //! recovery-matrix CI jobs fail if an instrumentation change breaks the
@@ -81,7 +87,43 @@ fn check_line(line: &str) -> bool {
             other => fail(&format!("{name}: unexpected value kind {other}")),
         }
     }
+    if let Some(begun) = metrics.get("txn.read_only.begun") {
+        let begun = as_u64(begun, "txn.read_only.begun");
+        let completed = match metrics.get("txn.read_only.completed") {
+            Some(c) => as_u64(c, "txn.read_only.completed"),
+            None => fail("txn.read_only.begun present without txn.read_only.completed"),
+        };
+        if completed > begun {
+            fail(&format!("txn.read_only.completed={completed} exceeds begun={begun}"));
+        }
+    }
     ["txn.begun", "txn.committed", "txn.aborted"].iter().all(|k| metrics.contains_key(*k))
+}
+
+/// The last dump of a stream is the process's exit state: every reader
+/// that began must have completed, and no horizon pin may survive —
+/// a leak here means a `ReadTx` escaped its scope without dropping.
+fn check_final(line: &str) {
+    let parsed: Value = serde_json::from_str(line).expect("already validated by check_line");
+    let metrics = parsed["hcc_metrics"].as_object().expect("already validated");
+    let begun = match metrics.get("txn.read_only.begun") {
+        Some(b) => as_u64(b, "txn.read_only.begun"),
+        None => return, // pre-read-path dump shape: nothing to hold to
+    };
+    let completed = as_u64(&metrics["txn.read_only.completed"], "txn.read_only.completed");
+    if completed != begun {
+        fail(&format!(
+            "final dump: {} read transaction(s) begun but only {} completed",
+            begun, completed
+        ));
+    }
+    if let Some(pins) = metrics.get("horizon.pins") {
+        match pins.as_i64() {
+            Some(0) => {}
+            Some(n) => fail(&format!("final dump: horizon.pins={n}, a reader leaked its pin")),
+            None => fail("horizon.pins is not an integer"),
+        }
+    }
 }
 
 fn main() {
@@ -91,6 +133,7 @@ fn main() {
     });
     let mut lines = 0u64;
     let mut with_txn_core = 0u64;
+    let mut last_dump = None;
     for line in input.lines() {
         let line = line.trim();
         if !line.starts_with("{\"hcc_metrics\"") {
@@ -100,12 +143,16 @@ fn main() {
         if check_line(line) {
             with_txn_core += 1;
         }
+        last_dump = Some(line);
     }
     if lines == 0 {
         fail("no hcc_metrics line found in input (was HCC_METRICS=json set?)");
     }
     if with_txn_core == 0 {
         fail("no dump carried txn.begun/txn.committed/txn.aborted");
+    }
+    if let Some(last) = last_dump {
+        check_final(last);
     }
     println!("obscheck: OK ({lines} dump(s), {with_txn_core} with core txn counters)");
 }

@@ -12,6 +12,13 @@
 //!    for` block overrides `snapshot_at` — the default would serialize
 //!    the latest state instead of the checkpoint watermark's, silently
 //!    corrupting checkpoint/recovery consistency.
+//! 3. **Read-path lock freedom**: the wait-free read path
+//!    (`crates/db/src/read.rs`, `crates/core/src/runtime/horizon.rs`)
+//!    must exist and must never call into the transactional execution
+//!    machinery — no operation execution, no lock attempts. The
+//!    "zero lock acquisitions" guarantee is load-bearing API doc; this
+//!    ratchet keeps a future refactor from quietly routing reads back
+//!    through the lock manager.
 //!
 //! Exit status 1 on any finding, listing file and line.
 
@@ -83,6 +90,32 @@ fn main() {
                      `fn snapshot_at` override(s) — a default snapshot_at serializes \
                      the latest state, not the watermark's"
                 ));
+            }
+        }
+    }
+
+    // The read path's lock-freedom ratchet. Needles are assembled so
+    // this linter's own source does not contain them; they cover every
+    // way code reaches the lock manager — executing an operation
+    // (`.execute(` / `try_execute`) or testing a lock directly
+    // (`attempt(`). The read path clones committed snapshots under the
+    // object latch and must never grow one of these calls.
+    let read_path_files = ["crates/db/src/read.rs", "crates/core/src/runtime/horizon.rs"];
+    let lock_needles =
+        [[".exec", "ute("].concat(), ["try_", "execute"].concat(), ["atte", "mpt("].concat()];
+    for rel_s in read_path_files {
+        let Ok(text) = std::fs::read_to_string(root.join(rel_s)) else {
+            findings.push(format!("{rel_s}: wait-free read path file is missing"));
+            continue;
+        };
+        for (i, line) in text.lines().enumerate() {
+            for needle in &lock_needles {
+                if line.contains(needle.as_str()) {
+                    findings.push(format!(
+                        "{rel_s}:{}: lock-acquisition call `{needle}` on the wait-free read path",
+                        i + 1
+                    ));
+                }
             }
         }
     }

@@ -85,6 +85,27 @@ pub trait RuntimeAdt: Send + Sync + 'static {
     fn type_name(&self) -> &'static str;
 }
 
+/// An executed operation pre-classified for conflict testing: its
+/// mapping onto the formal layer (`hcc-spec`'s dynamic [`Operation`])
+/// and the conflict class that mapping lands in.
+///
+/// Schemes that classify through a spec mapping ([`super::SpecLock`])
+/// compute this **once per executed operation** via
+/// [`LockSpec::prepare`]; the runtime stores it beside the op and feeds
+/// it back into every later [`LockSpec::conflicts_prepared`] test, so
+/// the per-op `spec_op` + classification work leaves the lock-test hot
+/// path. Hand-written schemes that pattern-match invocations directly
+/// return `None` from `prepare` and never see this type.
+///
+/// [`Operation`]: hcc_spec::Operation
+#[derive(Clone, Debug)]
+pub struct ClassifiedOp {
+    /// The executed operation lifted into the dynamic spec layer.
+    pub op: hcc_spec::Operation,
+    /// The conflict class the lifted operation belongs to.
+    pub class: hcc_relations::relation::OpClass,
+}
+
 /// A lock-conflict test over executed operations `(invocation, response)`.
 ///
 /// The same [`RuntimeAdt`] can run under different schemes: the hybrid
@@ -94,6 +115,36 @@ pub trait LockSpec<A: RuntimeAdt + ?Sized>: Send + Sync {
     /// Do two executed operations of *different* active transactions
     /// conflict? Must be symmetric.
     fn conflicts(&self, a: &(A::Inv, A::Res), b: &(A::Inv, A::Res)) -> bool;
+
+    /// Pre-classify `op` for memoized conflict testing. The runtime
+    /// calls this once when an operation is executed (and once per
+    /// *candidate* during a grant attempt), stores the result beside the
+    /// op, and passes both operations' tokens to
+    /// [`LockSpec::conflicts_prepared`]. The default (`None`) keeps
+    /// schemes that don't classify through a spec mapping on the plain
+    /// [`LockSpec::conflicts`] path.
+    fn prepare(&self, op: &(A::Inv, A::Res)) -> Option<ClassifiedOp> {
+        let _ = op;
+        None
+    }
+
+    /// [`LockSpec::conflicts`] with the memoized classifications in
+    /// hand. Implementations that override [`LockSpec::prepare`] should
+    /// use the tokens instead of re-deriving them; the default ignores
+    /// the tokens and defers to `conflicts`. Must agree with
+    /// `conflicts` whenever both tokens came from `prepare` on the same
+    /// operations — the derived-vs-hand differential tests exercise the
+    /// un-memoized entry point directly.
+    fn conflicts_prepared(
+        &self,
+        a: &(A::Inv, A::Res),
+        ap: Option<&ClassifiedOp>,
+        b: &(A::Inv, A::Res),
+        bp: Option<&ClassifiedOp>,
+    ) -> bool {
+        let _ = (ap, bp);
+        self.conflicts(a, b)
+    }
 
     /// Scheme name (`"hybrid"`, `"commutativity"`, `"rw-2pl"`) for
     /// experiment output.

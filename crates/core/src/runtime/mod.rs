@@ -19,14 +19,17 @@
 
 mod adt;
 mod handle;
+mod horizon;
 mod object;
 mod options;
 mod spec_adt;
 
-pub use adt::{LockSpec, RedoDecodeError, RuntimeAdt};
+pub use adt::{ClassifiedOp, LockSpec, RedoDecodeError, RuntimeAdt};
 pub use handle::{TxnHandle, TxnPhase};
+pub use horizon::{HorizonPins, PinGuard};
 pub use object::{
-    ExecError, NotFresh, ObjectStats, ReplayError, TryExecOutcome, TxObject, TxParticipant,
+    ExecError, NotFresh, ObjectStats, ReplayError, SnapshotStale, TryExecOutcome, TxObject,
+    TxParticipant,
 };
 pub use options::{
     BlockPolicy, Durability, NullObserver, RedoSink, RedoTicket, RuntimeOptions, WaitObserver,

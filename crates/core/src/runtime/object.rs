@@ -1,7 +1,7 @@
 //! The generic hybrid-atomic object: versions, intents, implicit locks,
 //! `when`-style blocking, and horizon-based forgetting.
 
-use super::adt::{LockSpec, RedoDecodeError, RuntimeAdt};
+use super::adt::{ClassifiedOp, LockSpec, RedoDecodeError, RuntimeAdt};
 use super::handle::{TxnHandle, TxnPhase};
 use super::options::RuntimeOptions;
 use hcc_obs::Counter;
@@ -97,6 +97,34 @@ impl std::fmt::Display for NotFresh {
 
 impl std::error::Error for NotFresh {}
 
+/// Refusal from [`TxObject::snapshot_read`]: a commit with timestamp
+/// above the requested watermark has already been folded into the
+/// compacted version, so the watermark image can no longer be
+/// reconstructed here. Readers that pinned the horizon *before* picking
+/// their watermark only hit this in the benign race where a fold
+/// completed between watermark selection and the pin landing — the read
+/// layer treats it as transient and retries at a fresh watermark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotStale {
+    /// The highest commit timestamp folded into the base version.
+    pub folded: u64,
+    /// The watermark the reader asked for.
+    pub watermark: u64,
+}
+
+impl std::fmt::Display for SnapshotStale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "snapshot at timestamp {} is stale: commits up to {} are already \
+             compacted into the base version",
+            self.watermark, self.folded
+        )
+    }
+}
+
+impl std::error::Error for SnapshotStale {}
+
 /// Outcome of a single non-blocking execution attempt.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TryExecOutcome<R> {
@@ -134,9 +162,19 @@ pub struct ObjectStats {
     pub forgotten: u64,
 }
 
+/// One executed operation held by an active transaction, with the lock
+/// scheme's memoized classification (when the scheme classifies through
+/// a spec mapping — see [`LockSpec::prepare`]). Computing the token once
+/// at execution time keeps `spec_op` + class lookup off the conflict-test
+/// hot path, where it used to run per held op per candidate per attempt.
+struct ExecOp<A: RuntimeAdt> {
+    op: (A::Inv, A::Res),
+    token: Option<ClassifiedOp>,
+}
+
 struct TxnRec<A: RuntimeAdt> {
     intent: A::Intent,
-    ops: Vec<(A::Inv, A::Res)>,
+    ops: Vec<ExecOp<A>>,
 }
 
 impl<A: RuntimeAdt> Default for TxnRec<A> {
@@ -159,6 +197,11 @@ struct ObjState<A: RuntimeAdt> {
     clock: u64,
     /// Lower bounds for active transactions (the bound table).
     bounds: HashMap<TxnId, u64>,
+    /// Highest commit timestamp ever folded into `version` (0 = none):
+    /// the compaction watermark below which per-timestamp images are
+    /// gone. [`TxObject::snapshot_read`] refuses watermarks below this
+    /// instead of serving the folded state as if it were the older image.
+    folded: u64,
 }
 
 /// A thread-safe transactional object running one data type under one
@@ -211,6 +254,7 @@ impl<A: RuntimeAdt> TxObject<A> {
                 active: HashMap::new(),
                 clock: 0,
                 bounds: HashMap::new(),
+                folded: 0,
             }),
             cv: Condvar::new(),
             executed: AtomicU64::new(0),
@@ -294,9 +338,15 @@ impl<A: RuntimeAdt> TxObject<A> {
             }
             txn.register(self.clone() as Arc<dyn TxParticipant>);
             self.executed.fetch_add(1, Ordering::Relaxed);
-            self.grant_counter(inv, res).inc();
-            if let Some(tr) = &self.opts.trace {
-                tr.record(txn.id().0, &self.name, "grant", self.class_label(inv, res));
+            // Replay executions (redo replay, checkpoint-restore bootstrap)
+            // re-install history the lock manager already admitted in a
+            // previous incarnation; counting them again would make a
+            // restored store's grant totals drift from the live run's.
+            if !txn.is_replay() {
+                self.grant_counter(inv, res).inc();
+                if let Some(tr) = &self.opts.trace {
+                    tr.record(txn.id().0, &self.name, "grant", self.class_label(inv, res));
+                }
             }
         } else {
             drop(st);
@@ -380,7 +430,9 @@ impl<A: RuntimeAdt> TxObject<A> {
         // the operation is installed directly.
         let rec = st.active.entry(txn.id()).or_default();
         rec.intent = intent;
-        rec.ops.push((inv, res));
+        let op = (inv, res);
+        let token = self.locks.prepare(&op);
+        rec.ops.push(ExecOp { op, token });
         let clock = st.clock;
         st.bounds.insert(txn.id(), clock);
         txn.observe_clock(clock);
@@ -479,17 +531,22 @@ impl<A: RuntimeAdt> TxObject<A> {
         let mut blockers: Vec<TxnId> = Vec::new();
         for (res, intent) in candidates {
             let op = (inv.clone(), res);
+            // Classify the requested op once per candidate; every held
+            // op already carries its token from its own execution.
+            let token = self.locks.prepare(&op);
             let mut holders: Vec<TxnId> = Vec::new();
             for (&p, rec) in st.active.iter() {
                 if p == txn {
                     continue;
                 }
-                if let Some(q) = rec.ops.iter().find(|q| self.locks.conflicts(q, &op)) {
+                if let Some(q) = rec.ops.iter().find(|q| {
+                    self.locks.conflicts_prepared(&q.op, q.token.as_ref(), &op, token.as_ref())
+                }) {
                     // Remember the first refusing pair: it labels the
                     // refusal/wait counters with the class pair that
                     // actually blocked the caller.
                     if conflict_ops.is_none() {
-                        *conflict_ops = Some((op.clone(), q.clone()));
+                        *conflict_ops = Some((op.clone(), q.op.clone()));
                     }
                     holders.push(p);
                 }
@@ -498,7 +555,7 @@ impl<A: RuntimeAdt> TxObject<A> {
                 let rec = st.active.entry(txn).or_default();
                 rec.intent = intent;
                 let res = op.1.clone();
-                rec.ops.push(op);
+                rec.ops.push(ExecOp { op, token });
                 return TryExecOutcome::Executed(res);
             }
             blockers.append(&mut holders);
@@ -510,13 +567,25 @@ impl<A: RuntimeAdt> TxObject<A> {
 
     /// The horizon time (Definition 20) and folding of committed intents
     /// (the appendix's `forget()`).
+    ///
+    /// The horizon is bounded by three forces: the oldest active
+    /// transaction's lower bound (the bound table), the per-object
+    /// checkpoint pin ([`TxObject::pin_horizon`], an entry in the same
+    /// table), and the shared snapshot-read floor
+    /// (`RuntimeOptions::horizon`): a live read pin at watermark `w`
+    /// keeps every commit with `ts > w` unfolded at every object sharing
+    /// the registry, so `committed_snapshot_at(w)` stays exact for the
+    /// pin's lifetime. (`floor() = u64::MAX` when nothing is pinned, so
+    /// the read path costs one relaxed atomic load here.)
     fn forget(&self, st: &mut ObjState<A>) {
         let Some(&max_committed) = st.committed.keys().next_back() else { return };
-        let horizon = st.bounds.values().min().map_or(max_committed, |&b| b.min(max_committed));
+        let global = self.opts.horizon.floor().min(max_committed);
+        let horizon = st.bounds.values().min().map_or(global, |&b| b.min(global));
         let fold: Vec<u64> = st.committed.range(..horizon).map(|(&ts, _)| ts).collect();
         for ts in fold {
             let rec = st.committed.remove(&ts).unwrap();
             self.adt.apply(&mut st.version, &rec.intent);
+            st.folded = st.folded.max(ts);
             self.forgotten.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -557,6 +626,32 @@ impl<A: RuntimeAdt> TxObject<A> {
             self.adt.apply(&mut v, &rec.intent);
         }
         v
+    }
+
+    /// The committed state as of `watermark`, **checked**: refused with
+    /// [`SnapshotStale`] when a commit above the watermark has already
+    /// been folded into the base version (so the watermark image is
+    /// unrecoverable here), instead of silently returning the folded
+    /// state as [`TxObject::committed_snapshot_at`] would.
+    ///
+    /// This is the read-only transaction path's accessor. It takes the
+    /// object's internal mutex — a short latch over in-memory state, the
+    /// same one every accessor uses — but no *transactional* lock: no
+    /// conflict test runs, no lock-table entry is written, no writer is
+    /// ever blocked by it or blocks on it. The staleness check is sound
+    /// under that latch: any in-progress fold completed before we
+    /// acquired it, so `folded` reflects every fold that could race the
+    /// caller's pin.
+    pub fn snapshot_read(&self, watermark: u64) -> Result<A::Version, SnapshotStale> {
+        let st = self.inner.lock();
+        if st.folded > watermark {
+            return Err(SnapshotStale { folded: st.folded, watermark });
+        }
+        let mut v = st.version.clone();
+        for (_, rec) in st.committed.range(..=watermark) {
+            self.adt.apply(&mut v, &rec.intent);
+        }
+        Ok(v)
     }
 
     /// Forbid `forget()` from folding commits with `ts > watermark` into
@@ -601,6 +696,10 @@ impl<A: RuntimeAdt> TxObject<A> {
         }
         st.version = version;
         st.clock = ts;
+        // The installed image *is* a fold of everything at or below `ts`:
+        // snapshot reads below the restore point must be refused, not
+        // served the checkpoint image as if it were an older state.
+        st.folded = ts;
         Ok(())
     }
 
@@ -978,6 +1077,57 @@ mod tests {
         let replay = TxnHandle::replay(TxnId(99));
         o.execute(&replay, RegInv::Write(7)).unwrap();
         assert_eq!(sink.published.lock().unwrap().len(), 5, "replay did not log");
+    }
+
+    /// The shared-registry pin is the read path's fuzzy-checkpoint
+    /// analogue: while a `PinGuard` at `w` lives, commits above `w` stay
+    /// unfolded at every object carrying the registry, `snapshot_read(w)`
+    /// stays exact, and dropping the guard lets the next commit's
+    /// `forget` fold everything — after which `snapshot_read(w)` refuses
+    /// with a typed [`SnapshotStale`] instead of serving the folded
+    /// state.
+    #[test]
+    fn shared_pin_bounds_folding_until_guard_drops() {
+        let pins = Arc::new(super::super::HorizonPins::new());
+        let o = TxObject::new(
+            "reg",
+            Register,
+            Arc::new(RegisterHybrid),
+            RuntimeOptions::default().with_horizon(pins.clone()),
+        );
+        for i in 1..=3u64 {
+            let t = h(i);
+            o.execute(&t, RegInv::Write(i as i64)).unwrap();
+            o.commit_at(t.id(), i);
+        }
+        let guard = pins.pin(3);
+        for i in 4..=6u64 {
+            let t = h(i);
+            o.execute(&t, RegInv::Write(i as i64 * 10)).unwrap();
+            o.commit_at(t.id(), i);
+        }
+        assert_eq!(o.snapshot_read(3), Ok(3), "pinned watermark image is exact");
+        assert_eq!(o.committed_snapshot(), 60, "live frontier sees everything");
+        assert!(o.retained_committed() >= 3, "pinned commits stay unfolded");
+        drop(guard);
+        // Folding is lazy: the next completion at the object catches up.
+        let t = h(7);
+        o.execute(&t, RegInv::Write(70)).unwrap();
+        o.commit_at(t.id(), 7);
+        assert_eq!(o.retained_committed(), 1);
+        let err = o.snapshot_read(3).unwrap_err();
+        assert!(err.folded > 3, "staleness names the fold watermark: {err:?}");
+        assert_eq!(err.watermark, 3);
+    }
+
+    /// A restored checkpoint image is a fold of everything at or below
+    /// the restore timestamp: snapshot reads below it are refused.
+    #[test]
+    fn snapshot_read_refuses_watermarks_below_an_installed_version() {
+        let o = obj();
+        o.install_version(42, 10).unwrap();
+        assert_eq!(o.snapshot_read(9), Err(SnapshotStale { folded: 10, watermark: 9 }));
+        assert_eq!(o.snapshot_read(10), Ok(42));
     }
 
     #[test]

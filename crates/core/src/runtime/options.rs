@@ -133,6 +133,13 @@ pub struct RuntimeOptions {
     pub metrics: Arc<Registry>,
     /// The per-txn flight recorder (`HCC_TRACE=N`), when tracing is on.
     pub trace: Option<Arc<FlightRecorder>>,
+    /// The shared horizon-pin registry bounding what `forget` may fold:
+    /// while a snapshot read holds a pin at watermark `w`, no commit
+    /// with timestamp `> w` is folded into any object's base version.
+    /// Standalone objects default to a private (never-pinned) registry;
+    /// `TxnManager::object_options` shares the manager's so read-only
+    /// transactions pin every object at once.
+    pub horizon: Arc<super::HorizonPins>,
 }
 
 impl Default for RuntimeOptions {
@@ -144,6 +151,7 @@ impl Default for RuntimeOptions {
             redo: None,
             metrics: Arc::new(Registry::new()),
             trace: None,
+            horizon: Arc::new(super::HorizonPins::new()),
         }
     }
 }
@@ -184,6 +192,12 @@ impl RuntimeOptions {
     /// The same options tracing into `recorder`.
     pub fn with_trace(mut self, recorder: Option<Arc<FlightRecorder>>) -> RuntimeOptions {
         self.trace = recorder;
+        self
+    }
+
+    /// The same options sharing the horizon-pin registry `pins`.
+    pub fn with_horizon(mut self, pins: Arc<super::HorizonPins>) -> RuntimeOptions {
+        self.horizon = pins;
         self
     }
 }

@@ -303,6 +303,44 @@ impl<D: AdtDef> LockSpec<SpecAdt<D>> for SpecLock<D> {
         self.related(&qa, &qb) || self.related(&qb, &qa)
     }
 
+    /// Classify once at execution time: the runtime stores this token
+    /// beside the executed op, so the per-op `spec_op` mapping and class
+    /// lookup never re-run inside the conflict-test hot loop.
+    fn prepare(&self, op: &(D::Op, D::Res)) -> Option<super::ClassifiedOp> {
+        let q = self.def.spec_op(&op.0, &op.1);
+        let class = (self.classify)(&q);
+        Some(super::ClassifiedOp { op: q, class })
+    }
+
+    fn conflicts_prepared(
+        &self,
+        a: &(D::Op, D::Res),
+        ap: Option<&super::ClassifiedOp>,
+        b: &(D::Op, D::Res),
+        bp: Option<&super::ClassifiedOp>,
+    ) -> bool {
+        match (ap, bp) {
+            (Some(ta), Some(tb)) => {
+                // Memoized path: both spec mappings and classes are in
+                // hand; only the key-condition bucketing and the two
+                // symmetric atom lookups remain.
+                self.atoms.contains(&Atom {
+                    row: ta.class.clone(),
+                    col: tb.class.clone(),
+                    cond: pair_cond(&ta.op, &tb.op),
+                }) || self.atoms.contains(&Atom {
+                    row: tb.class.clone(),
+                    col: ta.class.clone(),
+                    cond: pair_cond(&tb.op, &ta.op),
+                })
+            }
+            // A token is missing (an op recorded before this scheme was
+            // swapped in, or a caller on the raw path): fall back to the
+            // unmemoized test.
+            _ => self.conflicts(a, b),
+        }
+    }
+
     fn name(&self) -> &'static str {
         self.name
     }
@@ -477,6 +515,40 @@ mod tests {
         assert!(adt.redo(&MaxOp::Peak, &MaxRes::Val(3)).is_none(), "reads are not logged");
         let bytes = adt.redo(&MaxOp::Raise(9), &MaxRes::Raised(true)).unwrap();
         assert_eq!(adt.decode_redo(&bytes).unwrap(), (MaxOp::Raise(9), MaxRes::Raised(true)));
+    }
+
+    /// The memoized conflict path (`prepare` tokens +
+    /// `conflicts_prepared`) must decide exactly as the unmemoized
+    /// `conflicts` on every op pair — including mixed calls where only
+    /// one side carries a token.
+    #[test]
+    fn prepared_conflicts_agree_with_unprepared() {
+        let lock = SpecLock::<MaxReg>::from_def();
+        let ops: Vec<(MaxOp, MaxRes)> = vec![
+            (MaxOp::Raise(5), MaxRes::Raised(true)),
+            (MaxOp::Raise(5), MaxRes::Raised(false)),
+            (MaxOp::Raise(7), MaxRes::Raised(true)),
+            (MaxOp::Peak, MaxRes::Val(5)),
+            (MaxOp::Peak, MaxRes::Val(7)),
+        ];
+        for a in &ops {
+            let ta = lock.prepare(a);
+            assert!(ta.is_some(), "SpecLock always classifies");
+            for b in &ops {
+                let tb = lock.prepare(b);
+                let plain = lock.conflicts(a, b);
+                assert_eq!(
+                    lock.conflicts_prepared(a, ta.as_ref(), b, tb.as_ref()),
+                    plain,
+                    "memoized path diverged on {a:?} vs {b:?}"
+                );
+                assert_eq!(
+                    lock.conflicts_prepared(a, None, b, tb.as_ref()),
+                    plain,
+                    "mixed-token fallback diverged on {a:?} vs {b:?}"
+                );
+            }
+        }
     }
 
     #[test]

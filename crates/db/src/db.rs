@@ -10,6 +10,7 @@
 
 use crate::error::HccError;
 use crate::handle::DbObject;
+use crate::read::ReadInstruments;
 use crate::tx::{RetryPolicy, Tx};
 use hcc_core::runtime::{Durability, RuntimeOptions};
 use hcc_obs::{Counter, Histogram};
@@ -159,6 +160,7 @@ impl DbBuilder {
 
         let transact_attempts = mgr.metrics().histogram("db.transact.attempts");
         let transact_backoff_nanos = mgr.metrics().counter("db.transact.backoff_nanos");
+        let read_instruments = ReadInstruments::resolve(mgr.metrics());
         Ok(Db {
             mgr,
             retry: self.retry,
@@ -175,6 +177,7 @@ impl DbBuilder {
             report,
             transact_attempts,
             transact_backoff_nanos,
+            read_instruments,
         })
     }
 
@@ -185,6 +188,7 @@ impl DbBuilder {
         let mgr = TxnManager::new();
         let transact_attempts = mgr.metrics().histogram("db.transact.attempts");
         let transact_backoff_nanos = mgr.metrics().counter("db.transact.backoff_nanos");
+        let read_instruments = ReadInstruments::resolve(mgr.metrics());
         Db {
             mgr,
             retry: self.retry,
@@ -201,6 +205,7 @@ impl DbBuilder {
             report: RecoveryReport::default(),
             transact_attempts,
             transact_backoff_nanos,
+            read_instruments,
         }
     }
 }
@@ -278,6 +283,10 @@ pub struct Db {
     transact_attempts: Arc<Histogram>,
     /// `db.transact.backoff_nanos` — total backoff slept between retries.
     transact_backoff_nanos: Arc<Counter>,
+    /// `txn.read_only.*` — the read-path counters and latency histogram
+    /// (resolved once; `begin_read` never touches the registry's name
+    /// map).
+    read_instruments: ReadInstruments,
 }
 
 impl Db {
@@ -541,6 +550,17 @@ impl Db {
     /// manager, and every object this database built.
     pub fn metrics(&self) -> &Arc<hcc_obs::Registry> {
         self.mgr.metrics()
+    }
+
+    /// The read-path instruments (`crate::read` is a sibling module).
+    pub(crate) fn read_instruments(&self) -> &ReadInstruments {
+        &self.read_instruments
+    }
+
+    /// The transient-failure retry policy (shared by `transact` and
+    /// `transact_read`).
+    pub(crate) fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 }
 

@@ -65,6 +65,25 @@ pub enum HccError {
         /// The closure's stated reason.
         reason: String,
     },
+    /// A snapshot read asked for a timestamp that compaction has already
+    /// folded past: the requested image no longer exists anywhere, at
+    /// this or any future attempt. Fatal — pick a newer timestamp.
+    SnapshotCompacted {
+        /// The watermark the reader asked for.
+        requested: u64,
+        /// The lowest timestamp still readable (the compaction floor).
+        floor: u64,
+    },
+    /// A snapshot read's timestamp is not readable *right now*: either
+    /// it lies above the stable watermark (commits at or below it are
+    /// still in flight), or a concurrent fold overtook the watermark
+    /// between choosing and pinning it. Transient — re-picking a fresh
+    /// watermark (which any racing fold is below) succeeds;
+    /// [`crate::Db::transact_read`] does so automatically.
+    SnapshotContended {
+        /// The timestamp that is not currently readable.
+        requested: u64,
+    },
     /// A `transact` closure kept failing transiently past the configured
     /// retry budget; `last` is the final attempt's error.
     RetriesExhausted {
@@ -102,6 +121,7 @@ impl HccError {
             self,
             HccError::Exec(ExecError::Doomed | ExecError::Timeout)
                 | HccError::Commit(CommitError::Doomed | CommitError::PrepareFailed { .. })
+                | HccError::SnapshotContended { .. }
         )
     }
 }
@@ -127,6 +147,20 @@ impl std::fmt::Display for HccError {
                      reopen the database to retry"
                 )
             }
+            HccError::SnapshotCompacted { requested, floor } => {
+                write!(
+                    f,
+                    "snapshot at timestamp {requested} is no longer readable: compaction \
+                     has folded history up to {floor}"
+                )
+            }
+            HccError::SnapshotContended { requested } => {
+                write!(
+                    f,
+                    "snapshot at timestamp {requested} is not readable right now \
+                     (in-flight commits or a concurrent fold); retry at a fresh watermark"
+                )
+            }
             HccError::Rollback { reason } => {
                 write!(f, "transaction rolled back by the application: {reason}")
             }
@@ -149,6 +183,8 @@ impl std::error::Error for HccError {
             HccError::TypeMismatch { .. }
             | HccError::DuplicateObject { .. }
             | HccError::PoisonedRecovery { .. }
+            | HccError::SnapshotCompacted { .. }
+            | HccError::SnapshotContended { .. }
             | HccError::Rollback { .. } => None,
         }
     }
@@ -215,6 +251,11 @@ mod tests {
             last: Box::new(HccError::from(CommitError::Doomed)),
         };
         assert!(!exhausted.is_transient(), "an exhausted budget is final");
+        assert!(HccError::SnapshotContended { requested: 7 }.is_transient());
+        assert!(
+            !HccError::SnapshotCompacted { requested: 3, floor: 9 }.is_transient(),
+            "a folded-away image never comes back"
+        );
     }
 
     #[test]
@@ -225,6 +266,12 @@ mod tests {
         assert!(msg.contains("deadlock"), "says why: {msg}");
         let e = HccError::from(ExecError::Timeout);
         assert!(format!("{e}").contains("timeout"), "{e}");
+        let e = HccError::SnapshotCompacted { requested: 3, floor: 9 };
+        let msg = format!("{e}");
+        assert!(!msg.contains("SnapshotCompacted"), "no bare Debug variant name: {msg}");
+        assert!(msg.contains("compaction"), "says why: {msg}");
+        let e = HccError::SnapshotContended { requested: 3 };
+        assert!(format!("{e}").contains("retry"), "{e}");
     }
 
     #[test]

@@ -28,11 +28,13 @@
 mod db;
 mod error;
 mod handle;
+pub mod read;
 mod tx;
 
 pub use db::{Db, DbBuilder};
 pub use error::HccError;
 pub use handle::DbObject;
+pub use read::{ReadObject, ReadTx};
 pub use tx::{RetryPolicy, Tx};
 
 #[cfg(test)]

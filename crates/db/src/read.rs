@@ -1,0 +1,278 @@
+//! Wait-free snapshot reads: read-only transactions with **zero lock
+//! acquisitions**.
+//!
+//! A [`ReadTx`] never touches the lock manager. [`crate::Db::begin_read`]
+//! picks the manager's *stable watermark* `W` — the highest commit
+//! timestamp below which every commit is fully applied at every object —
+//! and pins the fold horizon there ([`hcc_core::runtime::HorizonPins`]),
+//! all under one short mutex, with no I/O and no transactional lock.
+//! Every view the transaction then takes is
+//! `committed_snapshot_at(W)`: the object's base version plus its
+//! committed-but-unfolded intents up to `W`, cloned under the object's
+//! internal latch. Writers are never blocked, never conflicted with, and
+//! never observe the reader; the pin's only effect is to delay folding
+//! of commits *above* `W` until the reader drops.
+//!
+//! Consistency: because every commit `≤ W` is applied everywhere and
+//! every commit `> W` is excluded everywhere, the views across any set
+//! of objects form a **consistent prefix** of the commit order — the
+//! hybrid-atomicity oracle in `hcc-verify` accepts any read-only
+//! transaction serialized at `W` (see `crates/db/tests/read_path.rs`).
+//!
+//! The pin is RAII: dropping the [`ReadTx`] (including a panic unwind)
+//! unpins the horizon, so an abandoned reader can never wedge compaction
+//! or checkpointing. Long-running readers only delay folding; fuzzy
+//! checkpoints proceed at their own watermark regardless.
+
+use crate::db::Db;
+use crate::error::HccError;
+use crate::handle::DbObject;
+use hcc_adts::account::AccountObject;
+use hcc_adts::counter::CounterObject;
+use hcc_adts::define::SpecObject;
+use hcc_adts::directory::{DirectoryObject, Key, Val};
+use hcc_adts::fifo_queue::{Item, QueueObject};
+use hcc_adts::file::{Content, FileObject};
+use hcc_adts::semiqueue::{self, Multiset, SemiqueueObject};
+use hcc_adts::set::{Elem, SetObject};
+use hcc_core::runtime::{AdtDef, PinGuard, SnapshotStale};
+use hcc_obs::{Counter, Histogram};
+use hcc_spec::Rational;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A type readable through a [`ReadTx`]: it can produce a typed view of
+/// its committed state as of a watermark, without any lock acquisition.
+///
+/// Implemented by every ADT wrapper in `hcc-adts` (and by every
+/// declaratively defined [`SpecObject`]), so
+/// `rtx.view::<AccountObject>("checking")` is as type-safe as the write
+/// path — asking for a name under the wrong type is refused with
+/// [`HccError::TypeMismatch`], never answered with another type's bytes.
+pub trait ReadObject: DbObject {
+    /// The typed snapshot this object yields (balance, deque, map, …).
+    type View;
+
+    /// The view as of commit timestamp `watermark`. Errs when compaction
+    /// has already folded a later commit into the base version.
+    fn view_at(&self, watermark: u64) -> Result<Self::View, SnapshotStale>;
+}
+
+impl ReadObject for AccountObject {
+    type View = Rational;
+    fn view_at(&self, watermark: u64) -> Result<Rational, SnapshotStale> {
+        self.balance_at(watermark)
+    }
+}
+
+impl ReadObject for CounterObject {
+    type View = i64;
+    fn view_at(&self, watermark: u64) -> Result<i64, SnapshotStale> {
+        self.value_at(watermark)
+    }
+}
+
+impl<T: Item + 'static> ReadObject for QueueObject<T> {
+    type View = VecDeque<T>;
+    fn view_at(&self, watermark: u64) -> Result<VecDeque<T>, SnapshotStale> {
+        self.items_at(watermark)
+    }
+}
+
+impl<T: semiqueue::Item + 'static> ReadObject for SemiqueueObject<T> {
+    type View = Multiset<T>;
+    fn view_at(&self, watermark: u64) -> Result<Multiset<T>, SnapshotStale> {
+        self.items_at(watermark)
+    }
+}
+
+impl<T: Content + 'static> ReadObject for FileObject<T> {
+    type View = T;
+    fn view_at(&self, watermark: u64) -> Result<T, SnapshotStale> {
+        self.value_at(watermark)
+    }
+}
+
+impl<T: Elem + 'static> ReadObject for SetObject<T> {
+    type View = BTreeSet<T>;
+    fn view_at(&self, watermark: u64) -> Result<BTreeSet<T>, SnapshotStale> {
+        self.members_at(watermark)
+    }
+}
+
+impl<K: Key + 'static, V: Val + 'static> ReadObject for DirectoryObject<K, V> {
+    type View = BTreeMap<K, V>;
+    fn view_at(&self, watermark: u64) -> Result<BTreeMap<K, V>, SnapshotStale> {
+        self.entries_at(watermark)
+    }
+}
+
+impl<D: AdtDef> ReadObject for SpecObject<D> {
+    type View = D::State;
+    fn view_at(&self, watermark: u64) -> Result<D::State, SnapshotStale> {
+        self.state_at(watermark)
+    }
+}
+
+/// How this read transaction's watermark was chosen — governs what a
+/// stale view means.
+#[derive(Clone, Copy)]
+enum Anchor {
+    /// The manager's stable watermark at begin: a stale view can only be
+    /// a fold that raced the pin, and a fresh watermark fixes it
+    /// (transient).
+    Fresh,
+    /// A caller-chosen timestamp: a stale view means compaction already
+    /// folded past it — the image is gone for good (fatal).
+    At,
+}
+
+/// The per-`Db` read-path instruments, resolved once at construction.
+pub(crate) struct ReadInstruments {
+    begun: Arc<Counter>,
+    completed: Arc<Counter>,
+    duration_nanos: Arc<Histogram>,
+}
+
+impl ReadInstruments {
+    pub(crate) fn resolve(metrics: &hcc_obs::Registry) -> ReadInstruments {
+        ReadInstruments {
+            begun: metrics.counter("txn.read_only.begun"),
+            completed: metrics.counter("txn.read_only.completed"),
+            duration_nanos: metrics.histogram("txn.read_only.duration_nanos"),
+        }
+    }
+}
+
+/// One read-only transaction: a pinned watermark and typed, lock-free
+/// views of any object at it.
+///
+/// ```
+/// use hcc_db::Db;
+/// use hcc_adts::account::AccountObject;
+///
+/// let db = Db::in_memory();
+/// let acct = db.object::<AccountObject>("checking").unwrap();
+/// db.transact(|tx| acct.credit(tx, 100.into()).map_err(Into::into)).unwrap();
+/// let total = db
+///     .transact_read(|rtx| rtx.view::<AccountObject>("checking"))
+///     .unwrap();
+/// assert_eq!(total, 100.into());
+/// ```
+///
+/// Dropping the `ReadTx` — normally or during a panic unwind — releases
+/// its horizon pin and records the read-path metrics; there is no
+/// commit/abort step and nothing to leak.
+pub struct ReadTx<'db> {
+    db: &'db Db,
+    pin: PinGuard,
+    anchor: Anchor,
+    started: Instant,
+}
+
+impl<'db> ReadTx<'db> {
+    fn new(db: &'db Db, pin: PinGuard, anchor: Anchor) -> ReadTx<'db> {
+        db.read_instruments().begun.inc();
+        ReadTx { db, pin, anchor, started: Instant::now() }
+    }
+
+    /// The commit timestamp every view of this transaction reads at.
+    pub fn watermark(&self) -> u64 {
+        self.pin.watermark()
+    }
+
+    /// The typed view of the object named `name` at this transaction's
+    /// watermark. Opens (and recovers) the handle if this `Db` hasn't
+    /// yet; [`HccError::TypeMismatch`] if the name is already open as a
+    /// different type.
+    pub fn view<T: ReadObject>(&self, name: &str) -> Result<T::View, HccError> {
+        self.view_of(&*self.db.object::<T>(name)?)
+    }
+
+    /// [`ReadTx::view`] over a handle the caller already holds (skips
+    /// the name lookup).
+    pub fn view_of<T: ReadObject>(&self, obj: &T) -> Result<T::View, HccError> {
+        obj.view_at(self.pin.watermark()).map_err(|stale| match self.anchor {
+            Anchor::Fresh => HccError::SnapshotContended { requested: self.pin.watermark() },
+            Anchor::At => {
+                HccError::SnapshotCompacted { requested: self.pin.watermark(), floor: stale.folded }
+            }
+        })
+    }
+}
+
+impl std::fmt::Debug for ReadTx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadTx").field("watermark", &self.pin.watermark()).finish()
+    }
+}
+
+impl Drop for ReadTx<'_> {
+    fn drop(&mut self) {
+        let instruments = self.db.read_instruments();
+        instruments.completed.inc();
+        instruments.duration_nanos.observe_duration(self.started.elapsed());
+    }
+}
+
+impl Db {
+    /// Begin a read-only transaction at the current stable watermark:
+    /// zero lock acquisitions now and later, writers entirely
+    /// unaffected. See the module docs ([`crate::read`]) for the
+    /// consistency argument.
+    pub fn begin_read(&self) -> ReadTx<'_> {
+        ReadTx::new(self, self.manager().pin_read_watermark(), Anchor::Fresh)
+    }
+
+    /// Begin a read-only transaction at a caller-chosen commit timestamp
+    /// (time-travel reads). Refused with [`HccError::SnapshotCompacted`]
+    /// when `ts` lies below the restored checkpoint's watermark (that
+    /// history was folded into the checkpoint image), and with the
+    /// transient [`HccError::SnapshotContended`] when `ts` is above the
+    /// stable watermark (commits at or below it are still in flight —
+    /// retry once they land).
+    pub fn read_at(&self, ts: u64) -> Result<ReadTx<'_>, HccError> {
+        let floor = self.recovery_report().checkpoint_ts;
+        if ts < floor {
+            return Err(HccError::SnapshotCompacted { requested: ts, floor });
+        }
+        if ts > self.manager().stable_watermark() {
+            return Err(HccError::SnapshotContended { requested: ts });
+        }
+        Ok(ReadTx::new(self, self.manager().pin_read_at(ts), Anchor::At))
+    }
+
+    /// Run `f` as one read-only transaction at the stable watermark,
+    /// retrying transient refusals (a fold racing the pin) at a fresh
+    /// watermark under the database's [`crate::RetryPolicy`] — the
+    /// read-side mirror of [`Db::transact`], with no commit step and no
+    /// effect on writers.
+    pub fn transact_read<T>(
+        &self,
+        mut f: impl FnMut(&ReadTx) -> Result<T, HccError>,
+    ) -> Result<T, HccError> {
+        let retry = self.retry_policy();
+        let mut attempt: u32 = 0;
+        loop {
+            let err = {
+                let rtx = self.begin_read();
+                match f(&rtx) {
+                    Ok(v) => return Ok(v),
+                    Err(e) => e,
+                }
+            };
+            if !err.is_transient() {
+                return Err(err);
+            }
+            if attempt >= retry.max_retries {
+                return Err(HccError::RetriesExhausted {
+                    attempts: attempt + 1,
+                    last: Box::new(err),
+                });
+            }
+            std::thread::sleep(retry.backoff(attempt));
+            attempt += 1;
+        }
+    }
+}

@@ -12,7 +12,9 @@
 use crate::clock::LogicalClock;
 use crate::deadlock::DeadlockDetector;
 use crate::registry::{RecoveryError, RecoveryReport, Registry};
-use hcc_core::runtime::{RedoSink, RedoTicket, RuntimeOptions, TxnHandle, TxnPhase};
+use hcc_core::runtime::{
+    HorizonPins, PinGuard, RedoSink, RedoTicket, RuntimeOptions, TxnHandle, TxnPhase,
+};
 use hcc_obs::{Counter, FlightRecorder, Gauge, Histogram};
 use hcc_spec::{Timestamp, TxnId};
 use hcc_storage::{Checkpoint, DurableStore, Snapshot, StorageError, StorageOptions};
@@ -109,6 +111,34 @@ pub struct TxnManager {
     instruments: Instruments,
     /// The per-txn flight recorder (`HCC_TRACE=N`), when tracing is on.
     trace: Option<Arc<FlightRecorder>>,
+    /// Commit-timestamp bookkeeping for snapshot-read watermark
+    /// selection: which allocated timestamps are still between
+    /// allocation and phase-2 application. See
+    /// [`TxnManager::stable_watermark`].
+    read_marks: parking_lot::Mutex<ReadMarks>,
+    /// The shared horizon-pin registry every object built from
+    /// [`TxnManager::object_options`] consults before folding — the
+    /// mechanism that keeps a pinned watermark's snapshot exact across
+    /// all objects at once.
+    horizon: Arc<HorizonPins>,
+}
+
+/// Which commit timestamps have been allocated but not yet fully applied
+/// (phase-2 fan-out not finished). The *stable watermark* — the highest
+/// timestamp `W` such that every commit with `ts ≤ W` is fully applied
+/// at every object it touched — is `min(inflight) - 1` while anything is
+/// in flight, else the highest applied timestamp. Commits apply under a
+/// *shared* gate, so a later timestamp can finish applying before an
+/// earlier one; reading at the live frontier would see non-prefix
+/// states. Reading at `W` never does.
+#[derive(Default)]
+struct ReadMarks {
+    /// Timestamps allocated but not yet retired, ordered.
+    inflight: std::collections::BTreeSet<u64>,
+    /// Highest timestamp whose phase-2 fan-out completed (or, at build
+    /// time, the store's recovery watermark — everything durable is
+    /// "applied" once materialized).
+    max_applied: u64,
 }
 
 /// The manager's pre-resolved metric handles.
@@ -164,12 +194,14 @@ impl TxnManager {
     fn build(store: Option<Arc<DurableStore>>) -> Arc<TxnManager> {
         let clock = Arc::new(LogicalClock::new());
         let mut first_id = 1;
+        let mut recovered_ts = 0;
         if let Some(store) = &store {
             // Resume above everything already durable: commit timestamps
             // at or below the recovery watermark would be silently ignored
             // by a later recovery, and reused transaction ids would merge
             // with a dead transaction's records.
-            clock.witness(store.last_commit_ts());
+            recovered_ts = store.last_commit_ts();
+            clock.witness(recovered_ts);
             first_id = store.max_txn_seen() + 1;
         }
         // One registry per system: adopt the store's (where WAL and
@@ -181,6 +213,7 @@ impl TxnManager {
         let instruments = Instruments::resolve(&metrics);
         let detector = DeadlockDetector::new();
         detector.mirror_victims_into(metrics.counter("deadlock.victims"));
+        let horizon = Arc::new(HorizonPins::observed(metrics.gauge("horizon.pins")));
         Arc::new(TxnManager {
             clock,
             detector,
@@ -195,6 +228,14 @@ impl TxnManager {
             metrics,
             instruments,
             trace: FlightRecorder::from_env().map(Arc::new),
+            read_marks: parking_lot::Mutex::new(ReadMarks {
+                inflight: Default::default(),
+                // Everything durable is fully applied once recovery
+                // materializes it, so the recovered watermark is readable
+                // immediately.
+                max_applied: recovered_ts,
+            }),
+            horizon,
         })
     }
 
@@ -235,12 +276,69 @@ impl TxnManager {
         let opts = RuntimeOptions::with_observer(self.detector.clone())
             .with_durability(durability)
             .with_metrics(self.metrics.clone())
-            .with_trace(self.trace.clone());
+            .with_trace(self.trace.clone())
+            .with_horizon(self.horizon.clone());
         if self.store.is_some() {
             opts.with_redo(self.clone())
         } else {
             opts
         }
+    }
+
+    /// A commit timestamp is done with phase 2 (`applied`) or will never
+    /// reach it (`!applied`: the commit was refused and aborted with no
+    /// records at any object). Either way it stops holding the stable
+    /// watermark down.
+    fn retire_inflight(&self, ts: u64, applied: bool) {
+        let mut marks = self.read_marks.lock();
+        marks.inflight.remove(&ts);
+        if applied {
+            marks.max_applied = marks.max_applied.max(ts);
+        }
+    }
+
+    /// The current **stable watermark** `W`: every commit with timestamp
+    /// `≤ W` is fully applied at every object it touched, and every
+    /// commit still in flight (or future) has a timestamp `> W`. A read
+    /// of `committed_snapshot_at(W)` across any set of this manager's
+    /// objects therefore observes a *consistent prefix* of the commit
+    /// order — never a later transaction without an earlier one.
+    pub fn stable_watermark(&self) -> u64 {
+        let marks = self.read_marks.lock();
+        match marks.inflight.first() {
+            Some(&min) => min.saturating_sub(1),
+            None => marks.max_applied,
+        }
+    }
+
+    /// Pin the fold horizon at the current stable watermark and return
+    /// the guard plus the pinned watermark. Watermark selection and
+    /// pinning happen under one read-marks acquisition, so no commit can
+    /// be allocated-and-retired between choosing `W` and protecting it.
+    /// (A `forget` that *already* raced past — loaded the old floor just
+    /// before this pin landed — is caught at read time by the object's
+    /// folded-watermark check and surfaces as a transient refusal, not a
+    /// stale answer.)
+    pub fn pin_read_watermark(&self) -> PinGuard {
+        let marks = self.read_marks.lock();
+        let w = match marks.inflight.first() {
+            Some(&min) => min.saturating_sub(1),
+            None => marks.max_applied,
+        };
+        self.horizon.pin(w)
+    }
+
+    /// Pin the fold horizon at a caller-chosen timestamp (time-travel
+    /// reads). The caller is responsible for checking `ts` against the
+    /// stable watermark and the compaction floor; objects refuse folded
+    /// watermarks regardless.
+    pub fn pin_read_at(&self, ts: u64) -> PinGuard {
+        self.horizon.pin(ts)
+    }
+
+    /// The shared horizon-pin registry (diagnostics / tests).
+    pub fn horizon(&self) -> &Arc<HorizonPins> {
+        &self.horizon
     }
 
     /// Begin a new transaction.
@@ -295,8 +393,19 @@ impl TxnManager {
         // agreement.
         let gate = self.commit_gate.read();
         // Generate the commit timestamp above the transaction's bound (the
-        // max object clock it observed), guaranteeing precedes ⊆ TS.
-        let ts = self.clock.timestamp_after(txn.bound());
+        // max object clock it observed), guaranteeing precedes ⊆ TS. The
+        // allocation is published into the read-marks table *atomically*
+        // with drawing it from the clock: a snapshot reader computing the
+        // stable watermark under the same lock either sees this timestamp
+        // in flight, or runs before it exists (and every timestamp
+        // allocated later is strictly larger) — either way the reader's
+        // watermark excludes it.
+        let ts = {
+            let mut marks = self.read_marks.lock();
+            let ts = self.clock.timestamp_after(txn.bound());
+            marks.inflight.insert(ts);
+            ts
+        };
         if let Some(store) = &self.store {
             // Retry a Begin record that failed at `begin()`. Still
             // failing means the log is unwell — refuse the commit rather
@@ -308,6 +417,7 @@ impl TxnManager {
                     }
                     Err(e) => {
                         drop(gate);
+                        self.retire_inflight(ts, false);
                         self.do_abort(&txn);
                         self.fatal_commit_trace(txn.id(), &e.to_string());
                         return Err(CommitError::Storage(format!(
@@ -331,6 +441,7 @@ impl TxnManager {
                         // any stash, so nothing is kept for a retry that
                         // cannot happen.
                         drop(gate);
+                        self.retire_inflight(ts, false);
                         self.do_abort(&txn);
                         self.fatal_commit_trace(txn.id(), &e.to_string());
                         return Err(CommitError::Storage(format!(
@@ -353,6 +464,7 @@ impl TxnManager {
                          this transaction's outcome after a crash is indeterminate"
                     ),
                 };
+                self.retire_inflight(ts, false);
                 self.do_abort(&txn);
                 self.fatal_commit_trace(txn.id(), &err);
                 return Err(CommitError::Storage(err));
@@ -363,6 +475,9 @@ impl TxnManager {
         for p in &participants {
             p.commit_at(txn.id(), ts);
         }
+        // Fully applied at every participant: the timestamp becomes
+        // readable (it may raise the stable watermark).
+        self.retire_inflight(ts, true);
         drop(gate);
         self.detector.forget(txn.id());
         self.committed.fetch_add(1, Ordering::Relaxed);
@@ -727,5 +842,104 @@ mod tests {
         let total = a.committed_balance() + b.committed_balance();
         let committed_debits = mgr.committed_count() as i64 - 1; // minus funding txn
         assert_eq!(total, r(20 - 2 * committed_debits));
+    }
+
+    #[test]
+    fn stable_watermark_is_the_last_fully_applied_commit_when_idle() {
+        let mgr = TxnManager::new();
+        assert_eq!(mgr.stable_watermark(), 0, "nothing committed yet");
+        let a = Arc::new(AccountObject::with(
+            "a",
+            Arc::new(hcc_adts::account::AccountHybrid),
+            mgr.object_options(),
+        ));
+        let t = mgr.begin();
+        a.credit(&t, r(5)).unwrap();
+        let ts1 = mgr.commit(t).unwrap();
+        assert_eq!(mgr.stable_watermark(), ts1.0);
+        let t = mgr.begin();
+        a.credit(&t, r(5)).unwrap();
+        let ts2 = mgr.commit(t).unwrap();
+        assert_eq!(mgr.stable_watermark(), ts2.0);
+        // A refused commit retires its allocated timestamp too: the
+        // watermark keeps advancing instead of wedging below it.
+        let t = mgr.begin();
+        a.credit(&t, r(1)).unwrap();
+        mgr.abort(t);
+        assert_eq!(mgr.stable_watermark(), ts2.0);
+    }
+
+    #[test]
+    fn pinned_watermark_keeps_snapshots_exact_while_commits_flow() {
+        let mgr = TxnManager::new();
+        let a = Arc::new(AccountObject::with(
+            "a",
+            Arc::new(hcc_adts::account::AccountHybrid),
+            mgr.object_options(),
+        ));
+        let t = mgr.begin();
+        a.credit(&t, r(10)).unwrap();
+        mgr.commit(t).unwrap();
+        let pin = mgr.pin_read_watermark();
+        let w = pin.watermark();
+        // Writers keep committing past the pin — none of it may leak into
+        // (or fold away under) the pinned snapshot.
+        for _ in 0..3 {
+            let t = mgr.begin();
+            a.credit(&t, r(100)).unwrap();
+            mgr.commit(t).unwrap();
+        }
+        assert_eq!(a.inner().snapshot_read(w).unwrap(), r(10));
+        assert_eq!(a.committed_balance(), r(310));
+        drop(pin);
+        assert_eq!(mgr.horizon().active(), 0, "guard drop released the pin");
+    }
+
+    /// The ISSUE's checkpoint regression: a long-running reader holding a
+    /// horizon pin must not wedge a fuzzy checkpoint — the checkpoint
+    /// snapshots at its own watermark under each object's latch and never
+    /// waits for the reader's pin to clear.
+    #[test]
+    fn long_running_reader_does_not_wedge_checkpointing() {
+        let dir = {
+            static N: AtomicU64 = AtomicU64::new(0);
+            let mut p = std::env::temp_dir();
+            p.push(format!(
+                "hcc-mgr-reader-{}-{}",
+                std::process::id(),
+                N.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = std::fs::remove_dir_all(&p);
+            p
+        };
+        let mgr = TxnManager::with_storage(&dir, StorageOptions::default()).unwrap();
+        let a = Arc::new(AccountObject::with(
+            "a",
+            Arc::new(hcc_adts::account::AccountHybrid),
+            mgr.object_options(),
+        ));
+        let mut registry = Registry::new();
+        registry.register(a.clone());
+        mgr.recover(&registry).unwrap();
+
+        let t = mgr.begin();
+        a.credit(&t, r(7)).unwrap();
+        mgr.commit(t).unwrap();
+        // A reader pins the horizon far in the past and just... stays.
+        let pin = mgr.pin_read_watermark();
+        for _ in 0..2 {
+            let t = mgr.begin();
+            a.credit(&t, r(1)).unwrap();
+            mgr.commit(t).unwrap();
+        }
+        let ckpt = mgr
+            .checkpoint_registry(&registry)
+            .expect("checkpoint must complete while a reader pin is live")
+            .expect("store attached");
+        assert!(ckpt.last_ts > 0);
+        // The reader's snapshot is still exact after the checkpoint.
+        assert_eq!(a.inner().snapshot_read(pin.watermark()).unwrap(), r(7));
+        drop(pin);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -10,6 +10,9 @@
 //!     a real SIGABRT mid-stream, no cleanup, no Drop
 //! cargo run --release --example durable_bank -- recover <dir>
 //!     recover from checkpoint + WAL tail and print the rebuilt state
+//! cargo run --release --example durable_bank -- read <dir> <reads>
+//!     open the store and take <reads> wait-free snapshot reads, then
+//!     prove the whole phase moved no lock-manager counter
 //! ```
 //!
 //! Note what the workload below never does: log, register, or wire
@@ -102,14 +105,32 @@ fn recover(dir: &str) {
     println!("  session delta since open: {moved} non-zero metric(s)");
 }
 
+fn read(dir: &str, reads: u64) {
+    let db = Db::builder().env_overrides().open(dir).expect("open database");
+    let before = db.stats();
+    let mut balance = Rational::from_int(0);
+    for _ in 0..reads {
+        balance = db.transact_read(|rtx| rtx.view::<AccountObject>("acct")).expect("snapshot read");
+    }
+    let watermark = db.begin_read().watermark();
+    let delta = db.stats().delta(&before);
+    let locks = delta.sum_prefix("lock.grants")
+        + delta.sum_prefix("lock.refusals")
+        + delta.sum_prefix("lock.waits");
+    println!("read balance {balance:?} {reads} times at watermark {watermark}");
+    println!("  lock-manager counter delta across the read phase: {locks}");
+    assert_eq!(locks, 0, "read-only phase touched the lock manager");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
         Some("run") => run(&args[2], args[3].parse().unwrap(), None),
         Some("crash") => run(&args[2], args[3].parse().unwrap(), Some(args[4].parse().unwrap())),
         Some("recover") => recover(&args[2]),
+        Some("read") => read(&args[2], args[3].parse().unwrap()),
         _ => {
-            eprintln!("usage: durable_bank run <dir> <txns> | crash <dir> <txns> <abort_after> | recover <dir>");
+            eprintln!("usage: durable_bank run <dir> <txns> | crash <dir> <txns> <abort_after> | recover <dir> | read <dir> <reads>");
             std::process::exit(2);
         }
     }

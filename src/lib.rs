@@ -85,4 +85,4 @@ pub use hcc_txn as txn;
 pub use hcc_verify as verify;
 pub use hcc_workload as workload;
 
-pub use hcc_db::{Db, DbBuilder, DbObject, HccError, RetryPolicy, Tx};
+pub use hcc_db::{Db, DbBuilder, DbObject, HccError, ReadObject, ReadTx, RetryPolicy, Tx};
