@@ -16,7 +16,13 @@
 //!   `completed ≤ begun`; and in the *final* dump of the stream every
 //!   begun read has completed and the `horizon.pins` gauge is back to
 //!   zero — a process that exits with a pinned fold horizon leaked a
-//!   reader.
+//!   reader;
+//! - network invariants: any dump carrying `net.sessions.opened` must
+//!   also carry `net.sessions.closed`, with `closed ≤ opened` (a
+//!   session closes at most once); and in the *final* dump the
+//!   `net.queue.depth` gauge is back to zero — a server that exits
+//!   with queued work broke the drain's promise to answer everything
+//!   it admitted.
 //!
 //! Exits nonzero with a diagnostic on the first violation, so the
 //! recovery-matrix CI jobs fail if an instrumentation change breaks the
@@ -97,6 +103,16 @@ fn check_line(line: &str) -> bool {
             fail(&format!("txn.read_only.completed={completed} exceeds begun={begun}"));
         }
     }
+    if let Some(opened) = metrics.get("net.sessions.opened") {
+        let opened = as_u64(opened, "net.sessions.opened");
+        let closed = match metrics.get("net.sessions.closed") {
+            Some(c) => as_u64(c, "net.sessions.closed"),
+            None => fail("net.sessions.opened present without net.sessions.closed"),
+        };
+        if closed > opened {
+            fail(&format!("net.sessions.closed={closed} exceeds opened={opened}"));
+        }
+    }
     ["txn.begun", "txn.committed", "txn.aborted"].iter().all(|k| metrics.contains_key(*k))
 }
 
@@ -126,6 +142,22 @@ fn check_final(line: &str) {
     }
 }
 
+/// Dumps fire at `Db` drop, so any dump carrying `net.queue.depth` is a
+/// server's end-of-life state: a drained server must show an empty
+/// queue. Applied to the *last* network dump of the stream (a stream
+/// may interleave server and verifier processes).
+fn check_final_net(line: &str) {
+    let parsed: Value = serde_json::from_str(line).expect("already validated by check_line");
+    let metrics = parsed["hcc_metrics"].as_object().expect("already validated");
+    match metrics["net.queue.depth"].as_i64() {
+        Some(0) => {}
+        Some(n) => fail(&format!(
+            "final network dump: net.queue.depth={n}, the drain left admitted work unanswered"
+        )),
+        None => fail("net.queue.depth is not an integer"),
+    }
+}
+
 fn main() {
     let mut input = String::new();
     std::io::stdin().read_to_string(&mut input).unwrap_or_else(|e| {
@@ -134,6 +166,7 @@ fn main() {
     let mut lines = 0u64;
     let mut with_txn_core = 0u64;
     let mut last_dump = None;
+    let mut last_net_dump = None;
     for line in input.lines() {
         let line = line.trim();
         if !line.starts_with("{\"hcc_metrics\"") {
@@ -142,6 +175,9 @@ fn main() {
         lines += 1;
         if check_line(line) {
             with_txn_core += 1;
+        }
+        if line.contains("\"net.queue.depth\"") {
+            last_net_dump = Some(line);
         }
         last_dump = Some(line);
     }
@@ -153,6 +189,9 @@ fn main() {
     }
     if let Some(last) = last_dump {
         check_final(last);
+    }
+    if let Some(last) = last_net_dump {
+        check_final_net(last);
     }
     println!("obscheck: OK ({lines} dump(s), {with_txn_core} with core txn counters)");
 }

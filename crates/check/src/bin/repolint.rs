@@ -19,6 +19,12 @@
 //!    "zero lock acquisitions" guarantee is load-bearing API doc; this
 //!    ratchet keeps a future refactor from quietly routing reads back
 //!    through the lock manager.
+//! 4. **Socket discipline**: the standard library's raw TCP
+//!    stream/listener types appear only inside `crates/wire` — every
+//!    other crate speaks through the wire crate's framed connection
+//!    types, so CRC framing, payload bounds, and clean-vs-torn EOF
+//!    classification cannot be bypassed by a second ad-hoc socket
+//!    path.
 //!
 //! Exit status 1 on any finding, listing file and line.
 
@@ -53,6 +59,7 @@ fn main() {
 
     // Assembled so this linter's own source does not contain its needle.
     let log_op_call = [".log", "_op("].concat();
+    let raw_sockets = [["Tcp", "Stream"].concat(), ["Tcp", "Listener"].concat()];
 
     // The ratchet's standing exceptions: tests that hand-craft WAL
     // records on purpose, and the manual-discipline workload whose whole
@@ -77,6 +84,20 @@ fn main() {
                         "{rel_s}:{}: direct WAL append `{log_op_call}` outside crates/storage",
                         i + 1
                     ));
+                }
+            }
+        }
+
+        if !rel_s.starts_with("crates/wire/") {
+            for (i, line) in text.lines().enumerate() {
+                for needle in &raw_sockets {
+                    if line.contains(needle.as_str()) {
+                        findings.push(format!(
+                            "{rel_s}:{}: raw socket type `{needle}` outside crates/wire \
+                             (use the framed hcc-wire connection instead)",
+                            i + 1
+                        ));
+                    }
                 }
             }
         }

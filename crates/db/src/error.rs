@@ -92,6 +92,24 @@ pub enum HccError {
         /// The error the final attempt died with.
         last: Box<HccError>,
     },
+    /// Admission control shed the request: the session (or the server as
+    /// a whole) already had `cap` requests in flight, and bounded-queue
+    /// discipline refuses the excess instead of buffering it unboundedly.
+    /// Transient — the request was **not** executed; back off and retry.
+    Overloaded {
+        /// Requests in flight against the cap at refusal time.
+        in_flight: u32,
+        /// The cap that was hit.
+        cap: u32,
+    },
+    /// The wire protocol was violated: version/handshake refusal, a torn
+    /// or corrupt frame, an unexpected or malformed message, or a
+    /// connection lost with a request's outcome unknown. Fatal — the
+    /// session is closed; blind resubmission could double-apply effects.
+    Protocol(
+        /// What the peer (or the path to it) did wrong.
+        String,
+    ),
 }
 
 impl HccError {
@@ -107,10 +125,12 @@ impl HccError {
     ///
     /// Transient: a deadlock victim's doom ([`ExecError::Doomed`],
     /// [`CommitError::Doomed`]), a lock-wait timeout
-    /// ([`ExecError::Timeout`]), and a refused prepare vote
-    /// ([`CommitError::PrepareFailed`]). In every transient case the
-    /// transaction has already been aborted at all objects, so retrying
-    /// re-applies nothing.
+    /// ([`ExecError::Timeout`]), a refused prepare vote
+    /// ([`CommitError::PrepareFailed`]), and a request shed by admission
+    /// control ([`HccError::Overloaded`] — refused *before* execution).
+    /// In every transient case the transaction has already been aborted
+    /// at all objects (or never started), so retrying re-applies
+    /// nothing.
     ///
     /// Fatal (everything else): storage and recovery failures, replay
     /// divergence, dead handles, facade misuse. Retrying cannot help and
@@ -122,6 +142,7 @@ impl HccError {
             HccError::Exec(ExecError::Doomed | ExecError::Timeout)
                 | HccError::Commit(CommitError::Doomed | CommitError::PrepareFailed { .. })
                 | HccError::SnapshotContended { .. }
+                | HccError::Overloaded { .. }
         )
     }
 }
@@ -167,6 +188,16 @@ impl std::fmt::Display for HccError {
             HccError::RetriesExhausted { attempts, last } => {
                 write!(f, "transaction still failing transiently after {attempts} attempts: {last}")
             }
+            HccError::Overloaded { in_flight, cap } => {
+                write!(
+                    f,
+                    "request shed by admission control: {in_flight} requests in flight at \
+                     cap {cap}; back off and retry"
+                )
+            }
+            HccError::Protocol(what) => {
+                write!(f, "wire protocol violation: {what}")
+            }
         }
     }
 }
@@ -185,7 +216,9 @@ impl std::error::Error for HccError {
             | HccError::PoisonedRecovery { .. }
             | HccError::SnapshotCompacted { .. }
             | HccError::SnapshotContended { .. }
-            | HccError::Rollback { .. } => None,
+            | HccError::Rollback { .. }
+            | HccError::Overloaded { .. }
+            | HccError::Protocol(_) => None,
         }
     }
 }
@@ -256,6 +289,14 @@ mod tests {
             !HccError::SnapshotCompacted { requested: 3, floor: 9 }.is_transient(),
             "a folded-away image never comes back"
         );
+        assert!(
+            HccError::Overloaded { in_flight: 9, cap: 8 }.is_transient(),
+            "a shed request was never executed; backing off and retrying is safe"
+        );
+        assert!(
+            !HccError::Protocol("torn frame".into()).is_transient(),
+            "resubmitting over a violated protocol could double-apply"
+        );
     }
 
     #[test]
@@ -272,6 +313,12 @@ mod tests {
         assert!(msg.contains("compaction"), "says why: {msg}");
         let e = HccError::SnapshotContended { requested: 3 };
         assert!(format!("{e}").contains("retry"), "{e}");
+        let e = HccError::Overloaded { in_flight: 9, cap: 8 };
+        let msg = format!("{e}");
+        assert!(!msg.contains("Overloaded"), "no bare Debug variant name: {msg}");
+        assert!(msg.contains("shed") && msg.contains('9') && msg.contains('8'), "{msg}");
+        let e = HccError::Protocol("frame CRC mismatch".into());
+        assert!(format!("{e}").contains("protocol violation"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! # hcc-server — the TCP front door
+//!
+//! Serves a [`Db`] over the `hcc-wire` protocol: an accept loop hands
+//! each connection to a session reader thread, readers admit requests
+//! into one global [bounded queue](queue::BoundedQueue), and a fixed
+//! worker pool executes them against the facade and answers on the
+//! session's socket (responses echo the request id, so sessions may
+//! pipeline).
+//!
+//! ## Admission control
+//!
+//! Two caps, both refusing with a typed `Overloaded` fault instead of
+//! queueing unboundedly:
+//!
+//! * **per-session in-flight cap** (negotiated at handshake): requests
+//!   admitted but not yet answered. A client flooding past its cap is
+//!   shed at the reader, before the queue.
+//! * **global queue cap**: queued-but-unclaimed jobs across all
+//!   sessions. A full queue sheds at the door, keeping memory bounded no
+//!   matter how many sessions conspire.
+//!
+//! Every decision is observable: `net.requests.shed`, the
+//! `net.queue.depth` gauge, and per-kind request counters land in the
+//! same metrics registry the rest of the stack dumps via `HCC_METRICS`.
+//!
+//! ## Drain
+//!
+//! [`ServerHandle::drain`] stops accepting, refuses new work with
+//! `ShuttingDown`, executes every already-admitted job, answers it, and
+//! only then tears down sessions — so a client that got an ack got a
+//! real commit, and the queue-depth gauge reads zero in the final
+//! metrics dump.
+
+#![warn(missing_docs)]
+
+mod exec;
+mod queue;
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hcc_db::Db;
+use hcc_wire::conn::{self, Listener, SendHalf, WireError};
+use hcc_wire::msg::{Request, Response, WireFault, PROTOCOL_VERSION};
+use parking_lot::{Condvar, Mutex};
+use queue::BoundedQueue;
+
+/// Tunables for [`serve_with`]. `Default` is sized for tests and small
+/// deployments; production would raise the caps, not remove them.
+#[derive(Clone, Debug)]
+pub struct ServerOptions {
+    /// Worker threads executing requests against the `Db`.
+    pub workers: usize,
+    /// Global cap on queued-but-unclaimed jobs; excess is shed.
+    pub queue_cap: usize,
+    /// Ceiling on the per-session in-flight cap a handshake may
+    /// negotiate.
+    pub session_in_flight_cap: u32,
+    /// When set, handshakes must present exactly this token.
+    pub token: Option<String>,
+    /// How long a fresh connection may sit silent before its handshake
+    /// is abandoned.
+    pub handshake_timeout: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            workers: 4,
+            queue_cap: 64,
+            session_in_flight_cap: 16,
+            token: None,
+            handshake_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+struct NetMetrics {
+    sessions_opened: Arc<hcc_obs::Counter>,
+    sessions_closed: Arc<hcc_obs::Counter>,
+    sessions_refused: Arc<hcc_obs::Counter>,
+    req_open: Arc<hcc_obs::Counter>,
+    req_transact: Arc<hcc_obs::Counter>,
+    req_read: Arc<hcc_obs::Counter>,
+    bytes_in: Arc<hcc_obs::Counter>,
+    bytes_out: Arc<hcc_obs::Counter>,
+    shed: Arc<hcc_obs::Counter>,
+    frames_refused: Arc<hcc_obs::Counter>,
+    request_nanos: Arc<hcc_obs::Histogram>,
+}
+
+impl NetMetrics {
+    fn new(registry: &hcc_obs::Registry) -> NetMetrics {
+        NetMetrics {
+            sessions_opened: registry.counter("net.sessions.opened"),
+            sessions_closed: registry.counter("net.sessions.closed"),
+            sessions_refused: registry.counter("net.sessions.refused"),
+            req_open: registry.counter("net.requests.open"),
+            req_transact: registry.counter("net.requests.transact"),
+            req_read: registry.counter("net.requests.read"),
+            bytes_in: registry.counter("net.bytes.in"),
+            bytes_out: registry.counter("net.bytes.out"),
+            shed: registry.counter("net.requests.shed"),
+            frames_refused: registry.counter("net.frames.refused"),
+            request_nanos: registry.histogram("net.request.nanos"),
+        }
+    }
+}
+
+/// One admitted unit of work: a request plus the session to answer on.
+struct Job {
+    session: Arc<Session>,
+    seq: u64,
+    req: Request,
+}
+
+struct Session {
+    id: u64,
+    /// Workers and the reader both answer on this half; the lock keeps
+    /// concurrent responses from interleaving bytes.
+    tx: Mutex<SendHalf>,
+    /// Admitted-but-unanswered requests, counted against `cap`.
+    in_flight: AtomicU32,
+    cap: u32,
+}
+
+impl Session {
+    fn respond(&self, shared: &Shared, seq: u64, resp: &Response) {
+        if let Ok(n) = self.tx.lock().send(seq, resp) {
+            shared.metrics.bytes_out.add(n);
+        }
+        // A dead socket still completes the request: the decrement (and
+        // the outstanding count the drain waits on) must not depend on
+        // the client surviving to read the answer.
+    }
+
+    fn finish(&self, shared: &Shared) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _lock = shared.idle.0.lock();
+            shared.idle.1.notify_all();
+        }
+    }
+}
+
+struct Shared {
+    db: Arc<Db>,
+    opts: ServerOptions,
+    metrics: NetMetrics,
+    queue: BoundedQueue<Job>,
+    draining: AtomicBool,
+    /// Admitted-but-unanswered requests server-wide (queued + executing).
+    outstanding: AtomicU64,
+    idle: (Mutex<()>, Condvar),
+    sessions: Mutex<HashMap<u64, Arc<Session>>>,
+    next_session: AtomicU64,
+    /// Set when a session delivers an authorized `Shutdown` request.
+    shutdown_requested: (Mutex<bool>, Condvar),
+}
+
+/// A running server. Dropping the handle does **not** stop it; call
+/// [`ServerHandle::drain`] (graceful) or [`ServerHandle::kill`]
+/// (abrupt, for tests that model a crash without a process).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// Serve `db` on `addr` with default [`ServerOptions`]. Bind to port 0
+/// to let the OS choose; the real address is
+/// [`ServerHandle::local_addr`].
+pub fn serve(db: Arc<Db>, addr: &str) -> std::io::Result<ServerHandle> {
+    serve_with(db, addr, ServerOptions::default())
+}
+
+/// Serve `db` on `addr` with explicit options.
+pub fn serve_with(db: Arc<Db>, addr: &str, opts: ServerOptions) -> std::io::Result<ServerHandle> {
+    let listener = Listener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let metrics = NetMetrics::new(db.metrics());
+    let queue = BoundedQueue::new(opts.queue_cap, db.metrics().gauge("net.queue.depth"));
+    let shared = Arc::new(Shared {
+        db,
+        opts,
+        metrics,
+        queue,
+        draining: AtomicBool::new(false),
+        outstanding: AtomicU64::new(0),
+        idle: (Mutex::new(()), Condvar::new()),
+        sessions: Mutex::new(HashMap::new()),
+        next_session: AtomicU64::new(1),
+        shutdown_requested: (Mutex::new(false), Condvar::new()),
+    });
+
+    let workers = (0..shared.opts.workers.max(1))
+        .map(|_| {
+            let shared = shared.clone();
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+
+    let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept = {
+        let shared = shared.clone();
+        let readers = readers.clone();
+        std::thread::spawn(move || accept_loop(&listener, &shared, &readers))
+    };
+
+    Ok(ServerHandle { addr: local, shared, accept: Some(accept), workers, readers })
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until some authenticated session asks the server to shut
+    /// down via `Request::Shutdown` (the example binary's exit signal).
+    pub fn wait_for_shutdown_request(&self) {
+        let (lock, cv) = &self.shared.shutdown_requested;
+        let mut requested = lock.lock();
+        while !*requested {
+            cv.wait(&mut requested);
+        }
+    }
+
+    fn stop_accepting(&mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Wake the blocked accept with a throwaway connection.
+        let _ = conn::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            accept.join().ok();
+        }
+    }
+
+    fn teardown_sessions(&self) {
+        let sessions: Vec<Arc<Session>> = self.shared.sessions.lock().values().cloned().collect();
+        for s in sessions {
+            s.tx.lock().shutdown_both();
+        }
+        let readers = std::mem::take(&mut *self.readers.lock());
+        for r in readers {
+            r.join().ok();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, refuse new requests with
+    /// `ShuttingDown`, execute and answer every admitted job, then close
+    /// sessions. The queue-depth gauge is zero when this returns.
+    pub fn drain(mut self) {
+        self.stop_accepting();
+        // Admitted jobs keep their promise: wait until none are
+        // outstanding (readers now refuse admissions, so this count
+        // only falls).
+        {
+            let (lock, cv) = &self.shared.idle;
+            let mut guard = lock.lock();
+            while self.shared.outstanding.load(Ordering::Acquire) > 0 {
+                cv.wait_for(&mut guard, Duration::from_millis(50));
+            }
+        }
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            w.join().ok();
+        }
+        self.teardown_sessions();
+    }
+
+    /// Abrupt stop for tests: close every socket first (answers to
+    /// queued work are lost, as in a crash), then reap the threads.
+    /// Models a crash without killing the process; the process-level
+    /// SIGABRT path is exercised by `examples/server_client.rs`.
+    pub fn kill(mut self) {
+        self.stop_accepting();
+        self.teardown_sessions();
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            w.join().ok();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &Listener,
+    shared: &Arc<Shared>,
+    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.draining.load(Ordering::SeqCst) {
+        let Ok((conn, _peer)) = listener.accept() else { break };
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let shared = shared.clone();
+        let handle = std::thread::spawn(move || session_loop(conn, &shared));
+        readers.lock().push(handle);
+    }
+}
+
+/// Validate the handshake on a fresh connection; `Some` hands back the
+/// session and its receive half, `None` means the connection was
+/// refused (counted) and closed.
+fn handshake(
+    conn: hcc_wire::conn::Conn,
+    shared: &Arc<Shared>,
+) -> Option<(Arc<Session>, hcc_wire::conn::RecvHalf)> {
+    let (mut tx, mut rx) = conn.split().ok()?;
+    rx.set_read_timeout(Some(shared.opts.handshake_timeout)).ok()?;
+    let hello = match rx.recv::<Request>() {
+        Ok(Some((_seq, req, n))) => {
+            shared.metrics.bytes_in.add(n);
+            req
+        }
+        _ => {
+            shared.metrics.sessions_refused.inc();
+            return None;
+        }
+    };
+    let refusal = match &hello {
+        Request::Hello { version, .. } if *version != PROTOCOL_VERSION => {
+            Some(WireFault::VersionMismatch { server: PROTOCOL_VERSION, client: *version })
+        }
+        Request::Hello { token, .. } => match &shared.opts.token {
+            Some(expected) if token != expected => Some(WireFault::BadToken),
+            _ => None,
+        },
+        // Anything else before a handshake is a protocol violation.
+        _ => Some(WireFault::Fatal { detail: "first request must be the handshake".into() }),
+    };
+    if let Some(fault) = refusal {
+        shared.metrics.sessions_refused.inc();
+        if let Ok(n) = tx.send(0, &Response::Fault(fault)) {
+            shared.metrics.bytes_out.add(n);
+        }
+        return None;
+    }
+    let Request::Hello { max_in_flight, .. } = hello else { unreachable!() };
+    let cap = max_in_flight.clamp(1, shared.opts.session_in_flight_cap);
+    let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+    let welcome = Response::Welcome { version: PROTOCOL_VERSION, session: id, max_in_flight: cap };
+    match tx.send(0, &welcome) {
+        Ok(n) => shared.metrics.bytes_out.add(n),
+        Err(_) => return None,
+    }
+    rx.set_read_timeout(None).ok();
+    let session = Arc::new(Session { id, tx: Mutex::new(tx), in_flight: AtomicU32::new(0), cap });
+    shared.sessions.lock().insert(id, session.clone());
+    shared.metrics.sessions_opened.inc();
+    Some((session, rx))
+}
+
+fn session_loop(conn: hcc_wire::conn::Conn, shared: &Arc<Shared>) {
+    let Some((session, mut rx)) = handshake(conn, shared) else { return };
+    loop {
+        match rx.recv::<Request>() {
+            Ok(Some((seq, req, n))) => {
+                shared.metrics.bytes_in.add(n);
+                if !admit(&session, shared, seq, req) {
+                    break;
+                }
+            }
+            // Clean close on a frame boundary.
+            Ok(None) => break,
+            // A torn or corrupt frame never corrupts the session's
+            // state: whatever half-arrived is refused wholesale and the
+            // connection dies here. Admitted requests still complete
+            // (their effects are real commits); only their answers are
+            // lost with the socket.
+            Err(WireError::Frame(_)) => {
+                shared.metrics.frames_refused.inc();
+                break;
+            }
+            Err(WireError::Io(_)) => break,
+        }
+    }
+    shared.sessions.lock().remove(&session.id);
+    session.tx.lock().shutdown_both();
+    shared.metrics.sessions_closed.inc();
+}
+
+/// Route one decoded request: answer session-control inline, shed past
+/// the caps, enqueue the rest. `false` ends the session.
+fn admit(session: &Arc<Session>, shared: &Arc<Shared>, seq: u64, req: Request) -> bool {
+    match &req {
+        Request::Goodbye => {
+            session.respond(shared, seq, &Response::Bye);
+            return false;
+        }
+        Request::Shutdown => {
+            // The handshake already authenticated this session's token;
+            // any authenticated session may request the drain.
+            let (lock, cv) = &shared.shutdown_requested;
+            *lock.lock() = true;
+            cv.notify_all();
+            session.respond(shared, seq, &Response::Bye);
+            return true;
+        }
+        Request::Hello { .. } => {
+            session.respond(
+                shared,
+                seq,
+                &Response::Fault(WireFault::Fatal { detail: "handshake already completed".into() }),
+            );
+            return false;
+        }
+        Request::Open { .. } => shared.metrics.req_open.inc(),
+        Request::Transact { .. } => shared.metrics.req_transact.inc(),
+        Request::Read { .. } => shared.metrics.req_read.inc(),
+    }
+    if shared.draining.load(Ordering::SeqCst) {
+        session.respond(shared, seq, &Response::Fault(WireFault::ShuttingDown));
+        return true;
+    }
+    // Per-session cap: admitted-but-unanswered requests on this session.
+    let in_flight = session.in_flight.load(Ordering::Acquire);
+    if in_flight >= session.cap {
+        shared.metrics.shed.inc();
+        session.respond(
+            shared,
+            seq,
+            &Response::Fault(WireFault::Overloaded { in_flight, cap: session.cap }),
+        );
+        return true;
+    }
+    session.in_flight.fetch_add(1, Ordering::AcqRel);
+    shared.outstanding.fetch_add(1, Ordering::AcqRel);
+    match shared.queue.try_push(Job { session: session.clone(), seq, req }) {
+        Ok(()) => true,
+        Err((job, depth)) => {
+            // Global queue full (or closing): shed at the door.
+            shared.metrics.shed.inc();
+            let fault = if shared.draining.load(Ordering::SeqCst) {
+                WireFault::ShuttingDown
+            } else {
+                WireFault::Overloaded { in_flight: depth as u32, cap: shared.opts.queue_cap as u32 }
+            };
+            session.respond(shared, seq, &Response::Fault(fault));
+            job.session.finish(shared);
+            true
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let start = std::time::Instant::now();
+        let resp = exec::execute(&shared.db, &job.req);
+        shared.metrics.request_nanos.observe(start.elapsed().as_nanos() as u64);
+        job.session.respond(shared, job.seq, &resp);
+        job.session.finish(shared);
+    }
+}
+
+pub use exec::execute;

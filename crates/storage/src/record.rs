@@ -50,13 +50,15 @@
 //! The CRC covers the seq plus the payload; a frame whose length field,
 //! CRC, or tag is implausible is treated as a torn tail when it is the
 //! last thing in a stripe's last segment, and as corruption anywhere else.
+//!
+//! The frame envelope itself (CRC32, header layout, torn-tail detection)
+//! lives in `hcc-wire::frame`, shared with the network protocol; this
+//! module owns only the record payload encoding on top of it. The byte
+//! format is pinned by `tests/framing_golden.rs`.
 
-/// Upper bound on one record's payload (guards against reading a garbage
-/// length field as an allocation size).
-pub const MAX_PAYLOAD: u32 = 1 << 30;
+pub use hcc_wire::frame::{crc32, frame_crc, FrameError, HEADER_BYTES, MAX_PAYLOAD};
 
-/// Bytes of frame header before the payload: len + crc + seq.
-pub const HEADER_BYTES: usize = 16;
+use hcc_wire::frame::{encode_frame_into, frame_at};
 
 /// One durable log record. The `op` payload is opaque to the storage layer;
 /// callers serialize operations however they like (the workspace uses
@@ -125,43 +127,6 @@ impl LogRecord {
     }
 }
 
-// ---- CRC32 (IEEE 802.3, the zlib polynomial) ---------------------------
-
-fn crc32_table() -> &'static [u32; 256] {
-    use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        for (i, entry) in table.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
-            }
-            *entry = c;
-        }
-        table
-    })
-}
-
-fn crc32_update(mut c: u32, bytes: &[u8]) -> u32 {
-    let table = crc32_table();
-    for &b in bytes {
-        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c
-}
-
-/// IEEE CRC32 of `bytes`.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
-}
-
-/// IEEE CRC32 of `seq_le || payload` — what a frame's CRC field protects.
-fn frame_crc(seq: u64, payload: &[u8]) -> u32 {
-    let c = crc32_update(0xFFFF_FFFF, &seq.to_le_bytes());
-    crc32_update(c, payload) ^ 0xFFFF_FFFF
-}
-
 // ---- Encoding ----------------------------------------------------------
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -209,10 +174,7 @@ pub fn encode_into(rec: &LogRecord, seq: u64, out: &mut Vec<u8>) {
             put_bytes(&mut payload, name.as_bytes());
         }
     }
-    put_u32(out, payload.len() as u32);
-    put_u32(out, frame_crc(seq, &payload));
-    put_u64(out, seq);
-    out.extend_from_slice(&payload);
+    encode_frame_into(seq, &payload, out);
 }
 
 /// The framed encoding of `rec` with ticket `seq`.
@@ -223,20 +185,6 @@ pub fn encode(rec: &LogRecord, seq: u64) -> Vec<u8> {
 }
 
 // ---- Decoding ----------------------------------------------------------
-
-/// Why a frame could not be decoded at some offset.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum FrameError {
-    /// Fewer bytes remain than a header needs — clean EOF when 0 remain,
-    /// torn header otherwise.
-    Truncated,
-    /// The length field exceeds [`MAX_PAYLOAD`] (garbage header).
-    BadLength(u32),
-    /// The payload's CRC does not match the header.
-    BadCrc,
-    /// The payload's tag byte is unknown or its fields are malformed.
-    Malformed,
-}
 
 struct Cursor<'a> {
     bytes: &'a [u8],
@@ -295,32 +243,6 @@ fn decode_payload(payload: &[u8]) -> Option<LogRecord> {
         return None; // trailing junk inside the frame
     }
     Some(rec)
-}
-
-/// Extract one frame's CRC-verified `(seq, payload)` at `bytes[offset..]`,
-/// plus the offset just past the frame. Shared by the full and metadata
-/// decoders so they can never diverge on what counts as a valid frame
-/// envelope.
-fn frame_at(bytes: &[u8], offset: usize) -> Result<(u64, &[u8], usize), FrameError> {
-    let remaining = &bytes[offset.min(bytes.len())..];
-    if remaining.len() < HEADER_BYTES {
-        return Err(FrameError::Truncated);
-    }
-    let len = u32::from_le_bytes(remaining[0..4].try_into().unwrap());
-    if len > MAX_PAYLOAD {
-        return Err(FrameError::BadLength(len));
-    }
-    let crc = u32::from_le_bytes(remaining[4..8].try_into().unwrap());
-    let seq = u64::from_le_bytes(remaining[8..16].try_into().unwrap());
-    let end = HEADER_BYTES + len as usize;
-    if remaining.len() < end {
-        return Err(FrameError::Truncated);
-    }
-    let payload = &remaining[HEADER_BYTES..end];
-    if frame_crc(seq, payload) != crc {
-        return Err(FrameError::BadCrc);
-    }
-    Ok((seq, payload, offset + end))
 }
 
 /// Decode one frame at `bytes[offset..]`, returning its ticket, the

@@ -1,0 +1,73 @@
+//! Differential pin of the on-disk frame format.
+//!
+//! The `len|crc|seq|payload` envelope is shared between the WAL
+//! (`hcc-storage::record`) and the network protocol (`hcc-wire`): one
+//! framing implementation, two consumers. This test pins the WAL's byte
+//! output to a golden image captured **before** the framing was
+//! extracted into `hcc-wire`, so the extraction (and any future change
+//! to the shared encoder) cannot silently re-format logs that existing
+//! stores must keep replaying.
+
+use hcc_storage::record::{decode_all, encode, encode_into, LogRecord};
+
+fn sample() -> Vec<LogRecord> {
+    vec![
+        LogRecord::Register { id: 1, name: "acct".into() },
+        LogRecord::Begin { txn: 1 },
+        LogRecord::Op { txn: 1, obj: 1, op: br#"{"credit":5}"#.to_vec() },
+        LogRecord::Commit { txn: 1, ts: 42, ops: 1, prev: 0 },
+        LogRecord::Abort { txn: 2 },
+    ]
+}
+
+/// The exact bytes the pre-extraction encoder produced for `sample()`
+/// with tickets 1..=5 (captured from the seed implementation).
+const GOLDEN_HEX: &str = "1100000038857b4201000000000000000501000000000000000400\
+                          00006163637409000000a77502c6020000000000000001010000000\
+                          00000002100000017f4483303000000000000000201000000000000\
+                          0001000000000000000c0000007b22637265646974223a357d1d000\
+                          000f003733804000000000000000301000000000000002a00000000\
+                          00000001000000000000000000000009000000404b8822050000000\
+                          0000000040200000000000000";
+
+fn golden() -> Vec<u8> {
+    let hex: String = GOLDEN_HEX.chars().filter(|c| !c.is_whitespace()).collect();
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).expect("valid hex"))
+        .collect()
+}
+
+#[test]
+fn wal_encoding_is_byte_identical_to_the_golden_image() {
+    let mut buf = Vec::new();
+    for (i, rec) in sample().iter().enumerate() {
+        encode_into(rec, i as u64 + 1, &mut buf);
+    }
+    assert_eq!(
+        buf,
+        golden(),
+        "the WAL frame encoding changed — existing logs would no longer replay \
+         byte-for-byte (shared framing lives in hcc-wire::frame)"
+    );
+}
+
+#[test]
+fn golden_image_decodes_to_the_sample_records() {
+    let (recs, err) = decode_all(&golden());
+    assert_eq!(err, None);
+    let seqs: Vec<u64> = recs.iter().map(|(s, _)| *s).collect();
+    assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
+    let records: Vec<LogRecord> = recs.into_iter().map(|(_, r)| r).collect();
+    assert_eq!(records, sample());
+}
+
+/// `encode` and `encode_into` stay the same encoder.
+#[test]
+fn encode_matches_encode_into() {
+    for (i, rec) in sample().iter().enumerate() {
+        let mut via_into = Vec::new();
+        encode_into(rec, i as u64 + 9, &mut via_into);
+        assert_eq!(encode(rec, i as u64 + 9), via_into);
+    }
+}

@@ -1,0 +1,376 @@
+//! Framed TCP connections: the only place in the workspace that touches
+//! raw sockets.
+//!
+//! A [`Conn`] wraps a `TcpStream` and splits into a [`SendHalf`] and a
+//! [`RecvHalf`] (independent OS handles onto the same socket), so a
+//! client may pipeline requests from one thread while another drains
+//! responses, and a server session may be torn down from outside its
+//! blocked reader via [`RecvHalf::shutdown`].
+//!
+//! Every message travels inside the shared [`crate::frame`] envelope
+//! with the **request id** in the `seq` field. The receive path enforces
+//! [`crate::MAX_WIRE_PAYLOAD`] *before* allocating — a garbage or
+//! hostile length field is refused as [`FrameError::BadLength`], never
+//! trusted as an allocation size. A connection that delivers a torn or
+//! corrupt frame is not resynchronized by guesswork: the error is
+//! surfaced and the session closes.
+//!
+//! [`SendHalf::send_raw`] exists for fault-injection tests (half-written
+//! frames, flipped CRC bits) and deliberately bypasses the encoder.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::frame::{self, FrameError, HEADER_BYTES};
+use crate::msg::WireMsg;
+use crate::MAX_WIRE_PAYLOAD;
+
+/// Why a framed receive or send failed.
+#[derive(Debug)]
+pub enum WireError {
+    /// The socket failed (includes read timeouts as `WouldBlock`/
+    /// `TimedOut`, and EOF that tore a frame mid-header or mid-payload
+    /// does **not** land here — that is `Frame(Truncated)`).
+    Io(std::io::Error),
+    /// The peer sent bytes that do not decode: torn frame at disconnect
+    /// (`Truncated`), length beyond the negotiated bound (`BadLength`),
+    /// corruption (`BadCrc`), or an unknown/ill-formed message
+    /// (`Malformed`).
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Frame(e) => write!(f, "wire frame refused: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            WireError::Frame(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+impl From<FrameError> for WireError {
+    fn from(e: FrameError) -> WireError {
+        WireError::Frame(e)
+    }
+}
+
+/// A listening socket handing out framed connections.
+pub struct Listener {
+    inner: TcpListener,
+}
+
+impl Listener {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` to let the OS pick a port).
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> std::io::Result<Listener> {
+        Ok(Listener { inner: TcpListener::bind(addr)? })
+    }
+
+    /// The bound address (the source of truth when bound to port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Block for the next connection.
+    pub fn accept(&self) -> std::io::Result<(Conn, SocketAddr)> {
+        let (stream, peer) = self.inner.accept()?;
+        stream.set_nodelay(true).ok();
+        Ok((Conn { stream }, peer))
+    }
+}
+
+/// Connect to `addr` and return a framed connection.
+pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Conn> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    Ok(Conn { stream })
+}
+
+/// One framed, bidirectional connection.
+pub struct Conn {
+    stream: TcpStream,
+}
+
+impl Conn {
+    /// Split into independently-owned send and receive halves (two OS
+    /// handles onto the same socket).
+    pub fn split(self) -> std::io::Result<(SendHalf, RecvHalf)> {
+        let write = self.stream.try_clone()?;
+        Ok((
+            SendHalf { stream: write, buf: Vec::with_capacity(256) },
+            RecvHalf { stream: self.stream },
+        ))
+    }
+
+    /// The remote endpoint.
+    pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+        self.stream.peer_addr()
+    }
+}
+
+/// The writing half of a [`Conn`].
+pub struct SendHalf {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl SendHalf {
+    /// Frame and send `msg` stamped with request id `seq`; returns the
+    /// bytes put on the wire.
+    pub fn send<M: WireMsg>(&mut self, seq: u64, msg: &M) -> std::io::Result<u64> {
+        self.buf.clear();
+        let mut payload = Vec::with_capacity(64);
+        msg.encode_payload(&mut payload);
+        frame::encode_frame_into(seq, &payload, &mut self.buf);
+        self.stream.write_all(&self.buf)?;
+        Ok(self.buf.len() as u64)
+    }
+
+    /// Send raw bytes with no framing — fault injection only (torn
+    /// frames, flipped CRC bits, oversized length fields).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Shut down the write direction (peer's recv sees clean EOF once
+    /// buffered bytes drain).
+    pub fn shutdown_write(&self) {
+        self.stream.shutdown(Shutdown::Write).ok();
+    }
+
+    /// Tear down the whole socket (both directions) — unblocks a peer
+    /// or sibling half blocked in recv.
+    pub fn shutdown_both(&self) {
+        self.stream.shutdown(Shutdown::Both).ok();
+    }
+}
+
+/// The reading half of a [`Conn`].
+pub struct RecvHalf {
+    stream: TcpStream,
+}
+
+enum Filled {
+    Full,
+    CleanEof,
+    TornEof,
+}
+
+fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<Filled> {
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Ok(if got == 0 { Filled::CleanEof } else { Filled::TornEof });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Filled::Full)
+}
+
+impl RecvHalf {
+    /// Block for the next frame. `Ok(None)` is a clean close on a frame
+    /// boundary; EOF anywhere inside a frame is
+    /// `Err(Frame(Truncated))` — a torn disconnect, refused rather than
+    /// partially believed. Returns `(request id, message, wire bytes)`.
+    pub fn recv<M: WireMsg>(&mut self) -> Result<Option<(u64, M, u64)>, WireError> {
+        let mut hdr = [0u8; HEADER_BYTES];
+        match read_full(&mut self.stream, &mut hdr)? {
+            Filled::CleanEof => return Ok(None),
+            Filled::TornEof => return Err(FrameError::Truncated.into()),
+            Filled::Full => {}
+        }
+        let len = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+        if len > MAX_WIRE_PAYLOAD {
+            return Err(FrameError::BadLength(len).into());
+        }
+        let mut whole = vec![0u8; HEADER_BYTES + len as usize];
+        whole[..HEADER_BYTES].copy_from_slice(&hdr);
+        match read_full(&mut self.stream, &mut whole[HEADER_BYTES..])? {
+            Filled::Full => {}
+            Filled::CleanEof | Filled::TornEof => return Err(FrameError::Truncated.into()),
+        }
+        let (seq, payload, _) = frame::frame_at_bounded(&whole, 0, MAX_WIRE_PAYLOAD)?;
+        match M::decode_payload(payload) {
+            Some(msg) => Ok(Some((seq, msg, whole.len() as u64))),
+            None => Err(FrameError::Malformed.into()),
+        }
+    }
+
+    /// Bound how long one `recv` may block (`None` = forever). Timeouts
+    /// surface as `WireError::Io` with kind `WouldBlock`/`TimedOut`.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Tear down the whole socket — unblocks this half if parked in
+    /// `recv` from another thread holding the send half.
+    pub fn shutdown_both(&self) {
+        self.stream.shutdown(Shutdown::Both).ok();
+    }
+}
+
+impl WireError {
+    /// Was this a read timeout (socket alive, nothing arrived in time)?
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::frame_crc;
+    use crate::msg::{Request, Response, WireFault, WireOp};
+
+    fn pair() -> (Conn, Conn) {
+        let listener = Listener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn pipelined_requests_roundtrip_with_ids() {
+        let (client, server) = pair();
+        let (mut ctx, mut crx) = client.split().unwrap();
+        let (mut stx, mut srx) = server.split().unwrap();
+
+        let reqs = [
+            Request::Transact { ops: vec![WireOp::Credit { name: "a".into(), amount: 1 }] },
+            Request::Read { at: None, queries: vec![] },
+            Request::Goodbye,
+        ];
+        for (i, r) in reqs.iter().enumerate() {
+            let n = ctx.send(i as u64 + 1, r).unwrap();
+            assert!(n > HEADER_BYTES as u64);
+        }
+        for (i, r) in reqs.iter().enumerate() {
+            let (seq, got, _) = srx.recv::<Request>().unwrap().unwrap();
+            assert_eq!(seq, i as u64 + 1);
+            assert_eq!(&got, r);
+        }
+        // Responses echo request ids, possibly out of order.
+        stx.send(2, &Response::Fault(WireFault::ShuttingDown)).unwrap();
+        stx.send(1, &Response::Bye).unwrap();
+        let (seq, _, _) = crx.recv::<Response>().unwrap().unwrap();
+        assert_eq!(seq, 2);
+        let (seq, _, _) = crx.recv::<Response>().unwrap().unwrap();
+        assert_eq!(seq, 1);
+    }
+
+    #[test]
+    fn clean_close_on_frame_boundary_is_none() {
+        let (client, server) = pair();
+        let (mut ctx, _crx) = client.split().unwrap();
+        let (_stx, mut srx) = server.split().unwrap();
+        ctx.send(1, &Request::Goodbye).unwrap();
+        ctx.shutdown_write();
+        let (seq, _, _) = srx.recv::<Request>().unwrap().unwrap();
+        assert_eq!(seq, 1);
+        assert!(srx.recv::<Request>().unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn half_written_frame_at_disconnect_is_truncated() {
+        let (client, server) = pair();
+        let (mut ctx, _crx) = client.split().unwrap();
+        let (_stx, mut srx) = server.split().unwrap();
+        let mut framed = Vec::new();
+        let mut payload = Vec::new();
+        Request::Goodbye.encode_payload(&mut payload);
+        frame::encode_frame_into(9, &payload, &mut framed);
+        ctx.send_raw(&framed[..framed.len() - 1]).unwrap();
+        ctx.shutdown_write();
+        match srx.recv::<Request>() {
+            Err(WireError::Frame(FrameError::Truncated)) => {}
+            other => panic!("expected torn-frame refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_crc_bit_is_refused_not_decoded() {
+        let (client, server) = pair();
+        let (mut ctx, _crx) = client.split().unwrap();
+        let (_stx, mut srx) = server.split().unwrap();
+        let mut framed = Vec::new();
+        let mut payload = Vec::new();
+        Request::Shutdown.encode_payload(&mut payload);
+        frame::encode_frame_into(3, &payload, &mut framed);
+        let last = framed.len() - 1;
+        framed[last] ^= 0x01;
+        ctx.send_raw(&framed).unwrap();
+        match srx.recv::<Request>() {
+            Err(WireError::Frame(FrameError::BadCrc)) => {}
+            other => panic!("expected CRC refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_field_is_refused_before_allocation() {
+        let (client, server) = pair();
+        let (mut ctx, _crx) = client.split().unwrap();
+        let (_stx, mut srx) = server.split().unwrap();
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        hostile.extend_from_slice(&[0u8; 12]);
+        ctx.send_raw(&hostile).unwrap();
+        match srx.recv::<Request>() {
+            Err(WireError::Frame(FrameError::BadLength(len))) => assert_eq!(len, u32::MAX),
+            other => panic!("expected length refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn well_framed_garbage_payload_is_malformed() {
+        let (client, server) = pair();
+        let (mut ctx, _crx) = client.split().unwrap();
+        let (_stx, mut srx) = server.split().unwrap();
+        let payload = [99u8, 1, 2, 3];
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&frame_crc(5, &payload).to_le_bytes());
+        framed.extend_from_slice(&5u64.to_le_bytes());
+        framed.extend_from_slice(&payload);
+        ctx.send_raw(&framed).unwrap();
+        match srx.recv::<Request>() {
+            Err(WireError::Frame(FrameError::Malformed)) => {}
+            other => panic!("expected malformed refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_timeout_is_transient_io() {
+        let (client, server) = pair();
+        let (_ctx, _crx) = client.split().unwrap();
+        let (_stx, mut srx) = server.split().unwrap();
+        srx.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
+        let err = srx.recv::<Request>().unwrap_err();
+        assert!(err.is_timeout(), "{err:?}");
+    }
+}

@@ -1,0 +1,29 @@
+//! # hcc-wire — shared framing and the network protocol
+//!
+//! One `len|crc|seq|payload` frame implementation ([`frame`]) with two
+//! consumers: the WAL in `hcc-storage` (where `seq` is the global append
+//! ticket) and the TCP protocol here (where `seq` is the request id
+//! responses echo). Extracting the envelope means a corruption bug fixed
+//! once is fixed for both, and the byte format is pinned by a golden
+//! differential test on the storage side.
+//!
+//! On top of the envelope: typed request/response codecs ([`msg`]) for
+//! the operations the `Db` facade exposes, and framed TCP connections
+//! ([`conn`]) — the only module in the workspace allowed to touch raw
+//! sockets (enforced by `repolint`).
+//!
+//! See `docs/NETWORK.md` for the protocol walk-through: handshake,
+//! admission control, overload semantics, and the `net.*` metrics that
+//! make shedding observable.
+
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod frame;
+pub mod msg;
+
+/// Upper bound on one network frame's payload — far below the WAL's
+/// [`frame::MAX_PAYLOAD`]: no single request/response legitimately
+/// approaches 1 MiB, and the receive path refuses larger length fields
+/// *before* allocating.
+pub const MAX_WIRE_PAYLOAD: u32 = 1 << 20;

@@ -1,0 +1,780 @@
+//! Request/response codecs for the network protocol.
+//!
+//! Messages are encoded the same way WAL record payloads are — a tag
+//! byte followed by little-endian fields and length-prefixed byte
+//! strings — and travel inside the shared frame envelope
+//! ([`crate::frame`]), whose `seq` field carries the **request id**:
+//! responses echo the id of the request they answer, so a session may
+//! pipeline requests and match responses out of order.
+//!
+//! The decoders accept exactly what the encoders produce: unknown tags,
+//! short fields, bad UTF-8, and trailing bytes inside a frame are all
+//! `None` (surfaced as [`crate::frame::FrameError::Malformed`] by the
+//! connection layer). A malformed message is a protocol violation, not a
+//! recoverable hiccup — the session closes.
+
+/// The protocol version [`Request::Hello`] negotiates. Bumped on any
+/// incompatible codec change; a server refuses other versions with
+/// [`WireFault::VersionMismatch`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// The typed objects the protocol can open and operate on, mirroring the
+/// `Db` facade's typed handles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TypeTag {
+    /// `AccountObject` (balance, credit/debit/post).
+    Account,
+    /// `CounterObject` (inc/dec/read).
+    Counter,
+    /// `QueueObject<i64>` (enq/deq).
+    QueueI64,
+}
+
+impl TypeTag {
+    fn to_byte(self) -> u8 {
+        match self {
+            TypeTag::Account => 1,
+            TypeTag::Counter => 2,
+            TypeTag::QueueI64 => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<TypeTag> {
+        match b {
+            1 => Some(TypeTag::Account),
+            2 => Some(TypeTag::Counter),
+            3 => Some(TypeTag::QueueI64),
+            _ => None,
+        }
+    }
+}
+
+/// One typed operation inside a [`Request::Transact`] batch. Amounts are
+/// integers on the wire; the server lifts them into `Rational`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireOp {
+    /// `credit(amount)` on the account named `name`.
+    Credit {
+        /// Account name.
+        name: String,
+        /// Amount (integer money).
+        amount: i64,
+    },
+    /// `debit(amount)` on the account named `name` (may be refused as an
+    /// overdraft — the refusal is a response, not an error).
+    Debit {
+        /// Account name.
+        name: String,
+        /// Amount (integer money).
+        amount: i64,
+    },
+    /// `inc(delta)` on the counter named `name` (negative = dec).
+    Inc {
+        /// Counter name.
+        name: String,
+        /// Signed increment.
+        delta: i64,
+    },
+    /// `enq(item)` on the queue named `name`.
+    Enq {
+        /// Queue name.
+        name: String,
+        /// The item.
+        item: i64,
+    },
+    /// `deq()` on the queue named `name`.
+    Deq {
+        /// Queue name.
+        name: String,
+    },
+}
+
+/// The pinned response of one executed [`WireOp`], in batch order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpResult {
+    /// The operation returns nothing (credit, inc, enq).
+    Unit,
+    /// A debit's outcome: `true` = debited, `false` = overdraft refusal.
+    Debited(bool),
+    /// An integer response (a dequeued item).
+    Int(i64),
+}
+
+/// One typed read view inside a [`Response::Views`] answer, in query
+/// order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum View {
+    /// An account balance as an exact rational `num/den`.
+    Balance {
+        /// Numerator.
+        num: i64,
+        /// Denominator (> 0).
+        den: i64,
+    },
+    /// A counter value.
+    Count(i64),
+    /// A queue's items, front first.
+    Items(Vec<i64>),
+}
+
+/// Typed refusals a server sends instead of an answer. The client maps
+/// these onto the `HccError` taxonomy (`Overloaded` is transient and
+/// retried with backoff; protocol violations are fatal).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireFault {
+    /// The server refused the handshake: incompatible protocol version.
+    VersionMismatch {
+        /// The version the server speaks.
+        server: u32,
+        /// The version the client offered.
+        client: u32,
+    },
+    /// The server refused the handshake: bad auth token.
+    BadToken,
+    /// Admission control shed this request: the session (or the server)
+    /// is at its in-flight cap. Transient — back off and retry.
+    Overloaded {
+        /// In-flight requests counted against the cap at refusal time.
+        in_flight: u32,
+        /// The cap that was hit.
+        cap: u32,
+    },
+    /// The named object is already open as a different type.
+    TypeMismatch {
+        /// The contested object name.
+        object: String,
+    },
+    /// A `read at` timestamp was already folded away by compaction.
+    SnapshotCompacted {
+        /// The requested timestamp.
+        requested: u64,
+        /// The lowest still-readable timestamp.
+        floor: u64,
+    },
+    /// A `read at` timestamp is not readable right now (still in
+    /// flight). Transient.
+    SnapshotContended {
+        /// The requested timestamp.
+        requested: u64,
+    },
+    /// The server is draining: no new work is admitted. Reconnect after
+    /// the restart (the request was **not** executed).
+    ShuttingDown,
+    /// The request failed transiently server-side (e.g. its retry budget
+    /// exhausted on deadlock dooms); the transaction was aborted and may
+    /// be resubmitted.
+    Transient {
+        /// The server-side error's display.
+        detail: String,
+    },
+    /// The request failed fatally server-side; resubmitting cannot help.
+    Fatal {
+        /// The server-side error's display.
+        detail: String,
+    },
+}
+
+/// Client → server messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// The session handshake — must be the first request on a
+    /// connection. The server answers [`Response::Welcome`] or a
+    /// handshake [`WireFault`] and closes.
+    Hello {
+        /// The protocol version the client speaks.
+        version: u32,
+        /// Auth token (stub: compared verbatim against the server's
+        /// configured token, if any).
+        token: String,
+        /// The in-flight cap the client asks for; the server answers
+        /// with the negotiated (possibly lower) cap.
+        max_in_flight: u32,
+    },
+    /// Open (and recover) the typed object `name` — the wire mirror of
+    /// `db.object::<T>(name)`.
+    Open {
+        /// The object's type.
+        tag: TypeTag,
+        /// The object's name.
+        name: String,
+    },
+    /// Execute `ops` as one transaction; commit and answer
+    /// [`Response::Committed`] with each op's pinned response.
+    Transact {
+        /// The batch, executed in order.
+        ops: Vec<WireOp>,
+    },
+    /// Snapshot-read the queried objects off the wait-free read path —
+    /// at the stable watermark (`at: None`) or a caller-chosen
+    /// timestamp (`at: Some(ts)`, time travel).
+    Read {
+        /// `None` = the server's stable watermark; `Some(ts)` = read at
+        /// `ts` exactly.
+        at: Option<u64>,
+        /// The objects to view.
+        queries: Vec<(TypeTag, String)>,
+    },
+    /// Ask the server to drain and exit (token-authorized at handshake;
+    /// the admin stub this protocol version ships).
+    Shutdown,
+    /// Orderly session close.
+    Goodbye,
+}
+
+/// Server → client messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The handshake succeeded.
+    Welcome {
+        /// The server's protocol version.
+        version: u32,
+        /// The server-assigned session id.
+        session: u64,
+        /// The negotiated per-session in-flight cap.
+        max_in_flight: u32,
+    },
+    /// The object is open (recovered state and all).
+    OpenOk,
+    /// The transaction committed at `ts` with these pinned responses.
+    Committed {
+        /// The commit timestamp.
+        ts: u64,
+        /// Per-op responses, batch order.
+        results: Vec<OpResult>,
+    },
+    /// The snapshot views, all consistent at `watermark`.
+    Views {
+        /// The commit timestamp every view reads at.
+        watermark: u64,
+        /// Per-query views, query order.
+        views: Vec<View>,
+    },
+    /// A typed refusal.
+    Fault(WireFault),
+    /// Acknowledges [`Request::Goodbye`] / [`Request::Shutdown`].
+    Bye,
+}
+
+// ---- Encoding helpers (the WAL payload idiom) --------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        self.take(8).map(|b| i64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let n = self.u32()?;
+        let bytes = self.take(n as usize)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// A message that can travel inside a frame payload. Implemented by
+/// [`Request`] and [`Response`]; the connection layer is generic over it.
+pub trait WireMsg: Sized {
+    /// Append the payload encoding of `self` to `out`.
+    fn encode_payload(&self, out: &mut Vec<u8>);
+
+    /// Decode a payload; `None` on any malformation (unknown tag, short
+    /// field, bad UTF-8, trailing bytes).
+    fn decode_payload(bytes: &[u8]) -> Option<Self>;
+}
+
+impl WireOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WireOp::Credit { name, amount } => {
+                out.push(1);
+                put_str(out, name);
+                put_i64(out, *amount);
+            }
+            WireOp::Debit { name, amount } => {
+                out.push(2);
+                put_str(out, name);
+                put_i64(out, *amount);
+            }
+            WireOp::Inc { name, delta } => {
+                out.push(3);
+                put_str(out, name);
+                put_i64(out, *delta);
+            }
+            WireOp::Enq { name, item } => {
+                out.push(4);
+                put_str(out, name);
+                put_i64(out, *item);
+            }
+            WireOp::Deq { name } => {
+                out.push(5);
+                put_str(out, name);
+            }
+        }
+    }
+
+    fn decode(c: &mut Cursor) -> Option<WireOp> {
+        Some(match c.u8()? {
+            1 => WireOp::Credit { name: c.str()?, amount: c.i64()? },
+            2 => WireOp::Debit { name: c.str()?, amount: c.i64()? },
+            3 => WireOp::Inc { name: c.str()?, delta: c.i64()? },
+            4 => WireOp::Enq { name: c.str()?, item: c.i64()? },
+            5 => WireOp::Deq { name: c.str()? },
+            _ => return None,
+        })
+    }
+}
+
+impl OpResult {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            OpResult::Unit => out.push(1),
+            OpResult::Debited(ok) => {
+                out.push(2);
+                out.push(u8::from(*ok));
+            }
+            OpResult::Int(v) => {
+                out.push(3);
+                put_i64(out, *v);
+            }
+        }
+    }
+
+    fn decode(c: &mut Cursor) -> Option<OpResult> {
+        Some(match c.u8()? {
+            1 => OpResult::Unit,
+            2 => OpResult::Debited(match c.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            }),
+            3 => OpResult::Int(c.i64()?),
+            _ => return None,
+        })
+    }
+}
+
+impl View {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            View::Balance { num, den } => {
+                out.push(1);
+                put_i64(out, *num);
+                put_i64(out, *den);
+            }
+            View::Count(v) => {
+                out.push(2);
+                put_i64(out, *v);
+            }
+            View::Items(items) => {
+                out.push(3);
+                put_u32(out, items.len() as u32);
+                for item in items {
+                    put_i64(out, *item);
+                }
+            }
+        }
+    }
+
+    fn decode(c: &mut Cursor) -> Option<View> {
+        Some(match c.u8()? {
+            1 => View::Balance { num: c.i64()?, den: c.i64()? },
+            2 => View::Count(c.i64()?),
+            3 => {
+                let n = c.u32()?;
+                let mut items = Vec::with_capacity(n.min(1 << 16) as usize);
+                for _ in 0..n {
+                    items.push(c.i64()?);
+                }
+                View::Items(items)
+            }
+            _ => return None,
+        })
+    }
+}
+
+impl WireFault {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WireFault::VersionMismatch { server, client } => {
+                out.push(1);
+                put_u32(out, *server);
+                put_u32(out, *client);
+            }
+            WireFault::BadToken => out.push(2),
+            WireFault::Overloaded { in_flight, cap } => {
+                out.push(3);
+                put_u32(out, *in_flight);
+                put_u32(out, *cap);
+            }
+            WireFault::TypeMismatch { object } => {
+                out.push(4);
+                put_str(out, object);
+            }
+            WireFault::SnapshotCompacted { requested, floor } => {
+                out.push(5);
+                put_u64(out, *requested);
+                put_u64(out, *floor);
+            }
+            WireFault::SnapshotContended { requested } => {
+                out.push(6);
+                put_u64(out, *requested);
+            }
+            WireFault::ShuttingDown => out.push(7),
+            WireFault::Transient { detail } => {
+                out.push(8);
+                put_str(out, detail);
+            }
+            WireFault::Fatal { detail } => {
+                out.push(9);
+                put_str(out, detail);
+            }
+        }
+    }
+
+    fn decode(c: &mut Cursor) -> Option<WireFault> {
+        Some(match c.u8()? {
+            1 => WireFault::VersionMismatch { server: c.u32()?, client: c.u32()? },
+            2 => WireFault::BadToken,
+            3 => WireFault::Overloaded { in_flight: c.u32()?, cap: c.u32()? },
+            4 => WireFault::TypeMismatch { object: c.str()? },
+            5 => WireFault::SnapshotCompacted { requested: c.u64()?, floor: c.u64()? },
+            6 => WireFault::SnapshotContended { requested: c.u64()? },
+            7 => WireFault::ShuttingDown,
+            8 => WireFault::Transient { detail: c.str()? },
+            9 => WireFault::Fatal { detail: c.str()? },
+            _ => return None,
+        })
+    }
+}
+
+impl WireMsg for Request {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Hello { version, token, max_in_flight } => {
+                out.push(1);
+                put_u32(out, *version);
+                put_str(out, token);
+                put_u32(out, *max_in_flight);
+            }
+            Request::Open { tag, name } => {
+                out.push(2);
+                out.push(tag.to_byte());
+                put_str(out, name);
+            }
+            Request::Transact { ops } => {
+                out.push(3);
+                put_u32(out, ops.len() as u32);
+                for op in ops {
+                    op.encode(out);
+                }
+            }
+            Request::Read { at, queries } => {
+                out.push(4);
+                match at {
+                    None => out.push(0),
+                    Some(ts) => {
+                        out.push(1);
+                        put_u64(out, *ts);
+                    }
+                }
+                put_u32(out, queries.len() as u32);
+                for (tag, name) in queries {
+                    out.push(tag.to_byte());
+                    put_str(out, name);
+                }
+            }
+            Request::Shutdown => out.push(5),
+            Request::Goodbye => out.push(6),
+        }
+    }
+
+    fn decode_payload(bytes: &[u8]) -> Option<Request> {
+        let mut c = Cursor::new(bytes);
+        let req = match c.u8()? {
+            1 => Request::Hello { version: c.u32()?, token: c.str()?, max_in_flight: c.u32()? },
+            2 => Request::Open { tag: TypeTag::from_byte(c.u8()?)?, name: c.str()? },
+            3 => {
+                let n = c.u32()?;
+                let mut ops = Vec::with_capacity(n.min(1 << 12) as usize);
+                for _ in 0..n {
+                    ops.push(WireOp::decode(&mut c)?);
+                }
+                Request::Transact { ops }
+            }
+            4 => {
+                let at = match c.u8()? {
+                    0 => None,
+                    1 => Some(c.u64()?),
+                    _ => return None,
+                };
+                let n = c.u32()?;
+                let mut queries = Vec::with_capacity(n.min(1 << 12) as usize);
+                for _ in 0..n {
+                    queries.push((TypeTag::from_byte(c.u8()?)?, c.str()?));
+                }
+                Request::Read { at, queries }
+            }
+            5 => Request::Shutdown,
+            6 => Request::Goodbye,
+            _ => return None,
+        };
+        c.done().then_some(req)
+    }
+}
+
+impl WireMsg for Response {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Welcome { version, session, max_in_flight } => {
+                out.push(1);
+                put_u32(out, *version);
+                put_u64(out, *session);
+                put_u32(out, *max_in_flight);
+            }
+            Response::OpenOk => out.push(2),
+            Response::Committed { ts, results } => {
+                out.push(3);
+                put_u64(out, *ts);
+                put_u32(out, results.len() as u32);
+                for r in results {
+                    r.encode(out);
+                }
+            }
+            Response::Views { watermark, views } => {
+                out.push(4);
+                put_u64(out, *watermark);
+                put_u32(out, views.len() as u32);
+                for v in views {
+                    v.encode(out);
+                }
+            }
+            Response::Fault(fault) => {
+                out.push(5);
+                fault.encode(out);
+            }
+            Response::Bye => out.push(6),
+        }
+    }
+
+    fn decode_payload(bytes: &[u8]) -> Option<Response> {
+        let mut c = Cursor::new(bytes);
+        let resp = match c.u8()? {
+            1 => {
+                Response::Welcome { version: c.u32()?, session: c.u64()?, max_in_flight: c.u32()? }
+            }
+            2 => Response::OpenOk,
+            3 => {
+                let ts = c.u64()?;
+                let n = c.u32()?;
+                let mut results = Vec::with_capacity(n.min(1 << 12) as usize);
+                for _ in 0..n {
+                    results.push(OpResult::decode(&mut c)?);
+                }
+                Response::Committed { ts, results }
+            }
+            4 => {
+                let watermark = c.u64()?;
+                let n = c.u32()?;
+                let mut views = Vec::with_capacity(n.min(1 << 12) as usize);
+                for _ in 0..n {
+                    views.push(View::decode(&mut c)?);
+                }
+                Response::Views { watermark, views }
+            }
+            5 => Response::Fault(WireFault::decode(&mut c)?),
+            6 => Response::Bye,
+            _ => return None,
+        };
+        c.done().then_some(resp)
+    }
+}
+
+impl std::fmt::Display for WireFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireFault::VersionMismatch { server, client } => {
+                write!(
+                    f,
+                    "protocol version mismatch: server speaks {server}, client offered {client}"
+                )
+            }
+            WireFault::BadToken => write!(f, "handshake refused: bad auth token"),
+            WireFault::Overloaded { in_flight, cap } => {
+                write!(f, "request shed by admission control: {in_flight} in flight at cap {cap}")
+            }
+            WireFault::TypeMismatch { object } => {
+                write!(f, "object {object:?} is already open as a different type")
+            }
+            WireFault::SnapshotCompacted { requested, floor } => {
+                write!(f, "snapshot {requested} no longer readable (compaction floor {floor})")
+            }
+            WireFault::SnapshotContended { requested } => {
+                write!(f, "snapshot {requested} not readable right now; retry at a fresh watermark")
+            }
+            WireFault::ShuttingDown => write!(f, "server is draining; reconnect after restart"),
+            WireFault::Transient { detail } => write!(f, "transient server failure: {detail}"),
+            WireFault::Fatal { detail } => write!(f, "fatal server failure: {detail}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn requests() -> Vec<Request> {
+        vec![
+            Request::Hello { version: PROTOCOL_VERSION, token: "t0k3n".into(), max_in_flight: 8 },
+            Request::Open { tag: TypeTag::Account, name: "acct".into() },
+            Request::Transact {
+                ops: vec![
+                    WireOp::Credit { name: "acct".into(), amount: 5 },
+                    WireOp::Debit { name: "acct".into(), amount: 3 },
+                    WireOp::Inc { name: "hits".into(), delta: -2 },
+                    WireOp::Enq { name: "q".into(), item: 77 },
+                    WireOp::Deq { name: "q".into() },
+                ],
+            },
+            Request::Read {
+                at: None,
+                queries: vec![(TypeTag::Account, "acct".into()), (TypeTag::QueueI64, "q".into())],
+            },
+            Request::Read { at: Some(42), queries: vec![(TypeTag::Counter, "hits".into())] },
+            Request::Shutdown,
+            Request::Goodbye,
+        ]
+    }
+
+    fn responses() -> Vec<Response> {
+        vec![
+            Response::Welcome { version: PROTOCOL_VERSION, session: 7, max_in_flight: 4 },
+            Response::OpenOk,
+            Response::Committed {
+                ts: 99,
+                results: vec![
+                    OpResult::Unit,
+                    OpResult::Debited(true),
+                    OpResult::Debited(false),
+                    OpResult::Int(-12),
+                ],
+            },
+            Response::Views {
+                watermark: 41,
+                views: vec![
+                    View::Balance { num: 7, den: 2 },
+                    View::Count(-3),
+                    View::Items(vec![1, 2, 3]),
+                    View::Items(vec![]),
+                ],
+            },
+            Response::Fault(WireFault::VersionMismatch { server: 1, client: 9 }),
+            Response::Fault(WireFault::BadToken),
+            Response::Fault(WireFault::Overloaded { in_flight: 9, cap: 8 }),
+            Response::Fault(WireFault::TypeMismatch { object: "acct".into() }),
+            Response::Fault(WireFault::SnapshotCompacted { requested: 3, floor: 9 }),
+            Response::Fault(WireFault::SnapshotContended { requested: 5 }),
+            Response::Fault(WireFault::ShuttingDown),
+            Response::Fault(WireFault::Transient { detail: "deadlock doom".into() }),
+            Response::Fault(WireFault::Fatal { detail: "disk on fire".into() }),
+            Response::Bye,
+        ]
+    }
+
+    fn roundtrip<M: WireMsg + PartialEq + std::fmt::Debug>(msg: &M) {
+        let mut buf = Vec::new();
+        msg.encode_payload(&mut buf);
+        assert_eq!(M::decode_payload(&buf).as_ref(), Some(msg), "roundtrip of {msg:?}");
+        // Trailing junk inside the frame is a malformation, not slack.
+        let mut longer = buf.clone();
+        longer.push(0);
+        assert_eq!(M::decode_payload(&longer), None, "trailing byte accepted for {msg:?}");
+        // Every proper prefix is malformed, never a panic.
+        for cut in 0..buf.len() {
+            let _ = M::decode_payload(&buf[..cut]);
+        }
+    }
+
+    #[test]
+    fn every_request_roundtrips() {
+        for r in requests() {
+            roundtrip(&r);
+        }
+    }
+
+    #[test]
+    fn every_response_roundtrips() {
+        for r in responses() {
+            roundtrip(&r);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_refused() {
+        assert_eq!(Request::decode_payload(&[99]), None);
+        assert_eq!(Response::decode_payload(&[99]), None);
+        assert_eq!(Request::decode_payload(&[]), None);
+        // Bad UTF-8 in a name.
+        let mut buf = vec![2u8, 1];
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(0xFF);
+        assert_eq!(Request::decode_payload(&buf), None);
+    }
+
+    #[test]
+    fn fault_display_is_honest_prose() {
+        let f = WireFault::Overloaded { in_flight: 9, cap: 8 };
+        let msg = format!("{f}");
+        assert!(msg.contains("shed") && msg.contains('9') && msg.contains('8'), "{msg}");
+        assert!(!format!("{}", WireFault::BadToken).contains("BadToken"));
+    }
+}

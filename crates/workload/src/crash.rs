@@ -339,7 +339,7 @@ fn rational_int(v: &serde_json::Value) -> i64 {
     i64::try_from(r.numerator()).expect("workload amounts fit i64")
 }
 
-fn effect_from_json(v: &serde_json::Value) -> Effect {
+pub(crate) fn effect_from_json(v: &serde_json::Value) -> Effect {
     match v["op"].as_str().expect("op payload has op") {
         "credit" => Effect::Credit(rational_int(&v["v"])),
         "debit" => {

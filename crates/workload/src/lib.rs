@@ -17,7 +17,10 @@
 //!   (E11);
 //! * [`crash`] / [`multisite`] / [`custom`] — randomized crash-recovery
 //!   scenarios (single-site, distributed, and a user-defined
-//!   `define_adt!` type written only against the public API).
+//!   `define_adt!` type written only against the public API);
+//! * [`socket`] — the crash workload over a real TCP socket: client
+//!   drivers for the `hcc-server` front door, ack-record reports, and
+//!   the recovery verifier that holds the log against them.
 
 pub mod bank;
 pub mod compaction;
@@ -30,6 +33,7 @@ pub mod multisite;
 pub mod queue;
 pub mod register;
 pub mod scheme;
+pub mod socket;
 
 pub use metrics::Metrics;
 pub use scheme::Scheme;

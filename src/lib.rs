@@ -37,6 +37,11 @@
 //!   reporting, deadlock-potential analysis, and the `adtcheck` /
 //!   `repolint` CI binaries (see `docs/CHECKING.md`).
 //! * [`workload`] — workload generation and the multithreaded driver.
+//! * [`wire`] / [`server`] / [`client`] — the network front door: the
+//!   length-prefixed CRC-framed TCP protocol (sharing the WAL's frame
+//!   envelope), the session/worker-pool server with bounded admission
+//!   control and graceful drain, and the reconnecting synchronous
+//!   client with the local error taxonomy (see `docs/NETWORK.md`).
 //!
 //! ## Quickstart
 //!
@@ -75,14 +80,17 @@
 pub use hcc_adts as adts;
 pub use hcc_baselines as baselines;
 pub use hcc_check as check;
+pub use hcc_client as client;
 pub use hcc_core as core;
 pub use hcc_db as db;
 pub use hcc_obs as obs;
 pub use hcc_relations as relations;
+pub use hcc_server as server;
 pub use hcc_spec as spec;
 pub use hcc_storage as storage;
 pub use hcc_txn as txn;
 pub use hcc_verify as verify;
+pub use hcc_wire as wire;
 pub use hcc_workload as workload;
 
 pub use hcc_db::{Db, DbBuilder, DbObject, HccError, ReadObject, ReadTx, RetryPolicy, Tx};
