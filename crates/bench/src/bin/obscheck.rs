@@ -22,7 +22,13 @@
 //!   session closes at most once); and in the *final* dump the
 //!   `net.queue.depth` gauge is back to zero — a server that exits
 //!   with queued work broke the drain's promise to answer everything
-//!   it admitted.
+//!   it admitted;
+//! - replication invariants: `repl.follower.lag` is never negative (a
+//!   "follower ahead of its primary" means the watermark/ticket pair
+//!   was sampled out of order), `repl.acked.ticket ≤
+//!   repl.shipped.ticket` whenever both are present, and the *final*
+//!   dump carrying follower gauges shows lag 0 — a converged follower
+//!   is the only acceptable exit state for the replication demos.
 //!
 //! Exits nonzero with a diagnostic on the first violation, so the
 //! recovery-matrix CI jobs fail if an instrumentation change breaks the
@@ -103,6 +109,28 @@ fn check_line(line: &str) -> bool {
             fail(&format!("txn.read_only.completed={completed} exceeds begun={begun}"));
         }
     }
+    if let Some(lag) = metrics.get("repl.follower.lag") {
+        match lag.as_i64() {
+            Some(n) if n >= 0 => {}
+            Some(n) => fail(&format!(
+                "repl.follower.lag={n}: a follower ahead of the primary's shipped position \
+                 means the sample pair was read out of order"
+            )),
+            None => fail("repl.follower.lag is not an integer"),
+        }
+    }
+    if let (Some(acked), Some(shipped)) =
+        (metrics.get("repl.acked.ticket"), metrics.get("repl.shipped.ticket"))
+    {
+        let acked = as_u64(acked, "repl.acked.ticket");
+        let shipped = as_u64(shipped, "repl.shipped.ticket");
+        if acked > shipped {
+            fail(&format!(
+                "repl.acked.ticket={acked} exceeds shipped={shipped}: a follower acked \
+                 frames the primary never sent"
+            ));
+        }
+    }
     if let Some(opened) = metrics.get("net.sessions.opened") {
         let opened = as_u64(opened, "net.sessions.opened");
         let closed = match metrics.get("net.sessions.closed") {
@@ -158,6 +186,21 @@ fn check_final_net(line: &str) {
     }
 }
 
+/// The last dump carrying follower gauges is the follower's exit state:
+/// a demo or harness shuts its follower down only after convergence, so
+/// a nonzero final lag means replication stalled short of the primary.
+fn check_final_repl(line: &str) {
+    let parsed: Value = serde_json::from_str(line).expect("already validated by check_line");
+    let metrics = parsed["hcc_metrics"].as_object().expect("already validated");
+    match metrics["repl.follower.lag"].as_i64() {
+        Some(0) => {}
+        Some(n) => fail(&format!(
+            "final replication dump: repl.follower.lag={n}, the follower exited unconverged"
+        )),
+        None => fail("repl.follower.lag is not an integer"),
+    }
+}
+
 fn main() {
     let mut input = String::new();
     std::io::stdin().read_to_string(&mut input).unwrap_or_else(|e| {
@@ -167,6 +210,7 @@ fn main() {
     let mut with_txn_core = 0u64;
     let mut last_dump = None;
     let mut last_net_dump = None;
+    let mut last_repl_dump = None;
     for line in input.lines() {
         let line = line.trim();
         if !line.starts_with("{\"hcc_metrics\"") {
@@ -178,6 +222,9 @@ fn main() {
         }
         if line.contains("\"net.queue.depth\"") {
             last_net_dump = Some(line);
+        }
+        if line.contains("\"repl.follower.lag\"") {
+            last_repl_dump = Some(line);
         }
         last_dump = Some(line);
     }
@@ -192,6 +239,9 @@ fn main() {
     }
     if let Some(last) = last_net_dump {
         check_final_net(last);
+    }
+    if let Some(last) = last_repl_dump {
+        check_final_repl(last);
     }
     println!("obscheck: OK ({lines} dump(s), {with_txn_core} with core txn counters)");
 }

@@ -25,6 +25,14 @@
 //!    types, so CRC framing, payload bounds, and clean-vs-torn EOF
 //!    classification cannot be bypassed by a second ad-hoc socket
 //!    path.
+//! 5. **Replication discipline**: `crates/repl` has *no second apply
+//!    path* — a follower replays commits through the recovery path's
+//!    pinned responses (`apply_replicated`), never by re-executing
+//!    operations against the lock manager. The same lock-acquisition
+//!    needles the read-path ratchet bans must not appear in the repl
+//!    crate's sources, so a future "optimization" cannot quietly turn
+//!    replay into re-execution (which would re-take locks, re-run
+//!    nondeterministic choices, and diverge from the primary).
 //!
 //! Exit status 1 on any finding, listing file and line.
 
@@ -60,6 +68,12 @@ fn main() {
     // Assembled so this linter's own source does not contain its needle.
     let log_op_call = [".log", "_op("].concat();
     let raw_sockets = [["Tcp", "Stream"].concat(), ["Tcp", "Listener"].concat()];
+    // Every way code reaches the lock manager: executing an operation
+    // (`.execute(` / `try_execute`) or testing a lock directly
+    // (`attempt(`). Shared by the read-path ratchet (3) and the
+    // replication no-second-apply-path ratchet (5).
+    let lock_needles =
+        [[".exec", "ute("].concat(), ["try_", "execute"].concat(), ["atte", "mpt("].concat()];
 
     // The ratchet's standing exceptions: tests that hand-craft WAL
     // records on purpose, and the manual-discipline workload whose whole
@@ -102,6 +116,21 @@ fn main() {
             }
         }
 
+        if rel_s.starts_with("crates/repl/src/") {
+            for (i, line) in text.lines().enumerate() {
+                for needle in &lock_needles {
+                    if line.contains(needle.as_str()) {
+                        findings.push(format!(
+                            "{rel_s}:{}: lock-acquisition/execution call `{needle}` in the \
+                             replication crate — followers replay through apply_replicated's \
+                             pinned responses, never a second apply path",
+                            i + 1
+                        ));
+                    }
+                }
+            }
+        }
+
         if rel_s.starts_with("crates/adts/") {
             let impls = text.matches("impl Snapshot for").count();
             let overrides = text.matches("fn snapshot_at").count();
@@ -115,15 +144,10 @@ fn main() {
         }
     }
 
-    // The read path's lock-freedom ratchet. Needles are assembled so
-    // this linter's own source does not contain them; they cover every
-    // way code reaches the lock manager — executing an operation
-    // (`.execute(` / `try_execute`) or testing a lock directly
-    // (`attempt(`). The read path clones committed snapshots under the
-    // object latch and must never grow one of these calls.
+    // The read path's lock-freedom ratchet: the read path clones
+    // committed snapshots under the object latch and must never grow a
+    // lock-acquisition call.
     let read_path_files = ["crates/db/src/read.rs", "crates/core/src/runtime/horizon.rs"];
-    let lock_needles =
-        [[".exec", "ute("].concat(), ["try_", "execute"].concat(), ["atte", "mpt("].concat()];
     for rel_s in read_path_files {
         let Ok(text) = std::fs::read_to_string(root.join(rel_s)) else {
             findings.push(format!("{rel_s}: wait-free read path file is missing"));

@@ -55,6 +55,19 @@ impl Default for ClientOptions {
     }
 }
 
+/// Server positions answering [`Client::stats`]: the stable watermark
+/// (every commit at or below it is readable on the snapshot path) and
+/// the lifetime commit/abort totals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerStats {
+    /// The server's stable watermark.
+    pub watermark: u64,
+    /// Transactions committed since the server's store opened.
+    pub committed: u64,
+    /// Transactions aborted since the server's store opened.
+    pub aborted: u64,
+}
+
 /// A connected, handshaken session.
 pub struct Client {
     tx: SendHalf,
@@ -63,6 +76,8 @@ pub struct Client {
     session: u64,
     granted_in_flight: u32,
     retry: RetryPolicy,
+    /// An attached read replica; [`Client::read`] routes here first.
+    replica: Option<Box<Client>>,
 }
 
 fn lost(context: &str) -> HccError {
@@ -140,6 +155,7 @@ impl Client {
                 session,
                 granted_in_flight: max_in_flight,
                 retry: opts.retry,
+                replica: None,
             }),
             (_, Response::Fault(fault)) => Err(fault_to_error(fault)),
             (_, other) => Err(HccError::Protocol(format!("unexpected handshake reply: {other:?}"))),
@@ -223,7 +239,32 @@ impl Client {
     /// Snapshot-read `queries` — at the server's stable watermark
     /// (`at: None`) or a pinned historical timestamp. All views are
     /// consistent at the returned watermark.
+    ///
+    /// With a replica attached ([`Client::attach_read_replica`]) the
+    /// read is served there first: a follower's watermark is always a
+    /// consistent prefix of the primary's history, so the views are
+    /// correct even while it lags — only the returned watermark may
+    /// trail. Any replica failure detaches it and falls back to the
+    /// primary, so the read itself still succeeds.
     pub fn read(
+        &mut self,
+        at: Option<u64>,
+        queries: Vec<(TypeTag, String)>,
+    ) -> Result<(u64, Vec<View>), HccError> {
+        if let Some(mut replica) = self.replica.take() {
+            // The replica is dropped on any failure (dead socket,
+            // lagging past a pinned timestamp, shed) rather than
+            // retried per-read: the caller re-attaches when it has a
+            // healthy follower again.
+            if let Ok(out) = replica.read_here(at, queries.clone()) {
+                self.replica = Some(replica);
+                return Ok(out);
+            }
+        }
+        self.read_here(at, queries)
+    }
+
+    fn read_here(
         &mut self,
         at: Option<u64>,
         queries: Vec<(TypeTag, String)>,
@@ -232,6 +273,36 @@ impl Client {
             Response::Views { watermark, views } => Ok((watermark, views)),
             other => Err(HccError::Protocol(format!("unexpected reply to read: {other:?}"))),
         }
+    }
+
+    /// Ask the server for its positions (stable watermark, lifetime
+    /// commit/abort counts). Answered inline on the server — never
+    /// queued behind transactions — so it is cheap enough to poll for
+    /// replication lag or health checks.
+    pub fn stats(&mut self) -> Result<ServerStats, HccError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { watermark, committed, aborted } => {
+                Ok(ServerStats { watermark, committed, aborted })
+            }
+            other => Err(HccError::Protocol(format!("unexpected reply to stats: {other:?}"))),
+        }
+    }
+
+    /// Connect to a read replica at `addr` and route subsequent
+    /// [`Client::read`] calls there first, falling back to (and
+    /// detaching on) any replica failure. The replica server fronts a
+    /// follower's `Db`, so its reads observe the replicated stable
+    /// watermark — a consistent, possibly lagging prefix.
+    pub fn attach_read_replica(&mut self, addr: &str, opts: ClientOptions) -> Result<(), HccError> {
+        let replica = Client::connect_with(addr, opts)?;
+        self.replica = Some(Box::new(replica));
+        Ok(())
+    }
+
+    /// Whether a read replica is currently attached (a failed replica
+    /// read silently detaches it).
+    pub fn has_read_replica(&self) -> bool {
+        self.replica.is_some()
     }
 
     /// Ask the server to drain and exit.

@@ -525,6 +525,16 @@ impl Db {
         self.mgr.storage()
     }
 
+    /// The current stable watermark: the highest timestamp `W` such that
+    /// every commit with `ts ≤ W` is fully applied at every object it
+    /// touched. [`Db::read`] and [`Db::begin_read`] serve snapshots at
+    /// this mark; on a replication follower it is the replicated
+    /// watermark the primary proved safe. Served over the wire by the
+    /// `Stats` request, so clients can watch a replica's lag.
+    pub fn stable_watermark(&self) -> u64 {
+        self.mgr.stable_watermark()
+    }
+
     /// Transactions committed through this database.
     pub fn committed_count(&self) -> u64 {
         self.mgr.committed_count()

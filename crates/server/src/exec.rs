@@ -135,8 +135,10 @@ pub fn execute(db: &Db, req: &Request) -> Response {
             };
             run().unwrap_or_else(|e| Response::Fault(fault_from(e)))
         }
-        // Session-layer messages never reach the executor.
-        Request::Hello { .. } | Request::Shutdown | Request::Goodbye => {
+        // Session-layer messages (including `Stats`, answered inline so
+        // it can never queue behind a slow transact) never reach the
+        // executor.
+        Request::Hello { .. } | Request::Shutdown | Request::Goodbye | Request::Stats => {
             Response::Fault(WireFault::Fatal {
                 detail: "session message routed to executor".into(),
             })

@@ -65,6 +65,10 @@ pub struct ServerOptions {
     /// How long a fresh connection may sit silent before its handshake
     /// is abandoned.
     pub handshake_timeout: Duration,
+    /// When set, also bind a replication listener on this address and
+    /// ship the WAL to followers ([`hcc_repl::Primary`]). Requires a
+    /// durable `Db`; followers authenticate with the same `token`.
+    pub repl_listen: Option<String>,
 }
 
 impl Default for ServerOptions {
@@ -75,6 +79,7 @@ impl Default for ServerOptions {
             session_in_flight_cap: 16,
             token: None,
             handshake_timeout: Duration::from_secs(5),
+            repl_listen: None,
         }
     }
 }
@@ -86,6 +91,7 @@ struct NetMetrics {
     req_open: Arc<hcc_obs::Counter>,
     req_transact: Arc<hcc_obs::Counter>,
     req_read: Arc<hcc_obs::Counter>,
+    req_stats: Arc<hcc_obs::Counter>,
     bytes_in: Arc<hcc_obs::Counter>,
     bytes_out: Arc<hcc_obs::Counter>,
     shed: Arc<hcc_obs::Counter>,
@@ -102,6 +108,7 @@ impl NetMetrics {
             req_open: registry.counter("net.requests.open"),
             req_transact: registry.counter("net.requests.transact"),
             req_read: registry.counter("net.requests.read"),
+            req_stats: registry.counter("net.requests.stats"),
             bytes_in: registry.counter("net.bytes.in"),
             bytes_out: registry.counter("net.bytes.out"),
             shed: registry.counter("net.requests.shed"),
@@ -171,6 +178,7 @@ pub struct ServerHandle {
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    repl: Option<hcc_repl::Primary>,
 }
 
 /// Serve `db` on `addr` with default [`ServerOptions`]. Bind to port 0
@@ -184,6 +192,42 @@ pub fn serve(db: Arc<Db>, addr: &str) -> std::io::Result<ServerHandle> {
 pub fn serve_with(db: Arc<Db>, addr: &str, opts: ServerOptions) -> std::io::Result<ServerHandle> {
     let listener = Listener::bind(addr)?;
     let local = listener.local_addr()?;
+
+    // The replication listener rides along with the front door: the
+    // shipper tails the same WAL the executors append to, and followers
+    // present the same auth token clients do.
+    let repl = match &opts.repl_listen {
+        Some(listen) => {
+            let Some(store) = db.storage() else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "repl_listen requires a durable Db (replication ships the WAL)",
+                ));
+            };
+            let mgr = db.manager().clone();
+            let store = store.clone();
+            // Watermark FIRST, ticket second — the sampling order the
+            // follower's consistent-prefix argument depends on.
+            let sample: hcc_repl::PositionSampler = Arc::new(move || {
+                let wm = mgr.stable_watermark();
+                let tk = store.last_issued_ticket();
+                (wm, tk)
+            });
+            let popts = hcc_repl::PrimaryOptions {
+                token: opts.token.clone(),
+                ..hcc_repl::PrimaryOptions::default()
+            };
+            Some(hcc_repl::Primary::start(
+                listen,
+                db.storage().unwrap().dir(),
+                sample,
+                db.metrics(),
+                popts,
+            )?)
+        }
+        None => None,
+    };
+
     let metrics = NetMetrics::new(db.metrics());
     let queue = BoundedQueue::new(opts.queue_cap, db.metrics().gauge("net.queue.depth"));
     let shared = Arc::new(Shared {
@@ -213,13 +257,19 @@ pub fn serve_with(db: Arc<Db>, addr: &str, opts: ServerOptions) -> std::io::Resu
         std::thread::spawn(move || accept_loop(&listener, &shared, &readers))
     };
 
-    Ok(ServerHandle { addr: local, shared, accept: Some(accept), workers, readers })
+    Ok(ServerHandle { addr: local, shared, accept: Some(accept), workers, readers, repl })
 }
 
 impl ServerHandle {
     /// The address actually bound (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The replication listener's bound address, when
+    /// [`ServerOptions::repl_listen`] was set — followers connect here.
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        self.repl.as_ref().map(|p| p.local_addr())
     }
 
     /// Block until some authenticated session asks the server to shut
@@ -233,6 +283,12 @@ impl ServerHandle {
     }
 
     fn stop_accepting(&mut self) {
+        // Stop shipping to followers first: a drain or kill models the
+        // primary going away, and followers must reconnect elsewhere
+        // (or be promoted), not read a half-drained stream.
+        if let Some(mut primary) = self.repl.take() {
+            primary.stop();
+        }
         self.shared.draining.store(true, Ordering::SeqCst);
         // Wake the blocked accept with a throwaway connection.
         let _ = conn::connect(self.addr);
@@ -409,6 +465,22 @@ fn admit(session: &Arc<Session>, shared: &Arc<Shared>, seq: u64, req: Request) -
                 &Response::Fault(WireFault::Fatal { detail: "handshake already completed".into() }),
             );
             return false;
+        }
+        Request::Stats => {
+            // Answered inline so a stats probe (watermark poll, health
+            // check) is never queued behind a slow transact — and keeps
+            // answering while draining, since it admits no new work.
+            shared.metrics.req_stats.inc();
+            session.respond(
+                shared,
+                seq,
+                &Response::Stats {
+                    watermark: shared.db.stable_watermark(),
+                    committed: shared.db.committed_count(),
+                    aborted: shared.db.aborted_count(),
+                },
+            );
+            return true;
         }
         Request::Open { .. } => shared.metrics.req_open.inc(),
         Request::Transact { .. } => shared.metrics.req_transact.inc(),

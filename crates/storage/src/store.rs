@@ -421,6 +421,15 @@ impl DurableStore {
         self.wal.reserve()
     }
 
+    /// The last global order ticket issued so far (0 = none). Replication
+    /// samples this *after* reading the stable watermark: every commit at
+    /// or below that watermark has already retired, so its commit record
+    /// is ticketed at or below the value read here — the pair bounds what
+    /// a follower must apply before exposing the watermark to readers.
+    pub fn last_issued_ticket(&self) -> u64 {
+        self.wal.current_ticket().saturating_sub(1)
+    }
+
     /// Log that `txn` began.
     pub fn log_begin(&self, txn: u64) -> Result<(), StorageError> {
         self.release_image_on_append();

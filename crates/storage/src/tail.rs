@@ -1,0 +1,384 @@
+//! Tailing a live striped WAL: incremental, ticket-ordered frame export.
+//!
+//! The replication shipper needs the log as **one stream in global
+//! ticket order**, but the stripes append concurrently and a ticket is
+//! reserved *before* its frame is written — so at any instant each
+//! stripe's tail may be missing tickets that a neighbouring stripe has
+//! already made visible. [`WalTailer`] owns a byte cursor per stripe,
+//! decodes newly appended frames on every [`WalTailer::poll`], buffers
+//! them by ticket, and releases only the **contiguous prefix**: a frame
+//! is emitted exactly once, after every lower ticket has been emitted.
+//!
+//! Frames are captured as raw envelope bytes (`len|crc|seq|payload`),
+//! not re-encoded — the follower appends what the primary wrote, and the
+//! converged log prefix is byte-identical after a ticket-ordered merge.
+//!
+//! ## Gaps
+//!
+//! Three ways a ticket can be missing at the contiguity frontier:
+//!
+//! * **in flight** — reserved, not yet flushed. Microseconds; the next
+//!   poll finds it. This is the common case and why the tailer waits.
+//! * **never coming** — a transaction reserved the ticket and then hit
+//!   an append failure and aborted, or the ticket is below the log's
+//!   pruned floor. Waiting forever would wedge the stream, so after
+//!   [`TailOptions::gap_patience`] consecutive polls without progress
+//!   the tailer skips to the next ticket it actually holds and counts
+//!   the jump in [`WalTailer::gaps_skipped`].
+//! * **pruned mid-tail** — compaction deleted a segment below a cursor.
+//!   Replication sources should run with pruning off (or a follower
+//!   bootstraps from a checkpoint first — a ROADMAP follow-up); the
+//!   tailer surfaces the vanished file as an error instead of guessing.
+//!
+//! Visibility follows the writer's flush discipline: `Buffered` and
+//! classical `Fsync` flush every record to the OS, group-commit `Fsync`
+//! parks op records in a process buffer until the next group flush, and
+//! `Durability::None` may hold several KiB back indefinitely — which is
+//! why replication is specified for the buffered/fsync modes.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::record;
+use crate::wal::{list_segments, stripe_dirs};
+use crate::StorageError;
+use hcc_wire::frame::FrameError;
+
+/// Tunables for a [`WalTailer`].
+#[derive(Clone, Copy, Debug)]
+pub struct TailOptions {
+    /// Consecutive no-progress polls at a ticket gap before the tailer
+    /// declares the missing ticket dead and skips it.
+    pub gap_patience: u32,
+}
+
+impl Default for TailOptions {
+    fn default() -> TailOptions {
+        TailOptions { gap_patience: 50 }
+    }
+}
+
+/// Byte cursor into one stripe: the segment being read and the offset of
+/// the first byte not yet consumed (always a frame boundary).
+struct StripeCursor {
+    dir: PathBuf,
+    seg_index: u64,
+    offset: u64,
+}
+
+/// One exported frame: its ticket and its raw envelope bytes.
+pub type TailedFrame = (u64, Vec<u8>);
+
+/// An incremental, ticket-ordered reader over a (possibly live) striped
+/// WAL directory. See the module docs for the contract.
+pub struct WalTailer {
+    dir: PathBuf,
+    stripes: Vec<StripeCursor>,
+    /// Decoded-but-not-yet-contiguous frames, keyed by ticket.
+    pending: BTreeMap<u64, Vec<u8>>,
+    /// The next ticket to emit.
+    next: u64,
+    /// Highest ticket seen on disk so far.
+    frontier: u64,
+    /// Consecutive polls that made no emission progress while pending
+    /// frames sat above a gap.
+    stalled: u32,
+    /// Tickets skipped as permanently missing.
+    gaps_skipped: u64,
+    opts: TailOptions,
+}
+
+impl WalTailer {
+    /// Open a tailer over `dir` that will emit every frame with ticket
+    /// strictly greater than `after`, in ticket order. Existing segments
+    /// are scanned immediately (the catch-up); frames at or below
+    /// `after` are counted into the frontier but not buffered.
+    pub fn new(
+        dir: impl AsRef<Path>,
+        after: u64,
+        opts: TailOptions,
+    ) -> Result<WalTailer, StorageError> {
+        let mut tailer = WalTailer {
+            dir: dir.as_ref().to_path_buf(),
+            stripes: Vec::new(),
+            pending: BTreeMap::new(),
+            next: after + 1,
+            frontier: after,
+            stalled: 0,
+            gaps_skipped: 0,
+            opts,
+        };
+        tailer.discover_stripes()?;
+        Ok(tailer)
+    }
+
+    /// Highest ticket observed on disk (shipped or not).
+    pub fn frontier(&self) -> u64 {
+        self.frontier
+    }
+
+    /// The next ticket [`WalTailer::poll`] would emit.
+    pub fn next_ticket(&self) -> u64 {
+        self.next
+    }
+
+    /// Tickets abandoned as permanently missing (reserved but never
+    /// appended — an aborted transaction's failed op append).
+    pub fn gaps_skipped(&self) -> u64 {
+        self.gaps_skipped
+    }
+
+    /// Stripe directories can appear after the tailer (an empty primary
+    /// creates them on first open); re-discover until some exist.
+    fn discover_stripes(&mut self) -> Result<(), StorageError> {
+        if !self.stripes.is_empty() {
+            return Ok(());
+        }
+        for (_, sdir) in stripe_dirs(&self.dir)? {
+            let first_seg = list_segments(&sdir)?.first().map_or(1, |(i, _)| *i);
+            self.stripes.push(StripeCursor { dir: sdir, seg_index: first_seg, offset: 0 });
+        }
+        Ok(())
+    }
+
+    /// Read newly appended complete frames off every stripe and return
+    /// the released contiguous run of tickets, oldest first. An empty
+    /// result means nothing new is both visible and contiguous yet.
+    pub fn poll(&mut self) -> Result<Vec<TailedFrame>, StorageError> {
+        self.discover_stripes()?;
+        for i in 0..self.stripes.len() {
+            self.poll_stripe(i)?;
+        }
+        let mut out = Vec::new();
+        while let Some(bytes) = self.pending.remove(&self.next) {
+            out.push((self.next, bytes));
+            self.next += 1;
+        }
+        if out.is_empty() && !self.pending.is_empty() {
+            // Frames are waiting above a gap. Give the in-flight writer
+            // time, then declare the hole permanent and jump it.
+            self.stalled += 1;
+            if self.stalled > self.opts.gap_patience {
+                let (&first, _) = self.pending.iter().next().expect("pending is non-empty");
+                self.gaps_skipped += first - self.next;
+                self.next = first;
+                while let Some(bytes) = self.pending.remove(&self.next) {
+                    out.push((self.next, bytes));
+                    self.next += 1;
+                }
+                self.stalled = 0;
+            }
+        } else {
+            self.stalled = 0;
+        }
+        Ok(out)
+    }
+
+    fn poll_stripe(&mut self, i: usize) -> Result<(), StorageError> {
+        loop {
+            let (path, offset, seg_index) = {
+                let c = &self.stripes[i];
+                (crate::wal::segment_path(&c.dir, c.seg_index), c.offset, c.seg_index)
+            };
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    // Either the stripe hasn't written its first segment
+                    // yet, or compaction pruned under our cursor.
+                    let segments = list_segments(&self.stripes[i].dir)?;
+                    match segments.first() {
+                        None => return Ok(()),
+                        Some((first, _)) if *first > seg_index && offset == 0 => {
+                            // We never read a byte of the pruned range …
+                            // but pruning only deletes segments whose
+                            // records are checkpointed, i.e. tickets we
+                            // were expected to ship. Surface it.
+                            return Err(StorageError::Io(std::io::Error::new(
+                                std::io::ErrorKind::NotFound,
+                                format!(
+                                    "segment {seg_index} of {} was pruned under the replication \
+                                     tailer; run the replicated store with compaction off",
+                                    self.stripes[i].dir.display()
+                                ),
+                            )));
+                        }
+                        Some(_) => return Ok(()),
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            };
+            let mut at = offset as usize;
+            while at < bytes.len() {
+                match record::decode_at(&bytes, at) {
+                    Ok((seq, _rec, end)) => {
+                        self.frontier = self.frontier.max(seq);
+                        if seq >= self.next && !self.pending.contains_key(&seq) {
+                            self.pending.insert(seq, bytes[at..end].to_vec());
+                        }
+                        at = end;
+                    }
+                    // Truncated: a torn tail mid-append (wait for the
+                    // rest). BadCrc/Malformed at the very tail can also
+                    // be a read racing a buffered writer mid-flush —
+                    // re-read next poll; if it is real corruption the
+                    // stream stalls visibly instead of shipping garbage.
+                    Err(FrameError::Truncated)
+                    | Err(FrameError::BadCrc)
+                    | Err(FrameError::Malformed)
+                    | Err(FrameError::BadLength(_)) => break,
+                }
+            }
+            self.stripes[i].offset = at as u64;
+            if at == bytes.len() {
+                // Clean end of this segment: advance to the next one if
+                // rotation already created it, else wait here.
+                let segments = list_segments(&self.stripes[i].dir)?;
+                match segments.iter().find(|(idx, _)| *idx > seg_index) {
+                    Some((next_idx, _)) => {
+                        self.stripes[i].seg_index = *next_idx;
+                        self.stripes[i].offset = 0;
+                    }
+                    None => return Ok(()),
+                }
+            } else {
+                // Mid-frame tail: wait for the writer.
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{SegmentedWal, WalOptions};
+    use crate::LogRecord;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp(name: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "hcc-tail-{}-{}-{}",
+            std::process::id(),
+            name,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn opts(stripes: usize) -> WalOptions {
+        WalOptions { segment_max_bytes: 256, stripes, ..WalOptions::default() }
+    }
+
+    fn append_txn(wal: &SegmentedWal, txn: u64, obj: u64, ts: u64) {
+        wal.append_begin(txn).unwrap();
+        let seq = wal.reserve();
+        wal.append_op(seq, txn, obj, format!("op-{txn}").as_bytes()).unwrap();
+        wal.commit_txn(txn, ts).unwrap();
+    }
+
+    #[test]
+    fn tails_appends_in_ticket_order_across_stripes_and_rotations() {
+        let dir = tmp("order");
+        let wal = SegmentedWal::open(&dir, opts(4)).unwrap();
+        let mut tailer = WalTailer::new(&dir, 0, TailOptions::default()).unwrap();
+        let mut got: Vec<u64> = Vec::new();
+        for txn in 1..=40u64 {
+            append_txn(&wal, txn, txn % 5, txn);
+            for (seq, bytes) in tailer.poll().unwrap() {
+                // Every emitted frame re-decodes to its ticket.
+                let (dseq, _rec, used) = record::decode_at(&bytes, 0).unwrap();
+                assert_eq!((dseq, used), (seq, bytes.len()));
+                got.push(seq);
+            }
+        }
+        wal.sync().unwrap();
+        loop {
+            let more = tailer.poll().unwrap();
+            if more.is_empty() {
+                break;
+            }
+            got.extend(more.iter().map(|(s, _)| *s));
+        }
+        let expect: Vec<u64> = (1..wal.current_ticket()).collect();
+        assert_eq!(got, expect, "contiguous ticket order, nothing lost or duplicated");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn catch_up_starts_strictly_after_the_resume_ticket() {
+        let dir = tmp("resume");
+        let wal = SegmentedWal::open(&dir, opts(2)).unwrap();
+        for txn in 1..=10u64 {
+            append_txn(&wal, txn, txn, txn);
+        }
+        wal.sync().unwrap();
+        let cut = 7;
+        let mut tailer = WalTailer::new(&dir, cut, TailOptions::default()).unwrap();
+        let mut got = Vec::new();
+        loop {
+            let more = tailer.poll().unwrap();
+            if more.is_empty() {
+                break;
+            }
+            got.extend(more.iter().map(|(s, _)| *s));
+        }
+        let expect: Vec<u64> = (cut + 1..wal.current_ticket()).collect();
+        assert_eq!(got, expect);
+        assert_eq!(tailer.frontier(), wal.current_ticket() - 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn permanent_gap_is_skipped_after_patience_runs_out() {
+        let dir = tmp("gap");
+        let wal = SegmentedWal::open(&dir, opts(1)).unwrap();
+        append_txn(&wal, 1, 1, 1);
+        // Burn a ticket that will never be appended (a failed op append
+        // whose transaction aborted).
+        let _dead = wal.reserve();
+        let after = wal.reserve();
+        wal.append_op(after, 9, 1, b"late").unwrap();
+        wal.sync().unwrap();
+        let mut tailer = WalTailer::new(&dir, 0, TailOptions { gap_patience: 3 }).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..10 {
+            got.extend(tailer.poll().unwrap().iter().map(|(s, _)| *s));
+        }
+        assert!(got.contains(&after), "the frame past the dead ticket ships: {got:?}");
+        assert_eq!(tailer.gaps_skipped(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_bytes_are_held_back_until_completed() {
+        let dir = tmp("torn");
+        let wal = SegmentedWal::open(&dir, opts(1)).unwrap();
+        append_txn(&wal, 1, 1, 1);
+        wal.sync().unwrap();
+        let mut tailer = WalTailer::new(&dir, 0, TailOptions::default()).unwrap();
+        let n_first = tailer.poll().unwrap().len();
+        assert!(n_first >= 3, "begin+op+commit visible");
+        // Hand-tear a half frame onto the active segment, at the next
+        // contiguous ticket so release is not waiting on a gap.
+        let next = wal.current_ticket();
+        let sdir = stripe_dirs(&dir).unwrap().remove(0).1;
+        let (_, seg) = list_segments(&sdir).unwrap().pop().unwrap();
+        let full = record::encode(&LogRecord::Begin { txn: 99 }, next);
+        let mut f = fs::OpenOptions::new().append(true).open(&seg).unwrap();
+        use std::io::Write as _;
+        f.write_all(&full[..full.len() - 3]).unwrap();
+        drop(f);
+        assert!(tailer.poll().unwrap().is_empty(), "torn tail emits nothing");
+        // Complete the frame: it ships.
+        let mut f = fs::OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&full[full.len() - 3..]).unwrap();
+        drop(f);
+        let got = tailer.poll().unwrap();
+        assert_eq!(got.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![next]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -213,12 +213,12 @@ pub struct SegmentedWal {
 }
 
 /// `stripe-03`
-fn stripe_dir(dir: &Path, stripe: usize) -> PathBuf {
+pub(crate) fn stripe_dir(dir: &Path, stripe: usize) -> PathBuf {
     dir.join(format!("stripe-{stripe:02}"))
 }
 
 /// `seg-00000042.wal`
-fn segment_path(dir: &Path, index: u64) -> PathBuf {
+pub(crate) fn segment_path(dir: &Path, index: u64) -> PathBuf {
     dir.join(format!("seg-{index:08}.wal"))
 }
 
@@ -228,7 +228,7 @@ fn segment_path(dir: &Path, index: u64) -> PathBuf {
 /// were fsynced, but the name pointing at them was not — which recovery
 /// sees as a hole in the log (checkpoint files already get the same
 /// treatment from `Checkpoint::save`).
-fn sync_dir(dir: &Path) -> std::io::Result<()> {
+pub(crate) fn sync_dir(dir: &Path) -> std::io::Result<()> {
     File::open(dir)?.sync_all()
 }
 

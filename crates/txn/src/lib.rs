@@ -33,5 +33,5 @@ pub mod wal;
 
 pub use clock::LogicalClock;
 pub use deadlock::DeadlockDetector;
-pub use manager::{CommitError, TxnManager};
+pub use manager::{CommitError, ReplicatedOps, TxnManager};
 pub use registry::{RecoveryError, RecoveryReport, Registry};

@@ -168,6 +168,11 @@ impl Instruments {
     }
 }
 
+/// One object's share of a replicated transaction: the durable handle
+/// to replay at, and its logged op payloads in ticket order. (See
+/// [`TxnManager::apply_replicated`].)
+pub type ReplicatedOps = (Arc<dyn hcc_storage::DurableObject>, Vec<Vec<u8>>);
+
 impl TxnManager {
     /// A fresh manager with its own clock and deadlock detector (no
     /// durable log: commits live only in memory, as in the paper's model).
@@ -308,6 +313,48 @@ impl TxnManager {
         match marks.inflight.first() {
             Some(&min) => min.saturating_sub(1),
             None => marks.max_applied,
+        }
+    }
+
+    /// Apply one *replicated* committed transaction at its objects — the
+    /// follower's apply path, which is deliberately the recovery replay
+    /// path ([`crate::registry::replay_object_ops`]) and nothing else:
+    /// every payload replays pinned to the response the primary logged,
+    /// then the commit event is delivered at the replicated timestamp.
+    /// The clock witnesses `ts` so this manager can never hand out a
+    /// timestamp at or below history it has already applied.
+    ///
+    /// This does **not** advance the stable watermark: replicated commits
+    /// arrive in *ticket* order, and commuting operations are the one
+    /// case where ticket order and timestamp order may disagree — a
+    /// commit with a smaller timestamp can still be in flight on the
+    /// primary when a larger one lands here. Followers advance their
+    /// readable watermark only through
+    /// [`TxnManager::witness_replicated_watermark`], fed by the
+    /// primary's sampled `(watermark, ticket)` pairs.
+    pub fn apply_replicated(
+        &self,
+        txn: u64,
+        ts: u64,
+        ops: &[ReplicatedOps],
+    ) -> Result<(), RecoveryError> {
+        for (obj, payloads) in ops {
+            crate::registry::replay_object_ops(obj.as_ref(), txn, ts, payloads)?;
+        }
+        self.clock.witness(ts);
+        Ok(())
+    }
+
+    /// Raise the stable watermark to a value proven safe by the
+    /// replication protocol: the primary sampled `wm` *before* reading
+    /// its last issued ticket, and this follower has applied every
+    /// ticket up to that sample's ticket — so every commit with
+    /// timestamp `≤ wm` is applied here and `stable_watermark()` may
+    /// serve it. Monotone; never lowers the mark.
+    pub fn witness_replicated_watermark(&self, wm: u64) {
+        let mut marks = self.read_marks.lock();
+        if wm > marks.max_applied {
+            marks.max_applied = wm;
         }
     }
 

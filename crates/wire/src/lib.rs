@@ -21,6 +21,7 @@
 pub mod conn;
 pub mod frame;
 pub mod msg;
+pub mod repl;
 
 /// Upper bound on one network frame's payload — far below the WAL's
 /// [`frame::MAX_PAYLOAD`]: no single request/response legitimately

@@ -219,6 +219,10 @@ pub enum Request {
     Shutdown,
     /// Orderly session close.
     Goodbye,
+    /// Ask for the server's positions — answered inline (never queued),
+    /// so clients and the replication promote logic can observe the
+    /// stable watermark without a full `Transact`/`Read` round-trip.
+    Stats,
 }
 
 /// Server → client messages.
@@ -253,15 +257,26 @@ pub enum Response {
     Fault(WireFault),
     /// Acknowledges [`Request::Goodbye`] / [`Request::Shutdown`].
     Bye,
+    /// The server's positions, answering [`Request::Stats`].
+    Stats {
+        /// The stable watermark: every commit at or below it is fully
+        /// applied and readable on the wait-free snapshot path.
+        watermark: u64,
+        /// Transactions committed since this server opened its store.
+        committed: u64,
+        /// Transactions aborted since this server opened its store.
+        aborted: u64,
+    },
 }
 
 // ---- Encoding helpers (the WAL payload idiom) --------------------------
+// Crate-visible: the replication codecs (`crate::repl`) share them.
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -269,22 +284,22 @@ fn put_i64(out: &mut Vec<u8>, v: i64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
 
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Cursor<'a> {
         Cursor { bytes, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         let end = self.pos.checked_add(n)?;
         if end > self.bytes.len() {
             return None;
@@ -294,15 +309,15 @@ impl<'a> Cursor<'a> {
         Some(s)
     }
 
-    fn u8(&mut self) -> Option<u8> {
+    pub(crate) fn u8(&mut self) -> Option<u8> {
         self.take(1).map(|b| b[0])
     }
 
-    fn u32(&mut self) -> Option<u32> {
+    pub(crate) fn u32(&mut self) -> Option<u32> {
         self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Option<u64> {
+    pub(crate) fn u64(&mut self) -> Option<u64> {
         self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
     }
 
@@ -310,13 +325,13 @@ impl<'a> Cursor<'a> {
         self.take(8).map(|b| i64::from_le_bytes(b.try_into().unwrap()))
     }
 
-    fn str(&mut self) -> Option<String> {
+    pub(crate) fn str(&mut self) -> Option<String> {
         let n = self.u32()?;
         let bytes = self.take(n as usize)?;
         String::from_utf8(bytes.to_vec()).ok()
     }
 
-    fn done(&self) -> bool {
+    pub(crate) fn done(&self) -> bool {
         self.pos == self.bytes.len()
     }
 }
@@ -535,6 +550,7 @@ impl WireMsg for Request {
             }
             Request::Shutdown => out.push(5),
             Request::Goodbye => out.push(6),
+            Request::Stats => out.push(7),
         }
     }
 
@@ -566,6 +582,7 @@ impl WireMsg for Request {
             }
             5 => Request::Shutdown,
             6 => Request::Goodbye,
+            7 => Request::Stats,
             _ => return None,
         };
         c.done().then_some(req)
@@ -603,6 +620,12 @@ impl WireMsg for Response {
                 fault.encode(out);
             }
             Response::Bye => out.push(6),
+            Response::Stats { watermark, committed, aborted } => {
+                out.push(7);
+                put_u64(out, *watermark);
+                put_u64(out, *committed);
+                put_u64(out, *aborted);
+            }
         }
     }
 
@@ -633,6 +656,7 @@ impl WireMsg for Response {
             }
             5 => Response::Fault(WireFault::decode(&mut c)?),
             6 => Response::Bye,
+            7 => Response::Stats { watermark: c.u64()?, committed: c.u64()?, aborted: c.u64()? },
             _ => return None,
         };
         c.done().then_some(resp)
@@ -692,6 +716,7 @@ mod tests {
             Request::Read { at: Some(42), queries: vec![(TypeTag::Counter, "hits".into())] },
             Request::Shutdown,
             Request::Goodbye,
+            Request::Stats,
         ]
     }
 
@@ -727,6 +752,7 @@ mod tests {
             Response::Fault(WireFault::Transient { detail: "deadlock doom".into() }),
             Response::Fault(WireFault::Fatal { detail: "disk on fire".into() }),
             Response::Bye,
+            Response::Stats { watermark: 41, committed: 12, aborted: 3 },
         ]
     }
 

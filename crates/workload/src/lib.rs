@@ -20,7 +20,10 @@
 //!   `define_adt!` type written only against the public API);
 //! * [`socket`] — the crash workload over a real TCP socket: client
 //!   drivers for the `hcc-server` front door, ack-record reports, and
-//!   the recovery verifier that holds the log against them.
+//!   the recovery verifier that holds the log against them;
+//! * [`repl`] — the socket workload with a replication pair:
+//!   kill-primary → promote-follower failover under load, lagging
+//!   consistent-prefix read sampling, and the failover verifier.
 
 pub mod bank;
 pub mod compaction;
@@ -32,6 +35,7 @@ pub mod metrics;
 pub mod multisite;
 pub mod queue;
 pub mod register;
+pub mod repl;
 pub mod scheme;
 pub mod socket;
 

@@ -42,6 +42,11 @@
 //!   envelope), the session/worker-pool server with bounded admission
 //!   control and graceful drain, and the reconnecting synchronous
 //!   client with the local error taxonomy (see `docs/NETWORK.md`).
+//! * [`repl`] — log-shipping replication: the primary-side shipper
+//!   tailing the striped WAL in global ticket order, followers serving
+//!   watermark-bounded consistent-prefix snapshot reads while lagging,
+//!   and promote-on-failure via ordinary recovery (see
+//!   `docs/REPLICATION.md`).
 //!
 //! ## Quickstart
 //!
@@ -85,6 +90,7 @@ pub use hcc_core as core;
 pub use hcc_db as db;
 pub use hcc_obs as obs;
 pub use hcc_relations as relations;
+pub use hcc_repl as repl;
 pub use hcc_server as server;
 pub use hcc_spec as spec;
 pub use hcc_storage as storage;
